@@ -1,0 +1,28 @@
+"""Ablations: the Section 4.5 tradeoffs and implementation choices."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_counters_vs_rate_gap(benchmark, emit):
+    series = run_once(benchmark, ablations.counters_vs_rate_gap)
+    emit("ablation_counters", series)
+
+
+def test_burst_gap_vs_rate_gap(benchmark, emit):
+    series = run_once(benchmark, ablations.burst_gap_vs_rate_gap)
+    emit("ablation_burst_gap", series)
+
+
+def test_virtual_unit_size(benchmark, emit, params):
+    table = run_once(benchmark, ablations.virtual_unit_size, params)
+    emit("ablation_virtual_unit", table)
+    operations = [row[1] for row in table.rows]
+    assert operations == sorted(operations, reverse=True)
+
+
+def test_store_implementations(benchmark, emit, params):
+    table = run_once(benchmark, ablations.store_implementations, params)
+    emit("ablation_stores", table)
+    assert "identical" in table.notes[0]

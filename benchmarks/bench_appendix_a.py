@@ -1,0 +1,13 @@
+"""Appendix A: the worked configuration example."""
+
+from repro.experiments import appendix_a
+
+from conftest import run_once
+
+
+def test_appendix_a(benchmark, emit):
+    table = run_once(benchmark, appendix_a.run)
+    emit("appendix_a", table)
+    by_quantity = {row[0]: row for row in table.rows}
+    assert by_quantity["n"][1] == 101
+    assert by_quantity["beta_delta (B)"][1] == 863

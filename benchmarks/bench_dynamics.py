@@ -1,0 +1,16 @@
+"""State-dynamics and window-model extension experiments."""
+
+from repro.experiments import dynamics, window_models
+
+from conftest import run_once
+
+
+def test_dynamics(benchmark, emit, params):
+    series = run_once(benchmark, dynamics.run, params)
+    emit("dynamics", series)
+
+
+def test_window_models(benchmark, emit, params):
+    series = run_once(benchmark, window_models.run, params)
+    emit("window_models", series)
+    assert all(p == 1.0 for p in series.series["eardet (arbitrary) detect"])

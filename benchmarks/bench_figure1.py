@@ -1,0 +1,13 @@
+"""Figure 1: window-model comparison (the paper's motivating example)."""
+
+from repro.experiments import figure1
+
+from conftest import run_once
+
+
+def test_figure1(benchmark, emit):
+    table = run_once(benchmark, figure1.run)
+    emit("figure1", table)
+    caught = {row[0]: row[3] for row in table.rows}
+    assert caught["B"] == "caught"
+    assert all(caught[fid] == "evades" for fid in "ACD")

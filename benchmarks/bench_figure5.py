@@ -1,0 +1,24 @@
+"""Figure 5: detection probability under flooding and Shrew attacks."""
+
+from repro.experiments import figure5
+
+from conftest import run_once
+
+
+def test_figure5a_flooding(benchmark, emit, params):
+    series = run_once(benchmark, figure5.flooding_panel, params)
+    emit("figure5a", series)
+    # EARDet detects with probability 1.0 at and above gamma_h.
+    gamma_h = 250_000
+    for label in ("eardet (non-congested)", "eardet (congested)"):
+        for rate, probability in zip(series.x_values, series.series[label]):
+            if rate >= gamma_h:
+                assert probability == 1.0, (label, rate)
+
+
+def test_figure5b_shrew(benchmark, emit, params):
+    series = run_once(benchmark, figure5.shrew_panel, params)
+    emit("figure5b", series)
+    assert all(p == 1.0 for p in series.series["eardet (non-congested)"])
+    # FMF misses the shortest bursts (the paper's headline FNl).
+    assert series.series["fmf (non-congested)"][0] < 1.0

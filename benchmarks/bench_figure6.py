@@ -1,0 +1,30 @@
+"""Figure 6: false positives on benign small flows, panels (a)-(h)."""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.experiments.harness import LARGE_BUDGET, SMALL_BUDGET
+
+from conftest import run_once
+
+PANELS = [
+    ("a", "flooding", SMALL_BUDGET, True),
+    ("b", "shrew", SMALL_BUDGET, True),
+    ("c", "flooding", SMALL_BUDGET, False),
+    ("d", "shrew", SMALL_BUDGET, False),
+    ("e", "flooding", LARGE_BUDGET, True),
+    ("f", "shrew", LARGE_BUDGET, True),
+    ("g", "flooding", LARGE_BUDGET, False),
+    ("h", "shrew", LARGE_BUDGET, False),
+]
+
+
+@pytest.mark.parametrize("panel,attack,buckets,congested", PANELS)
+def test_figure6_panel(benchmark, emit, params, panel, attack, buckets, congested):
+    builder = (
+        figure6.flooding_fp_panel if attack == "flooding" else figure6.shrew_fp_panel
+    )
+    series = run_once(benchmark, builder, params, buckets, congested)
+    emit(f"figure6{panel}", series)
+    # The paper's invariant: EARDet's FPs probability is identically zero.
+    assert all(value == 0.0 for value in series.series["eardet"])

@@ -1,0 +1,11 @@
+"""Figure 8: the (n, beta_delta) solution space."""
+
+from repro.experiments import figure8
+
+from conftest import run_once
+
+
+def test_figure8(benchmark, emit):
+    series = run_once(benchmark, figure8.run)
+    emit("figure8", series)
+    assert "[101, 982]" in " ".join(series.notes)

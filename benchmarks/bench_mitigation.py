@@ -1,0 +1,15 @@
+"""DoS-mitigation extension: Shrew vs TCP victims, EARDet as policer."""
+
+from repro.experiments import mitigation
+
+from conftest import run_once
+
+
+def test_mitigation(benchmark, emit, params):
+    table = run_once(benchmark, mitigation.run, params)
+    emit("mitigation", table)
+    rows = {row[0]: row for row in table.rows}
+    # The policer must recover victim goodput vs no defense, and only the
+    # attacker may be cut off.
+    assert rows["eardet policer"][1] > rows["no defense"][1]
+    assert rows["eardet policer"][3] == "attacker"

@@ -1,0 +1,20 @@
+"""Robustness-against-malicious-inputs extension (the paper's future work)."""
+
+from repro.experiments import robustness
+
+from conftest import run_once
+
+
+def test_robustness(benchmark, emit, params):
+    tables = run_once(benchmark, robustness.run, params)
+    emit("robustness", *tables)
+    riding, churn, framing = tables
+    # EARDet never frames a small flow under any strategy.
+    eardet_riding = next(row for row in riding.rows if row[0] == "eardet")
+    assert eardet_riding[2] == 0
+    eardet_framing = next(row for row in framing.rows if row[0] == "eardet")
+    assert eardet_framing[1] == 0
+    # The shielded accomplice is always caught, inside the bound.
+    for row in churn.rows:
+        assert row[1] == "caught"
+        assert row[2] <= row[3]

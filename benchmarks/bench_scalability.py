@@ -1,0 +1,18 @@
+"""Section 3.4: the modeled memory/line-rate analysis plus measured pps."""
+
+from repro.experiments import scalability
+
+from conftest import run_once
+
+
+def test_scalability_analysis(benchmark, emit):
+    table = run_once(benchmark, scalability.analysis_table)
+    emit("scalability_analysis", table)
+    rows = {row[0]: row for row in table.rows}
+    ipv4 = rows["100 counters, IPv4 keys"]
+    assert ipv4[2] == "L1" and ipv4[4] >= 40  # the 40 Gbps claim
+
+
+def test_measured_python_throughput(benchmark, emit, params):
+    table = run_once(benchmark, scalability.throughput_table, params)
+    emit("scalability_throughput", table)

@@ -1,0 +1,12 @@
+"""Table 2: numerical comparison of EARDet, FMF and AMF."""
+
+from repro.experiments import table2
+
+from conftest import run_once
+
+
+def test_table2(benchmark, emit):
+    table = run_once(benchmark, table2.run)
+    emit("table2", table)
+    eardet_row = table.rows[0]
+    assert eardet_row[1] == "101" and eardet_row[2] == "0" and eardet_row[3] == "0"

@@ -1,0 +1,12 @@
+"""Table 3: qualitative scheme summary, derived from measurements."""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3(benchmark, emit, params):
+    table = run_once(benchmark, table3.run, params)
+    emit("table3", table)
+    cells = {row[0]: row for row in table.rows}
+    assert cells["eardet"][1] == "no" and cells["eardet"][2] == "no"

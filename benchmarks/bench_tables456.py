@@ -1,0 +1,13 @@
+"""Tables 4, 5, 6: datasets, experiment parameters, filter parameters."""
+
+from repro.experiments import tables456
+
+from conftest import run_once
+
+
+def test_tables456(benchmark, emit, params):
+    t4, t5, t6 = run_once(benchmark, tables456.run, scale=max(params.scale, 0.05), seed=params.seed)
+    emit("tables456", t4, t5, t6)
+    by_name = {row[0]: row for row in t5.rows}
+    assert by_name["federico-like"][8] == 107  # paper's n
+    assert by_name["caida-like"][8] == 100

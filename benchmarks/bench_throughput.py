@@ -1,0 +1,111 @@
+"""Detector throughput (Section 3.4's scalability, measured).
+
+Unlike the experiment benches (one timed regeneration), these are true
+micro/meso-benchmarks: pytest-benchmark repeatedly streams the same
+scenario through a fresh detector, yielding statistically meaningful
+packets/second for every scheme — EARDet vs its baselines vs the
+related-work family.
+"""
+
+import pytest
+
+from repro.core.eardet import EARDet
+from repro.core.parallel import ParallelEARDet
+from repro.detectors import (
+    CountMinDetector,
+    ExactLeakyBucketDetector,
+    LandmarkMisraGriesDetector,
+    LossyCountingDetector,
+    SampleAndHold,
+    SampledNetFlow,
+    SlidingWindowDetector,
+    SpaceSavingDetector,
+)
+from repro.experiments.harness import build_setup
+from repro.traffic.attacks import FloodingAttack
+from repro.traffic.datasets import federico_like
+from repro.traffic.mix import build_attack_scenario
+
+
+@pytest.fixture(scope="module")
+def workload(params):
+    dataset = federico_like(seed=params.seed, scale=min(params.scale, 0.08))
+    setup = build_setup(dataset)
+    scenario = build_attack_scenario(
+        dataset.stream,
+        FloodingAttack(rate=2 * dataset.gamma_h),
+        attack_flows=10,
+        rho=dataset.rho,
+        seed=params.seed,
+    )
+    return setup, list(scenario.stream)
+
+
+def _factories(setup):
+    config = setup.config
+    gamma_h = setup.dataset.gamma_h
+    return {
+        "eardet": lambda: EARDet(config),
+        "eardet-4shards": lambda: ParallelEARDet(config, shards=4),
+        "sliding-mg": lambda: SlidingWindowDetector(
+            window_ns=1_000_000_000, blocks=4,
+            counters=max(1, config.n // 4), beta_report=gamma_h,
+        ),
+        "fmf-55x2": setup.fmf_factory(55),
+        "amf-55x2": setup.amf_factory(55),
+        "exact-per-flow": lambda: ExactLeakyBucketDetector(setup.high),
+        "misra-gries": lambda: LandmarkMisraGriesDetector(
+            counters=config.n, beta_report=config.beta_th
+        ),
+        "lossy-counting": lambda: LossyCountingDetector(
+            epsilon=0.01, beta_report=gamma_h
+        ),
+        "space-saving": lambda: SpaceSavingDetector(
+            slots=config.n, beta_report=gamma_h
+        ),
+        "count-min": lambda: CountMinDetector(
+            rows=2, width=55, beta_report=gamma_h
+        ),
+        "sample-and-hold": lambda: SampleAndHold(
+            byte_sampling_probability=1e-4, threshold=gamma_h
+        ),
+        "netflow-1in100": lambda: SampledNetFlow(
+            sampling_divisor=100, threshold=gamma_h
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [
+        "eardet",
+        "eardet-4shards",
+        "sliding-mg",
+        "fmf-55x2",
+        "amf-55x2",
+        "exact-per-flow",
+        "misra-gries",
+        "lossy-counting",
+        "space-saving",
+        "count-min",
+        "sample-and-hold",
+        "netflow-1in100",
+    ],
+)
+def test_throughput(benchmark, workload, scheme):
+    setup, packets = workload
+    factory = _factories(setup)[scheme]
+
+    def stream_through():
+        detector = factory()
+        observe = detector.observe
+        for packet in packets:
+            observe(packet)
+        return detector
+
+    detector = benchmark(stream_through)
+    benchmark.extra_info["packets"] = len(packets)
+    benchmark.extra_info["packets_per_second"] = round(
+        len(packets) / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["detected_flows"] = len(detector.detected)

@@ -1,0 +1,65 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures
+under pytest-benchmark (timing the regeneration) and *emits* the rendered
+rows/series — to stdout and to ``benchmarks/output/<name>.txt`` — so a
+bench run leaves the reproduced numbers on disk next to the timings.
+
+The workload size is controlled by ``EARDET_BENCH_PRESET``:
+
+- ``quick``  — smallest parameters that exercise every code path,
+- ``bench``  — the default: minutes-scale, statistically meaningful,
+- ``paper``  — the paper's full setup (30 s traces, 10 repetitions,
+  50 attack flows); expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import ExperimentParams
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_PRESETS = {
+    "quick": ExperimentParams.quick(),
+    "bench": ExperimentParams(scale=0.08, repetitions=2, attack_flows=15),
+    "default": ExperimentParams(),
+    "paper": ExperimentParams.paper(),
+}
+
+
+@pytest.fixture(scope="session")
+def params() -> ExperimentParams:
+    """Experiment parameters for this bench run."""
+    name = os.environ.get("EARDET_BENCH_PRESET", "bench")
+    if name not in _PRESETS:
+        raise ValueError(
+            f"EARDET_BENCH_PRESET={name!r}; expected one of {sorted(_PRESETS)}"
+        )
+    return _PRESETS[name]
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table/series set to stdout and to the output dir."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, *items) -> None:
+        text = "\n\n".join(item.render() for item in items)
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment regenerations are seconds-to-minutes long; re-running them
+    for statistical rounds would multiply the bench time for no insight.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Exploring EARDet's design space: how many counters do I need?
+
+Walks through Section 4.6 / Appendix A interactively for a 10 Gbps
+deployment: what's feasible, how the counter budget trades against the
+rate gap and the incubation period, and what configuration the solver
+finally picks.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro.core import theory
+from repro.core.config import (
+    InfeasibleConfigError,
+    beta_delta_bounds,
+    engineer,
+    feasible_counter_range,
+)
+from repro.model import gbps
+
+RHO = gbps(10)            # 10 Gbps link, in bytes/s
+GAMMA_L = RHO // 1000     # protect flows under 0.1% of the link
+BETA_L = 6072
+GAMMA_H = RHO // 100      # catch flows over 1% of the link
+ALPHA = 1518
+
+print(f"Link: {RHO:,} B/s; protect < {GAMMA_L:,} B/s; catch > {GAMMA_H:,} B/s\n")
+
+# ------------------------------------------------- feasibility frontier
+minimum_budget = theory.min_t_upincb(GAMMA_H, GAMMA_L, ALPHA, BETA_L)
+print(f"Smallest feasible incubation budget (Eq. 12): {minimum_budget * 1000:.3f} ms")
+
+too_tight = minimum_budget * 0.5
+try:
+    engineer(RHO, GAMMA_L, BETA_L, GAMMA_H, t_upincb_seconds=too_tight, alpha=ALPHA)
+except InfeasibleConfigError as error:
+    print(f"Asking for {too_tight * 1000:.3f} ms fails as expected:\n  {error}\n")
+
+# ------------------------------------------------- the tradeoff curves
+print("Counter budget vs guarantees (t_upincb = 100 ms):")
+print(f"{'n':>6} {'R_NFN (B/s)':>14} {'rate gap':>9} {'beta_delta range (B)':>24} {'t_incb @2*gamma_h':>18}")
+n_min, n_max = feasible_counter_range(
+    RHO, GAMMA_L, BETA_L, GAMMA_H, t_upincb_seconds=0.1, alpha=ALPHA
+)
+for n in sorted({n_min, 150, 250, 500, n_max}):
+    if not n_min <= n <= n_max:
+        continue
+    lower, upper = beta_delta_bounds(
+        n, RHO, GAMMA_L, BETA_L, GAMMA_H, t_upincb_seconds=0.1, alpha=ALPHA
+    )
+    rnfn = theory.rnfn(RHO, n)
+    beta_th = BETA_L + int(lower) + 1
+    incubation = theory.incubation_bound_seconds(RHO, n, ALPHA, beta_th, 2 * GAMMA_H)
+    print(
+        f"{n:>6} {float(rnfn):>14,.0f} {float(rnfn) / GAMMA_L:>9.2f} "
+        f"{f'[{lower:,.0f}, {upper:,.0f}]':>24} {float(incubation) * 1000:>15.2f} ms"
+    )
+
+# ------------------------------------------------- the solver's choice
+config = engineer(RHO, GAMMA_L, BETA_L, GAMMA_H, t_upincb_seconds=0.1, alpha=ALPHA)
+print(f"\nengineer() picks the minimal corner:\n{config.describe()}")
+print(
+    f"  memory: {config.n} counters "
+    f"(~{config.n * 10} B with IPv4 keys — on-chip SRAM territory)"
+)
+
+assert n_min <= config.n <= n_max
+print("\nOK: chosen configuration sits inside the feasible region.")

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""The whole frequent-items family on one DoS scenario.
+
+Runs EARDet next to every related-work scheme the paper surveys
+(Section 6) — the exact per-flow oracle, Misra-Gries, FMF, AMF, Lossy
+Counting, Space Saving, Count-Min, Sample & Hold, Sampled NetFlow — on a
+single mixed flooding + Shrew scenario, and scores each against exact
+arbitrary-window ground truth.
+
+What to look for in the output:
+
+- only EARDet and the (unscalable) per-flow oracle achieve exactness:
+  all large flows caught, zero small flows accused;
+- landmark-window schemes (Misra-Gries, Lossy Counting, Space Saving,
+  Count-Min, FMF) miss the Shrew flows;
+- state size: EARDet's is fixed at n; several others grow with traffic.
+
+Run:  python examples/related_work_comparison.py
+"""
+
+from repro import EARDet, merge
+from repro.analysis import ExperimentRunner
+from repro.detectors import (
+    CountMinDetector,
+    ExactLeakyBucketDetector,
+    LandmarkMisraGriesDetector,
+    LossyCountingDetector,
+    SampleAndHold,
+    SampledNetFlow,
+    SpaceSavingDetector,
+)
+from repro.experiments.harness import build_setup
+from repro.model import NS_PER_S, milliseconds
+from repro.traffic import (
+    FloodingAttack,
+    ShrewAttack,
+    build_attack_scenario,
+    federico_like,
+)
+from repro.traffic.mix import AttackScenario
+
+dataset = federico_like(scale=0.1, seed=3)
+setup = build_setup(dataset)
+config = setup.config
+gamma_h = dataset.gamma_h
+
+flood = build_attack_scenario(
+    dataset.stream, FloodingAttack(rate=2 * gamma_h), attack_flows=5,
+    rho=dataset.rho, seed=3,
+)
+# One-shot bursts: the period exceeds the trace, so each Shrew flow fires
+# a single 600 ms burst — ground-truth LARGE (it violates TH_h over its own
+# window) but with total volume *below* the landmark schemes' byte
+# thresholds.  This is the arbitrary-window blind spot in its purest form.
+shrew = build_attack_scenario(
+    dataset.stream,
+    ShrewAttack(
+        burst_rate=round(1.2 * gamma_h),
+        burst_duration_ns=milliseconds(600),
+        period_ns=10 * NS_PER_S,
+    ),
+    attack_flows=5, rho=dataset.rho, seed=4, fid_prefix="shrew",
+)
+scenario = AttackScenario(
+    stream=merge(flood.stream, *(shrew.stream.flow(f) for f in shrew.attack_fids)),
+    attack_fids=flood.attack_fids + shrew.attack_fids,
+    filler_fids=(),
+    background_fids=flood.background_fids,
+    congested=False,
+)
+
+runner = ExperimentRunner(setup.high, setup.low)
+runner.register("eardet", lambda: EARDet(config))
+runner.register("exact-oracle", lambda: ExactLeakyBucketDetector(setup.high))
+runner.register("misra-gries", lambda: LandmarkMisraGriesDetector(
+    counters=config.n, beta_report=config.beta_th))
+runner.register("fmf-55x2", setup.fmf_factory(55))
+runner.register("amf-55x2", setup.amf_factory(55))
+runner.register("lossy-count", lambda: LossyCountingDetector(
+    epsilon=0.005, beta_report=gamma_h))
+runner.register("space-saving", lambda: SpaceSavingDetector(
+    slots=config.n, beta_report=gamma_h))
+runner.register("count-min", lambda: CountMinDetector(
+    rows=2, width=55, beta_report=gamma_h))
+runner.register("sample-hold", lambda: SampleAndHold(
+    byte_sampling_probability=5e-5, threshold=gamma_h, seed=1))
+runner.register("netflow-1/100", lambda: SampledNetFlow(
+    sampling_divisor=100, threshold=gamma_h, seed=1))
+
+results = runner.run_scenario(scenario)
+
+print(f"{'scheme':<14} {'floods':>7} {'shrews':>7} {'FP small':>9} {'state':>7} {'exact?':>7}")
+for name, result in results.items():
+    detector = result.detector
+    floods_hit = sum(detector.is_detected(f) for f in flood.attack_fids)
+    shrews_hit = sum(detector.is_detected(f) for f in shrew.attack_fids)
+    print(
+        f"{name:<14} {floods_hit:>5}/5 {shrews_hit:>5}/5 "
+        f"{result.benign_fp.detected:>5}/{result.benign_fp.total:<4}"
+        f"{detector.counter_count():>7} "
+        f"{'YES' if result.classification.is_exact else 'no':>7}"
+    )
+
+eardet = results["eardet"]
+assert eardet.classification.is_exact
+assert results["exact-oracle"].classification.is_exact
+for landmark_scheme in ("fmf-55x2", "lossy-count", "space-saving",
+                        "sample-hold", "netflow-1/100"):
+    missed = sum(
+        not results[landmark_scheme].detector.is_detected(f)
+        for f in shrew.attack_fids
+    )
+    assert missed > 0, f"{landmark_scheme} unexpectedly caught every burst"
+print(
+    "\nOK: EARDet and the per-flow oracle are exact; every "
+    "total-volume/landmark scheme missed one-shot bursts."
+)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Why arbitrary windows matter: the paper's Figure 1, interactive.
+
+Replays the paper's opening example — a bursty flow B that evades the
+landmark-window and sliding-window monitors but is caught over the
+arbitrary window [10 ns, 50 ns) — and then shows the same phenomenon at
+realistic scale: a burst straddling two measurement intervals of a
+fixed-window detector, caught instantly by EARDet.
+
+Run:  python examples/window_models.py
+"""
+
+from repro import EARDet, EARDetConfig, Packet, PacketStream, ThresholdFunction
+from repro.detectors import FixedMultistageFilter
+from repro.experiments import figure1
+from repro.model import NS_PER_S, milliseconds, seconds
+
+# ----------------------------------------------- part 1: the paper's figure
+print(figure1.run().render())
+print()
+
+# ----------------------------------------------- part 2: at realistic scale
+# A 25 MB/s link; contract: 250 KB/s + 15.5 KB burst.  FMF measures
+# 1-second landmark intervals with threshold T = 250 KB.  The attacker
+# sends a single 300 KB burst *straddling* the interval boundary at t=1 s:
+# 150 KB in the last 10 ms of interval 0 and 150 KB in the first 10 ms of
+# interval 1 — each interval sees only 150 KB < T.
+RHO = 25_000_000
+high = ThresholdFunction(gamma=250_000, beta=15_500)
+
+burst = []
+for half, base in enumerate((seconds(1) - milliseconds(10), seconds(1))):
+    for i in range(100):  # 100 x 1500 B = 150 KB per half
+        burst.append(Packet(time=base + i * 100_000, size=1500, fid="straddler"))
+# Some benign chatter so the stream is not degenerate.
+chatter = [
+    Packet(time=i * 40_000_000, size=576, fid=f"benign-{i % 7}") for i in range(60)
+]
+stream = PacketStream(sorted(burst + chatter, key=lambda p: p.time))
+
+fmf = FixedMultistageFilter(
+    stages=2, buckets=55, threshold=250_000, window_ns=NS_PER_S
+)
+eardet = EARDet(
+    EARDetConfig(rho=RHO, n=107, beta_th=6991, beta_l=6072, gamma_l=25_000)
+)
+for packet in stream:
+    fmf.observe(packet)
+    eardet.observe(packet)
+
+window = ThresholdFunction(gamma=high.gamma, beta=high.beta)
+excess = 300_000 - window(milliseconds(20))
+print(
+    f"The straddling burst: 300 KB in 20 ms "
+    f"(exceeds TH_h over that window by {excess:,.0f} B)"
+)
+print(f"  FMF (1 s fixed windows):  {'caught' if fmf.is_detected('straddler') else 'EVADED'}"
+      f" — each interval saw only 150 KB < T = 250 KB")
+print(f"  EARDet (arbitrary windows): "
+      f"{'caught at t=%.4fs' % (eardet.detection_time('straddler') / 1e9) if eardet.is_detected('straddler') else 'evaded'}")
+
+assert not fmf.is_detected("straddler")
+assert eardet.is_detected("straddler")
+assert not any(eardet.is_detected(f"benign-{i}") for i in range(7))
+print("\nOK: the boundary-straddling burst evades the fixed window but not EARDet.")

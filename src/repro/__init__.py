@@ -1,0 +1,60 @@
+"""EARDet reproduction: exact large-flow detection over arbitrary windows.
+
+This package reproduces "Efficient Large Flow Detection over Arbitrary
+Windows: An Algorithm Exact Outside an Ambiguity Region" (Wu, Hsiao, Hu —
+IMC 2014): the EARDet detector itself, the baselines it is evaluated
+against (FMF, AMF, and the broader frequent-items family), traffic and
+attack generators, exact ground-truth labeling, and the experiment harness
+that regenerates every table and figure in the paper.
+
+Quickstart::
+
+    from repro import EARDet, engineer, Packet
+
+    config = engineer(
+        rho=100_000_000,      # 100 MB/s link
+        gamma_l=100_000,      # protect flows under 100 KB/s ...
+        beta_l=6072,          # ... with bursts up to 6072 B
+        gamma_h=1_000_000,    # catch flows over 1 MB/s
+        t_upincb_seconds=1.0, # within a second
+    )
+    detector = EARDet(config)
+    for packet in packets:
+        if detector.observe(packet):
+            print("large flow:", packet.fid)
+"""
+
+from .core import (
+    EARDet,
+    EARDetConfig,
+    InfeasibleConfigError,
+    ParallelEARDet,
+    engineer,
+)
+from .model import (
+    FiveTuple,
+    FlowId,
+    LeakyBucket,
+    Packet,
+    PacketStream,
+    ThresholdFunction,
+    merge,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EARDet",
+    "EARDetConfig",
+    "FiveTuple",
+    "FlowId",
+    "InfeasibleConfigError",
+    "LeakyBucket",
+    "Packet",
+    "ParallelEARDet",
+    "PacketStream",
+    "ThresholdFunction",
+    "engineer",
+    "merge",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Analysis: ground truth, metrics, experiment running, cost models."""
+
+from .dynamics import StateProbe, StateSample, StateTrace
+from .flowstats import FlowStats, analyze_stream, summarize, top_talkers
+from .groundtruth import FlowClass, FlowLabel, GroundTruthLabeler, label_stream
+from .memory import (
+    COUNTER_BITS,
+    IPV4_KEY_BITS,
+    IPV6_KEY_BITS,
+    CacheLevel,
+    MemoryModel,
+    PAPER_MODEL,
+    ScalabilityReport,
+    amf_state_bytes,
+    eardet_accesses_per_packet,
+    eardet_scalability,
+    eardet_state_bytes,
+    multistage_state_bytes,
+)
+from .metrics import (
+    ClassificationOutcome,
+    DetectionStats,
+    IncubationStats,
+    detection_probability,
+    false_positive_probability,
+    incubation_periods,
+    score_classification,
+)
+from .runner import ExperimentRunner, RunResult, average, repeat_average
+
+__all__ = [
+    "COUNTER_BITS",
+    "CacheLevel",
+    "ClassificationOutcome",
+    "DetectionStats",
+    "ExperimentRunner",
+    "FlowClass",
+    "FlowStats",
+    "FlowLabel",
+    "GroundTruthLabeler",
+    "IPV4_KEY_BITS",
+    "IPV6_KEY_BITS",
+    "IncubationStats",
+    "MemoryModel",
+    "PAPER_MODEL",
+    "RunResult",
+    "ScalabilityReport",
+    "StateProbe",
+    "StateSample",
+    "StateTrace",
+    "amf_state_bytes",
+    "analyze_stream",
+    "average",
+    "detection_probability",
+    "eardet_accesses_per_packet",
+    "eardet_scalability",
+    "eardet_state_bytes",
+    "false_positive_probability",
+    "incubation_periods",
+    "label_stream",
+    "multistage_state_bytes",
+    "repeat_average",
+    "score_classification",
+    "summarize",
+    "top_talkers",
+]

@@ -1,0 +1,98 @@
+"""State-dynamics instrumentation: how detector internals evolve over a run.
+
+The paper's guarantees are endpoint properties (who is in ``F`` at the
+end); operators deploying a detector also care about trajectories — how
+full the counter array runs, how large the blacklist gets, how much idle
+bandwidth turns into virtual traffic.  :class:`StateProbe` samples an
+EARDet instance at a fixed period while it processes a stream and
+produces the time series the ``dynamics`` experiment renders.
+
+Sampling is by packet *time*, not packet count, so series from runs at
+different loads are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..core.eardet import EARDet
+from ..model.packet import Packet
+from ..model.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class StateSample:
+    """One snapshot of an EARDet instance's internals."""
+
+    time_ns: int
+    occupied_counters: int
+    blacklist_size: int
+    detections: int
+    packets: int
+    virtual_bytes: int
+    max_counter: int
+
+    @property
+    def time_seconds(self) -> float:
+        return self.time_ns / NS_PER_S
+
+
+@dataclass
+class StateTrace:
+    """The sampled trajectory of one run."""
+
+    samples: List[StateSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self, attribute: str) -> List:
+        """One attribute across all samples (e.g. ``occupied_counters``)."""
+        return [getattr(sample, attribute) for sample in self.samples]
+
+    @property
+    def peak_occupancy(self) -> int:
+        return max(self.series("occupied_counters"), default=0)
+
+    @property
+    def peak_blacklist(self) -> int:
+        return max(self.series("blacklist_size"), default=0)
+
+
+class StateProbe:
+    """Samples an EARDet instance every ``period_ns`` of stream time."""
+
+    def __init__(self, detector: EARDet, period_ns: int):
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        self.detector = detector
+        self.period_ns = period_ns
+        self.trace = StateTrace()
+        self._next_sample_ns = 0
+
+    def observe_stream(self, packets: Iterable[Packet]) -> StateTrace:
+        """Run the detector over the stream, sampling along the way."""
+        detector = self.detector
+        for packet in packets:
+            while packet.time >= self._next_sample_ns:
+                self._sample(self._next_sample_ns)
+                self._next_sample_ns += self.period_ns
+            detector.observe(packet)
+        self._sample(self._next_sample_ns)
+        return self.trace
+
+    def _sample(self, time_ns: int) -> None:
+        detector = self.detector
+        counters = detector.counters
+        self.trace.samples.append(
+            StateSample(
+                time_ns=time_ns,
+                occupied_counters=len(counters),
+                blacklist_size=len(detector.blacklist),
+                detections=len(detector.sink),
+                packets=detector.stats.packets,
+                virtual_bytes=detector.stats.virtual_bytes,
+                max_counter=max(counters.values(), default=0),
+            )
+        )

@@ -1,0 +1,148 @@
+"""Per-flow traffic statistics: the operator's view of a trace.
+
+Detection answers "who crossed the line"; operators usually also want
+the shape of the traffic — top talkers, rate distribution, burstiness —
+both to choose thresholds (Section 4.6 needs a ``gamma_l`` that covers
+the flows you intend to protect) and to sanity-check a trace before
+trusting conclusions drawn from it.  :func:`analyze_stream` computes, in
+one exact-integer pass:
+
+- per-flow totals (bytes, packets, duration, average rate),
+- per-flow *peak* windowed rates over a probe window (the quantity that
+  determines which side of a threshold function a flow falls on),
+- a burstiness index: peak windowed rate over average rate.
+
+:func:`summarize` condenses the population into the table the
+``eardet analyze`` command prints, including suggested threshold
+percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..model.packet import FlowId, Packet
+from ..model.units import NS_PER_S
+from .groundtruth import FlowClass, FlowLabel
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """One flow's statistics."""
+
+    fid: FlowId
+    bytes: int
+    packets: int
+    first_ns: int
+    last_ns: int
+    peak_window_bytes: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.last_ns - self.first_ns
+
+    @property
+    def average_rate_bps(self) -> float:
+        if self.duration_ns == 0:
+            return 0.0
+        return self.bytes * NS_PER_S / self.duration_ns
+
+    def peak_rate_bps(self, window_ns: int) -> float:
+        """Peak rate over the probe window used during analysis."""
+        return self.peak_window_bytes * NS_PER_S / window_ns
+
+    def burstiness(self, window_ns: int) -> float:
+        """Peak windowed rate over average rate (1.0 = perfectly smooth)."""
+        average = self.average_rate_bps
+        if average == 0:
+            return 0.0
+        return self.peak_rate_bps(window_ns) / average
+
+
+def analyze_stream(
+    packets: Iterable[Packet], window_ns: int = NS_PER_S // 10
+) -> Dict[FlowId, FlowStats]:
+    """One-pass per-flow statistics with sliding peak-window tracking.
+
+    The peak window is tracked with a per-flow deque of (time, cumulative
+    bytes) pruned to ``window_ns`` — exact for the set of windows ending
+    at packet arrivals, which is where windowed maxima occur.
+    """
+    if window_ns <= 0:
+        raise ValueError(f"window must be positive, got {window_ns}")
+    state: Dict[FlowId, list] = {}
+    for packet in packets:
+        entry = state.get(packet.fid)
+        if entry is None:
+            # [bytes, packets, first, last, window deque, window bytes, peak]
+            state[packet.fid] = [
+                packet.size, 1, packet.time, packet.time,
+                [(packet.time, packet.size)], packet.size, packet.size,
+            ]
+            continue
+        entry[0] += packet.size
+        entry[1] += 1
+        entry[3] = packet.time
+        window = entry[4]
+        window.append((packet.time, packet.size))
+        entry[5] += packet.size
+        horizon = packet.time - window_ns
+        while window and window[0][0] <= horizon:
+            entry[5] -= window.pop(0)[1]
+        if entry[5] > entry[6]:
+            entry[6] = entry[5]
+    return {
+        fid: FlowStats(
+            fid=fid,
+            bytes=entry[0],
+            packets=entry[1],
+            first_ns=entry[2],
+            last_ns=entry[3],
+            peak_window_bytes=entry[6],
+        )
+        for fid, entry in state.items()
+    }
+
+
+def top_talkers(stats: Dict[FlowId, FlowStats], count: int = 10) -> List[FlowStats]:
+    """The ``count`` largest flows by volume, descending."""
+    return sorted(stats.values(), key=lambda s: s.bytes, reverse=True)[:count]
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize(
+    stats: Dict[FlowId, FlowStats],
+    window_ns: int,
+    labels: Dict[FlowId, FlowLabel] = None,
+):
+    """Population summary rows for the ``eardet analyze`` command.
+
+    Returns a dict of scalar statistics; the CLI renders it.  With
+    ground-truth ``labels`` supplied, adds the class breakdown.
+    """
+    volumes = sorted(s.bytes for s in stats.values())
+    peaks = sorted(s.peak_rate_bps(window_ns) for s in stats.values())
+    summary = {
+        "flows": len(stats),
+        "total_bytes": sum(volumes),
+        "median_flow_bytes": percentile(volumes, 0.5),
+        "p90_flow_bytes": percentile(volumes, 0.9),
+        "median_peak_rate_bps": percentile(peaks, 0.5),
+        "p90_peak_rate_bps": percentile(peaks, 0.9),
+        "p99_peak_rate_bps": percentile(peaks, 0.99),
+        "max_peak_rate_bps": peaks[-1] if peaks else 0.0,
+    }
+    if labels is not None:
+        for flow_class in FlowClass:
+            summary[f"{flow_class.value}_flows"] = sum(
+                1 for label in labels.values() if label.flow_class is flow_class
+            )
+    return summary

@@ -1,0 +1,156 @@
+"""Exact ground-truth labeling: small / medium / large over arbitrary windows.
+
+The paper's flow classes (Section 2.2):
+
+- **large**: some window [t1, t2) has ``vol > TH_h(t2 - t1)``,
+- **small**: every window has ``vol < TH_l(t2 - t1)``,
+- **medium**: neither — the *ambiguity region*.
+
+Checking "exists a violating window" over the uncountably many windows
+reduces exactly to a leaky-bucket peak test (see
+:mod:`repro.model.thresholds`), so labeling a whole trace is a single
+exact-integer pass.  The labeler also records each large flow's
+*violation time* — the earliest packet at which some window first exceeds
+``TH_h`` — which the incubation-period metric measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Optional
+
+from ..model.packet import FlowId, Packet
+from ..model.thresholds import ThresholdFunction
+from ..model.units import NS_PER_S
+
+
+class FlowClass(Enum):
+    """The paper's three flow classes."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+
+@dataclass(frozen=True)
+class FlowLabel:
+    """Ground truth for one flow.
+
+    ``violation_time_ns`` is the earliest time at which the flow's traffic
+    first violated the high-bandwidth threshold (None unless LARGE);
+    a correct detector must flag the flow no earlier than it *could* be
+    known large... and EARDet's no-FNl guarantee requires flagging it no
+    later than the end of the violating window.
+    """
+
+    fid: FlowId
+    flow_class: FlowClass
+    volume: int
+    packets: int
+    violation_time_ns: Optional[int] = None
+
+    @property
+    def is_large(self) -> bool:
+        return self.flow_class is FlowClass.LARGE
+
+    @property
+    def is_small(self) -> bool:
+        return self.flow_class is FlowClass.SMALL
+
+
+class GroundTruthLabeler:
+    """One-pass exact labeler for a packet stream.
+
+    Feeds every packet to two per-flow leaky buckets (rates ``gamma_h``
+    and ``gamma_l``).  A flow is LARGE as soon as the high bucket's level
+    strictly exceeds ``beta_h``; it is SMALL iff the low bucket's peak
+    stays strictly below ``beta_l``; MEDIUM otherwise.
+    """
+
+    def __init__(self, high: ThresholdFunction, low: ThresholdFunction):
+        if low.gamma > high.gamma or low.beta > high.beta:
+            raise ValueError(
+                f"low threshold {low.describe()} must not exceed high "
+                f"threshold {high.describe()}"
+            )
+        self.high = high
+        self.low = low
+        self._high_beta_scaled = high.beta * NS_PER_S
+        self._low_beta_scaled = low.beta * NS_PER_S
+        # Per flow: (high level, low level, last time, volume, packets,
+        # violation time or None, low-exceeded flag), kept as a plain
+        # list for speed.
+        self._state: Dict[FlowId, list] = {}
+
+    def add(self, packet: Packet) -> None:
+        """Fold one packet in (packets must arrive in time order)."""
+        state = self._state.get(packet.fid)
+        size_scaled = packet.size * NS_PER_S
+        if state is None:
+            high_level = size_scaled
+            low_level = size_scaled
+            violation = packet.time if high_level > self._high_beta_scaled else None
+            self._state[packet.fid] = [
+                high_level,
+                low_level,
+                packet.time,
+                packet.size,
+                1,
+                violation,
+                low_level >= self._low_beta_scaled,
+            ]
+            return
+        gap = packet.time - state[2]
+        high_level = max(0, state[0] - self.high.gamma * gap) + size_scaled
+        low_level = max(0, state[1] - self.low.gamma * gap) + size_scaled
+        state[0] = high_level
+        state[1] = low_level
+        state[2] = packet.time
+        state[3] += packet.size
+        state[4] += 1
+        if state[5] is None and high_level > self._high_beta_scaled:
+            state[5] = packet.time
+        if not state[6] and low_level >= self._low_beta_scaled:
+            state[6] = True
+
+    def add_stream(self, packets: Iterable[Packet]) -> "GroundTruthLabeler":
+        for packet in packets:
+            self.add(packet)
+        return self
+
+    def label(self, fid: FlowId) -> FlowLabel:
+        """Ground-truth label for one flow (must have been seen)."""
+        state = self._state[fid]
+        if state[5] is not None:
+            flow_class = FlowClass.LARGE
+        elif state[6]:
+            flow_class = FlowClass.MEDIUM
+        else:
+            flow_class = FlowClass.SMALL
+        return FlowLabel(
+            fid=fid,
+            flow_class=flow_class,
+            volume=state[3],
+            packets=state[4],
+            violation_time_ns=state[5],
+        )
+
+    def labels(self) -> Dict[FlowId, FlowLabel]:
+        """Labels for every flow seen."""
+        return {fid: self.label(fid) for fid in self._state}
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._state
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+
+def label_stream(
+    packets: Iterable[Packet],
+    high: ThresholdFunction,
+    low: ThresholdFunction,
+) -> Dict[FlowId, FlowLabel]:
+    """Convenience: label every flow of a finite stream."""
+    return GroundTruthLabeler(high, low).add_stream(packets).labels()

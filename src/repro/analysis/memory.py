@@ -1,0 +1,163 @@
+"""Memory-footprint and processing-cost model (paper Section 3.4).
+
+The paper's scalability claim — EARDet fits in on-chip SRAM / L1 cache and
+sustains 40 Gbps — is a *numerical analysis*, not a testbed measurement,
+so it is reproducible exactly.  This module implements the same
+arithmetic: synopsis size in bytes as a function of counter count and key
+width, the cache level that size fits into under the paper's commodity
+memory model, and the per-packet processing time / sustainable line rate
+implied by that cache's access latency.
+
+Paper constants (Section 3.4): 3.2 GHz CPU; L1 32 KB @ 4 cycles, L2
+256 KB @ 12 cycles, L3 20 MB @ 30 cycles, DRAM @ 300 cycles; flow keys of
+48 bits (IPv4 address + port) or 144 bits (IPv6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Flow-ID key widths in bits (paper Section 3.4).
+IPV4_KEY_BITS = 48
+IPV6_KEY_BITS = 144
+
+#: Counter width the paper assumes.
+COUNTER_BITS = 32
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the memory hierarchy."""
+
+    name: str
+    size_bytes: int
+    latency_cycles: int
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """A commodity-router CPU model (defaults = the paper's)."""
+
+    clock_hz: float = 3.2e9
+    levels: Tuple[CacheLevel, ...] = (
+        CacheLevel("L1", 32 * 1024, 4),
+        CacheLevel("L2", 256 * 1024, 12),
+        CacheLevel("L3", 20 * 1024 * 1024, 30),
+        CacheLevel("DRAM", 1 << 40, 300),
+    )
+    #: Fixed per-packet cycles for header parsing, hashing and branches,
+    #: on top of the modeled memory accesses.
+    fixed_cycles: int = 10
+
+    def fitting_level(self, state_bytes: int) -> CacheLevel:
+        """Smallest level whose size holds the whole synopsis."""
+        for level in self.levels:
+            if state_bytes <= level.size_bytes:
+                return level
+        return self.levels[-1]
+
+    def cycles_per_packet(self, state_bytes: int, accesses: int) -> float:
+        """Modeled cycles to process one packet with the given number of
+        synopsis memory accesses."""
+        level = self.fitting_level(state_bytes)
+        return self.fixed_cycles + accesses * level.latency_cycles
+
+    def time_per_packet_ns(self, state_bytes: int, accesses: int) -> float:
+        return self.cycles_per_packet(state_bytes, accesses) / self.clock_hz * 1e9
+
+    def sustainable_rate_bps(
+        self, state_bytes: int, accesses: int, packet_bits: int = 1000
+    ) -> float:
+        """Line rate (bits/s) sustainable at the modeled per-packet time,
+        for the paper's medium-sized (1000-bit) packets."""
+        seconds = self.cycles_per_packet(state_bytes, accesses) / self.clock_hz
+        return packet_bits / seconds
+
+
+#: The paper's memory model instance.
+PAPER_MODEL = MemoryModel()
+
+
+def eardet_state_bytes(
+    counters: int, key_bits: int = IPV4_KEY_BITS, counter_bits: int = COUNTER_BITS
+) -> int:
+    """EARDet synopsis size: ``n`` counters plus one flow-ID key each
+    (red-black-tree map; Section 3.4), ignoring the constant extras
+    (floating ground, carryover)."""
+    if counters < 1:
+        raise ValueError(f"counters must be positive, got {counters}")
+    per_counter_bits = counter_bits + key_bits
+    return math.ceil(counters * per_counter_bits / 8)
+
+
+def eardet_accesses_per_packet(counters: int) -> int:
+    """Modeled synopsis accesses per packet: one O(1) hash-map lookup,
+    one update, and an O(log n) ordered-structure adjustment."""
+    return 2 + max(1, math.ceil(math.log2(max(counters, 2))))
+
+
+def multistage_state_bytes(
+    stages: int, buckets: int, counter_bits: int = COUNTER_BITS
+) -> int:
+    """FMF/AMF state: ``d * b`` counters, no keys (hashing is implicit);
+    AMF additionally needs a timestamp per bucket, modeled at 32 bits."""
+    return math.ceil(stages * buckets * counter_bits / 8)
+
+
+def amf_state_bytes(
+    stages: int, buckets: int, counter_bits: int = COUNTER_BITS
+) -> int:
+    """AMF state: counter plus last-drain timestamp per bucket."""
+    return math.ceil(stages * buckets * (counter_bits + 32) / 8)
+
+
+@dataclass(frozen=True)
+class ScalabilityReport:
+    """One detector's Section-3.4-style scalability summary."""
+
+    scheme: str
+    state_bytes: int
+    cache_level: str
+    time_per_packet_ns: float
+    sustainable_gbps: float
+
+    def row(self) -> str:
+        return (
+            f"{self.scheme:<10} {self.state_bytes:>9}B  {self.cache_level:<5}"
+            f" {self.time_per_packet_ns:>7.1f}ns  {self.sustainable_gbps:>7.1f} Gbps"
+        )
+
+
+def eardet_scalability(
+    counters: int,
+    key_bits: int = IPV4_KEY_BITS,
+    model: MemoryModel = PAPER_MODEL,
+    packet_bits: int = 1000,
+    force_level: Optional[str] = None,
+) -> ScalabilityReport:
+    """EARDet's Section-3.4 numbers for a counter budget.
+
+    ``force_level`` pins the state to a named cache level (the paper also
+    quotes the all-state-in-L2 rate) regardless of whether it would fit
+    higher.
+    """
+    state = eardet_state_bytes(counters, key_bits)
+    accesses = eardet_accesses_per_packet(counters)
+    if force_level is None:
+        level = model.fitting_level(state)
+    else:
+        matches = [lvl for lvl in model.levels if lvl.name == force_level]
+        if not matches:
+            raise ValueError(f"unknown cache level {force_level!r}")
+        level = matches[0]
+    cycles = model.fixed_cycles + accesses * level.latency_cycles
+    seconds = cycles / model.clock_hz
+    return ScalabilityReport(
+        scheme="eardet",
+        state_bytes=state,
+        cache_level=level.name,
+        time_per_packet_ns=seconds * 1e9,
+        sustainable_gbps=packet_bits / seconds / 1e9,
+    )

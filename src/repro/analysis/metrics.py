@@ -1,0 +1,178 @@
+"""Evaluation metrics (paper Section 5.2).
+
+Three metrics drive every figure in the evaluation:
+
+- **detection probability** — fraction of generated attack flows the
+  detector reports (Figure 5),
+- **false-positive probability on small flows** — fraction of ground-truth
+  small benign flows the detector wrongly reports (Figure 6),
+- **incubation period** — per detected large flow, the delay from its
+  first threshold violation to its detection (Figure 7).
+
+:class:`ClassificationOutcome` additionally scores a detector against full
+ground truth (FNl on large flows, FPs on small flows, plus the
+ambiguity-region flows where any answer is acceptable), which the
+exactness property tests assert on directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..detectors.base import Detector
+from ..model.packet import FlowId
+from ..model.units import NS_PER_S
+from .groundtruth import FlowClass, FlowLabel
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Detection probability over a designated set of flows."""
+
+    total: int
+    detected: int
+
+    @property
+    def probability(self) -> float:
+        return self.detected / self.total if self.total else 0.0
+
+
+def detection_probability(
+    detector: Detector, fids: Iterable[FlowId]
+) -> DetectionStats:
+    """Fraction of ``fids`` the detector has reported."""
+    fids = list(fids)
+    hit = sum(1 for fid in fids if detector.is_detected(fid))
+    return DetectionStats(total=len(fids), detected=hit)
+
+
+def false_positive_probability(
+    detector: Detector, labels: Dict[FlowId, FlowLabel], fids: Iterable[FlowId]
+) -> DetectionStats:
+    """Fraction of ground-truth SMALL flows among ``fids`` that the
+    detector wrongly reported (the paper's FPs rate)."""
+    small = [
+        fid
+        for fid in fids
+        if fid in labels and labels[fid].flow_class is FlowClass.SMALL
+    ]
+    wrong = sum(1 for fid in small if detector.is_detected(fid))
+    return DetectionStats(total=len(small), detected=wrong)
+
+
+@dataclass(frozen=True)
+class IncubationStats:
+    """Incubation periods (seconds) of detected large flows."""
+
+    periods_seconds: Tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.periods_seconds)
+
+    @property
+    def average(self) -> Optional[float]:
+        if not self.periods_seconds:
+            return None
+        return sum(self.periods_seconds) / len(self.periods_seconds)
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return max(self.periods_seconds) if self.periods_seconds else None
+
+
+def incubation_periods(
+    detector: Detector,
+    labels: Dict[FlowId, FlowLabel],
+    fids: Iterable[FlowId],
+    start_times: Optional[Dict[FlowId, int]] = None,
+) -> IncubationStats:
+    """Incubation periods of the detected LARGE flows among ``fids``.
+
+    The paper defines the incubation period as ``t_a - t_1`` where the
+    flow violates ``TH_h`` over ``[t1, t2)`` and ``t_a`` is the detection
+    time.  ``start_times`` supplies ``t_1`` per flow (e.g. the attack
+    flow's start); when omitted, the ground-truth first-violation time is
+    used — a *later* anchor, so the resulting periods are conservative
+    (never overstate how quick the detector was).
+    """
+    periods: List[float] = []
+    for fid in fids:
+        label = labels.get(fid)
+        if label is None or not label.is_large:
+            continue
+        detected_at = detector.detection_time(fid)
+        if detected_at is None:
+            continue
+        if start_times is not None and fid in start_times:
+            anchor = start_times[fid]
+        else:
+            anchor = label.violation_time_ns
+        periods.append(max(0, detected_at - anchor) / NS_PER_S)
+    return IncubationStats(periods_seconds=tuple(periods))
+
+
+@dataclass
+class ClassificationOutcome:
+    """Full exactness scorecard of one detector run against ground truth.
+
+    The paper's exact-outside-ambiguity-region criterion is
+    ``fn_large == 0 and fp_small == 0``; medium flows may land either way.
+    """
+
+    large_total: int = 0
+    large_detected: int = 0
+    small_total: int = 0
+    small_accused: int = 0
+    medium_total: int = 0
+    medium_detected: int = 0
+    missed_large: List[FlowId] = field(default_factory=list)
+    accused_small: List[FlowId] = field(default_factory=list)
+
+    @property
+    def fn_large(self) -> int:
+        """False negatives on large flows (must be 0 for EARDet)."""
+        return self.large_total - self.large_detected
+
+    @property
+    def fp_small(self) -> int:
+        """False positives on small flows (must be 0 for EARDet)."""
+        return self.small_accused
+
+    @property
+    def is_exact(self) -> bool:
+        """The paper's Definition 1, satisfied or not."""
+        return self.fn_large == 0 and self.fp_small == 0
+
+    def summary(self) -> str:
+        return (
+            f"large {self.large_detected}/{self.large_total} detected, "
+            f"small {self.small_accused}/{self.small_total} falsely accused, "
+            f"medium {self.medium_detected}/{self.medium_total} detected"
+        )
+
+
+def score_classification(
+    detector: Detector, labels: Dict[FlowId, FlowLabel]
+) -> ClassificationOutcome:
+    """Score a detector that has already observed the labeled stream."""
+    outcome = ClassificationOutcome()
+    for fid, label in labels.items():
+        detected = detector.is_detected(fid)
+        if label.flow_class is FlowClass.LARGE:
+            outcome.large_total += 1
+            if detected:
+                outcome.large_detected += 1
+            else:
+                outcome.missed_large.append(fid)
+        elif label.flow_class is FlowClass.SMALL:
+            outcome.small_total += 1
+            if detected:
+                outcome.small_accused += 1
+                outcome.accused_small.append(fid)
+        else:
+            outcome.medium_total += 1
+            if detected:
+                outcome.medium_detected += 1
+    return outcome

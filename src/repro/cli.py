@@ -1,0 +1,427 @@
+"""Command-line entry point: regenerate paper experiments, detect on traces.
+
+Usage::
+
+    eardet list                       # what can be regenerated
+    eardet figure5                    # one experiment at default params
+    eardet all --preset quick         # everything, CI-sized
+    eardet figure6 --scale 1.0 --repetitions 10 --attack-flows 50
+    eardet figure5 --dataset caida    # the CAIDA-like trace instead
+
+    # run the detector on a trace file (csv / binary / pcap):
+    eardet detect --trace capture.pcap --rho 25000000 \\
+        --gamma-l 25000 --beta-l 6072 --gamma-h 250000
+
+(Installed as ``eardet`` via the package's console script; also runnable
+as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from .core.config import engineer
+from .core.eardet import EARDet
+from .experiments import (
+    ablations,
+    appendix_a,
+    dynamics,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    mitigation,
+    robustness,
+    scalability,
+    table2,
+    table3,
+    tables456,
+    window_models,
+)
+from .experiments.report import ExperimentParams, Table
+from .model.units import NS_PER_S
+
+
+def _as_list(result) -> List:
+    if isinstance(result, (list, tuple)):
+        return list(result)
+    return [result]
+
+
+#: Experiment registry: name -> callable(params) -> renderable(s).
+EXPERIMENTS: Dict[str, Callable[[ExperimentParams], List]] = {
+    "figure1": lambda params: _as_list(figure1.run()),
+    "table2": lambda params: _as_list(table2.run()),
+    "table3": lambda params: _as_list(table3.run(params)),
+    "tables456": lambda params: _as_list(tables456.run(scale=params.scale, seed=params.seed)),
+    "figure5": lambda params: _as_list(figure5.run(params)),
+    "figure6": lambda params: _as_list(figure6.run(params)),
+    "figure7": lambda params: _as_list(figure7.run(params)),
+    "figure8": lambda params: _as_list(figure8.run()),
+    "appendix-a": lambda params: _as_list(appendix_a.run()),
+    "scalability": lambda params: _as_list(scalability.run(params)),
+    "ablations": lambda params: _as_list(ablations.run(params)),
+    "dynamics": lambda params: _as_list(dynamics.run(params)),
+    "window-models": lambda params: _as_list(window_models.run(params)),
+    "mitigation": lambda params: _as_list(mitigation.run(params)),
+    "robustness": lambda params: _as_list(robustness.run(params)),
+}
+
+PRESETS = {
+    "quick": ExperimentParams.quick,
+    "default": ExperimentParams,
+    "paper": ExperimentParams.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eardet",
+        description=(
+            "Regenerate the EARDet paper's tables and figures, or run the "
+            "detector over a trace file."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["list", "all", "detect", "analyze", "simulate", *EXPERIMENTS],
+        help=(
+            "experiment to run ('list' to enumerate, 'all' for everything, "
+            "'detect'/'analyze' to process a trace file, 'simulate' for the "
+            "closed-loop mitigation pipeline)"
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="default",
+        help="parameter preset (quick/default/paper)",
+    )
+    parser.add_argument("--scale", type=float, help="trace scale override")
+    parser.add_argument(
+        "--repetitions", type=int, help="repetitions-per-point override"
+    )
+    parser.add_argument(
+        "--attack-flows", type=int, help="attack flows per scenario override"
+    )
+    parser.add_argument("--seed", type=int, help="base RNG seed override")
+    parser.add_argument(
+        "--dataset",
+        choices=["federico", "caida"],
+        help="which synthetic dataset the trace-driven experiments use",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit experiment results as JSON instead of text tables",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="draw figure series as ASCII charts instead of tables",
+    )
+
+    detect = parser.add_argument_group("detect options")
+    detect.add_argument("--trace", help="trace file (.csv, .ert, or .pcap)")
+    detect.add_argument("--rho", type=int, help="link capacity, bytes/s")
+    detect.add_argument(
+        "--gamma-l", type=int, help="protected rate, bytes/s (detect)"
+    )
+    detect.add_argument(
+        "--beta-l", type=int, default=6072, help="protected burst, bytes"
+    )
+    detect.add_argument(
+        "--gamma-h", type=int, help="detection rate, bytes/s (detect)"
+    )
+    detect.add_argument(
+        "--t-upincb", type=float, default=1.0,
+        help="incubation-period budget, seconds",
+    )
+    detect.add_argument(
+        "--host-pair", action="store_true",
+        help="define flows by (src, dst) instead of the 5-tuple (pcap only)",
+    )
+    detect.add_argument(
+        "--window-ms", type=float, default=100.0,
+        help="probe window for peak-rate statistics (analyze)",
+    )
+    detect.add_argument(
+        "--top", type=int, default=10, help="top talkers to list (analyze)"
+    )
+
+    sim = parser.add_argument_group("simulate options")
+    sim.add_argument(
+        "--bottleneck", type=int, default=2_000_000,
+        help="bottleneck capacity, bytes/s (simulate)",
+    )
+    sim.add_argument(
+        "--victims", type=int, default=4, help="TCP-like victims (simulate)"
+    )
+    sim.add_argument(
+        "--burst-kb", type=int, default=120,
+        help="attacker burst size, KB (simulate)",
+    )
+    sim.add_argument(
+        "--period-ms", type=int, default=500,
+        help="attacker burst period, ms (simulate)",
+    )
+    sim.add_argument(
+        "--duration-s", type=float, default=20.0,
+        help="simulated duration, seconds (simulate)",
+    )
+    sim.add_argument(
+        "--no-policer", action="store_true",
+        help="run without the EARDet policer (simulate)",
+    )
+    return parser
+
+
+def resolve_params(args: argparse.Namespace) -> ExperimentParams:
+    base = PRESETS[args.preset]()
+    overrides = {
+        name: value
+        for name, value in (
+            ("scale", args.scale),
+            ("repetitions", args.repetitions),
+            ("attack_flows", args.attack_flows),
+            ("seed", args.seed),
+            ("dataset", args.dataset),
+        )
+        if value is not None
+    }
+    if not overrides:
+        return base
+    return replace(base, **overrides)
+
+
+def load_trace(path: str, by_host_pair: bool = False):
+    """Load a trace by extension: .csv, .ert (binary), or .pcap."""
+    from .traffic import pcap, trace_io
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return trace_io.read_csv(path)
+    if suffix == ".ert":
+        return trace_io.read_binary(path)
+    if suffix in (".pcap", ".cap"):
+        stream, _ = pcap.read_pcap(path, by_host_pair=by_host_pair)
+        return stream
+    raise SystemExit(
+        f"unsupported trace extension {suffix!r}; expected .csv, .ert or .pcap"
+    )
+
+
+def run_detect(args: argparse.Namespace) -> int:
+    """The ``detect`` command: engineer a config and process a trace."""
+    missing = [
+        flag
+        for flag, value in (
+            ("--trace", args.trace),
+            ("--rho", args.rho),
+            ("--gamma-l", args.gamma_l),
+            ("--gamma-h", args.gamma_h),
+        )
+        if value is None
+    ]
+    if missing:
+        raise SystemExit(f"detect requires {', '.join(missing)}")
+    stream = load_trace(args.trace, by_host_pair=args.host_pair)
+    config = engineer(
+        rho=args.rho,
+        gamma_l=args.gamma_l,
+        beta_l=args.beta_l,
+        gamma_h=args.gamma_h,
+        t_upincb_seconds=args.t_upincb,
+    )
+    print(config.describe())
+    stats = stream.stats()
+    print(
+        f"trace: {stats.packet_count} packets, {stats.flow_count} flows, "
+        f"{stats.total_bytes} bytes over {stats.duration_ns / NS_PER_S:.3f}s"
+    )
+    detector = EARDet(config).observe_stream(stream)
+    table = Table(
+        title=f"Large flows detected in {args.trace}",
+        headers=["flow", "detected at (s)"],
+    )
+    for fid, time_ns in sorted(
+        detector.detected.items(), key=lambda item: item[1]
+    ):
+        table.add_row(str(fid), round(time_ns / NS_PER_S, 6))
+    if not detector.detected:
+        table.add_note("no flow violated the high-bandwidth threshold")
+    print(table.render())
+    return 0
+
+
+def run_analyze(args: argparse.Namespace) -> int:
+    """The ``analyze`` command: per-flow statistics of a trace, plus the
+    ground-truth class breakdown when thresholds are given."""
+    from .analysis.flowstats import analyze_stream, summarize, top_talkers
+    from .analysis.groundtruth import label_stream
+    from .model.thresholds import ThresholdFunction
+    from .model.units import bytes_to_human, rate_to_human
+
+    if args.trace is None:
+        raise SystemExit("analyze requires --trace")
+    stream = load_trace(args.trace, by_host_pair=args.host_pair)
+    window_ns = max(1, round(args.window_ms * 1_000_000))
+    stats = analyze_stream(stream, window_ns=window_ns)
+    labels = None
+    if args.gamma_h and args.gamma_l:
+        config = engineer(
+            rho=args.rho,
+            gamma_l=args.gamma_l,
+            beta_l=args.beta_l,
+            gamma_h=args.gamma_h,
+            t_upincb_seconds=args.t_upincb,
+        )
+        labels = label_stream(
+            stream,
+            high=ThresholdFunction(gamma=args.gamma_h, beta=config.beta_h),
+            low=ThresholdFunction(gamma=args.gamma_l, beta=args.beta_l),
+        )
+    summary = summarize(stats, window_ns, labels=labels)
+    overview = Table(title=f"Trace overview: {args.trace}", headers=["metric", "value"])
+    for key, value in summary.items():
+        if key.endswith("bytes"):
+            value = bytes_to_human(value)
+        elif key.endswith("bps"):
+            value = rate_to_human(value)
+        overview.add_row(key.replace("_", " "), value)
+    print(overview.render())
+    print()
+    talkers = Table(
+        title=f"Top {args.top} talkers (peak over {args.window_ms:g} ms windows)",
+        headers=["flow", "bytes", "packets", "avg rate", "peak rate", "burstiness"],
+    )
+    for flow in top_talkers(stats, count=args.top):
+        talkers.add_row(
+            str(flow.fid),
+            bytes_to_human(flow.bytes),
+            flow.packets,
+            rate_to_human(flow.average_rate_bps),
+            rate_to_human(flow.peak_rate_bps(window_ns)),
+            round(flow.burstiness(window_ns), 2),
+        )
+    print(talkers.render())
+    return 0
+
+
+def run_simulate(args: argparse.Namespace) -> int:
+    """The ``simulate`` command: the Shrew-vs-TCP mitigation pipeline with
+    CLI-tunable parameters (see repro.simulation)."""
+    from .model.units import milliseconds, rate_to_human, seconds
+    from .simulation import (
+        AimdSource,
+        ConstantBitRateSource,
+        ShrewSource,
+        simulate,
+    )
+
+    rho = args.bottleneck
+    access_rate = 10 * rho
+    sources = [
+        AimdSource(fid=f"victim-{index}", max_cwnd=30)
+        for index in range(args.victims)
+    ] + [
+        ConstantBitRateSource(fid="background", rate=max(1, rho // 20)),
+        ShrewSource(
+            fid="attacker",
+            burst_bytes=args.burst_kb * 1_000,
+            period_ns=milliseconds(args.period_ms),
+            link_rate=access_rate,
+        ),
+    ]
+    detector = None
+    if not args.no_policer:
+        config = engineer(
+            rho=13 * rho,  # the ingress aggregate the policer watches
+            gamma_l=max(1, round(0.175 * rho)),
+            beta_l=20_000,
+            gamma_h=max(2, round(0.4 * rho)),
+            t_upincb_seconds=1.0,
+        )
+        detector = EARDet(config)
+        print(f"policer: {config.describe().splitlines()[0]}")
+    result = simulate(
+        sources,
+        rho=rho,
+        buffer_bytes=max(10_000, rho // 60),
+        duration_ns=seconds(args.duration_s),
+        slot_ns=milliseconds(100),
+        detector=detector,
+    )
+    table = Table(
+        title=(
+            f"Mitigation simulation: {args.victims} victims vs "
+            f"{args.burst_kb} KB bursts every {args.period_ms} ms"
+        ),
+        headers=["flow", "offered", "delivered", "policed", "goodput"],
+    )
+    for fid, outcome in result.flows.items():
+        table.add_row(
+            str(fid),
+            outcome.offered_bytes,
+            outcome.delivered_bytes,
+            outcome.policed_bytes,
+            rate_to_human(result.goodput_bps(fid)),
+        )
+    if detector is not None:
+        table.add_note(
+            "cut off: "
+            + (", ".join(map(str, result.detected_flows())) or "nobody")
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "detect":
+        return run_detect(args)
+    if args.experiment == "analyze":
+        return run_analyze(args)
+    if args.experiment == "simulate":
+        return run_simulate(args)
+    params = resolve_params(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        if args.json:
+            import json
+
+            from .experiments.report import to_dict
+
+            payload = {
+                name: [to_dict(item) for item in EXPERIMENTS[name](params)]
+                for name in names
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            from .experiments.charts import render_chart
+            from .experiments.report import SeriesSet
+
+            for name in names:
+                for item in EXPERIMENTS[name](params):
+                    if args.chart and isinstance(item, SeriesSet):
+                        print(render_chart(item))
+                    else:
+                        print(item.render())
+                    print()
+    except BrokenPipeError:
+        # Downstream pager/`head` closed early; exit quietly.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

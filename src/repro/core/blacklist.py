@@ -1,0 +1,101 @@
+"""EARDet's bounded local blacklist (paper Section 3.3).
+
+The blacklist stores recently identified large flows so their counters stop
+being incremented once past the counter threshold.  To bound its size
+against algorithmic-complexity attacks the paper prunes any blacklisted
+flow that is *no longer stored in the counters*: removal cannot affect the
+no-FNl / no-FPs guarantees because whether a flow is caught never depends
+on other flows' behaviour, and a complete history of detections is kept by
+the remote report sink (Figure 2), not by the detector.
+
+:class:`Blacklist` implements the bounded local list; :class:`ReportSink`
+models the remote server's complete copy of the detected set ``F`` together
+with first-detection timestamps, which the evaluation metrics (incubation
+period) need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+from ..model.packet import FlowId
+
+
+class ReportSink:
+    """The remote administrator's complete record of detected flows.
+
+    Keeps every flow ever reported and the time of its *first* report —
+    re-reports of the same flow (e.g. after blacklist pruning and
+    re-detection) do not move the timestamp.
+    """
+
+    def __init__(self) -> None:
+        self._first_detection: Dict[FlowId, int] = {}
+
+    def report(self, fid: FlowId, time_ns: int) -> bool:
+        """Record a detection; returns True if the flow is new to the sink."""
+        if fid in self._first_detection:
+            return False
+        self._first_detection[fid] = time_ns
+        return True
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._first_detection
+
+    def __len__(self) -> int:
+        return len(self._first_detection)
+
+    def __iter__(self) -> Iterator[FlowId]:
+        return iter(self._first_detection)
+
+    def detection_time(self, fid: FlowId) -> Optional[int]:
+        """First detection time (ns) of a flow, or None if never detected."""
+        return self._first_detection.get(fid)
+
+    def as_dict(self) -> Dict[FlowId, int]:
+        """Snapshot of ``{fid: first detection time}``."""
+        return dict(self._first_detection)
+
+    def reset(self) -> None:
+        self._first_detection.clear()
+
+
+class Blacklist:
+    """Bounded set of currently-blacklisted flow IDs.
+
+    The detector adds a flow when its counter crosses the threshold and
+    calls :meth:`prune` with the set of currently-stored flows; any
+    blacklisted flow that lost its counter is dropped, so ``len(blacklist)``
+    never exceeds the number of counters.
+    """
+
+    def __init__(self) -> None:
+        self._flows: Set[FlowId] = set()
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowId]:
+        return iter(self._flows)
+
+    def add(self, fid: FlowId) -> None:
+        """Blacklist a flow."""
+        self._flows.add(fid)
+
+    def discard(self, fid: FlowId) -> None:
+        """Remove a flow if present."""
+        self._flows.discard(fid)
+
+    def prune(self, stored: Set[FlowId]) -> int:
+        """Drop every blacklisted flow not in ``stored``; return the number
+        pruned."""
+        stale = self._flows - stored
+        if stale:
+            self._flows -= stale
+        return len(stale)
+
+    def reset(self) -> None:
+        self._flows.clear()

@@ -1,0 +1,315 @@
+"""Counter stores for EARDet.
+
+EARDet (Algorithm 1 in the paper) keeps at most ``n`` non-zero counters in
+an associative array indexed by flow ID and must support four operations at
+line rate:
+
+- look up / increment the counter of a stored flow,
+- insert a new flow into an empty slot,
+- *decrement all* non-zero counters by ``d = min(w, min_j c_j)`` and drop
+  the ones that hit zero,
+- find the minimum counter value.
+
+Section 3.3 of the paper describes the key optimization this module
+implements: counter values are kept **relative to a floating ground**
+``c_ground``.  The decrement-all operation then becomes a single addition
+to the ground, and a counter is logically zero (and removable) when its
+absolute value is <= the ground.
+
+Two interchangeable implementations are provided:
+
+- :class:`ReferenceCounterStore` — direct O(n)-per-operation translation of
+  the paper's pseudocode, kept as the behavioural oracle for differential
+  tests;
+- :class:`HeapCounterStore` — the floating-ground structure with an
+  O(log n) lazy min-heap, mirroring the paper's "balanced search tree or
+  heap" suggestion.
+
+Both enforce the same invariants and are exercised against each other by
+property-based tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Tuple
+
+from ..model.packet import FlowId
+
+
+class CounterStoreError(RuntimeError):
+    """Raised on misuse of the counter-store API (bug in the caller)."""
+
+
+class CounterStore(ABC):
+    """Abstract interface shared by the reference and optimized stores.
+
+    All values are integers (bytes).  A flow is *stored* when it occupies a
+    slot with a strictly positive value; stores never hold zero-valued
+    entries.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+
+    # -- queries ----------------------------------------------------------
+
+    @abstractmethod
+    def __contains__(self, fid: FlowId) -> bool:
+        """Whether ``fid`` currently occupies a slot."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of occupied slots."""
+
+    @abstractmethod
+    def get(self, fid: FlowId) -> int:
+        """Current value of a stored flow (raises if not stored)."""
+
+    @abstractmethod
+    def min_value(self) -> int:
+        """Minimum value among stored flows (raises if empty)."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[FlowId, int]]:
+        """Iterate ``(fid, value)`` pairs in unspecified order."""
+
+    @property
+    def free_slots(self) -> int:
+        """Number of unoccupied slots."""
+        return self.capacity - len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no flow is stored."""
+        return len(self) == 0
+
+    @property
+    def is_full(self) -> bool:
+        """True when every slot is occupied."""
+        return len(self) == self.capacity
+
+    # -- mutations ---------------------------------------------------------
+
+    @abstractmethod
+    def increment(self, fid: FlowId, amount: int) -> int:
+        """Add ``amount`` to a stored flow's counter; return the new value."""
+
+    @abstractmethod
+    def insert(self, fid: FlowId, value: int) -> None:
+        """Store a new flow with a positive value in a free slot."""
+
+    @abstractmethod
+    def decrement_all(self, amount: int) -> None:
+        """Subtract ``amount`` from every stored counter and evict the ones
+        that reach zero.  ``amount`` must not exceed :meth:`min_value` (the
+        algorithm always passes ``min(w, min value)``)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Evict everything."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def as_dict(self) -> Dict[FlowId, int]:
+        """Snapshot of the stored flows (for tests and reporting)."""
+        return dict(self.items())
+
+    def _check_increment(self, fid: FlowId, amount: int) -> None:
+        if amount < 0:
+            raise CounterStoreError(f"negative increment {amount}")
+        if fid not in self:
+            raise CounterStoreError(f"increment of unstored flow {fid!r}")
+
+    def _check_insert(self, fid: FlowId, value: int) -> None:
+        if value <= 0:
+            raise CounterStoreError(f"insert with non-positive value {value}")
+        if fid in self:
+            raise CounterStoreError(f"insert of already-stored flow {fid!r}")
+        if self.is_full:
+            raise CounterStoreError("insert into a full store")
+
+    def _check_decrement(self, amount: int) -> None:
+        if amount < 0:
+            raise CounterStoreError(f"negative decrement {amount}")
+        if amount > 0 and (self.is_empty or amount > self.min_value()):
+            raise CounterStoreError(
+                f"decrement {amount} exceeds the minimum stored value; "
+                "Algorithm 1 only ever decrements by min(w, min counter)"
+            )
+
+
+class ReferenceCounterStore(CounterStore):
+    """Straightforward dict-based store; O(n) decrement and min.
+
+    This is the executable specification: every operation manipulates
+    absolute counter values exactly as the paper's pseudocode describes.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._values: Dict[FlowId, int] = {}
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, fid: FlowId) -> int:
+        return self._values[fid]
+
+    def min_value(self) -> int:
+        if not self._values:
+            raise CounterStoreError("min of an empty store")
+        return min(self._values.values())
+
+    def items(self) -> Iterator[Tuple[FlowId, int]]:
+        return iter(list(self._values.items()))
+
+    def increment(self, fid: FlowId, amount: int) -> int:
+        self._check_increment(fid, amount)
+        self._values[fid] += amount
+        return self._values[fid]
+
+    def insert(self, fid: FlowId, value: int) -> None:
+        self._check_insert(fid, value)
+        self._values[fid] = value
+
+    def decrement_all(self, amount: int) -> None:
+        self._check_decrement(amount)
+        if amount == 0:
+            return
+        survivors = {}
+        for fid, value in self._values.items():
+            remaining = value - amount
+            if remaining > 0:
+                survivors[fid] = remaining
+        self._values = survivors
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class HeapCounterStore(CounterStore):
+    """Floating-ground store with a lazily-pruned min-heap.
+
+    Each stored flow has an *absolute* value ``a = c + ground`` where ``c``
+    is its logical counter.  ``decrement_all(d)`` raises the ground by
+    ``d``; entries whose absolute value is <= the ground are logically zero
+    and evicted.  Increments push a fresh heap entry and invalidate the old
+    one via a per-flow version number (classic lazy deletion), giving
+    O(log n) amortized updates — the paper's Section 3.3 structure.
+
+    To mirror the paper's "periodically reset the floating ground to
+    prevent counter overflow", the store rebases automatically once the
+    ground passes :data:`REBASE_THRESHOLD` (irrelevant for Python's big
+    ints, but kept so the structure matches a fixed-width implementation
+    and the rebase path stays tested).
+    """
+
+    #: Ground level that triggers an automatic rebase (2**40 ~ 1 TB of
+    #: decrements, comfortably within a 64-bit counter budget).
+    REBASE_THRESHOLD = 1 << 40
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._ground = 0
+        #: fid -> (absolute value, version)
+        self._entries: Dict[FlowId, Tuple[int, int]] = {}
+        #: heap of (absolute value, version, fid); stale entries are pruned
+        #: lazily when they surface at the top.
+        self._heap: List[Tuple[int, int, FlowId]] = []
+        self._version = 0
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fid: FlowId) -> int:
+        absolute, _ = self._entries[fid]
+        return absolute - self._ground
+
+    def min_value(self) -> int:
+        top = self._peek()
+        if top is None:
+            raise CounterStoreError("min of an empty store")
+        return top[0] - self._ground
+
+    def items(self) -> Iterator[Tuple[FlowId, int]]:
+        ground = self._ground
+        return iter(
+            [(fid, a - ground) for fid, (a, _) in self._entries.items()]
+        )
+
+    def increment(self, fid: FlowId, amount: int) -> int:
+        self._check_increment(fid, amount)
+        absolute, _ = self._entries[fid]
+        absolute += amount
+        self._store_entry(fid, absolute)
+        return absolute - self._ground
+
+    def insert(self, fid: FlowId, value: int) -> None:
+        self._check_insert(fid, value)
+        self._store_entry(fid, self._ground + value)
+
+    def decrement_all(self, amount: int) -> None:
+        self._check_decrement(amount)
+        if amount == 0:
+            return
+        self._ground += amount
+        # Evict logically-zero flows: absolute value <= ground.
+        while True:
+            top = self._peek()
+            if top is None or top[0] > self._ground:
+                break
+            absolute, version, fid = heapq.heappop(self._heap)
+            del self._entries[fid]
+        if self._ground >= self.REBASE_THRESHOLD:
+            self.rebase()
+
+    def reset(self) -> None:
+        self._ground = 0
+        self._entries.clear()
+        self._heap.clear()
+
+    def rebase(self) -> None:
+        """Rewrite absolute values relative to a zero ground.
+
+        Equivalent to the paper's periodic "reset the floating ground to
+        zero and deduct all counters accordingly"; O(n log n), amortized
+        away by the size of :data:`REBASE_THRESHOLD`.
+        """
+        ground = self._ground
+        self._ground = 0
+        self._version = 0
+        self._heap = []
+        rebased = {}
+        for fid, (absolute, _) in self._entries.items():
+            value = absolute - ground
+            rebased[fid] = (value, 0)
+            self._heap.append((value, 0, fid))
+        self._entries = rebased
+        heapq.heapify(self._heap)
+
+    def _store_entry(self, fid: FlowId, absolute: int) -> None:
+        self._version += 1
+        self._entries[fid] = (absolute, self._version)
+        heapq.heappush(self._heap, (absolute, self._version, fid))
+
+    def _peek(self):
+        """Top of the heap after pruning stale entries, or None if empty."""
+        heap = self._heap
+        entries = self._entries
+        while heap:
+            absolute, version, fid = heap[0]
+            current = entries.get(fid)
+            if current is not None and current == (absolute, version):
+                return heap[0]
+            heapq.heappop(heap)
+        return None

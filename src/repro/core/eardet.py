@@ -1,0 +1,226 @@
+"""EARDet: the paper's core contribution (Algorithm 1).
+
+EARDet is a deterministic one-pass streaming detector built on the
+Misra-Gries frequent-items algorithm, modified in three ways (Section 3.2):
+
+1. a **blacklist** of recently detected large flows, so a counter stops
+   growing once past the threshold and detection work is not repeated;
+2. a **counter threshold** ``beta_TH``: a flow is declared large the moment
+   its counter exceeds it, which (with the blacklist) confines every
+   counter to ``beta_TH + alpha``;
+3. **virtual traffic** filling unused link bandwidth, so the detector
+   measures flows against the link capacity over *arbitrary* time windows
+   rather than against the packet mix.
+
+With ``n`` counters on a link of capacity ``rho`` the resulting guarantees
+(Theorems 4 and 6) hold for any input whatsoever:
+
+- *no-FNl*: every flow violating ``TH_h(t) = gamma_h t + beta_h`` with
+  ``gamma_h >= rho/(n+1)``, ``beta_h >= alpha + 2 beta_TH`` is caught,
+- *no-FPs*: no flow complying with ``TH_l(t) = gamma_l t + beta_l`` with
+  ``beta_l < beta_TH``, ``gamma_l < R_NFP`` is ever caught.
+
+The implementation keeps all arithmetic exact (integer bytes / nanoseconds
+/ byte-nanoseconds), so those guarantees are testable as hard assertions;
+see ``tests/test_properties_eardet.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..detectors.base import Detector
+from ..model.packet import FlowId, Packet
+from ..model.units import NS_PER_S
+from .blacklist import Blacklist
+from .config import EARDetConfig
+from .counters import CounterStore, HeapCounterStore
+from .virtual import Carryover, apply_virtual_traffic, apply_virtual_traffic_reference
+
+
+@dataclass
+class EARDetStats:
+    """Operational counters for diagnostics and ablation benchmarks."""
+
+    packets: int = 0
+    blacklisted_packets: int = 0
+    virtual_bytes: int = 0
+    oversubscribed_gaps: int = 0
+    detections: int = 0
+    blacklist_prunes: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class EARDet(Detector):
+    """The EARDet detector.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.core.config.EARDetConfig`, typically produced by
+        :func:`repro.core.config.engineer`.
+    store_factory:
+        Counter-store implementation; the default is the optimized
+        floating-ground heap store.  Pass
+        :class:`~repro.core.counters.ReferenceCounterStore` for the O(n)
+        behavioural oracle.
+    reference_virtual:
+        When True, process virtual traffic with the unit-by-unit reference
+        loop instead of the exactly-equivalent fast path (for differential
+        testing; dramatically slower on idle links).
+    blacklisted_consumes_link:
+        The paper's analysis assumes detected flows are *cut off
+        immediately* (Section 4), i.e. their packets stop consuming link
+        bandwidth.  With the default ``False``, bytes of blacklisted flows
+        are accordingly treated as idle bandwidth (they become virtual
+        traffic).  Set True to model a monitor-only deployment where
+        detected flows keep occupying the wire.
+    """
+
+    name = "eardet"
+
+    def __init__(
+        self,
+        config: EARDetConfig,
+        store_factory: Callable[[int], CounterStore] = HeapCounterStore,
+        reference_virtual: bool = False,
+        blacklisted_consumes_link: bool = False,
+    ):
+        super().__init__()
+        self.config = config
+        self._store: CounterStore = store_factory(config.n)
+        self._blacklist = Blacklist()
+        self._carryover = Carryover()
+        self._apply_virtual = (
+            apply_virtual_traffic_reference
+            if reference_virtual
+            else apply_virtual_traffic
+        )
+        self._blacklisted_consumes_link = blacklisted_consumes_link
+        # Time and size of the last packet that consumed link bandwidth,
+        # used to compute each gap's idle volume (Algorithm 1 line 19).
+        self._last_time = 0
+        self._last_size = 0
+        self._started = False
+        self.stats = EARDetStats()
+
+    # -- Algorithm 1 -------------------------------------------------------
+
+    def _update(self, packet: Packet) -> bool:
+        self.stats.packets += 1
+        fid = packet.fid
+
+        if fid in self._blacklist:
+            if fid in self._store:
+                self.stats.blacklisted_packets += 1
+                if self._blacklisted_consumes_link:
+                    self._fill_idle_bandwidth(packet.time)
+                    self._consume_link(packet)
+                return False
+            # The counter decayed away: the flow leaves the local
+            # blacklist (its detection remains recorded at the sink).
+            self._blacklist.discard(fid)
+            self.stats.blacklist_prunes += 1
+
+        self._fill_idle_bandwidth(packet.time)
+        self._consume_link(packet)
+        self._update_counter(fid, packet.size)
+        return self._detect(fid)
+
+    def _fill_idle_bandwidth(self, now_ns: int) -> None:
+        """Convert the idle bandwidth since the last counted packet into
+        virtual traffic (Algorithm 1 lines 18-22)."""
+        if not self._started:
+            self._started = True
+            self._last_time = now_ns
+            return
+        gap_scaled = self.config.rho * (now_ns - self._last_time)
+        idle_scaled = gap_scaled - self._last_size * NS_PER_S
+        if idle_scaled < 0:
+            # The stream oversubscribes the link (only possible with
+            # synthetic input); there is no idle bandwidth to fill.
+            self.stats.oversubscribed_gaps += 1
+            idle_scaled = 0
+        volume = self._carryover.integerize(idle_scaled)
+        if volume > 0:
+            self.stats.virtual_bytes += volume
+            self._apply_virtual(self._store, volume, self.config.virtual_unit)
+        self._last_time = now_ns
+        self._last_size = 0
+
+    def _consume_link(self, packet: Packet) -> None:
+        """Record that this packet's bytes occupy the wire, so the next
+        gap's idle volume subtracts them."""
+        if packet.time == self._last_time:
+            self._last_size += packet.size
+        else:
+            self._last_time = packet.time
+            self._last_size = packet.size
+        self._started = True
+
+    def _update_counter(self, fid: FlowId, size: int) -> None:
+        """Misra-Gries update with byte weights (Algorithm 1 lines 10-17)."""
+        store = self._store
+        if fid in store:
+            store.increment(fid, size)
+        elif not store.is_full:
+            store.insert(fid, size)
+        else:
+            decrement = min(size, store.min_value())
+            store.decrement_all(decrement)
+            leftover = size - decrement
+            if leftover > 0:
+                store.insert(fid, leftover)
+
+    def _detect(self, fid: FlowId) -> bool:
+        """Counter-threshold check plus blacklist upkeep (lines 21-22)."""
+        store = self._store
+        if fid in store and store.get(fid) > self.config.beta_th:
+            self._blacklist.add(fid)
+            self.stats.detections += 1
+            # Keep the bounded-blacklist invariant |L| <= n by pruning
+            # entries whose counters have decayed away (Section 3.3).
+            stored = {stored_fid for stored_fid, _ in store.items()}
+            self.stats.blacklist_prunes += self._blacklist.prune(stored)
+            return True
+        return False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[FlowId, int]:
+        """Snapshot of the current non-zero counters (includes leftover
+        virtual-flow counters)."""
+        return self._store.as_dict()
+
+    @property
+    def blacklist(self) -> Blacklist:
+        """The bounded local blacklist."""
+        return self._blacklist
+
+    @property
+    def carryover_bytes(self) -> float:
+        """Current virtual-traffic carryover, in fractional bytes."""
+        return self._carryover.remainder_bytes
+
+    def counter_count(self) -> int:
+        return self.config.n
+
+    def _reset_state(self) -> None:
+        self._store.reset()
+        self._blacklist.reset()
+        self._carryover.reset()
+        self._last_time = 0
+        self._last_size = 0
+        self._started = False
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"EARDet(n={self.config.n}, beta_th={self.config.beta_th}, "
+            f"detected={len(self.sink)})"
+        )

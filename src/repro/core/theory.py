@@ -1,0 +1,176 @@
+"""Closed-form theory from Section 4 of the paper.
+
+Every theorem the paper states about EARDet has a corresponding function
+here, so tests and experiments can check measured behaviour against the
+analytical guarantee:
+
+- Theorem 4 (no-FNl):   :func:`rnfn`, :func:`beta_h_guarantee`
+- Theorem 6 (no-FPs):   :func:`rnfp`
+- Section 4.3:          :func:`min_rate_gap`, :func:`min_rate_gap_approx`,
+                        :func:`min_burst_gap`
+- Theorem 7:            :func:`incubation_bound_seconds`,
+                        :func:`min_counters_for_rate`
+- Appendix A (Eq. 12):  :func:`solvable`, :func:`min_t_upincb`
+
+Rates are bytes/second, sizes bytes; functions return exact
+:class:`fractions.Fraction` values where the paper's inequalities are
+strict, so callers can make exact threshold decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+
+def rnfn(rho: int, n: int) -> Fraction:
+    """No-FNl rate ``R_NFN = rho / (n + 1)`` (Theorem 4).
+
+    Any flow with ``gamma_h >= R_NFN`` (and ``beta_h >= alpha + 2 beta_TH``)
+    is guaranteed caught.
+    """
+    _check_counters(n)
+    return Fraction(rho, n + 1)
+
+
+def beta_h_guarantee(alpha: int, beta_th: int) -> int:
+    """Minimum ``beta_h`` for the no-FNl guarantee:
+    ``beta_h = alpha + 2 * beta_TH`` (Theorem 4)."""
+    return alpha + 2 * beta_th
+
+
+def rnfp(rho: int, n: int, alpha: int, beta_l: int, beta_delta: int) -> Fraction:
+    """No-FPs rate ``R_NFP`` (Theorem 6).
+
+    Flows complying with ``TH_l(t) = gamma_l t + beta_l`` are never caught
+    provided ``gamma_l < R_NFP`` and ``0 < beta_l < beta_TH``::
+
+        R_NFP = beta_delta * rho
+                / ((n-1) alpha + (n+1) beta_l + (n+1) beta_delta)
+    """
+    _check_counters(n)
+    if beta_delta <= 0:
+        raise ValueError(f"beta_delta must be positive, got {beta_delta}")
+    denominator = (n - 1) * alpha + (n + 1) * beta_l + (n + 1) * beta_delta
+    return Fraction(beta_delta * rho, denominator)
+
+
+def t_beta_l_seconds(
+    rho: int, n: int, alpha: int, beta_l: int, gamma_l: int
+) -> Fraction:
+    """Lemma 5's settling time ``t_{beta_l}``: once a small flow occupies a
+    counter, the counter stays below ``beta_TH`` after this long::
+
+        t = ((n-1) alpha + (n+1) beta_l) / ((1 - (n+1) gamma_l / rho) rho)
+    """
+    _check_counters(n)
+    denominator = rho - (n + 1) * gamma_l
+    if denominator <= 0:
+        raise ValueError(
+            f"gamma_l={gamma_l} must be below rho/(n+1)={Fraction(rho, n + 1)}"
+        )
+    return Fraction((n - 1) * alpha + (n + 1) * beta_l, denominator)
+
+
+def min_rate_gap(n: int, alpha: int, beta_l: int, beta_delta: int) -> Fraction:
+    """Exact minimum rate gap ``(gamma_h / gamma_l)_min = R_NFN / R_NFP``
+    (Section 4.3)."""
+    _check_counters(n)
+    numerator = (n - 1) * alpha + (n + 1) * (beta_l + beta_delta)
+    return Fraction(numerator, beta_delta * (n + 1))
+
+
+def min_rate_gap_approx(
+    alpha: int, beta_l: int, beta_h: Number
+) -> float:
+    """Equation (2)'s large-n approximation of the minimum rate gap::
+
+        1 + (2 alpha/beta_l + 2) / (beta_h/beta_l - (alpha/beta_l + 2))
+
+    Only valid when the burst gap exceeds ``alpha/beta_l + 2``
+    (:func:`min_burst_gap`).
+    """
+    burst_gap = beta_h / beta_l
+    floor = alpha / beta_l + 2
+    if burst_gap <= floor:
+        raise ValueError(
+            f"burst gap {burst_gap:.3f} must exceed alpha/beta_l + 2 = "
+            f"{floor:.3f} (Section 4.3, observation (a))"
+        )
+    return 1 + (2 * alpha / beta_l + 2) / (burst_gap - floor)
+
+
+def min_burst_gap(alpha: int, beta_l: int) -> float:
+    """The smallest usable burst gap ``beta_h/beta_l > alpha/beta_l + 2``
+    (Section 4.3, observation (a))."""
+    return alpha / beta_l + 2
+
+
+def incubation_bound_seconds(
+    rho: int, n: int, alpha: int, beta_th: int, attack_rate: Number
+) -> Fraction:
+    """Theorem 7's bound on the incubation period of a flow whose average
+    rate exceeds ``attack_rate > rho/(n+1)``::
+
+        t_incb < (alpha + 2 beta_TH) / (R_atk - rho/(n+1))
+    """
+    _check_counters(n)
+    attack = Fraction(attack_rate)
+    margin = attack - Fraction(rho, n + 1)
+    if margin <= 0:
+        raise ValueError(
+            f"attack rate {attack_rate} must exceed R_NFN = rho/(n+1) = "
+            f"{Fraction(rho, n + 1)}"
+        )
+    return Fraction(alpha + 2 * beta_th) / margin
+
+
+def min_counters_for_rate(rho: int, attack_rate: Number) -> int:
+    """Minimum number of counters guaranteeing detection of flows faster
+    than ``attack_rate``: the smallest integer ``n`` with
+    ``rho/(n+1) < attack_rate`` (Section 4.4, ``n > rho/R_atk - 1``)."""
+    attack = Fraction(attack_rate)
+    if attack <= 0:
+        raise ValueError(f"attack rate must be positive, got {attack_rate}")
+    # Smallest n with n + 1 > rho / attack.
+    n = math.floor(Fraction(rho) / attack)
+    if n >= 1 and Fraction(rho, n + 1) >= attack:
+        n += 1
+    return max(n, 2)
+
+
+def min_t_upincb(gamma_h: int, gamma_l: int, alpha: int, beta_l: int) -> float:
+    """Equation (12): the smallest incubation-period budget for which the
+    Appendix-A design problem is solvable::
+
+        t_upincb >= 2 (alpha + beta_l) / (gamma_h + gamma_l - 2 sqrt(gamma_h gamma_l))
+    """
+    if gamma_h <= gamma_l:
+        raise ValueError(
+            f"gamma_h={gamma_h} must exceed gamma_l={gamma_l} (Section 4.3)"
+        )
+    denominator = gamma_h + gamma_l - 2 * math.sqrt(gamma_h * gamma_l)
+    return 2 * (alpha + beta_l) / denominator
+
+
+def solvable(
+    gamma_h: int,
+    gamma_l: int,
+    alpha: int,
+    beta_l: int,
+    t_upincb_seconds: float,
+) -> bool:
+    """Whether the Appendix-A inequality set admits a solution (Eq. 11/12
+    plus ``gamma_h > gamma_l``)."""
+    if gamma_h <= gamma_l:
+        return False
+    m = gamma_h + gamma_l - 2 * (alpha + beta_l) / t_upincb_seconds
+    return m >= 0 and m * m >= 4 * gamma_h * gamma_l
+
+
+def _check_counters(n: int) -> None:
+    if n < 2:
+        raise ValueError(f"EARDet needs at least 2 counters, got n={n}")

@@ -1,0 +1,143 @@
+"""Theorems 2 and 3: bridging landmark-window and arbitrary-window
+guarantees.
+
+Section 3.1 proves two transfer theorems that turn a landmark-window
+algorithm's guarantees into arbitrary-window ones, and notes (as future
+work) that they are "guidelines for designing new arbitrary-window
+algorithms based on existing landmark-window algorithms".  This module
+makes the theorems executable:
+
+- :func:`no_fps_transfer` — Theorem 2: a landmark no-FPs guarantee at
+  ``(gamma'_l, beta'_l)`` transfers verbatim to arbitrary windows.
+- :func:`no_fnl_transfer` — Theorem 3: a landmark no-FNl guarantee at
+  ``(gamma'_h, beta'_h)`` plus a synopsis-boundedness constant ``Delta``
+  yields an arbitrary-window guarantee at
+  ``gamma_h = gamma'_h``, ``beta_h >= beta'_h + gamma_h * Delta``.
+- :func:`eardet_synopsis_distance_bound` — EARDet's L3 constant
+  ``Delta = (beta_TH + alpha) * n / rho`` from Theorem 4's proof.
+- :func:`incompatibility_witness` — the Section 3.1 impossibility: for
+  ANY parameter choice, a witness interval and volume that violates the
+  high threshold over some [t1, t2) while complying with the landmark
+  low threshold over [0, t2) — hence no algorithm satisfies (A2, L2, L3)
+  and (A1, L1) simultaneously, which is exactly why the ambiguity region
+  must exist.
+
+Everything returns exact Fractions; tests cross-check the EARDet
+constants in :mod:`repro.core.theory` against these transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple, Union
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class ArbitraryWindowGuarantee:
+    """An arbitrary-window threshold guarantee ``gamma * t + beta``."""
+
+    gamma: Fraction
+    beta: Fraction
+
+    def threshold_scaled(self, t_ns: int) -> Fraction:
+        """Threshold volume (bytes, exact) for a window of ``t_ns``."""
+        return self.gamma * t_ns / 1_000_000_000 + self.beta
+
+
+def no_fps_transfer(gamma_l_prime: Number, beta_l_prime: Number) -> ArbitraryWindowGuarantee:
+    """Theorem 2: landmark no-FPs at ``(gamma'_l, beta'_l)`` implies
+    arbitrary-window no-FPs at the same parameters.
+
+    (If a flow sends under ``gamma_l (t2-t1) + beta_l`` over every
+    interval, it sends under ``gamma_l t + beta_l`` over every landmark
+    interval ``[0, t)`` in particular.)
+    """
+    return ArbitraryWindowGuarantee(
+        gamma=Fraction(gamma_l_prime), beta=Fraction(beta_l_prime)
+    )
+
+
+def no_fnl_transfer(
+    gamma_h_prime: Number, beta_h_prime: Number, delta_seconds: Number
+) -> ArbitraryWindowGuarantee:
+    """Theorem 3: landmark no-FNl at ``(gamma'_h, beta'_h)`` with synopsis
+    distance bound ``Delta`` implies arbitrary-window no-FNl at
+    ``gamma_h = gamma'_h``, ``beta_h = beta'_h + gamma_h * Delta``.
+    """
+    gamma = Fraction(gamma_h_prime)
+    delta = Fraction(delta_seconds)
+    if delta < 0:
+        raise ValueError(f"Delta must be >= 0, got {delta_seconds}")
+    return ArbitraryWindowGuarantee(
+        gamma=gamma, beta=Fraction(beta_h_prime) + gamma * delta
+    )
+
+
+def eardet_synopsis_distance_bound(
+    rho: int, n: int, beta_th: int, alpha: int
+) -> Fraction:
+    """EARDet's L3 constant: any reachable synopsis is within
+    ``Delta = (beta_TH + alpha) * n / rho`` seconds of the initial state
+    (Theorem 4's proof: at most ``n`` counters, each at most
+    ``beta_TH + alpha``, reconstructible by a back-to-back packet
+    sequence of that total size)."""
+    if rho <= 0:
+        raise ValueError(f"rho must be positive, got {rho}")
+    return Fraction((beta_th + alpha) * n, rho)
+
+
+def eardet_arbitrary_window_guarantee(
+    rho: int, n: int, beta_th: int, alpha: int
+) -> ArbitraryWindowGuarantee:
+    """Theorem 4 derived through Theorem 3: EARDet's landmark guarantee
+    is ``(rho/(n+1), beta_TH)`` (the Misra-Gries argument), its synopsis
+    bound is :func:`eardet_synopsis_distance_bound`, and the transfer
+    yields ``gamma_h = rho/(n+1)``,
+    ``beta_h = beta_TH + n/(n+1) (beta_TH + alpha)`` — which the paper
+    rounds up to the cleaner ``alpha + 2 beta_TH``.
+    """
+    return no_fnl_transfer(
+        gamma_h_prime=Fraction(rho, n + 1),
+        beta_h_prime=beta_th,
+        delta_seconds=eardet_synopsis_distance_bound(rho, n, beta_th, alpha),
+    )
+
+
+def incompatibility_witness(
+    gamma_l_prime: Number,
+    beta_l_prime: Number,
+    gamma_h: Number,
+    beta_h: Number,
+    epsilon_seconds: Number = Fraction(1, 1000),
+) -> Tuple[Fraction, Fraction, Fraction]:
+    """Section 3.1's impossibility construction.
+
+    Returns ``(t1, t2, volume)`` in (seconds, seconds, bytes) such that a
+    flow sending ``volume`` during ``[t1, t2)``:
+
+    - **violates** the high-bandwidth threshold over ``[t1, t2)``
+      (``volume > gamma_h (t2-t1) + beta_h``), yet
+    - **complies** with the landmark low threshold over ``[0, t2)``
+      (``volume <= gamma'_l t2 + beta'_l``).
+
+    Hence no detector can simultaneously promise landmark no-FPs (L1)
+    and arbitrary-window no-FNl (A2): this flow must and must not be
+    reported.  The construction follows the paper: ``t1 = t2 - eps`` and
+    ``t2 > (beta_h - beta'_l + gamma_h eps + 1) / gamma'_l``.
+    """
+    gamma_l_prime = Fraction(gamma_l_prime)
+    beta_l_prime = Fraction(beta_l_prime)
+    gamma_h = Fraction(gamma_h)
+    beta_h = Fraction(beta_h)
+    epsilon = Fraction(epsilon_seconds)
+    if gamma_l_prime <= 0:
+        raise ValueError("gamma'_l must be positive for the construction")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    t2 = (beta_h - beta_l_prime + gamma_h * epsilon + 1) / gamma_l_prime + 1
+    t1 = t2 - epsilon
+    volume = gamma_h * epsilon + beta_h + 1
+    return t1, t2, volume

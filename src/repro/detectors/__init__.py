@@ -1,0 +1,52 @@
+"""Large-flow detectors: EARDet's baselines and the related-work family.
+
+All detectors share the :class:`~repro.detectors.base.Detector` interface,
+so the experiment runner treats them uniformly.  The paper's two
+comparison baselines are :class:`FixedMultistageFilter` (FMF) and
+:class:`ArbitraryMultistageFilter` (AMF); the remaining schemes implement
+the related-work survey of Section 6 for the extended comparison benches.
+"""
+
+from .amf import ArbitraryMultistageFilter
+from .base import Detector
+from .count_min import CountMinDetector, CountMinSketch
+from .exact import ExactLeakyBucketDetector
+from .fmf import FixedMultistageFilter, fp_probability_bound
+from .hashing import StageHash, canonical_key, make_stage_hashes, splitmix64
+from .hybrid import AccountingReport, HybridMonitor
+from .lossy_counting import LossyCounting, LossyCountingDetector
+from .misra_gries import (
+    LandmarkMisraGriesDetector,
+    MisraGries,
+    exact_frequent_flows,
+)
+from .netflow import SampledNetFlow
+from .sample_and_hold import SampleAndHold
+from .sliding_window import SlidingWindowDetector
+from .space_saving import SpaceSaving, SpaceSavingDetector
+
+__all__ = [
+    "AccountingReport",
+    "ArbitraryMultistageFilter",
+    "CountMinDetector",
+    "CountMinSketch",
+    "Detector",
+    "ExactLeakyBucketDetector",
+    "FixedMultistageFilter",
+    "HybridMonitor",
+    "LandmarkMisraGriesDetector",
+    "LossyCounting",
+    "LossyCountingDetector",
+    "MisraGries",
+    "SampleAndHold",
+    "SampledNetFlow",
+    "SlidingWindowDetector",
+    "SpaceSaving",
+    "SpaceSavingDetector",
+    "StageHash",
+    "canonical_key",
+    "exact_frequent_flows",
+    "fp_probability_bound",
+    "make_stage_hashes",
+    "splitmix64",
+]

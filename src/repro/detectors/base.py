@@ -1,0 +1,95 @@
+"""Common interface for all large-flow detectors.
+
+The paper frames a detection algorithm as three operations over a traffic
+synopsis (Section 2.1): ``Init``, ``Update`` and ``Detect``.  This module's
+:class:`Detector` maps them onto a Python API every implementation in
+:mod:`repro.detectors` (and :class:`repro.core.eardet.EARDet`) shares, so
+the experiment runner and metrics treat all schemes uniformly:
+
+- construction            = ``Init``
+- :meth:`observe(packet)` = ``Update`` followed by ``Detect`` on the new
+  packet, returning whether the packet's flow is (now) flagged as large,
+- :attr:`sink`            = the remote server's complete copy of the
+  detected set ``F`` with first-detection times (Figure 2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Optional
+
+from ..core.blacklist import ReportSink
+from ..model.packet import FlowId, Packet
+
+
+class Detector(ABC):
+    """Abstract one-pass large-flow detector.
+
+    Subclasses implement :meth:`_update`, which processes one packet and
+    returns True when the packet's flow crosses the scheme's detection
+    criterion.  The base class owns the report sink and detection
+    bookkeeping, so ``observe`` has identical semantics across schemes:
+    it returns True iff the packet's flow is in the detected set after the
+    packet is processed (a blacklisted flow keeps returning True).
+    """
+
+    #: Short scheme name used in reports; subclasses override.
+    name = "detector"
+
+    def __init__(self) -> None:
+        self.sink = ReportSink()
+
+    def observe(self, packet: Packet) -> bool:
+        """Process one packet; return whether its flow is flagged."""
+        if self._update(packet):
+            self.sink.report(packet.fid, packet.time)
+        return packet.fid in self.sink
+
+    def observe_stream(self, packets: Iterable[Packet]) -> "Detector":
+        """Process a whole stream; returns self for chaining."""
+        for packet in packets:
+            self.observe(packet)
+        return self
+
+    @abstractmethod
+    def _update(self, packet: Packet) -> bool:
+        """Scheme-specific synopsis update; True when the packet's flow
+        meets the detection criterion at this packet."""
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def detected(self) -> Dict[FlowId, int]:
+        """``{flow id: first detection time (ns)}`` for every flow ever
+        reported."""
+        return self.sink.as_dict()
+
+    def is_detected(self, fid: FlowId) -> bool:
+        """Whether a flow has ever been reported."""
+        return fid in self.sink
+
+    def detection_time(self, fid: FlowId) -> Optional[int]:
+        """First detection time of a flow (ns), or None."""
+        return self.sink.detection_time(fid)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the initial state (``Init``)."""
+        self.sink.reset()
+        self._reset_state()
+
+    @abstractmethod
+    def _reset_state(self) -> None:
+        """Scheme-specific state reset."""
+
+    # -- accounting -------------------------------------------------------------
+
+    def counter_count(self) -> int:
+        """Number of counters / buckets the synopsis holds, the unit in
+        which the paper compares memory (Tables 2 and 6).  Schemes without
+        a fixed counter budget report their current state size."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(detected={len(self.sink)})"

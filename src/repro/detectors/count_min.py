@@ -1,0 +1,92 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, J. Algorithms 2005).
+
+Related-work sketch from the paper's Section 6: ``d`` rows of ``w``
+counters with per-row hashes; updates add the weight to one counter per
+row and the estimate is the row-wise minimum, which never undershoots and
+overshoots by at most ``epsilon * total`` with probability
+``1 - delta`` for ``w = ceil(e/epsilon)``, ``d = ceil(ln 1/delta)``.
+
+The paper notes count-min's construction resembles multistage filters but
+supports a richer query set at higher memory cost; the detector wrapper
+here matches FMF's flag criterion (estimate above a byte threshold) so the
+related-work benches can compare the families directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..model.packet import FlowId, Packet
+from .base import Detector
+from .hashing import StageHash, make_stage_hashes
+
+
+class CountMinSketch:
+    """Byte-weighted count-min sketch."""
+
+    def __init__(self, rows: int, width: int, seed: int = 0):
+        if rows < 1 or width < 1:
+            raise ValueError(f"rows and width must be positive, got {rows}x{width}")
+        self.rows = rows
+        self.width = width
+        self.total_weight = 0
+        self._hashes: List[StageHash] = make_stage_hashes(rows, width, seed)
+        self._counters: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Dimension the sketch for overcount <= ``epsilon * total`` with
+        probability >= ``1 - delta``."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        rows = math.ceil(math.log(1 / delta))
+        return cls(rows=max(rows, 1), width=width, seed=seed)
+
+    def add(self, item: FlowId, weight: int = 1) -> None:
+        """Fold one weighted item in."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.total_weight += weight
+        for row, hasher in enumerate(self._hashes):
+            self._counters[row][hasher(item)] += weight
+
+    def estimate(self, item: FlowId) -> int:
+        """Row-wise minimum — an upper bound on the item's true weight."""
+        return min(
+            self._counters[row][hasher(item)]
+            for row, hasher in enumerate(self._hashes)
+        )
+
+    def state_size(self) -> int:
+        return self.rows * self.width
+
+
+class CountMinDetector(Detector):
+    """Count-min sketch as a landmark-window detector (flag when the
+    estimate exceeds ``beta_report``)."""
+
+    name = "count-min"
+
+    def __init__(self, rows: int, width: int, beta_report: int, seed: int = 0):
+        super().__init__()
+        if beta_report <= 0:
+            raise ValueError(f"beta_report must be positive, got {beta_report}")
+        self.rows = rows
+        self.width = width
+        self.beta_report = beta_report
+        self.seed = seed
+        self.sketch = CountMinSketch(rows, width, seed)
+
+    def _update(self, packet: Packet) -> bool:
+        self.sketch.add(packet.fid, packet.size)
+        return self.sketch.estimate(packet.fid) > self.beta_report
+
+    def _reset_state(self) -> None:
+        self.sketch = CountMinSketch(self.rows, self.width, self.seed)
+
+    def counter_count(self) -> int:
+        return self.rows * self.width

@@ -1,0 +1,53 @@
+"""Exact per-flow leaky-bucket detector (the impractical ideal).
+
+Section 2.3 of the paper notes that per-flow leaky buckets give exact,
+instantaneous detection of large flows — at the cost of per-flow state,
+which is precisely what EARDet avoids.  This detector is the library's
+behavioural oracle: it flags a flow at the first packet at which some
+window's volume strictly exceeds ``TH(t) = gamma t + beta``, with exact
+integer arithmetic, and is used both as a baseline and by the ground-truth
+labeler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..model.packet import FlowId, Packet
+from ..model.thresholds import LeakyBucket, ThresholdFunction
+from ..model.units import NS_PER_S
+from .base import Detector
+
+
+class ExactLeakyBucketDetector(Detector):
+    """One leaky bucket per flow; exact arbitrary-window detection.
+
+    A flow is flagged at the exact packet where its bucket (drain rate
+    ``threshold.gamma``) first strictly exceeds ``threshold.beta`` —
+    equivalently, where some window [t1, t2) first has
+    ``vol > gamma (t2-t1) + beta``.
+    """
+
+    name = "exact"
+
+    def __init__(self, threshold: ThresholdFunction):
+        super().__init__()
+        self.threshold = threshold
+        self._buckets: Dict[FlowId, LeakyBucket] = {}
+        self._beta_scaled = threshold.beta * NS_PER_S
+
+    def _update(self, packet: Packet) -> bool:
+        bucket = self._buckets.get(packet.fid)
+        if bucket is None:
+            bucket = LeakyBucket(self.threshold.gamma)
+            bucket.last_time = packet.time
+            self._buckets[packet.fid] = bucket
+        level = bucket.add(packet.time, packet.size)
+        return level > self._beta_scaled
+
+    def _reset_state(self) -> None:
+        self._buckets.clear()
+
+    def counter_count(self) -> int:
+        """Per-flow state: one bucket per flow seen so far."""
+        return len(self._buckets)

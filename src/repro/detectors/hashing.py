@@ -1,0 +1,77 @@
+"""Deterministic flow-ID hashing for sketch-based detectors.
+
+Multistage filters and count-min sketches need per-stage hash functions
+that (a) are deterministic across processes, so experiments are
+reproducible regardless of ``PYTHONHASHSEED``, and (b) behave like
+independent uniform hashes.  We canonicalize a flow ID to an integer key
+and mix it with splitmix64 seeded per stage — a cheap, well-distributed
+64-bit mixer (Steele et al., "Fast splittable pseudorandom number
+generators").
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+_MASK64 = (1 << 64) - 1
+
+
+def canonical_key(fid: Hashable) -> int:
+    """Map a flow ID to a deterministic 64-bit integer key.
+
+    Integers map to themselves (mod 2^64); tuples and dataclass-like
+    objects are folded field-wise; strings and bytes go through CRC-32 of
+    their UTF-8 encoding (stable across processes, unlike ``hash(str)``).
+    """
+    if isinstance(fid, bool):  # bool is an int subclass; keep it distinct
+        return int(fid) + 0x9E3779B97F4A7C15
+    if isinstance(fid, int):
+        return fid & _MASK64
+    if isinstance(fid, bytes):
+        return zlib.crc32(fid) | (len(fid) << 32)
+    if isinstance(fid, str):
+        return canonical_key(fid.encode("utf-8"))
+    if isinstance(fid, tuple):
+        key = 0x243F6A8885A308D3
+        for element in fid:
+            key = splitmix64(key ^ canonical_key(element))
+        return key
+    if hasattr(fid, "__dataclass_fields__"):
+        return canonical_key(
+            tuple(getattr(fid, name) for name in fid.__dataclass_fields__)
+        )
+    # Last resort: Python's hash (deterministic for ints/floats/frozensets
+    # of same, but PYTHONHASHSEED-dependent for str-containing objects).
+    return hash(fid) & _MASK64
+
+
+def splitmix64(value: int) -> int:
+    """One splitmix64 mixing round."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class StageHash:
+    """A seeded hash mapping flow IDs to ``[0, buckets)``."""
+
+    __slots__ = ("seed", "buckets")
+
+    def __init__(self, seed: int, buckets: int):
+        if buckets <= 0:
+            raise ValueError(f"buckets must be positive, got {buckets}")
+        self.seed = seed & _MASK64
+        self.buckets = buckets
+
+    def __call__(self, fid: Hashable) -> int:
+        return splitmix64(canonical_key(fid) ^ self.seed) % self.buckets
+
+
+def make_stage_hashes(stages: int, buckets: int, seed: int = 0) -> list:
+    """Independent-looking per-stage hashes for a multistage filter."""
+    return [
+        StageHash(splitmix64(seed ^ (0xA5A5A5A5 + stage)), buckets)
+        for stage in range(stages)
+    ]

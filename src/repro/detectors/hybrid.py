@@ -1,0 +1,121 @@
+"""Hybrid monitor: EARDet for exactness + Sample & Hold for the middle.
+
+The paper's Section 2.2 argues the ambiguity region is acceptable
+precisely because "existing techniques (e.g., Sample and Hold) can
+handle the medium flows statistically".  :class:`HybridMonitor` is that
+suggested composition as a working system:
+
+- **EARDet** provides the deterministic outer guarantees — every
+  ``TH_h`` violator reported, no ``TH_l``-compliant flow ever reported;
+- **Sample & Hold** runs beside it, building statistical volume
+  estimates for whatever the sampler catches — which, with a byte-
+  sampling probability tuned to the ambiguity region's lower edge, is
+  predominantly the medium flows EARDet deliberately doesn't classify.
+
+The combined answer (:meth:`report`) is the accounting view the paper's
+introduction motivates: an exact large-flow list with detection times,
+plus estimated volumes for the statistically-sampled remainder, under a
+total memory budget of ``n`` counters + the held table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..model.packet import FlowId, Packet
+from .base import Detector
+from .sample_and_hold import SampleAndHold
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from ..core.config import EARDetConfig
+
+
+@dataclass(frozen=True)
+class AccountingReport:
+    """The hybrid's combined answer."""
+
+    #: Exactly-detected large flows: fid -> first detection time (ns).
+    large: Dict[FlowId, int]
+    #: Statistically-held flows (excluding the large ones): fid -> held
+    #: bytes (exact from the sampling instant onward; an undercount of
+    #: the true volume).
+    held_estimates: Dict[FlowId, int]
+    #: Memory accounting: (eardet counters, held entries).
+    state: Tuple[int, int]
+
+    def top_estimated(self, count: int = 10) -> List[Tuple[FlowId, int]]:
+        """Largest held estimates, descending."""
+        return sorted(
+            self.held_estimates.items(), key=lambda item: item[1], reverse=True
+        )[:count]
+
+
+class HybridMonitor(Detector):
+    """EARDet + Sample & Hold, sharing one packet stream.
+
+    ``observe`` returns EARDet's verdict (the deterministic guarantee);
+    the sampler's state feeds :meth:`report`.  Suggested sampling
+    probability: a few times ``1 / TH_l(measurement horizon)`` so flows
+    above the protected envelope are held with high probability without
+    holding the mice.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        config: "EARDetConfig",
+        byte_sampling_probability: float,
+        seed: int = 0,
+    ):
+        super().__init__()
+        # Imported here: repro.core.eardet itself imports this package's
+        # base module, so a module-level import would be circular.
+        from ..core.eardet import EARDet
+
+        self.eardet = EARDet(config)
+        self.sampler = SampleAndHold(
+            byte_sampling_probability=byte_sampling_probability,
+            # The sampler never *reports* on its own here; accounting
+            # reads its held table directly.
+            threshold=1 << 62,
+            seed=seed,
+        )
+
+    def _update(self, packet: Packet) -> bool:
+        self.sampler.observe(packet)
+        return self.eardet.observe(packet)
+
+    def observe(self, packet: Packet) -> bool:  # delegate the sink to EARDet
+        self._update(packet)
+        return self.eardet.is_detected(packet.fid)
+
+    @property
+    def sink(self):  # type: ignore[override]
+        return self.eardet.sink
+
+    @sink.setter
+    def sink(self, value):  # the base class assigns a placeholder sink
+        self._placeholder_sink = value
+
+    def report(self) -> AccountingReport:
+        """The combined accounting view (see class docstring)."""
+        large = self.eardet.detected
+        held = {
+            fid: held_bytes
+            for fid, held_bytes in self.sampler._held.items()
+            if fid not in large
+        }
+        return AccountingReport(
+            large=large,
+            held_estimates=held,
+            state=(self.eardet.counter_count(), self.sampler.counter_count()),
+        )
+
+    def _reset_state(self) -> None:
+        self.eardet.reset()
+        self.sampler.reset()
+
+    def counter_count(self) -> int:
+        return self.eardet.counter_count() + self.sampler.counter_count()

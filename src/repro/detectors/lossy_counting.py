@@ -1,0 +1,113 @@
+"""Lossy Counting (Manku & Motwani, VLDB 2002) — counter-based baseline.
+
+Related-work algorithm from the paper's Section 6.  Lossy Counting divides
+the stream into buckets of width ``ceil(1/epsilon)`` (unit items; we
+generalize to byte weights with bucket width ``W = epsilon-fraction of
+bytes``): each stored item keeps a count and a maximum possible
+undercount ``delta``; at bucket boundaries, items with
+``count + delta <= bucket index`` are evicted.  The guarantee mirrors
+Misra-Gries': estimates undershoot true counts by at most
+``epsilon * total``, so items above ``(phi) * total`` are never missed
+when queried with threshold ``(phi - epsilon) * total``.
+
+As a *large-flow detector* it works over landmark windows and shares the
+limitations the paper ascribes to that family (no virtual traffic, no
+arbitrary windows); it is included for the related-work comparison
+benches, not as a paper baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..model.packet import FlowId, Packet
+from .base import Detector
+
+
+class LossyCounting:
+    """Byte-weighted lossy counting summary.
+
+    ``epsilon`` is the allowed undercount as a fraction of the total bytes
+    seen.  State is O(1/epsilon * log(epsilon * total)) in the worst case.
+    """
+
+    def __init__(self, epsilon: float):
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.total_weight = 0
+        #: item -> (count, max undercount delta)
+        self._entries: Dict[FlowId, Tuple[int, int]] = {}
+        self._bucket_width = max(1, round(1 / epsilon))
+        self._current_bucket = 1
+        self._bytes_in_bucket = 0
+
+    def add(self, item: FlowId, weight: int = 1) -> None:
+        """Fold one weighted item into the summary."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.total_weight += weight
+        entry = self._entries.get(item)
+        if entry is not None:
+            self._entries[item] = (entry[0] + weight, entry[1])
+        else:
+            self._entries[item] = (weight, self._current_bucket - 1)
+        self._bytes_in_bucket += weight
+        while self._bytes_in_bucket >= self._bucket_width:
+            self._bytes_in_bucket -= self._bucket_width
+            self._compress()
+            self._current_bucket += 1
+
+    def _compress(self) -> None:
+        """Evict items whose count + delta falls at or below the current
+        bucket index."""
+        bucket = self._current_bucket
+        self._entries = {
+            item: (count, delta)
+            for item, (count, delta) in self._entries.items()
+            if count + delta > bucket
+        }
+
+    def estimate(self, item: FlowId) -> int:
+        """Lower-bound estimate of the item's weight (0 if evicted)."""
+        entry = self._entries.get(item)
+        return entry[0] if entry else 0
+
+    def frequent_items(self, phi: float) -> Dict[FlowId, int]:
+        """Items with estimated weight above ``(phi - epsilon) * total`` —
+        guaranteed to include everything above ``phi * total``."""
+        cutoff = (phi - self.epsilon) * self.total_weight
+        return {
+            item: count
+            for item, (count, delta) in self._entries.items()
+            if count > cutoff
+        }
+
+    def state_size(self) -> int:
+        """Number of stored entries (the algorithm's memory driver)."""
+        return len(self._entries)
+
+
+class LossyCountingDetector(Detector):
+    """Lossy counting as a landmark-window large-flow detector: flags a
+    flow when its stored count exceeds ``beta_report``."""
+
+    name = "lossy-counting"
+
+    def __init__(self, epsilon: float, beta_report: int):
+        super().__init__()
+        if beta_report <= 0:
+            raise ValueError(f"beta_report must be positive, got {beta_report}")
+        self.epsilon = epsilon
+        self.beta_report = beta_report
+        self.summary = LossyCounting(epsilon)
+
+    def _update(self, packet: Packet) -> bool:
+        self.summary.add(packet.fid, packet.size)
+        return self.summary.estimate(packet.fid) > self.beta_report
+
+    def _reset_state(self) -> None:
+        self.summary = LossyCounting(self.epsilon)
+
+    def counter_count(self) -> int:
+        return self.summary.state_size()

@@ -1,0 +1,61 @@
+"""Sampled NetFlow (Cisco) — packet-sampling baseline.
+
+Related-work scheme from the paper's Section 6: sample every packet
+independently with probability ``1/r``; estimate a flow's volume as the
+sampled volume times ``r``.  Cheap and generic, but — as the paper notes —
+sampling cannot achieve high accuracy because it lacks per-packet
+information: estimates of small flows have enormous variance, producing
+both false positives and false negatives around any detection threshold.
+Included so benches can quantify exactly that inaccuracy against EARDet's
+determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..model.packet import FlowId, Packet
+from .base import Detector
+
+
+class SampledNetFlow(Detector):
+    """Packet-sampled flow accounting with ``1/r`` sampling.
+
+    Flags a flow when its *scaled* estimate (sampled bytes times ``r``)
+    exceeds ``threshold``.
+    """
+
+    name = "netflow"
+
+    def __init__(self, sampling_divisor: int, threshold: int, seed: int = 0):
+        super().__init__()
+        if sampling_divisor < 1:
+            raise ValueError(
+                f"sampling divisor must be >= 1, got {sampling_divisor}"
+            )
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.sampling_divisor = sampling_divisor
+        self.threshold = threshold
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sampled_bytes: Dict[FlowId, int] = {}
+
+    def _update(self, packet: Packet) -> bool:
+        if self._rng.randrange(self.sampling_divisor) != 0:
+            return False
+        total = self._sampled_bytes.get(packet.fid, 0) + packet.size
+        self._sampled_bytes[packet.fid] = total
+        return total * self.sampling_divisor > self.threshold
+
+    def estimate(self, fid: FlowId) -> int:
+        """Estimated flow volume: sampled bytes scaled by the divisor."""
+        return self._sampled_bytes.get(fid, 0) * self.sampling_divisor
+
+    def _reset_state(self) -> None:
+        self._sampled_bytes.clear()
+        self._rng = random.Random(self.seed)
+
+    def counter_count(self) -> int:
+        return len(self._sampled_bytes)

@@ -1,0 +1,52 @@
+"""Paper experiments: one module per table/figure (see DESIGN.md's index).
+
+Every module exposes ``run(...)`` returning renderable
+:class:`~repro.experiments.report.Table` / ``SeriesSet`` objects; the
+``benchmarks/`` directory wires each into pytest-benchmark, and
+``python -m repro.cli`` runs them from the command line.
+"""
+
+from . import (
+    ablations,
+    appendix_a,
+    dynamics,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    mitigation,
+    robustness,
+    scalability,
+    table2,
+    table3,
+    tables456,
+    window_models,
+)
+from .harness import ExperimentSetup, build_setup, first_packet_times
+from .report import ExperimentParams, SeriesSet, Table, render_all
+
+__all__ = [
+    "ExperimentParams",
+    "ExperimentSetup",
+    "SeriesSet",
+    "Table",
+    "ablations",
+    "appendix_a",
+    "build_setup",
+    "dynamics",
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "first_packet_times",
+    "mitigation",
+    "robustness",
+    "render_all",
+    "scalability",
+    "table2",
+    "table3",
+    "tables456",
+    "window_models",
+]

@@ -1,0 +1,103 @@
+"""ASCII line charts for :class:`~repro.experiments.report.SeriesSet`.
+
+The paper's figures are line plots; in a terminal-only environment the
+tables are exact but the *shape* — crossovers, plateaus, gaps between
+schemes — is easier to see drawn.  :func:`render_chart` draws a series
+set on a character grid with one marker per scheme, a y-axis, and a
+legend; the CLI exposes it via ``--chart``.
+
+No dependencies, no color; pure text columns so output diffs cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .report import SeriesSet
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def _numeric(values) -> List[Optional[float]]:
+    result = []
+    for value in values:
+        try:
+            result.append(float(value))
+        except (TypeError, ValueError):
+            result.append(None)
+    return result
+
+
+def render_chart(series: SeriesSet, width: int = 64, height: int = 16) -> str:
+    """Draw the series set as an ASCII chart (returns a multi-line str).
+
+    x positions come from the x-values when they are numeric (preserving
+    their spacing), otherwise from their indices.  Non-numeric or missing
+    y-values are skipped.  When every y is identical the single level is
+    drawn mid-chart.
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"chart needs width >= 16 and height >= 4, got {width}x{height}")
+    xs = _numeric(series.x_values)
+    if any(x is None for x in xs) or len(xs) < 2:
+        xs = [float(i) for i in range(len(series.x_values))]
+    x_low, x_high = min(xs), max(xs)
+    x_span = x_high - x_low or 1.0
+
+    y_values = [
+        y
+        for values in series.series.values()
+        for y in _numeric(values)
+        if y is not None
+    ]
+    if not y_values:
+        raise ValueError(f"series set {series.title!r} has no numeric data")
+    y_low, y_high = min(y_values), max(y_values)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+    y_span = y_high - y_low
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in zip(xs, _numeric(values)):
+            if y is None:
+                continue
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    label_width = max(len(_axis_label(y_high)), len(_axis_label(y_low)))
+    lines = [f"== {series.title} =="]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _axis_label(y_high)
+        elif row_index == height - 1:
+            label = _axis_label(y_low)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(
+        f"{' ' * label_width} +{'-' * width}"
+    )
+    left = _axis_label(x_low)
+    right = _axis_label(x_high)
+    padding = width - len(left) - len(right)
+    lines.append(
+        f"{' ' * label_width}  {left}{' ' * max(1, padding)}{right}"
+        f"  ({series.x_label})"
+    )
+    lines.append(f"{' ' * label_width}  {'   '.join(legend)}")
+    for note in series.notes:
+        lines.append(f"{' ' * label_width}  note: {note}")
+    return "\n".join(lines)
+
+
+def _axis_label(value: float) -> str:
+    if value == int(value) and abs(value) < 10**7:
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,133 @@
+"""Figure 6: false positives on small benign flows, eight panels.
+
+Panels (a)-(h) sweep {flooding, Shrew} x {55x2, 250x2 multistage
+counters} x {congested, non-congested}: the probability that a benign
+ground-truth-small flow is wrongly reported while the link carries attack
+flows.
+
+Reproduced shape (paper Section 5.3):
+
+- EARDet's FPs probability is identically 0 in every panel (Theorem 6);
+- FMF and AMF have non-zero FPs that grow with attack pressure and are
+  worst on a congested link with the small counter budget (paper: up to
+  ~4% for FMF, ~1% for AMF under flooding);
+- quadrupling the multistage budget (250x2) reduces but does not
+  eliminate the FPs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..model.units import NS_PER_S, milliseconds
+from ..traffic.attacks import FloodingAttack, ShrewAttack
+from ..traffic.mix import build_attack_scenario
+from .figure5 import DEFAULT_BURST_MS, DEFAULT_RATE_FRACTIONS, SCHEMES
+from .harness import LARGE_BUDGET, SMALL_BUDGET, build_setup, dataset_for
+from .report import ExperimentParams, SeriesSet
+
+
+def _fp_sweep(
+    params: ExperimentParams,
+    attacks: Sequence,
+    congested: bool,
+    buckets: int,
+) -> List[Dict[str, float]]:
+    """Average benign-small-flow FP probability per attack spec."""
+    dataset = dataset_for(params)
+    setup = build_setup(dataset)
+    results: List[Dict[str, float]] = []
+    for attack_index, attack in enumerate(attacks):
+        sums = {scheme: 0.0 for scheme in SCHEMES}
+        for rep in range(params.repetitions):
+            scenario = build_attack_scenario(
+                dataset.stream,
+                attack,
+                attack_flows=params.attack_flows,
+                rho=dataset.rho,
+                congested=congested,
+                seed=params.seed * 104729 + attack_index * 131 + rep,
+            )
+            runner = setup.runner(buckets=buckets, seed=rep)
+            run = runner.run_scenario(scenario)
+            for scheme in SCHEMES:
+                sums[scheme] += run[scheme].benign_fp.probability
+        results.append(
+            {scheme: total / params.repetitions for scheme, total in sums.items()}
+        )
+    return results
+
+
+def flooding_fp_panel(
+    params: ExperimentParams,
+    buckets: int,
+    congested: bool,
+    rate_fractions: Sequence[float] = DEFAULT_RATE_FRACTIONS,
+) -> SeriesSet:
+    """One flooding FP panel (paper panels a/c/e/g)."""
+    dataset = dataset_for(params)
+    rates = [round(fraction * dataset.gamma_h) for fraction in rate_fractions]
+    attacks = [FloodingAttack(rate=rate) for rate in rates]
+    label = "congested" if congested else "non-congested"
+    series = SeriesSet(
+        title=(
+            f"Figure 6: small-flow FPs under flooding "
+            f"({buckets}*2 counters, {label} link)"
+        ),
+        x_label="attack rate (B/s)",
+        x_values=rates,
+    )
+    sweep = _fp_sweep(params, attacks, congested, buckets)
+    for scheme in SCHEMES:
+        series.add_series(scheme, [point[scheme] for point in sweep])
+    return series
+
+
+def shrew_fp_panel(
+    params: ExperimentParams,
+    buckets: int,
+    congested: bool,
+    burst_ms: Sequence[int] = DEFAULT_BURST_MS,
+) -> SeriesSet:
+    """One Shrew FP panel (paper panels b/d/f/h)."""
+    dataset = dataset_for(params)
+    attacks = [
+        ShrewAttack(
+            burst_rate=round(1.2 * dataset.gamma_h),
+            burst_duration_ns=milliseconds(duration),
+            period_ns=NS_PER_S,
+        )
+        for duration in burst_ms
+    ]
+    label = "congested" if congested else "non-congested"
+    series = SeriesSet(
+        title=(
+            f"Figure 6: small-flow FPs under Shrew bursts "
+            f"({buckets}*2 counters, {label} link)"
+        ),
+        x_label="burst duration (ms)",
+        x_values=list(burst_ms),
+    )
+    sweep = _fp_sweep(params, attacks, congested, buckets)
+    for scheme in SCHEMES:
+        series.add_series(scheme, [point[scheme] for point in sweep])
+    return series
+
+
+def run(
+    params: ExperimentParams = ExperimentParams(),
+    budgets: Sequence[int] = (SMALL_BUDGET, LARGE_BUDGET),
+) -> List[SeriesSet]:
+    """Regenerate all eight panels (a)-(h)."""
+    panels: List[SeriesSet] = []
+    for buckets in budgets:
+        for congested in (True, False):
+            panels.append(flooding_fp_panel(params, buckets, congested))
+            panels.append(shrew_fp_panel(params, buckets, congested))
+    return panels
+
+
+if __name__ == "__main__":
+    for panel in run(ExperimentParams.quick()):
+        print(panel.render())
+        print()

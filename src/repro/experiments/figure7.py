@@ -1,0 +1,154 @@
+"""Figure 7: incubation period of flooding flows vs the Theorem-7 bound.
+
+For flooding flows at rates above ``gamma_h``, measure the time from each
+attack flow's first packet to its detection by EARDet, and compare the
+maximum and average against the analytical bound
+``t_incb < (alpha + 2 beta_TH) / (R_atk - rho/(n+1))`` and the engineered
+budget ``t_upincb``.
+
+Reproduced shape: the measured maximum stays below the per-rate bound
+(and below ``t_upincb`` for rates >= ``gamma_h``), and the average sits
+well below the maximum — the paper's "much shorter in practice".
+
+A subtlety the reproduction surfaced: Theorem 7's bound is conditioned
+on the flow's **realized** average rate over its incubation interval
+(``R(t1, ta) > R_atk``), and the paper's flooding generator places each
+interval's packets at *random* offsets — so a flow's realized prefix
+rate can briefly fall below the nominal rate, in which case the
+nominal-rate bound simply does not apply to that flow.
+:func:`verify_theorem7` therefore checks the theorem per flow against
+its realized rate (the rigorous statement); the chart still draws the
+nominal-rate bound as the reference line, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from fractions import Fraction
+from typing import Dict, List, NamedTuple
+
+from ..core.eardet import EARDet
+from ..model.units import NS_PER_S
+from ..traffic.attacks import FloodingAttack
+from ..traffic.mix import build_attack_scenario
+from .harness import build_setup, dataset_for, first_packet_times
+from .report import ExperimentParams, SeriesSet
+
+
+class Theorem7Check(NamedTuple):
+    """One detected flow's incubation vs its realized-rate bound."""
+
+    fid: object
+    incubation_seconds: float
+    realized_rate_bps: float
+    bound_seconds: float  # inf when the realized rate is under R_NFN
+
+    @property
+    def holds(self) -> bool:
+        return self.incubation_seconds < self.bound_seconds
+
+
+def verify_theorem7(scenario, detector, config, starts) -> List[Theorem7Check]:
+    """Per-flow Theorem 7: ``t_incb < (alpha + 2 beta_TH) / (R - R_NFN)``
+    with ``R`` the flow's *realized* average rate over [start, detection).
+    Flows whose realized rate is at or under ``R_NFN`` get an infinite
+    bound (the theorem is silent about them)."""
+    detection_windows: Dict[object, list] = {}
+    for fid in scenario.attack_fids:
+        detected_at = detector.detection_time(fid)
+        start = starts.get(fid)
+        if detected_at is None or start is None or detected_at <= start:
+            continue
+        detection_windows[fid] = [start, detected_at, 0]
+    for packet in scenario.stream:
+        window = detection_windows.get(packet.fid)
+        if window is not None and window[0] <= packet.time <= window[1]:
+            window[2] += packet.size
+    checks: List[Theorem7Check] = []
+    rnfn = config.rnfn
+    numerator = config.alpha + 2 * config.beta_th
+    for fid, (start, detected_at, volume) in detection_windows.items():
+        span = detected_at - start
+        realized = Fraction(volume * NS_PER_S, span)
+        if realized > rnfn:
+            bound = float(Fraction(numerator) / (realized - rnfn))
+        else:
+            bound = float("inf")
+        checks.append(
+            Theorem7Check(
+                fid=fid,
+                incubation_seconds=span / NS_PER_S,
+                realized_rate_bps=float(realized),
+                bound_seconds=bound,
+            )
+        )
+    return checks
+
+#: Rates above gamma_h (fractions), the x-range where Theorem 7 applies.
+DEFAULT_RATE_FRACTIONS = (1.1, 1.25, 1.5, 1.75, 2.0)
+
+
+def run(
+    params: ExperimentParams = ExperimentParams(),
+    rate_fractions: Sequence[float] = DEFAULT_RATE_FRACTIONS,
+) -> SeriesSet:
+    """Regenerate Figure 7."""
+    dataset = dataset_for(params)
+    setup = build_setup(dataset)
+    config = setup.config
+    rates = [round(fraction * dataset.gamma_h) for fraction in rate_fractions]
+    averages, maxima, bounds = [], [], []
+    theorem_checks: List[Theorem7Check] = []
+    for attack_index, rate in enumerate(rates):
+        attack = FloodingAttack(rate=rate)
+        periods = []
+        for rep in range(params.repetitions):
+            scenario = build_attack_scenario(
+                dataset.stream,
+                attack,
+                attack_flows=params.attack_flows,
+                rho=dataset.rho,
+                congested=False,
+                seed=params.seed * 15485863 + attack_index * 131 + rep,
+            )
+            runner = setup.runner()
+            labels = runner.label(scenario.stream)
+            starts = first_packet_times(scenario.stream, scenario.attack_fids)
+            result = runner.run_one(
+                "eardet", EARDet(config), scenario, labels,
+                attack_start_times=starts,
+            )
+            periods.extend(result.incubation.periods_seconds)
+            theorem_checks.extend(
+                verify_theorem7(scenario, result.detector, config, starts)
+            )
+        averages.append(sum(periods) / len(periods) if periods else None)
+        maxima.append(max(periods) if periods else None)
+        bounds.append(float(config.incubation_bound_seconds(rate)))
+    series = SeriesSet(
+        title="Figure 7: incubation period of flooding flows (EARDet)",
+        x_label="attack rate (B/s)",
+        x_values=rates,
+    )
+    series.add_series("avg t_incb (s)", averages)
+    series.add_series("max t_incb (s)", maxima)
+    series.add_series("Theorem 7 bound (s)", bounds)
+    series.add_note(
+        f"engineered budget t_upincb = "
+        f"{float(config.incubation_bound_seconds(dataset.gamma_h)):.4f}s at "
+        f"gamma_h = {dataset.gamma_h} B/s"
+    )
+    holds = sum(1 for check in theorem_checks if check.holds)
+    series.add_note(
+        f"Theorem 7 per-flow (realized-rate) check: {holds}/"
+        f"{len(theorem_checks)} hold; the plotted bound uses the nominal "
+        "attack rate and may sit below a flow whose realized prefix rate "
+        "lagged the nominal (random in-interval placement)"
+    )
+    series.theorem_checks = theorem_checks  # type: ignore[attr-defined]
+    return series
+
+
+if __name__ == "__main__":
+    print(run(ExperimentParams.quick()).render())

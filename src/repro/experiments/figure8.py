@@ -1,0 +1,79 @@
+"""Figure 8: the (n, beta_delta) solution space of Appendix A.
+
+Plots (as a series over ``n``) the lower-bound curve
+``beta_delta_min = gamma_l (alpha + beta_l) / (rho/(n+1) - gamma_l)`` and
+the upper-bound curve from the incubation budget, using the paper's
+caption parameters: ``gamma_l = 100 KB/s``, ``gamma_h = 1 MB/s``,
+``rho = 100 MB/s``, ``alpha = 1518 B``, ``beta_l = 6072 B``,
+``t_upincb = 1 s``.  Any (n, beta_delta) between the curves satisfies the
+design inequalities; the paper (and :func:`repro.core.config.engineer`)
+picks the minimal corner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.config import beta_delta_bounds, engineer, feasible_counter_range
+from .report import SeriesSet
+
+#: Figure 8's caption parameters.
+RHO = 100_000_000
+GAMMA_L = 100_000
+GAMMA_H = 1_000_000
+ALPHA = 1518
+BETA_L = 6072
+T_UPINCB = 1.0
+
+DEFAULT_POINTS = (100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 983)
+
+
+def run(points: Sequence[int] = DEFAULT_POINTS) -> SeriesSet:
+    """Regenerate Figure 8's two curves."""
+    n_min, n_max = feasible_counter_range(
+        rho=RHO,
+        gamma_l=GAMMA_L,
+        beta_l=BETA_L,
+        gamma_h=GAMMA_H,
+        t_upincb_seconds=T_UPINCB,
+        alpha=ALPHA,
+    )
+    xs = [n for n in points if n_min <= n <= n_max]
+    lowers, uppers = [], []
+    for n in xs:
+        lower, upper = beta_delta_bounds(
+            n,
+            rho=RHO,
+            gamma_l=GAMMA_L,
+            beta_l=BETA_L,
+            gamma_h=GAMMA_H,
+            t_upincb_seconds=T_UPINCB,
+            alpha=ALPHA,
+        )
+        lowers.append(round(lower, 1))
+        uppers.append(round(upper, 1))
+    series = SeriesSet(
+        title="Figure 8: beta_delta-n solution space",
+        x_label="number of counters (n)",
+        x_values=xs,
+    )
+    series.add_series("beta_delta lower bound (B)", lowers)
+    series.add_series("beta_delta upper bound (B)", uppers)
+    chosen = engineer(
+        rho=RHO,
+        gamma_l=GAMMA_L,
+        beta_l=BETA_L,
+        gamma_h=GAMMA_H,
+        t_upincb_seconds=T_UPINCB,
+        alpha=ALPHA,
+    )
+    series.add_note(f"feasible n range: [{n_min}, {n_max}] (Eq. 9)")
+    series.add_note(
+        f"engineer() picks the minimal corner: n={chosen.n}, "
+        f"beta_delta={chosen.beta_delta}B (paper: n=101, beta_delta=863B)"
+    )
+    return series
+
+
+if __name__ == "__main__":
+    print(run().render())

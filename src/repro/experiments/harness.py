@@ -1,0 +1,135 @@
+"""Shared experiment plumbing for the Section 5 reproductions.
+
+Builds, from a dataset's Table-5 row, everything the figures need: the
+engineered EARDet config, the high/low threshold functions, the FMF/AMF
+parameterizations of Table 6 at either counter budget (55x2 or 250x2),
+and detector factories keyed by the names used in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable
+
+from ..analysis.runner import ExperimentRunner
+from ..core.config import EARDetConfig, engineer
+from ..core.eardet import EARDet
+from ..detectors.amf import ArbitraryMultistageFilter
+from ..detectors.base import Detector
+from ..detectors.fmf import FixedMultistageFilter
+from ..model.packet import FlowId
+from ..model.stream import PacketStream
+from ..model.thresholds import ThresholdFunction
+from ..model.units import NS_PER_S
+from ..traffic.datasets import Dataset, caida_like, federico_like
+
+#: Multistage-filter counter budgets the paper evaluates (Figure 5/6).
+SMALL_BUDGET = 55
+LARGE_BUDGET = 250
+STAGES = 2
+
+#: FMF's measurement interval (Table 6: 1 second).
+FMF_WINDOW_NS = NS_PER_S
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Dataset-derived parameters and detector factories for one figure."""
+
+    dataset: Dataset
+    config: EARDetConfig
+    high: ThresholdFunction
+    low: ThresholdFunction
+    fmf_threshold: int
+    amf_bucket_size: int
+    amf_drain_rate: int
+
+    def eardet_factory(self) -> Callable[[], Detector]:
+        config = self.config
+        return lambda: EARDet(config)
+
+    def fmf_factory(self, buckets: int, seed: int = 0) -> Callable[[], Detector]:
+        threshold = self.fmf_threshold
+        return lambda: FixedMultistageFilter(
+            stages=STAGES,
+            buckets=buckets,
+            threshold=threshold,
+            window_ns=FMF_WINDOW_NS,
+            seed=seed,
+        )
+
+    def amf_factory(self, buckets: int, seed: int = 0) -> Callable[[], Detector]:
+        bucket_size, drain = self.amf_bucket_size, self.amf_drain_rate
+        return lambda: ArbitraryMultistageFilter(
+            stages=STAGES,
+            buckets=buckets,
+            bucket_size=bucket_size,
+            drain_rate=drain,
+            seed=seed,
+        )
+
+    def runner(self, buckets: int = SMALL_BUDGET, seed: int = 0) -> ExperimentRunner:
+        """A runner with the figure's three detectors registered."""
+        runner = ExperimentRunner(self.high, self.low)
+        runner.register("eardet", self.eardet_factory())
+        runner.register("fmf", self.fmf_factory(buckets, seed))
+        runner.register("amf", self.amf_factory(buckets, seed))
+        return runner
+
+
+def build_setup(dataset: Dataset) -> ExperimentSetup:
+    """Derive the full experiment setup from a dataset's Table-5 row.
+
+    Follows Section 5.2's configuration: EARDet engineered for the
+    dataset's ``gamma_h``/``gamma_l``/``beta_l``/``t_upincb``; detection
+    threshold ``TH_h(t) = gamma_h t + beta_h`` with
+    ``beta_h = 2 beta_TH + alpha``; FMF threshold ``T = gamma_h * 1s``;
+    AMF bucket ``u = beta_h`` draining at ``r = gamma_h``.
+    """
+    config = engineer(
+        rho=dataset.rho,
+        gamma_l=dataset.gamma_l,
+        beta_l=dataset.beta_l,
+        gamma_h=dataset.gamma_h,
+        t_upincb_seconds=dataset.t_upincb_seconds,
+        alpha=dataset.alpha,
+    )
+    high = ThresholdFunction(gamma=dataset.gamma_h, beta=config.beta_h)
+    return ExperimentSetup(
+        dataset=dataset,
+        config=config,
+        high=high,
+        low=dataset.low_threshold,
+        fmf_threshold=dataset.gamma_h * (FMF_WINDOW_NS // NS_PER_S or 1),
+        amf_bucket_size=config.beta_h,
+        amf_drain_rate=dataset.gamma_h,
+    )
+
+
+def dataset_for(params) -> Dataset:
+    """Build the dataset an :class:`~repro.experiments.report.ExperimentParams`
+    selects.  ``federico`` uses ``params.scale`` directly; ``caida`` divides
+    it by 10 (the CAIDA trace is ~100x denser, see
+    :func:`repro.traffic.datasets.caida_like`)."""
+    if params.dataset == "federico":
+        return federico_like(seed=params.seed, scale=params.scale)
+    if params.dataset == "caida":
+        return caida_like(seed=params.seed, scale=params.scale / 10)
+    raise ValueError(
+        f"unknown dataset {params.dataset!r}; expected 'federico' or 'caida'"
+    )
+
+
+def first_packet_times(
+    stream: PacketStream, fids: Iterable[FlowId]
+) -> Dict[FlowId, int]:
+    """First-arrival time per flow, the incubation-period anchor ("since
+    the flow is generated")."""
+    wanted = set(fids)
+    times: Dict[FlowId, int] = {}
+    for packet in stream:
+        if packet.fid in wanted and packet.fid not in times:
+            times[packet.fid] = packet.time
+            if len(times) == len(wanted):
+                break
+    return times

@@ -1,0 +1,190 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line charts and its tables are small grids; the
+benchmark harness reproduces both as text: a :class:`Table` renders
+aligned columns, a :class:`SeriesSet` renders one row per x-value with one
+column per scheme — the same rows/series the paper plots, ready for
+diffing across runs or piping into a plotting tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 10000 or abs(cell) < 0.001:
+            return f"{cell:.4g}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        self.rows.append(cells)
+        return self
+
+    def add_note(self, note: str) -> "Table":
+        self.notes.append(note)
+        return self
+
+    def render(self) -> str:
+        formatted = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in formatted)) if formatted else len(header)
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class SeriesSet:
+    """Several named y-series over a shared x-axis (one paper figure panel)."""
+
+    title: str
+    x_label: str
+    x_values: Sequence[Cell]
+    series: Dict[str, Sequence[Cell]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: Sequence[Cell]) -> "SeriesSet":
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x-axis has "
+                f"{len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+        return self
+
+    def add_note(self, note: str) -> "SeriesSet":
+        self.notes.append(note)
+        return self
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=self.title,
+            headers=[self.x_label, *self.series.keys()],
+        )
+        for i, x in enumerate(self.x_values):
+            table.add_row(x, *(values[i] for values in self.series.values()))
+        table.notes = list(self.notes)
+        return table
+
+    def render(self) -> str:
+        return self.to_table().render()
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_all(*items: Union[Table, SeriesSet], sep: str = "\n\n") -> str:
+    """Render several tables/series sets into one report string."""
+    return sep.join(item.render() for item in items)
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """Knobs shared by the trace-driven experiments.
+
+    The defaults keep a full figure regeneration in the minutes range on
+    a laptop; ``scale=1.0, repetitions=10`` reproduces the paper's full
+    setup (30 s traces, averages of 10).
+    """
+
+    scale: float = 0.1
+    repetitions: int = 3
+    attack_flows: int = 20
+    seed: int = 0
+    dataset: str = "federico"
+
+    #: The paper's full-scale settings, for reference.
+    @classmethod
+    def paper(cls) -> "ExperimentParams":
+        return cls(scale=1.0, repetitions=10, attack_flows=50, seed=0)
+
+    @classmethod
+    def quick(cls) -> "ExperimentParams":
+        """Smallest parameters that still exercise every code path."""
+        return cls(scale=0.03, repetitions=1, attack_flows=5, seed=0)
+
+
+def _jsonable(cell: Cell):
+    """Cells are already JSON-compatible scalars; normalize exotic ints."""
+    if isinstance(cell, float) or isinstance(cell, int) or cell is None:
+        return cell
+    return str(cell)
+
+
+def table_to_dict(table: Table) -> dict:
+    """A JSON-ready representation of a table (for plotting pipelines)."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [[_jsonable(cell) for cell in row] for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def series_to_dict(series: SeriesSet) -> dict:
+    """A JSON-ready representation of a series set."""
+    return {
+        "title": series.title,
+        "x_label": series.x_label,
+        "x": [_jsonable(x) for x in series.x_values],
+        "series": {
+            name: [_jsonable(v) for v in values]
+            for name, values in series.series.items()
+        },
+        "notes": list(series.notes),
+    }
+
+
+def to_dict(item) -> dict:
+    """Dispatch: JSON-ready dict for a Table or SeriesSet."""
+    if isinstance(item, SeriesSet):
+        return series_to_dict(item)
+    if isinstance(item, Table):
+        return table_to_dict(item)
+    raise TypeError(f"cannot serialize {type(item).__name__}")
+
+
+def write_csv_table(table: Table, path) -> None:
+    """Write a table (or a SeriesSet via .to_table()) as CSV."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.headers)
+        for row in table.rows:
+            writer.writerow([_format_cell(cell) for cell in row])

@@ -1,0 +1,84 @@
+"""Table 3: qualitative summary of the three schemes — measured, not asserted.
+
+The paper's Table 3 summarizes the comparison (FPs? FNl? memory? input
+dependence?).  Rather than restating it, this experiment *derives* each
+cell from measurements: a flooding and a Shrew scenario (congested and
+not) are run through all three detectors, and each scheme's cells are
+filled from what actually happened — e.g. "FPs: yes" appears for FMF/AMF
+because benign small flows were measurably accused, and "input
+dependent: yes" because their error rates moved between the congested and
+non-congested runs while EARDet's stayed identically zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..model.units import NS_PER_S, milliseconds
+from ..traffic.attacks import FloodingAttack, ShrewAttack
+from ..traffic.mix import build_attack_scenario
+from ..analysis.memory import amf_state_bytes, eardet_state_bytes, multistage_state_bytes
+from .harness import SMALL_BUDGET, STAGES, build_setup, dataset_for
+from .report import ExperimentParams, Table
+
+
+def run(params: ExperimentParams = ExperimentParams()) -> Table:
+    """Regenerate Table 3 from measurements."""
+    dataset = dataset_for(params)
+    setup = build_setup(dataset)
+    attacks = [
+        FloodingAttack(rate=2 * dataset.gamma_h),
+        ShrewAttack(
+            burst_rate=round(1.2 * dataset.gamma_h),
+            burst_duration_ns=milliseconds(500),
+            period_ns=NS_PER_S,
+        ),
+    ]
+    fp_seen: Dict[str, List[float]] = {s: [] for s in ("eardet", "fmf", "amf")}
+    fnl_seen: Dict[str, List[int]] = {s: [] for s in ("eardet", "fmf", "amf")}
+    for attack_index, attack in enumerate(attacks):
+        for congested in (False, True):
+            scenario = build_attack_scenario(
+                dataset.stream,
+                attack,
+                attack_flows=params.attack_flows,
+                rho=dataset.rho,
+                congested=congested,
+                seed=params.seed * 31 + attack_index,
+            )
+            results = setup.runner(buckets=SMALL_BUDGET).run_scenario(scenario)
+            for name, result in results.items():
+                fp_seen[name].append(result.benign_fp.probability)
+                fnl_seen[name].append(result.classification.fn_large)
+    # Memory at *comparable accuracy* (Table 2's budgets): EARDet's n
+    # counters give exactness; the multistage filters need ~10-20x the
+    # counters to bound FPs at 0.04, and still are not exact.
+    memory = {
+        "eardet": eardet_state_bytes(setup.config.n),
+        "fmf": multistage_state_bytes(STAGES, 500),
+        "amf": amf_state_bytes(STAGES, 1000),
+    }
+    table = Table(
+        title="Table 3: summary of the three schemes (cells derived from runs)",
+        headers=["scheme", "FPs", "FNl", "memory", "input traffic"],
+    )
+    for scheme in ("eardet", "fmf", "amf"):
+        has_fp = any(value > 0 for value in fp_seen[scheme])
+        has_fnl = any(value > 0 for value in fnl_seen[scheme])
+        spread = max(fp_seen[scheme]) - min(fp_seen[scheme])
+        table.add_row(
+            scheme,
+            "yes" if has_fp else "no",
+            "yes" if has_fnl else "no",
+            f"{memory[scheme]}B",
+            "dependent" if (has_fp and spread > 0) else "independent",
+        )
+    table.add_note(
+        "paper's Table 3: EARDet no/no/low/independent; "
+        "FMF yes/yes/high/dependent; AMF yes/no/high/dependent"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run(ExperimentParams.quick()).render())

@@ -1,0 +1,77 @@
+"""Packet and flow-identifier primitives.
+
+The paper (Section 2.1) deliberately makes no assumption about how flow IDs
+are derived from packet headers; any hashable value works as a flow ID in
+this library.  For realistic scenarios :class:`FiveTuple` models the common
+(src, dst, sport, dport, proto) definition, and the evaluation section's
+"flows defined by source and destination IP" corresponds to
+:meth:`FiveTuple.host_pair`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+#: A flow identifier: any hashable value.
+FlowId = Hashable
+
+#: Minimum and maximum Ethernet frame sizes in bytes; the paper uses
+#: alpha = 1518 bytes as the maximum packet size throughout.
+MIN_PACKET_SIZE = 40
+MAX_PACKET_SIZE = 1518
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """A classic 5-tuple flow identifier.
+
+    Addresses are stored as integers so that millions of identifiers stay
+    cheap; use :meth:`format` for display.
+    """
+
+    src: int
+    dst: int
+    sport: int = 0
+    dport: int = 0
+    proto: int = 6
+
+    def host_pair(self) -> Tuple[int, int]:
+        """The (src, dst) pair — the flow definition used in the paper's
+        experiments (Section 5.2)."""
+        return (self.src, self.dst)
+
+    def format(self) -> str:
+        """Human-readable rendering, e.g. ``10.0.0.1:80->10.0.0.2:443/6``."""
+        return (
+            f"{ipaddress.ip_address(self.src)}:{self.sport}"
+            f"->{ipaddress.ip_address(self.dst)}:{self.dport}/{self.proto}"
+        )
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single observed packet.
+
+    Attributes mirror the paper's ``time(x)``, ``size(x)`` and ``fid(x)``
+    notation: arrival time in integer nanoseconds, size in integer bytes,
+    and an arbitrary hashable flow ID.
+    """
+
+    time: int
+    size: int
+    fid: FlowId
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        if self.time < 0:
+            raise ValueError(f"packet time must be >= 0, got {self.time}")
+
+    def end_time(self, capacity_bps: int) -> int:
+        """Time at which this packet finishes serializing on a link of the
+        given capacity (bytes/s)."""
+        from .units import transmission_time_ns
+
+        return self.time + transmission_time_ns(self.size, capacity_bps)

@@ -1,0 +1,180 @@
+"""Packet streams: ordered sequences of packets plus stream algebra.
+
+A *stream* in this library is any iterable of :class:`~repro.model.packet.Packet`
+in non-decreasing time order.  :class:`PacketStream` wraps a concrete list
+with validation and summary statistics; :func:`merge` combines several
+streams preserving time order, which is how experiment scenarios mix benign
+background traffic with attack flows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .packet import FlowId, Packet
+from .units import NS_PER_S
+
+
+class StreamOrderError(ValueError):
+    """Raised when packets are observed out of time order."""
+
+
+def check_ordered(packets: Iterable[Packet]) -> Iterator[Packet]:
+    """Yield packets, raising :class:`StreamOrderError` on a time regression."""
+    last = -1
+    for index, packet in enumerate(packets):
+        if packet.time < last:
+            raise StreamOrderError(
+                f"packet #{index} at t={packet.time}ns arrives before "
+                f"previous packet at t={last}ns"
+            )
+        last = packet.time
+        yield packet
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Summary statistics of a finite stream (cf. Table 4 in the paper)."""
+
+    packet_count: int
+    flow_count: int
+    total_bytes: int
+    duration_ns: int
+
+    @property
+    def avg_rate_bps(self) -> float:
+        """Average link rate in bytes/s over the stream duration."""
+        if self.duration_ns == 0:
+            return 0.0
+        return self.total_bytes * NS_PER_S / self.duration_ns
+
+    @property
+    def avg_flow_size(self) -> float:
+        """Average bytes per flow."""
+        if self.flow_count == 0:
+            return 0.0
+        return self.total_bytes / self.flow_count
+
+
+class PacketStream(Sequence[Packet]):
+    """A finite, validated, time-ordered packet stream.
+
+    Supports the full :class:`collections.abc.Sequence` protocol, flow-level
+    accessors, and summary statistics.  Construction is O(k) and verifies
+    time ordering once, so downstream consumers can iterate without checks.
+    """
+
+    def __init__(self, packets: Iterable[Packet]):
+        self._packets: List[Packet] = list(check_ordered(packets))
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return PacketStream(self._packets[index])
+        return self._packets[index]
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"PacketStream(packets={stats.packet_count}, "
+            f"flows={stats.flow_count}, bytes={stats.total_bytes}, "
+            f"duration={stats.duration_ns / NS_PER_S:.3f}s)"
+        )
+
+    @property
+    def start_time(self) -> int:
+        """Arrival time of the first packet (0 for an empty stream)."""
+        return self._packets[0].time if self._packets else 0
+
+    @property
+    def end_time(self) -> int:
+        """Arrival time of the last packet (0 for an empty stream)."""
+        return self._packets[-1].time if self._packets else 0
+
+    def flow_ids(self) -> List[FlowId]:
+        """Distinct flow IDs in first-appearance order."""
+        seen: Dict[FlowId, None] = {}
+        for packet in self._packets:
+            seen.setdefault(packet.fid, None)
+        return list(seen)
+
+    def flow_volumes(self) -> Dict[FlowId, int]:
+        """Total bytes per flow."""
+        volumes: Dict[FlowId, int] = {}
+        for packet in self._packets:
+            volumes[packet.fid] = volumes.get(packet.fid, 0) + packet.size
+        return volumes
+
+    def flow(self, fid: FlowId) -> "PacketStream":
+        """The sub-stream of packets belonging to one flow."""
+        return PacketStream(p for p in self._packets if p.fid == fid)
+
+    def window(self, t1: int, t2: int) -> "PacketStream":
+        """Packets in the half-open window [t1, t2), the paper's window
+        convention."""
+        return PacketStream(p for p in self._packets if t1 <= p.time < t2)
+
+    def volume(self, fid: FlowId, t1: int, t2: int) -> int:
+        """The paper's ``vol(f, t1, t2)``: bytes of flow ``fid`` in [t1, t2)."""
+        return sum(
+            p.size for p in self._packets if p.fid == fid and t1 <= p.time < t2
+        )
+
+    def stats(self) -> StreamStats:
+        """Compute summary statistics in one pass."""
+        flows = set()
+        total = 0
+        for packet in self._packets:
+            flows.add(packet.fid)
+            total += packet.size
+        duration = self.end_time - self.start_time if self._packets else 0
+        return StreamStats(
+            packet_count=len(self._packets),
+            flow_count=len(flows),
+            total_bytes=total,
+            duration_ns=duration,
+        )
+
+    def shifted(self, delta_ns: int) -> "PacketStream":
+        """A copy with every arrival time shifted by ``delta_ns``."""
+        return PacketStream(
+            Packet(time=p.time + delta_ns, size=p.size, fid=p.fid)
+            for p in self._packets
+        )
+
+
+def merge(*streams: Iterable[Packet]) -> PacketStream:
+    """Merge time-ordered streams into one time-ordered stream.
+
+    Ties are broken by input order (earlier argument first), making merges
+    deterministic for reproducible experiments.
+    """
+    return PacketStream(merge_iter(*streams))
+
+
+def merge_iter(*streams: Iterable[Packet]) -> Iterator[Packet]:
+    """Lazily merge time-ordered packet iterables (heap k-way merge)."""
+    return heapq.merge(
+        *streams, key=lambda p: p.time
+    )
+
+
+def clip(
+    packets: Iterable[Packet],
+    start_ns: Optional[int] = None,
+    end_ns: Optional[int] = None,
+) -> Iterator[Packet]:
+    """Yield only packets with ``start_ns <= time < end_ns``."""
+    for packet in packets:
+        if start_ns is not None and packet.time < start_ns:
+            continue
+        if end_ns is not None and packet.time >= end_ns:
+            break
+        yield packet

@@ -1,0 +1,152 @@
+"""Leaky-bucket threshold functions and the exact leaky-bucket machine.
+
+The paper defines flows against two *threshold functions* of window length
+``t`` (Section 2.2):
+
+- high-bandwidth threshold  ``TH_h(t) = gamma_h * t + beta_h``
+- low-bandwidth threshold   ``TH_l(t) = gamma_l * t + beta_l``
+
+A flow is **large** if some window's volume strictly exceeds ``TH_h``,
+**small** if every window's volume stays strictly below ``TH_l``, and
+**medium** (in the *ambiguity region*) otherwise.
+
+Checking "exists a window [t1, t2) with vol > gamma*(t2-t1) + beta" over all
+windows is equivalent to running a leaky bucket with drain rate ``gamma``
+and asking whether the peak bucket level exceeds ``beta``; see
+:class:`LeakyBucket` and the property tests in
+``tests/test_thresholds.py`` which verify the equivalence against
+brute-force window enumeration.
+
+All arithmetic is exact: rates are integer bytes/s, times integer ns, and
+bucket levels are integers in byte-nanosecond scaled units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class ThresholdFunction:
+    """A leaky-bucket descriptor ``TH(t) = gamma * t + beta``.
+
+    ``gamma`` is in bytes/second; ``beta`` in bytes.  ``t`` is a window
+    length in nanoseconds.  :meth:`scaled` returns the threshold in
+    byte-nanosecond units so comparisons against scaled volumes are exact.
+    """
+
+    gamma: int
+    beta: int
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be >= 0, got {self.beta}")
+
+    def __call__(self, t_ns: int) -> float:
+        """Threshold volume in (possibly fractional) bytes for a window of
+        length ``t_ns`` — for display; use :meth:`scaled` for comparisons."""
+        return self.gamma * t_ns / NS_PER_S + self.beta
+
+    def scaled(self, t_ns: int) -> int:
+        """Threshold volume in byte-ns units: ``gamma*t_ns + beta*NS_PER_S``."""
+        return self.gamma * t_ns + self.beta * NS_PER_S
+
+    def exceeded_by(self, volume_bytes: int, t_ns: int) -> bool:
+        """True iff ``volume_bytes`` strictly exceeds the threshold for a
+        window of length ``t_ns`` (exact integer comparison)."""
+        return volume_bytes * NS_PER_S > self.scaled(t_ns)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``TH(t) = 250000 B/s * t + 15500 B``."""
+        return f"TH(t) = {self.gamma} B/s * t + {self.beta} B"
+
+
+class LeakyBucket:
+    """An exact leaky bucket with drain rate ``gamma`` (bytes/s).
+
+    The bucket level after processing packets ``(t_i, w_i)`` equals the
+    maximum over all windows ending now of ``vol - gamma * window_length``
+    (clamped at zero).  Hence *"some window violates TH(t)=gamma*t+beta"*
+    is exactly *"the peak level observed at packet arrivals exceeds beta"*.
+
+    Levels are tracked in byte-ns scaled units (`level_scaled`).
+    """
+
+    __slots__ = ("gamma", "level_scaled", "peak_scaled", "last_time")
+
+    def __init__(self, gamma: int):
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = gamma
+        self.level_scaled = 0
+        self.peak_scaled = 0
+        self.last_time = 0
+
+    def add(self, time_ns: int, size_bytes: int) -> int:
+        """Drain to ``time_ns``, add a packet, and return the new level
+        (scaled byte-ns units).  Packets must arrive in time order."""
+        if time_ns < self.last_time:
+            raise ValueError(
+                f"leaky bucket fed out of order: {time_ns} < {self.last_time}"
+            )
+        drained = self.gamma * (time_ns - self.last_time)
+        self.level_scaled = max(0, self.level_scaled - drained)
+        self.level_scaled += size_bytes * NS_PER_S
+        self.last_time = time_ns
+        if self.level_scaled > self.peak_scaled:
+            self.peak_scaled = self.level_scaled
+        return self.level_scaled
+
+    def level_at(self, time_ns: int) -> int:
+        """Level (scaled) the bucket would have at ``time_ns`` with no new
+        arrivals; does not mutate state."""
+        if time_ns < self.last_time:
+            raise ValueError(
+                f"cannot query the past: {time_ns} < {self.last_time}"
+            )
+        drained = self.gamma * (time_ns - self.last_time)
+        return max(0, self.level_scaled - drained)
+
+    @property
+    def peak_bytes(self) -> float:
+        """Peak level in (possibly fractional) bytes, for reporting."""
+        return self.peak_scaled / NS_PER_S
+
+    def exceeds(self, beta_bytes: int) -> bool:
+        """True iff the current level strictly exceeds ``beta_bytes``."""
+        return self.level_scaled > beta_bytes * NS_PER_S
+
+    def peak_exceeds(self, beta_bytes: int) -> bool:
+        """True iff the peak level ever strictly exceeded ``beta_bytes``."""
+        return self.peak_scaled > beta_bytes * NS_PER_S
+
+    def reset(self) -> None:
+        """Empty the bucket and forget the peak (keeps ``last_time``)."""
+        self.level_scaled = 0
+        self.peak_scaled = 0
+
+
+def max_window_excess_scaled(packets, gamma: int) -> int:
+    """Brute-force ``max over windows [t1, t2)`` of
+    ``vol*NS - gamma*(t2-t1)`` in scaled units (>= 0; 0 for no packets).
+
+    O(k^2) reference used by tests to validate :class:`LeakyBucket`;
+    windows need only be checked at packet-arrival boundaries: the optimal
+    window starts at some packet's arrival and ends just after another's.
+    """
+    packets = list(packets)
+    best = 0
+    for i, first in enumerate(packets):
+        volume = 0
+        for second in packets[i:]:
+            volume += second.size
+            # Window [first.time, second.time + epsilon): length -> the
+            # infimum second.time - first.time gives the supremum excess.
+            excess = volume * NS_PER_S - gamma * (second.time - first.time)
+            if excess > best:
+                best = excess
+    return best

@@ -1,0 +1,110 @@
+"""Unit conversion helpers.
+
+The library's internal conventions (see DESIGN.md) are chosen so that every
+quantity the deterministic guarantees depend on is an exact integer:
+
+- **time** is measured in integer nanoseconds,
+- **size** is measured in integer bytes,
+- **rate** is measured in integer bytes per second,
+- **scaled volume** (leaky-bucket levels, window volumes compared against a
+  ``rate * duration`` product) is measured in *byte-nanoseconds*, i.e. the
+  byte value multiplied by :data:`NS_PER_S`.
+
+This module provides the constants and conversion helpers used to translate
+between these internal units and the human-friendly units that appear in the
+paper (Mbps links, KB bursts, millisecond bursts, ...).  All ``*_to_*``
+helpers round to the nearest internal unit, so round-tripping small
+human-unit values is stable.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per second; the denominator of all scaled-volume arithmetic.
+NS_PER_S = 1_000_000_000
+
+#: Nanoseconds per millisecond / microsecond, for readable test and
+#: experiment code.
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+#: Bits per byte.  The paper quotes link speeds in bits/s but measures flow
+#: volume in bytes; all conversions go through this constant.
+BITS_PER_BYTE = 8
+
+#: Decimal prefixes, as used by networking hardware (1 KB = 1000 B here;
+#: the paper's "6072 bytes" style constants are already plain byte counts).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds (nearest)."""
+    return round(value * NS_PER_S)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds (nearest)."""
+    return round(value * NS_PER_MS)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds (nearest)."""
+    return round(value * NS_PER_US)
+
+
+def ns_to_seconds(value_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return value_ns / NS_PER_S
+
+
+def bits_per_second(value: float) -> int:
+    """Convert a bits/s rate to integer bytes/s (nearest)."""
+    return round(value / BITS_PER_BYTE)
+
+
+def mbps(value: float) -> int:
+    """Convert megabits/s to integer bytes/s."""
+    return bits_per_second(value * 1e6)
+
+
+def gbps(value: float) -> int:
+    """Convert gigabits/s to integer bytes/s."""
+    return bits_per_second(value * 1e9)
+
+
+def kilobytes_per_second(value: float) -> int:
+    """Convert kilobytes/s (decimal) to integer bytes/s."""
+    return round(value * KB)
+
+
+def megabytes_per_second(value: float) -> int:
+    """Convert megabytes/s (decimal) to integer bytes/s."""
+    return round(value * MB)
+
+
+def bytes_to_human(value: float) -> str:
+    """Render a byte count with a decimal prefix, e.g. ``15.5KB``."""
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for threshold, suffix in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if value >= threshold:
+            return f"{sign}{value / threshold:.4g}{suffix}"
+    return f"{sign}{value:.4g}B"
+
+
+def rate_to_human(value: float) -> str:
+    """Render a bytes/s rate with a decimal prefix, e.g. ``250KB/s``."""
+    return f"{bytes_to_human(value)}/s"
+
+
+def transmission_time_ns(size_bytes: int, capacity_bps: int) -> int:
+    """Time (ns, rounded up) to serialize ``size_bytes`` onto a link.
+
+    ``capacity_bps`` is the link capacity in **bytes** per second.  Rounding
+    up means back-to-back packets generated with this helper never exceed
+    the link capacity.
+    """
+    if capacity_bps <= 0:
+        raise ValueError(f"link capacity must be positive, got {capacity_bps}")
+    return -((-size_bytes * NS_PER_S) // capacity_bps)

@@ -1,0 +1,23 @@
+"""DoS-mitigation simulation: sources -> EARDet policer -> bottleneck link.
+
+The substrate behind the mitigation experiment and example: slotted
+closed-loop simulation of TCP-like victims, Shrew attackers and CBR
+background sharing a finite-buffer FIFO bottleneck, with an optional
+EARDet policer cutting off detected flows at ingress.
+"""
+
+from .link import FifoLink, LinkStats
+from .mitigation import FlowOutcome, SimulationResult, simulate
+from .sources import AimdSource, ConstantBitRateSource, ShrewSource, SlottedSource
+
+__all__ = [
+    "AimdSource",
+    "ConstantBitRateSource",
+    "FifoLink",
+    "FlowOutcome",
+    "LinkStats",
+    "ShrewSource",
+    "SimulationResult",
+    "SlottedSource",
+    "simulate",
+]

@@ -1,0 +1,92 @@
+"""A stateful FIFO bottleneck link with a finite buffer.
+
+Unlike :func:`repro.traffic.link.serialize_with_drops` (a one-shot
+re-timestamping of a complete stream), :class:`FifoLink` keeps queue
+state across calls so a slotted simulation can feed it traffic
+incrementally and interleave policing decisions — the substrate the DoS
+mitigation pipeline (:mod:`repro.simulation.mitigation`) runs on.
+
+Semantics match the one-shot serializer: a packet arriving at ``t``
+starts transmission at ``max(t, previous completion)``; if the backlog
+(bytes awaiting transmission at arrival) exceeds the buffer it is
+tail-dropped.  All arithmetic is exact (completion times tracked in
+ns-times-rho scaled integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..model.packet import Packet
+from ..model.units import NS_PER_S
+
+
+@dataclass
+class LinkStats:
+    """Aggregate counters of a link's lifetime."""
+
+    offered_packets: int = 0
+    delivered_packets: int = 0
+    dropped_packets: int = 0
+    offered_bytes: int = 0
+    delivered_bytes: int = 0
+    dropped_bytes: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.offered_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.offered_packets
+
+
+@dataclass
+class FifoLink:
+    """Persistent-state FIFO link: capacity ``rho`` B/s, ``buffer_bytes``
+    of queue."""
+
+    rho: int
+    buffer_bytes: int
+    _completion_scaled: int = 0  # last completion time * rho (byte-ns units)
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ValueError(f"link capacity must be positive, got {self.rho}")
+        if self.buffer_bytes < 0:
+            raise ValueError(f"buffer must be >= 0, got {self.buffer_bytes}")
+
+    def offer(self, packet: Packet):
+        """Offer one packet (arrivals must be in time order).
+
+        Returns the delivered packet re-timestamped to its transmission
+        start, or None if tail-dropped.
+        """
+        self.stats.offered_packets += 1
+        self.stats.offered_bytes += packet.size
+        arrival_scaled = packet.time * self.rho
+        backlog_scaled = self._completion_scaled - arrival_scaled
+        if backlog_scaled > self.buffer_bytes * NS_PER_S:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return None
+        start_scaled = max(arrival_scaled, self._completion_scaled)
+        start_ns = -(-start_scaled // self.rho)
+        self._completion_scaled = start_ns * self.rho + packet.size * NS_PER_S
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        return Packet(time=start_ns, size=packet.size, fid=packet.fid)
+
+    def offer_all(self, packets) -> List[Packet]:
+        """Offer a time-ordered batch; returns the delivered packets."""
+        delivered = []
+        for packet in packets:
+            emitted = self.offer(packet)
+            if emitted is not None:
+                delivered.append(emitted)
+        return delivered
+
+    def queue_bytes_at(self, time_ns: int) -> float:
+        """Bytes awaiting transmission at ``time_ns`` (diagnostics)."""
+        backlog_scaled = self._completion_scaled - time_ns * self.rho
+        return max(0, backlog_scaled) / NS_PER_S

@@ -1,0 +1,159 @@
+"""Slotted traffic sources for the mitigation simulation.
+
+Three source models cover the paper's DoS narrative (Section 1 and the
+Kuzmanovic-Knightly Shrew reference [25]):
+
+- :class:`ConstantBitRateSource` — open-loop background traffic;
+- :class:`AimdSource` — a closed-loop, TCP-like victim: a congestion
+  window grows by one segment per loss-free slot (additive increase) and
+  halves on any loss in the slot (multiplicative decrease), with a
+  timeout-like collapse to one segment when every packet of a slot is
+  lost — the behaviour Shrew attacks exploit;
+- :class:`ShrewSource` — the attacker: a burst of ``burst_bytes`` at the
+  start of each period, synchronized to the victims' recovery clock.
+
+Sources generate packets per slot ``[start, end)``; the simulation loop
+feeds back per-flow delivery results so closed-loop sources can react.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+from ..model.packet import FlowId, Packet
+from ..model.units import NS_PER_S
+
+
+class SlottedSource(ABC):
+    """A traffic source driven slot by slot."""
+
+    def __init__(self, fid: FlowId):
+        self.fid = fid
+
+    @abstractmethod
+    def generate(self, start_ns: int, end_ns: int, rng: random.Random) -> List[Packet]:
+        """Packets this source emits during ``[start_ns, end_ns)``."""
+
+    def feedback(self, delivered: int, dropped: int) -> None:
+        """Per-slot delivery feedback (packets); open-loop sources ignore
+        it."""
+
+
+class ConstantBitRateSource(SlottedSource):
+    """Open-loop CBR: ``rate`` bytes/s in evenly spaced packets."""
+
+    def __init__(self, fid: FlowId, rate: int, packet_size: int = 1000):
+        super().__init__(fid)
+        if rate <= 0 or packet_size <= 0:
+            raise ValueError("rate and packet size must be positive")
+        self.rate = rate
+        self.packet_size = packet_size
+        self._credit_scaled = 0  # accumulated byte-ns credit
+
+    def generate(self, start_ns: int, end_ns: int, rng: random.Random) -> List[Packet]:
+        self._credit_scaled += self.rate * (end_ns - start_ns)
+        count = self._credit_scaled // (self.packet_size * NS_PER_S)
+        self._credit_scaled -= count * self.packet_size * NS_PER_S
+        if count == 0:
+            return []
+        spacing = (end_ns - start_ns) // count or 1
+        return [
+            Packet(
+                time=min(start_ns + i * spacing, end_ns - 1),
+                size=self.packet_size,
+                fid=self.fid,
+            )
+            for i in range(count)
+        ]
+
+
+class AimdSource(SlottedSource):
+    """Closed-loop TCP-like sender, one slot = one RTT.
+
+    ``cwnd`` segments are sent per slot, evenly spaced.  Feedback:
+    no losses -> ``cwnd += 1``; some losses -> ``cwnd = max(1, cwnd//2)``;
+    *all* segments lost -> timeout, ``cwnd = 1`` (the collapse Shrew
+    attacks induce every period).
+    """
+
+    def __init__(
+        self,
+        fid: FlowId,
+        segment_size: int = 1000,
+        initial_cwnd: int = 2,
+        max_cwnd: int = 10_000,
+    ):
+        super().__init__(fid)
+        if segment_size <= 0 or initial_cwnd < 1:
+            raise ValueError("segment size and initial cwnd must be positive")
+        self.segment_size = segment_size
+        self.cwnd = initial_cwnd
+        self.max_cwnd = max_cwnd
+        self.delivered_bytes = 0
+        self.cwnd_history: List[int] = []
+
+    def generate(self, start_ns: int, end_ns: int, rng: random.Random) -> List[Packet]:
+        self.cwnd_history.append(self.cwnd)
+        spacing = (end_ns - start_ns) // self.cwnd or 1
+        return [
+            Packet(
+                time=min(start_ns + i * spacing, end_ns - 1),
+                size=self.segment_size,
+                fid=self.fid,
+            )
+            for i in range(self.cwnd)
+        ]
+
+    def feedback(self, delivered: int, dropped: int) -> None:
+        self.delivered_bytes += delivered * self.segment_size
+        if dropped == 0:
+            self.cwnd = min(self.max_cwnd, self.cwnd + 1)
+        elif delivered == 0:
+            self.cwnd = 1  # timeout
+        else:
+            self.cwnd = max(1, self.cwnd // 2)
+
+
+class ShrewSource(SlottedSource):
+    """Open-loop periodic burster: ``burst_bytes`` at the top of every
+    ``period_ns``, in back-to-back maximum-size packets."""
+
+    def __init__(
+        self,
+        fid: FlowId,
+        burst_bytes: int,
+        period_ns: int = NS_PER_S,
+        packet_size: int = 1518,
+        link_rate: int = None,
+    ):
+        super().__init__(fid)
+        if burst_bytes <= 0 or period_ns <= 0 or packet_size <= 0:
+            raise ValueError("burst, period and packet size must be positive")
+        self.burst_bytes = burst_bytes
+        self.period_ns = period_ns
+        self.packet_size = packet_size
+        #: Packet spacing inside the burst: wire speed if known, else 1 us.
+        if link_rate:
+            self.spacing_ns = max(1, packet_size * NS_PER_S // link_rate)
+        else:
+            self.spacing_ns = 1_000
+
+    def generate(self, start_ns: int, end_ns: int, rng: random.Random) -> List[Packet]:
+        packets: List[Packet] = []
+        # Bursts fire at multiples of the period inside the slot.
+        first_period = -(-start_ns // self.period_ns)
+        burst_start = first_period * self.period_ns
+        while burst_start < end_ns:
+            count = max(1, self.burst_bytes // self.packet_size)
+            packets.extend(
+                Packet(
+                    time=min(burst_start + i * self.spacing_ns, end_ns - 1),
+                    size=self.packet_size,
+                    fid=self.fid,
+                )
+                for i in range(count)
+            )
+            burst_start += self.period_ns
+        return packets

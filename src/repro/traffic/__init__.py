@@ -1,0 +1,78 @@
+"""Traffic synthesis: background traces, attacks, shaping, links, datasets."""
+
+from .adversarial import CounterChurnAttack, FramingAttack, ThresholdRider
+from .attacks import FloodingAttack, ShrewAttack
+from .background import (
+    IMIX,
+    MAX_SIZED,
+    MIN_SIZED,
+    BackgroundConfig,
+    PacketSizeProfile,
+    generate_background,
+    generate_flow,
+    zipf_volumes,
+)
+from .datasets import Dataset, caida_like, federico_like
+from .link import serialize, serialize_with_drops, utilization
+from .mix import AttackScenario, build_attack_scenario
+from .pcap import PcapFormatError, PcapInfo, read_pcap, write_pcap
+from .shaping import UnshapeablePacketError, is_compliant, pace_packets
+from .wire import (
+    ParseError,
+    ParsedFrame,
+    build_ipv4_frame,
+    build_ipv6_frame,
+    flow_id_of,
+    parse_ethernet_frame,
+)
+from .trace_io import (
+    TraceFormatError,
+    intern_fids,
+    read_binary,
+    read_csv,
+    write_binary,
+    write_csv,
+)
+
+__all__ = [
+    "AttackScenario",
+    "BackgroundConfig",
+    "CounterChurnAttack",
+    "Dataset",
+    "FloodingAttack",
+    "FramingAttack",
+    "IMIX",
+    "MAX_SIZED",
+    "MIN_SIZED",
+    "PacketSizeProfile",
+    "ParseError",
+    "ParsedFrame",
+    "PcapFormatError",
+    "PcapInfo",
+    "ShrewAttack",
+    "ThresholdRider",
+    "TraceFormatError",
+    "UnshapeablePacketError",
+    "build_attack_scenario",
+    "build_ipv4_frame",
+    "build_ipv6_frame",
+    "caida_like",
+    "federico_like",
+    "flow_id_of",
+    "generate_background",
+    "generate_flow",
+    "intern_fids",
+    "is_compliant",
+    "pace_packets",
+    "parse_ethernet_frame",
+    "read_binary",
+    "read_pcap",
+    "read_csv",
+    "serialize",
+    "serialize_with_drops",
+    "utilization",
+    "write_binary",
+    "write_csv",
+    "write_pcap",
+    "zipf_volumes",
+]

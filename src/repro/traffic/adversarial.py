@@ -1,0 +1,157 @@
+"""Adversarial strategies against large-flow detectors.
+
+The paper closes by calling out "formally examine the robustness of
+EARDet and prior algorithms against malicious inputs" as future work
+(Section 7); Section 1 sketches the attack surface (algorithmic
+complexity, threshold gaming).  This module implements the canonical
+strategies so the robustness experiment can measure them:
+
+- :class:`ThresholdRider` — sends the *supremum* of traffic that never
+  strictly violates ``TH_h``: an initial ``beta_h`` burst, then exactly
+  ``gamma_h`` forever (tracked with exact integer pacing).  Ground-truth
+  medium by construction; against an exact per-flow policer this evades
+  forever.  The interesting measurement is whether EARDet's
+  ambiguity-region behaviour still catches it.
+- :class:`CounterChurnAttack` — a swarm of single-packet flows churning
+  the detector's counters, run *alongside* a colluding large flow the
+  attacker hopes to shield.  Theorem 4 says the shield cannot work —
+  EARDet's no-FNl holds for arbitrary input — so the measurement is the
+  shield's failure plus the (bounded) incubation inflation it buys.
+- :class:`FramingAttack` — many distinct medium-rate flows intended to
+  inflate shared state and *frame* benign small flows.  Effective
+  against hash-sharing schemes (FMF/AMF); provably ineffective against
+  EARDet (Theorem 6).
+
+All generators are deterministic in their RNG and emit exact-integer
+schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..model.packet import FlowId, MAX_PACKET_SIZE, Packet
+from ..model.thresholds import ThresholdFunction
+from ..model.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class ThresholdRider:
+    """The supremum-compliant flow: ``beta_h`` up front, ``gamma_h`` after.
+
+    Packets are paced so the flow's leaky bucket (rate ``gamma_h``) sits
+    exactly at ``beta_h`` after every packet — never strictly above, so
+    the flow never violates ``TH_h`` over any window (largeness requires
+    a *strict* excess).
+    """
+
+    threshold: ThresholdFunction
+    packet_size: int = MAX_PACKET_SIZE
+
+    def __post_init__(self) -> None:
+        if self.threshold.gamma <= 0:
+            raise ValueError("riding requires a positive gamma_h")
+        if not 0 < self.packet_size <= self.threshold.beta:
+            raise ValueError(
+                f"packet size {self.packet_size} must be in (0, "
+                f"beta_h={self.threshold.beta}]"
+            )
+
+    def generate(self, fid: FlowId, duration_ns: int) -> List[Packet]:
+        """The rider's schedule over ``[0, duration_ns)``."""
+        gamma, beta = self.threshold.gamma, self.threshold.beta
+        packets: List[Packet] = []
+        # Initial burst to exactly beta: back-to-back at t=0.
+        remaining = beta
+        while remaining >= self.packet_size:
+            packets.append(Packet(time=0, size=self.packet_size, fid=fid))
+            remaining -= self.packet_size
+        if remaining > 0:
+            packets.append(Packet(time=0, size=remaining, fid=fid))
+        # Steady state: each packet may be sent once the bucket drained by
+        # its size: send times are ceil(k * size * NS / gamma) — ceiling
+        # keeps the level at-or-below beta exactly.
+        drained = 0
+        k = 1
+        while True:
+            send_time = -(-k * self.packet_size * NS_PER_S // gamma)
+            if send_time >= duration_ns:
+                break
+            packets.append(Packet(time=send_time, size=self.packet_size, fid=fid))
+            drained = send_time
+            k += 1
+        return packets
+
+
+@dataclass(frozen=True)
+class CounterChurnAttack:
+    """A swarm of one-packet flows churning counters, shielding an
+    accomplice.
+
+    ``swarm_rate`` bytes/s of minimum-size packets, each from a fresh
+    flow ID — the input pattern that maximizes decrement pressure on
+    MG-family counters (every packet is a "new flow" step).
+    """
+
+    swarm_rate: int
+    packet_size: int = 40
+
+    def __post_init__(self) -> None:
+        if self.swarm_rate <= 0 or self.packet_size <= 0:
+            raise ValueError("swarm rate and packet size must be positive")
+
+    def generate(
+        self, fid_prefix: str, duration_ns: int, rng: random.Random
+    ) -> List[Packet]:
+        count = max(
+            1, round(self.swarm_rate * duration_ns / NS_PER_S) // self.packet_size
+        )
+        spacing = max(1, duration_ns // count)
+        return [
+            Packet(
+                time=min(i * spacing, duration_ns - 1),
+                size=self.packet_size,
+                fid=(fid_prefix, i),
+            )
+            for i in range(count)
+        ]
+
+
+@dataclass(frozen=True)
+class FramingAttack:
+    """Many distinct medium-rate flows meant to inflate shared detector
+    state so benign small flows get blamed."""
+
+    flows: int
+    per_flow_rate: int
+    packet_size: int = MAX_PACKET_SIZE
+
+    def __post_init__(self) -> None:
+        if self.flows <= 0 or self.per_flow_rate <= 0:
+            raise ValueError("flows and per-flow rate must be positive")
+
+    def generate(
+        self, fid_prefix: str, duration_ns: int, rng: random.Random
+    ) -> List[List[Packet]]:
+        """One packet list per framing flow (merge them with the rest)."""
+        result: List[List[Packet]] = []
+        per_flow = max(
+            1,
+            round(self.per_flow_rate * duration_ns / NS_PER_S) // self.packet_size,
+        )
+        for index in range(self.flows):
+            offset = rng.randrange(max(1, duration_ns // 10))
+            spacing = max(1, (duration_ns - offset) // per_flow)
+            result.append(
+                [
+                    Packet(
+                        time=min(offset + i * spacing, duration_ns - 1),
+                        size=self.packet_size,
+                        fid=(fid_prefix, index),
+                    )
+                    for i in range(per_flow)
+                ]
+            )
+        return result

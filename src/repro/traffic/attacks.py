@@ -1,0 +1,140 @@
+"""Attack-flow generators: flooding and Shrew DoS (paper Section 5.2).
+
+Two strategies mirror the paper's experiment setup exactly:
+
+- **Flooding**: a constant-rate flow of maximum-size packets.  The paper
+  picks a random 1-second slot as the flow's first second and then sends
+  ``rate / packet_size`` packets at random times inside every subsequent
+  1-second interval until the trace ends.
+- **Shrew** (Kuzmanovic & Knightly): periodic bursts of duration ``L``
+  every period ``T`` at burst rate ``gamma_burst``, i.e.
+  ``gamma_burst * L`` bytes placed at random times inside each burst —
+  the low-average-rate attack that evades fixed-window detectors.
+
+Both generators are deterministic in their RNG and produce one flow each;
+scenario builders spawn many with distinct seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..model.packet import FlowId, MAX_PACKET_SIZE, Packet
+from ..model.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class FloodingAttack:
+    """Constant-rate flooding flow.
+
+    ``rate`` is the target bytes/s; each 1-second interval carries
+    ``round(rate / packet_size)`` packets of ``packet_size`` bytes at
+    uniformly random offsets (the paper's construction).
+    """
+
+    rate: int
+    packet_size: int = MAX_PACKET_SIZE
+    interval_ns: int = NS_PER_S
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"attack rate must be positive, got {self.rate}")
+        if self.packet_size <= 0:
+            raise ValueError(
+                f"packet size must be positive, got {self.packet_size}"
+            )
+
+    def generate(
+        self,
+        fid: FlowId,
+        duration_ns: int,
+        rng: random.Random,
+        start_ns: int = None,
+    ) -> List[Packet]:
+        """Packets of one flooding flow inside ``[0, duration_ns)``.
+
+        ``start_ns`` defaults to the paper's random whole-second slot
+        within the trace (leaving at least one full interval of attack).
+        """
+        if start_ns is None:
+            slots = max(1, (duration_ns - self.interval_ns) // self.interval_ns)
+            start_ns = rng.randrange(slots) * self.interval_ns
+        per_interval = max(1, round(self.rate * self.interval_ns / NS_PER_S) // self.packet_size)
+        packets: List[Packet] = []
+        interval_start = start_ns
+        while interval_start < duration_ns:
+            span = min(self.interval_ns, duration_ns - interval_start)
+            times = sorted(
+                interval_start + rng.randrange(span) for _ in range(per_interval)
+            )
+            packets.extend(
+                Packet(time=t, size=self.packet_size, fid=fid) for t in times
+            )
+            interval_start += self.interval_ns
+        return packets
+
+
+@dataclass(frozen=True)
+class ShrewAttack:
+    """Periodic burst (Shrew / RoQ) flow.
+
+    Every period ``T`` the flow sends a burst of duration ``L`` at rate
+    ``gamma_burst``: ``gamma_burst * L`` bytes at random offsets inside the
+    burst window.  With ``L << T`` the average rate stays low while each
+    burst can violate an arbitrary-window threshold.
+    """
+
+    burst_rate: int
+    burst_duration_ns: int
+    period_ns: int = NS_PER_S
+    packet_size: int = MAX_PACKET_SIZE
+
+    def __post_init__(self) -> None:
+        if self.burst_rate <= 0:
+            raise ValueError(f"burst rate must be positive, got {self.burst_rate}")
+        if not 0 < self.burst_duration_ns <= self.period_ns:
+            raise ValueError(
+                f"burst duration {self.burst_duration_ns}ns must be in "
+                f"(0, period={self.period_ns}ns]"
+            )
+
+    @property
+    def average_rate(self) -> float:
+        """Long-run average bytes/s, the quantity fixed-window detectors
+        see."""
+        return self.burst_rate * self.burst_duration_ns / self.period_ns
+
+    def burst_bytes(self) -> int:
+        """Bytes per burst: ``gamma_burst * L``."""
+        return round(self.burst_rate * self.burst_duration_ns / NS_PER_S)
+
+    def generate(
+        self,
+        fid: FlowId,
+        duration_ns: int,
+        rng: random.Random,
+        start_ns: int = None,
+    ) -> List[Packet]:
+        """Packets of one Shrew flow inside ``[0, duration_ns)``.
+
+        ``start_ns`` defaults to the paper's random start in the first
+        ``duration - 1s`` (so at least one burst lands inside the trace).
+        """
+        if start_ns is None:
+            horizon = max(1, duration_ns - self.period_ns)
+            start_ns = rng.randrange(horizon)
+        per_burst = max(1, self.burst_bytes() // self.packet_size)
+        packets: List[Packet] = []
+        burst_start = start_ns
+        while burst_start < duration_ns:
+            span = min(self.burst_duration_ns, duration_ns - burst_start)
+            times = sorted(
+                burst_start + rng.randrange(span) for _ in range(per_burst)
+            )
+            packets.extend(
+                Packet(time=t, size=self.packet_size, fid=fid) for t in times
+            )
+            burst_start += self.period_ns
+        return packets

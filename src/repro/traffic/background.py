@@ -1,0 +1,164 @@
+"""Synthetic benign background traffic.
+
+Stand-in for the paper's packet traces (Federico II, CAIDA), which are not
+redistributable; see DESIGN.md's substitution table.  The generator
+produces a population of flows whose aggregate statistics (flow count,
+mean flow size, average link rate, heavy-tailed flow-size distribution)
+can be matched to a real trace's Table-4 row, which is the only role the
+background traffic plays in the paper's experiments: occupying detector
+state and supplying benign small flows that must not be falsely accused.
+
+Flows are built in three steps: a Zipf-like volume is assigned to each
+flow, the volume is cut into packets from a configurable size profile,
+and arrivals are spread over a random lifetime inside the trace.  With
+``shape_to`` set, each flow is additionally paced through
+:func:`repro.traffic.shaping.pace_packets` so it is *provably* small with
+respect to the given low-bandwidth threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.packet import FlowId, Packet
+from ..model.stream import PacketStream, merge
+from ..model.thresholds import ThresholdFunction
+from .shaping import pace_packets
+
+
+@dataclass(frozen=True)
+class PacketSizeProfile:
+    """A discrete packet-size distribution (bytes, weights)."""
+
+    sizes: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be non-empty and aligned")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("packet sizes must be positive")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one packet size."""
+        return rng.choices(self.sizes, weights=self.weights, k=1)[0]
+
+    @property
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(s * w for s, w in zip(self.sizes, self.weights)) / total
+
+
+#: Classic Internet mix: many ACK-sized, some medium, many full-MTU frames.
+IMIX = PacketSizeProfile(sizes=(40, 576, 1500), weights=(7, 4, 1))
+
+#: All-small and all-large profiles for adversarial corner cases.
+MIN_SIZED = PacketSizeProfile(sizes=(40,), weights=(1,))
+MAX_SIZED = PacketSizeProfile(sizes=(1518,), weights=(1,))
+
+
+@dataclass(frozen=True)
+class BackgroundConfig:
+    """Parameters of a synthetic background trace.
+
+    ``zipf_exponent`` controls the flow-size skew (0 = uniform volumes,
+    ~1 = classic heavy tail).  ``mean_flow_bytes * flows`` fixes the total
+    trace volume, hence the average link rate for a given duration.
+    """
+
+    flows: int
+    duration_ns: int
+    mean_flow_bytes: int
+    zipf_exponent: float = 1.0
+    size_profile: PacketSizeProfile = IMIX
+    shape_to: Optional[ThresholdFunction] = None
+    fid_prefix: str = "bg"
+
+    def __post_init__(self) -> None:
+        if self.flows < 1:
+            raise ValueError(f"need at least 1 flow, got {self.flows}")
+        if self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        if self.mean_flow_bytes < min(self.size_profile.sizes):
+            raise ValueError(
+                f"mean flow of {self.mean_flow_bytes}B cannot fit even one "
+                f"packet of the smallest profile size"
+            )
+
+
+def zipf_volumes(
+    flows: int, total_bytes: int, exponent: float, minimum: int
+) -> List[int]:
+    """Deterministically split ``total_bytes`` across ``flows`` flows with
+    Zipf(``exponent``) proportions, each at least ``minimum`` bytes."""
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(flows)]
+    scale = total_bytes / sum(weights)
+    volumes = [max(minimum, int(weight * scale)) for weight in weights]
+    return volumes
+
+
+def generate_flow(
+    rng: random.Random,
+    fid: FlowId,
+    volume: int,
+    start_ns: int,
+    lifetime_ns: int,
+    profile: PacketSizeProfile,
+    shape_to: Optional[ThresholdFunction] = None,
+) -> List[Packet]:
+    """Build one flow: cut ``volume`` into profile-sized packets spread
+    uniformly over ``[start_ns, start_ns + lifetime_ns)``, optionally paced
+    to comply with a low-bandwidth threshold."""
+    sizes: List[int] = []
+    remaining = volume
+    floor = min(profile.sizes)
+    while remaining >= floor:
+        size = profile.sample(rng)
+        if size > remaining:
+            size = remaining if remaining >= floor else floor
+        sizes.append(size)
+        remaining -= size
+    if not sizes:
+        sizes = [max(volume, floor)]
+    times = sorted(start_ns + rng.randrange(max(1, lifetime_ns)) for _ in sizes)
+    packets = [
+        Packet(time=t, size=s, fid=fid) for t, s in zip(times, sizes)
+    ]
+    if shape_to is not None:
+        packets = pace_packets(packets, shape_to)
+    return packets
+
+
+def generate_background(config: BackgroundConfig, seed: int = 0) -> PacketStream:
+    """Generate a full background trace per ``config``; deterministic in
+    ``seed``."""
+    rng = random.Random(seed)
+    total = config.flows * config.mean_flow_bytes
+    volumes = zipf_volumes(
+        config.flows, total, config.zipf_exponent, min(config.size_profile.sizes)
+    )
+    # Shuffle volumes so flow rank is independent of flow ID.
+    rng.shuffle(volumes)
+    flows: List[Sequence[Packet]] = []
+    for index, volume in enumerate(volumes):
+        start = rng.randrange(max(1, config.duration_ns // 2))
+        lifetime = rng.randint(
+            max(1, (config.duration_ns - start) // 3),
+            max(1, config.duration_ns - start),
+        )
+        flows.append(
+            generate_flow(
+                rng,
+                fid=(config.fid_prefix, index),
+                volume=volume,
+                start_ns=start,
+                lifetime_ns=lifetime,
+                profile=config.size_profile,
+                shape_to=config.shape_to,
+            )
+        )
+    return merge(*flows)

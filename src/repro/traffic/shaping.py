@@ -1,0 +1,83 @@
+"""Leaky-bucket traffic shaping.
+
+Experiments that measure false positives on *small* flows need flows that
+are ground-truth small — i.e. strictly compliant with the low-bandwidth
+threshold ``TH_l(t) = gamma_l t + beta_l`` over **every** window.
+:func:`pace_packets` takes a flow's candidate packet schedule and delays
+packets (never reorders, never drops) until the resulting schedule is
+strictly compliant, using the same exact integer arithmetic as the
+ground-truth labeler, so "shaped" provably implies "small".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..model.packet import Packet
+from ..model.thresholds import ThresholdFunction
+from ..model.units import NS_PER_S
+
+
+class UnshapeablePacketError(ValueError):
+    """A single packet is too large to ever comply with the threshold."""
+
+
+def pace_packets(
+    packets: Iterable[Packet], threshold: ThresholdFunction
+) -> List[Packet]:
+    """Delay packets of ONE flow until it strictly complies with ``threshold``.
+
+    The returned schedule satisfies: for every window [t1, t2),
+    ``vol < gamma (t2 - t1) + beta`` — verified by keeping the flow's
+    leaky-bucket peak strictly below ``beta`` (scaled comparison
+    ``peak <= beta * NS - 1``).
+
+    Raises :class:`UnshapeablePacketError` if any packet's size is >= the
+    burst ``beta`` (such a packet violates the threshold all by itself in
+    an arbitrarily short window).
+    """
+    gamma, beta = threshold.gamma, threshold.beta
+    if gamma <= 0:
+        raise ValueError("cannot pace against a zero-rate threshold")
+    beta_scaled = beta * NS_PER_S
+    shaped: List[Packet] = []
+    level_scaled = 0
+    last_time = 0
+    for packet in packets:
+        size_scaled = packet.size * NS_PER_S
+        if size_scaled >= beta_scaled:
+            raise UnshapeablePacketError(
+                f"packet of {packet.size}B can never comply with burst "
+                f"beta={beta}B"
+            )
+        # Highest pre-add level that keeps the post-add level strictly
+        # below beta: level + size <= beta*NS - 1.
+        allowed = beta_scaled - 1 - size_scaled
+        send_time = packet.time if packet.time > last_time else last_time
+        current = max(0, level_scaled - gamma * (send_time - last_time))
+        if current > allowed:
+            # Wait until the bucket drains to the allowed level.
+            extra = -(-(current - allowed) // gamma)  # ceil division
+            send_time += extra
+            current = max(0, level_scaled - gamma * (send_time - last_time))
+        level_scaled = current + size_scaled
+        last_time = send_time
+        shaped.append(Packet(time=send_time, size=packet.size, fid=packet.fid))
+    return shaped
+
+
+def is_compliant(packets: Iterable[Packet], threshold: ThresholdFunction) -> bool:
+    """Exact strict-compliance check for one flow's packets: True iff every
+    window's volume is strictly below ``threshold``."""
+    gamma = threshold.gamma
+    beta_scaled = threshold.beta * NS_PER_S
+    level_scaled = 0
+    last_time = None
+    for packet in packets:
+        if last_time is not None:
+            level_scaled = max(0, level_scaled - gamma * (packet.time - last_time))
+        level_scaled += packet.size * NS_PER_S
+        last_time = packet.time
+        if level_scaled >= beta_scaled:
+            return False
+    return True

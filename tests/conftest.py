@@ -1,0 +1,87 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.config import EARDetConfig, engineer
+from repro.model.packet import Packet
+from repro.model.stream import PacketStream
+from repro.model.thresholds import ThresholdFunction
+
+# ---------------------------------------------------------------- fixtures
+
+
+@pytest.fixture
+def small_config() -> EARDetConfig:
+    """A tiny EARDet instance for fast unit tests."""
+    return EARDetConfig(rho=1_000_000, n=4, beta_th=500, alpha=100, beta_l=200, gamma_l=10_000)
+
+
+@pytest.fixture
+def appendix_config() -> EARDetConfig:
+    """The Appendix-A worked example's configuration (n=101)."""
+    return engineer(
+        rho=100_000_000,
+        gamma_l=100_000,
+        beta_l=6072,
+        gamma_h=1_000_000,
+        t_upincb_seconds=1.0,
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+# ---------------------------------------------------------------- strategies
+
+
+@st.composite
+def packet_lists(
+    draw,
+    max_packets: int = 60,
+    max_flows: int = 6,
+    max_size: int = 1518,
+    max_gap_ns: int = 2_000_000,
+):
+    """A time-ordered list of packets over a handful of flows."""
+    count = draw(st.integers(min_value=0, max_value=max_packets))
+    packets = []
+    time = 0
+    for _ in range(count):
+        time += draw(st.integers(min_value=0, max_value=max_gap_ns))
+        packets.append(
+            Packet(
+                time=time,
+                size=draw(st.integers(min_value=1, max_value=max_size)),
+                fid=draw(st.integers(min_value=0, max_value=max_flows - 1)),
+            )
+        )
+    return packets
+
+
+@st.composite
+def threshold_functions(draw, max_gamma: int = 10_000_000, max_beta: int = 100_000):
+    return ThresholdFunction(
+        gamma=draw(st.integers(min_value=1, max_value=max_gamma)),
+        beta=draw(st.integers(min_value=1, max_value=max_beta)),
+    )
+
+
+@pytest.fixture
+def tiny_stream() -> PacketStream:
+    """A deterministic 3-flow stream for smoke tests."""
+    return PacketStream(
+        [
+            Packet(time=0, size=100, fid="a"),
+            Packet(time=1_000, size=200, fid="b"),
+            Packet(time=2_000, size=100, fid="a"),
+            Packet(time=5_000, size=300, fid="c"),
+            Packet(time=9_000, size=50, fid="b"),
+        ]
+    )

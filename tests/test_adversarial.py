@@ -1,0 +1,122 @@
+"""Adversarial robustness: algorithmic-complexity and pathological inputs.
+
+The paper motivates EARDet partly by the fragility of competing schemes
+whose "storage overhead may grow unboundedly with the size of the input
+traffic in the presence of malicious inputs" (Section 1, citing Crosby &
+Wallach).  These tests drive the detector with inputs crafted to blow up
+naive implementations — floods of unique flow IDs, minimum-sized packets
+at line rate, timestamp ties, decade-long gaps, single-byte packets —
+and assert state stays bounded and arithmetic stays exact.
+"""
+
+import pytest
+
+from repro.core.config import EARDetConfig, engineer
+from repro.core.eardet import EARDet
+from repro.model.packet import Packet
+from repro.model.units import NS_PER_S, seconds
+
+
+@pytest.fixture
+def config():
+    return engineer(
+        rho=25_000_000,
+        gamma_l=25_000,
+        beta_l=6072,
+        gamma_h=250_000,
+        t_upincb_seconds=1.0,
+    )
+
+
+def test_unique_flow_flood_keeps_state_bounded(config):
+    """One packet per flow, every flow distinct: the classic state
+    exhaustion attack against per-flow and sampling schemes."""
+    detector = EARDet(config)
+    t = 0
+    for index in range(20_000):
+        detector.observe(Packet(time=t, size=40, fid=("unique", index)))
+        t += 2_000  # 40 B / 2 us = 20 MB/s offered
+    assert len(detector.counters) <= config.n
+    assert len(detector.blacklist) <= config.n
+    # No flow sent more than one 40 B packet: nobody is large.
+    assert len(detector.detected) == 0
+
+
+def test_min_sized_packets_at_line_rate(config):
+    """The paper's worst case for virtual-traffic overhead: the link
+    congested by minimum-sized packets."""
+    detector = EARDet(config)
+    t = 0
+    gap = 40 * NS_PER_S // config.rho  # back-to-back 40 B packets
+    for index in range(5_000):
+        detector.observe(Packet(time=t, size=40, fid=("mouse", index % 500)))
+        t += gap
+    assert len(detector.counters) <= config.n
+    assert detector.stats.oversubscribed_gaps == 0
+
+
+def test_timestamp_ties(config):
+    """Bursts of packets sharing one timestamp (batched capture) must not
+    corrupt idle-bandwidth accounting."""
+    detector = EARDet(config)
+    for burst in range(50):
+        t = burst * 10_000_000
+        for index in range(20):
+            detector.observe(Packet(time=t, size=100, fid=("tie", index)))
+    assert len(detector.counters) <= config.n
+
+
+def test_decade_long_gap(config):
+    """A gap of ten years of idle link time: the virtual-traffic fast
+    path must cope without iterating the idle volume."""
+    detector = EARDet(config)
+    detector.observe(Packet(time=0, size=1518, fid="before"))
+    detector.observe(Packet(time=seconds(10 * 365 * 24 * 3600), size=1518, fid="after"))
+    assert len(detector.counters) <= config.n
+    assert detector.stats.virtual_bytes > 10**15  # ~7.9 PB of idle volume
+
+
+def test_single_byte_packets():
+    config = EARDetConfig(rho=1_000, n=3, beta_th=5, alpha=2, virtual_unit=1)
+    detector = EARDet(config)
+    t = 0
+    for index in range(1_000):
+        detector.observe(Packet(time=t, size=1, fid=index % 7))
+        t += NS_PER_S // 1_000
+    assert len(detector.counters) <= 3
+
+
+def test_alternating_blacklist_thrash(config):
+    """A flow that gets blacklisted, decays out, and returns repeatedly:
+    the sink records it once; local state stays bounded."""
+    detector = EARDet(config)
+    t = 0
+    for cycle in range(20):
+        # Burst hard enough to get caught ...
+        for _ in range(60):
+            detector.observe(Packet(time=t, size=1518, fid="flapper"))
+            t += 1518 * NS_PER_S // config.rho
+        # ... then go silent long enough for every counter to drain.
+        t += seconds(5)
+        detector.observe(Packet(time=t, size=40, fid=("noise", cycle)))
+        t += 1_000_000
+    assert detector.is_detected("flapper")
+    assert len(detector.detected) == 1 + 0  # flapper only
+    assert len(detector.blacklist) <= config.n
+
+
+def test_carryover_cannot_be_farmed(config):
+    """Sub-byte idle slivers repeated millions of times must not mint
+    phantom virtual bytes (the carryover's ±0.5 B invariant, end to end)."""
+    detector = EARDet(config)
+    t = 0
+    size = 40
+    exact_gap = size * NS_PER_S // config.rho  # 1600 ns exactly
+    # Offset by 1 ns: each gap leaks rho * 1ns = 0.025 B of idle.  Every
+    # packet is its own flow so nothing is ever blacklisted (blacklisted
+    # flows' bytes would legitimately count as idle in cut-off mode).
+    for index in range(10_001):
+        detector.observe(Packet(time=t, size=size, fid=("drip", index)))
+        t += exact_gap + 1
+    true_idle = 10_000 * config.rho * 1 / NS_PER_S  # bytes over 10k gaps
+    assert abs(detector.stats.virtual_bytes - true_idle) <= 1

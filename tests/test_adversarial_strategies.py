@@ -1,0 +1,145 @@
+"""Adversarial strategy generators and the robustness experiment."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.groundtruth import FlowClass, label_stream
+from repro.core.config import engineer
+from repro.core.eardet import EARDet
+from repro.model.stream import PacketStream, merge
+from repro.model.thresholds import LeakyBucket, ThresholdFunction
+from repro.model.units import NS_PER_S, seconds
+from repro.traffic.adversarial import (
+    CounterChurnAttack,
+    FramingAttack,
+    ThresholdRider,
+)
+
+HIGH = ThresholdFunction(gamma=250_000, beta=15_500)
+LOW = ThresholdFunction(gamma=25_000, beta=6_072)
+
+
+class TestThresholdRider:
+    def test_never_strictly_violates_th_h(self):
+        rider = ThresholdRider(threshold=HIGH)
+        packets = rider.generate("r", seconds(5))
+        bucket = LeakyBucket(HIGH.gamma)
+        for packet in packets:
+            level = bucket.add(packet.time, packet.size)
+            assert level <= HIGH.beta * NS_PER_S  # at, never above
+
+    def test_is_ground_truth_medium(self):
+        rider = ThresholdRider(threshold=HIGH)
+        packets = PacketStream(
+            sorted(rider.generate("r", seconds(3)), key=lambda p: p.time)
+        )
+        labels = label_stream(packets, HIGH, LOW)
+        assert labels["r"].flow_class is FlowClass.MEDIUM
+
+    def test_achieves_nearly_the_supremum_volume(self):
+        rider = ThresholdRider(threshold=HIGH)
+        duration = seconds(4)
+        packets = rider.generate("r", duration)
+        volume = sum(p.size for p in packets)
+        supremum = HIGH.beta + HIGH.gamma * duration // NS_PER_S
+        assert volume > 0.99 * supremum
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRider(threshold=ThresholdFunction(gamma=0, beta=100))
+        with pytest.raises(ValueError):
+            ThresholdRider(threshold=HIGH, packet_size=HIGH.beta + 1)
+
+
+class TestCounterChurn:
+    def test_swarm_statistics(self):
+        churn = CounterChurnAttack(swarm_rate=1_000_000)
+        packets = churn.generate("c", seconds(2), random.Random(0))
+        assert sum(p.size for p in packets) == pytest.approx(2_000_000, rel=0.01)
+        assert len({p.fid for p in packets}) == len(packets)  # all fresh
+
+    def test_cannot_shield_a_large_flow(self):
+        """The headline property: no-FNl is input-independent."""
+        config = engineer(
+            rho=25_000_000, gamma_l=25_000, beta_l=6_072,
+            gamma_h=250_000, t_upincb_seconds=1.0,
+        )
+        rng = random.Random(1)
+        from repro.traffic.attacks import FloodingAttack
+
+        accomplice = FloodingAttack(rate=500_000).generate(
+            "big", seconds(3), rng, start_ns=0
+        )
+        churn = CounterChurnAttack(swarm_rate=15_000_000).generate(
+            "churn", seconds(3), rng
+        )
+        stream = merge(accomplice, churn)
+        detector = EARDet(config).observe_stream(stream)
+        assert detector.is_detected("big")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterChurnAttack(swarm_rate=0)
+
+
+class TestFramingAttack:
+    def test_flow_layout(self):
+        attack = FramingAttack(flows=5, per_flow_rate=100_000)
+        flows = attack.generate("f", seconds(2), random.Random(0))
+        assert len(flows) == 5
+        for index, flow in enumerate(flows):
+            assert all(p.fid == ("f", index) for p in flow)
+            volume = sum(p.size for p in flow)
+            assert volume == pytest.approx(200_000, rel=0.02)
+
+    def test_cannot_frame_against_eardet(self):
+        """Framers at 0.8 gamma_h cannot make EARDet accuse a shaped
+        small flow sharing the link."""
+        from repro.traffic.shaping import pace_packets
+        from repro.model.packet import Packet
+
+        config = engineer(
+            rho=25_000_000, gamma_l=25_000, beta_l=6_072,
+            gamma_h=250_000, t_upincb_seconds=1.0,
+        )
+        small = pace_packets(
+            [Packet(time=i * 10_000_000, size=500, fid="victim") for i in range(200)],
+            ThresholdFunction(gamma=20_000, beta=6_000),
+        )
+        framers = FramingAttack(flows=60, per_flow_rate=200_000).generate(
+            "framer", seconds(3), random.Random(2)
+        )
+        stream = merge(small, *framers)
+        detector = EARDet(config).observe_stream(stream)
+        assert not detector.is_detected("victim")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FramingAttack(flows=0, per_flow_rate=10)
+
+
+class TestRobustnessExperiment:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        from repro.experiments import robustness
+        from repro.experiments.report import ExperimentParams
+
+        return robustness.run(ExperimentParams.quick())
+
+    def test_three_tables(self, tables):
+        assert len(tables) == 3
+
+    def test_eardet_never_frames(self, tables):
+        riding, _, framing = tables
+        for table in (riding, framing):
+            eardet_row = next(row for row in table.rows if row[0] == "eardet")
+            fp_cell = eardet_row[2] if table is riding else eardet_row[1]
+            assert fp_cell == 0
+
+    def test_churn_never_shields(self, tables):
+        _, churn, _ = tables
+        for row in churn.rows:
+            assert row[1] == "caught"
+            assert row[2] <= row[3]  # incubation within the bound

@@ -1,0 +1,84 @@
+"""Arbitrary-window multistage filter (AMF)."""
+
+import pytest
+
+from repro.detectors.amf import ArbitraryMultistageFilter
+from repro.model.packet import Packet
+from repro.model.units import NS_PER_S
+
+
+def make_filter(**overrides):
+    defaults = dict(stages=2, buckets=64, bucket_size=1_000, drain_rate=1_000_000)
+    defaults.update(overrides)
+    return ArbitraryMultistageFilter(**defaults)
+
+
+def test_flags_when_all_buckets_overflow():
+    amf = make_filter()
+    assert not amf.observe(Packet(time=0, size=1_000, fid="f"))
+    assert amf.observe(Packet(time=1, size=1, fid="f"))
+
+
+def test_buckets_drain_over_time():
+    amf = make_filter()
+    amf.observe(Packet(time=0, size=1_000, fid="f"))
+    # After a full second at 1 MB/s drain, the buckets are empty again.
+    assert not amf.observe(Packet(time=NS_PER_S, size=1_000, fid="f"))
+
+
+def test_catches_burst_straddling_fmf_windows():
+    """AMF's raison d'etre: bursts that straddle fixed-window boundaries
+    still overflow its continuously-draining buckets."""
+    amf = make_filter()
+    amf.observe(Packet(time=NS_PER_S - 10, size=600, fid="shrew"))
+    assert amf.observe(Packet(time=NS_PER_S + 10, size=600, fid="shrew"))
+
+
+def test_stage_levels_query():
+    amf = make_filter()
+    amf.observe(Packet(time=0, size=500, fid="f"))
+    levels = amf.stage_levels("f", now_ns=0)
+    assert levels == [500.0, 500.0]
+    drained = amf.stage_levels("f", now_ns=NS_PER_S // 10_000)  # 0.1 ms
+    assert all(level == 400.0 for level in drained)
+
+
+def test_hash_collisions_inflate_buckets():
+    amf = make_filter(buckets=1)
+    amf.observe(Packet(time=0, size=2_000, fid="elephant"))
+    assert amf.observe(Packet(time=1, size=1, fid="innocent"))
+
+
+def test_compliant_flow_never_flagged():
+    amf = make_filter()
+    # 100 B every ms = 100 KB/s << 1 MB/s drain; bucket never fills.
+    for i in range(200):
+        assert not amf.observe(Packet(time=i * 1_000_000, size=100, fid="f"))
+
+
+def test_zero_drain_rate_accumulates_forever():
+    amf = make_filter(drain_rate=0, buckets=4)
+    for i in range(11):
+        flagged = amf.observe(Packet(time=i * NS_PER_S, size=100, fid="f"))
+    assert flagged  # 1100 B > 1000 B bucket despite eons between packets
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_filter(stages=0)
+    with pytest.raises(ValueError):
+        make_filter(bucket_size=0)
+    with pytest.raises(ValueError):
+        make_filter(drain_rate=-1)
+
+
+def test_reset():
+    amf = make_filter()
+    amf.observe(Packet(time=0, size=2_000, fid="f"))
+    amf.reset()
+    assert not amf.is_detected("f")
+    assert amf.stage_levels("f", 0) == [0.0, 0.0]
+
+
+def test_counter_count():
+    assert make_filter(stages=2, buckets=55).counter_count() == 110

@@ -1,0 +1,118 @@
+"""Flooding and Shrew attack generators."""
+
+import random
+
+import pytest
+
+from repro.analysis.groundtruth import label_stream
+from repro.model.stream import PacketStream
+from repro.model.thresholds import ThresholdFunction
+from repro.model.units import NS_PER_S, milliseconds, seconds
+from repro.traffic.attacks import FloodingAttack, ShrewAttack
+
+
+class TestFloodingAttack:
+    def test_rate_is_hit_per_interval(self):
+        attack = FloodingAttack(rate=1_518_000, packet_size=1518)
+        packets = attack.generate("f", seconds(5), random.Random(0), start_ns=0)
+        stream = PacketStream(sorted(packets, key=lambda p: p.time))
+        # Each full second carries rate bytes.
+        for second in range(4):
+            volume = stream.volume("f", seconds(second), seconds(second + 1))
+            assert volume == 1_518_000
+
+    def test_random_start_is_a_whole_second(self):
+        attack = FloodingAttack(rate=151_800)
+        packets = attack.generate("f", seconds(10), random.Random(3))
+        first = min(p.time for p in packets)
+        assert first % NS_PER_S < NS_PER_S  # inside the chosen slot
+        assert first < seconds(10)
+
+    def test_flow_is_ground_truth_large(self):
+        attack = FloodingAttack(rate=500_000)
+        packets = sorted(
+            attack.generate("f", seconds(3), random.Random(1), start_ns=0),
+            key=lambda p: p.time,
+        )
+        labels = label_stream(
+            PacketStream(packets),
+            high=ThresholdFunction(gamma=250_000, beta=15_500),
+            low=ThresholdFunction(gamma=25_000, beta=6_072),
+        )
+        assert labels["f"].is_large
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FloodingAttack(rate=0)
+        with pytest.raises(ValueError):
+            FloodingAttack(rate=100, packet_size=0)
+
+
+class TestShrewAttack:
+    def make(self, **overrides):
+        defaults = dict(
+            burst_rate=300_000,
+            burst_duration_ns=milliseconds(500),
+            period_ns=NS_PER_S,
+        )
+        defaults.update(overrides)
+        return ShrewAttack(**defaults)
+
+    def test_burst_bytes(self):
+        attack = self.make()
+        assert attack.burst_bytes() == 150_000
+
+    def test_average_rate_well_below_burst_rate(self):
+        attack = self.make(burst_duration_ns=milliseconds(100))
+        assert attack.average_rate == pytest.approx(30_000)
+        assert attack.average_rate < attack.burst_rate / 5
+
+    def test_packets_confined_to_bursts(self):
+        attack = self.make()
+        packets = attack.generate("f", seconds(5), random.Random(0), start_ns=0)
+        for packet in packets:
+            offset = packet.time % NS_PER_S
+            assert offset < milliseconds(500)
+
+    def test_periodicity(self):
+        attack = self.make()
+        packets = sorted(
+            attack.generate("f", seconds(4), random.Random(1), start_ns=0),
+            key=lambda p: p.time,
+        )
+        stream = PacketStream(packets)
+        per_period = [
+            stream.volume("f", seconds(k), seconds(k + 1)) for k in range(4)
+        ]
+        expected = attack.burst_bytes() // 1518 * 1518
+        assert all(volume == expected for volume in per_period)
+
+    def test_long_burst_is_ground_truth_large_short_is_not(self):
+        high = ThresholdFunction(gamma=250_000, beta=15_500)
+        low = ThresholdFunction(gamma=25_000, beta=6_072)
+        for duration_ms, expect_large in ((500, True), (100, False)):
+            attack = self.make(burst_duration_ns=milliseconds(duration_ms))
+            packets = sorted(
+                attack.generate("f", seconds(3), random.Random(2), start_ns=0),
+                key=lambda p: p.time,
+            )
+            labels = label_stream(PacketStream(packets), high=high, low=low)
+            assert labels["f"].is_large == expect_large, duration_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(burst_rate=0)
+        with pytest.raises(ValueError):
+            self.make(burst_duration_ns=0)
+        with pytest.raises(ValueError):
+            self.make(burst_duration_ns=2 * NS_PER_S)  # longer than period
+
+
+def test_generators_are_deterministic():
+    for attack in (
+        FloodingAttack(rate=100_000),
+        ShrewAttack(burst_rate=300_000, burst_duration_ns=milliseconds(100)),
+    ):
+        a = attack.generate("f", seconds(2), random.Random(7))
+        b = attack.generate("f", seconds(2), random.Random(7))
+        assert a == b

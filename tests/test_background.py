@@ -1,0 +1,121 @@
+"""Synthetic background traffic generation."""
+
+import random
+
+import pytest
+
+from repro.model.thresholds import ThresholdFunction
+from repro.traffic.background import (
+    BackgroundConfig,
+    IMIX,
+    PacketSizeProfile,
+    generate_background,
+    generate_flow,
+    zipf_volumes,
+)
+from repro.traffic.shaping import is_compliant
+
+
+class TestPacketSizeProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketSizeProfile(sizes=(), weights=())
+        with pytest.raises(ValueError):
+            PacketSizeProfile(sizes=(10,), weights=(1, 2))
+        with pytest.raises(ValueError):
+            PacketSizeProfile(sizes=(0,), weights=(1,))
+        with pytest.raises(ValueError):
+            PacketSizeProfile(sizes=(10,), weights=(0,))
+
+    def test_sampling_stays_in_support(self):
+        rng = random.Random(0)
+        assert all(IMIX.sample(rng) in IMIX.sizes for _ in range(100))
+
+    def test_mean(self):
+        profile = PacketSizeProfile(sizes=(10, 30), weights=(1, 1))
+        assert profile.mean == 20
+
+
+class TestZipfVolumes:
+    def test_total_approximately_preserved(self):
+        volumes = zipf_volumes(100, 1_000_000, exponent=1.0, minimum=40)
+        assert 0.95 * 1_000_000 <= sum(volumes) <= 1.15 * 1_000_000
+
+    def test_skew_increases_with_exponent(self):
+        flat = zipf_volumes(50, 10**6, exponent=0.0, minimum=1)
+        skewed = zipf_volumes(50, 10**6, exponent=1.5, minimum=1)
+        assert max(flat) / min(flat) < max(skewed) / min(skewed)
+
+    def test_minimum_respected(self):
+        volumes = zipf_volumes(1000, 100_000, exponent=2.0, minimum=40)
+        assert min(volumes) >= 40
+
+
+class TestGenerateFlow:
+    def test_volume_approximately_hit(self):
+        rng = random.Random(1)
+        packets = generate_flow(
+            rng, fid="f", volume=100_000, start_ns=0, lifetime_ns=10**9,
+            profile=IMIX,
+        )
+        total = sum(p.size for p in packets)
+        assert 0.95 * 100_000 <= total <= 100_000 + 1518
+
+    def test_packets_inside_lifetime(self):
+        rng = random.Random(2)
+        packets = generate_flow(
+            rng, fid="f", volume=50_000, start_ns=500, lifetime_ns=1_000,
+            profile=IMIX,
+        )
+        assert all(500 <= p.time < 1_500 for p in packets)
+
+    def test_shaped_flow_complies(self):
+        threshold = ThresholdFunction(gamma=100_000, beta=6_072)
+        rng = random.Random(3)
+        packets = generate_flow(
+            rng, fid="f", volume=100_000, start_ns=0, lifetime_ns=10**6,
+            profile=IMIX, shape_to=threshold,
+        )
+        assert is_compliant(packets, threshold)
+
+
+class TestGenerateBackground:
+    def make_config(self, **overrides):
+        defaults = dict(flows=30, duration_ns=10**9, mean_flow_bytes=5_000)
+        defaults.update(overrides)
+        return BackgroundConfig(**defaults)
+
+    def test_deterministic_in_seed(self):
+        config = self.make_config()
+        a = generate_background(config, seed=5)
+        b = generate_background(config, seed=5)
+        assert list(a) == list(b)
+        c = generate_background(config, seed=6)
+        assert list(a) != list(c)
+
+    def test_flow_count_and_naming(self):
+        config = self.make_config(fid_prefix="test")
+        stream = generate_background(config, seed=0)
+        fids = stream.flow_ids()
+        assert len(fids) == 30
+        assert all(fid[0] == "test" for fid in fids)
+
+    def test_mean_flow_size_matches_config(self):
+        config = self.make_config(flows=200, mean_flow_bytes=10_000)
+        stream = generate_background(config, seed=1)
+        assert stream.stats().avg_flow_size == pytest.approx(10_000, rel=0.15)
+
+    def test_shaped_background_is_all_small(self):
+        threshold = ThresholdFunction(gamma=50_000, beta=6_072)
+        config = self.make_config(shape_to=threshold)
+        stream = generate_background(config, seed=2)
+        for fid in stream.flow_ids():
+            assert is_compliant(stream.flow(fid), threshold), fid
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            self.make_config(flows=0)
+        with pytest.raises(ValueError):
+            self.make_config(duration_ns=0)
+        with pytest.raises(ValueError):
+            self.make_config(mean_flow_bytes=10)  # below smallest packet

@@ -1,0 +1,75 @@
+"""The bounded blacklist and the remote report sink."""
+
+from repro.core.blacklist import Blacklist, ReportSink
+
+
+class TestReportSink:
+    def test_report_records_first_time(self):
+        sink = ReportSink()
+        assert sink.report("f", 100) is True
+        assert sink.detection_time("f") == 100
+
+    def test_re_report_keeps_first_time(self):
+        sink = ReportSink()
+        sink.report("f", 100)
+        assert sink.report("f", 200) is False
+        assert sink.detection_time("f") == 100
+
+    def test_membership_and_iteration(self):
+        sink = ReportSink()
+        sink.report("a", 1)
+        sink.report("b", 2)
+        assert "a" in sink and "c" not in sink
+        assert len(sink) == 2
+        assert set(sink) == {"a", "b"}
+
+    def test_as_dict_is_snapshot(self):
+        sink = ReportSink()
+        sink.report("a", 1)
+        snapshot = sink.as_dict()
+        sink.report("b", 2)
+        assert snapshot == {"a": 1}
+
+    def test_detection_time_of_unknown_flow(self):
+        assert ReportSink().detection_time("ghost") is None
+
+    def test_reset(self):
+        sink = ReportSink()
+        sink.report("a", 1)
+        sink.reset()
+        assert len(sink) == 0
+
+
+class TestBlacklist:
+    def test_add_and_membership(self):
+        blacklist = Blacklist()
+        blacklist.add("f")
+        assert "f" in blacklist
+        assert len(blacklist) == 1
+
+    def test_discard(self):
+        blacklist = Blacklist()
+        blacklist.add("f")
+        blacklist.discard("f")
+        blacklist.discard("never-there")  # no error
+        assert "f" not in blacklist
+
+    def test_prune_keeps_stored_only(self):
+        blacklist = Blacklist()
+        for fid in ("a", "b", "c"):
+            blacklist.add(fid)
+        pruned = blacklist.prune(stored={"b"})
+        assert pruned == 2
+        assert set(blacklist) == {"b"}
+
+    def test_prune_empty_noop(self):
+        blacklist = Blacklist()
+        blacklist.add("a")
+        assert blacklist.prune(stored={"a"}) == 0
+        assert "a" in blacklist
+
+    def test_reset(self):
+        blacklist = Blacklist()
+        blacklist.add("a")
+        blacklist.reset()
+        assert len(blacklist) == 0

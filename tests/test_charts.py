@@ -1,0 +1,74 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import MARKERS, render_chart
+from repro.experiments.report import SeriesSet
+
+
+def make_series(**series):
+    s = SeriesSet(title="demo", x_label="x", x_values=[0, 10, 20, 30])
+    for name, values in series.items():
+        s.add_series(name, values)
+    return s
+
+
+def test_basic_render_structure():
+    chart = render_chart(make_series(up=[0, 1, 2, 3]), width=40, height=8)
+    lines = chart.splitlines()
+    assert lines[0] == "== demo =="
+    assert lines[1].endswith(" " * 0) and "|" in lines[1]
+    assert any("o up" in line for line in lines)
+    assert "(x)" in chart
+
+
+def test_extremes_land_on_borders():
+    chart = render_chart(make_series(up=[0, 1, 2, 3]), width=40, height=8)
+    rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+    assert rows[0].rstrip().endswith("o")  # max at top-right
+    assert rows[-1].lstrip().startswith("o")  # min at bottom-left
+
+
+def test_multiple_series_get_distinct_markers():
+    chart = render_chart(
+        make_series(a=[0, 1, 2, 3], b=[3, 2, 1, 0]), width=40, height=8
+    )
+    assert MARKERS[0] in chart and MARKERS[1] in chart
+    assert f"{MARKERS[0]} a" in chart and f"{MARKERS[1]} b" in chart
+
+
+def test_constant_series_rendered_mid_chart():
+    chart = render_chart(make_series(flat=[5, 5, 5, 5]), width=40, height=9)
+    assert "o" in chart
+
+
+def test_none_values_skipped():
+    chart = render_chart(make_series(gappy=[1, None, None, 2]), width=40, height=8)
+    assert chart.count("o") >= 2
+
+
+def test_non_numeric_x_falls_back_to_index():
+    series = SeriesSet(title="t", x_label="k", x_values=["a", "b", "c"])
+    series.add_series("y", [1, 2, 3])
+    assert render_chart(series, width=30, height=6)
+
+
+def test_notes_appear():
+    series = make_series(y=[1, 2, 3, 4]).add_note("hello note")
+    assert "hello note" in render_chart(series)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_chart(make_series(y=[1, 2, 3, 4]), width=5, height=8)
+    empty = SeriesSet(title="e", x_label="x", x_values=[1, 2])
+    empty.add_series("strings", ["a", "b"])
+    with pytest.raises(ValueError):
+        render_chart(empty)
+
+
+def test_chart_width_is_respected():
+    chart = render_chart(make_series(y=[0, 3, 1, 2]), width=50, height=10)
+    plot_lines = [line for line in chart.splitlines() if "|" in line]
+    for line in plot_lines:
+        assert len(line.split("|", 1)[1]) <= 50

@@ -1,0 +1,182 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, resolve_params
+from repro.experiments.report import ExperimentParams
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_run_table_experiment_with_preset(capsys):
+    assert main(["appendix-a", "--preset", "quick"]) == 0
+    assert "Appendix A" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_resolve_params_defaults():
+    args = build_parser().parse_args(["figure1"])
+    assert resolve_params(args) == ExperimentParams()
+
+
+def test_resolve_params_preset_and_overrides():
+    args = build_parser().parse_args(
+        ["figure1", "--preset", "quick", "--scale", "0.5", "--seed", "9"]
+    )
+    params = resolve_params(args)
+    quick = ExperimentParams.quick()
+    assert params.scale == 0.5
+    assert params.seed == 9
+    assert params.repetitions == quick.repetitions
+    assert params.attack_flows == quick.attack_flows
+
+
+def test_every_experiment_is_registered():
+    assert set(EXPERIMENTS) == {
+        "figure1", "table2", "table3", "tables456", "figure5", "figure6",
+        "figure7", "figure8", "appendix-a", "scalability", "ablations",
+        "dynamics", "window-models", "mitigation", "robustness",
+    }
+
+
+def test_dataset_override():
+    args = build_parser().parse_args(["figure7", "--dataset", "caida"])
+    assert resolve_params(args).dataset == "caida"
+
+
+class TestDetectCommand:
+    def _write_trace(self, tmp_path):
+        from repro.model.packet import Packet
+        from repro.traffic.trace_io import write_csv
+
+        path = tmp_path / "trace.csv"
+        packets = [
+            Packet(time=i * 2_000_000, size=1518, fid="heavy") for i in range(2000)
+        ]
+        write_csv(path, packets)
+        return path
+
+    def test_detect_on_csv(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        code = main(
+            [
+                "detect", "--trace", str(path), "--rho", "25000000",
+                "--gamma-l", "25000", "--gamma-h", "250000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heavy" in out
+        assert "Large flows detected" in out
+
+    def test_detect_on_pcap(self, tmp_path, capsys):
+        from repro.traffic.pcap import write_pcap
+        from repro.traffic.wire import build_ipv4_frame
+
+        path = tmp_path / "t.pcap"
+        frame = build_ipv4_frame(1, 2, 80, 80, payload=b"z" * 1400)
+        write_pcap(path, [(i * 2_000_000, frame) for i in range(2000)])
+        code = main(
+            [
+                "detect", "--trace", str(path), "--rho", "25000000",
+                "--gamma-l", "25000", "--gamma-h", "250000", "--host-pair",
+            ]
+        )
+        assert code == 0
+        assert "(1, 2)" in capsys.readouterr().out
+
+    def test_detect_requires_flags(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["detect", "--trace", "whatever.csv"])
+
+    def test_detect_rejects_unknown_extension(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "detect", "--trace", str(path), "--rho", "1000",
+                    "--gamma-l", "10", "--gamma-h", "100",
+                ]
+            )
+
+    def test_detect_quiet_trace(self, tmp_path, capsys):
+        from repro.model.packet import Packet
+        from repro.traffic.trace_io import write_csv
+
+        path = tmp_path / "quiet.csv"
+        write_csv(path, [Packet(time=0, size=100, fid="tiny")])
+        main(
+            [
+                "detect", "--trace", str(path), "--rho", "25000000",
+                "--gamma-l", "25000", "--gamma-h", "250000",
+            ]
+        )
+        assert "no flow violated" in capsys.readouterr().out
+
+
+def test_json_output(capsys):
+    import json
+
+    assert main(["appendix-a", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "appendix-a" in payload
+    rows = payload["appendix-a"][0]["rows"]
+    assert ["n", 101, 101] in rows
+
+
+def test_detect_on_binary_trace(tmp_path, capsys):
+    from repro.model.packet import Packet
+    from repro.traffic.trace_io import write_binary
+
+    path = tmp_path / "t.ert"
+    write_binary(
+        path,
+        [Packet(time=i * 2_000_000, size=1518, fid=7) for i in range(2000)],
+    )
+    code = main(
+        [
+            "detect", "--trace", str(path), "--rho", "25000000",
+            "--gamma-l", "25000", "--gamma-h", "250000",
+        ]
+    )
+    assert code == 0
+    assert "7" in capsys.readouterr().out
+
+
+def test_chart_flag_renders_series(capsys):
+    assert main(["figure8", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "|" in out and "beta_delta lower bound" in out
+
+
+def test_simulate_command(capsys):
+    code = main(["simulate", "--duration-s", "3", "--victims", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Mitigation simulation" in out
+    assert "attacker" in out
+    assert "cut off: attacker" in out
+
+
+def test_simulate_without_policer(capsys):
+    code = main(["simulate", "--duration-s", "2", "--no-policer"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "policer:" not in out
+    assert "cut off" not in out

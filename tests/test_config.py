@@ -1,0 +1,194 @@
+"""EARDetConfig and the Appendix-A engineering solver.
+
+The decisive tests: the solver must reproduce the paper's worked example
+(n=101, beta_delta=863) and both Table-5 rows (n=107/beta_TH=6991,
+n=100/beta_TH=6925) *exactly*.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import (
+    EARDetConfig,
+    InfeasibleConfigError,
+    beta_delta_bounds,
+    engineer,
+    feasible_counter_range,
+)
+from repro.core import theory
+
+
+class TestEARDetConfig:
+    def test_derived_quantities(self, appendix_config):
+        config = appendix_config
+        assert config.beta_h == config.alpha + 2 * config.beta_th
+        assert config.beta_delta == config.beta_th - config.beta_l
+        assert float(config.rnfn) == pytest.approx(980392.16, rel=1e-6)
+
+    def test_virtual_unit_defaults_to_beta_th(self):
+        config = EARDetConfig(rho=10**6, n=4, beta_th=500)
+        assert config.virtual_unit == 500
+
+    def test_virtual_unit_capped_at_beta_th(self):
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=10**6, n=4, beta_th=500, virtual_unit=501)
+        EARDetConfig(rho=10**6, n=4, beta_th=500, virtual_unit=500)
+
+    def test_beta_l_must_stay_below_beta_th(self):
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=10**6, n=4, beta_th=500, beta_l=500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=0, n=4, beta_th=500)
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=10**6, n=1, beta_th=500)
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=10**6, n=4, beta_th=0)
+        with pytest.raises(ValueError):
+            EARDetConfig(rho=10**6, n=4, beta_th=500, alpha=0)
+
+    def test_thresholds(self, appendix_config):
+        high = appendix_config.high_threshold
+        assert high.beta == appendix_config.beta_h
+        assert high.gamma >= appendix_config.rnfn
+        low = appendix_config.low_threshold
+        assert low.gamma == 100_000
+        assert low.beta == 6072
+
+    def test_describe_mentions_guarantees(self, appendix_config):
+        text = appendix_config.describe()
+        assert "no-FNl" in text and "no-FPs" in text
+
+
+class TestEngineerWorkedExample:
+    """Appendix A, numerically exact."""
+
+    def test_appendix_a(self, appendix_config):
+        assert appendix_config.n == 101
+        assert appendix_config.beta_delta == 863
+        assert appendix_config.beta_th == 6935
+        bound = appendix_config.incubation_bound_seconds(1_000_000)
+        assert float(bound) == pytest.approx(0.7848, abs=1e-4)
+        assert float(appendix_config.rnfp) == pytest.approx(100445.8, abs=0.5)
+        assert float(appendix_config.rnfn) / 100_000 == pytest.approx(9.80, abs=0.01)
+
+    def test_table5_federico(self):
+        config = engineer(
+            rho=25_000_000,
+            gamma_l=25_000,
+            beta_l=6072,
+            gamma_h=250_000,
+            t_upincb_seconds=1.0,
+        )
+        assert config.n == 107
+        assert config.beta_th == 6991
+        assert float(config.incubation_bound_seconds(250_000)) == pytest.approx(
+            0.8370, abs=1e-4
+        )
+
+    def test_table5_caida(self):
+        config = engineer(
+            rho=1_250_000_000,
+            gamma_l=1_250_000,
+            beta_l=6072,
+            gamma_h=12_500_000,
+            t_upincb_seconds=1.0,
+        )
+        assert config.n == 100
+        assert config.beta_th == 6925
+        assert float(config.incubation_bound_seconds(12_500_000)) == pytest.approx(
+            0.1242, abs=1e-4
+        )
+
+
+class TestEngineerValidity:
+    def test_infeasible_budget_raises_with_hint(self):
+        minimum = theory.min_t_upincb(1_000_000, 100_000, 1518, 6072)
+        with pytest.raises(InfeasibleConfigError) as excinfo:
+            engineer(
+                rho=100_000_000,
+                gamma_l=100_000,
+                beta_l=6072,
+                gamma_h=1_000_000,
+                t_upincb_seconds=minimum / 2,
+            )
+        assert "Eq. (12)" in str(excinfo.value)
+
+    def test_inverted_rates_raise(self):
+        with pytest.raises(InfeasibleConfigError):
+            engineer(
+                rho=10**8, gamma_l=10**6, beta_l=6072, gamma_h=10**5,
+                t_upincb_seconds=1.0,
+            )
+
+    def test_nonpositive_budget_raises(self):
+        with pytest.raises(InfeasibleConfigError):
+            engineer(
+                rho=10**8, gamma_l=10**5, beta_l=6072, gamma_h=10**6,
+                t_upincb_seconds=0,
+            )
+
+    @given(
+        rho_mb=st.integers(10, 10_000),
+        gamma_h_frac=st.integers(20, 200),  # gamma_h = rho / frac
+        budget_ms=st.integers(50, 5_000),
+    )
+    def test_engineered_configs_satisfy_all_constraints(
+        self, rho_mb, gamma_h_frac, budget_ms
+    ):
+        """Whenever the solver returns, its output satisfies inequality
+        set (5): incubation bound within budget, R_NFP above gamma_l,
+        R_NFN below gamma_h."""
+        rho = rho_mb * 1_000_000
+        gamma_h = rho // gamma_h_frac
+        gamma_l = gamma_h // 10
+        try:
+            config = engineer(
+                rho=rho,
+                gamma_l=gamma_l,
+                beta_l=6072,
+                gamma_h=gamma_h,
+                t_upincb_seconds=budget_ms / 1000,
+            )
+        except InfeasibleConfigError:
+            return
+        assert config.rnfn < gamma_h
+        assert config.rnfp > gamma_l
+        assert float(config.incubation_bound_seconds(gamma_h)) <= budget_ms / 1000 + 1e-9
+
+
+class TestSolutionSpace:
+    def test_feasible_range_worked_example(self):
+        n_min, n_max = feasible_counter_range(
+            rho=100_000_000,
+            gamma_l=100_000,
+            beta_l=6072,
+            gamma_h=1_000_000,
+            t_upincb_seconds=1.0,
+        )
+        assert n_min == 101
+        assert n_max == 982
+
+    def test_bounds_are_ordered_inside_range(self):
+        for n in (101, 200, 500, 982):
+            lower, upper = beta_delta_bounds(
+                n,
+                rho=100_000_000,
+                gamma_l=100_000,
+                beta_l=6072,
+                gamma_h=1_000_000,
+                t_upincb_seconds=1.0,
+            )
+            assert 0 < lower <= upper
+
+    def test_bounds_reject_excessive_n(self):
+        with pytest.raises(InfeasibleConfigError):
+            beta_delta_bounds(
+                2_000,
+                rho=100_000_000,
+                gamma_l=100_000,
+                beta_l=6072,
+                gamma_h=1_000_000,
+                t_upincb_seconds=1.0,
+            )

@@ -1,0 +1,182 @@
+"""Counter stores: reference semantics, the optimized store, and their
+differential equivalence under random operation sequences."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import (
+    CounterStoreError,
+    HeapCounterStore,
+    ReferenceCounterStore,
+)
+
+STORES = [ReferenceCounterStore, HeapCounterStore]
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestCounterStoreContract:
+    def test_empty_initially(self, store_cls):
+        store = store_cls(3)
+        assert len(store) == 0
+        assert store.is_empty
+        assert not store.is_full
+        assert store.free_slots == 3
+
+    def test_insert_and_get(self, store_cls):
+        store = store_cls(3)
+        store.insert("a", 10)
+        assert "a" in store
+        assert store.get("a") == 10
+        assert store.free_slots == 2
+
+    def test_increment(self, store_cls):
+        store = store_cls(3)
+        store.insert("a", 10)
+        assert store.increment("a", 5) == 15
+        assert store.get("a") == 15
+
+    def test_min_value(self, store_cls):
+        store = store_cls(3)
+        store.insert("a", 10)
+        store.insert("b", 3)
+        store.insert("c", 7)
+        assert store.min_value() == 3
+
+    def test_decrement_all_evicts_zeroed(self, store_cls):
+        store = store_cls(3)
+        store.insert("a", 10)
+        store.insert("b", 3)
+        store.decrement_all(3)
+        assert "b" not in store
+        assert store.get("a") == 7
+        assert store.free_slots == 2
+
+    def test_decrement_zero_is_noop(self, store_cls):
+        store = store_cls(2)
+        store.insert("a", 5)
+        store.decrement_all(0)
+        assert store.get("a") == 5
+
+    def test_decrement_beyond_min_rejected(self, store_cls):
+        store = store_cls(2)
+        store.insert("a", 5)
+        with pytest.raises(CounterStoreError):
+            store.decrement_all(6)
+
+    def test_insert_into_full_rejected(self, store_cls):
+        store = store_cls(1)
+        store.insert("a", 1)
+        with pytest.raises(CounterStoreError):
+            store.insert("b", 1)
+
+    def test_insert_duplicate_rejected(self, store_cls):
+        store = store_cls(2)
+        store.insert("a", 1)
+        with pytest.raises(CounterStoreError):
+            store.insert("a", 2)
+
+    def test_insert_nonpositive_rejected(self, store_cls):
+        store = store_cls(2)
+        with pytest.raises(CounterStoreError):
+            store.insert("a", 0)
+
+    def test_increment_unstored_rejected(self, store_cls):
+        store = store_cls(2)
+        with pytest.raises(CounterStoreError):
+            store.increment("ghost", 1)
+
+    def test_min_of_empty_rejected(self, store_cls):
+        store = store_cls(2)
+        with pytest.raises(CounterStoreError):
+            store.min_value()
+
+    def test_reset(self, store_cls):
+        store = store_cls(2)
+        store.insert("a", 5)
+        store.reset()
+        assert store.is_empty
+        store.insert("a", 3)  # usable after reset
+        assert store.get("a") == 3
+
+    def test_as_dict(self, store_cls):
+        store = store_cls(3)
+        store.insert("a", 1)
+        store.insert("b", 2)
+        assert store.as_dict() == {"a": 1, "b": 2}
+
+    def test_capacity_validation(self, store_cls):
+        with pytest.raises(ValueError):
+            store_cls(0)
+
+
+def test_heap_store_rebase_preserves_values():
+    store = HeapCounterStore(3)
+    store.insert("a", 100)
+    store.insert("b", 50)
+    store.decrement_all(30)
+    store.rebase()
+    assert store.as_dict() == {"a": 70, "b": 20}
+    assert store.min_value() == 20
+    store.decrement_all(20)
+    assert store.as_dict() == {"a": 50}
+
+
+def test_heap_store_auto_rebase_threshold():
+    store = HeapCounterStore(2)
+    # Start the floating ground just under the rebase threshold so the
+    # next decrement crosses it and triggers the automatic rebase.
+    store._ground = HeapCounterStore.REBASE_THRESHOLD - 1
+    store.insert("a", 10)
+    store.insert("b", 5)
+    store.decrement_all(5)
+    assert store._ground == 0  # rebase happened
+    assert store.as_dict() == {"a": 5}
+
+
+# ---------------------------------------------------------------- differential
+
+_OPERATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["touch", "decrement_min", "decrement_partial"]),
+        st.integers(min_value=0, max_value=7),  # flow id
+        st.integers(min_value=1, max_value=1000),  # amount
+    ),
+    max_size=120,
+)
+
+
+@given(capacity=st.integers(min_value=1, max_value=8), operations=_OPERATIONS)
+def test_stores_are_equivalent(capacity, operations):
+    """Random MG-style operation sequences leave both stores identical."""
+    reference = ReferenceCounterStore(capacity)
+    optimized = HeapCounterStore(capacity)
+    for op, fid, amount in operations:
+        if op == "touch":
+            # The Misra-Gries update: increment if stored, insert if free,
+            # otherwise decrement by min(amount, min).
+            if fid in reference:
+                reference.increment(fid, amount)
+                optimized.increment(fid, amount)
+            elif not reference.is_full:
+                reference.insert(fid, amount)
+                optimized.insert(fid, amount)
+            else:
+                decrement = min(amount, reference.min_value())
+                reference.decrement_all(decrement)
+                optimized.decrement_all(decrement)
+                leftover = amount - decrement
+                if leftover > 0 and fid not in reference:
+                    reference.insert(fid, leftover)
+                    optimized.insert(fid, leftover)
+        elif op == "decrement_min" and not reference.is_empty:
+            decrement = reference.min_value()
+            reference.decrement_all(decrement)
+            optimized.decrement_all(decrement)
+        elif op == "decrement_partial" and not reference.is_empty:
+            decrement = min(amount, reference.min_value())
+            reference.decrement_all(decrement)
+            optimized.decrement_all(decrement)
+        assert reference.as_dict() == optimized.as_dict()
+        assert len(reference) == len(optimized)
+        if not reference.is_empty:
+            assert reference.min_value() == optimized.min_value()

@@ -1,0 +1,55 @@
+"""Synthetic dataset builders vs Table 4."""
+
+import pytest
+
+from repro.model.thresholds import ThresholdFunction
+from repro.traffic.datasets import caida_like, federico_like
+from repro.traffic.shaping import is_compliant
+
+
+def test_federico_statistics_match_table4():
+    dataset = federico_like(seed=0, scale=0.1)
+    stats = dataset.stream.stats()
+    assert stats.flow_count == 291  # 2911 * 0.1
+    assert stats.avg_flow_size == pytest.approx(19_900, rel=0.05)
+    assert stats.avg_rate_bps == pytest.approx(1.85e6, rel=0.25)
+    assert dataset.rho == 25_000_000  # 200 Mbps
+
+
+def test_federico_table5_parameters():
+    dataset = federico_like(seed=0, scale=0.05)
+    assert dataset.gamma_h == 250_000
+    assert dataset.gamma_l == 25_000
+    assert dataset.beta_l == 6072
+    assert dataset.alpha == 1518
+    assert dataset.low_threshold == ThresholdFunction(gamma=25_000, beta=6072)
+
+
+def test_caida_statistics_match_table4():
+    dataset = caida_like(seed=0, scale=0.005)
+    stats = dataset.stream.stats()
+    assert stats.flow_count == round(2_517_099 * 0.005)
+    assert stats.avg_flow_size == pytest.approx(3_300, rel=0.05)
+    assert stats.avg_rate_bps == pytest.approx(279.65e6, rel=0.25)
+    assert dataset.rho == 1_250_000_000  # 10 Gbps
+
+
+def test_datasets_deterministic_in_seed():
+    a = federico_like(seed=4, scale=0.02)
+    b = federico_like(seed=4, scale=0.02)
+    assert list(a.stream) == list(b.stream)
+
+
+def test_shaped_dataset_flows_are_all_small():
+    threshold = ThresholdFunction(gamma=25_000, beta=6072)
+    dataset = federico_like(seed=1, scale=0.02, shape_to=threshold)
+    stream = dataset.stream
+    for fid in stream.flow_ids():
+        assert is_compliant(stream.flow(fid), threshold)
+
+
+def test_describe():
+    dataset = federico_like(seed=0, scale=0.02)
+    text = dataset.describe()
+    assert "federico-like" in text
+    assert "flows" in text

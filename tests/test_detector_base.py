@@ -1,0 +1,71 @@
+"""The shared Detector interface contract."""
+
+from repro.detectors.base import Detector
+from repro.model.packet import Packet
+
+
+class ThresholdToy(Detector):
+    """Minimal detector: flags flows once their byte total exceeds 100."""
+
+    name = "toy"
+
+    def __init__(self):
+        super().__init__()
+        self._totals = {}
+
+    def _update(self, packet):
+        total = self._totals.get(packet.fid, 0) + packet.size
+        self._totals[packet.fid] = total
+        return total > 100
+
+    def _reset_state(self):
+        self._totals.clear()
+
+    def counter_count(self):
+        return len(self._totals)
+
+
+def test_observe_reports_on_first_crossing():
+    toy = ThresholdToy()
+    assert not toy.observe(Packet(time=0, size=100, fid="f"))
+    assert toy.observe(Packet(time=1, size=1, fid="f"))
+    assert toy.detection_time("f") == 1
+
+
+def test_observe_stays_true_even_if_update_returns_false():
+    """Once in the sink, a flow is flagged forever (the remote server's
+    copy of F, Figure 2) regardless of local synopsis state."""
+    toy = ThresholdToy()
+    toy.observe(Packet(time=0, size=101, fid="f"))
+    toy._totals.clear()  # simulate local state eviction
+    assert toy.observe(Packet(time=5, size=1, fid="f"))
+
+
+def test_first_detection_time_is_kept():
+    toy = ThresholdToy()
+    toy.observe(Packet(time=3, size=101, fid="f"))
+    toy.observe(Packet(time=9, size=101, fid="f"))
+    assert toy.detection_time("f") == 3
+
+
+def test_observe_stream_chains():
+    toy = ThresholdToy().observe_stream(
+        [Packet(time=0, size=101, fid="a"), Packet(time=1, size=5, fid="b")]
+    )
+    assert toy.is_detected("a") and not toy.is_detected("b")
+    assert toy.detected == {"a": 0}
+
+
+def test_reset_clears_sink_and_state():
+    toy = ThresholdToy()
+    toy.observe(Packet(time=0, size=101, fid="f"))
+    toy.reset()
+    assert not toy.is_detected("f")
+    assert toy.counter_count() == 0
+    assert toy.detection_time("f") is None
+
+
+def test_repr_shows_detections():
+    toy = ThresholdToy()
+    toy.observe(Packet(time=0, size=101, fid="f"))
+    assert "detected=1" in repr(toy)

@@ -1,0 +1,58 @@
+"""The state-dynamics probe (direct unit tests)."""
+
+import pytest
+
+from repro.analysis.dynamics import StateProbe, StateSample, StateTrace
+from repro.core.config import EARDetConfig
+from repro.core.eardet import EARDet
+from repro.model.packet import Packet
+
+
+def make_detector():
+    return EARDet(EARDetConfig(rho=1_000_000_000, n=3, beta_th=10, alpha=3, virtual_unit=1))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StateProbe(make_detector(), period_ns=0)
+
+
+def test_sampling_cadence():
+    probe = StateProbe(make_detector(), period_ns=100)
+    packets = [Packet(time=t, size=1, fid="f") for t in range(0, 500, 50)]
+    trace = probe.observe_stream(packets)
+    # Samples at 0, 100, 200, 300, 400 (before packets) plus the final one.
+    times = trace.series("time_ns")
+    assert times == [0, 100, 200, 300, 400, 500]
+
+
+def test_samples_reflect_detector_state():
+    detector = make_detector()
+    probe = StateProbe(detector, period_ns=1_000)
+    packets = [Packet(time=t, size=1, fid="f") for t in range(12)]
+    trace = probe.observe_stream(packets)
+    final = trace.samples[-1]
+    assert final.packets == 12
+    assert final.detections == 1  # 12 bytes > beta_th = 10
+    assert final.max_counter == detector.counters["f"]
+
+
+def test_trace_helpers():
+    trace = StateTrace(
+        samples=[
+            StateSample(0, 1, 0, 0, 0, 0, 5),
+            StateSample(10, 3, 2, 1, 4, 9, 8),
+        ]
+    )
+    assert len(trace) == 2
+    assert trace.peak_occupancy == 3
+    assert trace.peak_blacklist == 2
+    assert trace.series("detections") == [0, 1]
+    assert trace.samples[1].time_seconds == pytest.approx(1e-8)
+
+
+def test_empty_stream_yields_one_sample():
+    probe = StateProbe(make_detector(), period_ns=100)
+    trace = probe.observe_stream([])
+    assert len(trace) == 1
+    assert trace.peak_occupancy == 0

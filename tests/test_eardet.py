@@ -1,0 +1,228 @@
+"""EARDet unit-level behaviour: the Figure 4 walk-through, blacklist
+mechanics, virtual-traffic accounting, stats, and the reference/optimized
+configuration switches."""
+
+from repro.core.config import EARDetConfig
+from repro.core.counters import ReferenceCounterStore
+from repro.core.eardet import EARDet
+from repro.model.packet import Packet
+from repro.model.units import NS_PER_S
+
+
+def make_config(**overrides):
+    defaults = dict(rho=1_000_000_000, n=3, beta_th=10, alpha=3, virtual_unit=1)
+    defaults.update(overrides)
+    return EARDetConfig(**defaults)
+
+
+class TestFigure4WalkThrough:
+    """The paper's Figure 4 example: n=3, beta_TH=10, alpha=3."""
+
+    def test_counter_updates(self):
+        detector = EARDet(make_config())
+        # Prime the state to the figure's start: a=3, b=9, one empty slot.
+        # Back-to-back packets at full link rate leave no idle bandwidth
+        # (1 GB/s = 1 B/ns; each packet occupies exactly its size in ns).
+        t = 0
+        for _ in range(3):
+            detector.observe(Packet(time=t, size=1, fid="a")); t += 1
+        for _ in range(9):
+            detector.observe(Packet(time=t, size=1, fid="b")); t += 1
+        assert detector.counters == {"a": 3, "b": 9}
+
+        # "flow g is added and its counter value becomes 2"
+        detector.observe(Packet(time=t, size=2, fid="g")); t += 2
+        assert detector.counters == {"a": 3, "b": 9, "g": 2}
+
+        # "flow b is stored already, its counter is increased by 3;
+        #  the new value exceeds beta_TH, and thus flow b is blacklisted"
+        flagged = detector.observe(Packet(time=t, size=3, fid="b")); t += 3
+        assert flagged
+        assert detector.counters["b"] == 12  # > beta_TH = 10
+        assert "b" in detector.blacklist
+
+        # "the next flow, e, is not stored and there is no empty counter,
+        #  so all counters are decreased by the packet size"
+        detector.observe(Packet(time=t, size=2, fid="e")); t += 2
+        assert detector.counters == {"a": 1, "b": 10}
+
+        # "the virtual traffic is divided into single-unit packets with new
+        #  flow IDs".  6 bytes of idle bandwidth arrive as 6 one-byte
+        #  virtual flows into {a:1, b:10} with one free slot:
+        #  u1 fills; u2 decrements 1 (evicting a AND u1 -> two slots);
+        #  u3, u4 fill; u5 decrements 1 (evicting both); u6 fills.
+        #  Net effect: b loses 2, one leftover virtual counter remains.
+        detector.observe(Packet(time=t + 6, size=1, fid="h"))
+        counters = detector.counters
+        assert counters["b"] == 8
+        assert "a" not in counters
+        assert counters["h"] == 1
+        assert sorted(counters.values()) == [1, 1, 8]  # b, h, one virtual
+
+    def test_blacklisted_packets_skip_counters(self):
+        detector = EARDet(make_config())
+        t = 0
+        for _ in range(11):
+            detector.observe(Packet(time=t, size=1, fid="b")); t += 1
+        assert "b" in detector.blacklist
+        value = detector.counters["b"]
+        detector.observe(Packet(time=t, size=3, fid="b"))
+        assert detector.counters["b"] == value  # unchanged
+        assert detector.stats.blacklisted_packets == 1
+
+
+class TestDetection:
+    def test_flow_exceeding_beta_th_is_reported(self):
+        detector = EARDet(make_config())
+        t = 0
+        for index in range(11):
+            flagged = detector.observe(Packet(time=t, size=1, fid="f"))
+            t += 1
+            assert flagged == (index >= 10)  # counter > 10 at the 11th byte
+        assert detector.is_detected("f")
+        assert detector.detection_time("f") == 10
+
+    def test_observe_keeps_returning_true_for_detected_flow(self):
+        detector = EARDet(make_config())
+        t = 0
+        for _ in range(11):
+            detector.observe(Packet(time=t, size=1, fid="f")); t += 1
+        assert detector.observe(Packet(time=t, size=1, fid="f"))
+
+    def test_single_huge_packet_detected(self):
+        detector = EARDet(make_config(beta_th=10, alpha=100))
+        assert detector.observe(Packet(time=0, size=100, fid="elephant"))
+
+
+class TestBlacklistLifecycle:
+    def test_blacklist_bounded_by_counters(self):
+        config = make_config(n=2, beta_th=5, alpha=20, virtual_unit=5)
+        detector = EARDet(config)
+        # Blacklist many distinct flows; the local blacklist must never
+        # exceed n (pruning on each detection).
+        t = 0
+        for index in range(50):
+            detector.observe(Packet(time=t, size=20, fid=("big", index)))
+            t += 20
+            assert len(detector.blacklist) <= config.n
+        # The sink keeps every detection ever made (2 of every 3 flows
+        # here: the third arrives to full counters and is absorbed by the
+        # decrement — legal, since a single 20 B packet never violates
+        # beta_h = alpha + 2 beta_TH = 30 B).
+        assert len(detector.detected) == 34
+        assert len(detector.blacklist) <= config.n
+
+    def test_flow_leaves_blacklist_when_counter_decays(self):
+        detector = EARDet(make_config())
+        t = 0
+        for _ in range(11):
+            detector.observe(Packet(time=t, size=1, fid="b")); t += 1
+        assert "b" in detector.blacklist
+        # A long idle period drains every counter via virtual traffic.
+        t += 1_000
+        detector.observe(Packet(time=t, size=1, fid="x"))
+        assert "b" not in detector.counters
+        # The next packet of b is processed normally again...
+        detector.observe(Packet(time=t + 1, size=1, fid="b"))
+        assert "b" not in detector.blacklist
+        assert detector.counters.get("b") == 1
+        # ... but the sink still remembers the original detection.
+        assert detector.is_detected("b")
+        assert detector.detection_time("b") == 10
+
+
+class TestVirtualTrafficAccounting:
+    def test_idle_link_generates_virtual_traffic(self):
+        detector = EARDet(make_config())
+        detector.observe(Packet(time=0, size=1, fid="a"))
+        detector.observe(Packet(time=100, size=1, fid="a"))
+        # Gap 100 ns at 1 B/ns minus the 1 B previous packet = 99 B idle.
+        assert detector.stats.virtual_bytes == 99
+
+    def test_back_to_back_packets_generate_none(self):
+        detector = EARDet(make_config())
+        t = 0
+        for _ in range(5):
+            detector.observe(Packet(time=t, size=2, fid="a")); t += 2
+        assert detector.stats.virtual_bytes == 0
+
+    def test_oversubscribed_stream_clamps(self):
+        detector = EARDet(make_config())
+        detector.observe(Packet(time=0, size=100, fid="a"))
+        detector.observe(Packet(time=1, size=100, fid="b"))  # wire-impossible
+        assert detector.stats.oversubscribed_gaps == 1
+        assert detector.stats.virtual_bytes == 0
+
+    def test_fractional_idle_carryover(self):
+        # 2 B/s link: a 1-second gap carries 2 bytes; a 0.25-second gap
+        # carries 0.5 bytes, which must round via the carryover, not drop.
+        config = EARDetConfig(rho=2, n=3, beta_th=10, alpha=3, virtual_unit=1)
+        detector = EARDet(config)
+        detector.observe(Packet(time=0, size=1, fid="a"))
+        quarter = NS_PER_S // 4
+        detector.observe(Packet(time=quarter, size=1, fid="a"))
+        detector.observe(Packet(time=2 * quarter, size=1, fid="a"))
+        # Gap volume each: 2 * 0.25s - 1 = -0.5 -> clamped to 0?  No:
+        # 0.5 B - 1 B previous... rho*gap = 0.5 < size 1 -> oversubscribed.
+        assert detector.stats.oversubscribed_gaps == 2
+
+    def test_reference_virtual_mode_matches_fast(self):
+        config = make_config()
+        fast = EARDet(config)
+        slow = EARDet(config, reference_virtual=True)
+        packets = [
+            Packet(time=0, size=3, fid="a"),
+            Packet(time=50, size=2, fid="b"),
+            Packet(time=51, size=3, fid="a"),
+            Packet(time=200, size=1, fid="c"),
+        ]
+        for packet in packets:
+            fast.observe(packet)
+            slow.observe(packet)
+        assert sorted(fast.counters.values()) == sorted(slow.counters.values())
+        assert fast.detected == slow.detected
+
+
+class TestModesAndLifecycle:
+    def test_reference_store_equivalence(self):
+        config = make_config()
+        optimized = EARDet(config)
+        reference = EARDet(config, store_factory=ReferenceCounterStore)
+        t = 0
+        for index in range(60):
+            packet = Packet(time=t, size=1 + index % 3, fid=("f", index % 5))
+            optimized.observe(packet)
+            reference.observe(packet)
+            t += 1 + (index % 7)
+        assert optimized.counters == reference.counters
+        assert optimized.detected == reference.detected
+
+    def test_blacklisted_consumes_link_mode(self):
+        config = make_config()
+        monitor = EARDet(config, blacklisted_consumes_link=True)
+        t = 0
+        for _ in range(11):
+            monitor.observe(Packet(time=t, size=1, fid="b")); t += 1
+        before = monitor.stats.virtual_bytes
+        # Blacklisted packet occupying the wire: the following gap's idle
+        # volume subtracts its bytes.
+        monitor.observe(Packet(time=t, size=5, fid="b")); t += 5
+        monitor.observe(Packet(time=t + 10, size=1, fid="x"))
+        assert monitor.stats.virtual_bytes == before + 10
+
+    def test_reset_restores_initial_state(self, appendix_config):
+        detector = EARDet(make_config())
+        t = 0
+        for _ in range(11):
+            detector.observe(Packet(time=t, size=1, fid="b")); t += 1
+        detector.reset()
+        assert detector.counters == {}
+        assert len(detector.blacklist) == 0
+        assert detector.detected == {}
+        assert detector.stats.packets == 0
+        assert not detector.observe(Packet(time=0, size=1, fid="b"))
+
+    def test_counter_count_and_repr(self):
+        detector = EARDet(make_config())
+        assert detector.counter_count() == 3
+        assert "EARDet" in repr(detector)

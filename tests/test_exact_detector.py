@@ -1,0 +1,63 @@
+"""The per-flow leaky-bucket oracle detector."""
+
+from hypothesis import given
+
+from repro.detectors.exact import ExactLeakyBucketDetector
+from repro.analysis.groundtruth import label_stream
+from repro.model.packet import Packet
+from repro.model.stream import PacketStream
+from repro.model.thresholds import ThresholdFunction
+
+from conftest import packet_lists
+
+THRESHOLD = ThresholdFunction(gamma=1_000_000, beta=1_000)
+
+
+def test_detects_single_oversized_burst():
+    detector = ExactLeakyBucketDetector(THRESHOLD)
+    assert not detector.observe(Packet(time=0, size=1_000, fid="f"))
+    assert detector.observe(Packet(time=0, size=1, fid="f"))  # 1001 > beta
+
+
+def test_compliant_flow_never_flagged():
+    detector = ExactLeakyBucketDetector(THRESHOLD)
+    # 500 B every millisecond = 500 KB/s < 1 MB/s and bursts far below beta.
+    for i in range(100):
+        assert not detector.observe(Packet(time=i * 1_000_000, size=500, fid="f"))
+
+
+def test_detection_is_sticky():
+    detector = ExactLeakyBucketDetector(THRESHOLD)
+    detector.observe(Packet(time=0, size=1_001, fid="f"))
+    assert detector.is_detected("f")
+    # Long quiet period; the flow stays in the detected set.
+    assert detector.observe(Packet(time=10**12, size=1, fid="f"))
+
+
+def test_per_flow_isolation():
+    detector = ExactLeakyBucketDetector(THRESHOLD)
+    detector.observe(Packet(time=0, size=1_001, fid="big"))
+    assert not detector.observe(Packet(time=0, size=10, fid="small"))
+    assert detector.counter_count() == 2
+
+
+def test_reset():
+    detector = ExactLeakyBucketDetector(THRESHOLD)
+    detector.observe(Packet(time=0, size=1_001, fid="f"))
+    detector.reset()
+    assert not detector.is_detected("f")
+    assert detector.counter_count() == 0
+
+
+@given(packets=packet_lists(max_packets=40, max_flows=4))
+def test_oracle_agrees_with_ground_truth_labeler(packets):
+    """The online oracle flags exactly the flows the offline labeler calls
+    LARGE (they share the leaky-bucket construction, but walk different
+    code paths)."""
+    stream = PacketStream(packets)
+    detector = ExactLeakyBucketDetector(THRESHOLD).observe_stream(stream)
+    labels = label_stream(stream, high=THRESHOLD, low=ThresholdFunction(1, 1))
+    for fid, label in labels.items():
+        assert detector.is_detected(fid) == label.is_large
+        if label.is_large:
+            assert detector.detection_time(fid) == label.violation_time_ns

@@ -1,0 +1,142 @@
+"""Per-flow statistics analyzer."""
+
+import pytest
+
+from repro.analysis.flowstats import (
+    analyze_stream,
+    percentile,
+    summarize,
+    top_talkers,
+)
+from repro.analysis.groundtruth import label_stream
+from repro.model.packet import Packet
+from repro.model.thresholds import ThresholdFunction
+from repro.model.units import NS_PER_S, milliseconds
+
+
+def even_flow(fid, size, count, spacing):
+    return [Packet(time=i * spacing, size=size, fid=fid) for i in range(count)]
+
+
+def test_totals():
+    stats = analyze_stream(even_flow("f", 100, 10, 1_000_000))
+    flow = stats["f"]
+    assert flow.bytes == 1_000
+    assert flow.packets == 10
+    assert flow.first_ns == 0
+    assert flow.last_ns == 9_000_000
+
+
+def test_average_rate():
+    stats = analyze_stream(even_flow("f", 100, 11, milliseconds(100)))
+    # 1100 B over 1 s.
+    assert stats["f"].average_rate_bps == pytest.approx(1_100, rel=0.01)
+
+
+def test_single_packet_flow():
+    stats = analyze_stream([Packet(time=5, size=42, fid="one")])
+    flow = stats["one"]
+    assert flow.duration_ns == 0
+    assert flow.average_rate_bps == 0.0
+    assert flow.peak_window_bytes == 42
+
+
+def test_peak_window_captures_burst():
+    packets = sorted(
+        even_flow("smooth", 100, 100, milliseconds(10))
+        + [Packet(time=milliseconds(500) + i, size=1_000, fid="bursty") for i in range(5)],
+        key=lambda p: p.time,
+    )
+    stats = analyze_stream(packets, window_ns=milliseconds(100))
+    assert stats["bursty"].peak_window_bytes == 5_000
+    # Smooth flow: ~10 packets per 100 ms window.
+    assert stats["smooth"].peak_window_bytes <= 1_100
+
+
+def test_burstiness_index():
+    burst = [Packet(time=i, size=1_000, fid="b") for i in range(5)]
+    tail = [Packet(time=NS_PER_S, size=1_000, fid="b")]
+    stats = analyze_stream(burst + tail, window_ns=milliseconds(100))
+    flow = stats["b"]
+    assert flow.burstiness(milliseconds(100)) > 5  # spiky
+
+
+def test_window_excludes_old_bytes():
+    packets = [
+        Packet(time=0, size=500, fid="f"),
+        Packet(time=milliseconds(200), size=100, fid="f"),
+    ]
+    stats = analyze_stream(packets, window_ns=milliseconds(100))
+    assert stats["f"].peak_window_bytes == 500  # never both together
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        analyze_stream([], window_ns=0)
+
+
+def test_top_talkers_order():
+    packets = sorted(
+        even_flow("big", 1_000, 10, 1_000)
+        + even_flow("small", 10, 10, 1_000)
+        + even_flow("mid", 100, 10, 1_000),
+        key=lambda p: p.time,
+    )
+    stats = analyze_stream(packets)
+    top = top_talkers(stats, count=2)
+    assert [flow.fid for flow in top] == ["big", "mid"]
+
+
+def test_percentile():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.5) == 3.0
+    assert percentile(values, 1.0) == 5.0
+    assert percentile([], 0.5) == 0.0
+
+
+def test_summarize_with_labels():
+    packets = sorted(
+        even_flow("big", 1_400, 200, 100_000)
+        + even_flow("small", 100, 5, milliseconds(100)),
+        key=lambda p: p.time,
+    )
+    stats = analyze_stream(packets, window_ns=milliseconds(100))
+    labels = label_stream(
+        packets,
+        high=ThresholdFunction(gamma=1_000_000, beta=10_000),
+        low=ThresholdFunction(gamma=10_000, beta=6_000),
+    )
+    summary = summarize(stats, milliseconds(100), labels=labels)
+    assert summary["flows"] == 2
+    assert summary["total_bytes"] == 280_000 + 500
+    assert summary["large_flows"] == 1
+    assert summary["small_flows"] == 1
+    assert summary["max_peak_rate_bps"] > summary["median_peak_rate_bps"]
+
+
+def test_cli_analyze(tmp_path, capsys):
+    from repro.cli import main
+    from repro.traffic.trace_io import write_csv
+
+    path = tmp_path / "t.csv"
+    write_csv(path, even_flow("talker", 1_518, 500, 500_000))
+    code = main(
+        [
+            "analyze", "--trace", str(path), "--rho", "25000000",
+            "--gamma-l", "25000", "--gamma-h", "250000", "--top", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Trace overview" in out
+    assert "Top 3 talkers" in out
+    assert "talker" in out
+    assert "large flows" in out
+
+
+def test_cli_analyze_requires_trace():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["analyze"])

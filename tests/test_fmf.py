@@ -1,0 +1,106 @@
+"""Fixed-window multistage filter (FMF)."""
+
+import pytest
+
+from repro.detectors.fmf import FixedMultistageFilter, fp_probability_bound
+from repro.model.packet import Packet
+from repro.model.units import NS_PER_S
+
+
+def make_filter(**overrides):
+    defaults = dict(stages=2, buckets=64, threshold=1_000, window_ns=NS_PER_S)
+    defaults.update(overrides)
+    return FixedMultistageFilter(**defaults)
+
+
+def test_flags_when_all_stages_exceed():
+    fmf = make_filter()
+    assert not fmf.observe(Packet(time=0, size=1_000, fid="f"))
+    assert fmf.observe(Packet(time=1, size=1, fid="f"))
+
+
+def test_small_flow_alone_not_flagged():
+    fmf = make_filter()
+    for i in range(10):
+        assert not fmf.observe(Packet(time=i, size=50, fid="mouse"))
+
+
+def test_window_reset_forgets_everything():
+    fmf = make_filter()
+    fmf.observe(Packet(time=0, size=900, fid="f"))
+    # Next window: counters reset, the same flow starts from zero.
+    assert not fmf.observe(Packet(time=NS_PER_S, size=900, fid="f"))
+    assert fmf.stage_values("f") == [900, 900]
+
+
+def test_burst_straddling_windows_evades():
+    """The paper's core criticism: a burst split across the boundary."""
+    fmf = make_filter(threshold=1_000)
+    fmf.observe(Packet(time=NS_PER_S - 10, size=600, fid="shrew"))
+    assert not fmf.observe(Packet(time=NS_PER_S + 10, size=600, fid="shrew"))
+    assert not fmf.is_detected("shrew")
+
+
+def test_hash_collisions_inflate_counters():
+    """With one bucket per stage, every flow shares counters: a benign
+    flow is accused because of others' traffic — FMF's FP mechanism."""
+    fmf = make_filter(buckets=1)
+    fmf.observe(Packet(time=0, size=2_000, fid="elephant"))
+    assert fmf.observe(Packet(time=1, size=1, fid="innocent"))
+
+
+def test_conservative_update_reduces_inflation():
+    plain = make_filter(buckets=1)
+    conservative = make_filter(buckets=1, conservative_update=True)
+    for i, (fid, size) in enumerate([("a", 500), ("b", 400), ("a", 100)]):
+        plain.observe(Packet(time=i, size=size, fid=fid))
+        conservative.observe(Packet(time=i, size=size, fid=fid))
+    assert conservative.stage_values("a")[0] <= plain.stage_values("a")[0]
+
+
+def test_conservative_update_never_undercounts_a_flow():
+    """Conservative update keeps the min-counter >= the flow's true bytes."""
+    fmf = make_filter(conservative_update=True)
+    total = 0
+    for i in range(20):
+        fmf.observe(Packet(time=i, size=100, fid="f"))
+        total += 100
+        assert min(fmf.stage_values("f")) >= total
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_filter(stages=0)
+    with pytest.raises(ValueError):
+        make_filter(threshold=0)
+    with pytest.raises(ValueError):
+        make_filter(window_ns=0)
+
+
+def test_reset():
+    fmf = make_filter()
+    fmf.observe(Packet(time=0, size=2_000, fid="f"))
+    fmf.reset()
+    assert not fmf.is_detected("f")
+    assert fmf.stage_values("f") == [0, 0]
+
+
+def test_counter_count():
+    assert make_filter(stages=2, buckets=55).counter_count() == 110
+
+
+class TestFpBound:
+    def test_paper_table2_arithmetic(self):
+        """(C/(Tb))^d with C = rho*1s, T = gamma_h*1s, b = 500, d = 2 ->
+        the paper's 0.04."""
+        bound = fp_probability_bound(
+            stages=2, buckets=500, threshold=1_000_000, traffic_bytes=100_000_000
+        )
+        assert bound == pytest.approx(0.04)
+
+    def test_bound_caps_at_one(self):
+        assert fp_probability_bound(2, 1, 1, 10**9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fp_probability_bound(2, 0, 1, 1)

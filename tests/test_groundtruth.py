@@ -1,0 +1,120 @@
+"""Ground-truth labeling vs brute-force window enumeration."""
+
+import pytest
+from hypothesis import given
+
+from repro.analysis.groundtruth import (
+    FlowClass,
+    GroundTruthLabeler,
+    label_stream,
+)
+from repro.model.packet import Packet
+from repro.model.stream import PacketStream
+from repro.model.thresholds import (
+    ThresholdFunction,
+    max_window_excess_scaled,
+)
+from repro.model.units import NS_PER_S
+
+from conftest import packet_lists
+
+HIGH = ThresholdFunction(gamma=1_000_000, beta=1_000)
+LOW = ThresholdFunction(gamma=100_000, beta=200)
+
+
+def test_large_flow():
+    packets = [Packet(time=0, size=600, fid="f"), Packet(time=1, size=600, fid="f")]
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.LARGE
+    assert labels["f"].is_large
+    assert labels["f"].violation_time_ns == 1
+
+
+def test_small_flow():
+    packets = [Packet(time=i * 10**7, size=100, fid="f") for i in range(5)]
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.SMALL
+    assert labels["f"].is_small
+    assert labels["f"].violation_time_ns is None
+
+
+def test_medium_flow():
+    # Exceeds LOW's burst but stays under HIGH.
+    packets = [Packet(time=0, size=500, fid="f")]
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.MEDIUM
+
+
+def test_smallness_is_strict():
+    """A flow exactly AT the low threshold is medium, not small
+    (small means strictly below over all windows)."""
+    labels = label_stream([Packet(time=0, size=200, fid="f")], HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.MEDIUM
+    labels = label_stream([Packet(time=0, size=199, fid="f")], HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.SMALL
+
+
+def test_largeness_is_strict():
+    labels = label_stream([Packet(time=0, size=1_000, fid="f")], HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.MEDIUM
+    labels = label_stream([Packet(time=0, size=1_001, fid="f")], HIGH, LOW)
+    assert labels["f"].flow_class is FlowClass.LARGE
+
+
+def test_violation_time_is_earliest():
+    packets = [
+        Packet(time=0, size=1_001, fid="f"),  # violates immediately
+        Packet(time=10**9, size=1_001, fid="f"),
+    ]
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["f"].violation_time_ns == 0
+
+
+def test_volume_and_packet_bookkeeping():
+    packets = [Packet(time=0, size=10, fid="f"), Packet(time=5, size=20, fid="f")]
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["f"].volume == 30
+    assert labels["f"].packets == 2
+
+
+def test_flows_are_independent():
+    packets = sorted(
+        [Packet(time=0, size=2_000, fid="big")]
+        + [Packet(time=i * 10**7, size=50, fid="tiny") for i in range(5)],
+        key=lambda p: p.time,
+    )
+    labels = label_stream(packets, HIGH, LOW)
+    assert labels["big"].is_large
+    assert labels["tiny"].is_small
+
+
+def test_labeler_validation():
+    with pytest.raises(ValueError):
+        GroundTruthLabeler(high=LOW, low=HIGH)  # inverted
+
+
+def test_labeler_incremental_api():
+    labeler = GroundTruthLabeler(HIGH, LOW)
+    labeler.add(Packet(time=0, size=100, fid="f"))
+    assert "f" in labeler
+    assert len(labeler) == 1
+    assert labeler.label("f").is_small
+
+
+@given(packets=packet_lists(max_packets=30, max_flows=3, max_size=1_400))
+def test_labels_match_brute_force(packets):
+    """Differential: the one-pass labeler agrees with O(k^2) window
+    enumeration for both thresholds, per flow."""
+    stream = PacketStream(packets)
+    labels = label_stream(stream, HIGH, LOW)
+    for fid in stream.flow_ids():
+        flow_packets = list(stream.flow(fid))
+        high_excess = max_window_excess_scaled(flow_packets, HIGH.gamma)
+        low_excess = max_window_excess_scaled(flow_packets, LOW.gamma)
+        is_large = high_excess > HIGH.beta * NS_PER_S
+        is_small = low_excess < LOW.beta * NS_PER_S
+        label = labels[fid]
+        assert label.is_large == is_large
+        assert label.is_small == is_small
+        if not is_large and not is_small:
+            assert label.flow_class is FlowClass.MEDIUM

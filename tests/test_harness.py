@@ -1,0 +1,78 @@
+"""Experiment harness: dataset -> setup derivation (Section 5.2 wiring)."""
+
+import pytest
+
+from repro.core.eardet import EARDet
+from repro.detectors.amf import ArbitraryMultistageFilter
+from repro.detectors.fmf import FixedMultistageFilter
+from repro.experiments.harness import (
+    FMF_WINDOW_NS,
+    SMALL_BUDGET,
+    STAGES,
+    build_setup,
+    first_packet_times,
+)
+from repro.model.packet import Packet
+from repro.model.stream import PacketStream
+from repro.traffic.datasets import federico_like
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(federico_like(seed=0, scale=0.02))
+
+
+def test_config_comes_from_appendix_a_solver(setup):
+    assert setup.config.n == 107
+    assert setup.config.beta_th == 6991
+
+
+def test_high_threshold_wiring(setup):
+    assert setup.high.gamma == 250_000  # the dataset's gamma_h
+    assert setup.high.beta == setup.config.beta_h  # 2 beta_TH + alpha
+
+
+def test_table6_parameters(setup):
+    assert setup.fmf_threshold == 250_000  # T = gamma_h * 1 s
+    assert setup.amf_bucket_size == setup.config.beta_h  # u = beta_h
+    assert setup.amf_drain_rate == 250_000  # r = gamma_h
+
+
+def test_factories_build_fresh_instances(setup):
+    factory = setup.eardet_factory()
+    first, second = factory(), factory()
+    assert isinstance(first, EARDet)
+    assert first is not second
+
+    fmf = setup.fmf_factory(SMALL_BUDGET)()
+    assert isinstance(fmf, FixedMultistageFilter)
+    assert fmf.counter_count() == SMALL_BUDGET * STAGES
+    assert fmf.window_ns == FMF_WINDOW_NS
+
+    amf = setup.amf_factory(SMALL_BUDGET)()
+    assert isinstance(amf, ArbitraryMultistageFilter)
+    assert amf.bucket_size == setup.config.beta_h
+
+
+def test_runner_registers_three_schemes(setup):
+    runner = setup.runner()
+    results = runner.run_scenario.__self__  # smoke: runner is constructed
+    assert results is runner
+
+
+def test_first_packet_times():
+    stream = PacketStream(
+        [
+            Packet(time=5, size=1, fid="a"),
+            Packet(time=7, size=1, fid="b"),
+            Packet(time=9, size=1, fid="a"),
+        ]
+    )
+    times = first_packet_times(stream, ["a", "b", "ghost"])
+    assert times == {"a": 5, "b": 7}
+
+
+def test_first_packet_times_short_circuits():
+    packets = [Packet(time=i, size=1, fid=i % 2) for i in range(1000)]
+    times = first_packet_times(PacketStream(packets), [0, 1])
+    assert times == {0: 0, 1: 1}

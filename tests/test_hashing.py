@@ -1,0 +1,62 @@
+"""Deterministic flow-ID hashing."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.detectors.hashing import (
+    StageHash,
+    canonical_key,
+    make_stage_hashes,
+    splitmix64,
+)
+from repro.model.packet import FiveTuple
+
+
+def test_canonical_key_is_deterministic_across_types():
+    assert canonical_key(42) == canonical_key(42)
+    assert canonical_key("flow") == canonical_key("flow")
+    assert canonical_key((1, 2)) == canonical_key((1, 2))
+    assert canonical_key(b"bytes") == canonical_key(b"bytes")
+
+
+def test_canonical_key_distinguishes_values():
+    keys = {canonical_key(value) for value in (0, 1, "0", (0,), (0, 0), False, True)}
+    assert len(keys) == 7
+
+
+def test_canonical_key_handles_dataclasses():
+    a = FiveTuple(src=1, dst=2, sport=3, dport=4)
+    b = FiveTuple(src=1, dst=2, sport=3, dport=5)
+    assert canonical_key(a) == canonical_key((1, 2, 3, 4, 6))
+    assert canonical_key(a) != canonical_key(b)
+
+
+def test_splitmix64_known_dispersion():
+    outputs = {splitmix64(i) for i in range(1000)}
+    assert len(outputs) == 1000
+    assert all(0 <= value < 2**64 for value in outputs)
+
+
+def test_stage_hash_range():
+    hasher = StageHash(seed=7, buckets=10)
+    assert all(0 <= hasher(i) < 10 for i in range(1000))
+
+
+def test_stage_hashes_differ_between_stages():
+    first, second = make_stage_hashes(2, 1000, seed=0)
+    collisions = sum(1 for i in range(1000) if first(i) == second(i))
+    assert collisions < 30  # ~1/1000 expected; allow slack
+
+
+def test_stage_hash_distribution_is_roughly_uniform():
+    hasher = StageHash(seed=3, buckets=16)
+    counts = Counter(hasher(i) for i in range(16_000))
+    assert min(counts.values()) > 700
+    assert max(counts.values()) < 1300
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=1000))
+def test_stage_hash_total_function(value, buckets):
+    hasher = StageHash(seed=1, buckets=buckets)
+    assert 0 <= hasher(value) < buckets

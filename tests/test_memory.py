@@ -1,0 +1,83 @@
+"""Section 3.4 memory / processing-cost model."""
+
+import pytest
+
+from repro.analysis.memory import (
+    IPV4_KEY_BITS,
+    IPV6_KEY_BITS,
+    MemoryModel,
+    PAPER_MODEL,
+    amf_state_bytes,
+    eardet_accesses_per_packet,
+    eardet_scalability,
+    eardet_state_bytes,
+    multistage_state_bytes,
+)
+
+
+def test_state_bytes_paper_examples():
+    """Paper Section 3.4: 100 counters + keys -> ~1 KB (IPv4), 2200 B (IPv6)."""
+    assert eardet_state_bytes(100, IPV4_KEY_BITS) == 1_000
+    assert eardet_state_bytes(100, IPV6_KEY_BITS) == 2_200
+
+
+def test_state_bytes_validation():
+    with pytest.raises(ValueError):
+        eardet_state_bytes(0)
+
+
+def test_accesses_grow_logarithmically():
+    assert eardet_accesses_per_packet(2) == 3
+    assert eardet_accesses_per_packet(100) == 9  # 2 + ceil(log2 100)
+    assert eardet_accesses_per_packet(1024) == 12
+
+
+def test_multistage_state():
+    assert multistage_state_bytes(2, 55) == 440
+    assert amf_state_bytes(2, 55) == 880  # counter + timestamp
+
+
+def test_fitting_level():
+    assert PAPER_MODEL.fitting_level(1_000).name == "L1"
+    assert PAPER_MODEL.fitting_level(100_000).name == "L2"
+    assert PAPER_MODEL.fitting_level(10**6).name == "L3"
+    assert PAPER_MODEL.fitting_level(10**9).name == "DRAM"
+
+
+def test_l1_configuration_sustains_40gbps():
+    """The paper's headline: EARDet at 100 counters runs at >= 40 Gbps
+    from L1."""
+    report = eardet_scalability(100, key_bits=IPV4_KEY_BITS)
+    assert report.cache_level == "L1"
+    assert report.sustainable_gbps >= 40
+    assert report.time_per_packet_ns < 25  # one 1000-bit packet at 40 Gbps
+
+
+def test_l2_pinned_configuration_sustains_13gbps():
+    """The paper's secondary claim: all state in L2 still sustains 13 Gbps."""
+    report = eardet_scalability(100, force_level="L2")
+    assert report.sustainable_gbps >= 13
+
+
+def test_force_level_validation():
+    with pytest.raises(ValueError):
+        eardet_scalability(100, force_level="L9")
+
+
+def test_dram_is_orders_slower():
+    fast = eardet_scalability(100)
+    slow = eardet_scalability(100, force_level="DRAM")
+    assert slow.sustainable_gbps < fast.sustainable_gbps / 10
+
+
+def test_custom_model():
+    model = MemoryModel(clock_hz=1e9, fixed_cycles=0)
+    assert model.cycles_per_packet(1_000, accesses=5) == 5 * 4
+    assert model.time_per_packet_ns(1_000, accesses=5) == 20.0
+    # 1000-bit packets at 20 ns -> 50 Gbps.
+    assert model.sustainable_rate_bps(1_000, 5) == pytest.approx(5e10)
+
+
+def test_report_row_renders():
+    row = eardet_scalability(100).row()
+    assert "eardet" in row and "Gbps" in row

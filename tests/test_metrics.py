@@ -1,0 +1,120 @@
+"""Evaluation metrics."""
+
+import pytest
+
+from repro.analysis.groundtruth import FlowClass, FlowLabel
+from repro.analysis.metrics import (
+    ClassificationOutcome,
+    detection_probability,
+    false_positive_probability,
+    incubation_periods,
+    score_classification,
+)
+from repro.detectors.exact import ExactLeakyBucketDetector
+from repro.model.packet import Packet
+from repro.model.thresholds import ThresholdFunction
+
+
+def label(fid, flow_class, violation=None):
+    return FlowLabel(
+        fid=fid, flow_class=flow_class, volume=0, packets=0,
+        violation_time_ns=violation,
+    )
+
+
+@pytest.fixture
+def detector():
+    """An exact detector that has flagged 'big' at t=0."""
+    det = ExactLeakyBucketDetector(ThresholdFunction(gamma=1, beta=10))
+    det.observe(Packet(time=0, size=100, fid="big"))
+    det.observe(Packet(time=5, size=1, fid="small"))
+    return det
+
+
+def test_detection_probability(detector):
+    stats = detection_probability(detector, ["big", "small", "ghost"])
+    assert stats.total == 3
+    assert stats.detected == 1
+    assert stats.probability == pytest.approx(1 / 3)
+
+
+def test_detection_probability_empty(detector):
+    assert detection_probability(detector, []).probability == 0.0
+
+
+def test_false_positive_probability(detector):
+    labels = {
+        "big": label("big", FlowClass.LARGE, violation=0),
+        "small": label("small", FlowClass.SMALL),
+        "tiny": label("tiny", FlowClass.SMALL),
+    }
+    stats = false_positive_probability(detector, labels, ["small", "tiny", "big"])
+    # Only SMALL flows count toward the denominator; none were accused.
+    assert stats.total == 2
+    assert stats.detected == 0
+    assert stats.probability == 0.0
+
+
+def test_false_positive_counts_accused_small(detector):
+    detector.sink.report("small", 5)  # force a wrongful report
+    labels = {"small": label("small", FlowClass.SMALL)}
+    stats = false_positive_probability(detector, labels, ["small"])
+    assert stats.probability == 1.0
+
+
+def test_incubation_periods_with_ground_truth_anchor(detector):
+    labels = {"big": label("big", FlowClass.LARGE, violation=0)}
+    stats = incubation_periods(detector, labels, ["big"])
+    assert stats.count == 1
+    assert stats.periods_seconds[0] == 0.0
+
+
+def test_incubation_periods_with_start_times(detector):
+    labels = {"big": label("big", FlowClass.LARGE, violation=0)}
+    # Detection at t=0; flow "generated" at t=-1s is impossible, so use 0,
+    # then a start 1s before a later detection.
+    det2 = ExactLeakyBucketDetector(ThresholdFunction(gamma=1, beta=10))
+    det2.observe(Packet(time=2_000_000_000, size=100, fid="big"))
+    stats = incubation_periods(
+        det2, labels, ["big"], start_times={"big": 1_000_000_000}
+    )
+    assert stats.periods_seconds == (1.0,)
+    assert stats.average == 1.0
+    assert stats.maximum == 1.0
+
+
+def test_incubation_skips_undetected_and_non_large(detector):
+    labels = {
+        "small": label("small", FlowClass.SMALL),
+        "ghost": label("ghost", FlowClass.LARGE, violation=0),
+    }
+    stats = incubation_periods(detector, labels, ["small", "ghost"])
+    assert stats.count == 0
+    assert stats.average is None
+    assert stats.maximum is None
+
+
+def test_score_classification(detector):
+    labels = {
+        "big": label("big", FlowClass.LARGE, violation=0),
+        "small": label("small", FlowClass.SMALL),
+        "medium": label("medium", FlowClass.MEDIUM),
+        "missed": label("missed", FlowClass.LARGE, violation=0),
+    }
+    outcome = score_classification(detector, labels)
+    assert outcome.large_total == 2
+    assert outcome.large_detected == 1
+    assert outcome.fn_large == 1
+    assert outcome.missed_large == ["missed"]
+    assert outcome.small_total == 1
+    assert outcome.fp_small == 0
+    assert outcome.medium_total == 1
+    assert not outcome.is_exact
+    assert "large 1/2" in outcome.summary()
+
+
+def test_is_exact_requires_both_guarantees():
+    outcome = ClassificationOutcome(large_total=2, large_detected=2, small_total=5)
+    assert outcome.is_exact
+    outcome.small_accused = 1
+    assert not outcome.is_exact

@@ -1,0 +1,124 @@
+"""Misra-Gries summary and its landmark-detector wrapper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.detectors.misra_gries import LandmarkMisraGriesDetector, MisraGries
+from repro.model.packet import Packet
+
+
+class TestMisraGriesSummary:
+    def test_majority_special_case(self):
+        """n=1 degenerates to the Boyer-Moore majority vote."""
+        summary = MisraGries(counters=1)
+        for item in ["a", "b", "a", "c", "a", "a"]:
+            summary.add(item)
+        assert list(summary.candidates()) == ["a"]
+
+    def test_counts_lower_bound_true_weight(self):
+        summary = MisraGries(counters=2)
+        summary.add_stream([("a", 5), ("b", 3), ("c", 2), ("a", 4)])
+        assert summary.estimate("a") <= 9
+        assert summary.total_weight == 14
+
+    def test_estimate_of_absent_item_is_zero(self):
+        summary = MisraGries(counters=2)
+        summary.add("a", 1)
+        assert summary.estimate("zzz") == 0
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            MisraGries(counters=2).add("a", 0)
+
+    def test_rejects_zero_counters(self):
+        with pytest.raises(ValueError):
+            MisraGries(counters=0)
+
+    def test_frequent_items_query(self):
+        summary = MisraGries(counters=3)
+        summary.add_stream([("heavy", 100), ("light", 1)])
+        assert "heavy" in summary.frequent_items(50)
+        assert "light" not in summary.frequent_items(50)
+
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(1, 20)), max_size=200
+        ),
+        counters=st.integers(1, 8),
+    )
+    def test_frequent_items_guarantee(self, items, counters):
+        """THE Misra-Gries invariant: every item with true weight
+        > total/(n+1) is stored, and estimates undershoot by at most
+        total/(n+1)."""
+        summary = MisraGries(counters)
+        truth = {}
+        for item, weight in items:
+            summary.add(item, weight)
+            truth[item] = truth.get(item, 0) + weight
+        total = summary.total_weight
+        bound = total / (counters + 1)
+        stored = summary.candidates()
+        for item, weight in truth.items():
+            if weight > bound:
+                assert item in stored, (
+                    f"frequent item {item} (weight {weight} > {bound}) evicted"
+                )
+            estimate = summary.estimate(item)
+            assert estimate <= weight
+            assert weight - estimate <= bound
+
+
+class TestLandmarkDetector:
+    def test_flags_on_counter_threshold(self):
+        detector = LandmarkMisraGriesDetector(counters=2, beta_report=100)
+        t = 0
+        for _ in range(3):
+            flagged = detector.observe(Packet(time=t, size=50, fid="f"))
+            t += 1
+        assert flagged
+        assert detector.detection_time("f") == 2
+
+    def test_ignores_time_structure(self):
+        """The landmark detector has no notion of rate: the same bytes
+        trigger it regardless of how much time they span — exactly the
+        deficiency EARDet's virtual traffic fixes."""
+        slow = LandmarkMisraGriesDetector(counters=2, beta_report=100)
+        for i in range(3):
+            slow.observe(Packet(time=i * 10**12, size=50, fid="f"))
+        assert slow.is_detected("f")  # a per-millennium trickle, flagged
+
+    def test_validation_and_reset(self):
+        with pytest.raises(ValueError):
+            LandmarkMisraGriesDetector(counters=2, beta_report=0)
+        detector = LandmarkMisraGriesDetector(counters=2, beta_report=10)
+        detector.observe(Packet(time=0, size=50, fid="f"))
+        detector.reset()
+        assert not detector.is_detected("f")
+        assert detector.counter_count() == 2
+
+
+class TestExactTwoPass:
+    def test_removes_one_pass_false_positives(self):
+        from repro.detectors.misra_gries import exact_frequent_flows
+        from repro.model.packet import Packet
+
+        packets = (
+            [Packet(time=i, size=10, fid="heavy") for i in range(50)]
+            + [Packet(time=100 + i, size=10, fid=f"one-shot-{i}") for i in range(5)]
+        )
+        packets.sort(key=lambda p: p.time)
+        result = exact_frequent_flows(packets, counters=4, threshold_weight=100)
+        assert result == {"heavy": 500}
+
+    def test_counts_are_exact(self):
+        from repro.detectors.misra_gries import exact_frequent_flows
+        from repro.model.packet import Packet
+
+        packets = [Packet(time=i, size=7, fid="f") for i in range(30)]
+        result = exact_frequent_flows(packets, counters=2, threshold_weight=0)
+        assert result["f"] == 210
+
+    def test_empty_stream(self):
+        from repro.detectors.misra_gries import exact_frequent_flows
+
+        assert exact_frequent_flows([], counters=3, threshold_weight=10) == {}

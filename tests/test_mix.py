@@ -1,0 +1,87 @@
+"""Scenario mixing (background + attacks, congested and not)."""
+
+import pytest
+
+from repro.model.units import seconds
+from repro.traffic.attacks import FloodingAttack
+from repro.traffic.background import BackgroundConfig, generate_background
+from repro.traffic.link import utilization
+from repro.traffic.mix import build_attack_scenario
+
+RHO = 25_000_000
+
+
+@pytest.fixture(scope="module")
+def background():
+    config = BackgroundConfig(
+        flows=40, duration_ns=seconds(2), mean_flow_bytes=10_000
+    )
+    return generate_background(config, seed=0)
+
+
+def test_non_congested_mix(background):
+    attack = FloodingAttack(rate=500_000)
+    scenario = build_attack_scenario(
+        background, attack, attack_flows=5, rho=RHO, congested=False, seed=1
+    )
+    assert len(scenario.attack_fids) == 5
+    assert not scenario.filler_fids
+    assert not scenario.congested
+    assert set(scenario.background_fids) == set(background.flow_ids())
+    # All attack flows actually appear in the stream.
+    stream_fids = set(scenario.stream.flow_ids())
+    assert set(scenario.attack_fids) <= stream_fids
+
+
+def test_congested_mix_saturates_link(background):
+    attack = FloodingAttack(rate=500_000)
+    scenario = build_attack_scenario(
+        background, attack, attack_flows=5, rho=RHO, congested=True, seed=1
+    )
+    assert scenario.congested
+    assert scenario.filler_fids  # fillers were needed
+    assert utilization(scenario.stream, RHO) > 0.9
+
+
+def test_congested_stream_respects_capacity(background):
+    attack = FloodingAttack(rate=500_000)
+    scenario = build_attack_scenario(
+        background, attack, attack_flows=5, rho=RHO, congested=True, seed=1
+    )
+    # Serialized: consecutive packets never overlap on the wire.
+    from repro.model.units import NS_PER_S
+
+    previous = None
+    for packet in scenario.stream:
+        if previous is not None:
+            assert (packet.time - previous.time) * RHO >= previous.size * NS_PER_S - RHO
+        previous = packet
+
+
+def test_zero_attack_flows(background):
+    attack = FloodingAttack(rate=500_000)
+    scenario = build_attack_scenario(
+        background, attack, attack_flows=0, rho=RHO, seed=2
+    )
+    assert scenario.attack_fids == ()
+    assert len(scenario.stream) == len(background)
+
+
+def test_determinism(background):
+    attack = FloodingAttack(rate=500_000)
+    a = build_attack_scenario(background, attack, 3, RHO, seed=9)
+    b = build_attack_scenario(background, attack, 3, RHO, seed=9)
+    assert list(a.stream) == list(b.stream)
+
+
+def test_validation(background):
+    with pytest.raises(ValueError):
+        build_attack_scenario(
+            background, FloodingAttack(rate=1_000), attack_flows=-1, rho=RHO
+        )
+
+
+def test_benign_fids_alias(background):
+    attack = FloodingAttack(rate=500_000)
+    scenario = build_attack_scenario(background, attack, 1, RHO, seed=0)
+    assert scenario.benign_fids == scenario.background_fids

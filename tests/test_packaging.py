@@ -1,0 +1,61 @@
+"""Packaging hygiene: public API surfaces are importable and consistent."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.detectors",
+    "repro.experiments",
+    "repro.model",
+    "repro.simulation",
+    "repro.traffic",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_is_sorted_unique(name):
+    module = importlib.import_module(name)
+    exports = list(getattr(module, "__all__", []))
+    assert len(exports) == len(set(exports)), f"{name}.__all__ has duplicates"
+
+
+def _walk_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if not hasattr(package, "__path__"):
+            continue
+        for info in pkgutil.iter_modules(package.__path__):
+            yield f"{package_name}.{info.name}"
+
+
+@pytest.mark.parametrize("name", sorted(set(_walk_modules())))
+def test_every_module_imports_and_has_a_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+    major = int(repro.__version__.split(".")[0])
+    assert major >= 1
+
+
+def test_headline_api_is_at_top_level():
+    for name in ("EARDet", "EARDetConfig", "engineer", "Packet", "PacketStream",
+                 "ThresholdFunction", "ParallelEARDet", "InfeasibleConfigError"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)

@@ -1,0 +1,63 @@
+"""Packet and flow-identifier primitives."""
+
+import pytest
+
+from repro.model.packet import FiveTuple, MAX_PACKET_SIZE, MIN_PACKET_SIZE, Packet
+
+
+def test_packet_fields():
+    packet = Packet(time=10, size=100, fid="f")
+    assert packet.time == 10
+    assert packet.size == 100
+    assert packet.fid == "f"
+
+
+def test_packet_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        Packet(time=0, size=0, fid="f")
+    with pytest.raises(ValueError):
+        Packet(time=0, size=-5, fid="f")
+
+
+def test_packet_rejects_negative_time():
+    with pytest.raises(ValueError):
+        Packet(time=-1, size=10, fid="f")
+
+
+def test_packet_is_frozen_and_hashable():
+    packet = Packet(time=1, size=2, fid="x")
+    with pytest.raises(AttributeError):
+        packet.size = 5
+    assert hash(packet) == hash(Packet(time=1, size=2, fid="x"))
+
+
+def test_packet_equality_includes_fid():
+    assert Packet(time=1, size=2, fid="a") != Packet(time=1, size=2, fid="b")
+
+
+def test_packet_end_time():
+    # 1000 B at 1 GB/s -> 1000 ns of serialization.
+    packet = Packet(time=500, size=1000, fid="f")
+    assert packet.end_time(1_000_000_000) == 1500
+
+
+def test_size_constants_match_paper():
+    assert MIN_PACKET_SIZE == 40
+    assert MAX_PACKET_SIZE == 1518  # the paper's alpha
+
+
+def test_five_tuple_host_pair():
+    flow = FiveTuple(src=0x0A000001, dst=0x0A000002, sport=1234, dport=80)
+    assert flow.host_pair() == (0x0A000001, 0x0A000002)
+
+
+def test_five_tuple_format():
+    flow = FiveTuple(src=0x0A000001, dst=0x0A000002, sport=1234, dport=80, proto=6)
+    assert flow.format() == "10.0.0.1:1234->10.0.0.2:80/6"
+
+
+def test_five_tuple_hashable_and_ordered():
+    a = FiveTuple(src=1, dst=2)
+    b = FiveTuple(src=1, dst=3)
+    assert a < b
+    assert len({a, b, FiveTuple(src=1, dst=2)}) == 2

@@ -1,0 +1,103 @@
+"""ParallelEARDet: sharding mechanics and guarantee preservation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.groundtruth import label_stream
+from repro.core.parallel import ParallelEARDet
+from repro.model.packet import Packet
+from repro.model.thresholds import ThresholdFunction
+from repro.traffic.link import serialize
+
+from test_properties_eardet import adversarial_scenarios
+
+
+def make(config_fixture_request=None, shards=3, **kwargs):
+    from repro.core.config import EARDetConfig
+
+    config = EARDetConfig(rho=1_000_000_000, n=3, beta_th=10, alpha=3, virtual_unit=1)
+    return ParallelEARDet(config, shards=shards, **kwargs)
+
+
+def test_flows_stick_to_one_shard():
+    ensemble = make(shards=4)
+    for fid in range(100):
+        assert ensemble.shard_of(fid) == ensemble.shard_of(fid)
+        assert 0 <= ensemble.shard_of(fid) < 4
+
+
+def test_detection_via_the_owning_shard():
+    ensemble = make()
+    t = 0
+    for _ in range(11):
+        flagged = ensemble.observe(Packet(time=t, size=1, fid="f")); t += 1
+    assert flagged
+    assert ensemble.is_detected("f")
+    owner = ensemble.shards[ensemble.shard_of("f")]
+    assert owner.is_detected("f")
+
+
+def test_load_spreads_across_shards():
+    ensemble = make(shards=4)
+    for index in range(400):
+        ensemble.observe(Packet(time=index, size=1, fid=index % 97))
+    loads = ensemble.shard_loads()
+    assert sum(loads.values()) == 400
+    assert all(load > 0 for load in loads.values())
+
+
+def test_counter_count_is_total_state():
+    assert make(shards=5).counter_count() == 15
+
+
+def test_single_shard_equals_plain_eardet():
+    from repro.core.config import EARDetConfig
+    from repro.core.eardet import EARDet
+
+    config = EARDetConfig(rho=1_000_000_000, n=3, beta_th=10, alpha=3, virtual_unit=1)
+    plain = EARDet(config)
+    sharded = ParallelEARDet(config, shards=1)
+    t = 0
+    for index in range(80):
+        packet = Packet(time=t, size=1 + index % 3, fid=index % 7)
+        plain.observe(packet)
+        sharded.observe(packet)
+        t += 1 + index % 5
+    assert plain.detected == sharded.detected
+
+
+def test_reset():
+    ensemble = make()
+    t = 0
+    for _ in range(11):
+        ensemble.observe(Packet(time=t, size=1, fid="f")); t += 1
+    ensemble.reset()
+    assert not ensemble.is_detected("f")
+    assert all(shard.stats.packets == 0 for shard in ensemble.shards)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(shards=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario=adversarial_scenarios())
+def test_sharded_ensemble_stays_exact(scenario):
+    """The Section 3.3 claim: sharding preserves exactness outside the
+    ambiguity region (same property test as the single instance)."""
+    config, gamma_l, packets = scenario
+    if gamma_l < 1:
+        return
+    stream = serialize(packets, config.rho)
+    high = ThresholdFunction(gamma=math.ceil(config.rnfn), beta=config.beta_h)
+    low = ThresholdFunction(gamma=gamma_l, beta=config.beta_l)
+    labels = label_stream(stream, high=high, low=low)
+    ensemble = ParallelEARDet(config, shards=3).observe_stream(stream)
+    for fid, label in labels.items():
+        if label.is_large:
+            assert ensemble.is_detected(fid)
+        elif label.is_small:
+            assert not ensemble.is_detected(fid)

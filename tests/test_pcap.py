@@ -1,0 +1,138 @@
+"""pcap container reading and writing."""
+
+import struct
+
+import pytest
+
+from repro.traffic.pcap import (
+    MAGIC_MICROS,
+    PcapFormatError,
+    read_pcap,
+    write_pcap,
+)
+from repro.traffic.wire import build_ipv4_frame
+
+SRC, DST = 0x0A000001, 0x0A000002
+
+
+def sample_frames():
+    return [
+        (0, build_ipv4_frame(SRC, DST, sport=1, dport=80)),
+        (1_500, build_ipv4_frame(SRC, DST, sport=1, dport=80)),
+        (3_000, build_ipv4_frame(DST, SRC, sport=80, dport=1)),
+    ]
+
+
+def test_nanosecond_round_trip(tmp_path):
+    path = tmp_path / "t.pcap"
+    frames = sample_frames()
+    assert write_pcap(path, frames, nanosecond=True) == 3
+    stream, info = read_pcap(path)
+    assert info.records == 3
+    assert info.skipped == 0
+    assert info.nanosecond_resolution
+    assert [p.time for p in stream] == [0, 1_500, 3_000]
+    assert len(stream.flow_ids()) == 2
+
+
+def test_microsecond_resolution_rounds_down(tmp_path):
+    path = tmp_path / "t.pcap"
+    write_pcap(path, sample_frames(), nanosecond=False)
+    stream, info = read_pcap(path)
+    assert not info.nanosecond_resolution
+    assert [p.time for p in stream] == [0, 1_000, 3_000]  # us granularity
+
+
+def test_times_rebased_to_zero(tmp_path):
+    path = tmp_path / "t.pcap"
+    base = 1_700_000_000 * 10**9  # an epoch-scale timestamp
+    frames = [(base + t, frame) for t, frame in sample_frames()]
+    write_pcap(path, frames)
+    stream, _ = read_pcap(path)
+    assert stream[0].time == 0
+    assert stream[-1].time == 3_000
+
+
+def test_sizes_use_original_length(tmp_path):
+    path = tmp_path / "t.pcap"
+    frame = build_ipv4_frame(SRC, DST, sport=1, dport=2, payload=b"y" * 50)
+    write_pcap(path, [(0, frame)])
+    stream, _ = read_pcap(path)
+    assert stream[0].size == len(frame)
+
+
+def test_host_pair_flow_definition(tmp_path):
+    path = tmp_path / "t.pcap"
+    write_pcap(path, sample_frames())
+    stream, _ = read_pcap(path, by_host_pair=True)
+    assert set(stream.flow_ids()) == {(SRC, DST), (DST, SRC)}
+
+
+def test_unparseable_frames_skipped(tmp_path):
+    path = tmp_path / "t.pcap"
+    frames = sample_frames() + [(4_000, b"\x00" * 20)]
+    write_pcap(path, frames)
+    stream, info = read_pcap(path)
+    assert len(stream) == 3
+    assert info.skipped == 1
+    assert info.records == 4
+
+
+def test_big_endian_capture(tmp_path):
+    """Captures written on big-endian machines parse identically."""
+    path = tmp_path / "t.pcap"
+    frame = build_ipv4_frame(SRC, DST, sport=9, dport=10)
+    header = struct.pack(">IHHiIII", MAGIC_MICROS, 2, 4, 0, 0, 0x40000, 1)
+    record = struct.pack(">IIII", 1, 500, len(frame), len(frame)) + frame
+    path.write_bytes(header + record)
+    stream, info = read_pcap(path)
+    assert len(stream) == 1
+    assert not info.nanosecond_resolution
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "t.pcap"
+    path.write_bytes(b"\xde\xad\xbe\xef" + b"\x00" * 20)
+    with pytest.raises(PcapFormatError):
+        read_pcap(path)
+
+
+def test_truncated_header_rejected(tmp_path):
+    path = tmp_path / "t.pcap"
+    path.write_bytes(b"\xd4\xc3\xb2\xa1")
+    with pytest.raises(PcapFormatError):
+        read_pcap(path)
+
+
+def test_truncated_record_rejected(tmp_path):
+    path = tmp_path / "t.pcap"
+    write_pcap(path, sample_frames())
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(PcapFormatError):
+        read_pcap(path)
+
+
+def test_non_ethernet_linktype_rejected(tmp_path):
+    path = tmp_path / "t.pcap"
+    header = struct.pack("<IHHiIII", MAGIC_MICROS, 2, 4, 0, 0, 0x40000, 101)
+    path.write_bytes(header)
+    with pytest.raises(PcapFormatError):
+        read_pcap(path)
+
+
+def test_detector_runs_on_pcap_input(tmp_path):
+    """End to end: capture -> parse -> EARDet."""
+    from repro.core.config import EARDetConfig
+    from repro.core.eardet import EARDet
+
+    path = tmp_path / "t.pcap"
+    heavy = build_ipv4_frame(SRC, DST, sport=5, dport=80, payload=b"z" * 1400)
+    frames = [(i * 1_000, heavy) for i in range(50)]
+    write_pcap(path, frames)
+    stream, _ = read_pcap(path)
+    detector = EARDet(
+        EARDetConfig(rho=1_500_000_000, n=4, beta_th=5_000, alpha=1518)
+    )
+    detector.observe_stream(stream)
+    assert len(detector.detected) == 1

@@ -1,0 +1,242 @@
+"""Related-work baselines: Lossy Counting, Space Saving, Count-Min,
+Sample & Hold, Sampled NetFlow — their individual guarantees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.detectors.count_min import CountMinDetector, CountMinSketch
+from repro.detectors.lossy_counting import LossyCounting, LossyCountingDetector
+from repro.detectors.netflow import SampledNetFlow
+from repro.detectors.sample_and_hold import SampleAndHold
+from repro.detectors.space_saving import SpaceSaving, SpaceSavingDetector
+from repro.model.packet import Packet
+
+ITEM_STREAMS = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(1, 30)), max_size=150
+)
+
+
+class TestLossyCounting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.0)
+        with pytest.raises(ValueError):
+            LossyCounting(1.0)
+        with pytest.raises(ValueError):
+            LossyCounting(0.1).add("a", 0)
+
+    def test_heavy_item_survives(self):
+        summary = LossyCounting(epsilon=0.1)
+        for _ in range(50):
+            summary.add("heavy")
+            summary.add(object())  # unique noise items
+        assert summary.estimate("heavy") > 0
+
+    @given(items=ITEM_STREAMS)
+    def test_undercount_bounded_by_epsilon_total(self, items):
+        epsilon = 0.1
+        summary = LossyCounting(epsilon)
+        truth = {}
+        for item, weight in items:
+            summary.add(item, weight)
+            truth[item] = truth.get(item, 0) + weight
+        for item, weight in truth.items():
+            estimate = summary.estimate(item)
+            assert estimate <= weight
+            assert weight - estimate <= epsilon * summary.total_weight + 1
+
+    def test_frequent_items_includes_everything_above_phi(self):
+        summary = LossyCounting(epsilon=0.01)
+        for _ in range(99):
+            summary.add("big")
+        summary.add("small")
+        assert "big" in summary.frequent_items(phi=0.5)
+
+    def test_detector_wrapper(self):
+        detector = LossyCountingDetector(epsilon=0.01, beta_report=100)
+        t = 0
+        for _ in range(3):
+            flagged = detector.observe(Packet(time=t, size=50, fid="f"))
+            t += 1
+        assert flagged
+        detector.reset()
+        assert not detector.is_detected("f")
+        with pytest.raises(ValueError):
+            LossyCountingDetector(epsilon=0.1, beta_report=0)
+
+
+class TestSpaceSaving:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        with pytest.raises(ValueError):
+            SpaceSaving(2).add("a", -1)
+
+    def test_replacement_inherits_min_count(self):
+        summary = SpaceSaving(slots=2)
+        summary.add("a", 10)
+        summary.add("b", 3)
+        summary.add("c", 1)  # evicts b, inherits 3
+        assert summary.estimate("c") == 4
+        assert summary.guaranteed("c") == 1
+        assert summary.estimate("b") == 0
+
+    def test_state_bounded_by_slots(self):
+        summary = SpaceSaving(slots=5)
+        for index in range(100):
+            summary.add(index)
+        assert summary.state_size() == 5
+
+    @given(items=ITEM_STREAMS, slots=st.integers(1, 8))
+    def test_estimate_bounds(self, items, slots):
+        """true <= estimate and estimate - error <= true (both bounds)."""
+        summary = SpaceSaving(slots)
+        truth = {}
+        for item, weight in items:
+            summary.add(item, weight)
+            truth[item] = truth.get(item, 0) + weight
+        for item, weight in truth.items():
+            estimate = summary.estimate(item)
+            if estimate:
+                assert estimate >= weight
+                assert summary.guaranteed(item) <= weight
+
+    @given(items=ITEM_STREAMS, slots=st.integers(1, 8))
+    def test_heavy_items_always_stored(self, items, slots):
+        summary = SpaceSaving(slots)
+        truth = {}
+        for item, weight in items:
+            summary.add(item, weight)
+            truth[item] = truth.get(item, 0) + weight
+        threshold = summary.total_weight / slots
+        stored = summary.items()
+        for item, weight in truth.items():
+            if weight > threshold:
+                assert item in stored
+
+    def test_detector_uses_guaranteed_count(self):
+        detector = SpaceSavingDetector(slots=1, beta_report=50)
+        detector.observe(Packet(time=0, size=60, fid="a"))
+        # b inherits a's 60 but its guaranteed count is only its own 10.
+        assert not detector.observe(Packet(time=1, size=10, fid="b"))
+        assert detector.is_detected("a")
+        with pytest.raises(ValueError):
+            SpaceSavingDetector(slots=1, beta_report=0)
+
+
+class TestCountMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bounds(0, 0.5)
+        with pytest.raises(ValueError):
+            CountMinSketch(2, 8).add("a", 0)
+
+    def test_dimensioning(self):
+        sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.05)
+        assert sketch.width == 272  # ceil(e / 0.01)
+        assert sketch.rows == 3  # ceil(ln 20)
+
+    @given(items=ITEM_STREAMS)
+    def test_never_underestimates(self, items):
+        sketch = CountMinSketch(rows=3, width=32)
+        truth = {}
+        for item, weight in items:
+            sketch.add(item, weight)
+            truth[item] = truth.get(item, 0) + weight
+        for item, weight in truth.items():
+            assert sketch.estimate(item) >= weight
+
+    def test_detector_wrapper(self):
+        detector = CountMinDetector(rows=2, width=64, beta_report=100)
+        t = 0
+        for _ in range(3):
+            flagged = detector.observe(Packet(time=t, size=50, fid="f"))
+            t += 1
+        assert flagged
+        detector.reset()
+        assert not detector.is_detected("f")
+        assert detector.counter_count() == 128
+
+
+class TestSampleAndHold:
+    def test_always_sampling_is_exact(self):
+        detector = SampleAndHold(byte_sampling_probability=1.0, threshold=100)
+        t = 0
+        for _ in range(3):
+            flagged = detector.observe(Packet(time=t, size=50, fid="f"))
+            t += 1
+        assert flagged
+
+    def test_held_flows_counted_exactly(self):
+        detector = SampleAndHold(byte_sampling_probability=1.0, threshold=10**9)
+        for i in range(5):
+            detector.observe(Packet(time=i, size=100, fid="f"))
+        assert detector._held["f"] == 500
+
+    def test_window_flush(self):
+        detector = SampleAndHold(
+            byte_sampling_probability=1.0, threshold=100, window_ns=1_000
+        )
+        detector.observe(Packet(time=0, size=90, fid="f"))
+        assert not detector.observe(Packet(time=1_000, size=90, fid="f"))
+
+    def test_deterministic_under_seed(self):
+        packets = [Packet(time=i, size=10, fid=i % 3) for i in range(100)]
+        a = SampleAndHold(0.01, 50, seed=9).observe_stream(packets)
+        b = SampleAndHold(0.01, 50, seed=9).observe_stream(packets)
+        assert a.detected == b.detected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleAndHold(0.0, 100)
+        with pytest.raises(ValueError):
+            SampleAndHold(0.5, 0)
+
+    def test_reset(self):
+        detector = SampleAndHold(1.0, 10)
+        detector.observe(Packet(time=0, size=50, fid="f"))
+        detector.reset()
+        assert detector.counter_count() == 0
+        assert not detector.is_detected("f")
+
+
+class TestSampledNetFlow:
+    def test_divisor_one_is_exact_accounting(self):
+        detector = SampledNetFlow(sampling_divisor=1, threshold=100)
+        t = 0
+        for _ in range(3):
+            flagged = detector.observe(Packet(time=t, size=50, fid="f"))
+            t += 1
+        assert flagged
+        assert detector.estimate("f") == 150
+
+    def test_sampling_misses_small_flows(self):
+        detector = SampledNetFlow(sampling_divisor=1000, threshold=10, seed=4)
+        detector.observe(Packet(time=0, size=50, fid="once"))
+        # One packet at 1/1000 sampling is almost surely unseen (seeded).
+        assert detector.estimate("once") in (0, 50_000)
+
+    def test_estimates_scale_by_divisor(self):
+        detector = SampledNetFlow(sampling_divisor=2, threshold=10**9, seed=0)
+        for i in range(1000):
+            detector.observe(Packet(time=i, size=100, fid="f"))
+        assert detector.estimate("f") % 2 == 0
+        assert 60_000 < detector.estimate("f") < 140_000  # ~100 KB true
+
+    def test_deterministic_under_seed(self):
+        packets = [Packet(time=i, size=10, fid=i % 3) for i in range(100)]
+        a = SampledNetFlow(4, 50, seed=2).observe_stream(packets)
+        b = SampledNetFlow(4, 50, seed=2).observe_stream(packets)
+        assert a.detected == b.detected
+
+    def test_validation_and_reset(self):
+        with pytest.raises(ValueError):
+            SampledNetFlow(0, 100)
+        with pytest.raises(ValueError):
+            SampledNetFlow(2, 0)
+        detector = SampledNetFlow(1, 10)
+        detector.observe(Packet(time=0, size=50, fid="f"))
+        detector.reset()
+        assert detector.counter_count() == 0

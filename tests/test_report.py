@@ -1,0 +1,161 @@
+"""Report rendering (tables, series sets, experiment parameters)."""
+
+import pytest
+
+from repro.experiments.report import (
+    ExperimentParams,
+    SeriesSet,
+    Table,
+    _format_cell,
+    render_all,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert _format_cell(None) == "-"
+
+    def test_zero(self):
+        assert _format_cell(0.0) == "0"
+
+    def test_small_floats_trimmed(self):
+        assert _format_cell(0.5) == "0.5"
+        assert _format_cell(0.1234567) == "0.1235"
+
+    def test_extreme_floats_scientific(self):
+        assert "e" in _format_cell(123456.789)
+        assert "e" in _format_cell(0.00001)
+
+    def test_ints_and_strings(self):
+        assert _format_cell(42) == "42"
+        assert _format_cell("x") == "x"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(title="T", headers=["a", "long-header"])
+        table.add_row(1, 2)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "long-header" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table(title="T", headers=["a"]).add_row(1).add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "== T ==" in Table(title="T", headers=["a"]).render()
+
+    def test_str_equals_render(self):
+        table = Table(title="T", headers=["a"]).add_row(1)
+        assert str(table) == table.render()
+
+
+class TestSeriesSet:
+    def test_series_length_checked(self):
+        series = SeriesSet(title="S", x_label="x", x_values=[1, 2, 3])
+        with pytest.raises(ValueError):
+            series.add_series("bad", [1])
+
+    def test_to_table_layout(self):
+        series = SeriesSet(title="S", x_label="x", x_values=[1, 2])
+        series.add_series("alpha", [0.1, 0.2]).add_series("beta", [1, 2])
+        table = series.to_table()
+        assert table.headers == ["x", "alpha", "beta"]
+        assert table.rows[0] == (1, 0.1, 1)
+
+    def test_notes_propagate(self):
+        series = SeriesSet(title="S", x_label="x", x_values=[1])
+        series.add_series("a", [1]).add_note("watch out")
+        assert "watch out" in series.render()
+
+    def test_render_all(self):
+        table = Table(title="A", headers=["h"]).add_row(1)
+        series = SeriesSet(title="B", x_label="x", x_values=[1])
+        series.add_series("y", [2])
+        combined = render_all(table, series)
+        assert "== A ==" in combined and "== B ==" in combined
+
+
+class TestExperimentParams:
+    def test_presets_are_ordered_by_cost(self):
+        quick, default, paper = (
+            ExperimentParams.quick(),
+            ExperimentParams(),
+            ExperimentParams.paper(),
+        )
+        assert quick.scale < default.scale < paper.scale
+        assert quick.repetitions <= default.repetitions <= paper.repetitions
+
+    def test_paper_preset_matches_section52(self):
+        paper = ExperimentParams.paper()
+        assert paper.scale == 1.0
+        assert paper.repetitions == 10
+        assert paper.attack_flows == 50
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExperimentParams().scale = 2.0
+
+
+class TestExport:
+    def _table(self):
+        return Table(title="T", headers=["a", "b"]).add_row(1, 2.5).add_note("n")
+
+    def _series(self):
+        series = SeriesSet(title="S", x_label="x", x_values=[1, 2])
+        return series.add_series("y", [0.1, None])
+
+    def test_table_to_dict(self):
+        from repro.experiments.report import table_to_dict
+
+        payload = table_to_dict(self._table())
+        assert payload["title"] == "T"
+        assert payload["rows"] == [[1, 2.5]]
+        assert payload["notes"] == ["n"]
+
+    def test_series_to_dict(self):
+        from repro.experiments.report import series_to_dict
+
+        payload = series_to_dict(self._series())
+        assert payload["x"] == [1, 2]
+        assert payload["series"]["y"] == [0.1, None]
+
+    def test_to_dict_dispatch(self):
+        from repro.experiments.report import to_dict
+
+        assert to_dict(self._table())["title"] == "T"
+        assert to_dict(self._series())["title"] == "S"
+        with pytest.raises(TypeError):
+            to_dict(42)
+
+    def test_dicts_are_json_serializable(self):
+        import json
+
+        from repro.experiments.report import to_dict
+
+        json.dumps(to_dict(self._table()))
+        json.dumps(to_dict(self._series()))
+
+    def test_write_csv_table(self, tmp_path):
+        from repro.experiments.report import write_csv_table
+
+        path = tmp_path / "t.csv"
+        write_csv_table(self._table(), path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_series_csv_via_to_table(self, tmp_path):
+        from repro.experiments.report import write_csv_table
+
+        path = tmp_path / "s.csv"
+        write_csv_table(self._series().to_table(), path)
+        assert path.read_text().startswith("x,y")

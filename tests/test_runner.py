@@ -1,0 +1,90 @@
+"""Experiment runner."""
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, average, repeat_average
+from repro.core.config import EARDetConfig
+from repro.core.eardet import EARDet
+from repro.detectors.exact import ExactLeakyBucketDetector
+from repro.model.thresholds import ThresholdFunction
+from repro.model.units import seconds
+from repro.traffic.attacks import FloodingAttack
+from repro.traffic.background import BackgroundConfig, generate_background
+from repro.traffic.mix import build_attack_scenario
+
+HIGH = ThresholdFunction(gamma=250_000, beta=15_500)
+LOW = ThresholdFunction(gamma=25_000, beta=6_072)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    background = generate_background(
+        BackgroundConfig(flows=30, duration_ns=seconds(2), mean_flow_bytes=8_000),
+        seed=3,
+    )
+    return build_attack_scenario(
+        background, FloodingAttack(rate=500_000), attack_flows=4,
+        rho=25_000_000, seed=3,
+    )
+
+
+@pytest.fixture
+def runner():
+    runner = ExperimentRunner(HIGH, LOW)
+    runner.register("eardet", lambda: EARDet(
+        EARDetConfig(rho=25_000_000, n=107, beta_th=6991, beta_l=6072, gamma_l=25_000)
+    ))
+    runner.register("exact", lambda: ExactLeakyBucketDetector(HIGH))
+    return runner
+
+
+def test_register_rejects_duplicates(runner):
+    with pytest.raises(ValueError):
+        runner.register("eardet", lambda: None)
+
+
+def test_run_scenario_produces_all_results(runner, scenario):
+    results = runner.run_scenario(scenario)
+    assert set(results) == {"eardet", "exact"}
+    for result in results.values():
+        assert result.packets == len(scenario.stream)
+        assert result.wall_seconds > 0
+        assert result.packets_per_second > 0
+
+
+def test_eardet_matches_oracle_on_attacks(runner, scenario):
+    results = runner.run_scenario(scenario)
+    eardet, exact = results["eardet"], results["exact"]
+    assert eardet.attack_detection.probability == 1.0
+    assert exact.attack_detection.probability == 1.0
+    assert eardet.benign_fp.probability == 0.0
+    assert eardet.classification.is_exact
+
+
+def test_labels_shared_across_detectors(runner, scenario):
+    labels = runner.label(scenario.stream)
+    results = runner.run_scenario(scenario, labels=labels)
+    assert results["eardet"].labels is labels
+
+
+def test_incubation_uses_start_times(runner, scenario):
+    starts = {fid: 0 for fid in scenario.attack_fids}
+    results = runner.run_scenario(scenario, attack_start_times=starts)
+    incubation = results["eardet"].incubation
+    assert incubation.count == len(scenario.attack_fids)
+    assert all(period >= 0 for period in incubation.periods_seconds)
+
+
+def test_fresh_detector_instances_per_run(runner, scenario):
+    first = runner.run_scenario(scenario)
+    second = runner.run_scenario(scenario)
+    assert first["eardet"].detector is not second["eardet"].detector
+    assert first["eardet"].detected == second["eardet"].detected if hasattr(
+        first["eardet"], "detected"
+    ) else True
+
+
+def test_average_helpers():
+    assert average([1.0, 2.0, 3.0]) == 2.0
+    assert average([]) == 0.0
+    assert repeat_average(lambda seed: float(seed), repetitions=4) == 1.5

@@ -1,0 +1,89 @@
+"""Leaky-bucket shaping: paced flows are provably small."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.packet import Packet
+from repro.model.thresholds import ThresholdFunction
+from repro.traffic.shaping import (
+    UnshapeablePacketError,
+    is_compliant,
+    pace_packets,
+)
+
+THRESHOLD = ThresholdFunction(gamma=100_000, beta=1_000)
+
+
+def test_compliant_schedule_is_untouched():
+    packets = [Packet(time=i * 10**7, size=100, fid="f") for i in range(10)]
+    shaped = pace_packets(packets, THRESHOLD)
+    assert shaped == packets
+
+
+def test_burst_is_spread_out():
+    burst = [Packet(time=0, size=500, fid="f") for _ in range(5)]
+    shaped = pace_packets(burst, THRESHOLD)
+    assert is_compliant(shaped, THRESHOLD)
+    assert shaped[-1].time > 0  # had to delay
+    assert [p.size for p in shaped] == [500] * 5  # nothing dropped
+
+
+def test_order_is_preserved():
+    packets = [Packet(time=i, size=900, fid="f") for i in range(20)]
+    shaped = pace_packets(packets, THRESHOLD)
+    times = [p.time for p in shaped]
+    assert times == sorted(times)
+
+
+def test_oversized_packet_rejected():
+    with pytest.raises(UnshapeablePacketError):
+        pace_packets([Packet(time=0, size=1_000, fid="f")], THRESHOLD)
+
+
+def test_zero_rate_threshold_rejected():
+    with pytest.raises(ValueError):
+        pace_packets([], ThresholdFunction(gamma=0, beta=10))
+
+
+def test_is_compliant_is_strict():
+    # Exactly beta bytes in one instant: NOT strictly below the threshold.
+    at_beta = [Packet(time=0, size=1_000, fid="f")]
+    assert not is_compliant(at_beta, THRESHOLD)
+    below = [Packet(time=0, size=999, fid="f")]
+    assert is_compliant(below, THRESHOLD)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 999), min_size=1, max_size=40),
+    gaps=st.lists(st.integers(0, 10**7), min_size=40, max_size=40),
+)
+def test_paced_flows_always_comply(sizes, gaps):
+    """Property: whatever the candidate schedule, pacing yields a strictly
+    compliant flow with the same packet sizes in the same order."""
+    time = 0
+    packets = []
+    for size, gap in zip(sizes, gaps):
+        time += gap
+        packets.append(Packet(time=time, size=size, fid="f"))
+    shaped = pace_packets(packets, THRESHOLD)
+    assert is_compliant(shaped, THRESHOLD)
+    assert [p.size for p in shaped] == sizes
+    # Pacing only ever delays.
+    for original, delayed in zip(packets, shaped):
+        assert delayed.time >= original.time
+
+
+@given(
+    sizes=st.lists(st.integers(1, 999), min_size=1, max_size=25),
+    gaps=st.lists(st.integers(0, 10**7), min_size=25, max_size=25),
+)
+def test_pacing_is_idempotent(sizes, gaps):
+    """A schedule that already complies is never touched again."""
+    time = 0
+    packets = []
+    for size, gap in zip(sizes, gaps):
+        time += gap
+        packets.append(Packet(time=time, size=size, fid="f"))
+    once = pace_packets(packets, THRESHOLD)
+    twice = pace_packets(once, THRESHOLD)
+    assert once == twice

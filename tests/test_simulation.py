@@ -1,0 +1,231 @@
+"""The mitigation-simulation substrate: link, sources, pipeline."""
+
+import random
+
+import pytest
+
+from repro.core.config import engineer
+from repro.core.eardet import EARDet
+from repro.model.packet import Packet
+from repro.model.units import NS_PER_S, milliseconds, seconds
+from repro.simulation import (
+    AimdSource,
+    ConstantBitRateSource,
+    FifoLink,
+    ShrewSource,
+    simulate,
+)
+
+
+class TestFifoLink:
+    def test_uncongested_passthrough(self):
+        link = FifoLink(rho=1_000_000_000, buffer_bytes=10_000)
+        packet = Packet(time=100, size=500, fid="f")
+        emitted = link.offer(packet)
+        assert emitted.time == 100
+        assert link.stats.delivered_packets == 1
+
+    def test_backlog_delays(self):
+        link = FifoLink(rho=1_000_000_000, buffer_bytes=10_000)
+        link.offer(Packet(time=0, size=1_000, fid="a"))
+        emitted = link.offer(Packet(time=0, size=1_000, fid="b"))
+        assert emitted.time == 1_000  # waits for a's serialization
+
+    def test_tail_drop(self):
+        link = FifoLink(rho=1_000_000_000, buffer_bytes=1_500)
+        results = link.offer_all(
+            [Packet(time=0, size=1_000, fid=i) for i in range(5)]
+        )
+        assert len(results) < 5
+        assert link.stats.dropped_packets == 5 - len(results)
+        assert link.stats.loss_rate > 0
+
+    def test_queue_drains_over_time(self):
+        link = FifoLink(rho=1_000_000, buffer_bytes=10_000)
+        link.offer(Packet(time=0, size=5_000, fid="a"))
+        assert link.queue_bytes_at(0) == 5_000
+        assert link.queue_bytes_at(5_000_000) == 0  # 5 ms later at 1 MB/s
+
+    def test_state_persists_across_batches(self):
+        link = FifoLink(rho=1_000_000, buffer_bytes=100_000)
+        link.offer_all([Packet(time=0, size=50_000, fid="a")])
+        emitted = link.offer_all([Packet(time=1, size=1_000, fid="b")])
+        assert emitted[0].time >= 50_000_000  # behind the first batch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FifoLink(rho=0, buffer_bytes=10)
+        with pytest.raises(ValueError):
+            FifoLink(rho=10, buffer_bytes=-1)
+
+
+class TestSources:
+    def test_cbr_rate(self):
+        source = ConstantBitRateSource(fid="c", rate=1_000_000, packet_size=1_000)
+        packets = source.generate(0, NS_PER_S, random.Random(0))
+        assert sum(p.size for p in packets) == 1_000_000
+        assert all(0 <= p.time < NS_PER_S for p in packets)
+
+    def test_cbr_credit_carries_over(self):
+        source = ConstantBitRateSource(fid="c", rate=1_500, packet_size=1_000)
+        first = source.generate(0, NS_PER_S, random.Random(0))
+        second = source.generate(NS_PER_S, 2 * NS_PER_S, random.Random(0))
+        assert len(first) + len(second) == 3  # 3000 B over 2 s
+
+    def test_aimd_additive_increase(self):
+        source = AimdSource(fid="v", initial_cwnd=2)
+        source.generate(0, 100, random.Random(0))
+        source.feedback(delivered=2, dropped=0)
+        assert source.cwnd == 3
+
+    def test_aimd_multiplicative_decrease(self):
+        source = AimdSource(fid="v", initial_cwnd=8)
+        source.feedback(delivered=7, dropped=1)
+        assert source.cwnd == 4
+
+    def test_aimd_timeout_collapse(self):
+        source = AimdSource(fid="v", initial_cwnd=8)
+        source.feedback(delivered=0, dropped=8)
+        assert source.cwnd == 1
+
+    def test_aimd_respects_max_cwnd(self):
+        source = AimdSource(fid="v", initial_cwnd=5, max_cwnd=5)
+        source.feedback(delivered=5, dropped=0)
+        assert source.cwnd == 5
+
+    def test_aimd_emits_cwnd_segments(self):
+        source = AimdSource(fid="v", initial_cwnd=7)
+        packets = source.generate(0, milliseconds(100), random.Random(0))
+        assert len(packets) == 7
+        assert source.cwnd_history == [7]
+
+    def test_shrew_burst_per_period(self):
+        source = ShrewSource(
+            fid="s", burst_bytes=10_000, period_ns=NS_PER_S,
+            packet_size=1_000, link_rate=1_000_000,
+        )
+        packets = source.generate(0, 2 * NS_PER_S, random.Random(0))
+        first_second = [p for p in packets if p.time < NS_PER_S]
+        assert sum(p.size for p in first_second) == 10_000
+
+    def test_shrew_only_fires_on_period_boundaries(self):
+        source = ShrewSource(fid="s", burst_bytes=5_000, period_ns=NS_PER_S)
+        quiet = source.generate(NS_PER_S // 2, NS_PER_S - 1, random.Random(0))
+        assert quiet == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantBitRateSource(fid="c", rate=0)
+        with pytest.raises(ValueError):
+            AimdSource(fid="v", initial_cwnd=0)
+        with pytest.raises(ValueError):
+            ShrewSource(fid="s", burst_bytes=0)
+
+
+class TestSimulate:
+    RHO = 2_000_000
+    BUFFER = 30_000
+
+    def _sources(self):
+        return [
+            AimdSource(fid="victim", max_cwnd=30),
+            ShrewSource(
+                fid="attacker", burst_bytes=120_000,
+                period_ns=NS_PER_S // 2, link_rate=10 * self.RHO,
+            ),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate(self._sources(), self.RHO, self.BUFFER, 0, 1)
+        duplicated = [AimdSource(fid="x"), AimdSource(fid="x")]
+        with pytest.raises(ValueError):
+            simulate(duplicated, self.RHO, self.BUFFER, 100, 10)
+
+    def test_attack_collapses_victim(self):
+        quiet = simulate(
+            [AimdSource(fid="victim", max_cwnd=30)],
+            self.RHO, self.BUFFER, seconds(10), milliseconds(100),
+        )
+        attacked = simulate(
+            self._sources(),
+            self.RHO, self.BUFFER, seconds(10), milliseconds(100),
+        )
+        assert attacked.goodput_bps("victim") < 0.6 * quiet.goodput_bps("victim")
+
+    def test_eardet_policer_restores_goodput_and_stays_exact(self):
+        # The detector watches the ingress aggregate (attacker access link
+        # at 10x the bottleneck, plus the victim): configure it for that
+        # capacity, with headroom.
+        config = engineer(
+            rho=13 * self.RHO, gamma_l=350_000, beta_l=20_000,
+            gamma_h=800_000, t_upincb_seconds=1.0,
+        )
+        undefended = simulate(
+            self._sources(), self.RHO, self.BUFFER,
+            seconds(10), milliseconds(100),
+        )
+        defended = simulate(
+            self._sources(), self.RHO, self.BUFFER,
+            seconds(10), milliseconds(100), detector=EARDet(config),
+        )
+        assert defended.detected_flows() == ["attacker"]
+        assert (
+            defended.goodput_bps("victim")
+            > 1.5 * undefended.goodput_bps("victim")
+        )
+        attacker = defended.flows["attacker"]
+        assert attacker.policed_bytes > 0.8 * attacker.offered_bytes
+
+    def test_slot_series_shapes(self):
+        result = simulate(
+            self._sources(), self.RHO, self.BUFFER,
+            seconds(2), milliseconds(100),
+        )
+        assert len(result.slot_delivered["victim"]) == 20
+        assert result.link_stats.offered_packets > 0
+
+    def test_goodput_of_unknown_flow_is_zero(self):
+        result = simulate(
+            self._sources(), self.RHO, self.BUFFER, seconds(1), milliseconds(100)
+        )
+        assert result.goodput_bps("ghost") == 0.0
+
+
+class TestSourceProperties:
+    def test_cbr_conserves_bytes_under_any_slotting(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            rate=st.integers(1_000, 10_000_000),
+            cuts=st.lists(st.integers(1, 10**8), min_size=1, max_size=20),
+        )
+        def check(rate, cuts):
+            source = ConstantBitRateSource(fid="c", rate=rate, packet_size=1_000)
+            rng = random.Random(0)
+            start = 0
+            total = 0
+            for cut in cuts:
+                end = start + cut
+                total += sum(p.size for p in source.generate(start, end, rng))
+                start = end
+            expected = rate * start / NS_PER_S
+            assert abs(total - expected) <= 1_000  # within one packet
+
+        check()
+
+    def test_aimd_cwnd_always_within_bounds(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            events=st.lists(
+                st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=60
+            )
+        )
+        def check(events):
+            source = AimdSource(fid="v", initial_cwnd=4, max_cwnd=40)
+            for delivered, dropped in events:
+                source.feedback(delivered, dropped)
+                assert 1 <= source.cwnd <= 40
+
+        check()

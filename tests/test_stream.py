@@ -1,0 +1,116 @@
+"""Packet streams and stream algebra."""
+
+import pytest
+from hypothesis import given
+
+from repro.model.packet import Packet
+from repro.model.stream import (
+    PacketStream,
+    StreamOrderError,
+    clip,
+    merge,
+    merge_iter,
+)
+
+from conftest import packet_lists
+
+
+def test_stream_validates_order():
+    with pytest.raises(StreamOrderError):
+        PacketStream([Packet(time=10, size=1, fid="a"), Packet(time=5, size=1, fid="b")])
+
+
+def test_stream_sequence_protocol(tiny_stream):
+    assert len(tiny_stream) == 5
+    assert tiny_stream[0].fid == "a"
+    assert tiny_stream[-1].fid == "b"
+    sliced = tiny_stream[1:3]
+    assert isinstance(sliced, PacketStream)
+    assert len(sliced) == 2
+
+
+def test_stream_flow_ids_first_appearance_order(tiny_stream):
+    assert tiny_stream.flow_ids() == ["a", "b", "c"]
+
+
+def test_stream_flow_volumes(tiny_stream):
+    assert tiny_stream.flow_volumes() == {"a": 200, "b": 250, "c": 300}
+
+
+def test_stream_flow_substream(tiny_stream):
+    flow_a = tiny_stream.flow("a")
+    assert [p.time for p in flow_a] == [0, 2_000]
+
+
+def test_stream_window_half_open(tiny_stream):
+    window = tiny_stream.window(1_000, 5_000)
+    assert [p.time for p in window] == [1_000, 2_000]  # 5_000 excluded
+
+
+def test_stream_volume_matches_paper_definition(tiny_stream):
+    assert tiny_stream.volume("a", 0, 2_001) == 200
+    assert tiny_stream.volume("a", 0, 2_000) == 100  # [t1, t2) excludes t2
+    assert tiny_stream.volume("missing", 0, 10_000) == 0
+
+
+def test_stream_stats(tiny_stream):
+    stats = tiny_stream.stats()
+    assert stats.packet_count == 5
+    assert stats.flow_count == 3
+    assert stats.total_bytes == 750
+    assert stats.duration_ns == 9_000
+    assert stats.avg_flow_size == 250
+
+
+def test_empty_stream():
+    stream = PacketStream([])
+    assert len(stream) == 0
+    assert stream.start_time == 0
+    assert stream.end_time == 0
+    stats = stream.stats()
+    assert stats.avg_rate_bps == 0.0
+    assert stats.avg_flow_size == 0.0
+
+
+def test_shifted(tiny_stream):
+    shifted = tiny_stream.shifted(1_000)
+    assert shifted[0].time == 1_000
+    assert shifted[-1].time == 10_000
+    assert len(shifted) == len(tiny_stream)
+
+
+def test_merge_preserves_order():
+    left = [Packet(time=0, size=1, fid="l"), Packet(time=10, size=1, fid="l")]
+    right = [Packet(time=5, size=1, fid="r"), Packet(time=15, size=1, fid="r")]
+    merged = merge(left, right)
+    assert [p.time for p in merged] == [0, 5, 10, 15]
+
+
+def test_merge_tie_break_is_argument_order():
+    left = [Packet(time=5, size=1, fid="first")]
+    right = [Packet(time=5, size=1, fid="second")]
+    merged = merge(left, right)
+    assert [p.fid for p in merged] == ["first", "second"]
+
+
+def test_merge_iter_is_lazy():
+    iterator = merge_iter(iter([Packet(time=0, size=1, fid="a")]), iter([]))
+    assert next(iterator).fid == "a"
+
+
+def test_clip():
+    packets = [Packet(time=t, size=1, fid="f") for t in (0, 5, 10, 15)]
+    assert [p.time for p in clip(packets, 5, 15)] == [5, 10]
+    assert [p.time for p in clip(packets, None, 10)] == [0, 5]
+    assert [p.time for p in clip(packets, 10, None)] == [10, 15]
+
+
+@given(packets=packet_lists())
+def test_merge_of_split_streams_is_identity(packets):
+    """Splitting a stream by flow and re-merging reproduces the volumes."""
+    stream = PacketStream(packets)
+    per_flow = [stream.flow(fid) for fid in stream.flow_ids()]
+    merged = merge(*per_flow)
+    assert len(merged) == len(stream)
+    assert merged.flow_volumes() == stream.flow_volumes()
+    assert [p.time for p in merged] == sorted(p.time for p in packets)

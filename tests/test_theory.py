@@ -1,0 +1,150 @@
+"""Closed-form theory functions (Section 4)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import theory
+
+# Appendix A's parameters, used as the reference point throughout.
+RHO = 100_000_000
+ALPHA = 1518
+BETA_L = 6072
+GAMMA_L = 100_000
+GAMMA_H = 1_000_000
+
+
+def test_rnfn_is_rho_over_n_plus_1():
+    assert theory.rnfn(RHO, 101) == Fraction(RHO, 102)
+    assert float(theory.rnfn(RHO, 101)) == pytest.approx(980392.16, rel=1e-6)
+
+
+def test_rnfn_needs_two_counters():
+    with pytest.raises(ValueError):
+        theory.rnfn(RHO, 1)
+
+
+def test_beta_h_guarantee():
+    assert theory.beta_h_guarantee(alpha=1518, beta_th=6935) == 15388
+
+
+def test_rnfp_worked_example():
+    value = theory.rnfp(RHO, 101, ALPHA, BETA_L, beta_delta=863)
+    assert float(value) == pytest.approx(100445.78, abs=0.5)
+    assert value > GAMMA_L  # the engineered config protects gamma_l
+
+
+def test_rnfp_validation():
+    with pytest.raises(ValueError):
+        theory.rnfp(RHO, 101, ALPHA, BETA_L, beta_delta=0)
+
+
+def test_rnfp_approaches_rnfn_but_never_exceeds():
+    """Theorem 6's remark: gamma_l -> rho/(n+1) as beta_delta grows, from
+    below."""
+    previous = Fraction(0)
+    for beta_delta in (100, 1_000, 10_000, 10**6, 10**9):
+        value = theory.rnfp(RHO, 101, ALPHA, BETA_L, beta_delta)
+        assert previous < value < theory.rnfn(RHO, 101)
+        previous = value
+
+
+def test_t_beta_l_positive_and_matches_lemma(small=None):
+    t = theory.t_beta_l_seconds(RHO, 101, ALPHA, BETA_L, GAMMA_L)
+    expected = Fraction(100 * ALPHA + 102 * BETA_L, RHO - 102 * GAMMA_L)
+    assert t == expected
+
+
+def test_t_beta_l_rejects_gamma_at_rnfn():
+    with pytest.raises(ValueError):
+        theory.t_beta_l_seconds(RHO, 101, ALPHA, BETA_L, RHO // 102 + 1)
+
+
+def test_min_rate_gap_exact_equals_rnfn_over_rnfp():
+    gap = theory.min_rate_gap(101, ALPHA, BETA_L, beta_delta=863)
+    expected = theory.rnfn(RHO, 101) / theory.rnfp(RHO, 101, ALPHA, BETA_L, 863)
+    assert gap == expected
+
+
+def test_min_rate_gap_approx_paper_point():
+    """Paper Section 4.3: rate gap 10 needs burst gap just 2.53."""
+    gap = theory.min_rate_gap_approx(ALPHA, BETA_L, beta_h=round(2.53 * BETA_L))
+    assert gap == pytest.approx(10.0, abs=0.15)
+
+
+def test_min_rate_gap_approx_rejects_below_floor():
+    floor_beta_h = (ALPHA / BETA_L + 2) * BETA_L
+    with pytest.raises(ValueError):
+        theory.min_rate_gap_approx(ALPHA, BETA_L, beta_h=floor_beta_h)
+
+
+def test_min_rate_gap_approaches_one():
+    """(gamma_h/gamma_l)_min -> 1 as the burst gap grows (observation c)."""
+    assert theory.min_rate_gap_approx(ALPHA, BETA_L, beta_h=10**9 * BETA_L) == pytest.approx(
+        1.0, abs=1e-6
+    )
+
+
+def test_min_burst_gap():
+    assert theory.min_burst_gap(ALPHA, BETA_L) == pytest.approx(ALPHA / BETA_L + 2)
+
+
+def test_incubation_bound_worked_example():
+    bound = theory.incubation_bound_seconds(RHO, 101, ALPHA, 6935, GAMMA_H)
+    assert float(bound) == pytest.approx(0.7848, abs=0.0001)
+
+
+def test_incubation_bound_decreases_with_rate():
+    slow = theory.incubation_bound_seconds(RHO, 101, ALPHA, 6935, GAMMA_H)
+    fast = theory.incubation_bound_seconds(RHO, 101, ALPHA, 6935, 2 * GAMMA_H)
+    assert fast < slow
+
+
+def test_incubation_bound_decreases_with_counters():
+    few = theory.incubation_bound_seconds(RHO, 101, ALPHA, 6935, GAMMA_H)
+    many = theory.incubation_bound_seconds(RHO, 200, ALPHA, 6935, GAMMA_H)
+    assert many < few
+
+
+def test_incubation_bound_rejects_rate_at_rnfn():
+    with pytest.raises(ValueError):
+        theory.incubation_bound_seconds(RHO, 101, ALPHA, 6935, Fraction(RHO, 102))
+
+
+def test_min_counters_for_rate():
+    """Paper: detecting rates over gamma_h needs n > rho/gamma_h - 1,
+    i.e. n = 100 for the worked example."""
+    n = theory.min_counters_for_rate(RHO, GAMMA_H)
+    assert n == 100
+    assert theory.rnfn(RHO, n) < GAMMA_H
+    assert theory.rnfn(RHO, n - 1) >= GAMMA_H
+
+
+@given(rate=st.integers(2, 10**9))
+def test_min_counters_is_minimal(rate):
+    n = theory.min_counters_for_rate(RHO, rate)
+    assert n >= 2
+    assert theory.rnfn(RHO, n) < rate
+    if n > 2:
+        assert theory.rnfn(RHO, n - 1) >= rate
+
+
+def test_min_t_upincb_matches_eq12():
+    value = theory.min_t_upincb(GAMMA_H, GAMMA_L, ALPHA, BETA_L)
+    import math
+
+    expected = 2 * (ALPHA + BETA_L) / (GAMMA_H + GAMMA_L - 2 * math.sqrt(GAMMA_H * GAMMA_L))
+    assert value == pytest.approx(expected)
+
+
+def test_min_t_upincb_rejects_inverted_rates():
+    with pytest.raises(ValueError):
+        theory.min_t_upincb(GAMMA_L, GAMMA_H, ALPHA, BETA_L)
+
+
+def test_solvable_boundary():
+    threshold = theory.min_t_upincb(GAMMA_H, GAMMA_L, ALPHA, BETA_L)
+    assert theory.solvable(GAMMA_H, GAMMA_L, ALPHA, BETA_L, threshold * 1.001)
+    assert not theory.solvable(GAMMA_H, GAMMA_L, ALPHA, BETA_L, threshold * 0.999)
+    assert not theory.solvable(GAMMA_L, GAMMA_H, ALPHA, BETA_L, 1.0)

@@ -1,0 +1,126 @@
+"""Threshold functions and the exact leaky bucket.
+
+The load-bearing property here: the leaky-bucket peak equals the maximum
+window excess over ALL arbitrary windows, verified against brute-force
+window enumeration (the equivalence every guarantee in the library rests
+on).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.packet import Packet
+from repro.model.thresholds import (
+    LeakyBucket,
+    ThresholdFunction,
+    max_window_excess_scaled,
+)
+from repro.model.units import NS_PER_S
+
+from conftest import packet_lists
+
+
+def test_threshold_function_values():
+    th = ThresholdFunction(gamma=1_000, beta=500)
+    assert th(NS_PER_S) == 1_500
+    assert th(0) == 500
+    assert th.scaled(NS_PER_S) == 1_500 * NS_PER_S
+
+
+def test_threshold_rejects_negative():
+    with pytest.raises(ValueError):
+        ThresholdFunction(gamma=-1, beta=0)
+    with pytest.raises(ValueError):
+        ThresholdFunction(gamma=1, beta=-1)
+
+
+def test_exceeded_by_is_strict():
+    th = ThresholdFunction(gamma=0, beta=100)
+    assert not th.exceeded_by(100, 0)
+    assert th.exceeded_by(101, 0)
+
+
+def test_describe():
+    assert "250000" in ThresholdFunction(gamma=250_000, beta=15_500).describe()
+
+
+def test_bucket_drains_at_gamma():
+    bucket = LeakyBucket(gamma=1_000_000_000)  # 1 B/ns
+    bucket.add(0, 100)
+    assert bucket.level_at(50) == 50 * NS_PER_S
+    assert bucket.level_at(100) == 0
+    assert bucket.level_at(200) == 0
+
+
+def test_bucket_add_accumulates():
+    bucket = LeakyBucket(gamma=0)
+    bucket.add(0, 10)
+    bucket.add(5, 20)
+    assert bucket.level_scaled == 30 * NS_PER_S
+    assert bucket.peak_scaled == 30 * NS_PER_S
+
+
+def test_bucket_rejects_out_of_order():
+    bucket = LeakyBucket(gamma=1)
+    bucket.add(100, 10)
+    with pytest.raises(ValueError):
+        bucket.add(50, 10)
+    with pytest.raises(ValueError):
+        bucket.level_at(50)
+
+
+def test_bucket_peak_tracking():
+    bucket = LeakyBucket(gamma=1_000_000_000)
+    bucket.add(0, 100)
+    bucket.add(1_000, 10)  # fully drained in between
+    assert bucket.peak_bytes == 100
+    assert bucket.exceeds(5)
+    assert bucket.peak_exceeds(99)
+    assert not bucket.peak_exceeds(100)  # strict
+
+
+def test_bucket_reset():
+    bucket = LeakyBucket(gamma=1)
+    bucket.add(0, 100)
+    bucket.reset()
+    assert bucket.level_scaled == 0
+    assert bucket.peak_scaled == 0
+
+
+def test_zero_gamma_bucket_never_drains():
+    bucket = LeakyBucket(gamma=0)
+    bucket.add(0, 5)
+    assert bucket.level_at(10**15) == 5 * NS_PER_S
+
+
+def test_brute_force_simple_case():
+    packets = [Packet(time=0, size=10, fid="f"), Packet(time=100, size=10, fid="f")]
+    # gamma = 0: best window holds everything.
+    assert max_window_excess_scaled(packets, 0) == 20 * NS_PER_S
+    # huge gamma: best window is a single packet at zero length.
+    assert max_window_excess_scaled(packets, 10**12) == 10 * NS_PER_S
+
+
+@given(packets=packet_lists(max_packets=25, max_flows=1), gamma=st.integers(0, 10**7))
+def test_bucket_peak_equals_max_window_excess(packets, gamma):
+    """THE equivalence: leaky-bucket peak == max arbitrary-window excess."""
+    bucket = LeakyBucket(gamma)
+    if packets:
+        bucket.last_time = packets[0].time
+    for packet in packets:
+        bucket.add(packet.time, packet.size)
+    assert bucket.peak_scaled == max_window_excess_scaled(packets, gamma)
+
+
+@given(packets=packet_lists(max_packets=25, max_flows=1), th=st.integers(1, 50_000))
+def test_violation_decision_matches_brute_force(packets, th):
+    """'Some window violates gamma*t+beta' decided identically both ways."""
+    gamma = 1_000_000
+    bucket = LeakyBucket(gamma)
+    if packets:
+        bucket.last_time = packets[0].time
+    for packet in packets:
+        bucket.add(packet.time, packet.size)
+    by_bucket = bucket.peak_exceeds(th)
+    by_brute = max_window_excess_scaled(packets, gamma) > th * NS_PER_S
+    assert by_bucket == by_brute

@@ -1,0 +1,126 @@
+"""Trace persistence: CSV and binary round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.packet import Packet
+from repro.model.stream import PacketStream
+from repro.traffic.trace_io import (
+    TraceFormatError,
+    intern_fids,
+    read_binary,
+    read_csv,
+    write_binary,
+    write_csv,
+)
+
+SAMPLE = [
+    Packet(time=0, size=100, fid="flow-a"),
+    Packet(time=1_000, size=200, fid=("tuple", 3)),
+    Packet(time=2_000, size=300, fid=42),
+]
+
+
+def test_csv_round_trip(tmp_path):
+    path = tmp_path / "trace.csv"
+    assert write_csv(path, SAMPLE) == 3
+    stream = read_csv(path)
+    assert len(stream) == 3
+    assert stream[0].fid == "flow-a"
+    assert stream[1].fid == ("tuple", 3)
+    assert stream[2].fid == 42
+    assert [p.time for p in stream] == [0, 1_000, 2_000]
+
+
+def test_csv_rejects_wrong_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(TraceFormatError):
+        read_csv(path)
+
+
+def test_csv_rejects_malformed_row(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_ns,size,fid\n1,2\n")
+    with pytest.raises(TraceFormatError):
+        read_csv(path)
+
+
+def test_csv_reports_row_number_of_bad_value(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_ns,size,fid\n0,100,ok\n5,-1,bad\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_csv(path)
+    assert ":3:" in str(excinfo.value)
+
+
+def test_binary_round_trip(tmp_path):
+    path = tmp_path / "trace.ert"
+    packets = [Packet(time=i * 10, size=100 + i, fid=i % 3) for i in range(50)]
+    assert write_binary(path, packets) == 50
+    stream = read_binary(path)
+    assert list(stream) == packets
+
+
+def test_binary_rejects_non_int_fids(tmp_path):
+    path = tmp_path / "trace.ert"
+    with pytest.raises(TraceFormatError):
+        write_binary(path, [Packet(time=0, size=1, fid="str")])
+    with pytest.raises(TraceFormatError):
+        write_binary(path, [Packet(time=0, size=1, fid=True)])
+
+
+def test_binary_rejects_truncated_file(tmp_path):
+    path = tmp_path / "trace.ert"
+    write_binary(path, [Packet(time=0, size=1, fid=0)])
+    data = path.read_bytes()
+    path.write_bytes(data[:-4])
+    with pytest.raises(TraceFormatError):
+        read_binary(path)
+
+
+def test_binary_rejects_bad_magic(tmp_path):
+    path = tmp_path / "trace.ert"
+    path.write_bytes(b"NOPE" + b"\x00" * 8)
+    with pytest.raises(TraceFormatError):
+        read_binary(path)
+
+
+def test_intern_fids():
+    packets, mapping = intern_fids(SAMPLE)
+    assert mapping == {"flow-a": 0, ("tuple", 3): 1, 42: 2}
+    assert [p.fid for p in packets] == [0, 1, 2]
+    assert [p.time for p in packets] == [p.time for p in SAMPLE]
+
+
+@given(
+    times=st.lists(st.integers(0, 10**12), max_size=30),
+    negative_fids=st.booleans(),
+)
+def test_binary_round_trip_property(tmp_path_factory, times, negative_fids):
+    tmp = tmp_path_factory.mktemp("traces") / "t.ert"
+    packets = [
+        Packet(
+            time=t,
+            size=1 + i,
+            fid=(-i if negative_fids else i),
+        )
+        for i, t in enumerate(sorted(times))
+    ]
+    write_binary(tmp, packets)
+    assert list(read_binary(tmp)) == packets
+
+
+def test_csv_and_binary_agree(tmp_path):
+    packets, _ = intern_fids(SAMPLE)
+    csv_path = tmp_path / "t.csv"
+    bin_path = tmp_path / "t.ert"
+    write_csv(csv_path, packets)
+    write_binary(bin_path, packets)
+    assert list(read_csv(csv_path)) == list(read_binary(bin_path))
+
+
+def test_readers_return_packet_streams(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(path, SAMPLE)
+    assert isinstance(read_csv(path), PacketStream)

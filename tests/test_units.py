@@ -1,0 +1,70 @@
+"""Unit-conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import units
+
+
+def test_seconds_to_ns():
+    assert units.seconds(1) == 1_000_000_000
+    assert units.seconds(0.5) == 500_000_000
+    assert units.seconds(0) == 0
+
+
+def test_milliseconds_and_microseconds():
+    assert units.milliseconds(1) == 1_000_000
+    assert units.microseconds(1) == 1_000
+    assert units.milliseconds(2.5) == 2_500_000
+
+
+def test_ns_to_seconds_round_trip():
+    assert units.ns_to_seconds(units.seconds(1.25)) == pytest.approx(1.25)
+
+
+def test_rate_conversions():
+    assert units.mbps(200) == 25_000_000
+    assert units.gbps(10) == 1_250_000_000
+    assert units.kilobytes_per_second(250) == 250_000
+    assert units.megabytes_per_second(12.5) == 12_500_000
+
+
+def test_bits_per_second():
+    assert units.bits_per_second(8) == 1
+    assert units.bits_per_second(12) == 2  # rounds to nearest
+
+
+def test_bytes_to_human():
+    assert units.bytes_to_human(15_500) == "15.5KB"
+    assert units.bytes_to_human(1_250_000_000) == "1.25GB"
+    assert units.bytes_to_human(500) == "500B"
+    assert units.bytes_to_human(-2_000_000) == "-2MB"
+
+
+def test_rate_to_human():
+    assert units.rate_to_human(250_000) == "250KB/s"
+
+
+def test_transmission_time_rounds_up():
+    # 100 bytes at 3 B/ns-ish rates: never undercounts serialization time.
+    assert units.transmission_time_ns(1, 1_000_000_000) == 1
+    assert units.transmission_time_ns(1518, 25_000_000) == 60_720
+
+
+def test_transmission_time_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        units.transmission_time_ns(100, 0)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10_000),
+    capacity=st.integers(min_value=1, max_value=10**10),
+)
+def test_transmission_time_never_exceeds_capacity(size, capacity):
+    """Back-to-back packets spaced by the helper never exceed capacity."""
+    gap = units.transmission_time_ns(size, capacity)
+    # bytes * NS <= gap * capacity  <=>  rate over the gap <= capacity.
+    assert size * units.NS_PER_S <= gap * capacity
+    # ... and the rounding is tight: one ns less would exceed capacity.
+    if gap > 1:
+        assert size * units.NS_PER_S > (gap - 1) * capacity

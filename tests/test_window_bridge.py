@@ -1,0 +1,111 @@
+"""Theorems 2/3 transfers and the Section 3.1 impossibility witness."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import theory
+from repro.core.window_bridge import (
+    eardet_arbitrary_window_guarantee,
+    eardet_synopsis_distance_bound,
+    incompatibility_witness,
+    no_fnl_transfer,
+    no_fps_transfer,
+)
+
+
+def test_theorem2_is_identity():
+    guarantee = no_fps_transfer(gamma_l_prime=25_000, beta_l_prime=6_072)
+    assert guarantee.gamma == 25_000
+    assert guarantee.beta == 6_072
+
+
+def test_theorem3_adds_gamma_delta():
+    guarantee = no_fnl_transfer(
+        gamma_h_prime=1_000, beta_h_prime=100, delta_seconds=Fraction(1, 2)
+    )
+    assert guarantee.gamma == 1_000
+    assert guarantee.beta == 100 + 500
+
+
+def test_theorem3_rejects_negative_delta():
+    with pytest.raises(ValueError):
+        no_fnl_transfer(1_000, 100, -1)
+
+
+def test_eardet_delta_formula():
+    delta = eardet_synopsis_distance_bound(rho=100_000_000, n=101, beta_th=6935, alpha=1518)
+    assert delta == Fraction((6935 + 1518) * 101, 100_000_000)
+
+
+def test_eardet_delta_rejects_bad_rho():
+    with pytest.raises(ValueError):
+        eardet_synopsis_distance_bound(rho=0, n=101, beta_th=6935, alpha=1518)
+
+
+@given(
+    n=st.integers(2, 500),
+    beta_th=st.integers(100, 20_000),
+    alpha=st.integers(40, 1518),
+    rho_mb=st.integers(1, 1000),
+)
+def test_transfer_reproduces_theorem4(n, beta_th, alpha, rho_mb):
+    """Driving Theorem 3 with EARDet's landmark guarantee and Delta must
+    land at (or under) Theorem 4's published constants:
+    gamma_h = rho/(n+1) = R_NFN and
+    beta_h = beta_TH + n/(n+1)(beta_TH+alpha) <= alpha + 2 beta_TH."""
+    rho = rho_mb * 1_000_000
+    guarantee = eardet_arbitrary_window_guarantee(rho, n, beta_th, alpha)
+    assert guarantee.gamma == theory.rnfn(rho, n)
+    exact_beta = beta_th + Fraction(n, n + 1) * (beta_th + alpha)
+    assert guarantee.beta == exact_beta
+    assert guarantee.beta <= theory.beta_h_guarantee(alpha, beta_th)
+
+
+def test_guarantee_threshold_eval():
+    guarantee = no_fnl_transfer(1_000_000, 1_000, 0)
+    # 1 MB/s over 1 ms + 1000 B burst = 2000 B.
+    assert guarantee.threshold_scaled(1_000_000) == 2_000
+
+
+class TestIncompatibilityWitness:
+    PARAMS = dict(gamma_l_prime=25_000, beta_l_prime=6_072, gamma_h=250_000, beta_h=15_500)
+
+    def test_witness_violates_high_threshold(self):
+        t1, t2, volume = incompatibility_witness(**self.PARAMS)
+        assert volume > self.PARAMS["gamma_h"] * (t2 - t1) + self.PARAMS["beta_h"]
+
+    def test_witness_complies_with_landmark_low_threshold(self):
+        t1, t2, volume = incompatibility_witness(**self.PARAMS)
+        assert volume <= self.PARAMS["gamma_l_prime"] * t2 + self.PARAMS["beta_l_prime"]
+
+    def test_interval_is_well_formed(self):
+        t1, t2, volume = incompatibility_witness(**self.PARAMS)
+        assert 0 < t1 < t2
+        assert volume > 0
+
+    @given(
+        gamma_l=st.integers(1, 10**6),
+        beta_l=st.integers(0, 10**5),
+        gamma_h=st.integers(1, 10**8),
+        beta_h=st.integers(0, 10**6),
+        eps_thousandths=st.integers(1, 5_000),
+    )
+    def test_witness_exists_for_any_parameters(
+        self, gamma_l, beta_l, gamma_h, beta_h, eps_thousandths
+    ):
+        """The paper's claim: for ANY parameter selection such a flow
+        exists — the ambiguity region is unavoidable."""
+        t1, t2, volume = incompatibility_witness(
+            gamma_l, beta_l, gamma_h, beta_h,
+            epsilon_seconds=Fraction(eps_thousandths, 1000),
+        )
+        assert volume > gamma_h * (t2 - t1) + beta_h
+        assert volume <= gamma_l * t2 + beta_l
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            incompatibility_witness(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            incompatibility_witness(1, 1, 1, 1, epsilon_seconds=0)

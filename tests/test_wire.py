@@ -1,0 +1,122 @@
+"""Wire-format parsing: Ethernet / IPv4 / IPv6 / TCP / UDP."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.packet import FiveTuple
+from repro.traffic.wire import (
+    PROTO_TCP,
+    PROTO_UDP,
+    ParseError,
+    build_ipv4_frame,
+    build_ipv6_frame,
+    flow_id_of,
+    parse_ethernet_frame,
+)
+
+SRC = 0x0A000001  # 10.0.0.1
+DST = 0x0A000002  # 10.0.0.2
+
+
+def test_ipv4_tcp_round_trip():
+    frame = build_ipv4_frame(SRC, DST, sport=1234, dport=80, proto=PROTO_TCP)
+    parsed = parse_ethernet_frame(frame)
+    assert parsed.flow == FiveTuple(src=SRC, dst=DST, sport=1234, dport=80, proto=6)
+    assert parsed.ip_version == 4
+    assert parsed.frame_bytes == len(frame)
+
+
+def test_ipv4_udp_round_trip():
+    frame = build_ipv4_frame(SRC, DST, sport=53, dport=5353, proto=PROTO_UDP)
+    parsed = parse_ethernet_frame(frame)
+    assert parsed.flow.proto == 17
+    assert parsed.flow.sport == 53
+
+
+def test_ipv4_non_transport_has_zero_ports():
+    frame = build_ipv4_frame(SRC, DST, proto=1)  # ICMP
+    parsed = parse_ethernet_frame(frame)
+    assert parsed.flow.sport == 0 and parsed.flow.dport == 0
+    assert parsed.flow.proto == 1
+
+
+def test_ipv6_round_trip():
+    src6 = 0x20010DB8 << 96 | 1
+    dst6 = 0x20010DB8 << 96 | 2
+    frame = build_ipv6_frame(src6, dst6, sport=443, dport=50000)
+    parsed = parse_ethernet_frame(frame)
+    assert parsed.flow == FiveTuple(
+        src=src6, dst=dst6, sport=443, dport=50000, proto=6
+    )
+    assert parsed.ip_version == 6
+
+
+def test_payload_length_reported():
+    frame = build_ipv4_frame(SRC, DST, sport=1, dport=2, payload=b"x" * 100)
+    parsed = parse_ethernet_frame(frame)
+    assert parsed.payload_bytes == 104  # ports header + payload
+
+
+def test_truncated_frame_rejected():
+    with pytest.raises(ParseError):
+        parse_ethernet_frame(b"\x00" * 10)
+
+
+def test_unknown_ethertype_rejected():
+    frame = bytearray(build_ipv4_frame(SRC, DST))
+    frame[12:14] = (0x0806).to_bytes(2, "big")  # ARP
+    with pytest.raises(ParseError):
+        parse_ethernet_frame(bytes(frame))
+
+
+def test_bad_ip_version_rejected():
+    frame = bytearray(build_ipv4_frame(SRC, DST))
+    frame[14] = (9 << 4) | 5  # version 9
+    with pytest.raises(ParseError):
+        parse_ethernet_frame(bytes(frame))
+
+
+def test_bad_ihl_rejected():
+    frame = bytearray(build_ipv4_frame(SRC, DST))
+    frame[14] = (4 << 4) | 3  # IHL below 5 words
+    with pytest.raises(ParseError):
+        parse_ethernet_frame(bytes(frame))
+
+
+def test_truncated_ipv4_options_rejected():
+    frame = bytearray(build_ipv4_frame(SRC, DST, proto=1))
+    frame[14] = (4 << 4) | 15  # claims 60-byte header; frame is shorter
+    with pytest.raises(ParseError):
+        parse_ethernet_frame(bytes(frame[: 14 + 20]))
+
+
+def test_flow_id_of_host_pair():
+    frame = build_ipv4_frame(SRC, DST, sport=1, dport=2)
+    assert flow_id_of(frame, by_host_pair=True) == (SRC, DST)
+    assert flow_id_of(frame).sport == 1
+
+
+@given(
+    src=st.integers(0, 2**32 - 1),
+    dst=st.integers(0, 2**32 - 1),
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    proto=st.sampled_from([PROTO_TCP, PROTO_UDP]),
+    payload=st.binary(max_size=64),
+)
+def test_ipv4_build_parse_inverse(src, dst, sport, dport, proto, payload):
+    parsed = parse_ethernet_frame(
+        build_ipv4_frame(src, dst, sport, dport, proto, payload)
+    )
+    assert parsed.flow == FiveTuple(src, dst, sport, dport, proto)
+
+
+@given(
+    src=st.integers(0, 2**128 - 1),
+    dst=st.integers(0, 2**128 - 1),
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+)
+def test_ipv6_build_parse_inverse(src, dst, sport, dport):
+    parsed = parse_ethernet_frame(build_ipv6_frame(src, dst, sport, dport))
+    assert parsed.flow == FiveTuple(src, dst, sport, dport, PROTO_TCP)
