@@ -12,6 +12,17 @@ Usage::
     eardet detect --trace capture.pcap --rho 25000000 \\
         --gamma-l 25000 --beta-l 6072 --gamma-h 250000
 
+    # run the streaming service with 4 shards and periodic checkpoints:
+    eardet serve --trace capture.ert --rho 25000000 \\
+        --gamma-l 25000 --gamma-h 250000 --shards 4 \\
+        --checkpoint state.ckpt --checkpoint-every 100000
+
+    # recover after a crash (replays from the checkpoint boundary):
+    eardet serve --trace capture.ert --checkpoint state.ckpt --resume
+
+    # inspect a checkpoint file:
+    eardet checkpoint inspect --checkpoint state.ckpt
+
 (Installed as ``eardet`` via the package's console script; also runnable
 as ``python -m repro.cli``.)
 """
@@ -79,22 +90,51 @@ PRESETS = {
 }
 
 
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's
+    ``repro.__version__`` when running uninstalled (e.g. PYTHONPATH=src)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="eardet",
         description=(
-            "Regenerate the EARDet paper's tables and figures, or run the "
-            "detector over a trace file."
+            "Regenerate the EARDet paper's tables and figures, run the "
+            "detector over a trace file, or serve a stream with the "
+            "sharded checkpointing runtime."
         ),
     )
     parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+    )
+    parser.add_argument(
         "experiment",
-        choices=["list", "all", "detect", "analyze", "simulate", *EXPERIMENTS],
+        choices=[
+            "list", "all", "detect", "analyze", "simulate", "serve",
+            "checkpoint", *EXPERIMENTS,
+        ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
             "'detect'/'analyze' to process a trace file, 'simulate' for the "
-            "closed-loop mitigation pipeline)"
+            "closed-loop mitigation pipeline, 'serve' for the streaming "
+            "service, 'checkpoint' for checkpoint tooling)"
         ),
+    )
+    parser.add_argument(
+        "subaction",
+        nargs="?",
+        default=None,
+        help="sub-action for multi-verb commands (e.g. 'checkpoint inspect')",
     )
     parser.add_argument(
         "--preset",
@@ -152,6 +192,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--top", type=int, default=10, help="top talkers to list (analyze)"
+    )
+
+    serve = parser.add_argument_group("serve / checkpoint options")
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker shards for the streaming service (serve)",
+    )
+    serve.add_argument(
+        "--engine", choices=["inprocess", "multiprocess"], default=None,
+        help="service engine: deterministic in-process or one process "
+        "per shard (serve; default inprocess, or the checkpoint's on "
+        "--resume)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        help="checkpoint file to write periodically / read back (serve, "
+        "checkpoint inspect)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="checkpoint interval in ingested packets (serve)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="packets pulled from the source per batch (serve)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=4096,
+        help="max pending packets per shard queue (serve)",
+    )
+    serve.add_argument(
+        "--overflow", choices=["block", "drop"], default="block",
+        help="full-queue policy: block (exact backpressure) or drop "
+        "(lossy, counted) (serve)",
+    )
+    serve.add_argument(
+        "--max-packets", type=int, default=None,
+        help="stop after this many packets (serve; for bounded runs)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore state from --checkpoint and replay the trace from "
+        "the checkpoint boundary (serve)",
     )
 
     sim = parser.add_argument_group("simulate options")
@@ -313,6 +396,109 @@ def run_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: the sharded streaming runtime over a trace
+    source, with optional periodic checkpoints and crash recovery."""
+    from .service import DetectionService, TraceFileSource
+
+    if args.trace is None:
+        raise SystemExit("serve requires --trace")
+    source = TraceFileSource(args.trace, by_host_pair=args.host_pair)
+    if args.resume:
+        if args.checkpoint is None:
+            raise SystemExit("serve --resume requires --checkpoint")
+        from .service import CheckpointError
+
+        try:
+            service = DetectionService.resume(
+                args.checkpoint,
+                engine=args.engine,
+                checkpoint_every=args.checkpoint_every,
+                batch_size=args.batch_size,
+                queue_capacity=args.queue_capacity,
+                overflow=args.overflow,
+            )
+        except (CheckpointError, FileNotFoundError) as error:
+            raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
+        print(
+            f"resuming from {args.checkpoint} at packet {service.ingested} "
+            f"({service.shards} shards, {service.engine_kind})"
+        )
+    else:
+        missing = [
+            flag
+            for flag, value in (
+                ("--rho", args.rho),
+                ("--gamma-l", args.gamma_l),
+                ("--gamma-h", args.gamma_h),
+            )
+            if value is None
+        ]
+        if missing:
+            raise SystemExit(f"serve requires {', '.join(missing)}")
+        config = engineer(
+            rho=args.rho,
+            gamma_l=args.gamma_l,
+            beta_l=args.beta_l,
+            gamma_h=args.gamma_h,
+            t_upincb_seconds=args.t_upincb,
+        )
+        service = DetectionService(
+            config,
+            shards=args.shards,
+            engine=args.engine or "inprocess",
+            seed=args.seed or 0,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            overflow=args.overflow,
+        )
+    print(service.config.describe())
+    try:
+        report = service.serve(source, max_packets=args.max_packets)
+    finally:
+        service.shutdown()
+    print(report.render())
+    return 0
+
+
+def run_checkpoint(args: argparse.Namespace) -> int:
+    """The ``checkpoint`` command; sub-action ``inspect`` renders a
+    checkpoint file's metadata and per-shard state summary."""
+    from .service import CheckpointError, describe_checkpoint, read_checkpoint
+
+    subaction = args.subaction or "inspect"
+    if subaction != "inspect":
+        raise SystemExit(
+            f"unknown checkpoint sub-action {subaction!r}; expected 'inspect'"
+        )
+    if args.checkpoint is None:
+        raise SystemExit("checkpoint inspect requires --checkpoint")
+    try:
+        payload = read_checkpoint(args.checkpoint)
+    except (CheckpointError, FileNotFoundError) as error:
+        raise SystemExit(f"cannot read {args.checkpoint}: {error}")
+    if args.json:
+        import json
+
+        meta = dict(payload["meta"])
+        shards = payload.get("engine", {}).get("shards", [])
+        meta["shard_summaries"] = [
+            {
+                "counters": len(shard["store"]["entries"]),
+                "blacklisted": len(shard["blacklist"]),
+                "detections": len(shard["sink"]),
+                "packets": shard["stats"]["packets"],
+            }
+            for shard in shards
+        ]
+        print(json.dumps(meta, indent=2, default=str))
+    else:
+        print(describe_checkpoint(payload))
+    return 0
+
+
 def run_simulate(args: argparse.Namespace) -> int:
     """The ``simulate`` command: the Shrew-vs-TCP mitigation pipeline with
     CLI-tunable parameters (see repro.simulation)."""
@@ -384,6 +570,8 @@ def run_simulate(args: argparse.Namespace) -> int:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
+        # Stable machine-parseable contract: one experiment name per line,
+        # names match [a-z0-9-]+, nothing else on stdout, exit code 0.
         for name in EXPERIMENTS:
             print(name)
         return 0
@@ -393,6 +581,10 @@ def main(argv=None) -> int:
         return run_analyze(args)
     if args.experiment == "simulate":
         return run_simulate(args)
+    if args.experiment == "serve":
+        return run_serve(args)
+    if args.experiment == "checkpoint":
+        return run_checkpoint(args)
     params = resolve_params(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

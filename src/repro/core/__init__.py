@@ -21,6 +21,8 @@ from .virtual import (
     apply_virtual_traffic,
     apply_virtual_traffic_reference,
     apply_virtual_unit,
+    ensure_virtual_sequence_above,
+    is_virtual_fid,
     iter_units,
 )
 from . import theory, window_bridge
@@ -43,7 +45,9 @@ __all__ = [
     "apply_virtual_unit",
     "beta_delta_bounds",
     "engineer",
+    "ensure_virtual_sequence_above",
     "feasible_counter_range",
+    "is_virtual_fid",
     "iter_units",
     "theory",
     "window_bridge",

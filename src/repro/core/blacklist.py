@@ -16,9 +16,15 @@ period) need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..model.packet import FlowId
+
+
+def _canonical_fid_order(fid: FlowId) -> int:
+    from ..detectors.hashing import canonical_key
+
+    return canonical_key(fid)
 
 
 class ReportSink:
@@ -58,6 +64,31 @@ class ReportSink:
 
     def reset(self) -> None:
         self._first_detection.clear()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> List[Tuple[FlowId, int]]:
+        """Serializable ``(fid, first detection time)`` pairs in a
+        deterministic order (by time, then canonical fid key)."""
+        return sorted(
+            self._first_detection.items(),
+            key=lambda item: (item[1], _canonical_fid_order(item[0])),
+        )
+
+    def restore(self, state: List[Tuple[FlowId, int]]) -> None:
+        """Replace the record with a :meth:`snapshot`'s contents."""
+        self._first_detection = {
+            (tuple(fid) if isinstance(fid, list) else fid): time_ns
+            for fid, time_ns in state
+        }
+
+    def merge(self, other: "ReportSink") -> None:
+        """Fold another sink's detections in, keeping the earliest first
+        report of each flow (used to aggregate per-shard sinks)."""
+        for fid, time_ns in other._first_detection.items():
+            current = self._first_detection.get(fid)
+            if current is None or time_ns < current:
+                self._first_detection[fid] = time_ns
 
 
 class Blacklist:
@@ -99,3 +130,16 @@ class Blacklist:
 
     def reset(self) -> None:
         self._flows.clear()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> List[FlowId]:
+        """Serializable flow-ID list in deterministic (canonical-key)
+        order."""
+        return sorted(self._flows, key=_canonical_fid_order)
+
+    def restore(self, state: List[FlowId]) -> None:
+        """Replace the blacklist with a :meth:`snapshot`'s contents."""
+        self._flows = {
+            tuple(fid) if isinstance(fid, list) else fid for fid in state
+        }

@@ -112,6 +112,45 @@ class CounterStore(ABC):
     def reset(self) -> None:
         """Evict everything."""
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable logical state: capacity plus ``(fid, value)`` pairs.
+
+        The snapshot captures the *logical* counter values — the only state
+        the algorithm's behaviour depends on — so it is interchangeable
+        between store implementations: a snapshot taken from a
+        :class:`HeapCounterStore` restores into a
+        :class:`ReferenceCounterStore` and vice versa.  Entries are sorted
+        by a deterministic key so identical logical states serialize to
+        identical bytes (checkpoint files are reproducible).
+        """
+        from ..detectors.hashing import canonical_key
+
+        entries = sorted(self.items(), key=lambda item: canonical_key(item[0]))
+        return {"capacity": self.capacity, "entries": entries}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace this store's contents with a :meth:`snapshot`'s.
+
+        The restored store is behaviourally identical to the snapshotted
+        one: every query and mutation sequence produces the same results.
+        """
+        capacity = state["capacity"]
+        if capacity != self.capacity:
+            raise CounterStoreError(
+                f"snapshot capacity {capacity} != store capacity {self.capacity}"
+            )
+        entries = state["entries"]
+        if len(entries) > self.capacity:
+            raise CounterStoreError(
+                f"snapshot holds {len(entries)} entries for {self.capacity} slots"
+            )
+        self.reset()
+        for fid, value in entries:
+            fid = tuple(fid) if isinstance(fid, list) else fid
+            self.insert(fid, value)
+
     # -- shared helpers ----------------------------------------------------
 
     def as_dict(self) -> Dict[FlowId, int]:

@@ -54,6 +54,17 @@ class EARDetStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
+    def snapshot(self) -> Dict[str, int]:
+        """Serializable field dict."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def restore(self, state: Dict[str, int]) -> None:
+        """Restore fields from a :meth:`snapshot` (unknown keys rejected)."""
+        for name, value in state.items():
+            if name not in self.__dataclass_fields__:
+                raise ValueError(f"unknown stats field {name!r}")
+            setattr(self, name, value)
+
 
 class EARDet(Detector):
     """The EARDet detector.
@@ -209,6 +220,62 @@ class EARDet(Detector):
 
     def counter_count(self) -> int:
         return self.config.n
+
+    # -- checkpointing -----------------------------------------------------
+
+    #: Version of the EARDet snapshot schema; bump on incompatible change.
+    SNAPSHOT_FORMAT = 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the complete detector state as plain Python data.
+
+        The snapshot is *exact*: restoring it (into this or any other
+        EARDet with the same configuration — even in a different process)
+        and replaying the remaining packets produces detections, detection
+        timestamps, stats and counter values identical to an uninterrupted
+        run.  All captured values are integers, bools, strings or nested
+        lists/tuples of those, so any lossless serializer preserves
+        exactness.
+        """
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "store": self._store.snapshot(),
+            "blacklist": self._blacklist.snapshot(),
+            "carryover": self._carryover.snapshot(),
+            "last_time": self._last_time,
+            "last_size": self._last_size,
+            "started": self._started,
+            "stats": self.stats.snapshot(),
+            "sink": self.sink.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot`, replacing all current state.
+
+        Also advances the process-global virtual-flow sequence past any
+        virtual fid held in the snapshot, so a restore in a fresh process
+        can never mint a "new" virtual flow that collides with a stored
+        one.
+        """
+        from .virtual import ensure_virtual_sequence_above, is_virtual_fid
+
+        fmt = state.get("format")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported EARDet snapshot format {fmt!r} "
+                f"(this build reads format {self.SNAPSHOT_FORMAT})"
+            )
+        self._store.restore(state["store"])
+        self._blacklist.restore(state["blacklist"])
+        self._carryover.restore(state["carryover"])
+        self._last_time = state["last_time"]
+        self._last_size = state["last_size"]
+        self._started = state["started"]
+        self.stats.restore(state["stats"])
+        self.sink.restore(state["sink"])
+        for fid, _ in self._store.items():
+            if is_virtual_fid(fid):
+                ensure_virtual_sequence_above(fid[1])
 
     def _reset_state(self) -> None:
         self._store.reset()

@@ -83,6 +83,44 @@ class ParallelEARDet(Detector):
         for shard in self.shards:
             shard.reset()
 
+    # -- checkpointing -----------------------------------------------------
+
+    #: Version of the ensemble snapshot schema.
+    SNAPSHOT_FORMAT = 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exact serializable state: per-shard snapshots plus the flow
+        hash's identity, so a restore can verify packets will route to the
+        same shards."""
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "seed": self._hash.seed,
+            "shards": [shard.snapshot() for shard in self.shards],
+            "sink": self.sink.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot` into an identically-shaped ensemble."""
+        fmt = state.get("format")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported ParallelEARDet snapshot format {fmt!r}"
+            )
+        if state["seed"] != self._hash.seed:
+            raise ValueError(
+                f"snapshot hash seed {state['seed']} != configured seed "
+                f"{self._hash.seed}; flows would route to different shards"
+            )
+        shard_states = state["shards"]
+        if len(shard_states) != len(self.shards):
+            raise ValueError(
+                f"snapshot has {len(shard_states)} shards, detector has "
+                f"{len(self.shards)}"
+            )
+        for shard, shard_state in zip(self.shards, shard_states):
+            shard.restore(shard_state)
+        self.sink.restore(state["sink"])
+
     def counter_count(self) -> int:
         return self.config.n * len(self.shards)
 

@@ -27,8 +27,7 @@ Three pieces live here:
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from ..model.units import NS_PER_S
 from .counters import CounterStore
@@ -37,12 +36,41 @@ from .counters import CounterStore
 #: it is never treated as a stored flow on a later unit.
 _VIRTUAL_PREFIX = "__virtual__"
 
-_virtual_sequence = itertools.count()
+#: Next virtual-flow index.  A plain module-level int (not itertools.count)
+#: so checkpoint restore can advance it past indices already stored in a
+#: snapshot taken by an earlier process — see
+#: :func:`ensure_virtual_sequence_above`.
+_next_virtual_index = 0
 
 
 def _fresh_virtual_fid() -> tuple:
     """A flow ID no real flow can collide with, unique per unit."""
-    return (_VIRTUAL_PREFIX, next(_virtual_sequence))
+    global _next_virtual_index
+    index = _next_virtual_index
+    _next_virtual_index += 1
+    return (_VIRTUAL_PREFIX, index)
+
+
+def is_virtual_fid(fid: Hashable) -> bool:
+    """Whether a flow ID was minted by :func:`_fresh_virtual_fid`."""
+    return (
+        isinstance(fid, tuple) and len(fid) == 2 and fid[0] == _VIRTUAL_PREFIX
+    )
+
+
+def ensure_virtual_sequence_above(index: int) -> None:
+    """Guarantee that future virtual fids use indices strictly above
+    ``index``.
+
+    Restoring a snapshot in a fresh process would otherwise reset the
+    sequence to zero while the restored counter store still holds virtual
+    fids with low indices — a later "fresh" unit could collide with a
+    stored one and corrupt the Misra-Gries update.  Called by
+    :meth:`repro.core.eardet.EARDet.restore`.
+    """
+    global _next_virtual_index
+    if index >= _next_virtual_index:
+        _next_virtual_index = index + 1
 
 
 class Carryover:
@@ -88,6 +116,18 @@ class Carryover:
 
     def reset(self) -> None:
         self.remainder_scaled = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> int:
+        """The exact scaled remainder; an int, so serialization is lossless."""
+        return self.remainder_scaled
+
+    def restore(self, state: int) -> None:
+        """Restore a remainder produced by :meth:`snapshot`."""
+        if not isinstance(state, int):
+            raise TypeError(f"carryover snapshot must be an int, got {state!r}")
+        self.remainder_scaled = state
 
 
 def iter_units(volume: int, unit_size: int) -> Iterator[int]:
@@ -138,7 +178,7 @@ def _state_key(store: CounterStore):
     virtual_values = []
     real_entries = []
     for fid, value in store.items():
-        if isinstance(fid, tuple) and len(fid) == 2 and fid[0] == _VIRTUAL_PREFIX:
+        if is_virtual_fid(fid):
             virtual_values.append(value)
         else:
             real_entries.append((fid, value))

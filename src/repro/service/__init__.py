@@ -1,0 +1,45 @@
+"""Streaming detection service: sharded ingestion with exact checkpoints.
+
+This package turns the EARDet library into a deployable runtime
+(``eardet serve``): pull-based packet sources, a sharded engine with
+bounded queues and backpressure (in-process for determinism,
+multiprocess for throughput), an exact binary checkpoint/restore layer,
+and the service lifecycle gluing them together.  See ``docs/SERVICE.md``
+for the architecture and the checkpoint format.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    describe_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .engine import InProcessEngine
+from .health import ServiceReport, ShardHealth
+from .runtime import DetectionService
+from .sources import (
+    PacketSource,
+    StreamSource,
+    SyntheticSource,
+    TraceFileSource,
+    as_source,
+)
+from .workers import MultiprocessEngine, WorkerError
+
+__all__ = [
+    "CheckpointError",
+    "DetectionService",
+    "InProcessEngine",
+    "MultiprocessEngine",
+    "PacketSource",
+    "ServiceReport",
+    "ShardHealth",
+    "StreamSource",
+    "SyntheticSource",
+    "TraceFileSource",
+    "WorkerError",
+    "as_source",
+    "describe_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,83 @@
+"""Operational health and reporting structures for the service runtime.
+
+Per-shard health (:class:`ShardHealth`) is what an operator watches on a
+live service: ingest rate, queue depth (the backpressure signal),
+detections and blacklist occupancy, and packets dropped by an overflow
+policy.  :class:`ServiceReport` is the end-of-run (or end-of-drain)
+aggregate the CLI renders and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..model.packet import FlowId
+from ..model.units import NS_PER_S
+
+
+@dataclass
+class ShardHealth:
+    """A point-in-time health sample of one worker shard."""
+
+    shard: int
+    packets: int
+    queue_depth: int
+    queue_capacity: int
+    detections: int
+    blacklist_size: int
+    dropped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shard": self.shard,
+            "packets": self.packets,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "detections": self.detections,
+            "blacklist_size": self.blacklist_size,
+            "dropped": self.dropped,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Summary of one service run (or one serve-until-drained episode)."""
+
+    packets: int
+    duration_s: float
+    detections: Dict[FlowId, int]
+    shard_health: List[ShardHealth] = field(default_factory=list)
+    dropped: int = 0
+    checkpoints_written: int = 0
+    resumed_from: int = 0
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.packets / self.duration_s
+
+    def render(self) -> str:
+        """Multi-line operator-facing summary."""
+        lines = [
+            f"service: {self.packets} packets in {self.duration_s:.3f}s "
+            f"({self.packets_per_second:,.0f} pkt/s), "
+            f"{len(self.detections)} large flows, {self.dropped} dropped, "
+            f"{self.checkpoints_written} checkpoints"
+        ]
+        if self.resumed_from:
+            lines.append(f"  resumed from checkpoint at packet {self.resumed_from}")
+        for health in self.shard_health:
+            lines.append(
+                f"  shard {health.shard}: {health.packets} packets, "
+                f"queue {health.queue_depth}/{health.queue_capacity}, "
+                f"{health.detections} detections, "
+                f"{health.blacklist_size} blacklisted, "
+                f"{health.dropped} dropped"
+            )
+        for fid, time_ns in sorted(
+            self.detections.items(), key=lambda item: item[1]
+        ):
+            lines.append(f"  large flow {fid!r} at {time_ns / NS_PER_S:.6f}s")
+        return "\n".join(lines)

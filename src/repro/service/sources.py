@@ -1,0 +1,157 @@
+"""Pull-based packet sources for the streaming service.
+
+The runtime consumes traffic through one narrow interface,
+:class:`PacketSource`: a *pull-based*, batched iterator over time-ordered
+packets.  Pull (rather than push) is what makes backpressure trivial — the
+engine simply stops pulling while its shard queues are full, so memory
+stays bounded no matter how fast the source could produce.
+
+Adapters wrap everything the library can already produce:
+
+- :class:`StreamSource` — any in-memory iterable of packets
+  (:class:`~repro.model.stream.PacketStream`, a list, ...);
+- :class:`TraceFileSource` — ``.csv`` / ``.ert`` / ``.pcap`` trace files,
+  re-read from disk on every iteration (so a crashed service can re-open
+  the file and replay from a checkpoint boundary);
+- :class:`SyntheticSource` — a zero-argument factory returning a fresh
+  packet iterable per iteration, for generator-based synthetic workloads.
+
+All sources support ``skip``: resuming from a checkpoint taken after ``k``
+packets replays the source from packet ``k`` — the *checkpoint boundary*
+— so recovery is exact (see :mod:`repro.service.runtime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Union
+
+from ..model.packet import Packet
+
+PathLike = Union[str, Path]
+
+#: Default packets per pulled batch.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class PacketSource(ABC):
+    """A replayable, time-ordered packet supply.
+
+    Subclasses implement :meth:`iter_packets`, producing the *full* stream
+    from its beginning; the shared :meth:`batches` helper layers skipping
+    and batching on top.  ``iter_packets`` may be called more than once
+    (each call restarts the stream) unless :attr:`replayable` is False.
+    """
+
+    #: Human-readable origin, recorded in checkpoints for inspection.
+    name: str = "source"
+
+    #: Whether :meth:`iter_packets` can be called again after exhaustion.
+    #: Non-replayable sources cannot be resumed from a checkpoint.
+    replayable: bool = True
+
+    @abstractmethod
+    def iter_packets(self) -> Iterator[Packet]:
+        """Iterate the stream from its first packet."""
+
+    def batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, skip: int = 0
+    ) -> Iterator[List[Packet]]:
+        """Yield non-empty lists of up to ``batch_size`` packets, starting
+        ``skip`` packets into the stream.
+
+        ``skip`` is how crash recovery replays from a checkpoint boundary:
+        a checkpoint taken after ``k`` ingested packets is resumed with
+        ``skip=k``.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
+        packets = self.iter_packets()
+        if skip:
+            packets = itertools.islice(packets, skip, None)
+        while True:
+            batch = list(itertools.islice(packets, batch_size))
+            if not batch:
+                return
+            yield batch
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class StreamSource(PacketSource):
+    """Wrap an in-memory packet iterable (``PacketStream``, list, ...).
+
+    The wrapped object must be re-iterable for checkpoint resume to work;
+    a one-shot iterator is accepted but flagged non-replayable.
+    """
+
+    def __init__(self, packets: Iterable[Packet], name: str = "stream"):
+        self._packets = packets
+        self.name = name
+        self.replayable = not isinstance(packets, Iterator)
+
+    def iter_packets(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+
+class TraceFileSource(PacketSource):
+    """Stream a trace file from disk, re-reading it on every iteration.
+
+    Formats are dispatched by extension exactly like ``eardet detect``:
+    ``.csv``, ``.ert`` (binary) and ``.pcap``/``.cap``.
+    """
+
+    def __init__(self, path: PathLike, by_host_pair: bool = False):
+        self.path = Path(path)
+        self.by_host_pair = by_host_pair
+        self.name = str(self.path)
+        suffix = self.path.suffix.lower()
+        if suffix not in (".csv", ".ert", ".pcap", ".cap"):
+            raise ValueError(
+                f"unsupported trace extension {suffix!r}; "
+                "expected .csv, .ert or .pcap"
+            )
+        self._suffix = suffix
+
+    def iter_packets(self) -> Iterator[Packet]:
+        from ..traffic import pcap, trace_io
+
+        if self._suffix == ".csv":
+            return iter(trace_io.read_csv(self.path))
+        if self._suffix == ".ert":
+            return iter(trace_io.read_binary(self.path))
+        stream, _ = pcap.read_pcap(self.path, by_host_pair=self.by_host_pair)
+        return iter(stream)
+
+
+class SyntheticSource(PacketSource):
+    """A factory-backed source for generated workloads.
+
+    ``factory`` is called once per iteration and must return a fresh
+    time-ordered packet iterable — typically a closure over a seeded
+    generator, so every replay produces the identical stream (a
+    requirement for exact checkpoint recovery).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[Packet]],
+        name: str = "synthetic",
+    ):
+        self._factory = factory
+        self.name = name
+
+    def iter_packets(self) -> Iterator[Packet]:
+        return iter(self._factory())
+
+
+def as_source(packets: Union[PacketSource, Iterable[Packet]]) -> PacketSource:
+    """Coerce an arbitrary packet supply to a :class:`PacketSource`."""
+    if isinstance(packets, PacketSource):
+        return packets
+    return StreamSource(packets)

@@ -1,0 +1,404 @@
+"""Multiprocess sharded engine: one OS process per shard.
+
+Python's GIL means the in-process engine cannot exceed one core no matter
+how many shards it has; this module provides the throughput deployment.
+The parent routes packets and each shard runs a full EARDet in its own
+process, consuming chunks from a **bounded** ``multiprocessing.Queue`` —
+when a shard falls behind, ``Queue.put`` blocks the parent, which
+therefore stops pulling from the source: backpressure end to end, memory
+bounded by ``shards * queue_capacity * chunk_size`` packets plus the
+parent's per-shard staging buffers.
+
+Scaling lives or dies on the *parent's* per-packet cost (it is the one
+serial stage), so the routing loop is aggressively cheap: shard lookup
+goes through the memoized :class:`~repro.service.engine.FlowRouter`
+rather than re-hashing every packet, and chunks travel as plain
+``(time, size, fid)`` tuples — several times cheaper to pickle than
+``Packet`` instances — with each worker rebuilding ``Packet`` objects on
+its own core, where the cost parallelizes.
+
+Exact snapshots use **in-band barrier markers**: after flushing its
+staging buffers the parent enqueues a snapshot request on every shard
+queue.  Each worker replies with its state the moment it dequeues the
+marker — i.e. after processing exactly the packets routed before the
+marker and none after — so the assembled snapshot corresponds to an exact
+stream prefix, just like :meth:`InProcessEngine.snapshot`, and uses the
+same schema (the two engines' checkpoints are interchangeable).
+
+Determinism: shards are independent and each processes its sub-stream in
+arrival order, so detections, timestamps and per-shard state are
+identical to the in-process engine's — only wall-clock interleaving
+differs.  ``tests/test_service.py`` asserts this equivalence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.blacklist import ReportSink
+from ..core.config import EARDetConfig
+from ..core.eardet import EARDet
+from ..detectors.hashing import StageHash
+from ..model.packet import FlowId, Packet
+from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
+from .health import ShardHealth
+
+#: Packets per chunk shipped to a worker (amortizes queue/pickle costs).
+DEFAULT_CHUNK_SIZE = 2048
+
+#: Maximum in-flight chunks per shard queue.
+DEFAULT_QUEUE_CAPACITY = 8
+
+#: Seconds to wait for a worker reply before declaring it dead.
+REPLY_TIMEOUT_S = 120.0
+
+#: How often a worker's watchdog thread checks that its parent still
+#: exists.  A SIGKILL'd parent runs no cleanup (the daemon flag only
+#: covers normal interpreter exit), so without the watchdog crashed
+#: services would leave shard workers orphaned forever.
+ORPHAN_POLL_S = 5.0
+
+
+class WorkerError(RuntimeError):
+    """A shard worker crashed; carries the worker's traceback."""
+
+
+def _exit_when_orphaned(original_ppid):
+    """Watchdog loop: hard-exit the worker once its parent disappears.
+
+    This runs in a daemon thread rather than as a timeout on the queue
+    read because a crashing parent can leave the worker blocked anywhere:
+    ``queue.get`` is the common case, but a parent SIGKILL'd mid-``put``
+    leaves a truncated chunk in the queue pipe, and the worker then
+    blocks inside ``recv`` *after* its read timeout already fired.
+    ``multiprocessing.parent_process().is_alive()`` is no help either —
+    under the fork start method each worker inherits the write ends of
+    its earlier-forked siblings' parent sentinels, so the sentinel only
+    signals once those siblings exit.  Comparing ``os.getppid()`` against
+    the PID recorded at worker start sidesteps both: orphaning reparents
+    the worker immediately, wherever its main thread is stuck, and
+    ``os._exit`` skips interpreter teardown that could itself block on a
+    dead peer.
+    """
+    while True:
+        time.sleep(ORPHAN_POLL_S)
+        if os.getppid() != original_ppid:
+            os._exit(0)
+
+
+def _shard_worker(index, config, initial_state, in_queue, out_queue):
+    """Worker loop: consume chunks until a stop message, answering
+    snapshot barriers in stream order."""
+    threading.Thread(
+        target=_exit_when_orphaned, args=(os.getppid(),), daemon=True
+    ).start()
+    try:
+        detector = EARDet(config)
+        if initial_state is not None:
+            detector.restore(initial_state)
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "packets":
+                observe = detector.observe
+                for time, size, fid in message[1]:
+                    observe(Packet(time, size, fid))
+            elif kind == "snapshot":
+                out_queue.put(("snapshot", index, message[1], detector.snapshot()))
+            elif kind == "stop":
+                out_queue.put(("done", index, detector.snapshot()))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown message kind {kind!r}")
+    except Exception:  # pragma: no cover - exercised only on worker crash
+        import traceback
+
+        out_queue.put(("error", index, traceback.format_exc()))
+
+
+class MultiprocessEngine:
+    """Sharded EARDet across OS processes, same interface and snapshot
+    schema as :class:`~repro.service.engine.InProcessEngine`.
+
+    Workers start lazily on first ingestion; :meth:`restore` must
+    therefore be called (if at all) before any packet is ingested.
+    :meth:`close` performs the graceful drain: staging buffers are
+    flushed, every worker finishes its queue, returns its final exact
+    state, and exits.
+    """
+
+    def __init__(
+        self,
+        config: EARDetConfig,
+        shards: int = 1,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be positive, got {queue_capacity}"
+            )
+        self.config = config
+        self.chunk_size = chunk_size
+        self.queue_capacity = queue_capacity
+        self._shards = shards
+        self._hash = StageHash(seed=seed, buckets=shards)
+        self._route = FlowRouter(self._hash)
+        # Staging buffers hold wire tuples, not Packet objects — see the
+        # module docstring on the producer's per-packet budget.
+        self._buffers: List[list] = [[] for _ in range(shards)]
+        self._accepted = 0
+        self._snapshot_token = 0
+        self._initial_states: Optional[List[Dict[str, object]]] = None
+        self._final_snapshot: Optional[Dict[str, object]] = None
+        self._context = multiprocessing.get_context()
+        self._queues = None
+        self._results = None
+        self._processes = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self._shards
+
+    @property
+    def seed(self) -> int:
+        return self._hash.seed
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    @property
+    def dropped(self) -> int:
+        """Always 0: the blocking bounded queues never shed load."""
+        return 0
+
+    @property
+    def running(self) -> bool:
+        return self._processes is not None
+
+    def shard_of(self, fid: FlowId) -> int:
+        return self._route(fid)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._processes is not None:
+            return
+        if self._final_snapshot is not None:
+            raise RuntimeError("engine already closed")
+        ctx = self._context
+        self._queues = [
+            ctx.Queue(maxsize=self.queue_capacity) for _ in range(self._shards)
+        ]
+        self._results = ctx.Queue()
+        initial = self._initial_states or [None] * self._shards
+        self._processes = []
+        for index in range(self._shards):
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    index,
+                    self.config,
+                    initial[index],
+                    self._queues[index],
+                    self._results,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def ingest(self, batch: List[Packet]) -> None:
+        """Route packets into per-shard staging buffers, shipping each
+        buffer as a chunk once it fills (blocking on a full shard queue —
+        the backpressure path)."""
+        self._start()
+        buffers = self._buffers
+        route = self._route
+        chunk_size = self.chunk_size
+        for packet in batch:
+            fid = packet.fid
+            index = route(fid)
+            buffer = buffers[index]
+            buffer.append((packet.time, packet.size, fid))
+            if len(buffer) >= chunk_size:
+                self._queues[index].put(("packets", buffer))
+                buffers[index] = []
+        self._accepted += len(batch)
+
+    def flush(self) -> None:
+        """Ship all staged partial chunks to the workers.
+
+        Unlike the in-process engine this does *not* wait for workers to
+        finish processing; :meth:`snapshot` and :meth:`close` insert
+        barriers when a processed-up-to-here point is needed.
+        """
+        if self._processes is None:
+            return
+        for index, buffer in enumerate(self._buffers):
+            if buffer:
+                self._queues[index].put(("packets", buffer))
+                self._buffers[index] = []
+
+    def close(self) -> Dict[str, object]:
+        """Graceful drain: flush, stop every worker, collect final exact
+        states; returns the final engine snapshot."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        if self._processes is None:
+            # Never started: state is just the initial (possibly restored)
+            # per-shard states.
+            self._start()
+        self.flush()
+        for queue in self._queues:
+            queue.put(("stop",))
+        states = self._collect("done")
+        for process in self._processes:
+            process.join(timeout=REPLY_TIMEOUT_S)
+        for queue in self._queues:
+            queue.close()
+        self._results.close()
+        self._processes = None
+        self._queues = None
+        self._results = None
+        self._final_snapshot = self._assemble(states)
+        return self._final_snapshot
+
+    def terminate(self) -> None:
+        """Hard-kill workers (crash simulation / emergency shutdown);
+        discards in-flight state."""
+        if self._processes is None:
+            return
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            process.join(timeout=REPLY_TIMEOUT_S)
+        self._processes = None
+        self._queues = None
+        self._results = None
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exact engine state via an in-band barrier on every shard."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        self._start()
+        self.flush()
+        self._snapshot_token += 1
+        token = self._snapshot_token
+        for queue in self._queues:
+            queue.put(("snapshot", token))
+        states = self._collect("snapshot", token)
+        return self._assemble(states)
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Stage a snapshot for the (not yet started) workers."""
+        if self._processes is not None or self._final_snapshot is not None:
+            raise RuntimeError("restore() must precede any ingestion")
+        fmt = state.get("format")
+        if fmt != ENGINE_SNAPSHOT_FORMAT:
+            raise ValueError(f"unsupported engine snapshot format {fmt!r}")
+        if state["seed"] != self._hash.seed:
+            raise ValueError(
+                f"snapshot hash seed {state['seed']} != engine seed "
+                f"{self._hash.seed}; flows would route to different shards"
+            )
+        if state["shard_count"] != self._shards:
+            raise ValueError(
+                f"snapshot has {state['shard_count']} shards, engine has "
+                f"{self._shards}"
+            )
+        self._initial_states = list(state["shards"])
+        self._accepted = state["accepted"]
+
+    def _collect(self, kind: str, token: Optional[int] = None) -> List:
+        """Gather one ``kind`` reply per shard from the shared result
+        queue, surfacing worker crashes as :class:`WorkerError`."""
+        states = [None] * self._shards
+        pending = self._shards
+        while pending:
+            try:
+                message = self._results.get(timeout=REPLY_TIMEOUT_S)
+            except Exception as error:
+                raise WorkerError(
+                    f"timed out waiting for {pending} worker replies"
+                ) from error
+            if message[0] == "error":
+                raise WorkerError(
+                    f"shard {message[1]} crashed:\n{message[2]}"
+                )
+            if message[0] != kind or (token is not None and message[2] != token):
+                # A stale reply from an earlier barrier; ignore.
+                continue
+            index = message[1]
+            states[index] = message[3] if kind == "snapshot" else message[2]
+            pending -= 1
+        return states
+
+    def _assemble(self, states: List) -> Dict[str, object]:
+        return {
+            "format": ENGINE_SNAPSHOT_FORMAT,
+            "seed": self._hash.seed,
+            "shard_count": self._shards,
+            "accepted": self._accepted,
+            "dropped": [0] * self._shards,
+            "shards": states,
+        }
+
+    # -- results -----------------------------------------------------------
+
+    def detections(self) -> Dict[FlowId, int]:
+        """Merged first-detection reports (snapshot barrier if running)."""
+        sink = ReportSink()
+        for shard_state in self.snapshot()["shards"]:
+            shard_sink = ReportSink()
+            shard_sink.restore(shard_state["sink"])
+            sink.merge(shard_sink)
+        return sink.as_dict()
+
+    def health(self) -> List[ShardHealth]:
+        """Per-shard health from the latest snapshot barrier.
+
+        ``queue_depth`` counts in-flight *chunks* (plus the staging
+        buffer's packets), the meaningful backpressure signal here.
+        """
+        snapshot = self.snapshot()
+        samples = []
+        for index, shard_state in enumerate(snapshot["shards"]):
+            depth = len(self._buffers[index]) if self._buffers else 0
+            if self._queues is not None:
+                try:
+                    depth += self._queues[index].qsize()
+                except NotImplementedError:  # pragma: no cover - macOS
+                    pass
+            samples.append(
+                ShardHealth(
+                    shard=index,
+                    packets=shard_state["stats"]["packets"],
+                    queue_depth=depth,
+                    queue_capacity=self.queue_capacity,
+                    detections=len(shard_state["sink"]),
+                    blacklist_size=len(shard_state["blacklist"]),
+                    dropped=0,
+                )
+            )
+        return samples
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessEngine(shards={self._shards}, "
+            f"accepted={self._accepted}, running={self.running})"
+        )

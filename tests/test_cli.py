@@ -13,6 +13,43 @@ def test_list_prints_experiments(capsys):
         assert name in out
 
 
+def test_list_is_machine_parseable(capsys):
+    """`eardet list` is a stable contract for scripts: one experiment name
+    per line, names matching [a-z0-9-]+, nothing else on stdout."""
+    import re
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert out == "".join(line + "\n" for line in lines)  # newline-terminated
+    assert lines == list(EXPERIMENTS)
+    for line in lines:
+        assert re.fullmatch(r"[a-z0-9-]+", line), line
+
+
+def test_version_flag(capsys):
+    from repro.cli import package_version
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out == f"eardet {package_version()}\n"
+
+
+def test_package_version_matches_package():
+    import repro
+    from repro.cli import package_version
+
+    # Uninstalled (PYTHONPATH=src) runs fall back to repro.__version__;
+    # installed runs read package metadata. Both must be non-empty and
+    # PEP 440-ish (leading digit).
+    version = package_version()
+    assert version
+    assert version[0].isdigit()
+    assert version == repro.__version__
+
+
 def test_run_single_experiment(capsys):
     assert main(["figure1"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,313 @@
+"""Exact checkpoint/restore: snapshot round-trips on every stateful
+component, and the end-to-end property the service depends on —
+``restore(snapshot(d))`` followed by a replayed suffix is byte-identical
+(detections, detection timestamps, stats, logical counters) to the
+uninterrupted run."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import virtual as virtual_module
+from repro.core.blacklist import Blacklist, ReportSink
+from repro.core.config import EARDetConfig
+from repro.core.counters import (
+    CounterStoreError,
+    HeapCounterStore,
+    ReferenceCounterStore,
+)
+from repro.core.eardet import EARDet
+from repro.core.parallel import ParallelEARDet
+from repro.core.virtual import Carryover, is_virtual_fid
+from repro.service.checkpoint import dumps, loads
+
+from conftest import packet_lists
+
+#: Tiny instance shared by the replay properties (a module constant, not
+#: the ``small_config`` fixture: hypothesis forbids function-scoped
+#: fixtures inside @given).
+SMALL_CONFIG = EARDetConfig(
+    rho=1_000_000, n=4, beta_th=500, alpha=100, beta_l=200, gamma_l=10_000
+)
+
+
+def canonical_counters(detector: EARDet):
+    """Counter state up to virtual-flow renaming.
+
+    Virtual fids are fresh-per-unit and never referenced again, so two
+    detectors whose real entries match and whose virtual *values* match as
+    a multiset are behaviourally identical; the sequence numbers inside
+    virtual fids legitimately differ between an uninterrupted run and a
+    snapshot/restore run (both draw from a process-global sequence).
+    """
+    real = {}
+    virtual_values = []
+    for fid, value in detector.counters.items():
+        if is_virtual_fid(fid):
+            virtual_values.append(value)
+        else:
+            real[fid] = value
+    return real, sorted(virtual_values)
+
+
+def assert_equivalent(left: EARDet, right: EARDet) -> None:
+    assert left.detected == right.detected
+    assert left.stats.snapshot() == right.stats.snapshot()
+    assert canonical_counters(left) == canonical_counters(right)
+    assert set(left.blacklist) == set(right.blacklist)
+    assert left.carryover_bytes == right.carryover_bytes
+    assert left._last_time == right._last_time
+    assert left._last_size == right._last_size
+
+
+# ---------------------------------------------------------------- components
+
+
+class TestComponentRoundTrips:
+    def test_carryover(self):
+        carry = Carryover()
+        carry.integerize(1_234_567_891)
+        state = carry.snapshot()
+        restored = Carryover()
+        restored.restore(state)
+        assert restored.remainder_scaled == carry.remainder_scaled
+        # the restored remainder keeps integerizing identically
+        assert restored.integerize(999_999_999) == carry.integerize(999_999_999)
+
+    def test_carryover_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Carryover().restore("nope")
+
+    def test_blacklist(self):
+        blacklist = Blacklist()
+        for fid in ("a", 7, ("tuple", 1)):
+            blacklist.add(fid)
+        restored = Blacklist()
+        restored.restore(blacklist.snapshot())
+        assert set(restored) == set(blacklist)
+
+    def test_report_sink_round_trip_keeps_first_times(self):
+        sink = ReportSink()
+        sink.report("x", 50)
+        sink.report("y", 10)
+        sink.report("x", 5)  # re-report must not move the timestamp
+        restored = ReportSink()
+        restored.restore(sink.snapshot())
+        assert restored.as_dict() == {"x": 50, "y": 10}
+
+    def test_sink_merge_keeps_earliest(self):
+        a, b = ReportSink(), ReportSink()
+        a.report("x", 50)
+        b.report("x", 20)
+        b.report("y", 99)
+        a.merge(b)
+        assert a.as_dict() == {"x": 20, "y": 99}
+
+    @pytest.mark.parametrize("store_cls", [ReferenceCounterStore, HeapCounterStore])
+    def test_counter_store_round_trip(self, store_cls):
+        store = store_cls(4)
+        store.insert("a", 10)
+        store.insert("b", 25)
+        store.insert("c", 7)
+        store.decrement_all(5)
+        restored = store_cls(4)
+        restored.restore(store.snapshot())
+        assert restored.as_dict() == store.as_dict()
+        assert restored.min_value() == store.min_value()
+        # mutations continue identically
+        for s in (store, restored):
+            s.increment("a", 3)
+            s.decrement_all(2)
+        assert restored.as_dict() == store.as_dict()
+
+    def test_counter_store_snapshots_interchangeable_across_impls(self):
+        heap = HeapCounterStore(3)
+        heap.insert("a", 10)
+        heap.insert("b", 4)
+        heap.decrement_all(2)
+        reference = ReferenceCounterStore(3)
+        reference.restore(heap.snapshot())
+        assert reference.as_dict() == heap.as_dict()
+
+    def test_counter_store_capacity_mismatch_rejected(self):
+        store = HeapCounterStore(4)
+        store.insert("a", 1)
+        with pytest.raises(CounterStoreError):
+            HeapCounterStore(5).restore(store.snapshot())
+
+
+# ---------------------------------------------------------------- the codec
+
+
+class TestBinaryCodec:
+    values = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.lists(children, max_size=4).map(tuple)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=25,
+    )
+
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_round_trip_preserves_types(self):
+        value = {"t": (1, "x"), "l": [1, "x"], "i": 2**200, "n": -(2**200)}
+        restored = loads(dumps(value))
+        assert restored == value
+        assert isinstance(restored["t"], tuple)
+        assert isinstance(restored["l"], list)
+
+    def test_deterministic_bytes(self):
+        value = {"a": [1, 2, ("x", None)], "b": True}
+        assert dumps(value) == dumps(value)
+
+
+# ------------------------------------------------- the end-to-end property
+
+
+def _run_split(config, packets, split, factory):
+    """Reference run vs snapshot-at-split + restore-into-fresh + replay."""
+    reference = factory(config)
+    for packet in packets:
+        reference.observe(packet)
+
+    original = factory(config)
+    for packet in packets[:split]:
+        original.observe(packet)
+    state = original.snapshot()
+    resumed = factory(config)
+    resumed.restore(state)
+    for packet in packets[split:]:
+        resumed.observe(packet)
+    return reference, resumed
+
+
+class TestSnapshotReplayProperty:
+    """The acceptance property: snapshot → restore → replay suffix is
+    indistinguishable from never stopping."""
+
+    @given(
+        packets=packet_lists(max_packets=80, max_flows=5, max_gap_ns=5_000_000),
+        split_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_eardet_heap_store(self, packets, split_fraction):
+        split = int(len(packets) * split_fraction)
+        reference, resumed = _run_split(
+            SMALL_CONFIG, packets, split, lambda c: EARDet(c)
+        )
+        assert_equivalent(reference, resumed)
+
+    @given(
+        packets=packet_lists(max_packets=60, max_flows=5, max_gap_ns=5_000_000),
+        split_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eardet_reference_store(self, packets, split_fraction):
+        split = int(len(packets) * split_fraction)
+        reference, resumed = _run_split(
+            SMALL_CONFIG,
+            packets,
+            split,
+            lambda c: EARDet(c, store_factory=ReferenceCounterStore),
+        )
+        assert_equivalent(reference, resumed)
+
+    @given(
+        packets=packet_lists(max_packets=80, max_flows=8, max_gap_ns=5_000_000),
+        split_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parallel_eardet(self, packets, split_fraction):
+        split = int(len(packets) * split_fraction)
+        reference, resumed = _run_split(
+            SMALL_CONFIG,
+            packets,
+            split,
+            lambda c: ParallelEARDet(c, shards=3, seed=42),
+        )
+        assert reference.detected == resumed.detected
+        for left, right in zip(reference.shards, resumed.shards):
+            assert_equivalent(left, right)
+
+    @given(
+        packets=packet_lists(max_packets=60, max_flows=5, max_gap_ns=5_000_000),
+        split_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_survives_serialization(self, packets, split_fraction):
+        """The same property with the binary codec in the loop — what a
+        checkpoint file actually does to the state."""
+        split = int(len(packets) * split_fraction)
+        reference = EARDet(SMALL_CONFIG)
+        for packet in packets:
+            reference.observe(packet)
+        original = EARDet(SMALL_CONFIG)
+        for packet in packets[:split]:
+            original.observe(packet)
+        resumed = EARDet(SMALL_CONFIG)
+        resumed.restore(loads(dumps(original.snapshot())))
+        for packet in packets[split:]:
+            resumed.observe(packet)
+        assert_equivalent(reference, resumed)
+
+
+class TestRestoreSafety:
+    def test_format_version_checked(self, small_config):
+        detector = EARDet(small_config)
+        state = detector.snapshot()
+        state["format"] = 999
+        with pytest.raises(ValueError, match="snapshot format"):
+            EARDet(small_config).restore(state)
+
+    def test_parallel_seed_mismatch_rejected(self, small_config):
+        state = ParallelEARDet(small_config, shards=2, seed=1).snapshot()
+        with pytest.raises(ValueError, match="seed"):
+            ParallelEARDet(small_config, shards=2, seed=2).restore(state)
+
+    def test_parallel_shard_count_mismatch_rejected(self, small_config):
+        state = ParallelEARDet(small_config, shards=2).snapshot()
+        with pytest.raises(ValueError, match="shards"):
+            ParallelEARDet(small_config, shards=3).restore(state)
+
+    def test_fresh_process_virtual_fids_cannot_collide(self, small_config):
+        """Restoring in a 'fresh process' (virtual sequence rewound to 0)
+        must not mint virtual fids colliding with stored ones."""
+        detector = EARDet(small_config)
+        # Long idle gaps leave virtual counters in the store.
+        from repro.model.packet import Packet
+
+        detector.observe(Packet(time=0, size=100, fid="a"))
+        detector.observe(Packet(time=1_000_000, size=100, fid="a"))
+        state = detector.snapshot()
+        assert any(
+            is_virtual_fid(fid) for fid, _ in state["store"]["entries"]
+        ), "test needs virtual counters in the snapshot"
+
+        previous = virtual_module._next_virtual_index
+        try:
+            virtual_module._next_virtual_index = 0  # simulate a new process
+            resumed = EARDet(small_config)
+            resumed.restore(state)
+            stored_max = max(
+                fid[1]
+                for fid, _ in state["store"]["entries"]
+                if is_virtual_fid(fid)
+            )
+            assert virtual_module._next_virtual_index > stored_max
+            # Replaying more idle time must not raise (no fid collisions).
+            resumed.observe(Packet(time=2_000_000, size=100, fid="a"))
+        finally:
+            virtual_module._next_virtual_index = max(
+                previous, virtual_module._next_virtual_index
+            )
