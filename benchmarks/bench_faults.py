@@ -1,0 +1,129 @@
+"""Fault-tolerance overhead and recovery latency.
+
+Three questions the supervision layer must answer with numbers:
+
+1. *What does an armed fault plan cost when nothing fires?*  Every
+   ingested packet consults the plan (drop window, stall, kill), so the
+   steady-state overhead is a per-packet tax — measured against the
+   identical run with no plan.
+2. *What does a supervised restart cost end to end?*  A shard is killed
+   mid-stream and the supervisor recovers from the last checkpoint; the
+   row measures the whole run (detect death -> backoff -> reload
+   checkpoint -> replay suffix) against the unfailed supervised run, at
+   two checkpoint cadences — the cadence bounds the replayed suffix, so
+   it is the recovery-latency knob.
+3. *What does lossy degradation cost?*  A run shedding packets through
+   an injected drop window, with every loss dead-lettered.
+
+Every row records ``extra_info["packets"]``, ``["packets_per_second"]``
+and ``["detected_flows"]`` — the same JSON shape as
+``bench_service.py`` / ``bench_throughput.py`` — so downstream tooling
+can consume either file.
+"""
+
+import os
+
+import pytest
+
+from repro.service import (
+    FaultPlan,
+    RestartPolicy,
+    ShardFault,
+    StreamSource,
+    Supervisor,
+)
+
+from bench_service import _record, _serve, service_workload  # noqa: F401
+
+#: Supervised rounds spawn checkpoint files and replay suffixes; a few
+#: rounds keep the bench honest without replaying dozens of streams.
+SUPERVISED_ROUNDS = 3
+
+
+def _supervised_run(config, packets, fault_plan=None, **kwargs):
+    supervisor = Supervisor(
+        config,
+        shards=2,
+        policy=RestartPolicy(backoff_initial_s=0.0),
+        fault_plan=fault_plan,
+        **kwargs,
+    )
+    try:
+        return supervisor.run(StreamSource(packets))
+    finally:
+        supervisor.shutdown()
+
+
+@pytest.mark.parametrize("armed", [False, True])
+def test_fault_plan_steady_state_overhead(benchmark, service_workload, armed):
+    """Per-packet cost of consulting an armed-but-silent fault plan
+    (every fault position is far past the end of the stream)."""
+    config, packets = service_workload
+    plan = None
+    if armed:
+        horizon = 10 * len(packets)
+        plan = FaultPlan(
+            [
+                ShardFault("drop", shard=0, at=horizon),
+                ShardFault("kill", shard=1, at=horizon),
+            ]
+        )
+
+    report = benchmark(
+        _serve, config, packets, shards=2, fault_plan=plan
+    )
+    _record(benchmark, packets, report)
+    benchmark.extra_info["fault_plan_armed"] = armed
+    assert report.exact
+
+
+@pytest.mark.parametrize("checkpoint_every", [0, 20_000, 5_000])
+def test_supervised_restart_recovery_latency(
+    benchmark, service_workload, tmp_path, checkpoint_every
+):
+    """End-to-end cost of one kill + supervised restart, by checkpoint
+    cadence.  ``checkpoint_every=0`` recovers by from-scratch replay (no
+    checkpoint file), the worst case the cadence rows improve on."""
+    config, packets = service_workload
+    kill_at = max(1, len(packets) // 3)
+
+    def run(round_index=[0]):
+        round_index[0] += 1
+        # A fresh plan per round: fire-once kills stay fired on a plan
+        # object, and each round must crash anew.
+        plan = FaultPlan([ShardFault("kill", shard=0, at=kill_at)])
+        kwargs = {}
+        if checkpoint_every:
+            kwargs.update(
+                checkpoint_path=str(
+                    tmp_path / f"bench-{checkpoint_every}-{round_index[0]}.ckpt"
+                ),
+                checkpoint_every=checkpoint_every,
+            )
+        return _supervised_run(config, packets, fault_plan=plan, **kwargs)
+
+    report = benchmark.pedantic(
+        run, rounds=SUPERVISED_ROUNDS, iterations=1, warmup_rounds=1
+    )
+    _record(benchmark, packets, report)
+    benchmark.extra_info["checkpoint_every"] = checkpoint_every
+    benchmark.extra_info["restarts"] = report.restarts
+    assert report.restarts == 1
+    assert report.exact
+
+
+def test_degraded_mode_with_dead_letters(benchmark, service_workload):
+    """Throughput while shedding an injected drop window, every loss
+    recorded in the dead-letter sink and the envelope marked degraded."""
+    config, packets = service_workload
+    window = max(1, len(packets) // 10)
+
+    def run():
+        plan = FaultPlan([ShardFault("drop", shard=0, at=1, count=window)])
+        return _supervised_run(config, packets, fault_plan=plan)
+
+    report = benchmark(run)
+    _record(benchmark, packets, report)
+    benchmark.extra_info["dead_letters"] = report.dead_letters
+    assert not report.exact
+    assert report.dead_letters > 0

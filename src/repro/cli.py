@@ -236,6 +236,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore state from --checkpoint and replay the trace from "
         "the checkpoint boundary (serve)",
     )
+    serve.add_argument(
+        "--supervise", action="store_true",
+        help="run under the fault-tolerant supervisor: dead shards are "
+        "restarted from the last checkpoint with bounded backoff (serve)",
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="supervised-restart budget before giving up (serve "
+        "--supervise)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=None,
+        help="treat a shard as wedged when its heartbeat is older than "
+        "this many seconds (serve --supervise, multiprocess engine)",
+    )
+    serve.add_argument(
+        "--retry-source", type=int, default=0,
+        help="retry transient source failures up to this many consecutive "
+        "times with exponential backoff (serve)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject deterministic faults for chaos testing, e.g. "
+        "'kill:shard=1,at=5000;drop:shard=0,at=200,count=10;"
+        "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
+    )
 
     sim = parser.add_argument_group("simulate options")
     sim.add_argument(
@@ -396,14 +422,89 @@ def run_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    missing = [
+        flag
+        for flag, value in (
+            ("--rho", args.rho),
+            ("--gamma-l", args.gamma_l),
+            ("--gamma-h", args.gamma_h),
+        )
+        if value is None
+    ]
+    if missing:
+        raise SystemExit(f"serve requires {', '.join(missing)}")
+    return engineer(
+        rho=args.rho,
+        gamma_l=args.gamma_l,
+        beta_l=args.beta_l,
+        gamma_h=args.gamma_h,
+        t_upincb_seconds=args.t_upincb,
+    )
+
+
 def run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` command: the sharded streaming runtime over a trace
-    source, with optional periodic checkpoints and crash recovery."""
-    from .service import DetectionService, TraceFileSource
+    source, with optional periodic checkpoints, crash recovery, fault
+    injection (``--fault-plan``) and supervised restart (``--supervise``)."""
+    from .service import (
+        DetectionService,
+        FaultPlan,
+        FaultySource,
+        RestartPolicy,
+        RetryingSource,
+        Supervisor,
+        TraceFileSource,
+    )
 
     if args.trace is None:
         raise SystemExit("serve requires --trace")
     source = TraceFileSource(args.trace, by_host_pair=args.host_pair)
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"bad --fault-plan: {error}")
+        if fault_plan.source_faults:
+            source = FaultySource(source, fault_plan)
+        print(f"fault plan armed: {fault_plan.describe()}")
+    if args.retry_source:
+        source = RetryingSource(source, max_retries=args.retry_source)
+
+    if args.supervise:
+        if args.resume:
+            raise SystemExit(
+                "--supervise already recovers from --checkpoint; "
+                "drop --resume"
+            )
+        from .service import RestartBudgetExceededError
+
+        config = _serve_config(args)
+        supervisor = Supervisor(
+            config,
+            shards=args.shards,
+            engine=args.engine or "inprocess",
+            seed=args.seed or 0,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            overflow=args.overflow,
+            policy=RestartPolicy(max_restarts=args.max_restarts),
+            fault_plan=fault_plan,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+        )
+        if not args.json:
+            print(config.describe())
+        try:
+            report = supervisor.run(source, max_packets=args.max_packets)
+        except RestartBudgetExceededError as error:
+            raise SystemExit(f"supervision failed: {error}")
+        finally:
+            supervisor.shutdown()
+        return _emit_report(args, report)
+
     if args.resume:
         if args.checkpoint is None:
             raise SystemExit("serve --resume requires --checkpoint")
@@ -417,6 +518,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 queue_capacity=args.queue_capacity,
                 overflow=args.overflow,
+                fault_plan=fault_plan,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -425,24 +527,7 @@ def run_serve(args: argparse.Namespace) -> int:
             f"({service.shards} shards, {service.engine_kind})"
         )
     else:
-        missing = [
-            flag
-            for flag, value in (
-                ("--rho", args.rho),
-                ("--gamma-l", args.gamma_l),
-                ("--gamma-h", args.gamma_h),
-            )
-            if value is None
-        ]
-        if missing:
-            raise SystemExit(f"serve requires {', '.join(missing)}")
-        config = engineer(
-            rho=args.rho,
-            gamma_l=args.gamma_l,
-            beta_l=args.beta_l,
-            gamma_h=args.gamma_h,
-            t_upincb_seconds=args.t_upincb,
-        )
+        config = _serve_config(args)
         service = DetectionService(
             config,
             shards=args.shards,
@@ -453,13 +538,24 @@ def run_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             queue_capacity=args.queue_capacity,
             overflow=args.overflow,
+            fault_plan=fault_plan,
         )
-    print(service.config.describe())
+    if not args.json:
+        print(service.config.describe())
     try:
         report = service.serve(source, max_packets=args.max_packets)
     finally:
         service.shutdown()
-    print(report.render())
+    return _emit_report(args, report)
+
+
+def _emit_report(args: argparse.Namespace, report) -> int:
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 

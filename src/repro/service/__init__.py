@@ -4,39 +4,89 @@ This package turns the EARDet library into a deployable runtime
 (``eardet serve``): pull-based packet sources, a sharded engine with
 bounded queues and backpressure (in-process for determinism,
 multiprocess for throughput), an exact binary checkpoint/restore layer,
-and the service lifecycle gluing them together.  See ``docs/SERVICE.md``
-for the architecture and the checkpoint format.
+the service lifecycle gluing them together, and a fault-tolerance layer
+— deterministic fault injection (:mod:`repro.service.faults`),
+supervised restart with checkpoint recovery
+(:mod:`repro.service.supervisor`), and per-shard exactness envelopes
+that state precisely where the no-FN/no-FP guarantee still holds.  See
+``docs/SERVICE.md`` and ``docs/FAULT_TOLERANCE.md``.
 """
 
 from .checkpoint import (
+    CheckpointCorruptError,
     CheckpointError,
     describe_checkpoint,
     read_checkpoint,
     write_checkpoint,
 )
 from .engine import InProcessEngine
-from .health import ServiceReport, ShardHealth
+from .errors import (
+    PermanentSourceError,
+    QueueStallError,
+    RecoverableServiceError,
+    RestartBudgetExceededError,
+    ServiceError,
+    ShardCrashError,
+    SourceError,
+    TransientSourceError,
+)
+from .faults import (
+    CheckpointFault,
+    FaultPlan,
+    FaultySource,
+    ShardFault,
+    SourceFault,
+)
+from .health import (
+    DeadLetter,
+    DeadLetterSink,
+    ExactnessEnvelope,
+    ServiceReport,
+    ShardHealth,
+)
 from .runtime import DetectionService
 from .sources import (
     PacketSource,
+    RetryingSource,
     StreamSource,
     SyntheticSource,
     TraceFileSource,
     as_source,
 )
+from .supervisor import RestartPolicy, Supervisor
 from .workers import MultiprocessEngine, WorkerError
 
 __all__ = [
+    "CheckpointCorruptError",
     "CheckpointError",
+    "CheckpointFault",
+    "DeadLetter",
+    "DeadLetterSink",
     "DetectionService",
+    "ExactnessEnvelope",
+    "FaultPlan",
+    "FaultySource",
     "InProcessEngine",
     "MultiprocessEngine",
     "PacketSource",
+    "PermanentSourceError",
+    "QueueStallError",
+    "RecoverableServiceError",
+    "RestartBudgetExceededError",
+    "RestartPolicy",
+    "RetryingSource",
+    "ServiceError",
     "ServiceReport",
+    "ShardCrashError",
+    "ShardFault",
     "ShardHealth",
+    "SourceError",
+    "SourceFault",
     "StreamSource",
+    "Supervisor",
     "SyntheticSource",
     "TraceFileSource",
+    "TransientSourceError",
     "WorkerError",
     "as_source",
     "describe_checkpoint",

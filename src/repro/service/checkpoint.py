@@ -64,6 +64,34 @@ class CheckpointError(ValueError):
     """Raised on malformed, truncated, or corrupt checkpoint data."""
 
 
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is damaged: truncated, zero-byte, or failing its
+    CRC.  Carries forensics for the operator:
+
+    - ``offset`` — byte offset at which the damage was detected (for
+      truncation, the file length);
+    - ``expected_crc`` / ``actual_crc`` — the stored vs recomputed
+      payload CRC-32, when the failure is a CRC mismatch.
+
+    Distinct from a plain :class:`CheckpointError` (wrong magic, foreign
+    file, unsupported version): a *corrupt* checkpoint was once valid,
+    so the supervisor treats it as lost state and falls back to an
+    earlier checkpoint or a from-scratch replay.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: "int | None" = None,
+        expected_crc: "int | None" = None,
+        actual_crc: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.offset = offset
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
 # -- varints ---------------------------------------------------------------
 
 
@@ -83,7 +111,9 @@ def _read_uvarint(data: memoryview, offset: int):
     shift = 0
     while True:
         if offset >= len(data):
-            raise CheckpointError("truncated varint")
+            raise CheckpointCorruptError(
+                f"truncated varint at payload offset {offset}", offset=offset
+            )
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
@@ -155,7 +185,9 @@ def _encode(out: io.BytesIO, value: Any) -> None:
 
 def _decode(data: memoryview, offset: int):
     if offset >= len(data):
-        raise CheckpointError("truncated value")
+        raise CheckpointCorruptError(
+            f"truncated value at payload offset {offset}", offset=offset
+        )
     tag = data[offset]
     offset += 1
     if tag == _T_NONE:
@@ -169,12 +201,17 @@ def _decode(data: memoryview, offset: int):
         return _uint_to_int(raw), offset
     if tag == _T_FLOAT:
         if offset + 8 > len(data):
-            raise CheckpointError("truncated float")
+            raise CheckpointCorruptError(
+                f"truncated float at payload offset {offset}", offset=offset
+            )
         return struct.unpack_from("<d", data, offset)[0], offset + 8
     if tag in (_T_STR, _T_BYTES):
         length, offset = _read_uvarint(data, offset)
         if offset + length > len(data):
-            raise CheckpointError("truncated string/bytes")
+            raise CheckpointCorruptError(
+                f"truncated string/bytes at payload offset {offset}",
+                offset=offset,
+            )
         raw = bytes(data[offset : offset + length])
         offset += length
         return (raw.decode("utf-8") if tag == _T_STR else raw), offset
@@ -199,7 +236,10 @@ def _decode(data: memoryview, offset: int):
             value, offset = _decode(data, offset)
             result[key] = value
         return result, offset
-    raise CheckpointError(f"unknown value tag 0x{tag:02x}")
+    raise CheckpointCorruptError(
+        f"unknown value tag 0x{tag:02x} at payload offset {offset - 1}",
+        offset=offset - 1,
+    )
 
 
 # -- public codec ----------------------------------------------------------
@@ -221,7 +261,11 @@ def loads(data: bytes) -> Any:
     """Parse bytes produced by :func:`dumps`, verifying magic, version,
     length and CRC."""
     if len(data) < _HEADER.size + _CRC.size:
-        raise CheckpointError(f"checkpoint too short ({len(data)} bytes)")
+        raise CheckpointCorruptError(
+            f"checkpoint too short ({len(data)} bytes; a valid file is at "
+            f"least {_HEADER.size + _CRC.size})",
+            offset=len(data),
+        )
     magic, version, length = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise CheckpointError(f"bad magic {magic!r}; not a checkpoint file")
@@ -232,17 +276,27 @@ def loads(data: bytes) -> Any:
         )
     body_end = _HEADER.size + length
     if body_end + _CRC.size != len(data):
-        raise CheckpointError(
+        raise CheckpointCorruptError(
             f"length mismatch: header says {length} payload bytes, file has "
-            f"{len(data) - _HEADER.size - _CRC.size}"
+            f"{len(data) - _HEADER.size - _CRC.size}",
+            offset=len(data),
         )
     body = data[_HEADER.size : body_end]
     (crc,) = _CRC.unpack_from(data, body_end)
-    if crc != zlib.crc32(body):
-        raise CheckpointError("CRC mismatch; checkpoint is corrupt")
+    actual = zlib.crc32(body)
+    if crc != actual:
+        raise CheckpointCorruptError(
+            f"CRC mismatch (stored 0x{crc:08x}, computed 0x{actual:08x}); "
+            "checkpoint is corrupt",
+            offset=body_end,
+            expected_crc=crc,
+            actual_crc=actual,
+        )
     value, offset = _decode(memoryview(body), 0)
     if offset != len(body):
-        raise CheckpointError(f"{len(body) - offset} trailing payload bytes")
+        raise CheckpointCorruptError(
+            f"{len(body) - offset} trailing payload bytes", offset=offset
+        )
     return value
 
 

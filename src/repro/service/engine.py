@@ -30,8 +30,9 @@ deterministic — the reference implementation the multiprocessing engine
 
 from __future__ import annotations
 
+import time as _time
 from collections import deque
-from typing import Callable, Deque, Dict, List
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..core.blacklist import ReportSink
 from ..core.config import EARDetConfig
@@ -39,7 +40,8 @@ from ..core.counters import CounterStore, HeapCounterStore
 from ..core.eardet import EARDet
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
-from .health import ShardHealth
+from .errors import ShardCrashError
+from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
 
 #: Default bound on each shard's pending-packet queue.
 DEFAULT_QUEUE_CAPACITY = 4096
@@ -100,6 +102,12 @@ class InProcessEngine:
         (shed load, counted per shard; lossy).
     store_factory:
         Counter-store implementation for each shard.
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` consulted on
+        the ingest path (injected kills, stalls, drops).
+    dead_letter:
+        Optional :class:`~repro.service.health.DeadLetterSink` capturing
+        every packet this engine sheds (overflow or injected drops).
     """
 
     def __init__(
@@ -110,6 +118,8 @@ class InProcessEngine:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         overflow: str = "block",
         store_factory: Callable[[int], CounterStore] = HeapCounterStore,
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -132,6 +142,14 @@ class InProcessEngine:
         self._queues: List[Deque[Packet]] = [deque() for _ in range(shards)]
         self._dropped = [0] * shards
         self._accepted = 0
+        self._plan = fault_plan
+        self._dead_letter = dead_letter
+        # Loss accounting for the exactness envelope: per-shard arrival
+        # index (packets ever routed to the shard, processed or not),
+        # first-loss timestamp, and loss mechanism.
+        self._routed = [0] * shards
+        self._first_loss: List[Optional[int]] = [None] * shards
+        self._loss_reason = [""] * shards
 
     # -- introspection -----------------------------------------------------
 
@@ -161,22 +179,49 @@ class InProcessEngine:
 
     def ingest(self, batch: List[Packet]) -> None:
         """Route a batch of packets onto shard queues, applying the
-        overflow policy when a queue is full."""
+        overflow policy when a queue is full (and, when a fault plan is
+        armed, injecting kills/stalls/drops at exact packet positions)."""
         queues = self._queues
         route = self._route
+        routed = self._routed
         capacity = self.queue_capacity
         block = self.overflow == "block"
+        plan = self._plan
         for packet in batch:
             index = route(packet.fid)
+            routed[index] += 1
+            if plan is not None:
+                local = routed[index]
+                if plan.should_drop(index, local):
+                    self._record_loss(index, packet, "injected-drop")
+                    continue
+                stall = plan.take_stall(index, local)
+                if stall is not None:
+                    _time.sleep(stall.duration_s)
+                kill = plan.take_kill(index, local)
+                if kill is not None:
+                    raise ShardCrashError(
+                        f"injected kill: shard {index} died at its packet "
+                        f"{local}",
+                        shard=index,
+                    )
             queue = queues[index]
             if len(queue) >= capacity:
                 if block:
                     self._drain_shard(index)
                 else:
-                    self._dropped[index] += 1
+                    self._record_loss(index, packet, "queue-overflow")
                     continue
             queue.append(packet)
             self._accepted += 1
+
+    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+        self._dropped[index] += 1
+        if self._first_loss[index] is None:
+            self._first_loss[index] = packet.time
+            self._loss_reason[index] = reason
+        if self._dead_letter is not None:
+            self._dead_letter.record(packet, index, reason)
 
     def flush(self) -> None:
         """Process every pending packet (the graceful-drain step)."""
@@ -192,6 +237,13 @@ class InProcessEngine:
     def close(self) -> None:
         """Drain and release; the in-process engine holds no OS resources."""
         self.flush()
+
+    def terminate(self) -> None:
+        """Abandon pending work without draining (the supervisor's
+        teardown path after a crash — the restored checkpoint supersedes
+        whatever is still queued)."""
+        for queue in self._queues:
+            queue.clear()
 
     # -- results -----------------------------------------------------------
 
@@ -220,6 +272,20 @@ class InProcessEngine:
             )
         ]
 
+    def envelope(self) -> List[ExactnessEnvelope]:
+        """Per-shard exactness: a shard that lost even one packet no
+        longer carries the no-FN/no-FP guarantee past its first loss."""
+        return [
+            ExactnessEnvelope(
+                shard=index,
+                exact=self._dropped[index] == 0,
+                lost_packets=self._dropped[index],
+                first_loss_time_ns=self._first_loss[index],
+                reason=self._loss_reason[index],
+            )
+            for index in range(len(self._detectors))
+        ]
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -236,6 +302,10 @@ class InProcessEngine:
             "shard_count": len(self._detectors),
             "accepted": self._accepted,
             "dropped": list(self._dropped),
+            # Optional keys (absent in pre-fault-tolerance checkpoints;
+            # readers default them) — keeps the format at version 1.
+            "first_loss": list(self._first_loss),
+            "loss_reason": list(self._loss_reason),
             "shards": [detector.snapshot() for detector in self._detectors],
         }
 
@@ -259,8 +329,17 @@ class InProcessEngine:
             queue.clear()
         for detector, shard_state in zip(self._detectors, state["shards"]):
             detector.restore(shard_state)
+        shards = len(self._detectors)
         self._dropped = list(state["dropped"])
         self._accepted = state["accepted"]
+        self._first_loss = list(state.get("first_loss") or [None] * shards)
+        self._loss_reason = list(state.get("loss_reason") or [""] * shards)
+        # Arrival indices resume exactly: a checkpoint is taken drained,
+        # so each shard's arrivals = packets processed + packets dropped.
+        self._routed = [
+            shard_state["stats"]["packets"] + dropped
+            for shard_state, dropped in zip(state["shards"], self._dropped)
+        ]
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,119 @@
+"""Structured error taxonomy for the detection service.
+
+The service distinguishes *recoverable* failures — a crashed shard
+worker, a stalled queue, a transient source hiccup — from *permanent*
+ones, because the supervisor (:mod:`repro.service.supervisor`) restarts
+on the former and degrades gracefully on the latter.  Every error class
+carries the structured fields an operator (or the supervisor's restart
+loop) needs to act: which shard, at which stream position, after how
+many attempts.
+
+Hierarchy::
+
+    ServiceError
+    ├── RecoverableServiceError        (supervisor may restart)
+    │   ├── ShardCrashError            (a shard worker died)
+    │   │   └── WorkerError            (repro.service.workers; pre-existing)
+    │   ├── QueueStallError            (heartbeat went stale)
+    │   └── TransientSourceError       (retryable source failure)
+    ├── SourceError
+    │   ├── TransientSourceError       (also recoverable, see above)
+    │   └── PermanentSourceError       (source is gone for good)
+    └── RestartBudgetExceededError     (supervision gave up)
+
+:class:`~repro.service.checkpoint.CheckpointCorruptError` lives in
+:mod:`repro.service.checkpoint` (it subclasses the pre-existing
+:class:`~repro.service.checkpoint.CheckpointError`) and is re-exported
+here so callers can import the whole taxonomy from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .checkpoint import CheckpointCorruptError, CheckpointError
+
+__all__ = [
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "PermanentSourceError",
+    "QueueStallError",
+    "RecoverableServiceError",
+    "RestartBudgetExceededError",
+    "ServiceError",
+    "ShardCrashError",
+    "SourceError",
+    "TransientSourceError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for every failure the service layer raises."""
+
+
+class RecoverableServiceError(ServiceError):
+    """A failure the supervisor is allowed to restart from."""
+
+
+class ShardCrashError(RecoverableServiceError, RuntimeError):
+    """A shard worker died (process exit, injected kill, or crash).
+
+    ``shard`` is the shard index, ``exit_code`` the worker's exit status
+    when known (multiprocess engine only).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        exit_code: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.exit_code = exit_code
+
+
+class QueueStallError(RecoverableServiceError):
+    """A shard stopped making progress: its heartbeat went stale.
+
+    Raised by the supervisor's monitor when a shard's last heartbeat is
+    older than the configured timeout — the worker process is alive but
+    wedged (or sleeping inside an injected stall fault).
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None,
+                 stalled_s: Optional[float] = None):
+        super().__init__(message)
+        self.shard = shard
+        self.stalled_s = stalled_s
+
+
+class SourceError(ServiceError):
+    """A packet source failed.  ``position`` is the number of packets it
+    had delivered when it failed."""
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        super().__init__(message)
+        self.position = position
+
+
+class TransientSourceError(SourceError, RecoverableServiceError):
+    """A source failure expected to clear on retry (flaky file system,
+    reconnecting capture device).  :class:`~repro.service.sources.
+    RetryingSource` absorbs these up to its retry budget."""
+
+
+class PermanentSourceError(SourceError):
+    """The source is gone for good; pulling again cannot help.  The
+    supervisor drains what it has and returns a degraded report instead
+    of restarting."""
+
+
+class RestartBudgetExceededError(ServiceError):
+    """Supervised restarts exhausted the restart budget."""
+
+    def __init__(self, message: str, restarts: int,
+                 last_cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.restarts = restarts
+        self.last_cause = last_cause

@@ -1,0 +1,392 @@
+"""Deterministic, seedable fault injection for the detection service.
+
+Chaos testing a detector whose whole value is a *deterministic* guarantee
+needs deterministic chaos: every fault in a :class:`FaultPlan` triggers
+at an exact packet index (never on a timer), so a failing run is
+reproducible bit for bit.  A plan is built programmatically or parsed
+from the compact spec string the CLI accepts via ``--fault-plan``::
+
+    kill:shard=1,at=5000              # shard 1's worker dies at its
+                                      # 5000th shard-local packet
+    stall:shard=0,at=2000,secs=0.25   # shard 0 sleeps 0.25s once
+    drop:shard=1,at=4000,count=50     # shard 1 loses packets 4000..4049
+    source:kind=transient,at=3000     # source raises after 3000 packets
+    source:kind=permanent,at=8000     # ... and never recovers
+    ckpt:after=2,mode=truncate        # damage the 2nd checkpoint write
+    seed:42                           # RNG seed for corruption bytes
+
+    --fault-plan "kill:shard=1,at=5000;source:kind=transient,at=3000"
+
+Semantics that make recovery testable:
+
+- **Shard faults** trigger on the *shard-local* packet index (the Nth
+  packet routed to / processed by that shard), which the engines restore
+  from checkpoints — so a fault position means the same packet before
+  and after a supervised restart.
+- **Kill and stall faults fire once.**  The plan records the firing
+  (worker kills are recorded by the parent when it detects the death),
+  so a supervised restart does not crash-loop on the same fault.
+- **Drop faults are positional and idempotent**: replaying the same
+  window drops the same packets, keeping recovered runs deterministic.
+- **Source faults** trigger at a global stream position; transient ones
+  fire once (a retry succeeds), permanent ones fire on every attempt.
+- **Checkpoint faults** damage the file right after the Nth successful
+  write, exercising the corrupt-checkpoint recovery path.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..model.packet import Packet
+from .errors import (
+    PermanentSourceError,
+    ShardCrashError,
+    TransientSourceError,
+)
+from .sources import PacketSource
+
+#: Exit code an injected worker kill uses (visible in ShardCrashError).
+KILL_EXIT_CODE = 70
+
+SHARD_FAULT_KINDS = ("kill", "stall", "drop")
+SOURCE_FAULT_KINDS = ("transient", "permanent")
+CHECKPOINT_FAULT_MODES = ("flip", "truncate", "zero")
+
+
+@dataclass
+class ShardFault:
+    """A fault pinned to one shard at a shard-local packet index."""
+
+    kind: str  # kill | stall | drop
+    shard: int
+    at: int  # 1-based shard-local packet index
+    count: int = 1  # drop window length
+    duration_s: float = 0.0  # stall sleep
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.kind not in SHARD_FAULT_KINDS:
+            raise ValueError(
+                f"shard fault kind must be one of {SHARD_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.at < 1:
+            raise ValueError(f"fault position must be >= 1, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"drop count must be >= 1, got {self.count}")
+
+
+@dataclass
+class SourceFault:
+    """Make the source raise after delivering ``at`` packets."""
+
+    kind: str  # transient | permanent
+    at: int
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.kind not in SOURCE_FAULT_KINDS:
+            raise ValueError(
+                f"source fault kind must be one of {SOURCE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault position must be >= 0, got {self.at}")
+
+
+@dataclass
+class CheckpointFault:
+    """Damage the checkpoint file right after its ``after``-th write."""
+
+    after: int  # 1-based write index
+    mode: str = "flip"
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.mode not in CHECKPOINT_FAULT_MODES:
+            raise ValueError(
+                f"checkpoint fault mode must be one of "
+                f"{CHECKPOINT_FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.after < 1:
+            raise ValueError(f"after must be >= 1, got {self.after}")
+
+
+Fault = Union[ShardFault, SourceFault, CheckpointFault]
+
+
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    One plan instance is threaded through a whole supervised run — the
+    engines, the source wrapper, and the checkpoint writer all consult
+    the *same* object, which is how fire-once faults stay fired across a
+    supervised engine rebuild.
+    """
+
+    def __init__(self, faults: "List[Fault] | Tuple[Fault, ...]" = (),
+                 seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.shard_faults: List[ShardFault] = []
+        self.source_faults: List[SourceFault] = []
+        self.checkpoint_faults: List[CheckpointFault] = []
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        if isinstance(fault, ShardFault):
+            self.shard_faults.append(fault)
+        elif isinstance(fault, SourceFault):
+            self.source_faults.append(fault)
+        elif isinstance(fault, CheckpointFault):
+            self.checkpoint_faults.append(fault)
+        else:
+            raise TypeError(f"not a fault: {fault!r}")
+        return self
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.shard_faults or self.source_faults or self.checkpoint_faults
+        )
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI spec format (see the module docstring)."""
+        plan = cls()
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if ":" not in clause:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: expected 'kind:key=value,...'"
+                )
+            kind, _, body = clause.partition(":")
+            kind = kind.strip()
+            if kind == "seed":
+                plan.seed = int(body)
+                plan._rng = random.Random(plan.seed)
+                continue
+            fields = {}
+            for pair in body.split(","):
+                if "=" not in pair:
+                    raise ValueError(
+                        f"bad fault field {pair!r} in clause {clause!r}"
+                    )
+                key, _, value = pair.partition("=")
+                fields[key.strip()] = value.strip()
+            try:
+                plan.add(cls._parse_clause(kind, fields))
+            except (KeyError, ValueError) as error:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: {error}"
+                ) from error
+        return plan
+
+    @staticmethod
+    def _parse_clause(kind: str, fields: dict) -> Fault:
+        if kind == "kill":
+            return ShardFault(
+                "kill", shard=int(fields["shard"]), at=int(fields["at"])
+            )
+        if kind == "stall":
+            return ShardFault(
+                "stall",
+                shard=int(fields["shard"]),
+                at=int(fields["at"]),
+                duration_s=float(fields.get("secs", 0.1)),
+            )
+        if kind == "drop":
+            return ShardFault(
+                "drop",
+                shard=int(fields["shard"]),
+                at=int(fields["at"]),
+                count=int(fields.get("count", 1)),
+            )
+        if kind == "source":
+            return SourceFault(fields["kind"], at=int(fields["at"]))
+        if kind == "ckpt":
+            return CheckpointFault(
+                after=int(fields["after"]), mode=fields.get("mode", "flip")
+            )
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    def describe(self) -> str:
+        parts = []
+        for fault in self.shard_faults:
+            extra = ""
+            if fault.kind == "drop":
+                extra = f",count={fault.count}"
+            elif fault.kind == "stall":
+                extra = f",secs={fault.duration_s:g}"
+            parts.append(
+                f"{fault.kind}:shard={fault.shard},at={fault.at}{extra}"
+                + (" (fired)" if fault.fired else "")
+            )
+        for fault in self.source_faults:
+            parts.append(
+                f"source:kind={fault.kind},at={fault.at}"
+                + (" (fired)" if fault.fired else "")
+            )
+        for fault in self.checkpoint_faults:
+            parts.append(
+                f"ckpt:after={fault.after},mode={fault.mode}"
+                + (" (fired)" if fault.fired else "")
+            )
+        return "; ".join(parts) if parts else "(empty plan)"
+
+    # -- shard-fault queries (engines call these) --------------------------
+
+    def kill_at(self, shard: int) -> Optional[int]:
+        """The next unfired kill position for ``shard``, or None."""
+        for fault in self.shard_faults:
+            if fault.kind == "kill" and fault.shard == shard and not fault.fired:
+                return fault.at
+        return None
+
+    def mark_kill_fired(self, shard: int) -> None:
+        """Record that ``shard``'s pending kill fault went off (called by
+        the parent when it detects the death — the dying worker cannot)."""
+        for fault in self.shard_faults:
+            if fault.kind == "kill" and fault.shard == shard and not fault.fired:
+                fault.fired = True
+                return
+
+    def take_kill(self, shard: int, local_index: int) -> Optional[ShardFault]:
+        """In-process kill check: fires (once) when the shard's local
+        packet index reaches the fault position."""
+        for fault in self.shard_faults:
+            if (
+                fault.kind == "kill"
+                and fault.shard == shard
+                and not fault.fired
+                and local_index >= fault.at
+            ):
+                fault.fired = True
+                return fault
+        return None
+
+    def take_stall(self, shard: int, local_index: int) -> Optional[ShardFault]:
+        for fault in self.shard_faults:
+            if (
+                fault.kind == "stall"
+                and fault.shard == shard
+                and not fault.fired
+                and local_index >= fault.at
+            ):
+                fault.fired = True
+                return fault
+        return None
+
+    def stall_for(self, shard: int) -> Optional[ShardFault]:
+        """The next unfired stall fault for ``shard`` (handed to a
+        multiprocess worker at spawn)."""
+        for fault in self.shard_faults:
+            if fault.kind == "stall" and fault.shard == shard and not fault.fired:
+                return fault
+        return None
+
+    def should_drop(self, shard: int, local_index: int) -> bool:
+        """Whether the shard's ``local_index``-th packet falls inside an
+        injected drop window.  Positional, hence idempotent on replay."""
+        for fault in self.shard_faults:
+            if (
+                fault.kind == "drop"
+                and fault.shard == shard
+                and fault.at <= local_index < fault.at + fault.count
+            ):
+                return True
+        return False
+
+    # -- source-fault queries ----------------------------------------------
+
+    def source_fault_at(self, position: int) -> Optional[SourceFault]:
+        """The fault (if any) that fires once the source has delivered
+        ``position`` packets.  Transient faults are marked fired;
+        permanent faults keep firing on every attempt."""
+        for fault in self.source_faults:
+            if fault.at == position and (
+                fault.kind == "permanent" or not fault.fired
+            ):
+                fault.fired = True
+                return fault
+        return None
+
+    # -- checkpoint-fault application --------------------------------------
+
+    def corrupt_checkpoint(self, path, write_index: int) -> Optional[str]:
+        """Damage ``path`` if a checkpoint fault targets the
+        ``write_index``-th write; returns the mode applied, else None."""
+        for fault in self.checkpoint_faults:
+            if fault.after == write_index and not fault.fired:
+                fault.fired = True
+                self._apply_corruption(path, fault.mode)
+                return fault.mode
+        return None
+
+    def _apply_corruption(self, path, mode: str) -> None:
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        if mode == "zero" or not data:
+            data = bytearray()
+        elif mode == "truncate":
+            data = data[: max(1, len(data) // 2)]
+        else:  # flip — seeded, hence reproducible
+            index = self._rng.randrange(len(data))
+            data[index] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.describe()!r}, seed={self.seed})"
+
+
+class FaultySource(PacketSource):
+    """Wrap a source so it raises according to a :class:`FaultPlan`.
+
+    The error is raised *before* the packet at the fault position is
+    delivered, so ``position`` in the raised :class:`SourceError` equals
+    the number of packets successfully handed downstream.
+    """
+
+    def __init__(self, inner: PacketSource, plan: FaultPlan):
+        self._inner = inner
+        self._plan = plan
+        self.name = f"faulty({inner.name})"
+        self.replayable = inner.replayable
+
+    def iter_packets(self) -> Iterator[Packet]:
+        plan = self._plan
+        position = 0
+        for packet in self._inner.iter_packets():
+            fault = plan.source_fault_at(position)
+            if fault is not None:
+                raise self._error(fault, position)
+            yield packet
+            position += 1
+        fault = plan.source_fault_at(position)
+        if fault is not None:
+            raise self._error(fault, position)
+
+    @staticmethod
+    def _error(fault: SourceFault, position: int) -> Exception:
+        if fault.kind == "transient":
+            return TransientSourceError(
+                f"injected transient source error after {position} packets",
+                position=position,
+            )
+        return PermanentSourceError(
+            f"injected permanent source error after {position} packets",
+            position=position,
+        )

@@ -1,19 +1,36 @@
-"""Operational health and reporting structures for the service runtime.
+"""Operational health, loss accounting, and reporting for the service.
 
 Per-shard health (:class:`ShardHealth`) is what an operator watches on a
 live service: ingest rate, queue depth (the backpressure signal),
 detections and blacklist occupancy, and packets dropped by an overflow
 policy.  :class:`ServiceReport` is the end-of-run (or end-of-drain)
 aggregate the CLI renders and the benchmarks consume.
+
+Two structures added by the fault-tolerance layer:
+
+- :class:`ExactnessEnvelope` — the per-shard statement of whether the
+  paper's no-FN/no-FP guarantee still holds.  EARDet's guarantee is
+  conditional on *seeing every packet*; the moment a shard loses one
+  (queue-overflow drop, injected drop, truncated stream) its guarantee
+  is void from the first loss onward.  Rather than silently serving
+  stale guarantees, each shard reports ``exact`` plus the first-loss
+  timestamp so downstream consumers can widen their ambiguity region
+  from that instant.
+- :class:`DeadLetterSink` — captures every packet the service dropped
+  or could not process (bounded detail, exact counts), so lost traffic
+  is auditable instead of vanishing into a counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..model.packet import FlowId
+from ..model.packet import FlowId, Packet
 from ..model.units import NS_PER_S
+
+#: Default cap on retained dead-letter entries (counts are always exact).
+DEFAULT_DEAD_LETTER_CAPACITY = 4096
 
 
 @dataclass
@@ -41,6 +58,111 @@ class ShardHealth:
 
 
 @dataclass
+class ExactnessEnvelope:
+    """Whether one shard's no-FN/no-FP guarantee still holds.
+
+    ``exact=True`` means the shard processed every packet routed to it:
+    the paper's guarantees apply verbatim.  ``exact=False`` means the
+    shard lost traffic; ``first_loss_time_ns`` is the timestamp of the
+    first packet it lost (the instant from which the guarantee is void —
+    detections *before* it remain trustworthy), ``lost_packets`` the
+    exact count, and ``reason`` the loss mechanism.
+    """
+
+    shard: int
+    exact: bool = True
+    lost_packets: int = 0
+    first_loss_time_ns: Optional[int] = None
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "exact": self.exact,
+            "lost_packets": self.lost_packets,
+            "first_loss_time_ns": self.first_loss_time_ns,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DeadLetter:
+    """One dropped/unprocessed packet: what, where, why."""
+
+    time_ns: int
+    size: int
+    fid: FlowId
+    shard: int
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time_ns": self.time_ns,
+            "size": self.size,
+            "fid": str(self.fid),
+            "shard": self.shard,
+            "reason": self.reason,
+        }
+
+
+class DeadLetterSink:
+    """Bounded capture of every packet the service failed to process.
+
+    ``total`` is always exact; per-packet detail is retained up to
+    ``capacity`` entries (oldest first), which keeps memory bounded under
+    a sustained overload while still giving the operator the head of the
+    loss for forensics.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_DEAD_LETTER_CAPACITY):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.entries: List[DeadLetter] = []
+        self.total = 0
+
+    def record(self, packet: Packet, shard: int, reason: str) -> None:
+        self.total += 1
+        if len(self.entries) < self.capacity:
+            self.entries.append(
+                DeadLetter(packet.time, packet.size, packet.fid, shard, reason)
+            )
+
+    def __len__(self) -> int:
+        return self.total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "retained": len(self.entries),
+            "capacity": self.capacity,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DeadLetterSink(total={self.total}, "
+            f"retained={len(self.entries)}/{self.capacity})"
+        )
+
+
+def _detection_sort_key(item):
+    """Order detections by timestamp without assuming every timestamp is
+    an int (machine-written reports may carry None or strings): numeric
+    timestamps first in time order, everything else after, by repr."""
+    value = item[1]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return (1, 0.0, repr(value))
+    return (0, float(value), "")
+
+
+def _format_detection_time(value) -> str:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value / NS_PER_S:.6f}s"
+    return repr(value)
+
+
+@dataclass
 class ServiceReport:
     """Summary of one service run (or one serve-until-drained episode)."""
 
@@ -51,6 +173,11 @@ class ServiceReport:
     dropped: int = 0
     checkpoints_written: int = 0
     resumed_from: int = 0
+    envelope: List[ExactnessEnvelope] = field(default_factory=list)
+    restarts: int = 0
+    incidents: List[str] = field(default_factory=list)
+    dead_letters: int = 0
+    source_retries: int = 0
 
     @property
     def packets_per_second(self) -> float:
@@ -58,16 +185,57 @@ class ServiceReport:
             return 0.0
         return self.packets / self.duration_s
 
+    @property
+    def exact(self) -> bool:
+        """Whether every shard's guarantee survived the run intact."""
+        if self.envelope:
+            return all(entry.exact for entry in self.envelope)
+        return self.dropped == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-consumable form (``eardet serve --json``)."""
+        return {
+            "packets": self.packets,
+            "duration_s": self.duration_s,
+            "packets_per_second": self.packets_per_second,
+            "detections": {
+                str(fid): time_ns for fid, time_ns in self.detections.items()
+            },
+            "shard_health": [h.as_dict() for h in self.shard_health],
+            "dropped": self.dropped,
+            "checkpoints_written": self.checkpoints_written,
+            "resumed_from": self.resumed_from,
+            "exact": self.exact,
+            "envelope": [entry.as_dict() for entry in self.envelope],
+            "restarts": self.restarts,
+            "incidents": list(self.incidents),
+            "dead_letters": self.dead_letters,
+            "source_retries": self.source_retries,
+        }
+
     def render(self) -> str:
         """Multi-line operator-facing summary."""
+        rate = (
+            "idle"
+            if self.packets_per_second == 0
+            else f"{self.packets_per_second:,.0f} pkt/s"
+        )
         lines = [
             f"service: {self.packets} packets in {self.duration_s:.3f}s "
-            f"({self.packets_per_second:,.0f} pkt/s), "
+            f"({rate}), "
             f"{len(self.detections)} large flows, {self.dropped} dropped, "
             f"{self.checkpoints_written} checkpoints"
         ]
         if self.resumed_from:
             lines.append(f"  resumed from checkpoint at packet {self.resumed_from}")
+        if self.restarts:
+            lines.append(f"  supervised restarts: {self.restarts}")
+        for incident in self.incidents:
+            lines.append(f"  incident: {incident}")
+        if self.source_retries:
+            lines.append(f"  source retries absorbed: {self.source_retries}")
+        if self.dead_letters:
+            lines.append(f"  dead-lettered packets: {self.dead_letters}")
         for health in self.shard_health:
             lines.append(
                 f"  shard {health.shard}: {health.packets} packets, "
@@ -76,8 +244,29 @@ class ServiceReport:
                 f"{health.blacklist_size} blacklisted, "
                 f"{health.dropped} dropped"
             )
+        degraded = [entry for entry in self.envelope if not entry.exact]
+        if degraded:
+            for entry in degraded:
+                first = (
+                    f"{entry.first_loss_time_ns / NS_PER_S:.6f}s"
+                    if entry.first_loss_time_ns is not None
+                    else "unknown"
+                )
+                lines.append(
+                    f"  exactness: shard {entry.shard} DEGRADED — "
+                    f"{entry.lost_packets} lost, first loss at {first} "
+                    f"({entry.reason or 'unspecified'}); guarantee void "
+                    "from first loss onward"
+                )
+        elif self.envelope:
+            lines.append(
+                f"  exactness: all {len(self.envelope)} shards exact "
+                "(no-FN/no-FP guarantee intact)"
+            )
         for fid, time_ns in sorted(
-            self.detections.items(), key=lambda item: item[1]
+            self.detections.items(), key=_detection_sort_key
         ):
-            lines.append(f"  large flow {fid!r} at {time_ns / NS_PER_S:.6f}s")
+            lines.append(
+                f"  large flow {fid!r} at {_format_detection_time(time_ns)}"
+            )
         return "\n".join(lines)

@@ -33,7 +33,7 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .engine import DEFAULT_QUEUE_CAPACITY, InProcessEngine
-from .health import ServiceReport, ShardHealth
+from .health import DeadLetterSink, ServiceReport, ShardHealth
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 from .workers import MultiprocessEngine
 
@@ -50,6 +50,8 @@ def _build_engine(
     seed: int,
     queue_capacity: int,
     overflow: str,
+    fault_plan=None,
+    dead_letter: Optional[DeadLetterSink] = None,
 ):
     if kind == "inprocess":
         return InProcessEngine(
@@ -58,6 +60,8 @@ def _build_engine(
             seed=seed,
             queue_capacity=queue_capacity,
             overflow=overflow,
+            fault_plan=fault_plan,
+            dead_letter=dead_letter,
         )
     if kind == "multiprocess":
         if overflow != "block":
@@ -65,7 +69,13 @@ def _build_engine(
                 "the multiprocess engine only supports overflow='block' "
                 "(its bounded queues block the producer)"
             )
-        return MultiprocessEngine(config, shards=shards, seed=seed)
+        return MultiprocessEngine(
+            config,
+            shards=shards,
+            seed=seed,
+            fault_plan=fault_plan,
+            dead_letter=dead_letter,
+        )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
 
@@ -92,6 +102,13 @@ class DetectionService:
         Packets pulled from the source per batch.
     queue_capacity / overflow:
         Forwarded to the engine (see :mod:`repro.service.engine`).
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan`; forwarded to
+        the engine (kills/stalls/drops) and consulted after every
+        checkpoint write (checkpoint-corruption faults).
+    dead_letter:
+        Optional :class:`~repro.service.health.DeadLetterSink` shared
+        with the engine; its total is surfaced in the report.
     """
 
     def __init__(
@@ -106,6 +123,8 @@ class DetectionService:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         overflow: str = "block",
         clock: Callable[[], float] = time.perf_counter,
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -120,9 +139,12 @@ class DetectionService:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.batch_size = batch_size
+        self.fault_plan = fault_plan
+        self.dead_letter = dead_letter
         self._clock = clock
         self._engine = _build_engine(
-            engine, config, shards, seed, queue_capacity, overflow
+            engine, config, shards, seed, queue_capacity, overflow,
+            fault_plan=fault_plan, dead_letter=dead_letter,
         )
         self._ingested = 0
         self._resumed_from = 0
@@ -139,6 +161,8 @@ class DetectionService:
         batch_size: int = DEFAULT_BATCH_SIZE,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         overflow: str = "block",
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -168,6 +192,8 @@ class DetectionService:
             batch_size=batch_size,
             queue_capacity=queue_capacity,
             overflow=overflow,
+            fault_plan=fault_plan,
+            dead_letter=dead_letter,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -198,6 +224,7 @@ class DetectionService:
         source: Union[PacketSource, Iterable[Packet]],
         max_packets: Optional[int] = None,
         final_checkpoint: bool = True,
+        on_progress: Optional[Callable[["DetectionService"], None]] = None,
     ) -> ServiceReport:
         """Pull the source to exhaustion (or ``max_packets``), then drain.
 
@@ -205,7 +232,10 @@ class DetectionService:
         crosses a multiple of ``checkpoint_every``; a final checkpoint on
         graceful shutdown captures the fully-drained state.  ``max_packets``
         bounds this call (useful for tests and for incremental serving);
-        the service object can keep serving afterwards.
+        the service object can keep serving afterwards.  ``on_progress``
+        is invoked after every ingested batch — the supervisor's monitor
+        hook (it may raise to abort the serve loop, e.g. on a stale
+        heartbeat).
         """
         source = as_source(source)
         started = self._clock()
@@ -219,6 +249,8 @@ class DetectionService:
             self._engine.ingest(batch)
             self._ingested += len(batch)
             served += len(batch)
+            if on_progress is not None:
+                on_progress(self)
             if next_boundary is not None and self._ingested >= next_boundary:
                 self._write_checkpoint(source)
                 next_boundary = self._next_boundary()
@@ -227,20 +259,48 @@ class DetectionService:
         self._engine.flush()
         if final_checkpoint and self.checkpoint_path is not None:
             self._write_checkpoint(source)
-        duration = self._clock() - started
+        return self.report(packets=served, duration_s=self._clock() - started)
+
+    def report(self, packets: Optional[int] = None,
+               duration_s: float = 0.0) -> ServiceReport:
+        """A :class:`ServiceReport` of the service's current state.
+
+        ``serve`` calls this at the end of a run; the supervisor also
+        calls it directly to report what a *degraded* service (e.g. one
+        whose source failed permanently) managed to process.
+        """
+        envelope = (
+            self._engine.envelope() if hasattr(self._engine, "envelope")
+            else []
+        )
         return ServiceReport(
-            packets=served,
-            duration_s=duration,
+            packets=self._ingested if packets is None else packets,
+            duration_s=duration_s,
             detections=self._engine.detections(),
             shard_health=self._engine.health(),
             dropped=self._engine.dropped,
             checkpoints_written=self._checkpoints_written,
             resumed_from=self._resumed_from,
+            envelope=envelope,
+            dead_letters=(
+                self.dead_letter.total if self.dead_letter is not None else 0
+            ),
         )
 
     def shutdown(self) -> None:
         """Graceful drain and engine teardown (idempotent)."""
         self._engine.close()
+
+    def abort(self) -> None:
+        """Crash-path teardown: discard queued work and kill workers
+        without draining (the supervisor's cleanup before a restart —
+        the checkpoint on disk, not the wreckage, is the recovery
+        state)."""
+        terminate = getattr(self._engine, "terminate", None)
+        if terminate is not None:
+            terminate()
+        else:  # pragma: no cover - every engine has terminate today
+            self._engine.close()
 
     def _next_boundary(self) -> Optional[int]:
         if self.checkpoint_every is None:
@@ -275,3 +335,9 @@ class DetectionService:
         }
         write_checkpoint(self.checkpoint_path, payload)
         self._checkpoints_written += 1
+        if self.fault_plan is not None:
+            # Injected checkpoint corruption (chaos testing the recovery
+            # path): damage the file right after a successful write.
+            self.fault_plan.corrupt_checkpoint(
+                self.checkpoint_path, self._checkpoints_written
+            )

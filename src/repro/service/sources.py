@@ -24,6 +24,7 @@ packets replays the source from packet ``k`` — the *checkpoint boundary*
 from __future__ import annotations
 
 import itertools
+import time
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Union
@@ -70,13 +71,27 @@ class PacketSource(ABC):
             raise ValueError(f"batch size must be positive, got {batch_size}")
         if skip < 0:
             raise ValueError(f"skip must be >= 0, got {skip}")
+        from .errors import SourceError
+
         packets = self.iter_packets()
         if skip:
             packets = itertools.islice(packets, skip, None)
         while True:
-            batch = list(itertools.islice(packets, batch_size))
-            if not batch:
+            batch = []
+            try:
+                for _ in range(batch_size):
+                    batch.append(next(packets))
+            except StopIteration:
+                if batch:
+                    yield batch
                 return
+            except SourceError:
+                # Hand over what was read before the failure, then let the
+                # error propagate on the next pull — a dying source must
+                # not swallow packets it already delivered.
+                if batch:
+                    yield batch
+                raise
             yield batch
 
     def __repr__(self) -> str:
@@ -148,6 +163,87 @@ class SyntheticSource(PacketSource):
 
     def iter_packets(self) -> Iterator[Packet]:
         return iter(self._factory())
+
+
+class RetryingSource(PacketSource):
+    """Absorb transient source failures with bounded retry + backoff.
+
+    Wraps any replayable source.  When the inner source raises a
+    :class:`~repro.service.errors.TransientSourceError` mid-iteration,
+    the wrapper sleeps (exponential backoff, capped), re-opens the inner
+    source, fast-forwards past the packets already delivered, and
+    continues — downstream consumers never see the hiccup, only a
+    monotone packet stream.  After ``max_retries`` consecutive failures
+    the error escalates to a
+    :class:`~repro.service.errors.PermanentSourceError` (the supervisor
+    then degrades instead of spinning).
+
+    ``retries`` counts every absorbed failure, for the service report.
+    """
+
+    def __init__(
+        self,
+        inner: PacketSource,
+        max_retries: int = 3,
+        backoff_initial_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self._inner = inner
+        self.max_retries = max_retries
+        self.backoff_initial_s = backoff_initial_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self._sleep = sleep
+        self.retries = 0
+        self.name = f"retry({inner.name})"
+        self.replayable = inner.replayable
+
+    def _delay_s(self, attempt: int) -> float:
+        return min(
+            self.backoff_initial_s * self.backoff_factor ** attempt,
+            self.backoff_max_s,
+        )
+
+    def iter_packets(self) -> Iterator[Packet]:
+        from .errors import PermanentSourceError, TransientSourceError
+
+        delivered = 0
+        failures = 0
+        while True:
+            iterator = self._inner.iter_packets()
+            try:
+                if delivered:
+                    # Fast-forward past what downstream already consumed;
+                    # these re-read packets do not count as deliveries.
+                    for _ in itertools.islice(iterator, delivered):
+                        pass
+                for packet in iterator:
+                    yield packet
+                    delivered += 1
+                    failures = 0  # progress resets the consecutive count
+                return
+            except TransientSourceError as error:
+                failures += 1
+                self.retries += 1
+                if failures > self.max_retries:
+                    raise PermanentSourceError(
+                        f"source failed {failures} consecutive times at "
+                        f"packet {delivered}; retry budget "
+                        f"({self.max_retries}) exhausted: {error}",
+                        position=delivered,
+                    ) from error
+                if not self.replayable:
+                    raise PermanentSourceError(
+                        f"transient source error at packet {delivered}, but "
+                        "the source is not replayable so it cannot be "
+                        f"re-opened: {error}",
+                        position=delivered,
+                    ) from error
+                self._sleep(self._delay_s(failures - 1))
 
 
 def as_source(packets: Union[PacketSource, Iterable[Packet]]) -> PacketSource:

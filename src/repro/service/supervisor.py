@@ -1,0 +1,304 @@
+"""Supervised serving: restart-from-checkpoint with an exactness story.
+
+EARDet's value is a *deterministic* no-FN/no-FP guarantee, which makes
+fault tolerance unusually demanding: a recovery that merely "keeps
+serving" is worthless if it silently voids the guarantee.  The
+:class:`Supervisor` therefore recovers along exactly one of two paths,
+and reports which:
+
+1. **Exact recovery** — a shard worker died (or a queue stalled, or the
+   source hiccuped transiently): tear the engine down, reload the last
+   checkpoint, and replay the source suffix.  Checkpoints are exact and
+   sources are replayable, so the recovered run's detections — flow ids
+   *and* timestamps — are bit-identical to an unfailed run's.  A corrupt
+   or missing checkpoint falls back to a from-scratch replay, which is
+   slower but equally exact.
+2. **Graceful degradation** — the stream itself is lost (permanent
+   source failure) or restarts are exhausted while lossy faults keep
+   packets from being processed: the supervisor drains what it has and
+   returns a report whose per-shard exactness envelope says precisely
+   where the guarantee stopped holding (``exact=False`` +
+   first-loss timestamp), so downstream consumers widen their ambiguity
+   region instead of trusting stale guarantees.
+
+Restarts use bounded exponential backoff and a restart *budget*; when
+the budget is exhausted the supervisor raises
+:class:`~repro.service.errors.RestartBudgetExceededError` rather than
+crash-looping.
+
+Liveness is watched two ways: the engines surface dead workers as
+:class:`~repro.service.errors.ShardCrashError` from the ingest path, and
+the supervisor's per-batch monitor additionally compares worker
+heartbeats against ``heartbeat_timeout_s`` to catch wedged-but-alive
+shards (raised as :class:`~repro.service.errors.QueueStallError`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Union
+
+from ..core.config import EARDetConfig
+from ..model.packet import Packet
+from .checkpoint import CheckpointError
+from .engine import DEFAULT_QUEUE_CAPACITY
+from .errors import (
+    PermanentSourceError,
+    QueueStallError,
+    RecoverableServiceError,
+    RestartBudgetExceededError,
+)
+from .health import DeadLetterSink, ServiceReport
+from .runtime import DetectionService
+from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How hard the supervisor tries before giving up.
+
+    ``max_restarts`` bounds the *total* restarts across a run (the
+    budget); delays grow geometrically from ``backoff_initial_s`` by
+    ``backoff_factor`` per restart, capped at ``backoff_max_s``.
+    """
+
+    max_restarts: int = 5
+    backoff_initial_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+
+    def delay_s(self, restart_index: int) -> float:
+        """Backoff before restart number ``restart_index`` (0-based)."""
+        return min(
+            self.backoff_initial_s * self.backoff_factor ** restart_index,
+            self.backoff_max_s,
+        )
+
+
+class Supervisor:
+    """Run a :class:`DetectionService` under supervised restart.
+
+    Accepts the same construction parameters as the service, plus the
+    supervision knobs.  ``checkpoint_path`` is strongly recommended:
+    without it every recovery is a from-scratch replay (still exact,
+    just linear in the stream position at the crash).
+
+    Parameters beyond :class:`DetectionService`'s:
+
+    policy:
+        The :class:`RestartPolicy` (budget + backoff).
+    heartbeat_timeout_s:
+        When set and the engine exposes heartbeats (multiprocess), a
+        shard whose heartbeat is older than this is treated as wedged
+        and restarted (:class:`QueueStallError`).
+    sleep / clock:
+        Injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: EARDetConfig,
+        shards: int = 1,
+        engine: str = "inprocess",
+        seed: int = 0,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        overflow: str = "block",
+        policy: Optional[RestartPolicy] = None,
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.config = config
+        self.shards = shards
+        self.engine_kind = engine
+        self.seed = seed
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.batch_size = batch_size
+        self.queue_capacity = queue_capacity
+        self.overflow = overflow
+        self.policy = policy or RestartPolicy()
+        self.fault_plan = fault_plan
+        self.dead_letter = dead_letter or DeadLetterSink()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._sleep = sleep
+        self._clock = clock
+        self.restarts = 0
+        self.incidents: List[str] = []
+        self._service: Optional[DetectionService] = None
+
+    # -- construction helpers ----------------------------------------------
+
+    def _fresh_service(self) -> DetectionService:
+        return DetectionService(
+            self.config,
+            shards=self.shards,
+            engine=self.engine_kind,
+            seed=self.seed,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            batch_size=self.batch_size,
+            queue_capacity=self.queue_capacity,
+            overflow=self.overflow,
+            fault_plan=self.fault_plan,
+            dead_letter=self.dead_letter,
+        )
+
+    def _recovered_service(self) -> DetectionService:
+        """Resume from the last checkpoint; fall back to a from-scratch
+        replay when there is no checkpoint or it is corrupt (both paths
+        are exact — the fallback just replays more)."""
+        path = self.checkpoint_path
+        if path is not None and os.path.exists(path):
+            try:
+                service = DetectionService.resume(
+                    path,
+                    engine=self.engine_kind,
+                    checkpoint_every=self.checkpoint_every,
+                    batch_size=self.batch_size,
+                    queue_capacity=self.queue_capacity,
+                    overflow=self.overflow,
+                    fault_plan=self.fault_plan,
+                    dead_letter=self.dead_letter,
+                )
+                self.incidents.append(
+                    f"recovered from checkpoint at packet {service.ingested}"
+                )
+                return service
+            except CheckpointError as error:
+                self.incidents.append(
+                    f"checkpoint unusable ({error}); replaying from scratch"
+                )
+        else:
+            self.incidents.append(
+                "no checkpoint available; replaying from scratch"
+            )
+        return self._fresh_service()
+
+    # -- monitoring --------------------------------------------------------
+
+    def _monitor(self, service: DetectionService) -> None:
+        """Per-batch liveness probe, installed as ``serve(on_progress=)``."""
+        engine = service.engine
+        check = getattr(engine, "check_workers", None)
+        if check is not None:
+            check()
+        if self.heartbeat_timeout_s is not None:
+            ages = getattr(engine, "heartbeat_ages", None)
+            if ages is not None:
+                for shard, age in enumerate(ages()):
+                    if age > self.heartbeat_timeout_s:
+                        raise QueueStallError(
+                            f"shard {shard} heartbeat is {age:.1f}s old "
+                            f"(timeout {self.heartbeat_timeout_s:.1f}s)",
+                            shard=shard,
+                            stalled_s=age,
+                        )
+
+    # -- the supervised run ------------------------------------------------
+
+    def run(
+        self,
+        source: Union[PacketSource, Iterable[Packet]],
+        max_packets: Optional[int] = None,
+    ) -> ServiceReport:
+        """Serve ``source`` to exhaustion under supervision.
+
+        ``max_packets`` bounds the run in *total stream packets* (so it
+        means the same thing across restarts).  Returns the final
+        :class:`ServiceReport`, annotated with restart count, incident
+        log, and the exactness envelope.
+        """
+        source = as_source(source)
+        if not source.replayable:
+            raise PermanentSourceError(
+                f"source {source.name!r} is not replayable; supervised "
+                "restart could not recover it exactly — wrap it in a "
+                "replayable source (trace file, broker) to supervise"
+            )
+        started = self._clock()
+        service = self._service = self._fresh_service()
+        while True:
+            try:
+                remaining = (
+                    None if max_packets is None
+                    else max(0, max_packets - service.ingested)
+                )
+                report = service.serve(
+                    source, max_packets=remaining, on_progress=self._monitor
+                )
+                return self._annotate(report, service, source, started)
+            except PermanentSourceError as error:
+                # The stream itself is gone: degrade, don't spin.  Drain
+                # what was ingested and state exactly what is still
+                # guaranteed.
+                self.incidents.append(f"permanent source failure: {error}")
+                service.engine.flush()
+                report = service.report(
+                    duration_s=self._clock() - started
+                )
+                report = self._annotate(report, service, source, started)
+                for entry in report.envelope:
+                    entry.exact = False
+                    if not entry.reason:
+                        entry.reason = (
+                            "stream truncated by permanent source failure "
+                            f"at packet {error.position}"
+                        )
+                return report
+            except RecoverableServiceError as error:
+                self.incidents.append(
+                    f"{type(error).__name__}: {error} "
+                    f"(at ~packet {service.ingested})"
+                )
+                service.abort()
+                if self.restarts >= self.policy.max_restarts:
+                    raise RestartBudgetExceededError(
+                        f"gave up after {self.restarts} supervised restarts "
+                        f"(budget {self.policy.max_restarts}); last cause: "
+                        f"{error}",
+                        restarts=self.restarts,
+                        last_cause=error,
+                    ) from error
+                self._sleep(self.policy.delay_s(self.restarts))
+                self.restarts += 1
+                service = self._service = self._recovered_service()
+
+    def shutdown(self) -> None:
+        """Tear down the most recent underlying service (idempotent)."""
+        if self._service is not None:
+            self._service.shutdown()
+
+    def _annotate(
+        self,
+        report: ServiceReport,
+        service: DetectionService,
+        source: PacketSource,
+        started: float,
+    ) -> ServiceReport:
+        report.packets = service.ingested
+        report.duration_s = self._clock() - started
+        report.restarts = self.restarts
+        report.incidents = list(self.incidents)
+        report.dead_letters = self.dead_letter.total
+        report.source_retries = _source_retries(source)
+        return report
+
+
+def _source_retries(source) -> int:
+    """Total transient failures absorbed anywhere in a source wrapper
+    chain (each wrapper holds the next source as ``_inner``)."""
+    total = 0
+    seen = set()
+    while source is not None and id(source) not in seen:
+        seen.add(id(source))
+        total += getattr(source, "retries", 0)
+        source = getattr(source, "_inner", None)
+    return total

@@ -29,12 +29,27 @@ Determinism: shards are independent and each processes its sub-stream in
 arrival order, so detections, timestamps and per-shard state are
 identical to the in-process engine's — only wall-clock interleaving
 differs.  ``tests/test_service.py`` asserts this equivalence.
+
+Fault tolerance (see :mod:`repro.service.supervisor`):
+
+- every worker stamps a **heartbeat** (a shared double per shard) on each
+  message and from a ticker thread, so a supervisor can distinguish
+  "busy" from "wedged";
+- the parent **detects dead workers promptly**: liveness is checked per
+  ingested batch, whenever a bounded ``put`` blocks, and while waiting
+  for barrier replies — a crashed shard surfaces as a structured
+  :class:`~repro.service.errors.ShardCrashError` (with the exit code)
+  instead of a 2-minute timeout;
+- a :class:`~repro.service.faults.FaultPlan` can arm worker-side faults
+  (kill / stall at an exact shard-local packet index) and parent-side
+  injected drops, for deterministic chaos testing.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
 import threading
 import time
 from typing import Dict, List, Optional
@@ -45,7 +60,8 @@ from ..core.eardet import EARDet
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
-from .health import ShardHealth
+from .errors import ShardCrashError
+from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
 
 #: Packets per chunk shipped to a worker (amortizes queue/pickle costs).
 DEFAULT_CHUNK_SIZE = 2048
@@ -56,6 +72,17 @@ DEFAULT_QUEUE_CAPACITY = 8
 #: Seconds to wait for a worker reply before declaring it dead.
 REPLY_TIMEOUT_S = 120.0
 
+#: Poll granularity for blocking queue operations — the latency bound on
+#: noticing a dead worker while blocked.
+LIVENESS_POLL_S = 0.2
+
+#: After a worker is seen dead, how long to keep draining the results
+#: queue for a reply its feeder thread may already have in flight.
+DEAD_REPLY_GRACE_S = 2.0
+
+#: How often a worker's ticker thread refreshes its heartbeat slot.
+HEARTBEAT_INTERVAL_S = 0.5
+
 #: How often a worker's watchdog thread checks that its parent still
 #: exists.  A SIGKILL'd parent runs no cleanup (the daemon flag only
 #: covers normal interpreter exit), so without the watchdog crashed
@@ -63,11 +90,17 @@ REPLY_TIMEOUT_S = 120.0
 ORPHAN_POLL_S = 5.0
 
 
-class WorkerError(RuntimeError):
-    """A shard worker crashed; carries the worker's traceback."""
+class WorkerError(ShardCrashError):
+    """A shard worker crashed; carries the worker's traceback.
+
+    Pre-dates the structured taxonomy; kept as the exception workers'
+    in-band ``("error", ...)`` replies surface as.  It *is* a
+    :class:`~repro.service.errors.ShardCrashError`, so the supervisor
+    treats both identically.
+    """
 
 
-def _exit_when_orphaned(original_ppid):
+def _exit_when_orphaned(original_ppid, poll_s=None):
     """Watchdog loop: hard-exit the worker once its parent disappears.
 
     This runs in a daemon thread rather than as a timeout on the queue
@@ -84,29 +117,73 @@ def _exit_when_orphaned(original_ppid):
     ``os._exit`` skips interpreter teardown that could itself block on a
     dead peer.
     """
+    if poll_s is None:
+        poll_s = ORPHAN_POLL_S
     while True:
-        time.sleep(ORPHAN_POLL_S)
+        time.sleep(poll_s)
         if os.getppid() != original_ppid:
             os._exit(0)
 
 
-def _shard_worker(index, config, initial_state, in_queue, out_queue):
+def _heartbeat_ticker(heartbeat, index, interval_s):
+    """Refresh this worker's heartbeat slot even while the main thread is
+    blocked on an empty queue (idle != dead)."""
+    while True:
+        heartbeat[index] = time.monotonic()
+        time.sleep(interval_s)
+
+
+def _shard_worker(
+    index, config, initial_state, in_queue, out_queue, heartbeat, faults
+):
     """Worker loop: consume chunks until a stop message, answering
-    snapshot barriers in stream order."""
+    snapshot barriers in stream order.
+
+    ``faults`` is ``None`` or ``(kill_at, stall_at, stall_s)`` in
+    shard-local packet indices — the deterministic chaos hooks.  An
+    injected kill uses ``os._exit`` so the parent sees a genuinely dead
+    process (no cleanup, no in-band error message), exactly like a
+    segfault or an OOM kill.
+    """
     threading.Thread(
         target=_exit_when_orphaned, args=(os.getppid(),), daemon=True
     ).start()
+    if heartbeat is not None:
+        threading.Thread(
+            target=_heartbeat_ticker,
+            args=(heartbeat, index, HEARTBEAT_INTERVAL_S),
+            daemon=True,
+        ).start()
     try:
+        from .faults import KILL_EXIT_CODE
+
         detector = EARDet(config)
         if initial_state is not None:
             detector.restore(initial_state)
+        kill_at = stall_at = None
+        stall_s = 0.0
+        if faults is not None:
+            kill_at, stall_at, stall_s = faults
         while True:
             message = in_queue.get()
+            if heartbeat is not None:
+                heartbeat[index] = time.monotonic()
             kind = message[0]
             if kind == "packets":
                 observe = detector.observe
-                for time, size, fid in message[1]:
-                    observe(Packet(time, size, fid))
+                if kill_at is None and stall_at is None:
+                    for time_ns, size, fid in message[1]:
+                        observe(Packet(time_ns, size, fid))
+                else:
+                    stats = detector.stats
+                    for time_ns, size, fid in message[1]:
+                        position = stats.packets + 1
+                        if stall_at is not None and position >= stall_at:
+                            stall_at = None
+                            time.sleep(stall_s)
+                        if kill_at is not None and position >= kill_at:
+                            os._exit(KILL_EXIT_CODE)
+                        observe(Packet(time_ns, size, fid))
             elif kind == "snapshot":
                 out_queue.put(("snapshot", index, message[1], detector.snapshot()))
             elif kind == "stop":
@@ -138,6 +215,8 @@ class MultiprocessEngine:
         seed: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -160,10 +239,17 @@ class MultiprocessEngine:
         self._snapshot_token = 0
         self._initial_states: Optional[List[Dict[str, object]]] = None
         self._final_snapshot: Optional[Dict[str, object]] = None
+        self._plan = fault_plan
+        self._dead_letter = dead_letter
+        self._routed = [0] * shards
+        self._dropped = [0] * shards
+        self._first_loss: List[Optional[int]] = [None] * shards
+        self._loss_reason = [""] * shards
         self._context = multiprocessing.get_context()
         self._queues = None
         self._results = None
         self._processes = None
+        self._heartbeats = None
 
     # -- introspection -----------------------------------------------------
 
@@ -181,8 +267,9 @@ class MultiprocessEngine:
 
     @property
     def dropped(self) -> int:
-        """Always 0: the blocking bounded queues never shed load."""
-        return 0
+        """Packets shed parent-side (injected drop faults only; the
+        blocking bounded queues themselves never shed load)."""
+        return sum(self._dropped)
 
     @property
     def running(self) -> bool:
@@ -190,6 +277,49 @@ class MultiprocessEngine:
 
     def shard_of(self, fid: FlowId) -> int:
         return self._route(fid)
+
+    # -- liveness ----------------------------------------------------------
+
+    def dead_shards(self) -> List[int]:
+        """Indices of shard workers that have exited (empty if the fleet
+        is not running)."""
+        if self._processes is None:
+            return []
+        return [
+            index
+            for index, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
+
+    def check_workers(self) -> None:
+        """Raise :class:`ShardCrashError` for the first dead worker.
+
+        Called per ingested batch (and by the supervisor's monitor), so a
+        crash surfaces within one batch instead of at the next barrier.
+        Marks a pending injected kill as fired, so a supervised rebuild
+        of this plan does not re-arm it.
+        """
+        for index in self.dead_shards():
+            self._raise_dead(index)
+
+    def _raise_dead(self, index: int) -> None:
+        exit_code = self._processes[index].exitcode
+        if self._plan is not None:
+            self._plan.mark_kill_fired(index)
+        raise ShardCrashError(
+            f"shard {index} worker died (exit code {exit_code})",
+            shard=index,
+            exit_code=exit_code,
+        )
+
+    def heartbeat_ages(self) -> List[float]:
+        """Seconds since each shard's last heartbeat (zeros before the
+        fleet starts).  The supervisor compares these against its stall
+        timeout to catch wedged-but-alive workers."""
+        if self._heartbeats is None:
+            return [0.0] * self._shards
+        now = time.monotonic()
+        return [max(0.0, now - beat) for beat in self._heartbeats]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -203,9 +333,23 @@ class MultiprocessEngine:
             ctx.Queue(maxsize=self.queue_capacity) for _ in range(self._shards)
         ]
         self._results = ctx.Queue()
+        self._heartbeats = ctx.Array("d", self._shards, lock=False)
+        now = time.monotonic()
+        for index in range(self._shards):
+            self._heartbeats[index] = now
         initial = self._initial_states or [None] * self._shards
         self._processes = []
         for index in range(self._shards):
+            faults = None
+            if self._plan is not None:
+                kill_at = self._plan.kill_at(index)
+                stall = self._plan.stall_for(index)
+                if kill_at is not None or stall is not None:
+                    faults = (
+                        kill_at,
+                        stall.at if stall is not None else None,
+                        stall.duration_s if stall is not None else 0.0,
+                    )
             process = ctx.Process(
                 target=_shard_worker,
                 args=(
@@ -214,29 +358,63 @@ class MultiprocessEngine:
                     initial[index],
                     self._queues[index],
                     self._results,
+                    self._heartbeats,
+                    faults,
                 ),
                 daemon=True,
             )
             process.start()
             self._processes.append(process)
 
+    def _put(self, index: int, message) -> None:
+        """Bounded put that notices a dead consumer.
+
+        A plain ``Queue.put`` on a full queue whose worker died blocks
+        forever (the semaphore is only released by ``get``); polling with
+        a short timeout turns that hang into a :class:`ShardCrashError`
+        within ``LIVENESS_POLL_S``.
+        """
+        while True:
+            try:
+                self._queues[index].put(message, timeout=LIVENESS_POLL_S)
+                return
+            except queue_module.Full:
+                if not self._processes[index].is_alive():
+                    self._raise_dead(index)
+
     def ingest(self, batch: List[Packet]) -> None:
         """Route packets into per-shard staging buffers, shipping each
         buffer as a chunk once it fills (blocking on a full shard queue —
         the backpressure path)."""
         self._start()
+        if self._processes is not None:
+            self.check_workers()
         buffers = self._buffers
         route = self._route
+        routed = self._routed
         chunk_size = self.chunk_size
+        plan = self._plan
         for packet in batch:
             fid = packet.fid
             index = route(fid)
+            routed[index] += 1
+            if plan is not None and plan.should_drop(index, routed[index]):
+                self._record_loss(index, packet, "injected-drop")
+                continue
             buffer = buffers[index]
             buffer.append((packet.time, packet.size, fid))
             if len(buffer) >= chunk_size:
-                self._queues[index].put(("packets", buffer))
+                self._put(index, ("packets", buffer))
                 buffers[index] = []
         self._accepted += len(batch)
+
+    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+        self._dropped[index] += 1
+        if self._first_loss[index] is None:
+            self._first_loss[index] = packet.time
+            self._loss_reason[index] = reason
+        if self._dead_letter is not None:
+            self._dead_letter.record(packet, index, reason)
 
     def flush(self) -> None:
         """Ship all staged partial chunks to the workers.
@@ -249,7 +427,7 @@ class MultiprocessEngine:
             return
         for index, buffer in enumerate(self._buffers):
             if buffer:
-                self._queues[index].put(("packets", buffer))
+                self._put(index, ("packets", buffer))
                 self._buffers[index] = []
 
     def close(self) -> Dict[str, object]:
@@ -262,8 +440,8 @@ class MultiprocessEngine:
             # per-shard states.
             self._start()
         self.flush()
-        for queue in self._queues:
-            queue.put(("stop",))
+        for index in range(self._shards):
+            self._put(index, ("stop",))
         states = self._collect("done")
         for process in self._processes:
             process.join(timeout=REPLY_TIMEOUT_S)
@@ -273,21 +451,29 @@ class MultiprocessEngine:
         self._processes = None
         self._queues = None
         self._results = None
+        self._heartbeats = None
         self._final_snapshot = self._assemble(states)
         return self._final_snapshot
 
     def terminate(self) -> None:
-        """Hard-kill workers (crash simulation / emergency shutdown);
-        discards in-flight state."""
+        """Hard-kill workers (crash recovery / emergency shutdown);
+        discards in-flight state.  Safe to call when some — or all —
+        workers have already died, and idempotent."""
         if self._processes is None:
             return
         for process in self._processes:
-            process.terminate()
+            if process.is_alive():
+                process.terminate()
         for process in self._processes:
             process.join(timeout=REPLY_TIMEOUT_S)
+        for queue in self._queues:
+            queue.close()
+        if self._results is not None:
+            self._results.close()
         self._processes = None
         self._queues = None
         self._results = None
+        self._heartbeats = None
 
     # -- checkpointing -----------------------------------------------------
 
@@ -299,8 +485,8 @@ class MultiprocessEngine:
         self.flush()
         self._snapshot_token += 1
         token = self._snapshot_token
-        for queue in self._queues:
-            queue.put(("snapshot", token))
+        for index in range(self._shards):
+            self._put(index, ("snapshot", token))
         states = self._collect("snapshot", token)
         return self._assemble(states)
 
@@ -323,22 +509,53 @@ class MultiprocessEngine:
             )
         self._initial_states = list(state["shards"])
         self._accepted = state["accepted"]
+        self._dropped = list(state.get("dropped") or [0] * self._shards)
+        self._first_loss = list(
+            state.get("first_loss") or [None] * self._shards
+        )
+        self._loss_reason = list(state.get("loss_reason") or [""] * self._shards)
+        self._routed = [
+            shard_state["stats"]["packets"] + dropped
+            for shard_state, dropped in zip(
+                self._initial_states, self._dropped
+            )
+        ]
 
     def _collect(self, kind: str, token: Optional[int] = None) -> List:
         """Gather one ``kind`` reply per shard from the shared result
-        queue, surfacing worker crashes as :class:`WorkerError`."""
+        queue, surfacing worker crashes as structured errors.
+
+        Polls with a short timeout so a worker that dies while we wait is
+        noticed in ``LIVENESS_POLL_S + DEAD_REPLY_GRACE_S`` (the grace
+        window lets a reply the dying worker's feeder thread already
+        flushed still arrive) instead of after ``REPLY_TIMEOUT_S``.
+        """
         states = [None] * self._shards
         pending = self._shards
+        deadline = time.monotonic() + REPLY_TIMEOUT_S
+        dead_grace: Dict[int, float] = {}
         while pending:
             try:
-                message = self._results.get(timeout=REPLY_TIMEOUT_S)
-            except Exception as error:
-                raise WorkerError(
-                    f"timed out waiting for {pending} worker replies"
-                ) from error
+                message = self._results.get(timeout=LIVENESS_POLL_S)
+            except queue_module.Empty:
+                now = time.monotonic()
+                if now > deadline:
+                    raise WorkerError(
+                        f"timed out waiting for {pending} worker replies"
+                    )
+                for index, process in enumerate(self._processes):
+                    if states[index] is not None or process.is_alive():
+                        continue
+                    expires = dead_grace.setdefault(
+                        index, now + DEAD_REPLY_GRACE_S
+                    )
+                    if now > expires:
+                        self._raise_dead(index)
+                continue
             if message[0] == "error":
                 raise WorkerError(
-                    f"shard {message[1]} crashed:\n{message[2]}"
+                    f"shard {message[1]} crashed:\n{message[2]}",
+                    shard=message[1],
                 )
             if message[0] != kind or (token is not None and message[2] != token):
                 # A stale reply from an earlier barrier; ignore.
@@ -354,7 +571,9 @@ class MultiprocessEngine:
             "seed": self._hash.seed,
             "shard_count": self._shards,
             "accepted": self._accepted,
-            "dropped": [0] * self._shards,
+            "dropped": list(self._dropped),
+            "first_loss": list(self._first_loss),
+            "loss_reason": list(self._loss_reason),
             "shards": states,
         }
 
@@ -392,10 +611,23 @@ class MultiprocessEngine:
                     queue_capacity=self.queue_capacity,
                     detections=len(shard_state["sink"]),
                     blacklist_size=len(shard_state["blacklist"]),
-                    dropped=0,
+                    dropped=self._dropped[index],
                 )
             )
         return samples
+
+    def envelope(self) -> List[ExactnessEnvelope]:
+        """Per-shard exactness (see :class:`InProcessEngine.envelope`)."""
+        return [
+            ExactnessEnvelope(
+                shard=index,
+                exact=self._dropped[index] == 0,
+                lost_packets=self._dropped[index],
+                first_loss_time_ns=self._first_loss[index],
+                reason=self._loss_reason[index],
+            )
+            for index in range(self._shards)
+        ]
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,780 @@
+"""Fault tolerance: deterministic fault injection, supervised restart
+from checkpoints, graceful degradation, and the exactness envelope.
+
+The seed of the chaos stream honors ``EARDET_CHAOS_SEED`` so the CI chaos
+job can sweep several packet streams; every fault itself triggers at an
+exact packet index, so any failure here reproduces bit for bit by
+re-running with the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import EARDetConfig
+from repro.model.packet import Packet
+from repro.service import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointFault,
+    DeadLetterSink,
+    DetectionService,
+    FaultPlan,
+    FaultySource,
+    InProcessEngine,
+    MultiprocessEngine,
+    PermanentSourceError,
+    QueueStallError,
+    RestartBudgetExceededError,
+    RestartPolicy,
+    RetryingSource,
+    ShardCrashError,
+    ShardFault,
+    SourceFault,
+    StreamSource,
+    Supervisor,
+    TransientSourceError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.service.faults import KILL_EXIT_CODE
+from repro.service.supervisor import _source_retries
+
+CONFIG = EARDetConfig(
+    rho=1_000_000, n=8, beta_th=3000, alpha=1518, beta_l=1000, gamma_l=50_000
+)
+
+#: The CI chaos job sweeps this (see .github/workflows/ci.yml).
+CHAOS_SEED = int(os.environ.get("EARDET_CHAOS_SEED", "7"))
+
+
+def make_packets(count=5000, heavy_share=0.1, seed=CHAOS_SEED, flows=50):
+    """Same mixed stream as tests/test_service.py: many small flows plus
+    one heavy flow, seeded for reproducible chaos."""
+    rng = random.Random(seed)
+    packets = []
+    time = 0
+    for _ in range(count):
+        time += rng.randint(100, 40_000)
+        if rng.random() < heavy_share:
+            fid = "heavy"
+        else:
+            fid = f"flow-{rng.randint(0, flows - 1)}"
+        packets.append(
+            Packet(time=time, size=rng.randint(40, 1518), fid=fid)
+        )
+    return packets
+
+
+def baseline_report(packets, shards=2, seed=0):
+    """The unfailed reference run every recovery test compares against."""
+    service = DetectionService(CONFIG, shards=shards, seed=seed)
+    report = service.serve(StreamSource(packets))
+    service.shutdown()
+    return report
+
+
+def quiet_supervisor(**kwargs):
+    """A Supervisor with instant backoff (tests never really sleep)."""
+    kwargs.setdefault("policy", RestartPolicy(backoff_initial_s=0.0))
+    kwargs.setdefault("sleep", lambda _s: None)
+    return Supervisor(CONFIG, **kwargs)
+
+
+# ---------------------------------------------------------------- the plan
+
+
+class TestFaultPlan:
+    def test_parse_round_trips_through_describe(self):
+        spec = (
+            "kill:shard=1,at=5000;stall:shard=0,at=2000,secs=0.25;"
+            "drop:shard=1,at=4000,count=50;source:kind=transient,at=3000;"
+            "ckpt:after=2,mode=truncate;seed:42"
+        )
+        plan = FaultPlan.parse(spec)
+        assert plan.seed == 42
+        assert len(plan.shard_faults) == 3
+        assert len(plan.source_faults) == 1
+        assert len(plan.checkpoint_faults) == 1
+        assert FaultPlan.parse(plan.describe() + ";seed:42").describe() == (
+            plan.describe()
+        )
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan([ShardFault("kill", shard=0, at=1)])
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:shard=0,at=1",       # unknown kind
+            "kill shard=0",                # no colon
+            "kill:shard=0",                # missing at
+            "kill:shard0,at=1",            # bad field syntax
+            "drop:shard=0,at=0",           # at must be >= 1
+            "drop:shard=0,at=1,count=0",   # count must be >= 1
+            "kill:shard=-1,at=1",          # negative shard
+            "source:kind=weird,at=1",      # bad source kind
+            "ckpt:after=0",                # after must be >= 1
+            "ckpt:after=1,mode=eat",       # bad mode
+        ],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            ShardFault("frob", shard=0, at=1)
+        with pytest.raises(ValueError):
+            SourceFault("sometimes", at=1)
+        with pytest.raises(ValueError):
+            CheckpointFault(after=1, mode="gnaw")
+
+    def test_kill_fires_once(self):
+        plan = FaultPlan([ShardFault("kill", shard=0, at=10)])
+        assert plan.take_kill(0, 9) is None
+        assert plan.take_kill(1, 10) is None  # wrong shard
+        assert plan.take_kill(0, 10) is not None
+        assert plan.take_kill(0, 11) is None  # already fired
+
+    def test_drop_window_is_positional_and_idempotent(self):
+        plan = FaultPlan([ShardFault("drop", shard=0, at=5, count=3)])
+        dropped = [i for i in range(1, 11) if plan.should_drop(0, i)]
+        assert dropped == [5, 6, 7]
+        # Re-querying the same window drops the same packets (replay).
+        assert [i for i in range(1, 11) if plan.should_drop(0, i)] == dropped
+
+    def test_transient_source_fault_fires_once_permanent_forever(self):
+        plan = FaultPlan(
+            [SourceFault("transient", at=3), SourceFault("permanent", at=8)]
+        )
+        assert plan.source_fault_at(3) is not None
+        assert plan.source_fault_at(3) is None
+        assert plan.source_fault_at(8) is not None
+        assert plan.source_fault_at(8) is not None
+
+    @pytest.mark.parametrize("mode", ["flip", "truncate", "zero"])
+    def test_checkpoint_corruption_is_detected_on_read(self, tmp_path, mode):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, {"meta": {"packets": 5}, "engine": {}})
+        plan = FaultPlan([CheckpointFault(after=1, mode=mode)], seed=CHAOS_SEED)
+        assert plan.corrupt_checkpoint(path, 1) == mode
+        assert plan.corrupt_checkpoint(path, 1) is None  # fired
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+# ---------------------------------------------------------------- sources
+
+
+class TestFaultySource:
+    def test_raises_after_exact_position(self):
+        packets = make_packets(100)
+        plan = FaultPlan([SourceFault("transient", at=40)])
+        source = FaultySource(StreamSource(packets), plan)
+        got = []
+        with pytest.raises(TransientSourceError) as exc:
+            for packet in source.iter_packets():
+                got.append(packet)
+        assert exc.value.position == 40
+        assert got == packets[:40]
+        # Transient: the replay is clean.
+        assert list(source.iter_packets()) == packets
+
+    def test_permanent_fault_fires_on_every_replay(self):
+        packets = make_packets(50)
+        plan = FaultPlan([SourceFault("permanent", at=20)])
+        source = FaultySource(StreamSource(packets), plan)
+        for _ in range(2):
+            with pytest.raises(PermanentSourceError) as exc:
+                list(source.iter_packets())
+            assert exc.value.position == 20
+
+
+class TestRetryingSource:
+    def test_absorbs_transient_failures_invisibly(self):
+        packets = make_packets(200)
+        plan = FaultPlan([SourceFault("transient", at=80)])
+        source = RetryingSource(
+            FaultySource(StreamSource(packets), plan), sleep=lambda _s: None
+        )
+        assert list(source.iter_packets()) == packets
+        assert source.retries == 1
+        assert _source_retries(source) == 1
+
+    def test_escalates_to_permanent_when_budget_exhausted(self):
+        packets = make_packets(50)
+
+        class AlwaysFailing(StreamSource):
+            def iter_packets(self):
+                raise TransientSourceError("flaky link", position=0)
+                yield  # pragma: no cover
+
+        source = RetryingSource(
+            AlwaysFailing(packets), max_retries=2, sleep=lambda _s: None
+        )
+        with pytest.raises(PermanentSourceError):
+            list(source.iter_packets())
+        assert source.retries == 3  # initial try + 2 retries, all absorbed
+
+    def test_non_replayable_inner_escalates_immediately(self):
+        packets = make_packets(30)
+        plan = FaultPlan([SourceFault("transient", at=10)])
+        inner = FaultySource(StreamSource(iter(packets)), plan)
+        source = RetryingSource(inner, sleep=lambda _s: None)
+        assert not source.replayable
+        with pytest.raises(PermanentSourceError):
+            list(source.iter_packets())
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            RetryingSource(StreamSource([]), max_retries=-1)
+
+
+# ------------------------------------------------- in-process engine faults
+
+
+class TestInProcessEngineFaults:
+    def test_injected_kill_raises_shard_crash_once(self):
+        packets = make_packets(1000)
+        plan = FaultPlan([ShardFault("kill", shard=0, at=1)])
+        engine = InProcessEngine(CONFIG, shards=1, fault_plan=plan)
+        with pytest.raises(ShardCrashError) as exc:
+            engine.ingest(packets)
+        assert exc.value.shard == 0
+        # Fired: the same engine keeps working afterwards.
+        engine.ingest(packets[:10])
+        engine.flush()
+
+    def test_injected_drop_marks_envelope_with_first_loss(self):
+        packets = make_packets(3000)
+        at, count = 100, 25
+        plan = FaultPlan([ShardFault("drop", shard=0, at=at, count=count)])
+        sink = DeadLetterSink()
+        engine = InProcessEngine(
+            CONFIG, shards=2, fault_plan=plan, dead_letter=sink
+        )
+        engine.ingest(packets)
+        engine.flush()
+
+        # Recompute the routing to find the 100th packet of shard 0.
+        reference = InProcessEngine(CONFIG, shards=2)
+        arrivals = 0
+        expected_first_loss = None
+        for packet in packets:
+            if reference.shard_of(packet.fid) == 0:
+                arrivals += 1
+                if arrivals == at:
+                    expected_first_loss = packet.time
+                    break
+        assert expected_first_loss is not None
+
+        envelope = {entry.shard: entry for entry in engine.envelope()}
+        assert not envelope[0].exact
+        assert envelope[0].lost_packets == count
+        assert envelope[0].first_loss_time_ns == expected_first_loss
+        assert envelope[0].reason == "injected-drop"
+        assert envelope[1].exact
+        assert envelope[1].lost_packets == 0
+        assert sink.total == count
+        assert sink.entries[0].reason == "injected-drop"
+        assert sink.entries[0].time_ns == expected_first_loss
+
+    def test_stall_fires_once(self):
+        plan = FaultPlan(
+            [ShardFault("stall", shard=0, at=1, duration_s=0.001)]
+        )
+        engine = InProcessEngine(CONFIG, shards=1, fault_plan=plan)
+        engine.ingest(make_packets(10))
+        assert plan.shard_faults[0].fired
+        engine.flush()
+
+    def test_loss_state_survives_snapshot_restore(self):
+        plan = FaultPlan([ShardFault("drop", shard=0, at=1, count=2)])
+        engine = InProcessEngine(CONFIG, shards=1, fault_plan=plan)
+        engine.ingest(make_packets(50))
+        snapshot = engine.snapshot()
+        restored = InProcessEngine(CONFIG, shards=1)
+        restored.restore(snapshot)
+        (entry,) = restored.envelope()
+        assert not entry.exact
+        assert entry.lost_packets == 2
+        assert entry.reason == "injected-drop"
+
+    def test_pre_fault_snapshots_still_restore(self):
+        """Checkpoints written before the fault-tolerance layer carry no
+        loss keys; restore must default them (format is still v1)."""
+        engine = InProcessEngine(CONFIG, shards=1)
+        engine.ingest(make_packets(50))
+        snapshot = engine.snapshot()
+        del snapshot["first_loss"], snapshot["loss_reason"]
+        restored = InProcessEngine(CONFIG, shards=1)
+        restored.restore(snapshot)
+        (entry,) = restored.envelope()
+        assert entry.exact and entry.first_loss_time_ns is None
+
+
+# ------------------------------------------------------- supervised restart
+
+
+class TestSupervisedRecovery:
+    def test_kill_then_restart_from_checkpoint_is_bit_identical(
+        self, tmp_path
+    ):
+        """The acceptance chaos test: kill a shard mid-stream; the
+        supervisor restarts from the last checkpoint and replays the
+        suffix; detections (flow ids AND timestamps) match the unfailed
+        run exactly and the envelope stays exact."""
+        packets = make_packets(5000)
+        reference = baseline_report(packets)
+        supervisor = quiet_supervisor(
+            shards=2,
+            checkpoint_path=str(tmp_path / "svc.ckpt"),
+            checkpoint_every=1000,
+            batch_size=256,
+            fault_plan=FaultPlan.parse("kill:shard=1,at=1200"),
+        )
+        report = supervisor.run(StreamSource(packets))
+        assert report.detections == reference.detections
+        assert report.restarts == 1
+        assert report.exact
+        assert all(entry.exact for entry in report.envelope)
+        assert any("recovered from checkpoint" in i for i in report.incidents)
+        assert report.packets == len(packets)
+
+    def test_kill_without_checkpoint_replays_from_scratch(self):
+        packets = make_packets(4000)
+        reference = baseline_report(packets)
+        supervisor = quiet_supervisor(
+            shards=2,
+            batch_size=256,
+            fault_plan=FaultPlan.parse("kill:shard=0,at=700"),
+        )
+        report = supervisor.run(StreamSource(packets))
+        assert report.detections == reference.detections
+        assert report.restarts == 1
+        assert report.exact
+        assert any("no checkpoint" in i for i in report.incidents)
+
+    def test_corrupt_checkpoint_falls_back_to_from_scratch_replay(
+        self, tmp_path
+    ):
+        """A checkpoint damaged on disk must not poison recovery: resume
+        fails its CRC, the supervisor logs it and replays from scratch —
+        still exact."""
+        packets = make_packets(5000)
+        reference = baseline_report(packets, shards=1)
+        supervisor = quiet_supervisor(
+            shards=1,
+            checkpoint_path=str(tmp_path / "svc.ckpt"),
+            checkpoint_every=1000,
+            batch_size=256,
+            fault_plan=FaultPlan.parse(
+                f"ckpt:after=1,mode=truncate;kill:shard=0,at=2000;"
+                f"seed:{CHAOS_SEED}"
+            ),
+        )
+        report = supervisor.run(StreamSource(packets))
+        assert report.detections == reference.detections
+        assert report.restarts == 1
+        assert report.exact
+        assert any("checkpoint unusable" in i for i in report.incidents)
+
+    def test_restart_budget_exceeded_raises(self):
+        packets = make_packets(2000)
+        plan = FaultPlan(
+            [
+                ShardFault("kill", shard=0, at=100),
+                ShardFault("kill", shard=0, at=200),
+            ]
+        )
+        supervisor = quiet_supervisor(
+            shards=1,
+            batch_size=64,
+            policy=RestartPolicy(max_restarts=1, backoff_initial_s=0.0),
+            fault_plan=plan,
+        )
+        with pytest.raises(RestartBudgetExceededError) as exc:
+            supervisor.run(StreamSource(packets))
+        assert exc.value.restarts == 1
+        assert isinstance(exc.value.last_cause, ShardCrashError)
+
+    def test_injected_drops_degrade_exactly_the_affected_shards(self):
+        packets = make_packets(4000)
+        at, count = 50, 30
+        supervisor = quiet_supervisor(
+            shards=2,
+            batch_size=256,
+            fault_plan=FaultPlan(
+                [ShardFault("drop", shard=1, at=at, count=count)]
+            ),
+        )
+        report = supervisor.run(StreamSource(packets))
+        assert report.restarts == 0
+        assert not report.exact
+        envelope = {entry.shard: entry for entry in report.envelope}
+        assert envelope[1].lost_packets == count
+        assert not envelope[1].exact
+        assert envelope[0].exact
+        assert report.dead_letters == count
+        rendered = report.render()
+        assert "shard 1 DEGRADED" in rendered
+        assert f"{count} lost" in rendered
+
+    def test_permanent_source_failure_degrades_with_truncation_reason(self):
+        packets = make_packets(3000)
+        cut = 1500
+        plan = FaultPlan([SourceFault("permanent", at=cut)])
+        supervisor = quiet_supervisor(shards=2, batch_size=256, fault_plan=plan)
+        report = supervisor.run(FaultySource(StreamSource(packets), plan))
+        assert report.packets == cut
+        assert not report.exact
+        assert all(not entry.exact for entry in report.envelope)
+        assert all(
+            f"permanent source failure at packet {cut}" in entry.reason
+            for entry in report.envelope
+        )
+        assert any("permanent source failure" in i for i in report.incidents)
+        # The prefix the service did see was processed exactly.
+        prefix = baseline_report(packets[:cut])
+        assert report.detections == prefix.detections
+
+    def test_transient_source_absorbed_by_retry_wrapper(self):
+        packets = make_packets(3000)
+        reference = baseline_report(packets)
+        plan = FaultPlan([SourceFault("transient", at=1000)])
+        supervisor = quiet_supervisor(shards=2, batch_size=256, fault_plan=plan)
+        source = RetryingSource(
+            FaultySource(StreamSource(packets), plan), sleep=lambda _s: None
+        )
+        report = supervisor.run(source)
+        assert report.detections == reference.detections
+        assert report.exact
+        assert report.restarts == 0
+        assert report.source_retries == 1
+
+    def test_rejects_non_replayable_source(self):
+        supervisor = quiet_supervisor()
+        with pytest.raises(PermanentSourceError):
+            supervisor.run(StreamSource(iter(make_packets(10))))
+
+    def test_heartbeat_monitor_raises_queue_stall(self):
+        class WedgedEngine:
+            def check_workers(self):
+                pass
+
+            def heartbeat_ages(self):
+                return [0.0, 99.0]
+
+        class FakeService:
+            engine = WedgedEngine()
+
+        supervisor = quiet_supervisor(heartbeat_timeout_s=1.0)
+        with pytest.raises(QueueStallError) as exc:
+            supervisor._monitor(FakeService())
+        assert exc.value.shard == 1
+        assert exc.value.stalled_s == 99.0
+
+    def test_restart_policy_backoff_caps(self):
+        policy = RestartPolicy(
+            backoff_initial_s=0.1, backoff_factor=10.0, backoff_max_s=2.0
+        )
+        assert policy.delay_s(0) == pytest.approx(0.1)
+        assert policy.delay_s(1) == pytest.approx(1.0)
+        assert policy.delay_s(5) == pytest.approx(2.0)  # capped
+
+
+# ------------------------------------------------------ multiprocess chaos
+
+
+@pytest.mark.slow
+class TestMultiprocessFaults:
+    def test_worker_kill_surfaces_as_shard_crash(self):
+        plan = FaultPlan([ShardFault("kill", shard=0, at=1)])
+        engine = MultiprocessEngine(
+            CONFIG, shards=2, chunk_size=16, fault_plan=plan
+        )
+        try:
+            with pytest.raises(ShardCrashError) as exc:
+                for start in range(0, 2000, 100):
+                    engine.ingest(make_packets(2000)[start : start + 100])
+                engine.snapshot()
+            assert exc.value.shard == 0
+            assert exc.value.exit_code == KILL_EXIT_CODE
+            assert plan.shard_faults[0].fired
+            assert 0 in engine.dead_shards()
+        finally:
+            engine.terminate()
+
+    def test_terminate_after_worker_death_is_safe_and_idempotent(self):
+        plan = FaultPlan([ShardFault("kill", shard=1, at=1)])
+        engine = MultiprocessEngine(
+            CONFIG, shards=2, chunk_size=8, fault_plan=plan
+        )
+        with pytest.raises(ShardCrashError):
+            engine.ingest(make_packets(200))
+            engine.snapshot()
+        engine.terminate()
+        assert not engine.running
+        engine.terminate()  # idempotent
+
+    def test_supervised_mp_kill_restart_is_bit_identical(self, tmp_path):
+        packets = make_packets(5000)
+        reference = baseline_report(packets)
+        supervisor = quiet_supervisor(
+            shards=2,
+            engine="multiprocess",
+            checkpoint_path=str(tmp_path / "mp.ckpt"),
+            checkpoint_every=1000,
+            batch_size=512,
+            fault_plan=FaultPlan.parse("kill:shard=1,at=1500"),
+        )
+        try:
+            report = supervisor.run(StreamSource(packets))
+        finally:
+            supervisor.shutdown()
+        assert report.detections == reference.detections
+        assert report.restarts == 1
+        assert report.exact
+
+    def test_heartbeat_ages_track_live_workers(self):
+        engine = MultiprocessEngine(CONFIG, shards=2)
+        assert engine.heartbeat_ages() == [0.0, 0.0]  # not started
+        try:
+            engine.ingest(make_packets(100))
+            ages = engine.heartbeat_ages()
+            assert len(ages) == 2
+            assert all(0.0 <= age < 30.0 for age in ages)
+        finally:
+            engine.terminate()
+
+
+# --------------------------------------------------------- orphan watchdog
+
+
+def _watchdog_victim(fake_ppid):
+    from repro.service.workers import _exit_when_orphaned
+
+    # The fake "parent" pid never matches os.getppid(), so the watchdog
+    # must exit this process on its first poll.
+    _exit_when_orphaned(fake_ppid, poll_s=0.01)
+    os._exit(86)  # pragma: no cover - unreachable if the watchdog works
+
+
+@pytest.mark.slow
+class TestOrphanWatchdog:
+    def test_exits_when_parent_pid_changes(self):
+        process = multiprocessing.get_context().Process(
+            target=_watchdog_victim, args=(-1,)
+        )
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+
+    def test_keeps_running_while_parent_matches(self):
+        import threading
+
+        from repro.service.workers import _exit_when_orphaned
+
+        # In-thread: with the real ppid the loop never exits; give it a
+        # few polls then verify the thread is still alive.
+        thread = threading.Thread(
+            target=_exit_when_orphaned,
+            args=(os.getppid(),),
+            kwargs={"poll_s": 0.005},
+            daemon=True,
+        )
+        thread.start()
+        thread.join(timeout=0.05)
+        assert thread.is_alive()
+
+
+# ------------------------------------------------- checkpoint forensics
+
+
+class TestCheckpointCorruptForensics:
+    def _valid_checkpoint(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(
+            path, {"meta": {"packets": 10}, "engine": {"shards": []}}
+        )
+        return path
+
+    def test_zero_byte_file(self, tmp_path):
+        path = self._valid_checkpoint(tmp_path)
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorruptError) as exc:
+            read_checkpoint(path)
+        assert exc.value.offset == 0
+
+    def test_truncated_file_reports_offset(self, tmp_path):
+        path = self._valid_checkpoint(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError) as exc:
+            read_checkpoint(path)
+        assert exc.value.offset == len(data) // 2
+
+    def test_crc_mismatch_reports_both_crcs(self, tmp_path):
+        path = self._valid_checkpoint(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0xFF  # flip one payload byte; header stays intact
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError) as exc:
+            read_checkpoint(path)
+        assert exc.value.expected_crc is not None
+        assert exc.value.actual_crc is not None
+        assert exc.value.expected_crc != exc.value.actual_crc
+
+    def test_corrupt_is_a_checkpoint_error(self):
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+    def test_bad_magic_is_not_corrupt(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_bytes(b"GIF89a" + b"\x00" * 32)
+        with pytest.raises(CheckpointError) as exc:
+            read_checkpoint(path)
+        assert not isinstance(exc.value, CheckpointCorruptError)
+
+
+# --------------------------------------------------------------- reporting
+
+
+class TestReportRendering:
+    def test_render_survives_non_integer_timestamps(self):
+        from repro.service import ServiceReport
+
+        report = ServiceReport(
+            packets=3,
+            duration_s=1.0,
+            detections={"a": 5_000_000, "b": None, "c": "later"},
+        )
+        rendered = report.render()
+        assert "large flow 'a' at 0.005000s" in rendered
+        assert "'b'" in rendered and "'c'" in rendered
+        # Numeric timestamps sort first, in time order.
+        assert rendered.index("'a'") < rendered.index("'b'")
+
+    def test_render_reports_idle_instead_of_zero_rate(self):
+        from repro.service import ServiceReport
+
+        report = ServiceReport(packets=0, duration_s=0.0, detections={})
+        assert "idle" in report.render()
+        assert "0 pkt/s" not in report.render()
+
+    def test_as_dict_is_json_serializable_with_string_keys(self):
+        from repro.model.packet import FiveTuple
+        from repro.service import ServiceReport
+
+        fid = FiveTuple(1, 2, 3, 4, 5)
+        report = ServiceReport(
+            packets=10, duration_s=2.0, detections={fid: 1234}
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["detections"] == {str(fid): 1234}
+        assert payload["packets_per_second"] == pytest.approx(5.0)
+        assert payload["exact"] is True
+
+    def test_dead_letter_sink_counts_exactly_beyond_capacity(self):
+        sink = DeadLetterSink(capacity=3)
+        for index in range(10):
+            sink.record(Packet(time=index, size=100, fid="f"), 0, "overflow")
+        assert sink.total == 10 == len(sink)
+        assert len(sink.entries) == 3
+        payload = sink.as_dict()
+        assert payload["total"] == 10
+        assert payload["retained"] == 3
+
+
+# --------------------------------------------------------------- the CLI
+
+
+class TestFaultCli:
+    def _write_trace(self, tmp_path, count=4000):
+        from repro.traffic.trace_io import write_csv
+
+        path = tmp_path / "trace.csv"
+        write_csv(path, make_packets(count))
+        return path
+
+    BASE = [
+        "--rho", "1000000", "--gamma-l", "25000", "--beta-l", "1000",
+        "--gamma-h", "200000",
+    ]
+
+    def test_serve_fault_plan_drop_json_reports_degraded(
+        self, tmp_path, capsys
+    ):
+        path = self._write_trace(tmp_path)
+        code = main(
+            ["serve", "--trace", str(path), *self.BASE, "--shards", "2",
+             "--fault-plan", "drop:shard=0,at=10,count=5", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["exact"] is False
+        assert payload["dropped"] == 5
+        degraded = [e for e in payload["envelope"] if not e["exact"]]
+        assert [e["shard"] for e in degraded] == [0]
+        assert degraded[0]["lost_packets"] == 5
+
+    def test_serve_supervise_recovers_identically(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["serve", "--trace", str(path), *self.BASE,
+                     "--shards", "2"]) == 0
+        reference_out = capsys.readouterr().out
+
+        ckpt = tmp_path / "svc.ckpt"
+        assert main(
+            ["serve", "--trace", str(path), *self.BASE, "--shards", "2",
+             "--supervise", "--checkpoint", str(ckpt),
+             "--checkpoint-every", "1000",
+             "--fault-plan", "kill:shard=0,at=800"]
+        ) == 0
+        supervised_out = capsys.readouterr().out
+        assert "supervised restarts: 1" in supervised_out
+
+        def detections(text):
+            return sorted(
+                line.strip() for line in text.splitlines()
+                if line.strip().startswith("large flow")
+            )
+
+        assert detections(supervised_out) == detections(reference_out)
+        assert detections(supervised_out)
+
+    def test_serve_rejects_bad_fault_plan(self, tmp_path):
+        path = self._write_trace(tmp_path, count=10)
+        with pytest.raises(SystemExit):
+            main(["serve", "--trace", str(path), *self.BASE,
+                  "--fault-plan", "explode:now=yes"])
+
+    def test_supervise_conflicts_with_resume(self, tmp_path):
+        path = self._write_trace(tmp_path, count=10)
+        with pytest.raises(SystemExit):
+            main(["serve", "--trace", str(path), *self.BASE,
+                  "--supervise", "--resume"])
+
+    def test_checkpoint_inspect_corrupt_file_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "bad.ckpt"
+        write_checkpoint(ckpt, {"meta": {"packets": 1}, "engine": {}})
+        ckpt.write_bytes(ckpt.read_bytes()[:8])
+        with pytest.raises(SystemExit) as exc:
+            main(["checkpoint", "inspect", "--checkpoint", str(ckpt)])
+        assert exc.value.code not in (0, None)
+
+    def test_checkpoint_inspect_missing_file_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["checkpoint", "inspect", "--checkpoint",
+                  str(tmp_path / "nope.ckpt")])
+        assert exc.value.code not in (0, None)
