@@ -1,0 +1,108 @@
+"""Guard overhead: validated + invariant-checked vs bare detection.
+
+Quantifies what docs/GUARDRAILS.md promises: the ingest validator and a
+*sampled* invariant checker cost little on the packet path, and even the
+paranoid every-packet sweep stays within a small multiple.  Four
+configurations over the same seeded stream:
+
+- ``bare``          — EARDet alone (the baseline);
+- ``validated``     — EARDet behind a reordering StreamValidator;
+- ``guarded-64``    — validator + InvariantChecker(every=64);
+- ``guarded-1``     — validator + InvariantChecker(every=1), the
+  worst case (a full O(n) sweep per packet).
+
+Run ``python -m pytest benchmarks/bench_guard.py --benchmark-only`` and
+compare means; the ``overhead_vs_bare`` extra_info field records the
+ratio for the docs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import EARDetConfig
+from repro.core.eardet import EARDet
+from repro.guard import GuardPolicy, InvariantChecker, StreamValidator
+from repro.model.packet import Packet
+
+CONFIG = EARDetConfig(
+    rho=1_000_000_000, n=107, beta_th=6991, alpha=1518, beta_l=6072,
+    gamma_l=25_000,
+)
+
+PACKET_COUNT = 50_000
+
+
+@pytest.fixture(scope="module")
+def packets():
+    """A seeded mixed stream with a pinch of disorder for the validator
+    to chew on (matching what a real capture feeds it)."""
+    rng = random.Random(7)
+    result = []
+    time = 0
+    for index in range(PACKET_COUNT):
+        time += rng.randint(100, 3_000)
+        jitter = rng.randint(0, 200) if rng.random() < 0.01 else 0
+        result.append(
+            Packet(
+                time=max(0, time - jitter),
+                size=rng.randint(40, 1518),
+                fid=rng.randrange(500),
+            )
+        )
+    return result
+
+
+def _ordered(packets):
+    # The baseline must see an ordered stream too, so pre-sort once and
+    # time only the detector.
+    detector = EARDet(CONFIG)
+    observe = detector.observe
+    for packet in packets:
+        observe(packet)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def ordered_packets(packets):
+    return sorted(packets, key=lambda p: p.time)
+
+
+def test_guard_bare_baseline(benchmark, ordered_packets):
+    detector = benchmark(lambda: _ordered(ordered_packets))
+    benchmark.extra_info["packets"] = PACKET_COUNT
+    assert detector.stats.packets == PACKET_COUNT
+
+
+def test_guard_validator_only(benchmark, packets):
+    def run():
+        detector = EARDet(CONFIG)
+        observe = detector.observe
+        validator = StreamValidator(GuardPolicy.reordering(64))
+        for packet in validator.iter_validated(packets):
+            observe(packet)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["packets"] = PACKET_COUNT
+    assert detector.stats.packets == PACKET_COUNT
+
+
+@pytest.mark.parametrize(
+    "every", [256, 64, 1], ids=["sampled-256", "sampled-64", "every-packet"]
+)
+def test_guard_full(benchmark, packets, every):
+    def run():
+        detector = EARDet(CONFIG).attach_checker(InvariantChecker(every))
+        observe = detector.observe
+        validator = StreamValidator(GuardPolicy.reordering(64))
+        for packet in validator.iter_validated(packets):
+            observe(packet)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["packets"] = PACKET_COUNT
+    benchmark.extra_info["invariant_every"] = every
+    assert detector.checker.checks_run == PACKET_COUNT // every

@@ -60,9 +60,19 @@ class ExperimentRunner:
     high/low thresholds and shared across detectors.
     """
 
-    def __init__(self, high: ThresholdFunction, low: ThresholdFunction):
+    def __init__(
+        self,
+        high: ThresholdFunction,
+        low: ThresholdFunction,
+        validator=None,
+    ):
         self.high = high
         self.low = low
+        #: Optional :class:`~repro.guard.StreamValidator` screening every
+        #: scenario stream before detectors see it (synthetic generators
+        #: should already be clean — this is a tripwire for generator
+        #: bugs, not a repair layer; pair with a strict policy).
+        self.validator = validator
         self._factories: Dict[str, DetectorFactory] = {}
 
     def register(self, name: str, factory: DetectorFactory) -> "ExperimentRunner":
@@ -105,8 +115,11 @@ class ExperimentRunner:
         attack_start_times: Optional[Dict[FlowId, int]] = None,
     ) -> RunResult:
         """Run a single detector instance over a scenario and score it."""
+        stream = scenario.stream
+        if self.validator is not None:
+            stream = self.validator.validate(list(stream))
         started = _time.perf_counter()
-        detector.observe_stream(scenario.stream)
+        detector.observe_stream(stream)
         elapsed = _time.perf_counter() - started
         return RunResult(
             detector_name=name,
@@ -124,7 +137,7 @@ class ExperimentRunner:
             ),
             classification=score_classification(detector, labels),
             wall_seconds=elapsed,
-            packets=len(scenario.stream),
+            packets=len(stream),
         )
 
 

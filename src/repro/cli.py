@@ -263,6 +263,46 @@ def build_parser() -> argparse.ArgumentParser:
         "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
     )
 
+    guard = parser.add_argument_group(
+        "guard options",
+        description=(
+            "Ingest hardening and runtime invariant checking "
+            "(see docs/GUARDRAILS.md).  --validate screens every trace "
+            "packet for negative times, time regressions, out-of-envelope "
+            "sizes and invalid flow IDs before the detector sees it; "
+            "'strict' rejects the trace on the first violation, 'repair' "
+            "clamps/drops offenders (voiding the exactness guarantee), "
+            "'reorder' additionally re-sorts late packets within "
+            "--reorder-window.  --invariant-every samples the paper's "
+            "algorithm-state invariants on the live detector."
+        ),
+    )
+    guard.add_argument(
+        "--validate", choices=["strict", "repair", "reorder"], default=None,
+        help="screen trace packets through the ingest validator "
+        "(detect, analyze, serve)",
+    )
+    guard.add_argument(
+        "--reorder-window", type=int, default=64,
+        help="max buffered packets when re-sorting a mildly disordered "
+        "stream (--validate reorder)",
+    )
+    guard.add_argument(
+        "--min-packet-size", type=int, default=None,
+        help="smallest acceptable packet size in bytes (with --validate; "
+        "default: Ethernet minimum)",
+    )
+    guard.add_argument(
+        "--max-packet-size", type=int, default=None,
+        help="largest acceptable packet size in bytes (with --validate; "
+        "default: Ethernet maximum)",
+    )
+    guard.add_argument(
+        "--invariant-every", type=int, default=None, metavar="N",
+        help="assert the detector's algorithm-state invariants every N "
+        "packets; violations abort with forensics (detect, serve)",
+    )
+
     sim = parser.add_argument_group("simulate options")
     sim.add_argument(
         "--bottleneck", type=int, default=2_000_000,
@@ -308,17 +348,89 @@ def resolve_params(args: argparse.Namespace) -> ExperimentParams:
     return replace(base, **overrides)
 
 
-def load_trace(path: str, by_host_pair: bool = False):
-    """Load a trace by extension: .csv, .ert (binary), or .pcap."""
+def _guard_policy(args: argparse.Namespace):
+    """Build the ingest-validation policy from the guard options, or None
+    when --validate was not given."""
+    from .guard import GuardPolicy
+
+    if args.validate is None:
+        for flag, value in (
+            ("--min-packet-size", args.min_packet_size),
+            ("--max-packet-size", args.max_packet_size),
+        ):
+            if value is not None:
+                raise SystemExit(f"{flag} requires --validate")
+        return None
+    if args.validate == "strict":
+        policy = GuardPolicy.strict()
+    elif args.validate == "repair":
+        policy = GuardPolicy.repair()
+    else:
+        if args.reorder_window < 1:
+            raise SystemExit(
+                f"--reorder-window must be >= 1, got {args.reorder_window}"
+            )
+        policy = GuardPolicy.reordering(window=args.reorder_window)
+    overrides = {}
+    if args.min_packet_size is not None:
+        overrides["min_size"] = args.min_packet_size
+    if args.max_packet_size is not None:
+        overrides["max_size"] = args.max_packet_size
+    if overrides:
+        try:
+            policy = replace(policy, **overrides)
+        except ValueError as error:
+            raise SystemExit(f"bad guard options: {error}")
+    return policy
+
+
+def _guard_validator(args: argparse.Namespace):
+    """A fresh :class:`~repro.guard.StreamValidator` for the guard
+    options, or None when validation is off."""
+    from .guard import StreamValidator
+
+    policy = _guard_policy(args)
+    if policy is None:
+        return None
+    return StreamValidator(policy)
+
+
+def _print_validation_summary(stats) -> None:
+    if stats is None or stats.total_violations == 0:
+        return
+    print(
+        f"ingest validation: {stats.examined} packets examined, "
+        f"{stats.total_violations} violations "
+        f"({stats.clamped} clamped, {stats.dropped} dropped, "
+        f"{stats.reordered} reordered)"
+    )
+    if stats.mutated:
+        print(
+            f"WARNING: validator mutated {stats.mutated} packets — the "
+            "no-FN/no-FP guarantee applies to the repaired stream, not "
+            "the wire stream"
+        )
+
+
+def load_trace(path: str, by_host_pair: bool = False, validator=None):
+    """Load a trace by extension: .csv, .ert (binary), or .pcap.
+
+    ``validator`` is an optional :class:`~repro.guard.StreamValidator`
+    applied to the parsed packets before stream construction (required
+    for repair/reorder policies — a disordered trace never survives
+    :class:`~repro.model.stream.PacketStream` construction otherwise).
+    """
     from .traffic import pcap, trace_io
 
     suffix = Path(path).suffix.lower()
     if suffix == ".csv":
-        return trace_io.read_csv(path)
+        return trace_io.read_csv(path, validator=validator)
     if suffix == ".ert":
-        return trace_io.read_binary(path)
+        return trace_io.read_binary(path, validator=validator)
     if suffix in (".pcap", ".cap"):
         stream, _ = pcap.read_pcap(path, by_host_pair=by_host_pair)
+        if validator is not None:
+            return validator.validate(list(stream))
         return stream
     raise SystemExit(
         f"unsupported trace extension {suffix!r}; expected .csv, .ert or .pcap"
@@ -339,7 +451,19 @@ def run_detect(args: argparse.Namespace) -> int:
     ]
     if missing:
         raise SystemExit(f"detect requires {', '.join(missing)}")
-    stream = load_trace(args.trace, by_host_pair=args.host_pair)
+    from .guard import InvariantViolation, StreamViolationError
+
+    validator = _guard_validator(args)
+    try:
+        stream = load_trace(
+            args.trace, by_host_pair=args.host_pair, validator=validator
+        )
+    except StreamViolationError as error:
+        raise SystemExit(
+            f"trace rejected by ingest validation: {error} "
+            "(use --validate repair/reorder to continue on a repaired "
+            "stream)"
+        )
     config = engineer(
         rho=args.rho,
         gamma_l=args.gamma_l,
@@ -353,7 +477,20 @@ def run_detect(args: argparse.Namespace) -> int:
         f"trace: {stats.packet_count} packets, {stats.flow_count} flows, "
         f"{stats.total_bytes} bytes over {stats.duration_ns / NS_PER_S:.3f}s"
     )
-    detector = EARDet(config).observe_stream(stream)
+    if validator is not None:
+        _print_validation_summary(validator.stats)
+    detector = EARDet(config)
+    if args.invariant_every is not None:
+        from .guard import InvariantChecker
+
+        detector.attach_checker(InvariantChecker(every=args.invariant_every))
+    try:
+        detector.observe_stream(stream)
+    except InvariantViolation as error:
+        raise SystemExit(
+            f"invariant violation ({error.check}): {error}\n"
+            f"forensics: {error.forensics}"
+        )
     table = Table(
         title=f"Large flows detected in {args.trace}",
         headers=["flow", "detected at (s)"],
@@ -378,7 +515,17 @@ def run_analyze(args: argparse.Namespace) -> int:
 
     if args.trace is None:
         raise SystemExit("analyze requires --trace")
-    stream = load_trace(args.trace, by_host_pair=args.host_pair)
+    from .guard import StreamViolationError
+
+    validator = _guard_validator(args)
+    try:
+        stream = load_trace(
+            args.trace, by_host_pair=args.host_pair, validator=validator
+        )
+    except StreamViolationError as error:
+        raise SystemExit(f"trace rejected by ingest validation: {error}")
+    if validator is not None:
+        _print_validation_summary(validator.stats)
     window_ns = max(1, round(args.window_ms * 1_000_000))
     stats = analyze_stream(stream, window_ns=window_ns)
     labels = None
@@ -456,10 +603,19 @@ def run_serve(args: argparse.Namespace) -> int:
         Supervisor,
         TraceFileSource,
     )
+    from .guard import InvariantViolation, StreamViolationError
+    from .model.stream import StreamOrderError
 
     if args.trace is None:
         raise SystemExit("serve requires --trace")
-    source = TraceFileSource(args.trace, by_host_pair=args.host_pair)
+    # Validation happens inside the trace readers, before PacketStream
+    # construction — the only point where a repair/reorder policy can fix
+    # a disordered trace (the stream type rejects disorder outright).
+    source = TraceFileSource(
+        args.trace,
+        by_host_pair=args.host_pair,
+        validator=_guard_validator(args),
+    )
     fault_plan = None
     if args.fault_plan:
         try:
@@ -494,6 +650,7 @@ def run_serve(args: argparse.Namespace) -> int:
             policy=RestartPolicy(max_restarts=args.max_restarts),
             fault_plan=fault_plan,
             heartbeat_timeout_s=args.heartbeat_timeout,
+            invariant_every=args.invariant_every,
         )
         if not args.json:
             print(config.describe())
@@ -501,6 +658,13 @@ def run_serve(args: argparse.Namespace) -> int:
             report = supervisor.run(source, max_packets=args.max_packets)
         except RestartBudgetExceededError as error:
             raise SystemExit(f"supervision failed: {error}")
+        except (InvariantViolation, StreamViolationError) as error:
+            raise SystemExit(f"serve aborted: {error}")
+        except StreamOrderError as error:
+            raise SystemExit(
+                f"serve aborted: {error} "
+                "(disordered trace — use --validate reorder to repair it)"
+            )
         finally:
             supervisor.shutdown()
         return _emit_report(args, report)
@@ -519,6 +683,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 queue_capacity=args.queue_capacity,
                 overflow=args.overflow,
                 fault_plan=fault_plan,
+                invariant_every=args.invariant_every,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -539,11 +704,19 @@ def run_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             overflow=args.overflow,
             fault_plan=fault_plan,
+            invariant_every=args.invariant_every,
         )
     if not args.json:
         print(service.config.describe())
     try:
         report = service.serve(source, max_packets=args.max_packets)
+    except (InvariantViolation, StreamViolationError) as error:
+        raise SystemExit(f"serve aborted: {error}")
+    except StreamOrderError as error:
+        raise SystemExit(
+            f"serve aborted: {error} "
+            "(disordered trace — use --validate reorder to repair it)"
+        )
     finally:
         service.shutdown()
     return _emit_report(args, report)

@@ -214,8 +214,25 @@ class EARDet(Detector):
         return self._blacklist
 
     @property
+    def carryover_numerator(self) -> int:
+        """Current virtual-traffic carryover as the exact integer
+        numerator over 10^9 (byte-nanosecond units), satisfying
+        ``-NS_PER_S // 2 <= numerator < NS_PER_S // 2``.
+
+        This is the primary API: it is the value the algorithm actually
+        carries, snapshots losslessly, and compares exactly.  Use
+        :attr:`carryover_bytes` only for display.
+        """
+        return self._carryover.remainder_scaled
+
+    @property
     def carryover_bytes(self) -> float:
-        """Current virtual-traffic carryover, in fractional bytes."""
+        """Current virtual-traffic carryover in fractional bytes.
+
+        Display convenience only — the division by 10^9 goes through
+        float and can lose precision.  Exact code must use
+        :attr:`carryover_numerator`.
+        """
         return self._carryover.remainder_bytes
 
     def counter_count(self) -> int:
@@ -276,6 +293,10 @@ class EARDet(Detector):
         for fid, _ in self._store.items():
             if is_virtual_fid(fid):
                 ensure_virtual_sequence_above(fid[1])
+        if self.checker is not None:
+            # Restored state is a discontinuous jump (possibly backward in
+            # time); the monitor's trackers must restart from it.
+            self.checker.reset()
 
     def _reset_state(self) -> None:
         self._store.reset()

@@ -16,10 +16,13 @@ the experiment runner and metrics treat all schemes uniformly:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from ..core.blacklist import ReportSink
 from ..model.packet import FlowId, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids an import cycle
+    from ..guard.invariants import InvariantChecker
 
 
 class Detector(ABC):
@@ -38,11 +41,27 @@ class Detector(ABC):
 
     def __init__(self) -> None:
         self.sink = ReportSink()
+        #: Optional runtime invariant monitor (see :mod:`repro.guard`).
+        self.checker: Optional["InvariantChecker"] = None
+
+    def attach_checker(
+        self, checker: Optional["InvariantChecker"]
+    ) -> "Detector":
+        """Attach (or with None, detach) an
+        :class:`~repro.guard.invariants.InvariantChecker`; it then audits
+        the detector's state after every ``checker.every``-th packet.
+        Returns self for chaining."""
+        self.checker = checker
+        if checker is not None:
+            checker.reset()
+        return self
 
     def observe(self, packet: Packet) -> bool:
         """Process one packet; return whether its flow is flagged."""
         if self._update(packet):
             self.sink.report(packet.fid, packet.time)
+        if self.checker is not None:
+            self.checker.after_packet(self)
         return packet.fid in self.sink
 
     def observe_stream(self, packets: Iterable[Packet]) -> "Detector":
@@ -78,6 +97,10 @@ class Detector(ABC):
         """Restore the initial state (``Init``)."""
         self.sink.reset()
         self._reset_state()
+        if self.checker is not None:
+            # The monitor's derived trackers (clocks, counter values) are
+            # stale after a state jump and would raise false violations.
+            self.checker.reset()
 
     @abstractmethod
     def _reset_state(self) -> None:

@@ -8,8 +8,11 @@ the service lifecycle gluing them together, and a fault-tolerance layer
 — deterministic fault injection (:mod:`repro.service.faults`),
 supervised restart with checkpoint recovery
 (:mod:`repro.service.supervisor`), and per-shard exactness envelopes
-that state precisely where the no-FN/no-FP guarantee still holds.  See
-``docs/SERVICE.md`` and ``docs/FAULT_TOLERANCE.md``.
+that state precisely where the no-FN/no-FP guarantee still holds.
+Ingest hardening and runtime invariant checking come from
+:mod:`repro.guard` (wrap any source in :class:`GuardedSource`; arm the
+checker with ``invariant_every``).  See ``docs/SERVICE.md``,
+``docs/FAULT_TOLERANCE.md`` and ``docs/GUARDRAILS.md``.
 """
 
 from .checkpoint import (
@@ -21,6 +24,7 @@ from .checkpoint import (
 )
 from .engine import InProcessEngine
 from .errors import (
+    InvariantViolation,
     PermanentSourceError,
     QueueStallError,
     RecoverableServiceError,
@@ -46,6 +50,7 @@ from .health import (
 )
 from .runtime import DetectionService
 from .sources import (
+    GuardedSource,
     PacketSource,
     RetryingSource,
     StreamSource,
@@ -66,7 +71,9 @@ __all__ = [
     "ExactnessEnvelope",
     "FaultPlan",
     "FaultySource",
+    "GuardedSource",
     "InProcessEngine",
+    "InvariantViolation",
     "MultiprocessEngine",
     "PacketSource",
     "PermanentSourceError",

@@ -108,6 +108,14 @@ class InProcessEngine:
     dead_letter:
         Optional :class:`~repro.service.health.DeadLetterSink` capturing
         every packet this engine sheds (overflow or injected drops).
+    invariant_every:
+        When set, attach an
+        :class:`~repro.guard.invariants.InvariantChecker` to every shard
+        detector, auditing the paper's algorithm-state invariants once
+        per that many shard-local packets.  A violation raises a typed
+        :class:`~repro.guard.invariants.InvariantViolation` out of the
+        ingest/flush path (permanent — the supervisor aborts rather than
+        restarts).
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class InProcessEngine:
         store_factory: Callable[[int], CounterStore] = HeapCounterStore,
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
+        invariant_every: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -137,6 +146,12 @@ class InProcessEngine:
         self._detectors = [
             EARDet(config, store_factory=store_factory) for _ in range(shards)
         ]
+        self.invariant_every = invariant_every
+        if invariant_every is not None:
+            from ..guard import InvariantChecker
+
+            for detector in self._detectors:
+                detector.attach_checker(InvariantChecker(invariant_every))
         self._hash = StageHash(seed=seed, buckets=shards)
         self._route = FlowRouter(self._hash)
         self._queues: List[Deque[Packet]] = [deque() for _ in range(shards)]

@@ -21,21 +21,30 @@ Hierarchy::
     │   └── PermanentSourceError       (source is gone for good)
     └── RestartBudgetExceededError     (supervision gave up)
 
-:class:`~repro.service.checkpoint.CheckpointCorruptError` lives in
-:mod:`repro.service.checkpoint` (it subclasses the pre-existing
-:class:`~repro.service.checkpoint.CheckpointError`) and is re-exported
-here so callers can import the whole taxonomy from one place.
+Two classes from other layers are re-exported here so callers can import
+the whole taxonomy from one place:
+
+- :class:`~repro.service.checkpoint.CheckpointCorruptError` (lives in
+  :mod:`repro.service.checkpoint`, subclasses the pre-existing
+  :class:`~repro.service.checkpoint.CheckpointError`);
+- :class:`~repro.guard.invariants.InvariantViolation` (lives in
+  :mod:`repro.guard` — a **permanent** error: the detector's algorithm
+  state is corrupted, so restarting from the same state or a checkpoint
+  of it cannot help.  The supervisor records the forensics and aborts
+  instead of restarting.)
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..guard.invariants import InvariantViolation
 from .checkpoint import CheckpointCorruptError, CheckpointError
 
 __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
+    "InvariantViolation",
     "PermanentSourceError",
     "QueueStallError",
     "RecoverableServiceError",

@@ -178,6 +178,10 @@ class ServiceReport:
     incidents: List[str] = field(default_factory=list)
     dead_letters: int = 0
     source_retries: int = 0
+    #: Ingest-validation accounting when the source was guarded (the
+    #: ``as_dict`` of a :class:`~repro.guard.ValidationStats`); None for
+    #: an unguarded source.
+    validation: Optional[Dict[str, object]] = None
 
     @property
     def packets_per_second(self) -> float:
@@ -186,8 +190,22 @@ class ServiceReport:
         return self.packets / self.duration_s
 
     @property
+    def validation_mutations(self) -> int:
+        """Packets the ingest validator clamped or dropped — stream
+        mutations, each of which voids exactness like a lost packet."""
+        if self.validation is None:
+            return 0
+        mutated = self.validation.get("mutated", 0)
+        return mutated if isinstance(mutated, int) else 0
+
+    @property
     def exact(self) -> bool:
-        """Whether every shard's guarantee survived the run intact."""
+        """Whether the paper's guarantee survived the run intact: every
+        shard processed every packet *and* the ingest validator did not
+        mutate the stream (a clamped or dropped packet means the engine
+        judged traffic that differs from what was actually sent)."""
+        if self.validation_mutations:
+            return False
         if self.envelope:
             return all(entry.exact for entry in self.envelope)
         return self.dropped == 0
@@ -211,6 +229,7 @@ class ServiceReport:
             "incidents": list(self.incidents),
             "dead_letters": self.dead_letters,
             "source_retries": self.source_retries,
+            "validation": self.validation,
         }
 
     def render(self) -> str:
@@ -236,6 +255,26 @@ class ServiceReport:
             lines.append(f"  source retries absorbed: {self.source_retries}")
         if self.dead_letters:
             lines.append(f"  dead-lettered packets: {self.dead_letters}")
+        if self.validation is not None:
+            examined = self.validation.get("examined", 0)
+            total = sum(
+                count
+                for count in (self.validation.get("violations") or {}).values()
+                if isinstance(count, int)
+            )
+            lines.append(
+                f"  ingest validation: {examined} examined, "
+                f"{total} violations "
+                f"({self.validation.get('clamped', 0)} clamped, "
+                f"{self.validation.get('dropped', 0)} dropped, "
+                f"{self.validation.get('reordered', 0)} reordered)"
+            )
+            if self.validation_mutations:
+                lines.append(
+                    f"  exactness: ingest validator mutated "
+                    f"{self.validation_mutations} packets — guarantee void "
+                    "(engine judged repaired traffic, not the wire stream)"
+                )
         for health in self.shard_health:
             lines.append(
                 f"  shard {health.shard}: {health.packets} packets, "

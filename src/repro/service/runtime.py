@@ -52,6 +52,7 @@ def _build_engine(
     overflow: str,
     fault_plan=None,
     dead_letter: Optional[DeadLetterSink] = None,
+    invariant_every: Optional[int] = None,
 ):
     if kind == "inprocess":
         return InProcessEngine(
@@ -62,6 +63,7 @@ def _build_engine(
             overflow=overflow,
             fault_plan=fault_plan,
             dead_letter=dead_letter,
+            invariant_every=invariant_every,
         )
     if kind == "multiprocess":
         if overflow != "block":
@@ -75,6 +77,7 @@ def _build_engine(
             seed=seed,
             fault_plan=fault_plan,
             dead_letter=dead_letter,
+            invariant_every=invariant_every,
         )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
@@ -109,6 +112,11 @@ class DetectionService:
     dead_letter:
         Optional :class:`~repro.service.health.DeadLetterSink` shared
         with the engine; its total is surfaced in the report.
+    invariant_every:
+        When set, every shard detector runs under an
+        :class:`~repro.guard.invariants.InvariantChecker` sampling the
+        paper's algorithm-state invariants once per that many
+        shard-local packets (see :mod:`repro.guard`).
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class DetectionService:
         clock: Callable[[], float] = time.perf_counter,
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
+        invariant_every: Optional[int] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -141,14 +150,17 @@ class DetectionService:
         self.batch_size = batch_size
         self.fault_plan = fault_plan
         self.dead_letter = dead_letter
+        self.invariant_every = invariant_every
         self._clock = clock
         self._engine = _build_engine(
             engine, config, shards, seed, queue_capacity, overflow,
             fault_plan=fault_plan, dead_letter=dead_letter,
+            invariant_every=invariant_every,
         )
         self._ingested = 0
         self._resumed_from = 0
         self._checkpoints_written = 0
+        self._last_source: Optional[PacketSource] = None
 
     # -- recovery ----------------------------------------------------------
 
@@ -163,6 +175,7 @@ class DetectionService:
         overflow: str = "block",
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
+        invariant_every: Optional[int] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -194,6 +207,7 @@ class DetectionService:
             overflow=overflow,
             fault_plan=fault_plan,
             dead_letter=dead_letter,
+            invariant_every=invariant_every,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -238,6 +252,7 @@ class DetectionService:
         heartbeat).
         """
         source = as_source(source)
+        self._last_source = source
         started = self._clock()
         served = 0
         next_boundary = self._next_boundary()
@@ -273,6 +288,9 @@ class DetectionService:
             self._engine.envelope() if hasattr(self._engine, "envelope")
             else []
         )
+        from .sources import validation_stats
+
+        stats = validation_stats(self._last_source)
         return ServiceReport(
             packets=self._ingested if packets is None else packets,
             duration_s=duration_s,
@@ -285,6 +303,7 @@ class DetectionService:
             dead_letters=(
                 self.dead_letter.total if self.dead_letter is not None else 0
             ),
+            validation=stats.as_dict() if stats is not None else None,
         )
 
     def shutdown(self) -> None:

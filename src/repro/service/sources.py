@@ -16,6 +16,11 @@ Adapters wrap everything the library can already produce:
 - :class:`SyntheticSource` — a zero-argument factory returning a fresh
   packet iterable per iteration, for generator-based synthetic workloads.
 
+Two wrappers compose on top of any source: :class:`RetryingSource`
+(absorb transient failures with bounded retry) and :class:`GuardedSource`
+(validate/repair the stream through a :class:`~repro.guard.StreamValidator`
+— see :mod:`repro.guard`).
+
 All sources support ``skip``: resuming from a checkpoint taken after ``k``
 packets replays the source from packet ``k`` — the *checkpoint boundary*
 — so recovery is exact (see :mod:`repro.service.runtime`).
@@ -119,11 +124,26 @@ class TraceFileSource(PacketSource):
 
     Formats are dispatched by extension exactly like ``eardet detect``:
     ``.csv``, ``.ert`` (binary) and ``.pcap``/``.cap``.
+
+    ``validator`` is an optional :class:`~repro.guard.StreamValidator`.
+    It must be applied *here*, inside the readers, not by an outer
+    :class:`GuardedSource`: the csv/ert readers build a
+    :class:`~repro.model.stream.PacketStream`, which rejects disorder at
+    construction — an outer wrapper would never see the packets a
+    repair/reorder policy is meant to fix.  Stats accumulate across
+    iterations (a checkpoint-resume replay re-validates the prefix) and
+    surface through :func:`validation_stats`.
     """
 
-    def __init__(self, path: PathLike, by_host_pair: bool = False):
+    def __init__(
+        self,
+        path: PathLike,
+        by_host_pair: bool = False,
+        validator=None,
+    ):
         self.path = Path(path)
         self.by_host_pair = by_host_pair
+        self.validator = validator
         self.name = str(self.path)
         suffix = self.path.suffix.lower()
         if suffix not in (".csv", ".ert", ".pcap", ".cap"):
@@ -133,14 +153,24 @@ class TraceFileSource(PacketSource):
             )
         self._suffix = suffix
 
+    @property
+    def validation_stats(self):
+        """Cumulative :class:`~repro.guard.ValidationStats`, or None when
+        the source is unguarded."""
+        return None if self.validator is None else self.validator.stats
+
     def iter_packets(self) -> Iterator[Packet]:
         from ..traffic import pcap, trace_io
 
         if self._suffix == ".csv":
-            return iter(trace_io.read_csv(self.path))
+            return iter(trace_io.read_csv(self.path, validator=self.validator))
         if self._suffix == ".ert":
-            return iter(trace_io.read_binary(self.path))
+            return iter(
+                trace_io.read_binary(self.path, validator=self.validator)
+            )
         stream, _ = pcap.read_pcap(self.path, by_host_pair=self.by_host_pair)
+        if self.validator is not None:
+            stream = self.validator.validate(list(stream))
         return iter(stream)
 
 
@@ -244,6 +274,57 @@ class RetryingSource(PacketSource):
                         position=delivered,
                     ) from error
                 self._sleep(self._delay_s(failures - 1))
+
+
+class GuardedSource(PacketSource):
+    """Apply a :class:`~repro.guard.StreamValidator` to an inner source.
+
+    Every packet pulled from the inner source passes through the
+    validator's policy (reject / clamp / drop / bounded reorder) before
+    the engine sees it, so the runtime's input contract — monotone
+    timestamps, sizes inside the frame envelope, sane flow IDs — holds no
+    matter what the raw source produces.
+
+    The validator's :class:`~repro.guard.ValidationStats` accumulate
+    across iterations (a checkpoint-resume replay re-validates the
+    prefix deterministically), and the service folds them into the
+    :class:`~repro.service.health.ServiceReport`: any *mutation* of the
+    stream (clamp or drop) voids the exactness guarantee exactly like a
+    lost packet.  Under the strict policy a violation raises
+    :class:`~repro.guard.StreamViolationError` instead.
+    """
+
+    def __init__(self, inner: PacketSource, validator=None, policy=None):
+        from ..guard import StreamValidator
+
+        if validator is not None and policy is not None:
+            raise ValueError("pass either a validator or a policy, not both")
+        self._inner = inner
+        self.validator = validator or StreamValidator(policy)
+        self.name = f"guarded({inner.name})"
+        self.replayable = inner.replayable
+
+    @property
+    def validation_stats(self):
+        """The validator's cumulative :class:`~repro.guard.ValidationStats`."""
+        return self.validator.stats
+
+    def iter_packets(self) -> Iterator[Packet]:
+        return self.validator.iter_validated(self._inner.iter_packets())
+
+
+def validation_stats(source) -> "object | None":
+    """The first :class:`~repro.guard.ValidationStats` found anywhere in
+    a source wrapper chain (each wrapper holds the next as ``_inner``),
+    or None when the chain is unguarded."""
+    seen = set()
+    while source is not None and id(source) not in seen:
+        seen.add(id(source))
+        stats = getattr(source, "validation_stats", None)
+        if stats is not None:
+            return stats
+        source = getattr(source, "_inner", None)
+    return None
 
 
 def as_source(packets: Union[PacketSource, Iterable[Packet]]) -> PacketSource:

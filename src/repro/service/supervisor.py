@@ -45,6 +45,7 @@ from ..model.packet import Packet
 from .checkpoint import CheckpointError
 from .engine import DEFAULT_QUEUE_CAPACITY
 from .errors import (
+    InvariantViolation,
     PermanentSourceError,
     QueueStallError,
     RecoverableServiceError,
@@ -112,6 +113,7 @@ class Supervisor:
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
         heartbeat_timeout_s: Optional[float] = None,
+        invariant_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.perf_counter,
     ):
@@ -128,6 +130,7 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.dead_letter = dead_letter or DeadLetterSink()
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.invariant_every = invariant_every
         self._sleep = sleep
         self._clock = clock
         self.restarts = 0
@@ -149,6 +152,7 @@ class Supervisor:
             overflow=self.overflow,
             fault_plan=self.fault_plan,
             dead_letter=self.dead_letter,
+            invariant_every=self.invariant_every,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -167,6 +171,7 @@ class Supervisor:
                     overflow=self.overflow,
                     fault_plan=self.fault_plan,
                     dead_letter=self.dead_letter,
+                    invariant_every=self.invariant_every,
                 )
                 self.incidents.append(
                     f"recovered from checkpoint at packet {service.ingested}"
@@ -253,6 +258,17 @@ class Supervisor:
                             f"at packet {error.position}"
                         )
                 return report
+            except InvariantViolation as error:
+                # Corrupted algorithm state: a restart (from the same
+                # logic, or a checkpoint taken by it) cannot fix this.
+                # Record the forensics and abort — never restart-loop on
+                # a permanent error.
+                self.incidents.append(
+                    f"InvariantViolation ({error.check}): {error} "
+                    f"(at ~packet {service.ingested}; permanent, aborting)"
+                )
+                service.abort()
+                raise
             except RecoverableServiceError as error:
                 self.incidents.append(
                     f"{type(error).__name__}: {error} "

@@ -89,6 +89,13 @@ HEARTBEAT_INTERVAL_S = 0.5
 #: services would leave shard workers orphaned forever.
 ORPHAN_POLL_S = 5.0
 
+#: Exit code a worker uses after an invariant violation.  Distinct from
+#: a crash (and from faults.KILL_EXIT_CODE) so the parent can classify
+#: the death as *permanent* — corrupted algorithm state is not fixed by
+#: a restart — and recover the violation's forensics from the results
+#: queue.
+INVARIANT_EXIT_CODE = 86
+
 
 class WorkerError(ShardCrashError):
     """A shard worker crashed; carries the worker's traceback.
@@ -98,6 +105,21 @@ class WorkerError(ShardCrashError):
     :class:`~repro.service.errors.ShardCrashError`, so the supervisor
     treats both identically.
     """
+
+
+def _invariant_from_payload(payload):
+    """Rebuild a worker's :class:`~repro.guard.invariants.
+    InvariantViolation` from its JSON-safe ``as_dict`` reply."""
+    from ..guard import InvariantViolation
+
+    return InvariantViolation(
+        payload.get("message", "invariant violation in shard worker"),
+        check=payload.get("check") or "unknown",
+        detector=payload.get("detector") or "eardet",
+        observed=payload.get("observed"),
+        bound=payload.get("bound"),
+        forensics=payload.get("forensics") or {},
+    )
 
 
 def _exit_when_orphaned(original_ppid, poll_s=None):
@@ -134,7 +156,8 @@ def _heartbeat_ticker(heartbeat, index, interval_s):
 
 
 def _shard_worker(
-    index, config, initial_state, in_queue, out_queue, heartbeat, faults
+    index, config, initial_state, in_queue, out_queue, heartbeat, faults,
+    invariant_every=None,
 ):
     """Worker loop: consume chunks until a stop message, answering
     snapshot barriers in stream order.
@@ -144,6 +167,14 @@ def _shard_worker(
     injected kill uses ``os._exit`` so the parent sees a genuinely dead
     process (no cleanup, no in-band error message), exactly like a
     segfault or an OOM kill.
+
+    ``invariant_every`` arms an
+    :class:`~repro.guard.invariants.InvariantChecker` on this shard's
+    detector.  A violation ships its forensics as an in-band
+    ``("invariant", index, payload)`` reply (flushed before death) and
+    exits with :data:`INVARIANT_EXIT_CODE`, so the parent raises a
+    *permanent* :class:`~repro.guard.invariants.InvariantViolation`
+    instead of a recoverable crash.
     """
     threading.Thread(
         target=_exit_when_orphaned, args=(os.getppid(),), daemon=True
@@ -155,9 +186,12 @@ def _shard_worker(
             daemon=True,
         ).start()
     try:
+        from ..guard import InvariantChecker, InvariantViolation
         from .faults import KILL_EXIT_CODE
 
         detector = EARDet(config)
+        if invariant_every is not None:
+            detector.attach_checker(InvariantChecker(invariant_every))
         if initial_state is not None:
             detector.restore(initial_state)
         kill_at = stall_at = None
@@ -191,6 +225,14 @@ def _shard_worker(
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown message kind {kind!r}")
+    except InvariantViolation as violation:
+        # Ship the forensics, make sure the feeder thread has flushed
+        # them onto the pipe, then die with the dedicated exit code: the
+        # parent must see a permanent failure, not a restartable crash.
+        out_queue.put(("invariant", index, violation.as_dict()))
+        out_queue.close()
+        out_queue.join_thread()
+        os._exit(INVARIANT_EXIT_CODE)
     except Exception:  # pragma: no cover - exercised only on worker crash
         import traceback
 
@@ -217,6 +259,7 @@ class MultiprocessEngine:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
+        invariant_every: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -241,6 +284,7 @@ class MultiprocessEngine:
         self._final_snapshot: Optional[Dict[str, object]] = None
         self._plan = fault_plan
         self._dead_letter = dead_letter
+        self.invariant_every = invariant_every
         self._routed = [0] * shards
         self._dropped = [0] * shards
         self._first_loss: List[Optional[int]] = [None] * shards
@@ -304,12 +348,37 @@ class MultiprocessEngine:
 
     def _raise_dead(self, index: int) -> None:
         exit_code = self._processes[index].exitcode
+        if exit_code == INVARIANT_EXIT_CODE:
+            self._raise_invariant_death(index)
         if self._plan is not None:
             self._plan.mark_kill_fired(index)
         raise ShardCrashError(
             f"shard {index} worker died (exit code {exit_code})",
             shard=index,
             exit_code=exit_code,
+        )
+
+    def _raise_invariant_death(self, index: int) -> None:
+        """A worker exited with :data:`INVARIANT_EXIT_CODE`: recover the
+        forensics it flushed onto the results queue before dying, and
+        raise the (permanent) violation in the parent."""
+        from ..guard import InvariantViolation
+
+        deadline = time.monotonic() + DEAD_REPLY_GRACE_S
+        while time.monotonic() < deadline:
+            try:
+                message = self._results.get(timeout=LIVENESS_POLL_S)
+            except queue_module.Empty:
+                continue
+            if message[0] == "invariant":
+                raise _invariant_from_payload(message[2])
+            # Anything else here is a stale barrier reply; drop it — the
+            # engine is about to be torn down.
+        raise InvariantViolation(
+            f"shard {index} worker died with the invariant exit code "
+            f"({INVARIANT_EXIT_CODE}) but its forensics reply was lost",
+            check="unknown",
+            detector="eardet",
         )
 
     def heartbeat_ages(self) -> List[float]:
@@ -360,6 +429,7 @@ class MultiprocessEngine:
                     self._results,
                     self._heartbeats,
                     faults,
+                    self.invariant_every,
                 ),
                 daemon=True,
             )
@@ -557,6 +627,8 @@ class MultiprocessEngine:
                     f"shard {message[1]} crashed:\n{message[2]}",
                     shard=message[1],
                 )
+            if message[0] == "invariant":
+                raise _invariant_from_payload(message[2])
             if message[0] != kind or (token is not None and message[2] != token):
                 # A stale reply from an earlier barrier; ignore.
                 continue

@@ -21,7 +21,7 @@ import csv
 import io
 import struct
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 from ..model.packet import FlowId, Packet
 from ..model.stream import PacketStream
@@ -37,6 +37,41 @@ class TraceFormatError(ValueError):
     """Raised when a trace file is malformed."""
 
 
+class TraceCorruptError(TraceFormatError):
+    """A binary trace is damaged mid-file: truncated or shorter/longer
+    than its header's record count promises.
+
+    Mirrors :class:`~repro.service.checkpoint.CheckpointCorruptError`
+    forensics so an operator can locate the damage:
+
+    - ``offset`` — byte offset at which the damage was detected (for
+      truncation, the file length);
+    - ``record_index`` — 0-based index of the first record that could
+      not be read in full;
+    - ``complete_records`` — number of whole records successfully
+      decoded before the damage.
+
+    :func:`read_binary` raises this only *after* yielding every complete
+    record (via the ``packets`` attribute / :func:`iter_binary`), so the
+    undamaged prefix of a trace is never lost to a bad tail.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: "int | None" = None,
+        record_index: "int | None" = None,
+        complete_records: "int | None" = None,
+        packets: "List[Packet] | None" = None,
+    ):
+        super().__init__(message)
+        self.offset = offset
+        self.record_index = record_index
+        self.complete_records = complete_records
+        #: The decoded prefix (read_binary attaches it before raising).
+        self.packets: List[Packet] = packets or []
+
+
 def write_csv(path: PathLike, packets: Iterable[Packet]) -> int:
     """Write packets as CSV; returns the number of records written."""
     count = 0
@@ -49,8 +84,18 @@ def write_csv(path: PathLike, packets: Iterable[Packet]) -> int:
     return count
 
 
-def read_csv(path: PathLike) -> PacketStream:
-    """Read a CSV trace written by :func:`write_csv`."""
+def read_csv(path: PathLike, validator=None) -> PacketStream:
+    """Read a CSV trace written by :func:`write_csv`.
+
+    ``validator`` is an optional
+    :class:`~repro.guard.StreamValidator` applied to the parsed packets
+    *before* stream construction — the only place a repair/reorder
+    policy can fix a disordered trace, since
+    :class:`~repro.model.stream.PacketStream` rejects disorder at
+    construction.  Rows whose raw values cannot form a
+    :class:`~repro.model.packet.Packet` at all (negative time/size)
+    still raise :class:`TraceFormatError` with row forensics.
+    """
     packets: List[Packet] = []
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
@@ -68,6 +113,8 @@ def read_csv(path: PathLike) -> PacketStream:
                 )
             except ValueError as error:
                 raise TraceFormatError(f"{path}:{row_number}: {error}") from error
+    if validator is not None:
+        return validator.validate(packets)
     return PacketStream(packets)
 
 
@@ -89,25 +136,85 @@ def write_binary(path: PathLike, packets: Iterable[Packet]) -> int:
     return count
 
 
-def read_binary(path: PathLike) -> PacketStream:
-    """Read a binary trace written by :func:`write_binary`."""
+def iter_binary(path: PathLike) -> "Iterator[Packet]":
+    """Stream a binary trace record by record.
+
+    Yields every *complete* record first; if the file is then found to be
+    damaged (truncated mid-record, short of the header's promised count,
+    or carrying trailing bytes), raises :class:`TraceCorruptError` with
+    the byte offset and record index of the damage — so the undamaged
+    prefix survives a corrupt tail.  A wrong magic (a foreign file, not a
+    damaged trace) raises a plain :class:`TraceFormatError` immediately.
+    """
     with open(path, "rb") as handle:
         header = handle.read(_HEADER.size)
         if len(header) != _HEADER.size:
-            raise TraceFormatError(f"{path}: truncated header")
+            raise TraceCorruptError(
+                f"{path}: truncated header: {len(header)} of "
+                f"{_HEADER.size} bytes",
+                offset=len(header),
+                record_index=0,
+                complete_records=0,
+            )
         magic, count = _HEADER.unpack(header)
         if magic != _MAGIC:
             raise TraceFormatError(f"{path}: bad magic {magic!r}")
         body = handle.read()
     expected = count * _RECORD.size
-    if len(body) != expected:
-        raise TraceFormatError(
-            f"{path}: expected {expected} record bytes, found {len(body)}"
+    complete = min(len(body), expected) // _RECORD.size
+    for index, (time_ns, size, fid) in enumerate(
+        _RECORD.iter_unpack(body[: complete * _RECORD.size])
+    ):
+        try:
+            yield Packet(time=time_ns, size=size, fid=fid)
+        except ValueError as error:
+            # The record decoded but is semantically invalid (e.g. a
+            # negative time) — a format error at a known location, not
+            # physical damage.
+            raise TraceFormatError(
+                f"{path}: record {index} at byte offset "
+                f"{_HEADER.size + index * _RECORD.size}: {error}"
+            ) from error
+    if len(body) < expected:
+        raise TraceCorruptError(
+            f"{path}: truncated: header promises {count} records "
+            f"({expected} bytes) but only {len(body)} record bytes exist; "
+            f"record {complete} is cut off at byte offset "
+            f"{_HEADER.size + len(body)} ({complete} complete records "
+            "were read)",
+            offset=_HEADER.size + len(body),
+            record_index=complete,
+            complete_records=complete,
         )
-    packets = [
-        Packet(time=t, size=s, fid=f)
-        for t, s, f in _RECORD.iter_unpack(body)
-    ]
+    if len(body) > expected:
+        raise TraceCorruptError(
+            f"{path}: {len(body) - expected} trailing bytes after the "
+            f"{count} promised records, starting at byte offset "
+            f"{_HEADER.size + expected}",
+            offset=_HEADER.size + expected,
+            record_index=count,
+            complete_records=count,
+        )
+
+
+def read_binary(path: PathLike, validator=None) -> PacketStream:
+    """Read a binary trace written by :func:`write_binary`.
+
+    On a damaged file the raised :class:`TraceCorruptError` carries every
+    complete record decoded before the damage in its ``packets``
+    attribute, plus the byte offset / record index of the corruption.
+    ``validator`` is an optional :class:`~repro.guard.StreamValidator`
+    applied before stream construction (see :func:`read_csv`).
+    """
+    packets: List[Packet] = []
+    try:
+        for packet in iter_binary(path):
+            packets.append(packet)
+    except TraceCorruptError as error:
+        error.packets = packets
+        raise
+    if validator is not None:
+        return validator.validate(packets)
     return PacketStream(packets)
 
 

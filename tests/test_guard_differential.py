@@ -1,0 +1,156 @@
+"""Differential fuzzing: guarded EARDet vs brute-force ground truth.
+
+The capstone property of the guard subsystem: take *adversarially dirty*
+traffic (disordered timestamps, out-of-envelope sizes), push it through a
+:class:`~repro.guard.StreamValidator` repair/reorder policy, serialize
+the survivors through the link, and run EARDet **with an every-packet
+InvariantChecker armed** against the brute-force sliding-window labeler.
+Outside the ambiguity region there must be zero divergence:
+
+- every ground-truth LARGE flow (violates ``TH_h``) is detected (no FNl);
+- every ground-truth SMALL flow (under ``TH_l``) is never detected
+  (no FPs);
+- no invariant sweep fires anywhere along the way.
+
+The properties are asserted on the *validated* stream — the stream the
+detector actually judged.  (Repairs are exactly accounted; the service
+layer reports when they void exactness relative to the wire stream —
+that contract is tested in tests/test_guard.py.)
+
+The CI guard-fuzz job sweeps ``EARDET_GUARD_SEED`` (see
+.github/workflows/ci.yml): the seed salts the generated traffic shape so
+three jobs explore three different corners of the input space, and a red
+run reproduces locally by exporting the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.groundtruth import label_stream
+from repro.core.config import EARDetConfig
+from repro.core.eardet import EARDet
+from repro.guard import GuardPolicy, InvariantChecker, StreamValidator
+from repro.model.packet import Packet
+from repro.model.thresholds import ThresholdFunction
+from repro.traffic.link import serialize
+
+#: The CI guard-fuzz job sweeps this (see .github/workflows/ci.yml).
+GUARD_SEED = int(os.environ.get("EARDET_GUARD_SEED", "7"))
+
+
+@st.composite
+def dirty_scenarios(draw):
+    """A small config plus traffic that is dirty in exactly the ways the
+    validator exists to handle: bounded timestamp disorder and sizes
+    escaping the frame envelope."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    beta_th = draw(st.integers(min_value=4, max_value=40))
+    alpha = draw(st.integers(min_value=2, max_value=20))
+    beta_l = draw(st.integers(min_value=1, max_value=beta_th - 1))
+    # The seed rotates which link speeds this CI shard leans on.
+    speeds = [1_000, 1_000_000, 1_000_000_000]
+    rho = draw(st.sampled_from(speeds[GUARD_SEED % 3:] + speeds[:GUARD_SEED % 3]))
+    unit = draw(st.integers(min_value=1, max_value=beta_th))
+    config = EARDetConfig(
+        rho=rho, n=n, beta_th=beta_th, alpha=alpha, beta_l=beta_l,
+        virtual_unit=unit,
+    )
+    rnfp = config.rnfp
+    gamma_l = int(rnfp) if rnfp > int(rnfp) else int(rnfp) - 1
+
+    count = draw(st.integers(min_value=0, max_value=60))
+    max_gap = max(1, int(60 * alpha * 1_000_000_000 / rho))
+    fid_base = GUARD_SEED % 97  # seed-salted flow-ID space
+    packets = []
+    time = 0
+    for _ in range(count):
+        time += draw(st.integers(min_value=0, max_value=max_gap))
+        # Bounded disorder: jitter some arrival stamps backwards.
+        jitter = draw(st.integers(min_value=0, max_value=max_gap // 4 + 1))
+        stamped = max(0, time - jitter)
+        # Sizes may escape [1, alpha] in both directions; the validator
+        # clamps them back so the theorem's size precondition holds.
+        size = draw(st.integers(min_value=1, max_value=2 * alpha))
+        packets.append(
+            Packet(
+                time=stamped,
+                size=size,
+                fid=fid_base + draw(st.integers(min_value=0, max_value=5)),
+            )
+        )
+    window = draw(st.integers(min_value=1, max_value=16))
+    return config, gamma_l, packets, window
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenario=dirty_scenarios())
+def test_guarded_detector_matches_ground_truth_on_repaired_stream(scenario):
+    """Zero divergence outside the ambiguity region, on dirty traffic
+    repaired by the reordering validator, with invariants armed."""
+    config, gamma_l, packets, window = scenario
+    if gamma_l < 1:
+        return  # no protectable rate at this (tiny) link speed
+    validator = StreamValidator(
+        GuardPolicy.reordering(window, min_size=1, max_size=config.alpha)
+    )
+    validated = validator.validate(packets)
+    stream = serialize(list(validated), config.rho)
+
+    high = ThresholdFunction(gamma=math.ceil(config.rnfn), beta=config.beta_h)
+    low = ThresholdFunction(gamma=gamma_l, beta=config.beta_l)
+    labels = label_stream(stream, high=high, low=low)
+
+    checker = InvariantChecker(every=1)
+    detector = EARDet(config).attach_checker(checker)
+    detector.observe_stream(stream)
+    assert detector.stats.oversubscribed_gaps == 0  # physics held
+    assert checker.violations == 0
+    assert checker.checks_run == len(stream)
+
+    for fid, label in labels.items():
+        if label.is_large:
+            assert detector.is_detected(fid), (
+                f"no-FNl diverged on repaired stream: large flow {fid} "
+                f"escaped (config={config}, volume={label.volume}, "
+                f"stats={validator.stats.as_dict()})"
+            )
+        elif label.is_small:
+            assert not detector.is_detected(fid), (
+                f"no-FPs diverged on repaired stream: small flow {fid} "
+                f"accused (config={config}, volume={label.volume}, "
+                f"stats={validator.stats.as_dict()})"
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario=dirty_scenarios())
+def test_validator_repair_is_idempotent_and_exactly_accounted(scenario):
+    """Structural half of the differential: a repaired stream passes a
+    strict validator untouched, and the accounting identity
+    ``examined == emitted + dropped + rejected`` holds exactly."""
+    config, _, packets, window = scenario
+    validator = StreamValidator(
+        GuardPolicy.reordering(window, min_size=1, max_size=config.alpha)
+    )
+    repaired = list(validator.validate(packets))
+    stats = validator.stats
+    assert stats.examined == len(packets)
+    assert stats.examined == stats.emitted + stats.dropped + stats.rejected
+    assert len(repaired) == stats.emitted
+
+    # Idempotence: a second, strict pass finds nothing left to fix.
+    second = StreamValidator(
+        GuardPolicy.strict(min_size=1, max_size=config.alpha)
+    )
+    assert list(second.validate(repaired)) == repaired
+    assert second.stats.total_violations == 0
+
+    # Reorders preserve the multiset; only clamps/drops mutate it.
+    if stats.mutated == 0:
+        assert sorted(
+            (p.time, p.size, p.fid) for p in repaired
+        ) == sorted((p.time, p.size, p.fid) for p in packets)

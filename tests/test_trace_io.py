@@ -1,4 +1,7 @@
-"""Trace persistence: CSV and binary round trips."""
+"""Trace persistence: CSV and binary round trips, plus a parametric
+malformed-input corpus asserting the readers' forensics contract —
+corrupt binary traces report the byte offset and record index of the
+damage and never lose the undamaged prefix."""
 
 import pytest
 from hypothesis import given, strategies as st
@@ -6,8 +9,12 @@ from hypothesis import given, strategies as st
 from repro.model.packet import Packet
 from repro.model.stream import PacketStream
 from repro.traffic.trace_io import (
+    _HEADER,
+    _RECORD,
+    TraceCorruptError,
     TraceFormatError,
     intern_fids,
+    iter_binary,
     read_binary,
     read_csv,
     write_binary,
@@ -124,3 +131,159 @@ def test_readers_return_packet_streams(tmp_path):
     path = tmp_path / "t.csv"
     write_csv(path, SAMPLE)
     assert isinstance(read_csv(path), PacketStream)
+
+
+# ---------------------------------------------------------------------------
+# Malformed-input corpus: CSV
+
+
+MALFORMED_CSV_ROWS = [
+    pytest.param("-5,100,f", "negative time", id="negative-time"),
+    pytest.param("0,-100,f", "negative size", id="negative-size"),
+    pytest.param("0,0,f", "zero size", id="zero-size"),
+    pytest.param("1.5,100,f", "float time", id="float-time"),
+    pytest.param("0,12.7,f", "float size", id="float-size"),
+    pytest.param("zero,100,f", "non-numeric time", id="alpha-time"),
+    pytest.param("0,big,f", "non-numeric size", id="alpha-size"),
+    pytest.param("0,100", "missing field", id="short-row"),
+    pytest.param("0,100,f,extra", "extra field", id="long-row"),
+]
+
+
+@pytest.mark.parametrize("row,description", MALFORMED_CSV_ROWS)
+def test_csv_malformed_row_corpus(tmp_path, row, description):
+    """Every malformed row raises TraceFormatError naming its line."""
+    path = tmp_path / "bad.csv"
+    path.write_text(f"time_ns,size,fid\n0,100,ok\n{row}\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_csv(path)
+    assert ":3:" in str(excinfo.value), description
+
+
+@pytest.mark.parametrize(
+    "header",
+    ["", "time,size,fid", "time_ns,size", "size,time_ns,fid"],
+    ids=["empty", "wrong-name", "short", "reordered"],
+)
+def test_csv_malformed_header_corpus(tmp_path, header):
+    path = tmp_path / "bad.csv"
+    path.write_text(f"{header}\n0,100,f\n")
+    with pytest.raises(TraceFormatError):
+        read_csv(path)
+
+
+def test_csv_overflow_ints_survive_round_trip(tmp_path):
+    """Python ints don't overflow: absurdly large values round-trip via
+    CSV (only the binary format constrains the value range)."""
+    path = tmp_path / "big.csv"
+    packets = [Packet(time=10**30, size=10**24, fid=2**100)]
+    write_csv(path, packets)
+    assert list(read_csv(path)) == packets
+
+
+# ---------------------------------------------------------------------------
+# Malformed-input corpus: binary forensics
+
+
+def write_sample_binary(path, count=5):
+    packets = [
+        Packet(time=i * 1_000, size=100 + i, fid=i) for i in range(count)
+    ]
+    write_binary(path, packets)
+    return packets
+
+
+def test_binary_truncation_at_every_byte_boundary(tmp_path):
+    """Chopping the file at any byte reports the exact damage location
+    and yields every complete record before it."""
+    path = tmp_path / "t.ert"
+    packets = write_sample_binary(path, count=4)
+    data = path.read_bytes()
+    for cut in range(len(data)):
+        path.write_bytes(data[:cut])
+        if cut < _HEADER.size:
+            with pytest.raises(TraceCorruptError) as excinfo:
+                read_binary(path)
+            assert excinfo.value.offset == cut
+            assert excinfo.value.record_index == 0
+            assert excinfo.value.complete_records == 0
+            continue
+        complete = (cut - _HEADER.size) // _RECORD.size
+        with pytest.raises(TraceCorruptError) as excinfo:
+            read_binary(path)
+        error = excinfo.value
+        assert error.offset == cut
+        assert error.record_index == complete
+        assert error.complete_records == complete
+        # The undamaged prefix is preserved, not lost to the bad tail.
+        assert error.packets == packets[:complete]
+
+
+def test_binary_trailing_bytes_are_reported(tmp_path):
+    path = tmp_path / "t.ert"
+    packets = write_sample_binary(path, count=3)
+    path.write_bytes(path.read_bytes() + b"\xde\xad\xbe\xef")
+    with pytest.raises(TraceCorruptError) as excinfo:
+        read_binary(path)
+    error = excinfo.value
+    assert error.offset == _HEADER.size + 3 * _RECORD.size
+    assert error.record_index == 3
+    assert error.packets == packets
+
+
+def test_binary_semantic_corruption_names_the_record(tmp_path):
+    """A record that decodes but is invalid (negative time) is a format
+    error pinned to its record index and byte offset."""
+    path = tmp_path / "t.ert"
+    write_sample_binary(path, count=3)
+    data = bytearray(path.read_bytes())
+    # Overwrite record 1's int64 time with -1.
+    offset = _HEADER.size + _RECORD.size
+    data[offset:offset + 8] = (-1).to_bytes(8, "little", signed=True)
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_binary(path)
+    message = str(excinfo.value)
+    assert "record 1" in message
+    assert str(offset) in message
+
+
+def test_iter_binary_streams_prefix_before_raising(tmp_path):
+    path = tmp_path / "t.ert"
+    packets = write_sample_binary(path, count=5)
+    data = path.read_bytes()
+    path.write_bytes(data[:-3])  # cut into the last record
+    seen = []
+    with pytest.raises(TraceCorruptError):
+        for packet in iter_binary(path):
+            seen.append(packet)
+    assert seen == packets[:4]
+
+
+def test_bad_magic_is_format_not_corrupt(tmp_path):
+    """A foreign file is a format error, not mid-file damage — no offset
+    forensics pretend it was a damaged trace."""
+    path = tmp_path / "t.ert"
+    path.write_bytes(b"NOPE" + b"\x00" * 8)
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_binary(path)
+    assert not isinstance(excinfo.value, TraceCorruptError)
+
+
+def test_readers_accept_validator(tmp_path):
+    """The guard validator hooks in before stream construction, so a
+    repair policy can fix traces PacketStream would reject."""
+    from repro.guard import GuardPolicy, StreamValidator
+
+    csv_path = tmp_path / "t.csv"
+    csv_path.write_text("time_ns,size,fid\n1000,100,a\n500,2000,b\n")
+    validator = StreamValidator(GuardPolicy.repair())
+    stream = read_csv(csv_path, validator=validator)
+    assert [p.time for p in stream] == [1000, 1000]  # regression clamped
+    assert validator.stats.clamped == 2  # time + oversize
+
+    bin_path = tmp_path / "t.ert"
+    write_binary(bin_path, [Packet(time=0, size=1, fid=0)])
+    validator = StreamValidator(GuardPolicy.repair())
+    stream = read_binary(bin_path, validator=validator)
+    assert [p.size for p in stream] == [40]  # runt clamped to minimum
