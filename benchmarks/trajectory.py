@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Telemetry overhead trajectory: measure, assert, append.
+
+The telemetry subsystem's contract is "≤5% hot-path overhead, measured,
+not promised".  This script is the measurement: it streams one workload
+through
+
+1. ``eardet-direct``   — a bare :class:`~repro.core.eardet.EARDet` loop
+   (the speed-of-light reference),
+2. ``service-off``     — :class:`DetectionService` with telemetry off
+   (the shipping default), and
+3. ``service-on``      — the same service with a live
+   :class:`~repro.telemetry.Telemetry` registry + tracer attached,
+
+asserts the telemetry-on run detects the *bit-identical* flow set (same
+ids, same timestamps — observability must never perturb detection), and
+appends one structured point to ``BENCH_telemetry.json`` at the repo
+root, so the file accumulates a trajectory across commits rather than a
+single disposable number.
+
+Exit status is non-zero when the measured overhead exceeds
+``--max-overhead-pct`` (default 5), which is what CI gates on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py --smoke
+    PYTHONPATH=src python benchmarks/trajectory.py            # full size
+    PYTHONPATH=src python benchmarks/trajectory.py --no-append --json
+
+Standalone by design: stdlib only, no pytest, no psutil.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import EARDetConfig  # noqa: E402
+from repro.core.eardet import EARDet  # noqa: E402
+from repro.model.packet import Packet  # noqa: E402
+from repro.service import DetectionService, StreamSource  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_telemetry.json"
+
+#: Same configuration family the tier-1 service tests use: small enough
+#: to evict, large enough to detect.
+CONFIG = EARDetConfig(
+    rho=1_000_000, n=8, beta_th=3000, alpha=1518,
+    beta_l=1000, gamma_l=50_000,
+)
+
+
+def make_packets(count: int, seed: int = 7, flows: int = 50,
+                 heavy_share: float = 0.1) -> list:
+    """A mixed stream: mostly small flows, a few heavy hitters."""
+    rng = random.Random(seed)
+    packets = []
+    t = 0
+    for i in range(count):
+        t += rng.randint(500, 2000)
+        if rng.random() < heavy_share:
+            fid = f"h{i % 3}"
+        else:
+            fid = f"f{rng.randrange(flows)}"
+        packets.append(Packet(time=t, size=rng.choice((64, 576, 1518)), fid=fid))
+    return packets
+
+
+def _time_direct(packets: list) -> float:
+    detector = EARDet(CONFIG)
+    observe = detector.observe
+    started = time.perf_counter()
+    for packet in packets:
+        observe(packet)
+    return time.perf_counter() - started
+
+
+def _time_service(packets: list, telemetry) -> "tuple[float, tuple]":
+    service = DetectionService(CONFIG, shards=2, telemetry=telemetry)
+    try:
+        started = time.perf_counter()
+        report = service.serve(StreamSource(packets))
+        elapsed = time.perf_counter() - started
+    finally:
+        service.shutdown()
+    # report.detections maps flow id -> detection timestamp (ns); both
+    # must match bit-for-bit between telemetry-on and -off runs.
+    detections = tuple(sorted(report.detections.items()))
+    return elapsed, detections
+
+
+def measure(packets: list, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time per mode, interleaved so drift in
+    machine load hits every mode equally."""
+    best = {"eardet-direct": None, "service-off": None, "service-on": None}
+    detections_off = detections_on = None
+    for _ in range(repeats):
+        elapsed = _time_direct(packets)
+        if best["eardet-direct"] is None or elapsed < best["eardet-direct"]:
+            best["eardet-direct"] = elapsed
+
+        elapsed, detections_off = _time_service(packets, telemetry=None)
+        if best["service-off"] is None or elapsed < best["service-off"]:
+            best["service-off"] = elapsed
+
+        elapsed, detections_on = _time_service(packets, telemetry=Telemetry())
+        if best["service-on"] is None or elapsed < best["service-on"]:
+            best["service-on"] = elapsed
+
+    if detections_on != detections_off:
+        raise AssertionError(
+            "telemetry perturbed detection: "
+            f"{len(detections_off or ())} flows without vs "
+            f"{len(detections_on or ())} with telemetry"
+        )
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead_pct = 100.0 * (1.0 - pps["service-on"] / pps["service-off"])
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": round(overhead_pct, 3),
+        "detected_flows": len(detections_off or ()),
+    }
+
+
+def append_point(point: dict, path: Path = RESULTS_PATH) -> None:
+    """Append to the trajectory file (a JSON object with a ``points``
+    list), creating it when absent."""
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {
+            "description": (
+                "telemetry overhead trajectory; one point per run of "
+                "benchmarks/trajectory.py"
+            ),
+            "points": [],
+        }
+    payload["points"].append(point)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload (CI-sized): 20k packets, 2 repeats",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=None,
+        help="override the stream length",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="override best-of repeat count",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=5.0,
+        help="fail (exit 1) when telemetry overhead exceeds this (default 5)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="measure and report but do not touch BENCH_telemetry.json",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the measured point as JSON instead of prose",
+    )
+    args = parser.parse_args(argv)
+
+    count = args.packets or (20_000 if args.smoke else 120_000)
+    repeats = args.repeats or (2 if args.smoke else 5)
+
+    packets = make_packets(count)
+    point = measure(packets, repeats)
+    point["preset"] = "smoke" if args.smoke else "full"
+    point["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    if not args.no_append:
+        append_point(point)
+
+    if args.json:
+        print(json.dumps(point, indent=2))
+    else:
+        pps = point["pps"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"direct {pps['eardet-direct']:,.0f} pps | "
+            f"service off {pps['service-off']:,.0f} pps | "
+            f"service on {pps['service-on']:,.0f} pps | "
+            f"overhead {point['overhead_pct']:+.2f}% | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
+
+    if point["overhead_pct"] > args.max_overhead_pct:
+        print(
+            f"FAIL: telemetry overhead {point['overhead_pct']:.2f}% exceeds "
+            f"budget {args.max_overhead_pct:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,13 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "list", "all", "detect", "analyze", "simulate", "serve",
-            "checkpoint", *EXPERIMENTS,
+            "checkpoint", "metrics", *EXPERIMENTS,
         ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
             "'detect'/'analyze' to process a trace file, 'simulate' for the "
             "closed-loop mitigation pipeline, 'serve' for the streaming "
-            "service, 'checkpoint' for checkpoint tooling)"
+            "service, 'checkpoint' for checkpoint tooling, 'metrics' to "
+            "fetch a running service's metrics endpoint)"
         ),
     )
     parser.add_argument(
@@ -261,6 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject deterministic faults for chaos testing, e.g. "
         "'kill:shard=1,at=5000;drop:shard=0,at=200,count=10;"
         "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
+    )
+
+    telemetry = parser.add_argument_group(
+        "telemetry options",
+        description=(
+            "Live observability for the streaming service "
+            "(see docs/OBSERVABILITY.md).  Any of these flags turns the "
+            "metric registry on; without them the hot path runs with "
+            "telemetry fully disabled."
+        ),
+    )
+    telemetry.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live metrics over HTTP on this port while serving "
+        "(0 = OS-assigned; endpoints /metrics, /metrics.json, /healthz) "
+        "(serve; also the port 'metrics' fetches from)",
+    )
+    telemetry.add_argument(
+        "--metrics-host", default="127.0.0.1", metavar="HOST",
+        help="bind/fetch host for the metrics endpoint (default 127.0.0.1)",
+    )
+    telemetry.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="after the run, dump the final metrics to this file "
+        "(.json = JSON, anything else = Prometheus text) (serve)",
     )
 
     guard = parser.add_argument_group(
@@ -624,9 +650,12 @@ def run_serve(args: argparse.Namespace) -> int:
             raise SystemExit(f"bad --fault-plan: {error}")
         if fault_plan.source_faults:
             source = FaultySource(source, fault_plan)
-        print(f"fault plan armed: {fault_plan.describe()}")
+        if not args.json:
+            print(f"fault plan armed: {fault_plan.describe()}")
     if args.retry_source:
         source = RetryingSource(source, max_retries=args.retry_source)
+
+    telemetry, metrics_server = _serve_telemetry(args)
 
     if args.supervise:
         if args.resume:
@@ -651,6 +680,7 @@ def run_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             heartbeat_timeout_s=args.heartbeat_timeout,
             invariant_every=args.invariant_every,
+            telemetry=telemetry,
         )
         if not args.json:
             print(config.describe())
@@ -667,6 +697,7 @@ def run_serve(args: argparse.Namespace) -> int:
             )
         finally:
             supervisor.shutdown()
+            _finish_telemetry(args, telemetry, metrics_server)
         return _emit_report(args, report)
 
     if args.resume:
@@ -684,6 +715,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 overflow=args.overflow,
                 fault_plan=fault_plan,
                 invariant_every=args.invariant_every,
+                telemetry=telemetry,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -705,6 +737,7 @@ def run_serve(args: argparse.Namespace) -> int:
             overflow=args.overflow,
             fault_plan=fault_plan,
             invariant_every=args.invariant_every,
+            telemetry=telemetry,
         )
     if not args.json:
         print(service.config.describe())
@@ -719,7 +752,70 @@ def run_serve(args: argparse.Namespace) -> int:
         )
     finally:
         service.shutdown()
+        _finish_telemetry(args, telemetry, metrics_server)
     return _emit_report(args, report)
+
+
+def _serve_telemetry(args: argparse.Namespace):
+    """Build the (optional) telemetry context for ``serve``.
+
+    Returns ``(telemetry, metrics_server)`` — both ``None`` unless a
+    metrics flag was given, so the default hot path stays uninstrumented.
+    """
+    if args.metrics_port is None and args.metrics_out is None:
+        return None, None
+    from .telemetry import Telemetry
+
+    telemetry = Telemetry()
+    server = None
+    if args.metrics_port is not None:
+        server = telemetry.serve(host=args.metrics_host, port=args.metrics_port)
+        if not args.json:
+            print(f"metrics: serving at {server.url}/metrics")
+    return telemetry, server
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry, server) -> None:
+    """Stop the metrics server and honour ``--metrics-out``.
+
+    Runs in the serve ``finally`` blocks so a crashed run still leaves a
+    final scrape behind for forensics.
+    """
+    if telemetry is None:
+        return
+    if server is not None:
+        server.stop()
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            import json
+
+            body = json.dumps(telemetry.as_dict(), indent=2) + "\n"
+        else:
+            body = telemetry.render_prometheus()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        if not args.json:
+            print(f"metrics: wrote {args.metrics_out}")
+
+
+def run_metrics(args: argparse.Namespace) -> int:
+    """The ``metrics`` command: scrape the live endpoint of a running
+    ``serve --metrics-port`` process and print it (Prometheus text by
+    default, the JSON payload with ``--json``)."""
+    import urllib.error
+    import urllib.request
+
+    if args.metrics_port is None:
+        raise SystemExit("metrics requires --metrics-port")
+    path = "/metrics.json" if args.json else "/metrics"
+    url = f"http://{args.metrics_host}:{args.metrics_port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        raise SystemExit(f"cannot fetch {url}: {error}")
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
 
 
 def _emit_report(args: argparse.Namespace, report) -> int:
@@ -841,8 +937,12 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         # Stable machine-parseable contract: one experiment name per line,
         # names match [a-z0-9-]+, nothing else on stdout, exit code 0.
-        for name in EXPERIMENTS:
-            print(name)
+        try:
+            for name in EXPERIMENTS:
+                print(name)
+        except BrokenPipeError:
+            # Downstream `head` closed early; exit quietly.
+            sys.stderr.close()
         return 0
     if args.experiment == "detect":
         return run_detect(args)
@@ -854,6 +954,8 @@ def main(argv=None) -> int:
         return run_serve(args)
     if args.experiment == "checkpoint":
         return run_checkpoint(args)
+    if args.experiment == "metrics":
+        return run_metrics(args)
     params = resolve_params(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

@@ -54,6 +54,11 @@ class CounterStore(ABC):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: Flows evicted by :meth:`decrement_all` reaching zero, over the
+        #: store's lifetime.  Operational telemetry only: not part of the
+        #: logical state, so :meth:`snapshot`/:meth:`restore` ignore it
+        #: (a restored store starts its own eviction history).
+        self.evictions: int = 0
 
     # -- queries ----------------------------------------------------------
 
@@ -227,6 +232,7 @@ class ReferenceCounterStore(CounterStore):
             remaining = value - amount
             if remaining > 0:
                 survivors[fid] = remaining
+        self.evictions += len(self._values) - len(survivors)
         self._values = survivors
 
     def reset(self) -> None:
@@ -309,6 +315,7 @@ class HeapCounterStore(CounterStore):
                 break
             absolute, version, fid = heapq.heappop(self._heap)
             del self._entries[fid]
+            self.evictions += 1
         if self._ground >= self.REBASE_THRESHOLD:
             self.rebase()
 

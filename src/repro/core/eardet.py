@@ -209,6 +209,18 @@ class EARDet(Detector):
         return self._store.as_dict()
 
     @property
+    def counters_in_use(self) -> int:
+        """Occupied counter-store slots (cheap; no dict materialization,
+        unlike :attr:`counters` — telemetry polls this per batch)."""
+        return len(self._store)
+
+    @property
+    def store_evictions(self) -> int:
+        """Flows this detector's store has evicted via decrement-all
+        (operational telemetry; see ``CounterStore.evictions``)."""
+        return self._store.evictions
+
+    @property
     def blacklist(self) -> Blacklist:
         """The bounded local blacklist."""
         return self._blacklist

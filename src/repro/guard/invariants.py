@@ -58,6 +58,7 @@ Checks are read-only and touch every counter, so a full check is O(n);
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..model.units import NS_PER_S
@@ -144,6 +145,10 @@ class InvariantChecker:
         self.packets_seen = 0
         #: Full invariant sweeps executed.
         self.checks_run = 0
+        #: Monotonic nanoseconds spent inside sweeps — the measured
+        #: sampling cost telemetry surfaces per shard.  Accumulates across
+        #: :meth:`reset` (it describes the monitor, not detector state).
+        self.check_time_ns = 0
         #: Violations raised (at most 1 unless the caller swallows them).
         self.violations = 0
         self._sink_size = 0
@@ -177,16 +182,22 @@ class InvariantChecker:
         Raises :class:`InvariantViolation` on the first failure.
         """
         self.checks_run += 1
-        self._check_sink(detector)
-        # Local imports keep repro.guard importable without dragging in
-        # every detector implementation.
-        from ..core.eardet import EARDet
-        from ..detectors.exact import ExactLeakyBucketDetector
+        started = time.monotonic_ns()
+        try:
+            self._check_sink(detector)
+            # Local imports keep repro.guard importable without dragging
+            # in every detector implementation.
+            from ..core.eardet import EARDet
+            from ..detectors.exact import ExactLeakyBucketDetector
 
-        if isinstance(detector, EARDet):
-            self._check_eardet(detector)
-        elif isinstance(detector, ExactLeakyBucketDetector):
-            self._check_exact(detector)
+            if isinstance(detector, EARDet):
+                self._check_eardet(detector)
+            elif isinstance(detector, ExactLeakyBucketDetector):
+                self._check_exact(detector)
+        finally:
+            # Count the sweep's cost even when it raises: a violating
+            # sweep still spent the time.
+            self.check_time_ns += time.monotonic_ns() - started
 
     # -- generic -----------------------------------------------------------
 

@@ -171,11 +171,19 @@ class ValidationStats:
             )
 
     def as_dict(self) -> Dict[str, object]:
-        """Machine-consumable form (folded into ``ServiceReport``)."""
+        """Machine-consumable form (folded into ``ServiceReport``).
+
+        ``violations`` is zero-filled over every class in
+        :data:`VIOLATION_CLASSES`: a clean run emits the same schema as a
+        dirty one, so JSON consumers (dashboards, the metrics exporter)
+        never have to special-case missing keys.
+        """
+        violations = {name: 0 for name in VIOLATION_CLASSES}
+        violations.update(self.violations)
         return {
             "examined": self.examined,
             "emitted": self.emitted,
-            "violations": dict(self.violations),
+            "violations": violations,
             "clamped": self.clamped,
             "dropped": self.dropped,
             "reordered": self.reordered,

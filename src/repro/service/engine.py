@@ -165,6 +165,10 @@ class InProcessEngine:
         self._routed = [0] * shards
         self._first_loss: List[Optional[int]] = [None] * shards
         self._loss_reason = [""] * shards
+        # Operational telemetry: per-shard queue high-water mark and the
+        # stream timestamp of the last packet routed to each shard.
+        self._queue_high_water = [0] * shards
+        self._last_packet_ts: List[Optional[int]] = [None] * shards
 
     # -- introspection -----------------------------------------------------
 
@@ -190,6 +194,20 @@ class InProcessEngine:
         """Which shard a flow routes to."""
         return self._route(fid)
 
+    def queue_depths(self) -> List[int]:
+        """Current pending-packet count per shard (cheap; no drain)."""
+        return [len(queue) for queue in self._queues]
+
+    @property
+    def queue_high_water(self) -> List[int]:
+        """Highest queue depth each shard has reached."""
+        return list(self._queue_high_water)
+
+    @property
+    def last_packet_ts(self) -> List[Optional[int]]:
+        """Stream timestamp of the last packet routed to each shard."""
+        return list(self._last_packet_ts)
+
     # -- ingestion ---------------------------------------------------------
 
     def ingest(self, batch: List[Packet]) -> None:
@@ -199,12 +217,15 @@ class InProcessEngine:
         queues = self._queues
         route = self._route
         routed = self._routed
+        high_water = self._queue_high_water
+        last_ts = self._last_packet_ts
         capacity = self.queue_capacity
         block = self.overflow == "block"
         plan = self._plan
         for packet in batch:
             index = route(packet.fid)
             routed[index] += 1
+            last_ts[index] = packet.time
             if plan is not None:
                 local = routed[index]
                 if plan.should_drop(index, local):
@@ -229,6 +250,9 @@ class InProcessEngine:
                     continue
             queue.append(packet)
             self._accepted += 1
+            depth = len(queue)
+            if depth > high_water[index]:
+                high_water[index] = depth
 
     def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
         self._dropped[index] += 1
@@ -281,6 +305,8 @@ class InProcessEngine:
                 detections=len(detector.sink),
                 blacklist_size=len(detector.blacklist),
                 dropped=self._dropped[index],
+                queue_high_water=self._queue_high_water[index],
+                last_packet_ts_ns=self._last_packet_ts[index],
             )
             for index, (detector, _) in enumerate(
                 zip(self._detectors, self._queues)
@@ -321,6 +347,8 @@ class InProcessEngine:
             # readers default them) — keeps the format at version 1.
             "first_loss": list(self._first_loss),
             "loss_reason": list(self._loss_reason),
+            "queue_high_water": list(self._queue_high_water),
+            "last_packet_ts": list(self._last_packet_ts),
             "shards": [detector.snapshot() for detector in self._detectors],
         }
 
@@ -349,6 +377,12 @@ class InProcessEngine:
         self._accepted = state["accepted"]
         self._first_loss = list(state.get("first_loss") or [None] * shards)
         self._loss_reason = list(state.get("loss_reason") or [""] * shards)
+        self._queue_high_water = list(
+            state.get("queue_high_water") or [0] * shards
+        )
+        self._last_packet_ts = list(
+            state.get("last_packet_ts") or [None] * shards
+        )
         # Arrival indices resume exactly: a checkpoint is taken drained,
         # so each shard's arrivals = packets processed + packets dropped.
         self._routed = [

@@ -44,8 +44,15 @@ class ShardHealth:
     detections: int
     blacklist_size: int
     dropped: int = 0
+    #: Highest queue depth this shard has reached (backpressure headroom:
+    #: how close the shard has come to its capacity, not just where it
+    #: happens to be right now).
+    queue_high_water: int = 0
+    #: Stream timestamp of the last packet routed to this shard; None
+    #: until the shard has seen traffic (a staleness signal per shard).
+    last_packet_ts_ns: Optional[int] = None
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "shard": self.shard,
             "packets": self.packets,
@@ -54,7 +61,29 @@ class ShardHealth:
             "detections": self.detections,
             "blacklist_size": self.blacklist_size,
             "dropped": self.dropped,
+            "queue_high_water": self.queue_high_water,
+            "last_packet_ts_ns": self.last_packet_ts_ns,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardHealth":
+        """Rebuild from :meth:`as_dict` output (tolerates samples written
+        before ``queue_high_water`` / ``last_packet_ts_ns`` existed)."""
+        return cls(
+            shard=int(data["shard"]),  # type: ignore[arg-type]
+            packets=int(data["packets"]),  # type: ignore[arg-type]
+            queue_depth=int(data["queue_depth"]),  # type: ignore[arg-type]
+            queue_capacity=int(data["queue_capacity"]),  # type: ignore[arg-type]
+            detections=int(data["detections"]),  # type: ignore[arg-type]
+            blacklist_size=int(data["blacklist_size"]),  # type: ignore[arg-type]
+            dropped=int(data.get("dropped", 0)),  # type: ignore[arg-type]
+            queue_high_water=int(data.get("queue_high_water", 0)),  # type: ignore[arg-type]
+            last_packet_ts_ns=(
+                None
+                if data.get("last_packet_ts_ns") is None
+                else int(data["last_packet_ts_ns"])  # type: ignore[arg-type]
+            ),
+        )
 
 
 @dataclass
@@ -278,7 +307,8 @@ class ServiceReport:
         for health in self.shard_health:
             lines.append(
                 f"  shard {health.shard}: {health.packets} packets, "
-                f"queue {health.queue_depth}/{health.queue_capacity}, "
+                f"queue {health.queue_depth}/{health.queue_capacity} "
+                f"(high water {health.queue_high_water}), "
                 f"{health.detections} detections, "
                 f"{health.blacklist_size} blacklisted, "
                 f"{health.dropped} dropped"

@@ -117,6 +117,13 @@ class DetectionService:
         :class:`~repro.guard.invariants.InvariantChecker` sampling the
         paper's algorithm-state invariants once per that many
         shard-local packets (see :mod:`repro.guard`).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context.  When given
+        (and enabled), the service syncs its exact accumulators into the
+        metric registry once per ingested batch and traces checkpoint
+        writes; when None (the default) the hot path pays a single
+        ``is None`` test per batch.  Telemetry never alters detection
+        behaviour — runs with and without it are bit-identical.
     """
 
     def __init__(
@@ -134,6 +141,7 @@ class DetectionService:
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
+        telemetry=None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -161,6 +169,13 @@ class DetectionService:
         self._resumed_from = 0
         self._checkpoints_written = 0
         self._last_source: Optional[PacketSource] = None
+        self.telemetry = telemetry
+        self._instruments = None
+        if telemetry is not None and telemetry.enabled:
+            from ..telemetry import ServiceInstruments
+
+            self._instruments = ServiceInstruments(telemetry)
+            self._instruments.bind_shards(shards, queue_capacity)
 
     # -- recovery ----------------------------------------------------------
 
@@ -176,6 +191,7 @@ class DetectionService:
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
+        telemetry=None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -208,6 +224,7 @@ class DetectionService:
             fault_plan=fault_plan,
             dead_letter=dead_letter,
             invariant_every=invariant_every,
+            telemetry=telemetry,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -253,6 +270,12 @@ class DetectionService:
         """
         source = as_source(source)
         self._last_source = source
+        instruments = self._instruments
+        validation = None
+        if instruments is not None:
+            from .sources import validation_stats
+
+            validation = validation_stats(source)
         started = self._clock()
         served = 0
         next_boundary = self._next_boundary()
@@ -261,9 +284,18 @@ class DetectionService:
                 batch = batch[: max_packets - served]
                 if not batch:
                     break
-            self._engine.ingest(batch)
+            if instruments is None:
+                self._engine.ingest(batch)
+            else:
+                ingest_started = time.monotonic_ns()
+                self._engine.ingest(batch)
+                instruments.on_batch(
+                    len(batch), time.monotonic_ns() - ingest_started
+                )
             self._ingested += len(batch)
             served += len(batch)
+            if instruments is not None:
+                self._sync_instruments(validation)
             if on_progress is not None:
                 on_progress(self)
             if next_boundary is not None and self._ingested >= next_boundary:
@@ -274,6 +306,8 @@ class DetectionService:
         self._engine.flush()
         if final_checkpoint and self.checkpoint_path is not None:
             self._write_checkpoint(source)
+        if instruments is not None:
+            self._sync_instruments(validation)
         return self.report(packets=served, duration_s=self._clock() - started)
 
     def report(self, packets: Optional[int] = None,
@@ -291,11 +325,19 @@ class DetectionService:
         from .sources import validation_stats
 
         stats = validation_stats(self._last_source)
+        shard_health = self._engine.health()
+        if self._instruments is not None:
+            # The health sample is the only per-detector view the
+            # multiprocess engine can offer the registry (its detectors
+            # live out-of-process); harmless duplication in-process.
+            self._instruments.sync_health(shard_health)
+            if stats is not None:
+                self._instruments.sync_validation(stats)
         return ServiceReport(
             packets=self._ingested if packets is None else packets,
             duration_s=duration_s,
             detections=self._engine.detections(),
-            shard_health=self._engine.health(),
+            shard_health=shard_health,
             dropped=self._engine.dropped,
             checkpoints_written=self._checkpoints_written,
             resumed_from=self._resumed_from,
@@ -321,6 +363,21 @@ class DetectionService:
         else:  # pragma: no cover - every engine has terminate today
             self._engine.close()
 
+    def _sync_instruments(self, validation=None) -> None:
+        """Copy the runtime's exact accumulators into the metric
+        registry (one pass of cheap attribute reads; never triggers a
+        multiprocess snapshot barrier)."""
+        instruments = self._instruments
+        instruments.set_ingested(self._ingested)
+        instruments.sync_engine(self._engine)
+        detectors = getattr(self._engine, "_detectors", None)
+        if detectors is not None:  # in-process: rich per-shard stats
+            instruments.sync_detectors(detectors)
+        if self.dead_letter is not None:
+            instruments.sync_dead_letters(self.dead_letter.total)
+        if validation is not None:
+            instruments.sync_validation(validation)
+
     def _next_boundary(self) -> Optional[int]:
         if self.checkpoint_every is None:
             return None
@@ -328,6 +385,16 @@ class DetectionService:
         return (self._ingested // every + 1) * every
 
     def _write_checkpoint(self, source: PacketSource) -> None:
+        instruments = self._instruments
+        if instruments is None:
+            self._write_checkpoint_now(source)
+            return
+        with instruments.tracer.span("checkpoint.write") as span:
+            self._write_checkpoint_now(source)
+        if span.duration_ns is not None:
+            instruments.on_checkpoint(span.duration_ns)
+
+    def _write_checkpoint_now(self, source: PacketSource) -> None:
         payload = {
             "meta": {
                 "format": CHECKPOINT_META_FORMAT,

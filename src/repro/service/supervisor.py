@@ -96,6 +96,11 @@ class Supervisor:
         and restarted (:class:`QueueStallError`).
     sleep / clock:
         Injectable for deterministic tests.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context, threaded
+        into every service this supervisor builds (fresh and recovered
+        alike, so one registry spans restarts) and fed the supervisor's
+        own restart/backoff/incident counters.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class Supervisor:
         invariant_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.perf_counter,
+        telemetry=None,
     ):
         self.config = config
         self.shards = shards
@@ -136,6 +142,17 @@ class Supervisor:
         self.restarts = 0
         self.incidents: List[str] = []
         self._service: Optional[DetectionService] = None
+        self.telemetry = telemetry
+        self._instruments = None
+        if telemetry is not None and telemetry.enabled:
+            from ..telemetry import ServiceInstruments
+
+            self._instruments = ServiceInstruments(telemetry)
+
+    def _note_incident(self, message: str) -> None:
+        self.incidents.append(message)
+        if self._instruments is not None:
+            self._instruments.on_incident()
 
     # -- construction helpers ----------------------------------------------
 
@@ -153,6 +170,7 @@ class Supervisor:
             fault_plan=self.fault_plan,
             dead_letter=self.dead_letter,
             invariant_every=self.invariant_every,
+            telemetry=self.telemetry,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -171,18 +189,19 @@ class Supervisor:
                     overflow=self.overflow,
                     fault_plan=self.fault_plan,
                     dead_letter=self.dead_letter,
+                    telemetry=self.telemetry,
                     invariant_every=self.invariant_every,
                 )
-                self.incidents.append(
+                self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}"
                 )
                 return service
             except CheckpointError as error:
-                self.incidents.append(
+                self._note_incident(
                     f"checkpoint unusable ({error}); replaying from scratch"
                 )
         else:
-            self.incidents.append(
+            self._note_incident(
                 "no checkpoint available; replaying from scratch"
             )
         return self._fresh_service()
@@ -244,7 +263,7 @@ class Supervisor:
                 # The stream itself is gone: degrade, don't spin.  Drain
                 # what was ingested and state exactly what is still
                 # guaranteed.
-                self.incidents.append(f"permanent source failure: {error}")
+                self._note_incident(f"permanent source failure: {error}")
                 service.engine.flush()
                 report = service.report(
                     duration_s=self._clock() - started
@@ -263,14 +282,14 @@ class Supervisor:
                 # logic, or a checkpoint taken by it) cannot fix this.
                 # Record the forensics and abort — never restart-loop on
                 # a permanent error.
-                self.incidents.append(
+                self._note_incident(
                     f"InvariantViolation ({error.check}): {error} "
                     f"(at ~packet {service.ingested}; permanent, aborting)"
                 )
                 service.abort()
                 raise
             except RecoverableServiceError as error:
-                self.incidents.append(
+                self._note_incident(
                     f"{type(error).__name__}: {error} "
                     f"(at ~packet {service.ingested})"
                 )
@@ -283,8 +302,13 @@ class Supervisor:
                         restarts=self.restarts,
                         last_cause=error,
                     ) from error
-                self._sleep(self.policy.delay_s(self.restarts))
+                delay_s = self.policy.delay_s(self.restarts)
+                if self._instruments is not None:
+                    self._instruments.on_backoff(delay_s)
+                self._sleep(delay_s)
                 self.restarts += 1
+                if self._instruments is not None:
+                    self._instruments.on_restart()
                 service = self._service = self._recovered_service()
 
     def shutdown(self) -> None:
@@ -305,6 +329,8 @@ class Supervisor:
         report.incidents = list(self.incidents)
         report.dead_letters = self.dead_letter.total
         report.source_retries = _source_retries(source)
+        if self._instruments is not None:
+            self._instruments.sync_source_retries(report.source_retries)
         return report
 
 

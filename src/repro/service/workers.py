@@ -289,6 +289,12 @@ class MultiprocessEngine:
         self._dropped = [0] * shards
         self._first_loss: List[Optional[int]] = [None] * shards
         self._loss_reason = [""] * shards
+        # Operational telemetry (parent-side, no barrier needed): queue
+        # high water is sampled when a chunk ships — the only moment the
+        # in-flight depth can grow — and the last-packet timestamp is
+        # stamped on the routing path.
+        self._queue_high_water = [0] * shards
+        self._last_packet_ts: List[Optional[int]] = [None] * shards
         self._context = multiprocessing.get_context()
         self._queues = None
         self._results = None
@@ -321,6 +327,30 @@ class MultiprocessEngine:
 
     def shard_of(self, fid: FlowId) -> int:
         return self._route(fid)
+
+    def queue_depths(self) -> List[int]:
+        """Staged packets plus in-flight chunks per shard (parent-side
+        view; no barrier)."""
+        depths = []
+        for index in range(self._shards):
+            depth = len(self._buffers[index]) if self._buffers else 0
+            if self._queues is not None:
+                try:
+                    depth += self._queues[index].qsize()
+                except NotImplementedError:  # pragma: no cover - macOS
+                    pass
+            depths.append(depth)
+        return depths
+
+    @property
+    def queue_high_water(self) -> List[int]:
+        """Highest parent-side queue depth each shard has reached."""
+        return list(self._queue_high_water)
+
+    @property
+    def last_packet_ts(self) -> List[Optional[int]]:
+        """Stream timestamp of the last packet routed to each shard."""
+        return list(self._last_packet_ts)
 
     # -- liveness ----------------------------------------------------------
 
@@ -462,12 +492,14 @@ class MultiprocessEngine:
         buffers = self._buffers
         route = self._route
         routed = self._routed
+        last_ts = self._last_packet_ts
         chunk_size = self.chunk_size
         plan = self._plan
         for packet in batch:
             fid = packet.fid
             index = route(fid)
             routed[index] += 1
+            last_ts[index] = packet.time
             if plan is not None and plan.should_drop(index, routed[index]):
                 self._record_loss(index, packet, "injected-drop")
                 continue
@@ -476,7 +508,22 @@ class MultiprocessEngine:
             if len(buffer) >= chunk_size:
                 self._put(index, ("packets", buffer))
                 buffers[index] = []
+                self._note_high_water(index)
         self._accepted += len(batch)
+
+    def _note_high_water(self, index: int) -> None:
+        """Sample the shard's in-flight chunk count right after a chunk
+        ships — the only moment the parent-side depth can grow.  Uses the
+        same unit as ``queue_depth`` (chunks; the staging buffer is empty
+        at this point)."""
+        if self._queues is None:
+            return
+        try:
+            depth = self._queues[index].qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            return
+        if depth > self._queue_high_water[index]:
+            self._queue_high_water[index] = depth
 
     def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
         self._dropped[index] += 1
@@ -584,6 +631,12 @@ class MultiprocessEngine:
             state.get("first_loss") or [None] * self._shards
         )
         self._loss_reason = list(state.get("loss_reason") or [""] * self._shards)
+        self._queue_high_water = list(
+            state.get("queue_high_water") or [0] * self._shards
+        )
+        self._last_packet_ts = list(
+            state.get("last_packet_ts") or [None] * self._shards
+        )
         self._routed = [
             shard_state["stats"]["packets"] + dropped
             for shard_state, dropped in zip(
@@ -646,6 +699,8 @@ class MultiprocessEngine:
             "dropped": list(self._dropped),
             "first_loss": list(self._first_loss),
             "loss_reason": list(self._loss_reason),
+            "queue_high_water": list(self._queue_high_water),
+            "last_packet_ts": list(self._last_packet_ts),
             "shards": states,
         }
 
@@ -684,6 +739,8 @@ class MultiprocessEngine:
                     detections=len(shard_state["sink"]),
                     blacklist_size=len(shard_state["blacklist"]),
                     dropped=self._dropped[index],
+                    queue_high_water=self._queue_high_water[index],
+                    last_packet_ts_ns=self._last_packet_ts[index],
                 )
             )
         return samples

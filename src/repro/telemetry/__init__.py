@@ -1,0 +1,74 @@
+"""Zero-dependency observability for the detection runtime.
+
+Four layers, each usable alone:
+
+- :mod:`~repro.telemetry.registry` — typed, integer-exact metric
+  primitives (counters, gauges, fixed-boundary histograms) behind a
+  registry; a null registry makes every instrument a no-op when
+  telemetry is off.
+- :mod:`~repro.telemetry.tracing` — monotonic-clock spans with a ring
+  buffer of recent timings plus per-span duration histograms.
+- :mod:`~repro.telemetry.exposition` / :mod:`~repro.telemetry.server` —
+  Prometheus text format 0.0.4 and JSON rendering, served live from a
+  stdlib ``http.server`` daemon thread.
+- :mod:`~repro.telemetry.instruments` — the pre-declared instrument
+  bundle the detection service syncs its exact accumulators into.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and usage.
+"""
+
+from .exposition import (
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_PROMETHEUS,
+    render_json,
+    render_prometheus,
+)
+from .instruments import ServiceInstruments, Telemetry
+from .registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_SIZE_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricRegistry,
+    NullMetric,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .server import DEFAULT_METRICS_HOST, MetricsServer
+from .tracing import (
+    DEFAULT_SPAN_CAPACITY,
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_PROMETHEUS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_METRICS_HOST",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricRegistry",
+    "MetricsServer",
+    "NullMetric",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "render_json",
+    "render_prometheus",
+    "ServiceInstruments",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

@@ -1,0 +1,150 @@
+"""Render a metric registry: Prometheus text format 0.0.4 and JSON.
+
+The text renderer follows the Prometheus exposition rules that matter
+for correctness (and that ``tests/test_telemetry.py`` pins down):
+
+- ``# HELP`` / ``# TYPE`` precede each family; help text escapes ``\\``
+  and newlines;
+- label values escape ``\\``, ``\"`` and newlines;
+- histograms emit cumulative ``_bucket`` series with ascending integer
+  ``le`` boundaries ending in ``le="+Inf"``, plus exact ``_sum`` and
+  ``_count`` — with ``_count`` equal to the ``+Inf`` bucket;
+- unknown gauges (value ``None``) render as ``NaN``, the Prometheus
+  convention for "no meaningful sample yet" — every declared series
+  stays present so dashboards keep a stable schema.
+
+All sample values are integers formatted as integers; nothing passes
+through float on the way out (``NaN`` excepted, which *is* the
+documented non-value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+    NullRegistry,
+)
+from .tracing import NullTracer, Tracer
+
+__all__ = ["render_prometheus", "render_json", "CONTENT_TYPE_PROMETHEUS",
+           "CONTENT_TYPE_JSON"]
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+AnyRegistry = Union[MetricRegistry, NullRegistry]
+AnyTracer = Union[Tracer, NullTracer]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(
+    names: Sequence[str],
+    values: Sequence[str],
+    extra: Sequence[Tuple[str, str]] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label_value(value)}"' for name, value in extra
+    )
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _render_family(family: MetricFamily, lines: List[str]) -> None:
+    name = family.name
+    type_tag = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[
+        family.metric_type
+    ]
+    lines.append(f"# HELP {name} {_escape_help(family.help_text)}")
+    lines.append(f"# TYPE {name} {type_tag}")
+    for label_values, metric in family.collect():
+        block = _label_block(family.label_names, label_values)
+        if isinstance(metric, Counter):
+            lines.append(f"{name}{block} {metric.value}")
+        elif isinstance(metric, Gauge):
+            value = metric.value
+            lines.append(
+                f"{name}{block} {value if value is not None else 'NaN'}"
+            )
+        else:
+            for le, cumulative in metric.cumulative_buckets():
+                le_text = "+Inf" if le is None else str(le)
+                bucket_block = _label_block(
+                    family.label_names, label_values, extra=(("le", le_text),)
+                )
+                lines.append(f"{name}_bucket{bucket_block} {cumulative}")
+            lines.append(f"{name}_sum{block} {metric.sum}")
+            lines.append(f"{name}_count{block} {metric.count}")
+
+
+def render_prometheus(registry: AnyRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for family in registry.collect():
+        _render_family(family, lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _metric_json(metric: Union[Counter, Gauge, Histogram]) -> Dict[str, object]:
+    if isinstance(metric, Counter):
+        return {"value": metric.value}
+    if isinstance(metric, Gauge):
+        return {"value": metric.value}
+    return {
+        "sum": metric.sum,
+        "count": metric.count,
+        "buckets": [
+            {"le": le, "cumulative": cumulative}
+            for le, cumulative in metric.cumulative_buckets()
+        ],
+    }
+
+
+def render_json(
+    registry: AnyRegistry, tracer: Optional[AnyTracer] = None
+) -> Dict[str, object]:
+    """JSON-safe dict of the whole registry (plus recent spans when a
+    tracer is given) — the ``/metrics.json`` endpoint's payload."""
+    families = []
+    for family in registry.collect():
+        type_tag = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[
+            family.metric_type
+        ]
+        families.append(
+            {
+                "name": family.name,
+                "help": family.help_text,
+                "type": type_tag,
+                "label_names": list(family.label_names),
+                "samples": [
+                    {
+                        "labels": dict(zip(family.label_names, values)),
+                        **_metric_json(metric),
+                    }
+                    for values, metric in family.collect()
+                ],
+            }
+        )
+    payload: Dict[str, object] = {"metrics": families}
+    if tracer is not None:
+        payload["spans"] = tracer.as_dict()
+    return payload

@@ -1,0 +1,438 @@
+"""Pre-declared instrument bundles for the detection service.
+
+This module is the bridge between the generic registry and the
+service's hot paths.  Two design rules keep the ≤5% overhead budget
+(measured by ``benchmarks/trajectory.py``):
+
+1. **Exact counters are synced, not duplicated.**  The runtime already
+   keeps exact integer accounting everywhere (``EARDetStats``, the
+   engines' per-shard ``routed``/``dropped`` arrays,
+   ``ValidationStats``, ``DeadLetterSink.total``).  Instruments copy
+   those accumulators into the registry with ``set_total`` — monotone,
+   exact, and one call per *batch* instead of one per packet — rather
+   than double-counting events on the per-packet path.  This is how
+   ``EARDet.observe`` is instrumented without touching its inner loop:
+   its stats object *is* the instrumentation.
+2. **Per-shard children are pre-resolved.**  ``labels()`` costs a dict
+   probe; :meth:`ServiceInstruments.bind_shards` resolves every
+   per-shard child once, so the per-batch sync loop touches plain
+   attributes only.
+
+The service holds ``instruments = None`` when telemetry is off, so the
+disabled hot path pays a single ``is None`` test per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .tracing import DEFAULT_SPAN_CAPACITY, NullTracer, NULL_TRACER, Tracer
+
+__all__ = ["Telemetry", "ServiceInstruments"]
+
+AnyRegistry = Union[MetricRegistry, NullRegistry]
+AnyTracer = Union[Tracer, NullTracer]
+
+
+class Telemetry:
+    """One observability context: a registry plus a tracer.
+
+    Construct with no arguments for a live context, or pass
+    ``registry=NULL_REGISTRY`` (see :meth:`disabled`) for an inert one
+    that any component can hold without branching.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[AnyRegistry] = None,
+        tracer: Optional[AnyTracer] = None,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+    ):
+        self.registry: AnyRegistry = (
+            registry if registry is not None else MetricRegistry()
+        )
+        if tracer is None:
+            tracer = (
+                Tracer(self.registry, capacity=span_capacity)
+                if self.registry.enabled
+                else NULL_TRACER
+            )
+        self.tracer: AnyTracer = tracer
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """An inert context (no-op registry and tracer)."""
+        return cls(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.registry.enabled)
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """A started :class:`~repro.telemetry.server.MetricsServer` over
+        this context."""
+        from .server import MetricsServer
+
+        return MetricsServer(self.registry, self.tracer, host=host,
+                             port=port).start()
+
+    def render_prometheus(self) -> str:
+        from .exposition import render_prometheus
+
+        return render_prometheus(self.registry)
+
+    def as_dict(self) -> Dict[str, object]:
+        from .exposition import render_json
+
+        return render_json(self.registry, self.tracer)
+
+    def __repr__(self) -> str:
+        return f"Telemetry(enabled={self.enabled})"
+
+
+class _ShardChannel:
+    """Pre-resolved per-shard metric children (plain attribute access on
+    the sync path)."""
+
+    __slots__ = (
+        "ingested", "dropped", "queue_depth", "queue_high_water",
+        "queue_capacity", "last_packet_ts", "exact", "first_loss",
+        "detections", "blacklist_size", "counters_in_use", "evictions",
+        "virtual_bytes", "blacklisted_packets", "invariant_checks",
+        "invariant_check_ns",
+    )
+
+
+class ServiceInstruments:
+    """Every metric the detection service exports, declared once.
+
+    The full catalog (names, types, labels, meaning) is documented in
+    ``docs/OBSERVABILITY.md``; keep the two in sync.
+    """
+
+    def __init__(self, telemetry: Telemetry):
+        self.telemetry = telemetry
+        self.enabled = telemetry.enabled
+        self.tracer = telemetry.tracer
+        reg = telemetry.registry
+        shard = ("shard",)
+
+        # -- ingest hot path (synced per batch) ---------------------------
+        self.batches_total = reg.counter(
+            "eardet_ingest_batches_total",
+            "Batches pulled from the source and ingested.",
+        )
+        self.ingested_total = reg.counter(
+            "eardet_ingested_packets_total",
+            "Packets pulled from the source (includes checkpoint-resumed "
+            "prefix).",
+        )
+        self.batch_packets = reg.histogram(
+            "eardet_batch_packets",
+            "Packets per ingested batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.packet_latency_ns = reg.histogram(
+            "eardet_packet_latency_ns",
+            "Per-packet ingest+process latency, nanoseconds (batch time "
+            "divided by batch size; exact integer division).",
+            buckets=DEFAULT_LATENCY_BUCKETS_NS,
+        )
+
+        # -- per-shard families -------------------------------------------
+        self._shard_ingested = reg.counter(
+            "eardet_shard_ingest_packets_total",
+            "Packets routed to each shard (processed or still queued).",
+            labels=shard,
+        )
+        self._shard_dropped = reg.counter(
+            "eardet_shard_dropped_packets_total",
+            "Packets each shard lost (queue overflow or injected drop).",
+            labels=shard,
+        )
+        self._queue_depth = reg.gauge(
+            "eardet_shard_queue_depth",
+            "Pending packets (in-process) or in-flight chunks plus staged "
+            "packets (multiprocess) per shard.",
+            labels=shard,
+        )
+        self._queue_high_water = reg.gauge(
+            "eardet_shard_queue_high_water",
+            "Highest queue depth each shard has reached.",
+            labels=shard,
+        )
+        self._queue_capacity = reg.gauge(
+            "eardet_shard_queue_capacity",
+            "Configured queue capacity per shard.",
+            labels=shard,
+        )
+        self._last_packet_ts = reg.gauge(
+            "eardet_shard_last_packet_ts_ns",
+            "Stream timestamp of the last packet routed to each shard "
+            "(NaN before the first).",
+            labels=shard,
+        )
+        self._exact = reg.gauge(
+            "eardet_shard_exact",
+            "1 while the shard's no-FN/no-FP guarantee holds, 0 from its "
+            "first lost packet onward.",
+            labels=shard,
+        )
+        self._first_loss = reg.gauge(
+            "eardet_shard_first_loss_time_ns",
+            "Stream timestamp of the shard's first lost packet (NaN while "
+            "exact).",
+            labels=shard,
+        )
+        self._detections = reg.counter(
+            "eardet_shard_detections_total",
+            "Large flows each shard has reported.",
+            labels=shard,
+        )
+        self._blacklist_size = reg.gauge(
+            "eardet_shard_blacklist_size",
+            "Flows currently on each shard's bounded blacklist.",
+            labels=shard,
+        )
+        self._counters_in_use = reg.gauge(
+            "eardet_shard_counters_in_use",
+            "Occupied counter-store slots per shard (capacity is the "
+            "configured n).",
+            labels=shard,
+        )
+        self._evictions = reg.counter(
+            "eardet_shard_store_evictions_total",
+            "Counters evicted by decrement-all in each shard's store.",
+            labels=shard,
+        )
+        self._virtual_bytes = reg.counter(
+            "eardet_shard_virtual_bytes_total",
+            "Virtual (idle-bandwidth) bytes each shard has injected.",
+            labels=shard,
+        )
+        self._blacklisted_packets = reg.counter(
+            "eardet_shard_blacklisted_packets_total",
+            "Packets each shard short-circuited as already-blacklisted.",
+            labels=shard,
+        )
+        self._invariant_checks = reg.counter(
+            "eardet_shard_invariant_checks_total",
+            "Full invariant sweeps each shard's checker has run.",
+            labels=shard,
+        )
+        self._invariant_check_ns = reg.counter(
+            "eardet_shard_invariant_check_ns_total",
+            "Monotonic nanoseconds each shard has spent in invariant "
+            "sweeps (the guard's measured sampling cost).",
+            labels=shard,
+        )
+
+        # -- service lifecycle --------------------------------------------
+        self.checkpoints_total = reg.counter(
+            "eardet_checkpoints_written_total",
+            "Checkpoints successfully written.",
+        )
+        self.checkpoint_duration_ns = reg.histogram(
+            "eardet_checkpoint_duration_ns",
+            "Wall time of one checkpoint write (drain + serialize + "
+            "atomic replace), nanoseconds.",
+            buckets=DEFAULT_LATENCY_BUCKETS_NS,
+        )
+        self.dead_letters_total = reg.counter(
+            "eardet_dead_letters_total",
+            "Packets captured by the dead-letter sink.",
+        )
+        self.restarts_total = reg.counter(
+            "eardet_supervised_restarts_total",
+            "Supervised engine restarts performed.",
+        )
+        self.backoff_ns_total = reg.counter(
+            "eardet_supervisor_backoff_ns_total",
+            "Cumulative supervisor backoff sleep, nanoseconds.",
+        )
+        self.incidents_total = reg.counter(
+            "eardet_incidents_total",
+            "Incidents appended to the supervisor's log.",
+        )
+        self.source_retries_total = reg.counter(
+            "eardet_source_retries_total",
+            "Transient source failures absorbed by retry wrappers.",
+        )
+
+        # -- ingest validation --------------------------------------------
+        self.validation_examined_total = reg.counter(
+            "eardet_validation_examined_total",
+            "Packets screened by the ingest validator.",
+        )
+        self._validation_violations = reg.counter(
+            "eardet_validation_violations_total",
+            "Ingest violations by class.",
+            labels=("violation",),
+        )
+        self.validation_mutations_total = reg.counter(
+            "eardet_validation_mutated_total",
+            "Packets the validator clamped or dropped (each voids "
+            "exactness like a loss).",
+        )
+        self.validation_reordered_total = reg.counter(
+            "eardet_validation_reordered_total",
+            "Packets re-slotted into time order (multiset-preserving; "
+            "does not void exactness).",
+        )
+
+        self._channels: List[_ShardChannel] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_shards(self, shard_count: int, queue_capacity: int) -> None:
+        """Resolve per-shard children once (idempotent per shard count)."""
+        if len(self._channels) == shard_count:
+            return
+        self._channels = []
+        for index in range(shard_count):
+            label = str(index)
+            channel = _ShardChannel()
+            channel.ingested = self._shard_ingested.labels(label)
+            channel.dropped = self._shard_dropped.labels(label)
+            channel.queue_depth = self._queue_depth.labels(label)
+            channel.queue_high_water = self._queue_high_water.labels(label)
+            channel.queue_capacity = self._queue_capacity.labels(label)
+            channel.last_packet_ts = self._last_packet_ts.labels(label)
+            channel.exact = self._exact.labels(label)
+            channel.first_loss = self._first_loss.labels(label)
+            channel.detections = self._detections.labels(label)
+            channel.blacklist_size = self._blacklist_size.labels(label)
+            channel.counters_in_use = self._counters_in_use.labels(label)
+            channel.evictions = self._evictions.labels(label)
+            channel.virtual_bytes = self._virtual_bytes.labels(label)
+            channel.blacklisted_packets = self._blacklisted_packets.labels(
+                label
+            )
+            channel.invariant_checks = self._invariant_checks.labels(label)
+            channel.invariant_check_ns = self._invariant_check_ns.labels(
+                label
+            )
+            channel.queue_capacity.set(queue_capacity)
+            channel.exact.set(1)
+            self._channels.append(channel)
+
+    # -- per-batch hot path --------------------------------------------------
+
+    def on_batch(self, packets: int, duration_ns: int) -> None:
+        """Account one ingested batch (one call per batch, not packet)."""
+        self.batches_total.inc()
+        self.batch_packets.observe(packets)
+        if packets > 0:
+            self.packet_latency_ns.observe(duration_ns // packets)
+
+    def sync_engine(self, engine: object) -> None:
+        """Copy the engine's cheap parent-side accounting into the
+        registry.  Reads only fields both engines keep on the routing
+        side — never triggers a snapshot barrier."""
+        channels = self._channels
+        routed: Sequence[int] = engine._routed  # type: ignore[attr-defined]
+        dropped: Sequence[int] = engine._dropped  # type: ignore[attr-defined]
+        first_loss = engine._first_loss  # type: ignore[attr-defined]
+        depths: Sequence[int] = engine.queue_depths()  # type: ignore[attr-defined]
+        high_water: Sequence[int] = engine.queue_high_water  # type: ignore[attr-defined]
+        last_ts = engine.last_packet_ts  # type: ignore[attr-defined]
+        for index, channel in enumerate(channels):
+            channel.ingested.set_total(routed[index])
+            channel.dropped.set_total(dropped[index])
+            channel.queue_depth.set(depths[index])
+            channel.queue_high_water.set(high_water[index])
+            channel.last_packet_ts.set(last_ts[index])
+            loss = first_loss[index]
+            if loss is not None:
+                channel.exact.set(0)
+                channel.first_loss.set(loss)
+
+    def sync_detectors(self, detectors: Sequence[object]) -> None:
+        """Copy per-shard detector stats (in-process engines only — the
+        multiprocess engine's detectors live in worker processes and
+        surface through snapshots instead)."""
+        for channel, detector in zip(self._channels, detectors):
+            stats = detector.stats  # type: ignore[attr-defined]
+            # len(sink) = distinct large flows reported — matches the
+            # ShardHealth field, so sync_health can't rewind this series.
+            channel.detections.set_total(
+                len(detector.sink)  # type: ignore[attr-defined]
+            )
+            channel.virtual_bytes.set_total(stats.virtual_bytes)
+            channel.blacklisted_packets.set_total(stats.blacklisted_packets)
+            channel.blacklist_size.set(
+                len(detector.blacklist)  # type: ignore[attr-defined]
+            )
+            channel.counters_in_use.set(
+                detector.counters_in_use  # type: ignore[attr-defined]
+            )
+            evictions = getattr(detector, "store_evictions", None)
+            if evictions is not None:
+                channel.evictions.set_total(evictions)
+            checker = getattr(detector, "checker", None)
+            if checker is not None:
+                channel.invariant_checks.set_total(checker.checks_run)
+                channel.invariant_check_ns.set_total(checker.check_time_ns)
+
+    def sync_health(self, samples: Sequence[object]) -> None:
+        """Copy a list of :class:`~repro.service.health.ShardHealth`
+        samples — the per-shard view both engine kinds can produce (the
+        multiprocess engine's detectors live out-of-process, so this is
+        its only detection/blacklist source)."""
+        for channel, sample in zip(self._channels, samples):
+            channel.detections.set_total(
+                sample.detections  # type: ignore[attr-defined]
+            )
+            channel.blacklist_size.set(
+                sample.blacklist_size  # type: ignore[attr-defined]
+            )
+            channel.queue_high_water.set(
+                sample.queue_high_water  # type: ignore[attr-defined]
+            )
+
+    def sync_validation(self, stats: object) -> None:
+        """Copy a :class:`~repro.guard.ValidationStats` accumulator."""
+        if stats is None:
+            return
+        self.validation_examined_total.set_total(
+            stats.examined  # type: ignore[attr-defined]
+        )
+        self.validation_mutations_total.set_total(
+            stats.mutated  # type: ignore[attr-defined]
+        )
+        self.validation_reordered_total.set_total(
+            stats.reordered  # type: ignore[attr-defined]
+        )
+        for violation, count in stats.violations.items():  # type: ignore[attr-defined]
+            self._validation_violations.labels(violation).set_total(count)
+
+    def sync_dead_letters(self, total: int) -> None:
+        self.dead_letters_total.set_total(total)
+
+    # -- lifecycle events ----------------------------------------------------
+
+    def on_checkpoint(self, duration_ns: int) -> None:
+        self.checkpoints_total.inc()
+        self.checkpoint_duration_ns.observe(duration_ns)
+
+    def on_restart(self) -> None:
+        self.restarts_total.inc()
+
+    def on_backoff(self, delay_s: float) -> None:
+        self.backoff_ns_total.inc(max(0, round(delay_s * 1_000_000_000)))
+
+    def on_incident(self) -> None:
+        self.incidents_total.inc()
+
+    def sync_source_retries(self, total: int) -> None:
+        self.source_retries_total.set_total(total)
+
+    def set_ingested(self, total: int) -> None:
+        self.ingested_total.set_total(total)

@@ -1,0 +1,498 @@
+"""Typed, integer-exact metrics registry.
+
+The detector's value proposition is *exactness*, and its observability
+layer must not be the place where that property quietly leaks away: a
+float-accumulating metrics pipeline turns "processed exactly 10^9
+packets" into "processed about 10^9 packets".  Every primitive here
+therefore stores plain Python integers:
+
+- :class:`Counter` — monotone event count.  ``inc(n)`` adds; ``set_total``
+  syncs from an external exact accumulator (e.g.
+  :class:`~repro.core.eardet.EARDetStats`) and *enforces* monotonicity,
+  so a buggy sync can never silently rewind a counter.
+- :class:`Gauge` — a point-in-time integer (queue depth, blacklist
+  occupancy, a first-loss timestamp).  May be ``None`` while genuinely
+  unknown; exposition renders unknown as the documented sentinel.
+- :class:`Histogram` — fixed integer bucket boundaries chosen at
+  creation (latency in ns, batch sizes).  Observations, the running
+  ``sum`` and ``count`` are all integers; bucket counts are cumulative
+  in Prometheus ``le`` style.
+
+Metrics live in families keyed by label values
+(:class:`MetricFamily`), registered in a :class:`MetricRegistry`.  When
+telemetry is off the service uses :data:`NULL_REGISTRY`, whose factory
+methods all return the same inert metric object — the hot path pays one
+no-op method call, nothing else (see ``tests/test_telemetry.py`` for
+the fast-path contract and ``benchmarks/trajectory.py`` for the
+measured overhead).
+
+Thread-safety: single field updates (counter/gauge) ride CPython's
+atomic int operations; histograms mutate several fields per observation
+and take a per-family lock, as does a registry snapshot — an exposition
+scrape never sees a half-applied observation.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "NullMetric",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Prometheus-compatible metric / label name grammars.
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram boundaries for nanosecond latencies: 250ns to 1s in
+#: roughly 1-2.5-5 decades — wide enough for a per-packet fast path and
+#: a multi-ms checkpoint write on the same scale.
+DEFAULT_LATENCY_BUCKETS_NS: Tuple[int, ...] = (
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    25_000_000, 50_000_000, 100_000_000, 250_000_000, 500_000_000,
+    1_000_000_000,
+)
+
+#: Default boundaries for cardinalities (batch sizes, queue depths).
+DEFAULT_SIZE_BUCKETS: Tuple[int, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192,
+    16_384, 65_536,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (caller bug, raised loudly)."""
+
+
+class Counter:
+    """Monotone integer event counter.
+
+    Two feeding modes, per metric (do not mix on one series):
+
+    - :meth:`inc` for events counted at the telemetry layer itself;
+    - :meth:`set_total` for series mirroring an *external* exact
+      accumulator (``EARDetStats``, an engine's per-shard arrays).
+    """
+
+    __slots__ = ("_value", "_external")
+
+    def __init__(self) -> None:
+        self._value = 0
+        # Last total seen by set_total — the external accumulator's
+        # baseline for delta accumulation.
+        self._external = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter increment must be >= 0, got {amount}")
+        self._value += amount
+
+    def set_total(self, total: int) -> None:
+        """Sync from an external exact accumulator.
+
+        Accumulates the *delta* since the last sync, so the exposed
+        series is exactly the external total while the accumulator lives
+        — and stays monotone when the accumulator rewinds (a supervised
+        restart resumes the engine from its checkpoint boundary, below
+        the pre-crash peak).  A rewind adopts the new baseline without
+        decrementing, matching Prometheus counter-reset semantics.
+        """
+        if total < 0:
+            raise MetricError(f"counter total must be >= 0, got {total}")
+        if total > self._external:
+            self._value += total - self._external
+        self._external = total
+
+
+class Gauge:
+    """Point-in-time integer; ``None`` while genuinely unknown."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value: Optional[int] = None
+
+    @property
+    def value(self) -> Optional[int]:
+        return self._value
+
+    def set(self, value: Optional[int]) -> None:
+        if value is not None and not isinstance(value, int):
+            raise MetricError(f"gauge value must be an int or None, got {value!r}")
+        self._value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self._value = (self._value or 0) + amount
+
+    def dec(self, amount: int = 1) -> None:
+        self._value = (self._value or 0) - amount
+
+
+class Histogram:
+    """Fixed-boundary integer histogram with exact ``sum``/``count``.
+
+    ``boundaries`` are inclusive upper bounds (Prometheus ``le``
+    semantics) and must be strictly increasing positive integers; an
+    implicit ``+Inf`` bucket catches the rest.
+    """
+
+    __slots__ = ("boundaries", "_bucket_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, boundaries: Sequence[int]):
+        bounds = tuple(boundaries)
+        if not bounds:
+            raise MetricError("histogram needs at least one boundary")
+        for value in bounds:
+            if not isinstance(value, int):
+                raise MetricError(
+                    f"histogram boundaries must be integers, got {value!r}"
+                )
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise MetricError(
+                f"histogram boundaries must be strictly increasing: {bounds}"
+            )
+        self.boundaries = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +Inf at the end
+        self._sum = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: int) -> None:
+        """Record one integer observation."""
+        bounds = self.boundaries
+        # Binary search would win only past ~64 buckets; the defaults
+        # have ~20 and the scan is branch-predictable.
+        index = len(bounds)
+        for position, bound in enumerate(bounds):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> int:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def cumulative_buckets(self) -> List[Tuple[Optional[int], int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(None, count)``
+        for the ``+Inf`` bucket — exactly what exposition renders."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        pairs: List[Tuple[Optional[int], int]] = []
+        running = 0
+        for bound, count in zip(self.boundaries, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((None, total))
+        return pairs
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+#: Metric type tags used by exposition.
+METRIC_TYPES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label values.
+
+    A family with no label names has exactly one child and proxies the
+    metric API directly (``family.inc(...)``), so unlabeled metrics need
+    no ``.labels()`` hop on the hot path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: type,
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[int]] = None,
+    ):
+        if not _METRIC_NAME.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_NAME.match(label):
+                raise MetricError(f"invalid label name {label!r}")
+            if label.startswith("__"):
+                raise MetricError(f"label {label!r} is reserved")
+        if metric_type is Histogram and buckets is None:
+            raise MetricError(f"histogram {name!r} needs bucket boundaries")
+        self.name = name
+        self.help_text = help_text
+        self.metric_type = metric_type
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[LabelValues, Metric] = {}
+        self._lock = threading.Lock()
+        if not self.label_names:
+            self._default: Optional[Metric] = self._make()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make(self) -> Metric:
+        if self.metric_type is Histogram:
+            assert self._buckets is not None
+            return Histogram(self._buckets)
+        return self.metric_type()
+
+    def labels(self, *values: object, **kv: object) -> Metric:
+        """The child for one label-value combination (created on first
+        use).  Accepts positional values in declaration order or
+        keywords; values are stringified."""
+        if kv:
+            if values:
+                raise MetricError("pass label values positionally or by "
+                                  "keyword, not both")
+            try:
+                values = tuple(kv[name] for name in self.label_names)
+            except KeyError as error:
+                raise MetricError(
+                    f"missing label {error.args[0]!r} for {self.name!r} "
+                    f"(declared: {self.label_names})"
+                ) from None
+            if len(kv) != len(self.label_names):
+                extra = set(kv) - set(self.label_names)
+                raise MetricError(
+                    f"unknown labels {sorted(extra)} for {self.name!r}"
+                )
+        if len(values) != len(self.label_names):
+            raise MetricError(
+                f"{self.name!r} takes {len(self.label_names)} label values "
+                f"({self.label_names}), got {len(values)}"
+            )
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make()
+        return child
+
+    def collect(self) -> Iterator[Tuple[LabelValues, Metric]]:
+        """Snapshot iteration of ``(label values, metric)`` pairs in
+        insertion order (dict order is stable, and children are only ever
+        added)."""
+        return iter(list(self._children.items()))
+
+    # -- unlabeled proxy ---------------------------------------------------
+
+    def _only(self) -> Metric:
+        if self._default is None:
+            raise MetricError(
+                f"{self.name!r} declares labels {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._default
+
+    def inc(self, amount: int = 1) -> None:
+        self._only().inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: int = 1) -> None:
+        self._only().dec(amount)  # type: ignore[union-attr]
+
+    def set(self, value: Optional[int]) -> None:
+        self._only().set(value)  # type: ignore[union-attr]
+
+    def set_total(self, total: int) -> None:
+        self._only().set_total(total)  # type: ignore[union-attr]
+
+    def observe(self, value: int) -> None:
+        self._only().observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> Optional[int]:
+        return self._only().value  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricFamily({self.name!r}, "
+            f"type={METRIC_TYPES[self.metric_type]}, "
+            f"children={len(self._children)})"
+        )
+
+
+class MetricRegistry:
+    """Namespace of metric families; the object exposition renders.
+
+    Re-declaring an existing name returns the existing family when the
+    declaration matches (idempotent wiring — e.g. a supervisor restart
+    rebuilding a service against the same registry) and raises when it
+    conflicts.
+    """
+
+    #: Hot paths branch on this (vs :class:`NullRegistry`'s False) to
+    #: decide whether clock reads are worth taking.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, help_text, Counter, labels, None)
+
+    def gauge(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, help_text, Gauge, labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[int],
+        labels: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._declare(name, help_text, Histogram, labels, buckets)
+
+    def _declare(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: type,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[int]],
+    ) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    existing.metric_type is not metric_type
+                    or existing.label_names != tuple(labels)
+                    or (
+                        metric_type is Histogram
+                        and existing._buckets != tuple(buckets or ())
+                    )
+                ):
+                    raise MetricError(
+                        f"metric {name!r} already registered with a "
+                        "different declaration"
+                    )
+                return existing
+            family = MetricFamily(name, help_text, metric_type, labels, buckets)
+            self._families[name] = family
+            return family
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def collect(self) -> Iterator[MetricFamily]:
+        """Families in registration order (snapshot)."""
+        with self._lock:
+            return iter(list(self._families.values()))
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __repr__(self) -> str:
+        return f"MetricRegistry(families={len(self._families)})"
+
+
+class NullMetric:
+    """Inert metric: every operation is a no-op, every query is inert.
+
+    One shared instance backs every name in a :class:`NullRegistry`, so
+    disabled telemetry costs a dict-free attribute call and nothing else.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def dec(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: Optional[int]) -> None:
+        pass
+
+    def set_total(self, total: int) -> None:
+        pass
+
+    def observe(self, value: int) -> None:
+        pass
+
+    def labels(self, *values: object, **kv: object) -> "NullMetric":
+        return self
+
+    @property
+    def value(self) -> None:
+        return None
+
+    def collect(self) -> Iterator[Tuple[LabelValues, Metric]]:
+        return iter(())
+
+
+_NULL_METRIC = NullMetric()
+
+
+class NullRegistry:
+    """The telemetry-off registry: every factory returns the shared
+    :class:`NullMetric`; exposition sees no families."""
+
+    __slots__ = ()
+
+    #: Hot paths branch on this instead of probing types.
+    enabled = False
+
+    def counter(self, name: str, help_text: str,
+                labels: Sequence[str] = ()) -> NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_text: str,
+              labels: Sequence[str] = ()) -> NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help_text: str, buckets: Sequence[int],
+                  labels: Sequence[str] = ()) -> NullMetric:
+        return _NULL_METRIC
+
+    def get(self, name: str) -> None:
+        return None
+
+    def collect(self) -> Iterator[MetricFamily]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+#: Process-wide shared no-op registry.
+NULL_REGISTRY = NullRegistry()

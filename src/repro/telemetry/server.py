@@ -1,0 +1,152 @@
+"""Live exposition over HTTP, on the standard library only.
+
+:class:`MetricsServer` runs a ``ThreadingHTTPServer`` on a daemon
+thread next to the service and answers:
+
+- ``GET /metrics``       — Prometheus text format 0.0.4;
+- ``GET /metrics.json``  — the same registry as JSON, plus the tracer's
+  recent spans (also reachable as ``/json``);
+- ``GET /healthz``       — liveness probe, always ``ok``.
+
+Scrapes read the registry concurrently with the serving thread's
+writes; the registry's own locking (see
+:mod:`repro.telemetry.registry`) keeps every sample internally
+consistent.  Binding ``port=0`` lets the OS pick a free port
+(:attr:`MetricsServer.port` reports the actual one) — how the tests and
+``eardet serve --metrics-port 0`` avoid collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from .exposition import (
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_PROMETHEUS,
+    render_json,
+    render_prometheus,
+)
+from .registry import MetricRegistry, NullRegistry
+from .tracing import NullTracer, Tracer
+
+__all__ = ["MetricsServer", "DEFAULT_METRICS_HOST"]
+
+DEFAULT_METRICS_HOST = "127.0.0.1"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one server's registry/tracer."""
+
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.server.registry).encode("utf-8")
+            self._reply(200, CONTENT_TYPE_PROMETHEUS, body)
+        elif path in ("/metrics.json", "/json"):
+            payload = render_json(self.server.registry, self.server.tracer)
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            self._reply(200, CONTENT_TYPE_JSON, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(
+                404,
+                "text/plain; charset=utf-8",
+                b"not found; try /metrics, /metrics.json or /healthz\n",
+            )
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are periodic; never spam the operator's terminal."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Rebinding quickly after a restart must not fail with EADDRINUSE.
+    allow_reuse_address = True
+
+    registry: Union[MetricRegistry, NullRegistry]
+    tracer: Union[Tracer, NullTracer]
+
+
+class MetricsServer:
+    """Serve a registry (and tracer) over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        registry: Union[MetricRegistry, NullRegistry],
+        tracer: Union[Tracer, NullTracer, None] = None,
+        host: str = DEFAULT_METRICS_HOST,
+        port: int = 0,
+    ):
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {port}")
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the OS-assigned one)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind and start answering; idempotent; returns self."""
+        if self._httpd is not None:
+            return self
+        httpd = _Server((self.host, self._requested_port), _Handler)
+        httpd.registry = self.registry
+        httpd.tracer = self.tracer
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="eardet-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and release the port; idempotent."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = f"url={self.url!r}" if self.running else "stopped"
+        return f"MetricsServer({state})"

@@ -1,0 +1,171 @@
+"""Lightweight tracing spans over the monotonic clock.
+
+A span is one timed region of the runtime — ``span("checkpoint.write")``,
+``span("engine.ingest", shard=2)`` — measured with
+``time.monotonic_ns`` (immune to wall-clock steps) and recorded two
+ways:
+
+- a bounded **ring buffer** of recent finished spans per tracer (the
+  "what just happened" view the JSON endpoint serves), and
+- a duration **histogram** per span name in the metric registry
+  (``eardet_span_duration_ns{span="..."}``), so long-run latency
+  distributions survive the ring buffer's horizon.
+
+The tracer is nullable like everything else in this package:
+:data:`NULL_TRACER` hands out a single reusable no-op span, so a
+disabled trace point costs one method call and an empty ``with`` block.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    MetricRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "DEFAULT_SPAN_CAPACITY"]
+
+#: Default ring-buffer capacity for finished spans.
+DEFAULT_SPAN_CAPACITY = 256
+
+
+class Span:
+    """One timed region; use as a context manager."""
+
+    __slots__ = ("name", "tags", "start_ns", "duration_ns", "_tracer")
+
+    def __init__(self, name: str, tags: Dict[str, str], tracer: "Tracer"):
+        self.name = name
+        self.tags = tags
+        self.start_ns = 0
+        self.duration_ns: Optional[int] = None
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self.start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.duration_ns = time.monotonic_ns() - self.start_ns
+        self._tracer._finish(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration_ns={self.duration_ns})"
+
+
+class Tracer:
+    """Produces spans, keeps the recent ring, feeds the registry.
+
+    ``registry`` may be a :class:`~repro.telemetry.registry.NullRegistry`
+    — spans then still fill the ring buffer (useful standalone) but no
+    histogram is kept.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricRegistry | NullRegistry" = NULL_REGISTRY,
+        capacity: int = DEFAULT_SPAN_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"span capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._recent: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.finished = 0
+        self._durations = registry.histogram(
+            "eardet_span_duration_ns",
+            "Duration of traced runtime spans, nanoseconds.",
+            buckets=DEFAULT_LATENCY_BUCKETS_NS,
+            labels=("span",),
+        )
+
+    def span(self, name: str, **tags: object) -> Span:
+        """A new unstarted span; enter it with ``with``."""
+        return Span(name, {key: str(value) for key, value in tags.items()},
+                    self)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._recent.append(span)
+            self.finished += 1
+        if span.duration_ns is not None:
+            self._durations.labels(span.name).observe(span.duration_ns)
+
+    def recent(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans still in the ring, oldest first; optionally
+        filtered by span name."""
+        with self._lock:
+            spans = list(self._recent)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "finished": self.finished,
+            "recent": [span.as_dict() for span in self.recent()],
+        }
+
+    def __repr__(self) -> str:
+        return f"Tracer(finished={self.finished}, capacity={self.capacity})"
+
+
+class _NullSpan:
+    """Reusable inert span (one per process)."""
+
+    __slots__ = ()
+    name = ""
+    tags: Dict[str, str] = {}
+    start_ns = 0
+    duration_ns: Optional[int] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": "", "tags": {}, "start_ns": 0, "duration_ns": None}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Telemetry-off tracer: hands out the shared no-op span."""
+
+    __slots__ = ()
+
+    capacity = 0
+    finished = 0
+
+    def span(self, name: str, **tags: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def recent(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"capacity": 0, "finished": 0, "recent": []}
+
+
+#: Process-wide shared no-op tracer.
+NULL_TRACER = NullTracer()

@@ -596,7 +596,13 @@ def test_trace_file_source_validates_before_stream_construction(tmp_path):
     service.shutdown()
     assert report.packets == 3
     assert report.validation is not None
-    assert report.validation["violations"] == {"time-regression": 1}
+    # The violations schema is stable: every class is present, zero-filled.
+    assert report.validation["violations"] == {
+        "negative-time": 0,
+        "time-regression": 1,
+        "size-range": 0,
+        "fid-invalid": 0,
+    }
     assert not report.exact  # repair clamps, which voids exactness
 
     # Unguarded, the same trace still fails fast on the ordering contract.
