@@ -49,6 +49,7 @@ from repro.service import DetectionService, StreamSource  # noqa: E402
 from repro.telemetry import Telemetry  # noqa: E402
 
 RESULTS_PATH = REPO_ROOT / "BENCH_telemetry.json"
+OVERLOAD_RESULTS_PATH = REPO_ROOT / "BENCH_overload.json"
 
 #: Same configuration family the tier-1 service tests use: small enough
 #: to evict, large enough to detect.
@@ -83,8 +84,10 @@ def _time_direct(packets: list) -> float:
     return time.perf_counter() - started
 
 
-def _time_service(packets: list, telemetry) -> "tuple[float, tuple]":
-    service = DetectionService(CONFIG, shards=2, telemetry=telemetry)
+def _time_service(packets: list, telemetry, overload=None) -> "tuple[float, tuple]":
+    service = DetectionService(
+        CONFIG, shards=2, telemetry=telemetry, overload=overload
+    )
     try:
         started = time.perf_counter()
         report = service.serve(StreamSource(packets))
@@ -133,21 +136,67 @@ def measure(packets: list, repeats: int) -> dict:
     }
 
 
-def append_point(point: dict, path: Path = RESULTS_PATH) -> None:
-    """Append to the trajectory file (a JSON object with a ``points``
+def append_point(
+    point: dict,
+    path: Path = RESULTS_PATH,
+    description: str = (
+        "telemetry overhead trajectory; one point per run of "
+        "benchmarks/trajectory.py"
+    ),
+) -> None:
+    """Append to a trajectory file (a JSON object with a ``points``
     list), creating it when absent."""
     if path.exists():
         payload = json.loads(path.read_text())
     else:
-        payload = {
-            "description": (
-                "telemetry overhead trajectory; one point per run of "
-                "benchmarks/trajectory.py"
-            ),
-            "points": [],
-        }
+        payload = {"description": description, "points": []}
     payload["points"].append(point)
     path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def measure_overload(packets: list, repeats: int) -> dict:
+    """Overhead of an *armed but idle* overload ladder.
+
+    The ladder's contract is that below the low watermark it costs an
+    admission check per packet and nothing else — detections are
+    bit-identical to the unarmed service.  Measured exactly like the
+    telemetry point: best-of-``repeats``, interleaved, asserted
+    identical before any number is reported.
+    """
+    from repro.service import OverloadPolicy
+
+    # A drain budget far above the batch size keeps occupancy at zero,
+    # so the ladder never leaves EXACT: the pure cost of being armed.
+    policy = OverloadPolicy(drain_budget=1_000_000)
+    best = {"service-off": None, "service-ladder": None}
+    detections_off = detections_ladder = None
+    for _ in range(repeats):
+        elapsed, detections_off = _time_service(packets, telemetry=None)
+        if best["service-off"] is None or elapsed < best["service-off"]:
+            best["service-off"] = elapsed
+
+        elapsed, detections_ladder = _time_service(
+            packets, telemetry=None, overload=policy
+        )
+        if best["service-ladder"] is None or elapsed < best["service-ladder"]:
+            best["service-ladder"] = elapsed
+
+    if detections_ladder != detections_off:
+        raise AssertionError(
+            "an idle overload ladder perturbed detection: "
+            f"{len(detections_off or ())} flows unarmed vs "
+            f"{len(detections_ladder or ())} armed"
+        )
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead_pct = 100.0 * (1.0 - pps["service-ladder"] / pps["service-off"])
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": round(overhead_pct, 3),
+        "detected_flows": len(detections_off or ()),
+    }
 
 
 def main(argv=None) -> int:
@@ -170,7 +219,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--no-append", action="store_true",
-        help="measure and report but do not touch BENCH_telemetry.json",
+        help="measure and report but do not touch the trajectory file",
+    )
+    parser.add_argument(
+        "--overload", action="store_true",
+        help="measure the idle overload ladder instead of telemetry and "
+        "append to BENCH_overload.json (armed-below-watermark cost; "
+        "detections asserted bit-identical to the unarmed service)",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -182,15 +237,38 @@ def main(argv=None) -> int:
     repeats = args.repeats or (2 if args.smoke else 5)
 
     packets = make_packets(count)
-    point = measure(packets, repeats)
+    if args.overload:
+        point = measure_overload(packets, repeats)
+    else:
+        point = measure(packets, repeats)
     point["preset"] = "smoke" if args.smoke else "full"
     point["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
     if not args.no_append:
-        append_point(point)
+        if args.overload:
+            append_point(
+                point,
+                path=OVERLOAD_RESULTS_PATH,
+                description=(
+                    "overload-ladder trajectory; points from "
+                    "benchmarks/trajectory.py --overload (idle-ladder "
+                    "overhead) and benchmarks/bench_overload.py (soak)"
+                ),
+            )
+        else:
+            append_point(point)
 
     if args.json:
         print(json.dumps(point, indent=2))
+    elif args.overload:
+        pps = point["pps"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"service off {pps['service-off']:,.0f} pps | "
+            f"ladder armed {pps['service-ladder']:,.0f} pps | "
+            f"overhead {point['overhead_pct']:+.2f}% | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
     else:
         pps = point["pps"]
         print(

@@ -264,6 +264,56 @@ def build_parser() -> argparse.ArgumentParser:
         "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
     )
 
+    overload = parser.add_argument_group(
+        "overload options",
+        description=(
+            "Admission control for the streaming service "
+            "(see docs/OVERLOAD.md).  --overload-policy ladder arms a "
+            "per-shard degradation ladder (exact -> deferred -> "
+            "aggregated -> shedding) driven by queue occupancy with "
+            "hysteresis watermarks; every offered byte is attributed to "
+            "exactly one rung, so the report's account always sums to "
+            "the offered total.  SIGTERM/SIGINT during serve request a "
+            "graceful drain: finish the batch, flush every rung buffer, "
+            "write the final checkpoint, then report."
+        ),
+    )
+    overload.add_argument(
+        "--overload-policy", choices=["off", "ladder"], default="off",
+        help="overload response: 'off' (pure backpressure) or 'ladder' "
+        "(accounted degradation) (serve)",
+    )
+    overload.add_argument(
+        "--high-watermark", type=float, default=0.75, metavar="FRAC",
+        help="queue occupancy fraction that escalates the ladder one "
+        "rung (default 0.75)",
+    )
+    overload.add_argument(
+        "--low-watermark", type=float, default=0.25, metavar="FRAC",
+        help="queue occupancy fraction that de-escalates one rung after "
+        "the cooldown (default 0.25)",
+    )
+    overload.add_argument(
+        "--overload-cooldown", type=int, default=4, metavar="BATCHES",
+        help="batches a shard must observe after a transition before it "
+        "may de-escalate (escalation is never delayed; default 4)",
+    )
+    overload.add_argument(
+        "--drain-budget", type=int, default=None, metavar="PACKETS",
+        help="packets each shard may process per batch under the ladder "
+        "(in-process engine; models worker capacity; default unbounded)",
+    )
+    overload.add_argument(
+        "--aggregate-window-ms", type=float, default=10.0, metavar="MS",
+        help="epoch length for the AGGREGATED rung's per-flow coalescing "
+        "(bounds the ambiguity widening; default 10)",
+    )
+    overload.add_argument(
+        "--defer-deadline-batches", type=int, default=4, metavar="N",
+        help="batches a DEFERRED buffer may age before it is force-"
+        "released (default 4)",
+    )
+
     telemetry = parser.add_argument_group(
         "telemetry options",
         description=(
@@ -408,6 +458,76 @@ def _guard_policy(args: argparse.Namespace):
         except ValueError as error:
             raise SystemExit(f"bad guard options: {error}")
     return policy
+
+
+def _overload_policy(args: argparse.Namespace):
+    """Build the :class:`~repro.service.OverloadPolicy` from the overload
+    options, or None when ``--overload-policy off`` (the default)."""
+    if args.overload_policy == "off":
+        return None
+    from .service import OverloadPolicy
+
+    try:
+        return OverloadPolicy(
+            high_watermark=args.high_watermark,
+            low_watermark=args.low_watermark,
+            cooldown=args.overload_cooldown,
+            drain_budget=args.drain_budget,
+            aggregate_window_ns=max(
+                1, round(args.aggregate_window_ms * 1_000_000)
+            ),
+            defer_deadline_batches=args.defer_deadline_batches,
+        )
+    except ValueError as error:
+        raise SystemExit(f"bad overload options: {error}")
+
+
+def _install_drain_handlers(request_drain) -> "dict | None":
+    """Route SIGTERM/SIGINT to a graceful drain request.
+
+    The first signal asks the serve loop to stop at the next batch
+    boundary and flush (``request_drain`` only sets a flag, so it is
+    signal-safe); a second signal falls through to the previous handler
+    (normally KeyboardInterrupt) for a hard stop.  Returns the previous
+    handlers for :func:`_restore_drain_handlers`, or None when not on
+    the main thread (signal.signal would raise there).
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous = {}
+    fired = []
+
+    def handler(signum, frame):
+        if fired:
+            prior = previous.get(signum)
+            if callable(prior):
+                prior(signum, frame)
+                return
+            raise KeyboardInterrupt
+        fired.append(signum)
+        request_drain()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    return previous
+
+
+def _restore_drain_handlers(previous) -> None:
+    import signal
+
+    if not previous:
+        return
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
 
 
 def _guard_validator(args: argparse.Namespace):
@@ -656,6 +776,7 @@ def run_serve(args: argparse.Namespace) -> int:
         source = RetryingSource(source, max_retries=args.retry_source)
 
     telemetry, metrics_server = _serve_telemetry(args)
+    overload = _overload_policy(args)
 
     if args.supervise:
         if args.resume:
@@ -681,9 +802,11 @@ def run_serve(args: argparse.Namespace) -> int:
             heartbeat_timeout_s=args.heartbeat_timeout,
             invariant_every=args.invariant_every,
             telemetry=telemetry,
+            overload=overload,
         )
         if not args.json:
             print(config.describe())
+        handlers = _install_drain_handlers(supervisor.request_drain)
         try:
             report = supervisor.run(source, max_packets=args.max_packets)
         except RestartBudgetExceededError as error:
@@ -696,7 +819,8 @@ def run_serve(args: argparse.Namespace) -> int:
                 "(disordered trace — use --validate reorder to repair it)"
             )
         finally:
-            supervisor.shutdown()
+            _restore_drain_handlers(handlers)
+            supervisor.shutdown(drain=supervisor.drain_requested)
             _finish_telemetry(args, telemetry, metrics_server)
         return _emit_report(args, report)
 
@@ -716,6 +840,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 fault_plan=fault_plan,
                 invariant_every=args.invariant_every,
                 telemetry=telemetry,
+                overload=overload,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -738,9 +863,11 @@ def run_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             invariant_every=args.invariant_every,
             telemetry=telemetry,
+            overload=overload,
         )
     if not args.json:
         print(service.config.describe())
+    handlers = _install_drain_handlers(service.request_drain)
     try:
         report = service.serve(source, max_packets=args.max_packets)
     except (InvariantViolation, StreamViolationError) as error:
@@ -751,7 +878,8 @@ def run_serve(args: argparse.Namespace) -> int:
             "(disordered trace — use --validate reorder to repair it)"
         )
     finally:
-        service.shutdown()
+        _restore_drain_handlers(handlers)
+        service.shutdown(drain=service.drain_requested)
         _finish_telemetry(args, telemetry, metrics_server)
     return _emit_report(args, report)
 

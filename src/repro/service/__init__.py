@@ -11,10 +11,16 @@ supervised restart with checkpoint recovery
 that state precisely where the no-FN/no-FP guarantee still holds.
 Ingest hardening and runtime invariant checking come from
 :mod:`repro.guard` (wrap any source in :class:`GuardedSource`; arm the
-checker with ``invariant_every``).  See ``docs/SERVICE.md``,
-``docs/FAULT_TOLERANCE.md`` and ``docs/GUARDRAILS.md``.
+checker with ``invariant_every``).  Overload resilience — admission
+control with hysteresis watermarks, the accounted degradation ladder
+(EXACT → DEFERRED → AGGREGATED → SHEDDING), and graceful drain — lives
+in :mod:`repro.service.overload`; retry timing everywhere goes through
+the shared :class:`BackoffPolicy`.  See ``docs/SERVICE.md``,
+``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md`` and
+``docs/OVERLOAD.md``.
 """
 
+from .backoff import DEFAULT_BACKOFF, BackoffPolicy
 from .checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
@@ -25,6 +31,7 @@ from .checkpoint import (
 from .engine import InProcessEngine
 from .errors import (
     InvariantViolation,
+    OverloadError,
     PermanentSourceError,
     QueueStallError,
     RecoverableServiceError,
@@ -48,6 +55,13 @@ from .health import (
     ServiceReport,
     ShardHealth,
 )
+from .overload import (
+    AdmissionController,
+    DegradationAccount,
+    DegradationLevel,
+    OverloadPolicy,
+    ShardOverload,
+)
 from .runtime import DetectionService
 from .sources import (
     GuardedSource,
@@ -59,14 +73,20 @@ from .sources import (
     as_source,
 )
 from .supervisor import RestartPolicy, Supervisor
-from .workers import MultiprocessEngine, WorkerError
+from .workers import DRAIN_EXIT_CODE, MultiprocessEngine, WorkerError
 
 __all__ = [
+    "AdmissionController",
+    "BackoffPolicy",
     "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointFault",
+    "DEFAULT_BACKOFF",
+    "DRAIN_EXIT_CODE",
     "DeadLetter",
     "DeadLetterSink",
+    "DegradationAccount",
+    "DegradationLevel",
     "DetectionService",
     "ExactnessEnvelope",
     "FaultPlan",
@@ -75,6 +95,8 @@ __all__ = [
     "InProcessEngine",
     "InvariantViolation",
     "MultiprocessEngine",
+    "OverloadError",
+    "OverloadPolicy",
     "PacketSource",
     "PermanentSourceError",
     "QueueStallError",
@@ -87,6 +109,7 @@ __all__ = [
     "ShardCrashError",
     "ShardFault",
     "ShardHealth",
+    "ShardOverload",
     "SourceError",
     "SourceFault",
     "StreamSource",

@@ -1,0 +1,101 @@
+"""One backoff policy for every retry loop in the service.
+
+Before this module the service had three hand-rolled exponential-backoff
+implementations — :class:`~repro.service.sources.RetryingSource`,
+:class:`~repro.service.supervisor.RestartPolicy`, and (implicitly, as
+"no retry at all") checkpoint writes.  They agreed on the shape
+(geometric growth, capped) but not on defaults, and none of them could
+jitter, so a fleet of restarting services thundering-herds the instant
+their shared dependency recovers.
+
+:class:`BackoffPolicy` is the single definition.  Two properties matter
+for this codebase:
+
+- **Deterministic.**  ``delay_s(attempt)`` is a pure function of the
+  policy and the attempt index — no RNG state, no wall clock.  A chaos
+  test that replays the same fault sequence observes the same sleeps.
+- **Seedable jitter.**  Jitter is derived by hashing ``(seed, attempt)``
+  through a splitmix64 round, so it is *repeatable* (same seed → same
+  jitter sequence) yet *decorrelated* across services (different seeds →
+  different sequences).  Jitter only ever shortens a delay (the
+  "decorrelated early" scheme), so the un-jittered delay remains the
+  worst-case bound used in timeout budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["BackoffPolicy", "DEFAULT_BACKOFF"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 round: a cheap, high-quality 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _unit_interval(seed: int, attempt: int) -> float:
+    """A deterministic pseudo-random float in ``[0, 1)`` for
+    ``(seed, attempt)`` — the jitter source."""
+    mixed = _splitmix64(((seed & _MASK64) << 1) ^ _splitmix64(attempt))
+    return (mixed >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic, seedable jitter.
+
+    ``delay_s(attempt)`` for attempt ``0, 1, 2, ...`` is::
+
+        base   = min(initial_s * factor ** attempt, max_s)
+        jitter = base * jitter_fraction * U(seed, attempt)   # U in [0, 1)
+        delay  = base - jitter
+
+    With ``jitter = 0`` (the default) this is exactly the capped
+    geometric schedule the service has always used, so adopting the
+    shared policy changes no existing timing.
+    """
+
+    initial_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 5.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_s < 0:
+            raise ValueError(f"initial_s must be >= 0, got {self.initial_s}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_s < self.initial_s:
+            raise ValueError(
+                f"max_s ({self.max_s}) must be >= initial_s ({self.initial_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = min(self.initial_s * self.factor ** attempt, self.max_s)
+        if self.jitter:
+            base -= base * self.jitter * _unit_interval(self.seed, attempt)
+        return base
+
+    def delays(self, attempts: int) -> Iterator[float]:
+        """The first ``attempts`` delays, in order (for tests and docs)."""
+        return (self.delay_s(index) for index in range(attempts))
+
+
+#: The service-wide default schedule (identical to the historical
+#: RetryingSource/RestartPolicy shape at their shared factor).
+DEFAULT_BACKOFF = BackoffPolicy()

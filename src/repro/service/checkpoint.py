@@ -303,21 +303,47 @@ def loads(data: bytes) -> Any:
 # -- checkpoint files ------------------------------------------------------
 
 
-def write_checkpoint(path: PathLike, payload: Dict[str, Any]) -> int:
+def write_checkpoint(
+    path: PathLike,
+    payload: Dict[str, Any],
+    retry=None,
+    attempts: int = 3,
+    sleep=None,
+) -> int:
     """Atomically write a checkpoint dict; returns bytes written.
 
     The temp-file + rename dance guarantees readers (and crash recovery)
     only ever see a complete previous or complete new checkpoint.
+
+    ``retry`` is an optional
+    :class:`~repro.service.backoff.BackoffPolicy`: transient ``OSError``
+    failures (a momentarily full or flaky filesystem) are retried up to
+    ``attempts - 1`` times with the policy's delays before the last
+    error propagates.  With ``retry=None`` (the default) a failure
+    propagates immediately — the historical behaviour.  ``sleep`` is
+    injectable for tests.
     """
     path = Path(path)
     data = dumps(payload)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    return len(data)
+    if sleep is None:
+        import time
+
+        sleep = time.sleep
+    attempt = 0
+    while True:
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            return len(data)
+        except OSError:
+            if retry is None or attempt >= attempts - 1:
+                raise
+            sleep(retry.delay_s(attempt))
+            attempt += 1
 
 
 def read_checkpoint(path: PathLike) -> Dict[str, Any]:

@@ -42,6 +42,7 @@ from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .errors import ShardCrashError
 from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
+from .overload import DegradationLevel, OverloadPolicy, ShardOverload
 
 #: Default bound on each shard's pending-packet queue.
 DEFAULT_QUEUE_CAPACITY = 4096
@@ -116,6 +117,18 @@ class InProcessEngine:
         :class:`~repro.guard.invariants.InvariantViolation` out of the
         ingest/flush path (permanent — the supervisor aborts rather than
         restarts).
+    overload:
+        Optional :class:`~repro.service.overload.OverloadPolicy`.  When
+        armed, ingestion stops draining synchronously: packets are
+        admitted through the per-shard degradation ladder and queues are
+        drained by explicit :meth:`pump` calls bounded by the policy's
+        ``drain_budget`` (modelling finite worker capacity), so queue
+        occupancy becomes a real overload signal instead of a sawtooth.
+        Queue growth past capacity is permitted transiently — occupancy
+        above the high watermark escalates the ladder, which reaches
+        SHEDDING (and therefore stops enqueueing) within at most three
+        observations, keeping memory bounded.  With ``overload=None``
+        (the default) nothing on the ingest path changes.
     """
 
     def __init__(
@@ -129,6 +142,7 @@ class InProcessEngine:
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
+        overload: Optional[OverloadPolicy] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -169,6 +183,12 @@ class InProcessEngine:
         # stream timestamp of the last packet routed to each shard.
         self._queue_high_water = [0] * shards
         self._last_packet_ts: List[Optional[int]] = [None] * shards
+        self.overload_policy = overload
+        self._overload: Optional[List[ShardOverload[Packet]]] = None
+        if overload is not None:
+            self._overload = [
+                ShardOverload(overload, Packet) for _ in range(shards)
+            ]
 
     # -- introspection -----------------------------------------------------
 
@@ -213,7 +233,14 @@ class InProcessEngine:
     def ingest(self, batch: List[Packet]) -> None:
         """Route a batch of packets onto shard queues, applying the
         overflow policy when a queue is full (and, when a fault plan is
-        armed, injecting kills/stalls/drops at exact packet positions)."""
+        armed, injecting kills/stalls/drops at exact packet positions).
+
+        With an armed overload policy the batch instead flows through
+        the per-shard degradation ladder (see :meth:`_ingest_overload`).
+        """
+        if self._overload is not None:
+            self._ingest_overload(batch)
+            return
         queues = self._queues
         route = self._route
         routed = self._routed
@@ -254,6 +281,104 @@ class InProcessEngine:
             if depth > high_water[index]:
                 high_water[index] = depth
 
+    def _ingest_overload(self, batch: List[Packet]) -> None:
+        """Ladder-mediated ingest: observe occupancy once per shard per
+        batch, admit each packet at its shard's current rung, advance
+        the deferred-deadline clock at the end.
+
+        Enqueueing here is unconditional (no synchronous drain, no
+        overflow drop): queue depth is the overload *signal*, and the
+        ladder — not the queue bound — is what sheds load.  Memory stays
+        bounded because occupancy at or above the high watermark
+        escalates one rung per batch, so a persistently full shard stops
+        enqueueing (SHEDDING) after at most three batches.
+        """
+        states = self._overload
+        assert states is not None
+        queues = self._queues
+        capacity = self.queue_capacity
+        route = self._route
+        routed = self._routed
+        last_ts = self._last_packet_ts
+        high_water = self._queue_high_water
+        plan = self._plan
+        exact = DegradationLevel.EXACT
+        accepted = 0
+        for index, state in enumerate(states):
+            for item in state.observe(len(queues[index]), capacity):
+                self._enqueue(index, item)
+        for packet in batch:
+            index = route(packet.fid)
+            routed[index] += 1
+            last_ts[index] = packet.time
+            if plan is not None:
+                local = routed[index]
+                if plan.should_drop(index, local):
+                    self._record_loss(index, packet, "injected-drop")
+                    continue
+                stall = plan.take_stall(index, local)
+                if stall is not None:
+                    _time.sleep(stall.duration_s)
+                kill = plan.take_kill(index, local)
+                if kill is not None:
+                    raise ShardCrashError(
+                        f"injected kill: shard {index} died at its packet "
+                        f"{local}",
+                        shard=index,
+                    )
+            state = states[index]
+            if state.controller.level is exact:
+                # Inlined EXACT rung (equivalent to admit + _enqueue):
+                # the armed-but-idle ladder must cost attribute bumps,
+                # not three function calls per packet.
+                account = state.account
+                account.exact_packets += 1
+                account.exact_bytes += packet.size
+                state._last_time = packet.time
+                queue = queues[index]
+                queue.append(packet)
+                accepted += 1
+                depth = len(queue)
+                if depth > high_water[index]:
+                    high_water[index] = depth
+                continue
+            emitted = state.admit(packet.time, packet.size, packet.fid, packet)
+            if emitted is None:
+                self._record_loss(index, packet, "overload-shed")
+                continue
+            for item in emitted:
+                self._enqueue(index, item)
+        self._accepted += accepted
+        for index, state in enumerate(states):
+            for item in state.on_batch_end():
+                self._enqueue(index, item)
+
+    def _enqueue(self, index: int, packet: Packet) -> None:
+        queue = self._queues[index]
+        queue.append(packet)
+        self._accepted += 1
+        depth = len(queue)
+        if depth > self._queue_high_water[index]:
+            self._queue_high_water[index] = depth
+
+    def pump(self, budget: Optional[int] = None) -> int:
+        """Drain up to ``budget`` packets from each shard queue (the
+        worker-capacity model under an armed overload policy; defaults
+        to the policy's ``drain_budget``).  Returns packets processed.
+        ``None`` budget (and no policy default) drains fully."""
+        if budget is None and self.overload_policy is not None:
+            budget = self.overload_policy.drain_budget
+        processed = 0
+        for index, queue in enumerate(self._queues):
+            observe = self._detectors[index].observe
+            remaining = budget
+            while queue and (remaining is None or remaining > 0):
+                observe(queue.popleft())
+                processed += 1
+                if remaining is not None:
+                    remaining -= 1
+        return processed
+
     def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
         self._dropped[index] += 1
         if self._first_loss[index] is None:
@@ -263,7 +388,15 @@ class InProcessEngine:
             self._dead_letter.record(packet, index, reason)
 
     def flush(self) -> None:
-        """Process every pending packet (the graceful-drain step)."""
+        """Process every pending packet (the graceful-drain step).
+
+        With an armed overload policy this first releases everything the
+        rung buffers hold (deferred packets, open aggregate epochs), so
+        a drain or snapshot never strands coalesced packets."""
+        if self._overload is not None:
+            for index, state in enumerate(self._overload):
+                for item in state.flush():
+                    self._enqueue(index, item)
         for index in range(len(self._queues)):
             self._drain_shard(index)
 
@@ -273,8 +406,11 @@ class InProcessEngine:
         while queue:
             observe(queue.popleft())
 
-    def close(self) -> None:
-        """Drain and release; the in-process engine holds no OS resources."""
+    def close(self, drain: bool = False) -> None:
+        """Drain and release; the in-process engine holds no OS resources.
+        ``drain`` exists for interface parity with the multiprocess
+        engine (there it selects the drain exit code); the drain work —
+        flushing rung buffers and queues — happens either way."""
         self.flush()
 
     def terminate(self) -> None:
@@ -296,6 +432,7 @@ class InProcessEngine:
 
     def health(self) -> List[ShardHealth]:
         """A point-in-time per-shard health sample."""
+        states = self._overload
         return [
             ShardHealth(
                 shard=index,
@@ -307,11 +444,28 @@ class InProcessEngine:
                 dropped=self._dropped[index],
                 queue_high_water=self._queue_high_water[index],
                 last_packet_ts_ns=self._last_packet_ts[index],
+                degradation_level=(
+                    states[index].level.label if states is not None else "exact"
+                ),
             )
             for index, (detector, _) in enumerate(
                 zip(self._detectors, self._queues)
             )
         ]
+
+    def overload_report(self) -> Optional[Dict[str, object]]:
+        """Service-level overload summary, or ``None`` when no policy is
+        armed.  Includes the merged degradation account (whose integer
+        identity ``exact + deferred + aggregated + shed == offered``
+        holds by construction) and the computed ambiguity-widening
+        bound: aggregates are re-stamped by at most ``max_widening_ns``,
+        so over any window the measured traffic of a flow can shift by
+        at most ``rho * max_widening_ns`` bytes (``widening_bytes``)."""
+        if self._overload is None:
+            return None
+        from .overload import build_overload_report
+
+        return build_overload_report(self._overload, self.config.rho)
 
     def envelope(self) -> List[ExactnessEnvelope]:
         """Per-shard exactness: a shard that lost even one packet no
@@ -349,6 +503,15 @@ class InProcessEngine:
             "loss_reason": list(self._loss_reason),
             "queue_high_water": list(self._queue_high_water),
             "last_packet_ts": list(self._last_packet_ts),
+            # Arrival indices, stored explicitly because under an
+            # AGGREGATED ladder rung shard packet counts no longer equal
+            # routed - dropped (aggregates merge many arrivals into one).
+            "routed": list(self._routed),
+            "overload": (
+                [state.snapshot() for state in self._overload]
+                if self._overload is not None
+                else None
+            ),
             "shards": [detector.snapshot() for detector in self._detectors],
         }
 
@@ -383,12 +546,24 @@ class InProcessEngine:
         self._last_packet_ts = list(
             state.get("last_packet_ts") or [None] * shards
         )
-        # Arrival indices resume exactly: a checkpoint is taken drained,
-        # so each shard's arrivals = packets processed + packets dropped.
-        self._routed = [
-            shard_state["stats"]["packets"] + dropped
-            for shard_state, dropped in zip(state["shards"], self._dropped)
-        ]
+        # Arrival indices resume exactly: newer checkpoints store them;
+        # older ones are recomputed (a checkpoint is taken drained, so
+        # each shard's arrivals = packets processed + packets dropped —
+        # valid because pre-overload checkpoints never aggregated).
+        routed = state.get("routed")
+        if routed is not None:
+            self._routed = list(routed)
+        else:
+            self._routed = [
+                shard_state["stats"]["packets"] + dropped
+                for shard_state, dropped in zip(state["shards"], self._dropped)
+            ]
+        overload_state = state.get("overload")
+        if overload_state is not None and self._overload is not None:
+            for shard_overload, shard_state in zip(
+                self._overload, overload_state
+            ):
+                shard_overload.restore(shard_state)
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,7 @@ Hierarchy::
     │   ├── ShardCrashError            (a shard worker died)
     │   │   └── WorkerError            (repro.service.workers; pre-existing)
     │   ├── QueueStallError            (heartbeat went stale)
+    │   ├── OverloadError              (shard queue full past the put timeout)
     │   └── TransientSourceError       (retryable source failure)
     ├── SourceError
     │   ├── TransientSourceError       (also recoverable, see above)
@@ -45,6 +46,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
     "InvariantViolation",
+    "OverloadError",
     "PermanentSourceError",
     "QueueStallError",
     "RecoverableServiceError",
@@ -95,6 +97,32 @@ class QueueStallError(RecoverableServiceError):
         super().__init__(message)
         self.shard = shard
         self.stalled_s = stalled_s
+
+
+class OverloadError(RecoverableServiceError):
+    """A shard queue stayed full past the producer's patience.
+
+    Raised by the multiprocess engine when a shard's input queue remains
+    full for longer than the configured ``put_timeout_s`` while the
+    worker is alive — the typed replacement for letting a bare
+    ``queue.Full`` escape or dropping silently.  Recoverable: the
+    supervisor may restart (which re-creates queues and replays from the
+    last checkpoint), or the caller may arm an
+    :class:`~repro.service.overload.OverloadPolicy` so the ladder sheds
+    load accountably before this point is ever reached.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.queue_depth = queue_depth
+        self.queue_capacity = queue_capacity
 
 
 class SourceError(ServiceError):

@@ -51,6 +51,9 @@ class ShardHealth:
     #: Stream timestamp of the last packet routed to this shard; None
     #: until the shard has seen traffic (a staleness signal per shard).
     last_packet_ts_ns: Optional[int] = None
+    #: Current degradation-ladder rung (``"exact"`` when no overload
+    #: policy is armed; see :mod:`repro.service.overload`).
+    degradation_level: str = "exact"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -63,6 +66,7 @@ class ShardHealth:
             "dropped": self.dropped,
             "queue_high_water": self.queue_high_water,
             "last_packet_ts_ns": self.last_packet_ts_ns,
+            "degradation_level": self.degradation_level,
         }
 
     @classmethod
@@ -83,6 +87,7 @@ class ShardHealth:
                 if data.get("last_packet_ts_ns") is None
                 else int(data["last_packet_ts_ns"])  # type: ignore[arg-type]
             ),
+            degradation_level=str(data.get("degradation_level", "exact")),
         )
 
 
@@ -211,6 +216,13 @@ class ServiceReport:
     #: ``as_dict`` of a :class:`~repro.guard.ValidationStats`); None for
     #: an unguarded source.
     validation: Optional[Dict[str, object]] = None
+    #: Overload summary (the engine's ``overload_report()``) when an
+    #: overload policy was armed; None otherwise.
+    overload: Optional[Dict[str, object]] = None
+    #: True when this run ended through a graceful drain request (SIGTERM
+    #: or :meth:`DetectionService.request_drain`) rather than source
+    #: exhaustion.
+    drained: bool = False
 
     @property
     def packets_per_second(self) -> float:
@@ -259,6 +271,8 @@ class ServiceReport:
             "dead_letters": self.dead_letters,
             "source_retries": self.source_retries,
             "validation": self.validation,
+            "overload": self.overload,
+            "drained": self.drained,
         }
 
     def render(self) -> str:
@@ -274,6 +288,8 @@ class ServiceReport:
             f"{len(self.detections)} large flows, {self.dropped} dropped, "
             f"{self.checkpoints_written} checkpoints"
         ]
+        if self.drained:
+            lines.append("  graceful drain: stopped on request, queues flushed")
         if self.resumed_from:
             lines.append(f"  resumed from checkpoint at packet {self.resumed_from}")
         if self.restarts:
@@ -304,14 +320,31 @@ class ServiceReport:
                     f"{self.validation_mutations} packets — guarantee void "
                     "(engine judged repaired traffic, not the wire stream)"
                 )
+        if self.overload is not None:
+            account = self.overload.get("account") or {}
+            lines.append(
+                "  overload ladder: "
+                f"{account.get('exact_bytes', 0)} exact + "
+                f"{account.get('deferred_bytes', 0)} deferred + "
+                f"{account.get('aggregated_bytes', 0)} aggregated + "
+                f"{account.get('shed_bytes', 0)} shed bytes "
+                f"({self.overload.get('transitions', 0)} transitions, "
+                f"widening bound {self.overload.get('max_widening_ns', 0)}ns "
+                f"= {self.overload.get('widening_bytes', 0)} bytes)"
+            )
         for health in self.shard_health:
+            ladder = (
+                ""
+                if health.degradation_level == "exact"
+                else f", ladder {health.degradation_level.upper()}"
+            )
             lines.append(
                 f"  shard {health.shard}: {health.packets} packets, "
                 f"queue {health.queue_depth}/{health.queue_capacity} "
                 f"(high water {health.queue_high_water}), "
                 f"{health.detections} detections, "
                 f"{health.blacklist_size} blacklisted, "
-                f"{health.dropped} dropped"
+                f"{health.dropped} dropped{ladder}"
             )
         degraded = [entry for entry in self.envelope if not entry.exact]
         if degraded:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.config import EARDetConfig
 from ..model.packet import Packet
+from .backoff import BackoffPolicy
 from .checkpoint import (
     CheckpointError,
     read_checkpoint,
@@ -34,6 +35,7 @@ from .checkpoint import (
 )
 from .engine import DEFAULT_QUEUE_CAPACITY, InProcessEngine
 from .health import DeadLetterSink, ServiceReport, ShardHealth
+from .overload import OverloadPolicy
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 from .workers import MultiprocessEngine
 
@@ -53,6 +55,7 @@ def _build_engine(
     fault_plan=None,
     dead_letter: Optional[DeadLetterSink] = None,
     invariant_every: Optional[int] = None,
+    overload: Optional[OverloadPolicy] = None,
 ):
     if kind == "inprocess":
         return InProcessEngine(
@@ -64,6 +67,7 @@ def _build_engine(
             fault_plan=fault_plan,
             dead_letter=dead_letter,
             invariant_every=invariant_every,
+            overload=overload,
         )
     if kind == "multiprocess":
         if overflow != "block":
@@ -78,6 +82,7 @@ def _build_engine(
             fault_plan=fault_plan,
             dead_letter=dead_letter,
             invariant_every=invariant_every,
+            overload=overload,
         )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
@@ -124,6 +129,16 @@ class DetectionService:
         writes; when None (the default) the hot path pays a single
         ``is None`` test per batch.  Telemetry never alters detection
         behaviour — runs with and without it are bit-identical.
+    overload:
+        Optional :class:`~repro.service.overload.OverloadPolicy`
+        arming the degradation ladder on the engine (see
+        :mod:`repro.service.overload`).  On the in-process engine the
+        serve loop additionally pumps each shard's queue under the
+        policy's ``drain_budget`` per batch.
+    checkpoint_backoff:
+        Optional :class:`~repro.service.backoff.BackoffPolicy` retrying
+        transient checkpoint-write failures (``OSError``); None keeps
+        the historical fail-fast behaviour.
     """
 
     def __init__(
@@ -142,6 +157,8 @@ class DetectionService:
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
         telemetry=None,
+        overload: Optional[OverloadPolicy] = None,
+        checkpoint_backoff: Optional[BackoffPolicy] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -159,16 +176,20 @@ class DetectionService:
         self.fault_plan = fault_plan
         self.dead_letter = dead_letter
         self.invariant_every = invariant_every
+        self.overload = overload
+        self.checkpoint_backoff = checkpoint_backoff
         self._clock = clock
         self._engine = _build_engine(
             engine, config, shards, seed, queue_capacity, overflow,
             fault_plan=fault_plan, dead_letter=dead_letter,
-            invariant_every=invariant_every,
+            invariant_every=invariant_every, overload=overload,
         )
         self._ingested = 0
         self._resumed_from = 0
         self._checkpoints_written = 0
         self._last_source: Optional[PacketSource] = None
+        self._drain_requested = False
+        self._drained = False
         self.telemetry = telemetry
         self._instruments = None
         if telemetry is not None and telemetry.enabled:
@@ -192,6 +213,8 @@ class DetectionService:
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
         telemetry=None,
+        overload: Optional[OverloadPolicy] = None,
+        checkpoint_backoff: Optional[BackoffPolicy] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -225,6 +248,8 @@ class DetectionService:
             dead_letter=dead_letter,
             invariant_every=invariant_every,
             telemetry=telemetry,
+            overload=overload,
+            checkpoint_backoff=checkpoint_backoff,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -247,6 +272,22 @@ class DetectionService:
     def health(self) -> List[ShardHealth]:
         """Live per-shard health."""
         return self._engine.health()
+
+    # -- graceful drain ----------------------------------------------------
+
+    @property
+    def drain_requested(self) -> bool:
+        return self._drain_requested
+
+    def request_drain(self) -> None:
+        """Ask the serve loop to stop at the next batch boundary and
+        drain: flush in-flight batches (including ladder rung buffers),
+        emit final detections, and write the terminal checkpoint.
+
+        Safe to call from a signal handler or another thread — it only
+        sets a flag the serve loop polls once per batch.  Idempotent.
+        """
+        self._drain_requested = True
 
     # -- serving -----------------------------------------------------------
 
@@ -279,6 +320,21 @@ class DetectionService:
         started = self._clock()
         served = 0
         next_boundary = self._next_boundary()
+        # Under an armed overload policy the in-process engine does not
+        # drain synchronously; the serve loop pumps each shard within the
+        # policy's drain budget once per batch (the capacity model).
+        pump = (
+            getattr(self._engine, "pump", None)
+            if self.overload is not None
+            else None
+        )
+        if self._drain_requested:
+            # Drain requested before (or between) serve calls: flush and
+            # report without pulling anything more from the source.
+            self._finish_drain(source, final_checkpoint, instruments, validation)
+            return self.report(
+                packets=served, duration_s=self._clock() - started
+            )
         for batch in source.batches(self.batch_size, skip=self._ingested):
             if max_packets is not None and served + len(batch) > max_packets:
                 batch = batch[: max_packets - served]
@@ -292,6 +348,8 @@ class DetectionService:
                 instruments.on_batch(
                     len(batch), time.monotonic_ns() - ingest_started
                 )
+            if pump is not None:
+                pump()
             self._ingested += len(batch)
             served += len(batch)
             if instruments is not None:
@@ -301,14 +359,26 @@ class DetectionService:
             if next_boundary is not None and self._ingested >= next_boundary:
                 self._write_checkpoint(source)
                 next_boundary = self._next_boundary()
+            if self._drain_requested:
+                break
             if max_packets is not None and served >= max_packets:
                 break
+        self._finish_drain(source, final_checkpoint, instruments, validation)
+        return self.report(packets=served, duration_s=self._clock() - started)
+
+    def _finish_drain(
+        self, source, final_checkpoint, instruments, validation
+    ) -> None:
+        """Common tail of every serve episode: flush everything pending
+        (the graceful-drain step), write the terminal checkpoint, and do
+        a final telemetry sync."""
         self._engine.flush()
         if final_checkpoint and self.checkpoint_path is not None:
             self._write_checkpoint(source)
         if instruments is not None:
             self._sync_instruments(validation)
-        return self.report(packets=served, duration_s=self._clock() - started)
+        if self._drain_requested:
+            self._drained = True
 
     def report(self, packets: Optional[int] = None,
                duration_s: float = 0.0) -> ServiceReport:
@@ -326,6 +396,11 @@ class DetectionService:
 
         stats = validation_stats(self._last_source)
         shard_health = self._engine.health()
+        overload = (
+            self._engine.overload_report()
+            if hasattr(self._engine, "overload_report")
+            else None
+        )
         if self._instruments is not None:
             # The health sample is the only per-detector view the
             # multiprocess engine can offer the registry (its detectors
@@ -333,6 +408,7 @@ class DetectionService:
             self._instruments.sync_health(shard_health)
             if stats is not None:
                 self._instruments.sync_validation(stats)
+            self._instruments.sync_overload(overload)
         return ServiceReport(
             packets=self._ingested if packets is None else packets,
             duration_s=duration_s,
@@ -346,11 +422,19 @@ class DetectionService:
                 self.dead_letter.total if self.dead_letter is not None else 0
             ),
             validation=stats.as_dict() if stats is not None else None,
+            overload=overload,
+            drained=self._drained,
         )
 
-    def shutdown(self) -> None:
-        """Graceful drain and engine teardown (idempotent)."""
-        self._engine.close()
+    def shutdown(self, drain: bool = False) -> None:
+        """Graceful drain and engine teardown (idempotent).  With
+        ``drain=True`` the teardown is marked as a requested drain:
+        multiprocess workers exit with
+        :data:`~repro.service.workers.DRAIN_EXIT_CODE` instead of 0."""
+        if drain:
+            self._drain_requested = True
+            self._drained = True
+        self._engine.close(drain=drain)
 
     def abort(self) -> None:
         """Crash-path teardown: discard queued work and kill workers
@@ -377,6 +461,10 @@ class DetectionService:
             instruments.sync_dead_letters(self.dead_letter.total)
         if validation is not None:
             instruments.sync_validation(validation)
+        if self.overload is not None:
+            overload_report = getattr(self._engine, "overload_report", None)
+            if overload_report is not None:
+                instruments.sync_overload(overload_report())
 
     def _next_boundary(self) -> Optional[int]:
         if self.checkpoint_every is None:
@@ -419,7 +507,9 @@ class DetectionService:
             # ingested count exactly — the checkpoint boundary.
             "engine": self._engine.snapshot(),
         }
-        write_checkpoint(self.checkpoint_path, payload)
+        write_checkpoint(
+            self.checkpoint_path, payload, retry=self.checkpoint_backoff
+        )
         self._checkpoints_written += 1
         if self.fault_plan is not None:
             # Injected checkpoint corruption (chaos testing the recovery

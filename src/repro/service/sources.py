@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Union
 
 from ..model.packet import Packet
+from .backoff import BackoffPolicy
 
 PathLike = Union[str, Path]
 
@@ -209,6 +210,12 @@ class RetryingSource(PacketSource):
     then degrades instead of spinning).
 
     ``retries`` counts every absorbed failure, for the service report.
+
+    The delay schedule is a shared
+    :class:`~repro.service.backoff.BackoffPolicy`; pass ``backoff=`` to
+    replace it wholesale (e.g. with seeded jitter).  The individual
+    ``backoff_*`` parameters are kept for compatibility and build a
+    jitter-free policy with the historical defaults.
     """
 
     def __init__(
@@ -219,24 +226,27 @@ class RetryingSource(PacketSource):
         backoff_factor: float = 2.0,
         backoff_max_s: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
+        backoff: "BackoffPolicy | None" = None,
     ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self._inner = inner
         self.max_retries = max_retries
-        self.backoff_initial_s = backoff_initial_s
-        self.backoff_factor = backoff_factor
-        self.backoff_max_s = backoff_max_s
+        self.backoff = backoff or BackoffPolicy(
+            initial_s=backoff_initial_s,
+            factor=backoff_factor,
+            max_s=backoff_max_s,
+        )
+        self.backoff_initial_s = self.backoff.initial_s
+        self.backoff_factor = self.backoff.factor
+        self.backoff_max_s = self.backoff.max_s
         self._sleep = sleep
         self.retries = 0
         self.name = f"retry({inner.name})"
         self.replayable = inner.replayable
 
     def _delay_s(self, attempt: int) -> float:
-        return min(
-            self.backoff_initial_s * self.backoff_factor ** attempt,
-            self.backoff_max_s,
-        )
+        return self.backoff.delay_s(attempt)
 
     def iter_packets(self) -> Iterator[Packet]:
         from .errors import PermanentSourceError, TransientSourceError

@@ -42,6 +42,7 @@ from typing import Callable, Iterable, List, Optional, Union
 
 from ..core.config import EARDetConfig
 from ..model.packet import Packet
+from .backoff import BackoffPolicy
 from .checkpoint import CheckpointError
 from .engine import DEFAULT_QUEUE_CAPACITY
 from .errors import (
@@ -52,6 +53,7 @@ from .errors import (
     RestartBudgetExceededError,
 )
 from .health import DeadLetterSink, ServiceReport
+from .overload import OverloadPolicy
 from .runtime import DetectionService
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 
@@ -61,21 +63,35 @@ class RestartPolicy:
     """How hard the supervisor tries before giving up.
 
     ``max_restarts`` bounds the *total* restarts across a run (the
-    budget); delays grow geometrically from ``backoff_initial_s`` by
-    ``backoff_factor`` per restart, capped at ``backoff_max_s``.
+    budget).  The delay schedule is the shared
+    :class:`~repro.service.backoff.BackoffPolicy`: geometric growth from
+    ``backoff_initial_s`` by ``backoff_factor``, capped at
+    ``backoff_max_s``, with optional deterministic ``jitter`` seeded by
+    ``seed`` (so a fleet of supervisors restarting off the same incident
+    does not thundering-herd, yet every test replay sleeps identically).
     """
 
     max_restarts: int = 5
     backoff_initial_s: float = 0.05
     backoff_factor: float = 2.0
     backoff_max_s: float = 5.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    @property
+    def backoff(self) -> BackoffPolicy:
+        """The equivalent shared backoff policy."""
+        return BackoffPolicy(
+            initial_s=self.backoff_initial_s,
+            factor=self.backoff_factor,
+            max_s=self.backoff_max_s,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
 
     def delay_s(self, restart_index: int) -> float:
         """Backoff before restart number ``restart_index`` (0-based)."""
-        return min(
-            self.backoff_initial_s * self.backoff_factor ** restart_index,
-            self.backoff_max_s,
-        )
+        return self.backoff.delay_s(restart_index)
 
 
 class Supervisor:
@@ -122,6 +138,8 @@ class Supervisor:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.perf_counter,
         telemetry=None,
+        overload: Optional[OverloadPolicy] = None,
+        checkpoint_backoff: Optional[BackoffPolicy] = None,
     ):
         self.config = config
         self.shards = shards
@@ -137,6 +155,9 @@ class Supervisor:
         self.dead_letter = dead_letter or DeadLetterSink()
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.invariant_every = invariant_every
+        self.overload = overload
+        self.checkpoint_backoff = checkpoint_backoff
+        self._drain_requested = False
         self._sleep = sleep
         self._clock = clock
         self.restarts = 0
@@ -171,6 +192,8 @@ class Supervisor:
             dead_letter=self.dead_letter,
             invariant_every=self.invariant_every,
             telemetry=self.telemetry,
+            overload=self.overload,
+            checkpoint_backoff=self.checkpoint_backoff,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -191,6 +214,8 @@ class Supervisor:
                     dead_letter=self.dead_letter,
                     telemetry=self.telemetry,
                     invariant_every=self.invariant_every,
+                    overload=self.overload,
+                    checkpoint_backoff=self.checkpoint_backoff,
                 )
                 self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}"
@@ -249,6 +274,8 @@ class Supervisor:
             )
         started = self._clock()
         service = self._service = self._fresh_service()
+        if self._drain_requested:
+            service.request_drain()
         while True:
             try:
                 remaining = (
@@ -310,11 +337,28 @@ class Supervisor:
                 if self._instruments is not None:
                     self._instruments.on_restart()
                 service = self._service = self._recovered_service()
+                if self._drain_requested:
+                    # A drain that arrived mid-recovery still applies to
+                    # the recovered service: it will flush and stop at
+                    # its first batch boundary.
+                    service.request_drain()
 
-    def shutdown(self) -> None:
+    @property
+    def drain_requested(self) -> bool:
+        return self._drain_requested
+
+    def request_drain(self) -> None:
+        """Forward a graceful-drain request (e.g. from a SIGTERM handler)
+        to the currently running service; survives restarts.  Safe to
+        call from a signal handler; idempotent."""
+        self._drain_requested = True
+        if self._service is not None:
+            self._service.request_drain()
+
+    def shutdown(self, drain: bool = False) -> None:
         """Tear down the most recent underlying service (idempotent)."""
         if self._service is not None:
-            self._service.shutdown()
+            self._service.shutdown(drain=drain)
 
     def _annotate(
         self,

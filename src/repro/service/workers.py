@@ -60,8 +60,9 @@ from ..core.eardet import EARDet
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
-from .errors import ShardCrashError
+from .errors import OverloadError, ShardCrashError
 from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
+from .overload import OverloadPolicy, ShardOverload
 
 #: Packets per chunk shipped to a worker (amortizes queue/pickle costs).
 DEFAULT_CHUNK_SIZE = 2048
@@ -95,6 +96,12 @@ ORPHAN_POLL_S = 5.0
 #: a restart — and recover the violation's forensics from the results
 #: queue.
 INVARIANT_EXIT_CODE = 86
+
+#: Exit code a worker uses after a *graceful drain* stop (SIGTERM-driven
+#: shutdown, as opposed to source exhaustion).  Lets an operator tell a
+#: drained worker (final state collected, nothing lost) from a clean
+#: end-of-stream exit (0) without parsing logs.
+DRAIN_EXIT_CODE = 75
 
 
 class WorkerError(ShardCrashError):
@@ -222,6 +229,14 @@ def _shard_worker(
                 out_queue.put(("snapshot", index, message[1], detector.snapshot()))
             elif kind == "stop":
                 out_queue.put(("done", index, detector.snapshot()))
+                if len(message) > 1 and message[1] == "drain":
+                    # Graceful drain: flush the reply onto the pipe, then
+                    # exit with the drain code so the parent (and any
+                    # process supervisor) can tell this apart from a
+                    # clean end-of-stream stop.
+                    out_queue.close()
+                    out_queue.join_thread()
+                    os._exit(DRAIN_EXIT_CODE)
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown message kind {kind!r}")
@@ -260,6 +275,8 @@ class MultiprocessEngine:
         fault_plan=None,
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
+        overload: Optional[OverloadPolicy] = None,
+        put_timeout_s: Optional[float] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -268,6 +285,12 @@ class MultiprocessEngine:
         if queue_capacity < 1:
             raise ValueError(
                 f"queue capacity must be positive, got {queue_capacity}"
+            )
+        if put_timeout_s is None and overload is not None:
+            put_timeout_s = overload.put_timeout_s
+        if put_timeout_s is not None and put_timeout_s <= 0:
+            raise ValueError(
+                f"put_timeout_s must be > 0 or None, got {put_timeout_s}"
             )
         self.config = config
         self.chunk_size = chunk_size
@@ -295,6 +318,17 @@ class MultiprocessEngine:
         # stamped on the routing path.
         self._queue_high_water = [0] * shards
         self._last_packet_ts: List[Optional[int]] = [None] * shards
+        self.put_timeout_s = put_timeout_s
+        self.overload_policy = overload
+        # Ladder state lives parent-side: admission happens where packets
+        # are routed, so rung buffers hold the same cheap wire tuples the
+        # staging buffers do.
+        self._overload: Optional[List[ShardOverload[tuple]]] = None
+        if overload is not None:
+            self._overload = [
+                ShardOverload(overload, lambda t, s, f: (t, s, f))
+                for _ in range(shards)
+            ]
         self._context = multiprocessing.get_context()
         self._queues = None
         self._results = None
@@ -467,13 +501,22 @@ class MultiprocessEngine:
             self._processes.append(process)
 
     def _put(self, index: int, message) -> None:
-        """Bounded put that notices a dead consumer.
+        """Bounded put that notices a dead consumer — and, when
+        ``put_timeout_s`` is set, a merely *overloaded* one.
 
         A plain ``Queue.put`` on a full queue whose worker died blocks
         forever (the semaphore is only released by ``get``); polling with
         a short timeout turns that hang into a :class:`ShardCrashError`
-        within ``LIVENESS_POLL_S``.
+        within ``LIVENESS_POLL_S``.  With ``put_timeout_s`` set, a queue
+        that stays full past it while the worker is *alive* raises a
+        typed :class:`~repro.service.errors.OverloadError` instead of
+        blocking indefinitely (or letting a bare ``queue.Full`` escape).
         """
+        deadline = (
+            None
+            if self.put_timeout_s is None
+            else time.monotonic() + self.put_timeout_s
+        )
         while True:
             try:
                 self._queues[index].put(message, timeout=LIVENESS_POLL_S)
@@ -481,6 +524,15 @@ class MultiprocessEngine:
             except queue_module.Full:
                 if not self._processes[index].is_alive():
                     self._raise_dead(index)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise OverloadError(
+                        f"shard {index} queue stayed full for "
+                        f"{self.put_timeout_s}s (capacity "
+                        f"{self.queue_capacity} chunks) with a live worker",
+                        shard=index,
+                        queue_depth=self.queue_capacity,
+                        queue_capacity=self.queue_capacity,
+                    )
 
     def ingest(self, batch: List[Packet]) -> None:
         """Route packets into per-shard staging buffers, shipping each
@@ -489,6 +541,9 @@ class MultiprocessEngine:
         self._start()
         if self._processes is not None:
             self.check_workers()
+        if self._overload is not None:
+            self._ingest_overload(batch)
+            return
         buffers = self._buffers
         route = self._route
         routed = self._routed
@@ -510,6 +565,67 @@ class MultiprocessEngine:
                 buffers[index] = []
                 self._note_high_water(index)
         self._accepted += len(batch)
+
+    def _ingest_overload(self, batch: List[Packet]) -> None:
+        """Ladder-mediated ingest: one occupancy observation per shard
+        per batch, each packet admitted at its shard's current rung,
+        deferred-deadline clock advanced at the end.
+
+        Occupancy is measured in packets — staged tuples plus in-flight
+        chunks times the chunk size — against ``queue_capacity *
+        chunk_size``.  On platforms without ``Queue.qsize`` (macOS) only
+        the staging depth is visible, so the ladder under-escalates
+        there; the blocking/``put_timeout_s`` backstop still bounds
+        memory.
+        """
+        states = self._overload
+        assert states is not None
+        route = self._route
+        routed = self._routed
+        last_ts = self._last_packet_ts
+        plan = self._plan
+        capacity = self.queue_capacity * self.chunk_size
+        for index, state in enumerate(states):
+            for item in state.observe(self._depth_packets(index), capacity):
+                self._stage(index, item)
+        for packet in batch:
+            fid = packet.fid
+            index = route(fid)
+            routed[index] += 1
+            last_ts[index] = packet.time
+            if plan is not None and plan.should_drop(index, routed[index]):
+                self._record_loss(index, packet, "injected-drop")
+                continue
+            emitted = states[index].admit(
+                packet.time, packet.size, fid, (packet.time, packet.size, fid)
+            )
+            if emitted is None:
+                self._record_loss(index, packet, "overload-shed")
+                continue
+            for item in emitted:
+                self._stage(index, item)
+        for index, state in enumerate(states):
+            for item in state.on_batch_end():
+                self._stage(index, item)
+        self._accepted += len(batch)
+
+    def _depth_packets(self, index: int) -> int:
+        """Parent-visible shard backlog in packets (staging + in-flight)."""
+        depth = len(self._buffers[index])
+        if self._queues is not None:
+            try:
+                depth += self._queues[index].qsize() * self.chunk_size
+            except NotImplementedError:  # pragma: no cover - macOS
+                pass
+        return depth
+
+    def _stage(self, index: int, item: tuple) -> None:
+        buffer = self._buffers[index]
+        buffer.append(item)
+        if len(buffer) >= self.chunk_size:
+            self._put(index, ("packets", buffer))
+            self._buffers[index] = []
+            self._note_high_water(index)
 
     def _note_high_water(self, index: int) -> None:
         """Sample the shard's in-flight chunk count right after a chunk
@@ -542,14 +658,21 @@ class MultiprocessEngine:
         """
         if self._processes is None:
             return
+        if self._overload is not None:
+            for index, state in enumerate(self._overload):
+                for item in state.flush():
+                    self._stage(index, item)
         for index, buffer in enumerate(self._buffers):
             if buffer:
                 self._put(index, ("packets", buffer))
                 self._buffers[index] = []
 
-    def close(self) -> Dict[str, object]:
-        """Graceful drain: flush, stop every worker, collect final exact
-        states; returns the final engine snapshot."""
+    def close(self, drain: bool = False) -> Dict[str, object]:
+        """Graceful drain: flush (including any ladder rung buffers),
+        stop every worker, collect final exact states; returns the final
+        engine snapshot.  With ``drain=True`` workers exit with
+        :data:`DRAIN_EXIT_CODE` instead of 0, marking a requested drain
+        rather than source exhaustion."""
         if self._final_snapshot is not None:
             return self._final_snapshot
         if self._processes is None:
@@ -557,8 +680,9 @@ class MultiprocessEngine:
             # per-shard states.
             self._start()
         self.flush()
+        stop = ("stop", "drain") if drain else ("stop",)
         for index in range(self._shards):
-            self._put(index, ("stop",))
+            self._put(index, stop)
         states = self._collect("done")
         for process in self._processes:
             process.join(timeout=REPLY_TIMEOUT_S)
@@ -637,12 +761,22 @@ class MultiprocessEngine:
         self._last_packet_ts = list(
             state.get("last_packet_ts") or [None] * self._shards
         )
-        self._routed = [
-            shard_state["stats"]["packets"] + dropped
-            for shard_state, dropped in zip(
-                self._initial_states, self._dropped
-            )
-        ]
+        routed = state.get("routed")
+        if routed is not None:
+            self._routed = list(routed)
+        else:
+            self._routed = [
+                shard_state["stats"]["packets"] + dropped
+                for shard_state, dropped in zip(
+                    self._initial_states, self._dropped
+                )
+            ]
+        overload_state = state.get("overload")
+        if overload_state is not None and self._overload is not None:
+            for shard_overload, shard_state in zip(
+                self._overload, overload_state
+            ):
+                shard_overload.restore(shard_state)
 
     def _collect(self, kind: str, token: Optional[int] = None) -> List:
         """Gather one ``kind`` reply per shard from the shared result
@@ -701,6 +835,12 @@ class MultiprocessEngine:
             "loss_reason": list(self._loss_reason),
             "queue_high_water": list(self._queue_high_water),
             "last_packet_ts": list(self._last_packet_ts),
+            "routed": list(self._routed),
+            "overload": (
+                [state.snapshot() for state in self._overload]
+                if self._overload is not None
+                else None
+            ),
             "shards": states,
         }
 
@@ -741,9 +881,24 @@ class MultiprocessEngine:
                     dropped=self._dropped[index],
                     queue_high_water=self._queue_high_water[index],
                     last_packet_ts_ns=self._last_packet_ts[index],
+                    degradation_level=(
+                        self._overload[index].level.label
+                        if self._overload is not None
+                        else "exact"
+                    ),
                 )
             )
         return samples
+
+    def overload_report(self) -> Optional[Dict[str, object]]:
+        """Service-level overload summary (see
+        :meth:`InProcessEngine.overload_report`); ``None`` when no
+        policy is armed."""
+        if self._overload is None:
+            return None
+        from .overload import build_overload_report
+
+        return build_overload_report(self._overload, self.config.rho)
 
     def envelope(self) -> List[ExactnessEnvelope]:
         """Per-shard exactness (see :class:`InProcessEngine.envelope`)."""

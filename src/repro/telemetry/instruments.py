@@ -106,8 +106,14 @@ class _ShardChannel:
         "queue_capacity", "last_packet_ts", "exact", "first_loss",
         "detections", "blacklist_size", "counters_in_use", "evictions",
         "virtual_bytes", "blacklisted_packets", "invariant_checks",
-        "invariant_check_ns",
+        "invariant_check_ns", "degradation_level",
     )
+
+
+#: Ladder-rung label -> numeric gauge value (matches
+#: ``repro.service.overload.DegradationLevel``; kept as a plain map so
+#: telemetry does not import the service package).
+_LADDER_LEVELS = {"exact": 0, "deferred": 1, "aggregated": 2, "shedding": 3}
 
 
 class ServiceInstruments:
@@ -234,6 +240,47 @@ class ServiceInstruments:
             labels=shard,
         )
 
+        # -- overload ladder ----------------------------------------------
+        self._degradation_level = reg.gauge(
+            "eardet_shard_degradation_level",
+            "Current ladder rung per shard (0=exact, 1=deferred, "
+            "2=aggregated, 3=shedding).",
+            labels=shard,
+        )
+        self._overload_packets = reg.counter(
+            "eardet_overload_packets_total",
+            "Packets attributed to each ladder rung at admission; the "
+            "rung sums equal the offered total exactly.",
+            labels=("rung",),
+        )
+        self._overload_bytes = reg.counter(
+            "eardet_overload_bytes_total",
+            "Bytes attributed to each ladder rung at admission; the "
+            "rung sums equal the offered total exactly.",
+            labels=("rung",),
+        )
+        self.overload_transitions_total = reg.counter(
+            "eardet_overload_transitions_total",
+            "Ladder transitions across all shards (escalations plus "
+            "de-escalations).",
+        )
+        self.overload_widening_ns = reg.gauge(
+            "eardet_overload_max_widening_ns",
+            "Largest aggregate re-stamp distance so far, nanoseconds "
+            "(0 while no packet has been aggregated).",
+        )
+        self.overload_widening_bytes = reg.gauge(
+            "eardet_overload_widening_bytes",
+            "Ambiguity-region widening implied by aggregation: over any "
+            "window a flow's measured traffic can shift by at most this "
+            "many bytes (ceil(rho * max_widening_ns / 1e9)).",
+        )
+        self.overload_first_shed_ts = reg.gauge(
+            "eardet_overload_first_shed_ts_ns",
+            "Stream timestamp of the first shed packet (NaN while "
+            "nothing has been shed; sheds void the exactness envelope).",
+        )
+
         # -- service lifecycle --------------------------------------------
         self.checkpoints_total = reg.counter(
             "eardet_checkpoints_written_total",
@@ -319,8 +366,10 @@ class ServiceInstruments:
             channel.invariant_check_ns = self._invariant_check_ns.labels(
                 label
             )
+            channel.degradation_level = self._degradation_level.labels(label)
             channel.queue_capacity.set(queue_capacity)
             channel.exact.set(1)
+            channel.degradation_level.set(0)
             self._channels.append(channel)
 
     # -- per-batch hot path --------------------------------------------------
@@ -415,6 +464,38 @@ class ServiceInstruments:
 
     def sync_dead_letters(self, total: int) -> None:
         self.dead_letters_total.set_total(total)
+
+    def sync_overload(self, report: Optional[Dict[str, object]]) -> None:
+        """Copy an engine ``overload_report()`` dict into the registry
+        (no-op when no policy is armed).  Rung attribution comes from
+        the merged :class:`~repro.service.overload.DegradationAccount`,
+        so the exported rung totals inherit its integer identity
+        ``exact + deferred + aggregated + shed == offered``."""
+        if report is None:
+            return
+        account: Dict[str, object] = report["account"]  # type: ignore[assignment]
+        for rung in _LADDER_LEVELS:
+            field = "shed" if rung == "shedding" else rung
+            self._overload_packets.labels(rung).set_total(
+                account[field + "_packets"]  # type: ignore[arg-type]
+            )
+            self._overload_bytes.labels(rung).set_total(
+                account[field + "_bytes"]  # type: ignore[arg-type]
+            )
+        self.overload_transitions_total.set_total(
+            report["transitions"]  # type: ignore[arg-type]
+        )
+        self.overload_widening_ns.set(report["max_widening_ns"])  # type: ignore[arg-type]
+        self.overload_widening_bytes.set(report["widening_bytes"])  # type: ignore[arg-type]
+        first_shed = account.get("first_shed_ts")  # type: ignore[union-attr]
+        if first_shed is not None:
+            self.overload_first_shed_ts.set(first_shed)
+        for channel, shard in zip(
+            self._channels, report["shards"]  # type: ignore[arg-type]
+        ):
+            channel.degradation_level.set(
+                _LADDER_LEVELS.get(shard["level"], 0)
+            )
 
     # -- lifecycle events ----------------------------------------------------
 
