@@ -50,6 +50,7 @@ from repro.telemetry import Telemetry  # noqa: E402
 
 RESULTS_PATH = REPO_ROOT / "BENCH_telemetry.json"
 OVERLOAD_RESULTS_PATH = REPO_ROOT / "BENCH_overload.json"
+PIPELINE_RESULTS_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Same configuration family the tier-1 service tests use: small enough
 #: to evict, large enough to detect.
@@ -84,9 +85,12 @@ def _time_direct(packets: list) -> float:
     return time.perf_counter() - started
 
 
-def _time_service(packets: list, telemetry, overload=None) -> "tuple[float, tuple]":
+def _time_service(
+    packets: list, telemetry, overload=None, watcher=None
+) -> "tuple[float, tuple]":
     service = DetectionService(
-        CONFIG, shards=2, telemetry=telemetry, overload=overload
+        CONFIG, shards=2, telemetry=telemetry, overload=overload,
+        watcher=watcher,
     )
     try:
         started = time.perf_counter()
@@ -199,6 +203,59 @@ def measure_overload(packets: list, repeats: int) -> dict:
     }
 
 
+def measure_pipeline(packets: list, repeats: int) -> dict:
+    """Overhead of the second-stage ambiguity-region watcher.
+
+    The pipeline's contract (docs/DETECTORS.md) is that the watcher taps
+    the routed stream without feeding the exact stage, so arming it may
+    cost throughput but must leave exact detections bit-identical —
+    asserted here for both kinds before any number is reported.
+    """
+    from repro.service import WatcherPolicy
+
+    best = {"service-off": None, "service-clef": None, "service-loft": None}
+    detections = {}
+    policies = {
+        "service-clef": WatcherPolicy(kind="clef"),
+        "service-loft": WatcherPolicy(kind="loft"),
+    }
+    for _ in range(repeats):
+        elapsed, detections["service-off"] = _time_service(
+            packets, telemetry=None
+        )
+        if best["service-off"] is None or elapsed < best["service-off"]:
+            best["service-off"] = elapsed
+        for mode, policy in policies.items():
+            elapsed, detections[mode] = _time_service(
+                packets, telemetry=None, watcher=policy
+            )
+            if best[mode] is None or elapsed < best[mode]:
+                best[mode] = elapsed
+
+    for mode in policies:
+        if detections[mode] != detections["service-off"]:
+            raise AssertionError(
+                f"{mode} perturbed exact detection: "
+                f"{len(detections['service-off'])} flows unarmed vs "
+                f"{len(detections[mode])} armed"
+            )
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead = {
+        kind: 100.0 * (1.0 - pps[f"service-{kind}"] / pps["service-off"])
+        for kind in ("clef", "loft")
+    }
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": {
+            kind: round(value, 3) for kind, value in overhead.items()
+        },
+        "detected_flows": len(detections["service-off"]),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -228,6 +285,18 @@ def main(argv=None) -> int:
         "detections asserted bit-identical to the unarmed service)",
     )
     parser.add_argument(
+        "--pipeline", action="store_true",
+        help="measure the second-stage watcher (clef and loft) instead of "
+        "telemetry and append to BENCH_pipeline.json (exact detections "
+        "asserted bit-identical to the watcher-less service)",
+    )
+    parser.add_argument(
+        "--max-pipeline-overhead-pct", type=float, default=70.0,
+        help="fail (exit 1) when either watcher's overhead exceeds this "
+        "(default 70 — the watcher does real per-packet work; the gate "
+        "catches regressions, not the existence of the cost)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="print the measured point as JSON instead of prose",
     )
@@ -239,6 +308,8 @@ def main(argv=None) -> int:
     packets = make_packets(count)
     if args.overload:
         point = measure_overload(packets, repeats)
+    elif args.pipeline:
+        point = measure_pipeline(packets, repeats)
     else:
         point = measure(packets, repeats)
     point["preset"] = "smoke" if args.smoke else "full"
@@ -255,11 +326,31 @@ def main(argv=None) -> int:
                     "overhead) and benchmarks/bench_overload.py (soak)"
                 ),
             )
+        elif args.pipeline:
+            append_point(
+                point,
+                path=PIPELINE_RESULTS_PATH,
+                description=(
+                    "two-stage pipeline trajectory; points from "
+                    "benchmarks/trajectory.py --pipeline (watcher overhead) "
+                    "and benchmarks/bench_pipeline.py (ambiguity corpus)"
+                ),
+            )
         else:
             append_point(point)
 
     if args.json:
         print(json.dumps(point, indent=2))
+    elif args.pipeline:
+        pps = point["pps"]
+        over = point["overhead_pct"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"service off {pps['service-off']:,.0f} pps | "
+            f"clef {pps['service-clef']:,.0f} pps ({over['clef']:+.2f}%) | "
+            f"loft {pps['service-loft']:,.0f} pps ({over['loft']:+.2f}%) | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
     elif args.overload:
         pps = point["pps"]
         print(
@@ -280,6 +371,21 @@ def main(argv=None) -> int:
             f"{point['detected_flows']} flows (bit-identical)"
         )
 
+    if args.pipeline:
+        failed = {
+            kind: value
+            for kind, value in point["overhead_pct"].items()
+            if value > args.max_pipeline_overhead_pct
+        }
+        if failed:
+            for kind, value in failed.items():
+                print(
+                    f"FAIL: {kind} watcher overhead {value:.2f}% exceeds "
+                    f"budget {args.max_pipeline_overhead_pct:.1f}%",
+                    file=sys.stderr,
+                )
+            return 1
+        return 0
     if point["overhead_pct"] > args.max_overhead_pct:
         print(
             f"FAIL: telemetry overhead {point['overhead_pct']:.2f}% exceeds "

@@ -39,6 +39,7 @@ from .core.config import engineer
 from .core.eardet import EARDet
 from .experiments import (
     ablations,
+    ambiguity,
     appendix_a,
     dynamics,
     figure1,
@@ -77,6 +78,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentParams], List]] = {
     "appendix-a": lambda params: _as_list(appendix_a.run()),
     "scalability": lambda params: _as_list(scalability.run(params)),
     "ablations": lambda params: _as_list(ablations.run(params)),
+    "ambiguity": lambda params: _as_list(ambiguity.run(params)),
     "dynamics": lambda params: _as_list(dynamics.run(params)),
     "window-models": lambda params: _as_list(window_models.run(params)),
     "mitigation": lambda params: _as_list(mitigation.run(params)),
@@ -120,15 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=[
-            "list", "all", "detect", "analyze", "simulate", "serve",
-            "checkpoint", "metrics", *EXPERIMENTS,
+            "list", "all", "detect", "detectors", "analyze", "simulate",
+            "serve", "checkpoint", "metrics", *EXPERIMENTS,
         ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
-            "'detect'/'analyze' to process a trace file, 'simulate' for the "
-            "closed-loop mitigation pipeline, 'serve' for the streaming "
-            "service, 'checkpoint' for checkpoint tooling, 'metrics' to "
-            "fetch a running service's metrics endpoint)"
+            "'detect'/'analyze' to process a trace file, 'detectors' to "
+            "list every detection scheme with its exactness class, "
+            "'simulate' for the closed-loop mitigation pipeline, 'serve' "
+            "for the streaming service, 'checkpoint' for checkpoint "
+            "tooling, 'metrics' to fetch a running service's metrics "
+            "endpoint)"
         ),
     )
     parser.add_argument(
@@ -262,6 +266,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject deterministic faults for chaos testing, e.g. "
         "'kill:shard=1,at=5000;drop:shard=0,at=200,count=10;"
         "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
+    )
+
+    watcher = parser.add_argument_group(
+        "watcher options",
+        description=(
+            "Second-stage ambiguity-region watcher for the streaming "
+            "service (see docs/DETECTORS.md).  --watcher arms one "
+            "probabilistic detector per shard — CLEF's twin RLFDs or "
+            "LOFT — tapping the routed stream next to the exact EARDet "
+            "shards.  Exact detections are bit-identical with or "
+            "without a watcher; watcher verdicts appear in their own "
+            "probabilistic report section and are never merged into "
+            "the exact set."
+        ),
+    )
+    watcher.add_argument(
+        "--watcher", choices=["clef", "loft", "none"], default="none",
+        help="ambiguity-region watcher armed next to each EARDet shard "
+        "(serve; default none)",
+    )
+    watcher.add_argument(
+        "--watcher-counters", type=int, default=None, metavar="M",
+        help="watcher memory: RLFD branching factor (clef) or per-stage "
+        "aggregates (loft)",
+    )
+    watcher.add_argument(
+        "--watcher-depth", type=int, default=None, metavar="D",
+        help="RLFD virtual tree depth (clef)",
+    )
+    watcher.add_argument(
+        "--watcher-fast-period-ms", type=float, default=None, metavar="MS",
+        help="fast twin RLFD level period (clef)",
+    )
+    watcher.add_argument(
+        "--watcher-slow-period-ms", type=float, default=None, metavar="MS",
+        help="slow twin RLFD level period (clef)",
+    )
+    watcher.add_argument(
+        "--watcher-epoch-ms", type=float, default=None, metavar="MS",
+        help="sketch aggregation epoch (loft)",
+    )
+    watcher.add_argument(
+        "--watcher-stages", type=int, default=None, metavar="D",
+        help="sketch stages (loft)",
+    )
+    watcher.add_argument(
+        "--watcher-watchlist", type=int, default=None, metavar="K",
+        help="exact watchlist capacity for promoted candidates (loft)",
+    )
+    watcher.add_argument(
+        "--watcher-flow-limit", type=int, default=None, metavar="N",
+        help="max distinct flows tracked per sketch epoch (loft)",
+    )
+    watcher.add_argument(
+        "--watcher-seed", type=int, default=None, metavar="SEED",
+        help="watcher hash seed (salted per shard; default 0)",
     )
 
     overload = parser.add_argument_group(
@@ -482,6 +542,55 @@ def _overload_policy(args: argparse.Namespace):
         raise SystemExit(f"bad overload options: {error}")
 
 
+def _watcher_policy(args: argparse.Namespace):
+    """Build the :class:`~repro.service.WatcherPolicy` from the watcher
+    options, or None when ``--watcher none`` (the default)."""
+    sizing_flags = (
+        ("--watcher-counters", args.watcher_counters),
+        ("--watcher-depth", args.watcher_depth),
+        ("--watcher-fast-period-ms", args.watcher_fast_period_ms),
+        ("--watcher-slow-period-ms", args.watcher_slow_period_ms),
+        ("--watcher-epoch-ms", args.watcher_epoch_ms),
+        ("--watcher-stages", args.watcher_stages),
+        ("--watcher-watchlist", args.watcher_watchlist),
+        ("--watcher-flow-limit", args.watcher_flow_limit),
+        ("--watcher-seed", args.watcher_seed),
+    )
+    if args.watcher == "none":
+        for flag, value in sizing_flags:
+            if value is not None:
+                raise SystemExit(f"{flag} requires --watcher clef|loft")
+        return None
+    from .service import WatcherPolicy
+
+    def _ns(ms: float) -> int:
+        return max(1, round(ms * 1_000_000))
+
+    overrides = {}
+    if args.watcher_counters is not None:
+        overrides["counters"] = args.watcher_counters
+    if args.watcher_depth is not None:
+        overrides["depth"] = args.watcher_depth
+    if args.watcher_fast_period_ms is not None:
+        overrides["fast_period_ns"] = _ns(args.watcher_fast_period_ms)
+    if args.watcher_slow_period_ms is not None:
+        overrides["slow_period_ns"] = _ns(args.watcher_slow_period_ms)
+    if args.watcher_epoch_ms is not None:
+        overrides["epoch_ns"] = _ns(args.watcher_epoch_ms)
+    if args.watcher_stages is not None:
+        overrides["stages"] = args.watcher_stages
+    if args.watcher_watchlist is not None:
+        overrides["watchlist"] = args.watcher_watchlist
+    if args.watcher_flow_limit is not None:
+        overrides["flow_limit"] = args.watcher_flow_limit
+    if args.watcher_seed is not None:
+        overrides["seed"] = args.watcher_seed
+    try:
+        return WatcherPolicy(kind=args.watcher, **overrides)
+    except ValueError as error:
+        raise SystemExit(f"bad watcher options: {error}")
+
+
 def _install_drain_handlers(request_drain) -> "dict | None":
     """Route SIGTERM/SIGINT to a graceful drain request.
 
@@ -651,6 +760,34 @@ def run_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_detectors(args: argparse.Namespace) -> int:
+    """The ``detectors`` command: enumerate every detection scheme the
+    library ships with its parameters and exactness class."""
+    from .detectors import DETECTOR_CATALOG, render_catalog
+
+    try:
+        if args.json:
+            import json
+
+            payload = {
+                name: {
+                    "class": f"{entry.module}.{entry.cls_name}",
+                    "exactness": entry.exactness,
+                    "summary": entry.summary,
+                    "parameters": entry.parameters(),
+                    "checkpointable": entry.checkpointable,
+                }
+                for name, entry in sorted(DETECTOR_CATALOG.items())
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_catalog(verbose=True))
+    except BrokenPipeError:
+        # Downstream pager/`head` closed early; exit quietly.
+        sys.stderr.close()
+    return 0
+
+
 def run_analyze(args: argparse.Namespace) -> int:
     """The ``analyze`` command: per-flow statistics of a trace, plus the
     ground-truth class breakdown when thresholds are given."""
@@ -777,6 +914,7 @@ def run_serve(args: argparse.Namespace) -> int:
 
     telemetry, metrics_server = _serve_telemetry(args)
     overload = _overload_policy(args)
+    watcher = _watcher_policy(args)
 
     if args.supervise:
         if args.resume:
@@ -803,6 +941,7 @@ def run_serve(args: argparse.Namespace) -> int:
             invariant_every=args.invariant_every,
             telemetry=telemetry,
             overload=overload,
+            watcher=watcher,
         )
         if not args.json:
             print(config.describe())
@@ -841,6 +980,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 invariant_every=args.invariant_every,
                 telemetry=telemetry,
                 overload=overload,
+                watcher=watcher,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -864,6 +1004,7 @@ def run_serve(args: argparse.Namespace) -> int:
             invariant_every=args.invariant_every,
             telemetry=telemetry,
             overload=overload,
+            watcher=watcher,
         )
     if not args.json:
         print(service.config.describe())
@@ -1074,6 +1215,8 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "detect":
         return run_detect(args)
+    if args.experiment == "detectors":
+        return run_detectors(args)
     if args.experiment == "analyze":
         return run_analyze(args)
     if args.experiment == "simulate":

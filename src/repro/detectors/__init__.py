@@ -5,10 +5,23 @@ so the experiment runner treats them uniformly.  The paper's two
 comparison baselines are :class:`FixedMultistageFilter` (FMF) and
 :class:`ArbitraryMultistageFilter` (AMF); the remaining schemes implement
 the related-work survey of Section 6 for the extended comparison benches.
+The ambiguity-region watchers — :class:`RecursiveLargeFlowDetector` /
+:class:`TwinRLFD` / :class:`CLEF` (arXiv 1807.05652) and :class:`LOFT`
+(arXiv 2102.01397) — cover the band where EARDet is deliberately silent;
+their verdicts are probabilistic and must never be merged into an exact
+detection set.  ``DETECTOR_CATALOG`` enumerates every scheme with its
+exactness class (``eardet detectors`` renders it).
 """
 
 from .amf import ArbitraryMultistageFilter
 from .base import Detector
+from .catalog import (
+    DETECTOR_CATALOG,
+    EXACTNESS_CLASSES,
+    CatalogEntry,
+    render_catalog,
+)
+from .clef import CLEF, RecursiveLargeFlowDetector, TwinRLFD, rlfd_threshold
 from .count_min import CountMinDetector, CountMinSketch
 from .exact import ExactLeakyBucketDetector
 from .fmf import FixedMultistageFilter, fp_probability_bound
@@ -20,6 +33,7 @@ from .misra_gries import (
     MisraGries,
     exact_frequent_flows,
 )
+from .loft import LOFT
 from .netflow import SampledNetFlow
 from .sample_and_hold import SampleAndHold
 from .sliding_window import SlidingWindowDetector
@@ -28,25 +42,34 @@ from .space_saving import SpaceSaving, SpaceSavingDetector
 __all__ = [
     "AccountingReport",
     "ArbitraryMultistageFilter",
+    "CLEF",
+    "CatalogEntry",
     "CountMinDetector",
     "CountMinSketch",
+    "DETECTOR_CATALOG",
     "Detector",
+    "EXACTNESS_CLASSES",
     "ExactLeakyBucketDetector",
     "FixedMultistageFilter",
     "HybridMonitor",
+    "LOFT",
     "LandmarkMisraGriesDetector",
     "LossyCounting",
     "LossyCountingDetector",
     "MisraGries",
+    "RecursiveLargeFlowDetector",
     "SampleAndHold",
     "SampledNetFlow",
     "SlidingWindowDetector",
     "SpaceSaving",
     "SpaceSavingDetector",
     "StageHash",
+    "TwinRLFD",
     "canonical_key",
     "exact_frequent_flows",
     "fp_probability_bound",
     "make_stage_hashes",
+    "render_catalog",
+    "rlfd_threshold",
     "splitmix64",
 ]

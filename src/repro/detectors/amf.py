@@ -15,7 +15,7 @@ Bucket levels use the library's exact byte-nanosecond arithmetic.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from ..model.packet import Packet
 from ..model.units import NS_PER_S
@@ -40,6 +40,9 @@ class ArbitraryMultistageFilter(Detector):
 
     name = "amf"
 
+    #: Version of the snapshot schema; bump on incompatible change.
+    SNAPSHOT_FORMAT = 1
+
     def __init__(
         self,
         stages: int,
@@ -59,6 +62,7 @@ class ArbitraryMultistageFilter(Detector):
         self.buckets = buckets
         self.bucket_size = bucket_size
         self.drain_rate = drain_rate
+        self.seed = seed
         self._hashes: List[StageHash] = make_stage_hashes(stages, buckets, seed)
         # Per stage: bucket levels (scaled byte-ns) and last-drain times.
         self._levels: List[List[int]] = [[0] * buckets for _ in range(stages)]
@@ -88,6 +92,45 @@ class ArbitraryMultistageFilter(Detector):
 
     def counter_count(self) -> int:
         return self.stages * self.buckets
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Complete state as plain data (the stage hashes are derived
+        deterministically from the constructor arguments, so only the
+        bucket levels and drain clocks need to travel)."""
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "levels": [list(stage) for stage in self._levels],
+            "times": [list(stage) for stage in self._times],
+            "sink": self.sink.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        fmt = state.get("format")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported AMF snapshot format {fmt!r} "
+                f"(this build reads format {self.SNAPSHOT_FORMAT})"
+            )
+        levels = [list(stage) for stage in state["levels"]]  # type: ignore[union-attr]
+        times = [list(stage) for stage in state["times"]]  # type: ignore[union-attr]
+        shape_ok = (
+            len(levels) == self.stages
+            and len(times) == self.stages
+            and all(len(stage) == self.buckets for stage in levels)
+            and all(len(stage) == self.buckets for stage in times)
+        )
+        if not shape_ok:
+            raise ValueError(
+                f"snapshot shape does not match {self.stages} stages x "
+                f"{self.buckets} buckets"
+            )
+        self._levels = levels
+        self._times = times
+        self.sink.restore(state["sink"])  # type: ignore[arg-type]
+        if self.checker is not None:
+            self.checker.reset()
 
     def stage_levels(self, fid, now_ns: int) -> List[float]:
         """Current bucket levels (bytes) for a flow at ``now_ns``

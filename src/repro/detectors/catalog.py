@@ -1,0 +1,251 @@
+"""A registry of every detector the library ships, with its exactness class.
+
+The paper's central distinction is *where* a scheme's answers can be
+trusted: EARDet is exact outside the ambiguity region, the watchers
+(RLFD/CLEF/LOFT) are probabilistic evidence inside it, the counter-based
+summaries give deterministic approximation bounds, and the sampling /
+sketching baselines are probabilistic everywhere.  The catalog makes
+that taxonomy a first-class, enumerable artifact — ``eardet detectors``
+renders it — so a deployment can never confuse the guarantee class of
+the scheme it armed.
+
+Classes are resolved lazily from dotted paths: the catalog can name
+:class:`repro.core.eardet.EARDet` without importing :mod:`repro.core`
+at package-import time (``repro.core.eardet`` itself imports
+``repro.detectors.base``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "DETECTOR_CATALOG",
+    "EXACTNESS_CLASSES",
+    "CatalogEntry",
+    "render_catalog",
+]
+
+#: Exactness taxonomy, strongest guarantee first.  The class names what
+#: the scheme's positive/negative answers mean, not how good it is.
+EXACTNESS_CLASSES: Dict[str, str] = {
+    "exact": (
+        "no false positives and no false negatives against the scheme's "
+        "own threshold, at per-flow state cost"
+    ),
+    "exact-outside-ambiguity": (
+        "no false negatives above TH_h and no false positives below "
+        "TH_l over every window; flows between the thresholds are "
+        "undefined (the ambiguity region)"
+    ),
+    "deterministic-approximate": (
+        "deterministic error bound (no randomness): frequency estimates "
+        "are off by at most a computable epsilon, so misses/extras are "
+        "confined to an epsilon band around the threshold"
+    ),
+    "probabilistic": (
+        "verdicts hold with high probability only — hash collisions or "
+        "sampling can produce false positives and false negatives; "
+        "never merge these into an exact detection set"
+    ),
+    "hybrid": (
+        "composition of an exact member and a probabilistic member; "
+        "each sub-verdict keeps its own class and must be read "
+        "separately"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One detector in the registry (class resolved on demand)."""
+
+    name: str
+    module: str
+    cls_name: str
+    exactness: str
+    summary: str
+
+    def __post_init__(self) -> None:
+        if self.exactness not in EXACTNESS_CLASSES:
+            raise ValueError(
+                f"unknown exactness class {self.exactness!r} for "
+                f"{self.name!r}"
+            )
+
+    def resolve(self) -> type:
+        """Import and return the detector class."""
+        return getattr(import_module(self.module), self.cls_name)
+
+    @property
+    def checkpointable(self) -> bool:
+        """Whether the detector supports exact snapshot()/restore()."""
+        cls = self.resolve()
+        return hasattr(cls, "snapshot") and hasattr(cls, "restore")
+
+    def parameters(self) -> List[str]:
+        """Constructor parameter names (the scheme's sizing knobs)."""
+        signature = inspect.signature(self.resolve().__init__)
+        return [name for name in signature.parameters if name != "self"]
+
+
+def _entry(
+    name: str, module: str, cls_name: str, exactness: str, summary: str
+) -> Tuple[str, CatalogEntry]:
+    return name, CatalogEntry(name, module, cls_name, exactness, summary)
+
+
+#: Every detector the library ships, keyed by its scheme ``name``.
+DETECTOR_CATALOG: Dict[str, CatalogEntry] = dict(
+    [
+        _entry(
+            "eardet",
+            "repro.core.eardet",
+            "EARDet",
+            "exact-outside-ambiguity",
+            "The paper's arbitrary-window detector: n leaky buckets "
+            "with decrement-all eviction.",
+        ),
+        _entry(
+            "exact",
+            "repro.detectors.exact",
+            "ExactLeakyBucketDetector",
+            "exact",
+            "One leaky bucket per flow — the oracle the experiments "
+            "compare everything against.",
+        ),
+        _entry(
+            "rlfd",
+            "repro.detectors.clef",
+            "RecursiveLargeFlowDetector",
+            "probabilistic",
+            "Recursive m-ary subdivision over d levels; localizes an "
+            "in-region flow across tree descents.",
+        ),
+        _entry(
+            "twin-rlfd",
+            "repro.detectors.clef",
+            "TwinRLFD",
+            "probabilistic",
+            "Two RLFDs on fast and slow periods covering both bursty "
+            "and slow in-region flows.",
+        ),
+        _entry(
+            "clef",
+            "repro.detectors.clef",
+            "CLEF",
+            "hybrid",
+            "EARDet (exact outside the region) composed with twin "
+            "RLFDs watching inside it.",
+        ),
+        _entry(
+            "loft",
+            "repro.detectors.loft",
+            "LOFT",
+            "probabilistic",
+            "Per-epoch conservative sketch aggregation with inversion "
+            "into an exact bounded watchlist.",
+        ),
+        _entry(
+            "fmf",
+            "repro.detectors.fmf",
+            "FixedMultistageFilter",
+            "probabilistic",
+            "Fixed-window multistage filter (Estan-Varghese); resets "
+            "each interval, misses straddling bursts.",
+        ),
+        _entry(
+            "amf",
+            "repro.detectors.amf",
+            "ArbitraryMultistageFilter",
+            "probabilistic",
+            "Multistage filter with leaky-bucket counters; arbitrary "
+            "windows, shared-counter false positives.",
+        ),
+        _entry(
+            "count-min",
+            "repro.detectors.count_min",
+            "CountMinDetector",
+            "probabilistic",
+            "Count-min sketch with threshold test; one-sided "
+            "overestimation from collisions.",
+        ),
+        _entry(
+            "netflow",
+            "repro.detectors.netflow",
+            "SampledNetFlow",
+            "probabilistic",
+            "Packet-sampled accounting in the style of sampled "
+            "NetFlow.",
+        ),
+        _entry(
+            "sample-and-hold",
+            "repro.detectors.sample_and_hold",
+            "SampleAndHold",
+            "probabilistic",
+            "Byte-probability sampling, then exact per-flow hold "
+            "counters.",
+        ),
+        _entry(
+            "mg-landmark",
+            "repro.detectors.misra_gries",
+            "LandmarkMisraGriesDetector",
+            "deterministic-approximate",
+            "Misra-Gries heavy hitters over landmark windows "
+            "(epsilon = W/k underestimation bound).",
+        ),
+        _entry(
+            "space-saving",
+            "repro.detectors.space_saving",
+            "SpaceSavingDetector",
+            "deterministic-approximate",
+            "Space-Saving stream summary; overestimate bounded by the "
+            "minimum counter.",
+        ),
+        _entry(
+            "lossy-counting",
+            "repro.detectors.lossy_counting",
+            "LossyCountingDetector",
+            "deterministic-approximate",
+            "Lossy Counting with per-bucket pruning and a deterministic "
+            "undercount bound.",
+        ),
+        _entry(
+            "sliding-mg",
+            "repro.detectors.sliding_window",
+            "SlidingWindowDetector",
+            "deterministic-approximate",
+            "Sliding-window heavy hitters via per-block Misra-Gries "
+            "summaries.",
+        ),
+        _entry(
+            "hybrid",
+            "repro.detectors.hybrid",
+            "HybridMonitor",
+            "hybrid",
+            "EARDet for large/small classification plus a statistical "
+            "sampler for the medium band.",
+        ),
+    ]
+)
+
+
+def render_catalog(verbose: bool = False) -> str:
+    """Human-readable catalog listing, one block per detector."""
+    lines: List[str] = [f"{len(DETECTOR_CATALOG)} detectors:"]
+    for name, entry in sorted(DETECTOR_CATALOG.items()):
+        checkpoint = (
+            "snapshot/restore" if entry.checkpointable else "no snapshot"
+        )
+        lines.append(f"  {name}  [{entry.exactness}]  ({checkpoint})")
+        lines.append(f"    {entry.summary}")
+        lines.append(f"    parameters: {', '.join(entry.parameters())}")
+    if verbose:
+        lines.append("")
+        lines.append("exactness classes:")
+        for exactness, meaning in EXACTNESS_CLASSES.items():
+            lines.append(f"  {exactness}: {meaning}")
+    return "\n".join(lines)

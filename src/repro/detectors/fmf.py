@@ -17,7 +17,7 @@ the paper's Table 2 comparison.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..model.packet import Packet
 from .base import Detector
@@ -49,6 +49,9 @@ class FixedMultistageFilter(Detector):
 
     name = "fmf"
 
+    #: Version of the snapshot schema; bump on incompatible change.
+    SNAPSHOT_FORMAT = 1
+
     def __init__(
         self,
         stages: int,
@@ -70,6 +73,7 @@ class FixedMultistageFilter(Detector):
         self.threshold = threshold
         self.window_ns = window_ns
         self.conservative_update = conservative_update
+        self.seed = seed
         self._hashes: List[StageHash] = make_stage_hashes(stages, buckets, seed)
         self._counters: List[List[int]] = [[0] * buckets for _ in range(stages)]
         self._window_index: Optional[int] = None
@@ -103,6 +107,39 @@ class FixedMultistageFilter(Detector):
 
     def counter_count(self) -> int:
         return self.stages * self.buckets
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Complete state as plain data (stage hashes regenerate from the
+        constructor arguments; only counters and the window cursor travel)."""
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "counters": [list(stage) for stage in self._counters],
+            "window_index": self._window_index,
+            "sink": self.sink.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        fmt = state.get("format")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported FMF snapshot format {fmt!r} "
+                f"(this build reads format {self.SNAPSHOT_FORMAT})"
+            )
+        counters = [list(stage) for stage in state["counters"]]  # type: ignore[union-attr]
+        if len(counters) != self.stages or any(
+            len(stage) != self.buckets for stage in counters
+        ):
+            raise ValueError(
+                f"snapshot shape does not match {self.stages} stages x "
+                f"{self.buckets} buckets"
+            )
+        self._counters = counters
+        self._window_index = state["window_index"]  # type: ignore[assignment]
+        self.sink.restore(state["sink"])  # type: ignore[arg-type]
+        if self.checker is not None:
+            self.checker.reset()
 
     def stage_values(self, fid) -> List[int]:
         """Current counter values for a flow (diagnostics)."""

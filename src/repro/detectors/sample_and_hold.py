@@ -13,10 +13,11 @@ Deterministically seeded so experiments are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, List
 
 from ..model.packet import FlowId, Packet
 from .base import Detector
+from .hashing import canonical_key
 
 
 class SampleAndHold(Detector):
@@ -39,6 +40,9 @@ class SampleAndHold(Detector):
     """
 
     name = "sample-and-hold"
+
+    #: Version of the snapshot schema; bump on incompatible change.
+    SNAPSHOT_FORMAT = 1
 
     def __init__(
         self,
@@ -89,3 +93,40 @@ class SampleAndHold(Detector):
         """Held entries — grows with the traffic, the scalability issue the
         paper contrasts with EARDet's fixed ``n``."""
         return len(self._held)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Complete state as plain data — including the sampling RNG's
+        Mersenne state, so a restored detector makes the *same* future
+        sampling decisions and replays bit-identically."""
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "held": sorted(
+                self._held.items(),
+                key=lambda item: canonical_key(item[0]),
+            ),
+            "window_index": self._window_index,
+            "rng": [version, list(internal), gauss_next],
+            "sink": self.sink.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        fmt = state.get("format")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported sample-and-hold snapshot format {fmt!r} "
+                f"(this build reads format {self.SNAPSHOT_FORMAT})"
+            )
+        held: List[object] = state["held"]  # type: ignore[assignment]
+        self._held = {
+            (tuple(fid) if isinstance(fid, list) else fid): count
+            for fid, count in held
+        }
+        self._window_index = state["window_index"]  # type: ignore[assignment]
+        version, internal, gauss_next = state["rng"]  # type: ignore[misc]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self.sink.restore(state["sink"])  # type: ignore[arg-type]
+        if self.checker is not None:
+            self.checker.reset()

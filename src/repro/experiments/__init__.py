@@ -8,6 +8,7 @@ Every module exposes ``run(...)`` returning renderable
 
 from . import (
     ablations,
+    ambiguity,
     appendix_a,
     dynamics,
     figure1,
@@ -32,6 +33,7 @@ __all__ = [
     "SeriesSet",
     "Table",
     "ablations",
+    "ambiguity",
     "appendix_a",
     "build_setup",
     "dynamics",

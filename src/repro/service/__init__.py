@@ -15,9 +15,12 @@ checker with ``invariant_every``).  Overload resilience — admission
 control with hysteresis watermarks, the accounted degradation ladder
 (EXACT → DEFERRED → AGGREGATED → SHEDDING), and graceful drain — lives
 in :mod:`repro.service.overload`; retry timing everywhere goes through
-the shared :class:`BackoffPolicy`.  See ``docs/SERVICE.md``,
-``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md`` and
-``docs/OVERLOAD.md``.
+the shared :class:`BackoffPolicy`.  The two-stage pipeline
+(:mod:`repro.service.pipeline`) arms a per-shard ambiguity-region
+watcher — CLEF's twin RLFDs or LOFT — whose probabilistic verdicts are
+reported strictly apart from the exact detection set.  See
+``docs/SERVICE.md``, ``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md``,
+``docs/OVERLOAD.md`` and ``docs/DETECTORS.md``.
 """
 
 from .backoff import DEFAULT_BACKOFF, BackoffPolicy
@@ -62,6 +65,7 @@ from .overload import (
     OverloadPolicy,
     ShardOverload,
 )
+from .pipeline import WATCHER_KINDS, WatcherPolicy, WatcherStage
 from .runtime import DetectionService
 from .sources import (
     GuardedSource,
@@ -117,6 +121,9 @@ __all__ = [
     "SyntheticSource",
     "TraceFileSource",
     "TransientSourceError",
+    "WATCHER_KINDS",
+    "WatcherPolicy",
+    "WatcherStage",
     "WorkerError",
     "as_source",
     "describe_checkpoint",

@@ -382,4 +382,13 @@ def describe_checkpoint(payload: Dict[str, Any]) -> str:
             f"counters, {len(blacklist)} blacklisted, "
             f"{len(sink)} detections, {stats.get('packets', 0)} packets"
         )
+    watcher = engine.get("watcher")
+    if watcher:
+        policy = watcher.get("policy", {})
+        shards = watcher.get("shards", [])
+        lines.append(
+            f"  watcher stage: {policy.get('kind', '?')} across "
+            f"{len(shards)} shards (probabilistic; separate from the "
+            "exact detections above)"
+        )
     return "\n".join(lines)

@@ -117,6 +117,14 @@ class InProcessEngine:
         :class:`~repro.guard.invariants.InvariantViolation` out of the
         ingest/flush path (permanent — the supervisor aborts rather than
         restarts).
+    watcher:
+        Optional :class:`~repro.service.pipeline.WatcherStage` observing
+        the ambiguity region.  It taps the stream at the routing point —
+        before queueing, overflow, fault injection, or the overload
+        ladder — and never feeds the shard detectors, so arming it
+        leaves exact detections bit-identical.  Its verdicts are
+        probabilistic and are read out separately (never merged into
+        :meth:`detections`).
     overload:
         Optional :class:`~repro.service.overload.OverloadPolicy`.  When
         armed, ingestion stops draining synchronously: packets are
@@ -143,6 +151,7 @@ class InProcessEngine:
         dead_letter: Optional[DeadLetterSink] = None,
         invariant_every: Optional[int] = None,
         overload: Optional[OverloadPolicy] = None,
+        watcher=None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -189,6 +198,12 @@ class InProcessEngine:
             self._overload = [
                 ShardOverload(overload, Packet) for _ in range(shards)
             ]
+        if watcher is not None and watcher.shard_count != shards:
+            raise ValueError(
+                f"watcher stage has {watcher.shard_count} shards, engine "
+                f"has {shards}"
+            )
+        self.watcher = watcher
 
     # -- introspection -----------------------------------------------------
 
@@ -249,10 +264,15 @@ class InProcessEngine:
         capacity = self.queue_capacity
         block = self.overflow == "block"
         plan = self._plan
+        watcher = self.watcher
         for packet in batch:
             index = route(packet.fid)
             routed[index] += 1
             last_ts[index] = packet.time
+            if watcher is not None:
+                # Stage-2 tap at the routing point: sees the wire
+                # stream before queueing/overflow/faults can lose it.
+                watcher.observe(packet, index)
             if plan is not None:
                 local = routed[index]
                 if plan.should_drop(index, local):
@@ -302,6 +322,7 @@ class InProcessEngine:
         last_ts = self._last_packet_ts
         high_water = self._queue_high_water
         plan = self._plan
+        watcher = self.watcher
         exact = DegradationLevel.EXACT
         accepted = 0
         for index, state in enumerate(states):
@@ -311,6 +332,10 @@ class InProcessEngine:
             index = route(packet.fid)
             routed[index] += 1
             last_ts[index] = packet.time
+            if watcher is not None:
+                # The watcher taps ahead of the ladder: it keeps seeing
+                # in-region traffic even while this shard sheds load.
+                watcher.observe(packet, index)
             if plan is not None:
                 local = routed[index]
                 if plan.should_drop(index, local):
@@ -447,6 +472,16 @@ class InProcessEngine:
                 degradation_level=(
                     states[index].level.label if states is not None else "exact"
                 ),
+                watcher_occupancy=(
+                    self.watcher.occupancy(index)
+                    if self.watcher is not None
+                    else 0
+                ),
+                watcher_verdicts=(
+                    len(self.watcher.watcher(index).detected)
+                    if self.watcher is not None
+                    else 0
+                ),
             )
             for index, (detector, _) in enumerate(
                 zip(self._detectors, self._queues)
@@ -512,6 +547,11 @@ class InProcessEngine:
                 if self._overload is not None
                 else None
             ),
+            # Optional stage-2 state (absent in pre-pipeline checkpoints
+            # and watcher-off runs; readers default to a fresh stage).
+            "watcher": (
+                self.watcher.snapshot() if self.watcher is not None else None
+            ),
             "shards": [detector.snapshot() for detector in self._detectors],
         }
 
@@ -564,6 +604,9 @@ class InProcessEngine:
                 self._overload, overload_state
             ):
                 shard_overload.restore(shard_state)
+        watcher_state = state.get("watcher")
+        if watcher_state is not None and self.watcher is not None:
+            self.watcher.restore(watcher_state)
 
     def __repr__(self) -> str:
         return (

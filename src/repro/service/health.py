@@ -54,6 +54,13 @@ class ShardHealth:
     #: Current degradation-ladder rung (``"exact"`` when no overload
     #: policy is armed; see :mod:`repro.service.overload`).
     degradation_level: str = "exact"
+    #: Counters/buckets the shard's ambiguity-region watcher currently
+    #: holds (0 when no watcher stage is armed; see
+    #: :mod:`repro.service.pipeline`).
+    watcher_occupancy: int = 0
+    #: Probabilistic verdicts this shard's watcher has issued so far
+    #: (never part of :attr:`detections`, which stays exact-stage only).
+    watcher_verdicts: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -67,6 +74,8 @@ class ShardHealth:
             "queue_high_water": self.queue_high_water,
             "last_packet_ts_ns": self.last_packet_ts_ns,
             "degradation_level": self.degradation_level,
+            "watcher_occupancy": self.watcher_occupancy,
+            "watcher_verdicts": self.watcher_verdicts,
         }
 
     @classmethod
@@ -88,6 +97,8 @@ class ShardHealth:
                 else int(data["last_packet_ts_ns"])  # type: ignore[arg-type]
             ),
             degradation_level=str(data.get("degradation_level", "exact")),
+            watcher_occupancy=int(data.get("watcher_occupancy", 0)),  # type: ignore[arg-type]
+            watcher_verdicts=int(data.get("watcher_verdicts", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -223,6 +234,12 @@ class ServiceReport:
     #: or :meth:`DetectionService.request_drain`) rather than source
     #: exhaustion.
     drained: bool = False
+    #: Probabilistic ambiguity-region verdicts when a watcher stage was
+    #: armed (the stage's ``report()``); None otherwise.  Kept strictly
+    #: separate from :attr:`detections` and the envelope: a watcher
+    #: verdict is *evidence*, never an exact detection, and :attr:`exact`
+    #: deliberately ignores this section entirely.
+    watcher: Optional[Dict[str, object]] = None
 
     @property
     def packets_per_second(self) -> float:
@@ -273,6 +290,7 @@ class ServiceReport:
             "validation": self.validation,
             "overload": self.overload,
             "drained": self.drained,
+            "watcher": self.watcher,
         }
 
     def render(self) -> str:
@@ -332,11 +350,30 @@ class ServiceReport:
                 f"widening bound {self.overload.get('max_widening_ns', 0)}ns "
                 f"= {self.overload.get('widening_bytes', 0)} bytes)"
             )
+        if self.watcher is not None:
+            churn = self.watcher.get("churn") or {}
+            lines.append(
+                f"  watcher ({self.watcher.get('kind')}): "
+                f"{self.watcher.get('verdict_count', 0)} probabilistic "
+                f"verdicts, {self.watcher.get('memory_counters', 0)} "
+                f"counters "
+                f"({churn.get('promotions', 0)} promotions, "
+                f"{churn.get('evictions', 0)} evictions, "
+                f"{churn.get('demotions', 0)} demotions, "
+                f"{churn.get('descents', 0)} descents) — "
+                "in-region evidence, never merged into the exact set"
+            )
         for health in self.shard_health:
             ladder = (
                 ""
                 if health.degradation_level == "exact"
                 else f", ladder {health.degradation_level.upper()}"
+            )
+            watch = (
+                f", watcher {health.watcher_occupancy} counters/"
+                f"{health.watcher_verdicts} verdicts"
+                if health.watcher_occupancy or health.watcher_verdicts
+                else ""
             )
             lines.append(
                 f"  shard {health.shard}: {health.packets} packets, "
@@ -344,7 +381,7 @@ class ServiceReport:
                 f"(high water {health.queue_high_water}), "
                 f"{health.detections} detections, "
                 f"{health.blacklist_size} blacklisted, "
-                f"{health.dropped} dropped{ladder}"
+                f"{health.dropped} dropped{ladder}{watch}"
             )
         degraded = [entry for entry in self.envelope if not entry.exact]
         if degraded:
@@ -371,4 +408,11 @@ class ServiceReport:
             lines.append(
                 f"  large flow {fid!r} at {_format_detection_time(time_ns)}"
             )
+        if self.watcher is not None:
+            verdicts = self.watcher.get("verdicts") or {}
+            for fid, time_ns in verdicts.items():
+                lines.append(
+                    f"  probabilistic verdict {fid!r} at "
+                    f"{_format_detection_time(time_ns)} (watcher, in-region)"
+                )
         return "\n".join(lines)

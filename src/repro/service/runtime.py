@@ -36,6 +36,7 @@ from .checkpoint import (
 from .engine import DEFAULT_QUEUE_CAPACITY, InProcessEngine
 from .health import DeadLetterSink, ServiceReport, ShardHealth
 from .overload import OverloadPolicy
+from .pipeline import WatcherPolicy, WatcherStage
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 from .workers import MultiprocessEngine
 
@@ -56,6 +57,7 @@ def _build_engine(
     dead_letter: Optional[DeadLetterSink] = None,
     invariant_every: Optional[int] = None,
     overload: Optional[OverloadPolicy] = None,
+    watcher: Optional[WatcherStage] = None,
 ):
     if kind == "inprocess":
         return InProcessEngine(
@@ -68,6 +70,7 @@ def _build_engine(
             dead_letter=dead_letter,
             invariant_every=invariant_every,
             overload=overload,
+            watcher=watcher,
         )
     if kind == "multiprocess":
         if overflow != "block":
@@ -83,6 +86,7 @@ def _build_engine(
             dead_letter=dead_letter,
             invariant_every=invariant_every,
             overload=overload,
+            watcher=watcher,
         )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
@@ -139,6 +143,14 @@ class DetectionService:
         Optional :class:`~repro.service.backoff.BackoffPolicy` retrying
         transient checkpoint-write failures (``OSError``); None keeps
         the historical fail-fast behaviour.
+    watcher:
+        Optional :class:`~repro.service.pipeline.WatcherPolicy` arming a
+        per-shard ambiguity-region watcher stage (CLEF's twin RLFDs or
+        LOFT).  The stage taps the routing point, never feeds the exact
+        shards, and its probabilistic verdicts are reported in the
+        :class:`ServiceReport`'s separate ``watcher`` section — exact
+        detections stay bit-identical with or without it.  The stage's
+        state checkpoints and resumes with the engine.
     """
 
     def __init__(
@@ -159,6 +171,7 @@ class DetectionService:
         telemetry=None,
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
+        watcher: Optional[WatcherPolicy] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -179,10 +192,17 @@ class DetectionService:
         self.overload = overload
         self.checkpoint_backoff = checkpoint_backoff
         self._clock = clock
+        self.watcher_policy = watcher
+        self._watcher = (
+            WatcherStage(watcher, config, shards)
+            if watcher is not None
+            else None
+        )
         self._engine = _build_engine(
             engine, config, shards, seed, queue_capacity, overflow,
             fault_plan=fault_plan, dead_letter=dead_letter,
             invariant_every=invariant_every, overload=overload,
+            watcher=self._watcher,
         )
         self._ingested = 0
         self._resumed_from = 0
@@ -215,13 +235,17 @@ class DetectionService:
         telemetry=None,
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
+        watcher: Optional[WatcherPolicy] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
         The engine kind may be switched on resume (snapshots are engine-
         agnostic); shard count, hash seed and config come from the
         checkpoint because changing them would re-route flows and void
-        exactness.
+        exactness.  The watcher policy likewise comes from the
+        checkpoint (its state rides in the engine snapshot); an explicit
+        ``watcher`` argument overrides it but must match the recorded
+        policy for the saved stage state to restore.
         """
         payload = read_checkpoint(checkpoint_path)
         meta = payload["meta"]
@@ -230,6 +254,8 @@ class DetectionService:
                 f"unsupported checkpoint meta format {meta.get('format')!r}"
             )
         config = EARDetConfig(**meta["config"])
+        if watcher is None and meta.get("watcher") is not None:
+            watcher = WatcherPolicy.from_dict(meta["watcher"])
         service = cls(
             config,
             shards=meta["shards"],
@@ -250,6 +276,7 @@ class DetectionService:
             telemetry=telemetry,
             overload=overload,
             checkpoint_backoff=checkpoint_backoff,
+            watcher=watcher,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -268,6 +295,11 @@ class DetectionService:
     def engine(self):
         """The underlying engine (for inspection and tests)."""
         return self._engine
+
+    @property
+    def watcher(self) -> Optional[WatcherStage]:
+        """The armed ambiguity-region watcher stage, or None."""
+        return self._watcher
 
     def health(self) -> List[ShardHealth]:
         """Live per-shard health."""
@@ -424,6 +456,9 @@ class DetectionService:
             validation=stats.as_dict() if stats is not None else None,
             overload=overload,
             drained=self._drained,
+            watcher=(
+                self._watcher.report() if self._watcher is not None else None
+            ),
         )
 
     def shutdown(self, drain: bool = False) -> None:
@@ -459,6 +494,8 @@ class DetectionService:
             instruments.sync_detectors(detectors)
         if self.dead_letter is not None:
             instruments.sync_dead_letters(self.dead_letter.total)
+        if self._watcher is not None:
+            instruments.sync_watcher(self._watcher)
         if validation is not None:
             instruments.sync_validation(validation)
         if self.overload is not None:
@@ -493,6 +530,11 @@ class DetectionService:
                 "engine": self.engine_kind,
                 "checkpoint_every": self.checkpoint_every,
                 "source": source.name,
+                "watcher": (
+                    self.watcher_policy.as_dict()
+                    if self.watcher_policy is not None
+                    else None
+                ),
                 "config": {
                     "rho": self.config.rho,
                     "n": self.config.n,

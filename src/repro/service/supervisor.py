@@ -54,6 +54,7 @@ from .errors import (
 )
 from .health import DeadLetterSink, ServiceReport
 from .overload import OverloadPolicy
+from .pipeline import WatcherPolicy
 from .runtime import DetectionService
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 
@@ -140,6 +141,7 @@ class Supervisor:
         telemetry=None,
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
+        watcher: Optional[WatcherPolicy] = None,
     ):
         self.config = config
         self.shards = shards
@@ -157,6 +159,7 @@ class Supervisor:
         self.invariant_every = invariant_every
         self.overload = overload
         self.checkpoint_backoff = checkpoint_backoff
+        self.watcher = watcher
         self._drain_requested = False
         self._sleep = sleep
         self._clock = clock
@@ -194,6 +197,7 @@ class Supervisor:
             telemetry=self.telemetry,
             overload=self.overload,
             checkpoint_backoff=self.checkpoint_backoff,
+            watcher=self.watcher,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -216,6 +220,7 @@ class Supervisor:
                     invariant_every=self.invariant_every,
                     overload=self.overload,
                     checkpoint_backoff=self.checkpoint_backoff,
+                    watcher=self.watcher,
                 )
                 self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}"

@@ -277,6 +277,7 @@ class MultiprocessEngine:
         invariant_every: Optional[int] = None,
         overload: Optional[OverloadPolicy] = None,
         put_timeout_s: Optional[float] = None,
+        watcher=None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -329,6 +330,16 @@ class MultiprocessEngine:
                 ShardOverload(overload, lambda t, s, f: (t, s, f))
                 for _ in range(shards)
             ]
+        # The watcher stage lives parent-side, on the routing path: it
+        # needs no worker protocol, checkpoints synchronously with the
+        # parent's loss accounting, and keeps observing while a shard
+        # queue is full or a worker is being restarted.
+        if watcher is not None and watcher.shard_count != shards:
+            raise ValueError(
+                f"watcher stage has {watcher.shard_count} shards, engine "
+                f"has {shards}"
+            )
+        self.watcher = watcher
         self._context = multiprocessing.get_context()
         self._queues = None
         self._results = None
@@ -550,11 +561,14 @@ class MultiprocessEngine:
         last_ts = self._last_packet_ts
         chunk_size = self.chunk_size
         plan = self._plan
+        watcher = self.watcher
         for packet in batch:
             fid = packet.fid
             index = route(fid)
             routed[index] += 1
             last_ts[index] = packet.time
+            if watcher is not None:
+                watcher.observe(packet, index)
             if plan is not None and plan.should_drop(index, routed[index]):
                 self._record_loss(index, packet, "injected-drop")
                 continue
@@ -584,6 +598,7 @@ class MultiprocessEngine:
         routed = self._routed
         last_ts = self._last_packet_ts
         plan = self._plan
+        watcher = self.watcher
         capacity = self.queue_capacity * self.chunk_size
         for index, state in enumerate(states):
             for item in state.observe(self._depth_packets(index), capacity):
@@ -593,6 +608,8 @@ class MultiprocessEngine:
             index = route(fid)
             routed[index] += 1
             last_ts[index] = packet.time
+            if watcher is not None:
+                watcher.observe(packet, index)
             if plan is not None and plan.should_drop(index, routed[index]):
                 self._record_loss(index, packet, "injected-drop")
                 continue
@@ -777,6 +794,9 @@ class MultiprocessEngine:
                 self._overload, overload_state
             ):
                 shard_overload.restore(shard_state)
+        watcher_state = state.get("watcher")
+        if watcher_state is not None and self.watcher is not None:
+            self.watcher.restore(watcher_state)
 
     def _collect(self, kind: str, token: Optional[int] = None) -> List:
         """Gather one ``kind`` reply per shard from the shared result
@@ -841,6 +861,9 @@ class MultiprocessEngine:
                 if self._overload is not None
                 else None
             ),
+            "watcher": (
+                self.watcher.snapshot() if self.watcher is not None else None
+            ),
             "shards": states,
         }
 
@@ -885,6 +908,16 @@ class MultiprocessEngine:
                         self._overload[index].level.label
                         if self._overload is not None
                         else "exact"
+                    ),
+                    watcher_occupancy=(
+                        self.watcher.occupancy(index)
+                        if self.watcher is not None
+                        else 0
+                    ),
+                    watcher_verdicts=(
+                        len(self.watcher.watcher(index).detected)
+                        if self.watcher is not None
+                        else 0
                     ),
                 )
             )

@@ -281,6 +281,37 @@ class ServiceInstruments:
             "nothing has been shed; sheds void the exactness envelope).",
         )
 
+        # -- ambiguity-region watcher stage -------------------------------
+        self._watcher_occupancy = reg.gauge(
+            "eardet_watcher_occupancy",
+            "Counters/buckets each shard's ambiguity-region watcher "
+            "currently holds (CLEF: live RLFD counters; LOFT: sketch "
+            "aggregates plus watchlist entries).",
+            labels=shard,
+        )
+        self._watcher_verdicts = reg.gauge(
+            "eardet_watcher_shard_verdicts",
+            "Probabilistic verdicts each shard's watcher has issued "
+            "(kept strictly apart from the exact detection series).",
+            labels=shard,
+        )
+        self.watcher_memory_counters = reg.gauge(
+            "eardet_watcher_memory_counters",
+            "Total watcher memory occupancy across shards, in counters.",
+        )
+        self.watcher_verdicts_total = reg.gauge(
+            "eardet_watcher_verdicts",
+            "Distinct flows with a probabilistic watcher verdict "
+            "(merged across shards; never part of exact detections).",
+        )
+        self._watcher_churn = reg.counter(
+            "eardet_watcher_churn_total",
+            "Candidate churn in the watcher stage by event "
+            "(promotions/evictions/demotions for LOFT, descents for "
+            "CLEF's RLFDs).",
+            labels=("event",),
+        )
+
         # -- service lifecycle --------------------------------------------
         self.checkpoints_total = reg.counter(
             "eardet_checkpoints_written_total",
@@ -335,6 +366,7 @@ class ServiceInstruments:
         )
 
         self._channels: List[_ShardChannel] = []
+        self._watcher_channels: List[object] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -464,6 +496,38 @@ class ServiceInstruments:
 
     def sync_dead_letters(self, total: int) -> None:
         self.dead_letters_total.set_total(total)
+
+    def sync_watcher(self, stage: object) -> None:
+        """Copy a :class:`~repro.service.pipeline.WatcherStage`'s
+        occupancy, verdict, and churn accounting into the registry.
+        Reads only the stage's own exact accumulators — never touches
+        the exact detection series, so watcher metrics cannot be
+        mistaken for (or pollute) the exactness envelope."""
+        shard_count: int = stage.shard_count  # type: ignore[attr-defined]
+        if len(self._watcher_channels) != shard_count:
+            self._watcher_channels = [
+                (
+                    self._watcher_occupancy.labels(str(index)),
+                    self._watcher_verdicts.labels(str(index)),
+                )
+                for index in range(shard_count)
+            ]
+        total_counters = 0
+        for index, (occupancy, verdicts) in enumerate(
+            self._watcher_channels
+        ):
+            held = stage.occupancy(index)  # type: ignore[attr-defined]
+            occupancy.set(held)
+            total_counters += held
+            verdicts.set(
+                len(stage.watcher(index).detected)  # type: ignore[attr-defined]
+            )
+        self.watcher_memory_counters.set(total_counters)
+        self.watcher_verdicts_total.set(
+            len(stage.verdicts())  # type: ignore[attr-defined]
+        )
+        for event, count in stage.churn().items():  # type: ignore[attr-defined]
+            self._watcher_churn.labels(event).set_total(count)
 
     def sync_overload(self, report: Optional[Dict[str, object]]) -> None:
         """Copy an engine ``overload_report()`` dict into the registry

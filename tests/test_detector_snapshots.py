@@ -1,0 +1,156 @@
+"""Snapshot/restore for the comparison detectors, and the catalog.
+
+Every checkpointable detector must satisfy the same contract the
+service relies on: restore a JSON round-tripped snapshot into a fresh
+instance and the replayed verdicts are **bit-identical** — including
+SampleAndHold, whose RNG stream is part of the state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.detectors import (
+    DETECTOR_CATALOG,
+    EXACTNESS_CLASSES,
+    ArbitraryMultistageFilter,
+    FixedMultistageFilter,
+    SampleAndHold,
+    render_catalog,
+)
+from repro.model.packet import Packet
+
+
+def traffic(count=800, seed=11):
+    rng = random.Random(seed)
+    packets, t = [], 0
+    for _ in range(count):
+        t += rng.randint(1_000, 4_000_000)
+        fid = ("ip", rng.randint(0, 5)) if rng.random() < 0.3 else (
+            f"f{rng.randint(0, 15)}"
+        )
+        packets.append(Packet(time=t, size=rng.randint(40, 1500), fid=fid))
+    return packets
+
+
+MAKERS = {
+    "sample-and-hold": lambda: SampleAndHold(
+        byte_sampling_probability=0.01, threshold=3_000,
+        window_ns=500_000_000, seed=5,
+    ),
+    "amf": lambda: ArbitraryMultistageFilter(
+        stages=3, buckets=8, bucket_size=4_000, drain_rate=10_000, seed=5
+    ),
+    "fmf": lambda: FixedMultistageFilter(
+        stages=3, buckets=8, threshold=4_000, window_ns=500_000_000, seed=5
+    ),
+}
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_restore_then_replay_is_bit_identical(self, name):
+        packets = traffic()
+        cut = len(packets) // 2
+        a = MAKERS[name]()
+        for p in packets[:cut]:
+            a.observe(p)
+        b = MAKERS[name]()
+        b.restore(json.loads(json.dumps(a.snapshot())))
+        for p in packets[cut:]:
+            assert a.observe(p) == b.observe(p)
+        assert a.snapshot() == b.snapshot()
+        assert a.detected == b.detected
+
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_rejects_wrong_format(self, name):
+        with pytest.raises(ValueError):
+            MAKERS[name]().restore({"format": 99})
+
+    def test_sample_and_hold_rng_stream_is_part_of_the_state(self):
+        """After restore the twin must sample the *same* future packets:
+        diverging RNG streams would silently diverge verdicts."""
+        packets = traffic(count=2000, seed=2)
+        a = MAKERS["sample-and-hold"]()
+        for p in packets[:1000]:
+            a.observe(p)
+        b = MAKERS["sample-and-hold"]()
+        b.restore(json.loads(json.dumps(a.snapshot())))
+        for p in packets[1000:]:
+            a.observe(p)
+            b.observe(p)
+        assert a.snapshot() == b.snapshot()
+
+    def test_amf_rejects_wrong_shape(self):
+        state = MAKERS["amf"]().snapshot()
+        other = ArbitraryMultistageFilter(
+            stages=2, buckets=8, bucket_size=4_000, drain_rate=10_000
+        )
+        with pytest.raises(ValueError):
+            other.restore(state)
+
+    def test_fmf_rejects_wrong_shape(self):
+        state = MAKERS["fmf"]().snapshot()
+        other = FixedMultistageFilter(
+            stages=3, buckets=16, threshold=4_000, window_ns=500_000_000
+        )
+        with pytest.raises(ValueError):
+            other.restore(state)
+
+
+class TestCatalog:
+    def test_every_entry_resolves_and_is_classified(self):
+        for entry in DETECTOR_CATALOG.values():
+            assert entry.exactness in EXACTNESS_CLASSES
+            cls = entry.resolve()
+            assert cls.__name__ == entry.cls_name
+
+    def test_entry_names_match_their_keys(self):
+        for name, entry in DETECTOR_CATALOG.items():
+            assert entry.name == name
+
+    def test_new_detectors_are_catalogued(self):
+        assert DETECTOR_CATALOG["eardet"].exactness == "exact-outside-ambiguity"
+        for name in ("rlfd", "twin-rlfd", "clef", "loft"):
+            assert name in DETECTOR_CATALOG
+        assert DETECTOR_CATALOG["loft"].exactness == "probabilistic"
+        assert DETECTOR_CATALOG["clef"].exactness == "hybrid"
+
+    def test_checkpointable_reflects_snapshot_support(self):
+        for name in ("eardet", "loft", "rlfd", "sample-and-hold", "amf", "fmf"):
+            assert DETECTOR_CATALOG[name].checkpointable, name
+
+    def test_parameters_come_from_the_signature(self):
+        assert "aggregates" in DETECTOR_CATALOG["loft"].parameters()
+        assert "counters" in DETECTOR_CATALOG["rlfd"].parameters()
+
+    def test_render_lists_every_detector(self):
+        text = render_catalog(verbose=True)
+        for name, entry in DETECTOR_CATALOG.items():
+            assert name in text
+            assert entry.exactness in text
+
+
+class TestDetectorsVerb:
+    def test_cli_lists_catalog(self, capsys):
+        from repro.cli import main
+
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        for name in ("eardet", "clef", "loft", "rlfd"):
+            assert name in out
+        assert "exact-outside-ambiguity" in out
+
+    def test_cli_json_payload(self, capsys):
+        from repro.cli import main
+
+        assert main(["detectors", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["loft"]["exactness"] == "probabilistic"
+        assert payload["eardet"]["checkpointable"] is True
+        assert payload["loft"]["parameters"] == list(
+            DETECTOR_CATALOG["loft"].parameters()
+        )
