@@ -46,11 +46,13 @@ from repro.core.config import EARDetConfig  # noqa: E402
 from repro.core.eardet import EARDet  # noqa: E402
 from repro.model.packet import Packet  # noqa: E402
 from repro.service import DetectionService, StreamSource  # noqa: E402
+from repro.service.sources import DEFAULT_BATCH_SIZE  # noqa: E402
 from repro.telemetry import Telemetry  # noqa: E402
 
 RESULTS_PATH = REPO_ROOT / "BENCH_telemetry.json"
 OVERLOAD_RESULTS_PATH = REPO_ROOT / "BENCH_overload.json"
 PIPELINE_RESULTS_PATH = REPO_ROOT / "BENCH_pipeline.json"
+RESHARD_RESULTS_PATH = REPO_ROOT / "BENCH_reshard.json"
 
 #: Same configuration family the tier-1 service tests use: small enough
 #: to evict, large enough to detect.
@@ -86,11 +88,11 @@ def _time_direct(packets: list) -> float:
 
 
 def _time_service(
-    packets: list, telemetry, overload=None, watcher=None
+    packets: list, telemetry, overload=None, watcher=None, slots=None
 ) -> "tuple[float, tuple]":
     service = DetectionService(
         CONFIG, shards=2, telemetry=telemetry, overload=overload,
-        watcher=watcher,
+        watcher=watcher, slots=slots,
     )
     try:
         started = time.perf_counter()
@@ -256,6 +258,84 @@ def measure_pipeline(packets: list, repeats: int) -> dict:
     }
 
 
+def measure_reshard(packets: list, repeats: int) -> dict:
+    """Cost of the slot-granular layout, and the live-migration pause.
+
+    Two numbers back the resharding contract (docs/SERVICE.md):
+
+    - **steady-state overhead** — a service with ``slots`` above its
+      shard count (here 8 slots over 2 shards) pays only an extra
+      assignment lookup per packet versus the plain identity layout;
+      measured best-of-``repeats``, interleaved.  Detections are *not*
+      compared across slot counts: they partition flows differently by
+      design.
+    - **migration pause** — serve half the stream, split the hottest
+      shard live, serve the rest.  The freeze-to-cutover pause must fit
+      inside one batch interval (the time the ingest loop spends on one
+      batch anyway), and detections must be bit-identical to a static
+      run at the same slot count.
+    """
+    from repro.service import MigrationPlan
+
+    slots = 8
+    best = {"service-plain": None, "service-slots": None}
+    detections_static = None
+    for _ in range(repeats):
+        elapsed, _ = _time_service(packets, telemetry=None)
+        if best["service-plain"] is None or elapsed < best["service-plain"]:
+            best["service-plain"] = elapsed
+
+        elapsed, detections_static = _time_service(
+            packets, telemetry=None, slots=slots
+        )
+        if best["service-slots"] is None or elapsed < best["service-slots"]:
+            best["service-slots"] = elapsed
+
+    pauses_ns = []
+    detections_migrated = None
+    for _ in range(repeats):
+        service = DetectionService(CONFIG, shards=2, slots=slots)
+        try:
+            service.serve(
+                packets, max_packets=len(packets) // 2,
+                final_checkpoint=False,
+            )
+            migration = service.apply_migration(
+                MigrationPlan.split(
+                    service.engine.layout, shard=0, reason="bench"
+                )
+            )
+            pauses_ns.append(migration.pause_ns)
+            report = service.serve(packets, final_checkpoint=False)
+        finally:
+            service.shutdown()
+        detections_migrated = tuple(sorted(report.detections.items()))
+
+    if detections_migrated != detections_static:
+        raise AssertionError(
+            "live migration perturbed detection: "
+            f"{len(detections_static or ())} flows static vs "
+            f"{len(detections_migrated or ())} resharded"
+        )
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead_pct = 100.0 * (1.0 - pps["service-slots"] / pps["service-plain"])
+    # One batch interval at the slot-granular service's own pace: the
+    # ingest loop already stalls this long between migration windows.
+    batch_interval_ns = 1e9 * DEFAULT_BATCH_SIZE / pps["service-slots"]
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "slots": slots,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": round(overhead_pct, 3),
+        "pause_ns": min(pauses_ns),
+        "pause_ns_all": pauses_ns,
+        "batch_interval_ns": round(batch_interval_ns),
+        "detected_flows": len(detections_static or ()),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -291,6 +371,18 @@ def main(argv=None) -> int:
         "asserted bit-identical to the watcher-less service)",
     )
     parser.add_argument(
+        "--reshard", action="store_true",
+        help="measure the slot-granular layout and the live-migration "
+        "pause instead of telemetry and append to BENCH_reshard.json "
+        "(pause must fit one batch interval; detections asserted "
+        "bit-identical to a static run at the same slot count)",
+    )
+    parser.add_argument(
+        "--max-reshard-overhead-pct", type=float, default=8.0,
+        help="fail (exit 1) when the slot-granular layout costs more than "
+        "this versus the identity layout (default 8 — within run noise)",
+    )
+    parser.add_argument(
         "--max-pipeline-overhead-pct", type=float, default=70.0,
         help="fail (exit 1) when either watcher's overhead exceeds this "
         "(default 70 — the watcher does real per-packet work; the gate "
@@ -310,6 +402,8 @@ def main(argv=None) -> int:
         point = measure_overload(packets, repeats)
     elif args.pipeline:
         point = measure_pipeline(packets, repeats)
+    elif args.reshard:
+        point = measure_reshard(packets, repeats)
     else:
         point = measure(packets, repeats)
     point["preset"] = "smoke" if args.smoke else "full"
@@ -336,6 +430,17 @@ def main(argv=None) -> int:
                     "and benchmarks/bench_pipeline.py (ambiguity corpus)"
                 ),
             )
+        elif args.reshard:
+            append_point(
+                point,
+                path=RESHARD_RESULTS_PATH,
+                description=(
+                    "resharding trajectory; points from "
+                    "benchmarks/trajectory.py --reshard (slot-layout "
+                    "overhead + migration pause) and "
+                    "benchmarks/bench_reshard.py (migration storm + chaos)"
+                ),
+            )
         else:
             append_point(point)
 
@@ -360,6 +465,17 @@ def main(argv=None) -> int:
             f"overhead {point['overhead_pct']:+.2f}% | "
             f"{point['detected_flows']} flows (bit-identical)"
         )
+    elif args.reshard:
+        pps = point["pps"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"plain {pps['service-plain']:,.0f} pps | "
+            f"{point['slots']} slots {pps['service-slots']:,.0f} pps "
+            f"({point['overhead_pct']:+.2f}%) | migration pause "
+            f"{point['pause_ns'] / 1e6:.2f} ms (batch interval "
+            f"{point['batch_interval_ns'] / 1e6:.2f} ms) | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
     else:
         pps = point["pps"]
         print(
@@ -371,6 +487,24 @@ def main(argv=None) -> int:
             f"{point['detected_flows']} flows (bit-identical)"
         )
 
+    if args.reshard:
+        status = 0
+        if point["overhead_pct"] > args.max_reshard_overhead_pct:
+            print(
+                f"FAIL: slot-layout overhead {point['overhead_pct']:.2f}% "
+                f"exceeds budget {args.max_reshard_overhead_pct:.1f}%",
+                file=sys.stderr,
+            )
+            status = 1
+        if point["pause_ns"] > point["batch_interval_ns"]:
+            print(
+                f"FAIL: migration pause {point['pause_ns'] / 1e6:.2f} ms "
+                "exceeds one batch interval "
+                f"({point['batch_interval_ns'] / 1e6:.2f} ms)",
+                file=sys.stderr,
+            )
+            status = 1
+        return status
     if args.pipeline:
         failed = {
             kind: value

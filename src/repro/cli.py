@@ -42,6 +42,7 @@ from .experiments import (
     ambiguity,
     appendix_a,
     dynamics,
+    elasticity,
     figure1,
     figure5,
     figure6,
@@ -83,6 +84,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentParams], List]] = {
     "window-models": lambda params: _as_list(window_models.run(params)),
     "mitigation": lambda params: _as_list(mitigation.run(params)),
     "robustness": lambda params: _as_list(robustness.run(params)),
+    "elasticity": lambda params: _as_list(elasticity.run(params)),
 }
 
 PRESETS = {
@@ -265,7 +267,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="SPEC",
         help="inject deterministic faults for chaos testing, e.g. "
         "'kill:shard=1,at=5000;drop:shard=0,at=200,count=10;"
-        "source:kind=transient,at=3000;ckpt:after=2,mode=truncate' (serve)",
+        "source:kind=transient,at=3000;ckpt:after=2,mode=truncate;"
+        "mig:phase=install,mode=fail,at=1' (serve)",
+    )
+
+    reshard = parser.add_argument_group(
+        "resharding options",
+        description=(
+            "Exact live resharding for the streaming service (see "
+            "docs/SERVICE.md).  --slots fixes the flow-routing "
+            "granularity above the shard count so whole slots can "
+            "migrate between shards at batch boundaries without "
+            "perturbing detections; --coordinate arms the elastic "
+            "coordinator, which splits hot shards / merges cold ones "
+            "when load skew persists past its hysteresis."
+        ),
+    )
+    reshard.add_argument(
+        "--slots", type=int, default=None, metavar="N",
+        help="flow-routing slots (>= --shards; default equal to "
+        "--shards, which leaves no resharding headroom) (serve)",
+    )
+    reshard.add_argument(
+        "--coordinate", action="store_true",
+        help="arm the skew-driven elastic coordinator (serve; needs "
+        "--slots > --shards to have anything to move)",
+    )
+    reshard.add_argument(
+        "--skew-high", type=float, default=2.0, metavar="RATIO",
+        help="max/mean per-shard load ratio that triggers a split once "
+        "persistent (default 2.0)",
+    )
+    reshard.add_argument(
+        "--skew-low", type=float, default=1.25, metavar="RATIO",
+        help="skew ratio below which a merge becomes eligible "
+        "(default 1.25)",
+    )
+    reshard.add_argument(
+        "--reshard-persistence", type=int, default=3, metavar="WINDOWS",
+        help="consecutive observation windows the skew must persist "
+        "before the coordinator acts (default 3)",
+    )
+    reshard.add_argument(
+        "--reshard-cooldown", type=int, default=10, metavar="WINDOWS",
+        help="observation windows after any migration attempt before "
+        "the next proposal (default 10)",
+    )
+    reshard.add_argument(
+        "--max-shards", type=int, default=8, metavar="N",
+        help="ceiling on coordinator-provisioned shards (default 8)",
     )
 
     watcher = parser.add_argument_group(
@@ -589,6 +639,25 @@ def _watcher_policy(args: argparse.Namespace):
         return WatcherPolicy(kind=args.watcher, **overrides)
     except ValueError as error:
         raise SystemExit(f"bad watcher options: {error}")
+
+
+def _coordinator_policy(args: argparse.Namespace):
+    """Build the :class:`~repro.service.CoordinatorPolicy` from the
+    resharding options, or None when ``--coordinate`` was not given."""
+    if not args.coordinate:
+        return None
+    from .service import CoordinatorPolicy
+
+    try:
+        return CoordinatorPolicy(
+            skew_high=args.skew_high,
+            skew_low=args.skew_low,
+            persistence=args.reshard_persistence,
+            cooldown=args.reshard_cooldown,
+            max_shards=args.max_shards,
+        )
+    except ValueError as error:
+        raise SystemExit(f"bad resharding options: {error}")
 
 
 def _install_drain_handlers(request_drain) -> "dict | None":
@@ -915,6 +984,12 @@ def run_serve(args: argparse.Namespace) -> int:
     telemetry, metrics_server = _serve_telemetry(args)
     overload = _overload_policy(args)
     watcher = _watcher_policy(args)
+    coordinator = _coordinator_policy(args)
+    if args.slots is not None and args.slots < args.shards:
+        raise SystemExit(
+            f"--slots must be >= --shards, got {args.slots} slots for "
+            f"{args.shards} shards"
+        )
 
     if args.supervise:
         if args.resume:
@@ -942,6 +1017,8 @@ def run_serve(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             overload=overload,
             watcher=watcher,
+            slots=args.slots,
+            coordinator=coordinator,
         )
         if not args.json:
             print(config.describe())
@@ -981,6 +1058,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 telemetry=telemetry,
                 overload=overload,
                 watcher=watcher,
+                coordinator=coordinator,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -1005,6 +1083,8 @@ def run_serve(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             overload=overload,
             watcher=watcher,
+            slots=args.slots,
+            coordinator=coordinator,
         )
     if not args.json:
         print(service.config.describe())
@@ -1101,6 +1181,7 @@ def run_checkpoint(args: argparse.Namespace) -> int:
     """The ``checkpoint`` command; sub-action ``inspect`` renders a
     checkpoint file's metadata and per-shard state summary."""
     from .service import CheckpointError, describe_checkpoint, read_checkpoint
+    from .service.checkpoint import summarize_checkpoint
 
     subaction = args.subaction or "inspect"
     if subaction != "inspect":
@@ -1117,15 +1198,21 @@ def run_checkpoint(args: argparse.Namespace) -> int:
         import json
 
         meta = dict(payload["meta"])
-        shards = payload.get("engine", {}).get("shards", [])
+        summary = summarize_checkpoint(payload)
+        meta["layout"] = summary["layout"]
         meta["shard_summaries"] = [
             {
-                "counters": len(shard["store"]["entries"]),
-                "blacklisted": len(shard["blacklist"]),
-                "detections": len(shard["sink"]),
-                "packets": shard["stats"]["packets"],
+                "shard": row["shard"],
+                "slots": row["slots"],
+                "counters": row["counters_in_use"],
+                "counter_capacity": row["counter_capacity"],
+                "blacklisted": row["blacklist"],
+                "detections": row["detections"],
+                "packets": row["packets"],
+                "watcher_watchlist": row["watcher_watchlist"],
+                "per_slot": row["per_slot"],
             }
-            for shard in shards
+            for row in summary["shards"]
         ]
         print(json.dumps(meta, indent=2, default=str))
     else:

@@ -18,7 +18,13 @@ in :mod:`repro.service.overload`; retry timing everywhere goes through
 the shared :class:`BackoffPolicy`.  The two-stage pipeline
 (:mod:`repro.service.pipeline`) arms a per-shard ambiguity-region
 watcher — CLEF's twin RLFDs or LOFT — whose probabilistic verdicts are
-reported strictly apart from the exact detection set.  See
+reported strictly apart from the exact detection set.  Elastic scaling
+lives in :mod:`repro.service.reshard`: flows hash into a fixed slot
+space, a versioned :class:`ShardLayout` maps slots onto shards, and
+:func:`execute_migration` moves whole slots between shards live — a
+two-phase freeze/extract → install/cutover protocol with rollback — so
+detections are bit-identical under any migration history; the
+:class:`Coordinator` proposes such plans under sustained skew.  See
 ``docs/SERVICE.md``, ``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md``,
 ``docs/OVERLOAD.md`` and ``docs/DETECTORS.md``.
 """
@@ -34,6 +40,7 @@ from .checkpoint import (
 from .engine import InProcessEngine
 from .errors import (
     InvariantViolation,
+    MigrationError,
     OverloadError,
     PermanentSourceError,
     QueueStallError,
@@ -48,6 +55,7 @@ from .faults import (
     CheckpointFault,
     FaultPlan,
     FaultySource,
+    MigrationFault,
     ShardFault,
     SourceFault,
 )
@@ -66,6 +74,15 @@ from .overload import (
     ShardOverload,
 )
 from .pipeline import WATCHER_KINDS, WatcherPolicy, WatcherStage
+from .reshard import (
+    Coordinator,
+    CoordinatorPolicy,
+    MigrationPlan,
+    MigrationReport,
+    ShardLayout,
+    SlotMove,
+    execute_migration,
+)
 from .runtime import DetectionService
 from .sources import (
     GuardedSource,
@@ -77,7 +94,12 @@ from .sources import (
     as_source,
 )
 from .supervisor import RestartPolicy, Supervisor
-from .workers import DRAIN_EXIT_CODE, MultiprocessEngine, WorkerError
+from .workers import (
+    DRAIN_EXIT_CODE,
+    MIGRATION_ABORT_EXIT_CODE,
+    MultiprocessEngine,
+    WorkerError,
+)
 
 __all__ = [
     "AdmissionController",
@@ -85,6 +107,8 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointFault",
+    "Coordinator",
+    "CoordinatorPolicy",
     "DEFAULT_BACKOFF",
     "DRAIN_EXIT_CODE",
     "DeadLetter",
@@ -98,6 +122,11 @@ __all__ = [
     "GuardedSource",
     "InProcessEngine",
     "InvariantViolation",
+    "MIGRATION_ABORT_EXIT_CODE",
+    "MigrationError",
+    "MigrationFault",
+    "MigrationPlan",
+    "MigrationReport",
     "MultiprocessEngine",
     "OverloadError",
     "OverloadPolicy",
@@ -113,7 +142,9 @@ __all__ = [
     "ShardCrashError",
     "ShardFault",
     "ShardHealth",
+    "ShardLayout",
     "ShardOverload",
+    "SlotMove",
     "SourceError",
     "SourceFault",
     "StreamSource",
@@ -127,6 +158,7 @@ __all__ = [
     "WorkerError",
     "as_source",
     "describe_checkpoint",
+    "execute_migration",
     "read_checkpoint",
     "write_checkpoint",
 ]

@@ -22,8 +22,13 @@ content-addressable).  Supported values: ``None``, bools, arbitrary-
 precision ints, floats, strings, bytes, tuples, lists, dicts, and
 :class:`~repro.model.packet.FiveTuple` flow IDs.
 
-Writes are atomic (temp file + ``os.replace``) so a crash mid-checkpoint
-leaves the previous checkpoint intact.
+Writes are atomic and termination-safe: the payload goes to a temp file
+in the same directory (fsync'd before the atomic ``os.replace``, with the
+directory fsync'd after), so a crash — or a SIGTERM/SIGKILL — at *any*
+instant leaves either the complete previous checkpoint or the complete
+new one, never a torn file; a failed attempt's temp file is removed.
+``tests/test_checkpoint_hardening.py`` kills a writer mid-write at many
+byte offsets and asserts the previous checkpoint stays loadable.
 """
 
 from __future__ import annotations
@@ -325,7 +330,10 @@ def write_checkpoint(
     """
     path = Path(path)
     data = dumps(payload)
-    tmp = path.with_name(path.name + ".tmp")
+    # The temp name embeds the pid so a checkpoint directory shared by a
+    # supervisor and the service it restarted never sees two writers
+    # clobbering each other's in-progress file.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     if sleep is None:
         import time
 
@@ -333,17 +341,47 @@ def write_checkpoint(
     attempt = 0
     while True:
         try:
-            with open(tmp, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                # Never leave a torn temp file behind — neither on an
+                # OSError (we may retry into a fresh one) nor on an
+                # interrupt unwinding through here.  A SIGKILL skips this,
+                # which is fine: the stray .tmp is inert and the real
+                # checkpoint was never touched.
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            _fsync_directory(path.parent)
             return len(data)
         except OSError:
             if retry is None or attempt >= attempts - 1:
                 raise
             sleep(retry.delay_s(attempt))
             attempt += 1
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry after a rename, so the *new* checkpoint
+    survives power loss too (the rename itself already guarantees the
+    old-or-new invariant against process death).  Best-effort: some
+    filesystems refuse ``open(dir)``."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def read_checkpoint(path: PathLike) -> Dict[str, Any]:
@@ -354,6 +392,102 @@ def read_checkpoint(path: PathLike) -> Dict[str, Any]:
     if not isinstance(payload, dict) or "meta" not in payload:
         raise CheckpointError(f"{path}: payload is not a checkpoint dict")
     return payload
+
+
+def _watcher_occupancy(state: Dict[str, Any]) -> int:
+    """Watchlist size of one slot's watcher snapshot, kind-agnostic:
+    LOFT keeps an explicit watch table; CLEF's twin RLFDs hold a fixed
+    counter array, where occupancy = counters currently non-zero."""
+    if "watch" in state:
+        return len(state.get("watch") or [])
+    if "fast" in state:
+        total = 0
+        for twin in ("fast", "slow"):
+            counts = (state.get(twin) or {}).get("counts") or []
+            total += sum(1 for count in counts if count)
+        return total
+    return 0
+
+
+def summarize_checkpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured per-shard state sizes for a checkpoint (the machine
+    face of ``eardet checkpoint inspect --json``).
+
+    Slot detector states are grouped onto the shard currently hosting
+    them under the checkpoint's layout (identity when the checkpoint
+    predates resharding), and each shard row reports counter occupancy,
+    blacklist length, detections, packets and — when a watcher stage is
+    armed — its watchlist size, plus a per-slot breakdown.
+    """
+    engine = payload.get("engine", {})
+    slot_states = engine.get("shards", [])
+    slots = int(engine.get("slots") or len(slot_states))
+    layout = engine.get("layout") or {
+        "slots": slots,
+        "assignment": [
+            slot % max(1, int(engine.get("shard_count") or 1))
+            for slot in range(slots)
+        ],
+        "shards": int(engine.get("shard_count") or 1),
+        "epoch": 0,
+    }
+    watcher = engine.get("watcher") or {}
+    watcher_states = watcher.get("shards") or []
+    assignment = list(layout.get("assignment", []))
+    shard_rows = []
+    for shard in range(int(layout.get("shards", 1))):
+        hosted = [
+            slot for slot, owner in enumerate(assignment) if owner == shard
+        ]
+        row = {
+            "shard": shard,
+            "slots": hosted,
+            "counters_in_use": 0,
+            "counter_capacity": 0,
+            "blacklist": 0,
+            "detections": 0,
+            "packets": 0,
+            "watcher_watchlist": 0,
+            "per_slot": [],
+        }
+        for slot in hosted:
+            state = slot_states[slot]
+            store = state.get("store", {})
+            entries = store.get("entries", [])
+            capacity = store.get("capacity", 0)
+            blacklist = len(state.get("blacklist", []))
+            detections = len(state.get("sink", []))
+            packets = state.get("stats", {}).get("packets", 0)
+            watchlist = (
+                _watcher_occupancy(watcher_states[slot])
+                if slot < len(watcher_states)
+                else 0
+            )
+            row["counters_in_use"] += len(entries)
+            row["counter_capacity"] += capacity or 0
+            row["blacklist"] += blacklist
+            row["detections"] += detections
+            row["packets"] += packets
+            row["watcher_watchlist"] += watchlist
+            row["per_slot"].append(
+                {
+                    "slot": slot,
+                    "counters_in_use": len(entries),
+                    "counter_capacity": capacity,
+                    "blacklist": blacklist,
+                    "detections": detections,
+                    "packets": packets,
+                    "watcher_watchlist": watchlist,
+                }
+            )
+        shard_rows.append(row)
+    summary: Dict[str, Any] = {
+        "layout": layout,
+        "shards": shard_rows,
+    }
+    if watcher:
+        summary["watcher_kind"] = (watcher.get("policy") or {}).get("kind")
+    return summary
 
 
 def describe_checkpoint(payload: Dict[str, Any]) -> str:
@@ -368,27 +502,45 @@ def describe_checkpoint(payload: Dict[str, Any]) -> str:
             lines.append(f"  {key}: {rendered}")
         else:
             lines.append(f"  {key}: {value}")
-    engine = payload.get("engine", {})
-    shard_states = engine.get("shards", [])
-    lines.append(f"  engine shards: {len(shard_states)}")
-    for index, shard in enumerate(shard_states):
-        store = shard.get("store", {})
-        entries = store.get("entries", [])
-        sink = shard.get("sink", [])
-        blacklist = shard.get("blacklist", [])
-        stats = shard.get("stats", {})
-        lines.append(
-            f"    shard {index}: {len(entries)}/{store.get('capacity', '?')} "
-            f"counters, {len(blacklist)} blacklisted, "
-            f"{len(sink)} detections, {stats.get('packets', 0)} packets"
+    summary = summarize_checkpoint(payload)
+    layout = summary["layout"]
+    shard_rows = summary["shards"]
+    lines.append(
+        f"  engine layout: {layout.get('slots')} slots over "
+        f"{layout.get('shards')} shards (epoch {layout.get('epoch', 0)})"
+    )
+    has_watcher = "watcher_kind" in summary
+    for row in shard_rows:
+        line = (
+            f"    shard {row['shard']}: "
+            f"{row['counters_in_use']}/{row['counter_capacity'] or '?'} "
+            f"counters, {row['blacklist']} blacklisted, "
+            f"{row['detections']} detections, {row['packets']} packets"
         )
+        if has_watcher:
+            line += f", watchlist {row['watcher_watchlist']}"
+        if len(row["slots"]) != 1 or row["slots"] != [row["shard"]]:
+            slots = ",".join(str(slot) for slot in row["slots"])
+            line += f" (slots {slots or 'none — hot spare'})"
+        lines.append(line)
+        if len(row["slots"]) > 1:
+            for slot_row in row["per_slot"]:
+                lines.append(
+                    f"      slot {slot_row['slot']}: "
+                    f"{slot_row['counters_in_use']}/"
+                    f"{slot_row['counter_capacity'] or '?'} counters, "
+                    f"{slot_row['blacklist']} blacklisted, "
+                    f"{slot_row['detections']} detections, "
+                    f"{slot_row['packets']} packets"
+                )
+    engine = payload.get("engine", {})
     watcher = engine.get("watcher")
     if watcher:
         policy = watcher.get("policy", {})
         shards = watcher.get("shards", [])
         lines.append(
             f"  watcher stage: {policy.get('kind', '?')} across "
-            f"{len(shards)} shards (probabilistic; separate from the "
+            f"{len(shards)} slots (probabilistic; separate from the "
             "exact detections above)"
         )
     return "\n".join(lines)

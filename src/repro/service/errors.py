@@ -16,6 +16,7 @@ Hierarchy::
     │   │   └── WorkerError            (repro.service.workers; pre-existing)
     │   ├── QueueStallError            (heartbeat went stale)
     │   ├── OverloadError              (shard queue full past the put timeout)
+    │   ├── MigrationError             (a reshard migration failed; rolled back)
     │   └── TransientSourceError       (retryable source failure)
     ├── SourceError
     │   ├── TransientSourceError       (also recoverable, see above)
@@ -46,6 +47,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
     "InvariantViolation",
+    "MigrationError",
     "OverloadError",
     "PermanentSourceError",
     "QueueStallError",
@@ -123,6 +125,35 @@ class OverloadError(RecoverableServiceError):
         self.shard = shard
         self.queue_depth = queue_depth
         self.queue_capacity = queue_capacity
+
+
+class MigrationError(RecoverableServiceError):
+    """A live shard migration failed.
+
+    ``phase`` names the two-phase-protocol step that failed (``freeze``,
+    ``extract``, ``install`` or ``cutover``); ``plan`` is the human-
+    readable plan description; ``rolled_back`` states whether the engine
+    was returned to the pre-migration layout (the normal outcome — a
+    half-applied plan must never exist).  ``rolled_back=False`` means the
+    rollback itself failed, so the engine's layout is suspect: the
+    supervisor treats this like any recoverable error and restores from
+    the last checkpoint, which is exact regardless of layout (detections
+    are invariant under the slot assignment).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        phase: Optional[str] = None,
+        plan: Optional[str] = None,
+        rolled_back: bool = True,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.phase = phase
+        self.plan = plan
+        self.rolled_back = rolled_back
+        self.attempts = attempts
 
 
 class SourceError(ServiceError):

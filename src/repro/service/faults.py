@@ -13,6 +13,9 @@ from the compact spec string the CLI accepts via ``--fault-plan``::
     source:kind=transient,at=3000     # source raises after 3000 packets
     source:kind=permanent,at=8000     # ... and never recovers
     ckpt:after=2,mode=truncate        # damage the 2nd checkpoint write
+    mig:phase=install,mode=fail,at=1  # 1st migration fails at install
+    mig:phase=extract,mode=stall,at=2,secs=0.2  # ... 2nd sleeps 0.2s
+    mig:phase=cutover,mode=kill,at=1  # worker dies at the cutover point
     seed:42                           # RNG seed for corruption bytes
 
     --fault-plan "kill:shard=1,at=5000;source:kind=transient,at=3000"
@@ -32,6 +35,12 @@ Semantics that make recovery testable:
   fire once (a retry succeeds), permanent ones fire on every attempt.
 - **Checkpoint faults** damage the file right after the Nth successful
   write, exercising the corrupt-checkpoint recovery path.
+- **Migration faults** fire at a two-phase-protocol phase boundary of
+  the ``at``-th migration attempted in the run (1-based, fire-once):
+  ``mode=fail`` injects a transient failure (exercising rollback and
+  retry), ``mode=stall`` sleeps ``secs`` there (exercising the
+  migration timeout), ``mode=kill`` raises a worker death (exercising
+  supervised restart-from-checkpoint mid-migration).
 """
 
 from __future__ import annotations
@@ -55,6 +64,8 @@ KILL_EXIT_CODE = 70
 SHARD_FAULT_KINDS = ("kill", "stall", "drop")
 SOURCE_FAULT_KINDS = ("transient", "permanent")
 CHECKPOINT_FAULT_MODES = ("flip", "truncate", "zero")
+MIGRATION_FAULT_MODES = ("fail", "stall", "kill")
+MIGRATION_FAULT_PHASES = ("freeze", "extract", "install", "cutover")
 
 
 @dataclass
@@ -118,7 +129,32 @@ class CheckpointFault:
             raise ValueError(f"after must be >= 1, got {self.after}")
 
 
-Fault = Union[ShardFault, SourceFault, CheckpointFault]
+@dataclass
+class MigrationFault:
+    """A fault fired at a phase boundary of the ``at``-th migration."""
+
+    phase: str  # freeze | extract | install | cutover
+    mode: str = "fail"  # fail | stall | kill
+    at: int = 1  # 1-based migration index in the run
+    duration_s: float = 0.1  # stall sleep
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.phase not in MIGRATION_FAULT_PHASES:
+            raise ValueError(
+                f"migration fault phase must be one of "
+                f"{MIGRATION_FAULT_PHASES}, got {self.phase!r}"
+            )
+        if self.mode not in MIGRATION_FAULT_MODES:
+            raise ValueError(
+                f"migration fault mode must be one of "
+                f"{MIGRATION_FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.at < 1:
+            raise ValueError(f"migration index must be >= 1, got {self.at}")
+
+
+Fault = Union[ShardFault, SourceFault, CheckpointFault, MigrationFault]
 
 
 class FaultPlan:
@@ -137,6 +173,7 @@ class FaultPlan:
         self.shard_faults: List[ShardFault] = []
         self.source_faults: List[SourceFault] = []
         self.checkpoint_faults: List[CheckpointFault] = []
+        self.migration_faults: List[MigrationFault] = []
         for fault in faults:
             self.add(fault)
 
@@ -147,13 +184,18 @@ class FaultPlan:
             self.source_faults.append(fault)
         elif isinstance(fault, CheckpointFault):
             self.checkpoint_faults.append(fault)
+        elif isinstance(fault, MigrationFault):
+            self.migration_faults.append(fault)
         else:
             raise TypeError(f"not a fault: {fault!r}")
         return self
 
     def __bool__(self) -> bool:
         return bool(
-            self.shard_faults or self.source_faults or self.checkpoint_faults
+            self.shard_faults
+            or self.source_faults
+            or self.checkpoint_faults
+            or self.migration_faults
         )
 
     # -- parsing -----------------------------------------------------------
@@ -218,6 +260,13 @@ class FaultPlan:
             return CheckpointFault(
                 after=int(fields["after"]), mode=fields.get("mode", "flip")
             )
+        if kind == "mig":
+            return MigrationFault(
+                phase=fields["phase"],
+                mode=fields.get("mode", "fail"),
+                at=int(fields.get("at", 1)),
+                duration_s=float(fields.get("secs", 0.1)),
+            )
         raise ValueError(f"unknown fault kind {kind!r}")
 
     def describe(self) -> str:
@@ -241,6 +290,14 @@ class FaultPlan:
             parts.append(
                 f"ckpt:after={fault.after},mode={fault.mode}"
                 + (" (fired)" if fault.fired else "")
+            )
+        for fault in self.migration_faults:
+            extra = (
+                f",secs={fault.duration_s:g}" if fault.mode == "stall" else ""
+            )
+            parts.append(
+                f"mig:phase={fault.phase},mode={fault.mode},at={fault.at}"
+                f"{extra}" + (" (fired)" if fault.fired else "")
             )
         return "; ".join(parts) if parts else "(empty plan)"
 
@@ -306,6 +363,25 @@ class FaultPlan:
             ):
                 return True
         return False
+
+    # -- migration-fault queries (the reshard executor calls this) ---------
+
+    def take_migration(
+        self, phase: str, migration_index: int
+    ) -> Optional[MigrationFault]:
+        """The fault (if any) armed for this phase boundary of the
+        ``migration_index``-th migration.  Fire-once: a rolled-back
+        migration's retry attempts do not re-trip the same fault, so
+        chaos runs converge instead of crash-looping."""
+        for fault in self.migration_faults:
+            if (
+                fault.phase == phase
+                and fault.at == migration_index
+                and not fault.fired
+            ):
+                fault.fired = True
+                return fault
+        return None
 
     # -- source-fault queries ----------------------------------------------
 

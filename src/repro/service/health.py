@@ -61,6 +61,10 @@ class ShardHealth:
     #: Probabilistic verdicts this shard's watcher has issued so far
     #: (never part of :attr:`detections`, which stays exact-stage only).
     watcher_verdicts: int = 0
+    #: Flow slots this shard currently hosts (the units a reshard can
+    #: move; 1 per shard in the default identity layout, 0 for a hot
+    #: spare left behind by a merge).
+    slot_count: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -76,6 +80,7 @@ class ShardHealth:
             "degradation_level": self.degradation_level,
             "watcher_occupancy": self.watcher_occupancy,
             "watcher_verdicts": self.watcher_verdicts,
+            "slot_count": self.slot_count,
         }
 
     @classmethod
@@ -99,6 +104,7 @@ class ShardHealth:
             degradation_level=str(data.get("degradation_level", "exact")),
             watcher_occupancy=int(data.get("watcher_occupancy", 0)),  # type: ignore[arg-type]
             watcher_verdicts=int(data.get("watcher_verdicts", 0)),  # type: ignore[arg-type]
+            slot_count=int(data.get("slot_count", 1)),  # type: ignore[arg-type]
         )
 
 
@@ -159,12 +165,18 @@ class DeadLetterSink:
     loss for forensics.
     """
 
+    #: Cap on retained forensic events (non-packet incidents such as a
+    #: rolled-back migration); counts stay exact past the cap.
+    EVENT_CAPACITY = 256
+
     def __init__(self, capacity: int = DEFAULT_DEAD_LETTER_CAPACITY):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.entries: List[DeadLetter] = []
         self.total = 0
+        self.events: List[Dict[str, object]] = []
+        self.event_total = 0
 
     def record(self, packet: Packet, shard: int, reason: str) -> None:
         self.total += 1
@@ -172,6 +184,14 @@ class DeadLetterSink:
             self.entries.append(
                 DeadLetter(packet.time, packet.size, packet.fid, shard, reason)
             )
+
+    def record_event(self, kind: str, detail: Dict[str, object]) -> None:
+        """Capture a non-packet forensic record (e.g. a failed migration:
+        which plan, which phase, whether rollback succeeded).  Events
+        never count toward :attr:`total` — no packet was lost."""
+        self.event_total += 1
+        if len(self.events) < self.EVENT_CAPACITY:
+            self.events.append({"kind": kind, **detail})
 
     def __len__(self) -> int:
         return self.total
@@ -182,6 +202,8 @@ class DeadLetterSink:
             "retained": len(self.entries),
             "capacity": self.capacity,
             "entries": [entry.as_dict() for entry in self.entries],
+            "events": [dict(event) for event in self.events],
+            "event_total": self.event_total,
         }
 
     def __repr__(self) -> str:
@@ -240,6 +262,11 @@ class ServiceReport:
     #: verdict is *evidence*, never an exact detection, and :attr:`exact`
     #: deliberately ignores this section entirely.
     watcher: Optional[Dict[str, object]] = None
+    #: Resharding summary when the run used slots, a coordinator, or ran
+    #: any migration: final layout, migrations committed / rolled back,
+    #: the last measured migration pause, and the coordinator's decision
+    #: log.  None for a static-layout run — the common case stays quiet.
+    reshard: Optional[Dict[str, object]] = None
 
     @property
     def packets_per_second(self) -> float:
@@ -291,6 +318,7 @@ class ServiceReport:
             "overload": self.overload,
             "drained": self.drained,
             "watcher": self.watcher,
+            "reshard": self.reshard,
         }
 
     def render(self) -> str:
@@ -350,6 +378,27 @@ class ServiceReport:
                 f"widening bound {self.overload.get('max_widening_ns', 0)}ns "
                 f"= {self.overload.get('widening_bytes', 0)} bytes)"
             )
+        if self.reshard is not None:
+            layout = self.reshard.get("layout") or {}
+            pause = self.reshard.get("last_pause_ns") or 0
+            pause_label = (
+                f", last pause {pause / NS_PER_S * 1e3:.2f}ms" if pause else ""
+            )
+            lines.append(
+                "  resharding: "
+                f"{self.reshard.get('migrations', 0)} migrations committed, "
+                f"{self.reshard.get('rollbacks', 0)} rolled back; layout "
+                f"epoch {layout.get('epoch', 0)}, "
+                f"{layout.get('slots', 0)} slots over "
+                f"{layout.get('shards', 0)} shards{pause_label}"
+            )
+            coordinator = self.reshard.get("coordinator")
+            if coordinator:
+                lines.append(
+                    "  coordinator: "
+                    f"{coordinator.get('windows', 0)} windows observed, "
+                    f"{coordinator.get('proposals', 0)} plans proposed"
+                )
         if self.watcher is not None:
             churn = self.watcher.get("churn") or {}
             lines.append(

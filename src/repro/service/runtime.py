@@ -34,9 +34,17 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .engine import DEFAULT_QUEUE_CAPACITY, InProcessEngine
+from .errors import MigrationError
 from .health import DeadLetterSink, ServiceReport, ShardHealth
 from .overload import OverloadPolicy
 from .pipeline import WatcherPolicy, WatcherStage
+from .reshard import (
+    Coordinator,
+    CoordinatorPolicy,
+    MigrationPlan,
+    MigrationReport,
+    execute_migration,
+)
 from .sources import DEFAULT_BATCH_SIZE, PacketSource, as_source
 from .workers import MultiprocessEngine
 
@@ -58,6 +66,7 @@ def _build_engine(
     invariant_every: Optional[int] = None,
     overload: Optional[OverloadPolicy] = None,
     watcher: Optional[WatcherStage] = None,
+    slots: Optional[int] = None,
 ):
     if kind == "inprocess":
         return InProcessEngine(
@@ -71,6 +80,7 @@ def _build_engine(
             invariant_every=invariant_every,
             overload=overload,
             watcher=watcher,
+            slots=slots,
         )
     if kind == "multiprocess":
         if overflow != "block":
@@ -87,6 +97,7 @@ def _build_engine(
             invariant_every=invariant_every,
             overload=overload,
             watcher=watcher,
+            slots=slots,
         )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
@@ -151,6 +162,21 @@ class DetectionService:
         :class:`ServiceReport`'s separate ``watcher`` section — exact
         detections stay bit-identical with or without it.  The stage's
         state checkpoints and resumes with the engine.
+    slots:
+        Flow-keyed routing granularity (see
+        :mod:`repro.service.reshard`).  Flows hash into ``slots``
+        sub-streams; a versioned layout maps slots onto shards, and live
+        migrations move whole slots between shards without perturbing
+        detections.  Defaults to ``shards`` (one slot per shard — the
+        historical layout, with no resharding headroom).  Like the seed,
+        it must never change across a resume.
+    coordinator:
+        Optional :class:`~repro.service.reshard.CoordinatorPolicy`
+        arming the elastic coordinator: per-shard load is observed once
+        per batch and, when skew persists past the policy's hysteresis,
+        a split/merge plan is executed through :meth:`apply_migration`
+        at the batch boundary.  A rolled-back migration is an incident,
+        not a crash — the serve loop keeps going on the old layout.
     """
 
     def __init__(
@@ -172,6 +198,8 @@ class DetectionService:
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
         watcher: Optional[WatcherPolicy] = None,
+        slots: Optional[int] = None,
+        coordinator: Optional[CoordinatorPolicy] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -182,6 +210,7 @@ class DetectionService:
         self.config = config
         self.engine_kind = engine
         self.shards = shards
+        self.slots = slots if slots is not None else shards
         self.seed = seed
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
@@ -193,8 +222,11 @@ class DetectionService:
         self.checkpoint_backoff = checkpoint_backoff
         self._clock = clock
         self.watcher_policy = watcher
+        # The watcher stage is slot-granular: each slot's watcher sees
+        # that slot's hash sub-stream no matter which shard hosts it, so
+        # watcher verdicts are layout-invariant too.
         self._watcher = (
-            WatcherStage(watcher, config, shards)
+            WatcherStage(watcher, config, self.slots)
             if watcher is not None
             else None
         )
@@ -202,8 +234,16 @@ class DetectionService:
             engine, config, shards, seed, queue_capacity, overflow,
             fault_plan=fault_plan, dead_letter=dead_letter,
             invariant_every=invariant_every, overload=overload,
-            watcher=self._watcher,
+            watcher=self._watcher, slots=slots,
         )
+        self.coordinator_policy = coordinator
+        self._coordinator = (
+            Coordinator(coordinator) if coordinator is not None else None
+        )
+        self._migrations = 0
+        self._rollbacks = 0
+        self._last_pause_ns: Optional[int] = None
+        self._migration_index = 0
         self._ingested = 0
         self._resumed_from = 0
         self._checkpoints_written = 0
@@ -236,16 +276,19 @@ class DetectionService:
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
         watcher: Optional[WatcherPolicy] = None,
+        coordinator: Optional[CoordinatorPolicy] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
         The engine kind may be switched on resume (snapshots are engine-
-        agnostic); shard count, hash seed and config come from the
-        checkpoint because changing them would re-route flows and void
-        exactness.  The watcher policy likewise comes from the
-        checkpoint (its state rides in the engine snapshot); an explicit
-        ``watcher`` argument overrides it but must match the recorded
-        policy for the saved stage state to restore.
+        agnostic); shard count, slot count, hash seed and config come
+        from the checkpoint because changing them would re-route flows
+        and void exactness (the engine additionally adopts the
+        checkpoint's live layout, which a past migration may have moved
+        off the identity assignment).  The watcher policy likewise comes
+        from the checkpoint (its state rides in the engine snapshot); an
+        explicit ``watcher`` argument overrides it but must match the
+        recorded policy for the saved stage state to restore.
         """
         payload = read_checkpoint(checkpoint_path)
         meta = payload["meta"]
@@ -277,6 +320,8 @@ class DetectionService:
             overload=overload,
             checkpoint_backoff=checkpoint_backoff,
             watcher=watcher,
+            slots=meta.get("slots"),
+            coordinator=coordinator,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -301,9 +346,124 @@ class DetectionService:
         """The armed ambiguity-region watcher stage, or None."""
         return self._watcher
 
+    @property
+    def coordinator(self) -> Optional[Coordinator]:
+        """The armed elastic coordinator, or None."""
+        return self._coordinator
+
     def health(self) -> List[ShardHealth]:
         """Live per-shard health."""
         return self._engine.health()
+
+    # -- resharding --------------------------------------------------------
+
+    def apply_migration(
+        self,
+        plan: MigrationPlan,
+        attempts: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+    ) -> MigrationReport:
+        """Execute a migration plan at the current batch boundary.
+
+        Runs the two-phase freeze/extract → install/cutover protocol
+        (see :func:`repro.service.reshard.execute_migration`) with this
+        service's fault plan armed, counts the outcome, and — on a
+        rolled-back failure — records a forensic event in the
+        dead-letter sink before re-raising the
+        :class:`~repro.service.errors.MigrationError`.
+        """
+        policy = self.coordinator_policy
+        if attempts is None:
+            attempts = policy.attempts if policy is not None else 3
+        if timeout_s is None:
+            timeout_s = policy.timeout_s if policy is not None else 30.0
+        self._migration_index += 1
+        try:
+            report = execute_migration(
+                self._engine,
+                plan,
+                attempts=attempts,
+                backoff=backoff,
+                timeout_s=timeout_s,
+                fault_plan=self.fault_plan,
+                migration_index=self._migration_index,
+            )
+        except MigrationError as error:
+            self._rollbacks += 1
+            if self._coordinator is not None:
+                self._coordinator.note_result(committed=False)
+            if self.dead_letter is not None:
+                self.dead_letter.record_event(
+                    "migration-rollback",
+                    {
+                        "phase": error.phase,
+                        "attempts": error.attempts,
+                        "rolled_back": error.rolled_back,
+                        "plan": plan.describe(),
+                        "error": str(error),
+                    },
+                )
+            raise
+        self._migrations += 1
+        self._last_pause_ns = report.pause_ns
+        if self._coordinator is not None:
+            self._coordinator.note_result(committed=True)
+        if self._instruments is not None:
+            # Re-bind per-shard channels if the migration grew the fleet,
+            # then refresh the reshard gauges immediately.
+            self._instruments.bind_shards(
+                self._engine.shard_count,
+                getattr(
+                    self._engine, "queue_capacity", DEFAULT_QUEUE_CAPACITY
+                ),
+            )
+            self._instruments.sync_reshard(self._reshard_report())
+        return report
+
+    def _reshard_report(self) -> Optional[Dict[str, object]]:
+        """The report's resharding section, or None while trivial (the
+        initial identity layout, no coordinator, no migrations ever)."""
+        layout = getattr(self._engine, "layout", None)
+        if layout is None:  # pragma: no cover - every engine has a layout
+            return None
+        trivial = (
+            layout.epoch == 0
+            and layout.is_identity
+            and self._coordinator is None
+            and self._migrations == 0
+            and self._rollbacks == 0
+        )
+        if trivial:
+            return None
+        return {
+            "layout": layout.as_dict(),
+            "migrations": self._migrations,
+            "rollbacks": self._rollbacks,
+            "last_pause_ns": self._last_pause_ns,
+            "coordinator": (
+                self._coordinator.report()
+                if self._coordinator is not None
+                else None
+            ),
+        }
+
+    def _coordinate(self) -> None:
+        """Per-batch coordinator tick: observe load, execute a proposed
+        plan, absorb a rolled-back failure as an incident."""
+        plan = self._coordinator.observe(self._engine)
+        if plan is None:
+            return
+        try:
+            self.apply_migration(plan)
+        except MigrationError as error:
+            if not error.rolled_back:
+                # The rollback itself failed — state is suspect, so this
+                # is not absorbable; let the supervisor take over.
+                raise
+            # Rolled back cleanly: the old layout is intact and serving
+            # stays exact; the forensic record is in the dead-letter
+            # sink and the coordinator's cooldown is re-armed.
 
     # -- graceful drain ----------------------------------------------------
 
@@ -388,6 +548,8 @@ class DetectionService:
                 self._sync_instruments(validation)
             if on_progress is not None:
                 on_progress(self)
+            if self._coordinator is not None:
+                self._coordinate()
             if next_boundary is not None and self._ingested >= next_boundary:
                 self._write_checkpoint(source)
                 next_boundary = self._next_boundary()
@@ -459,6 +621,7 @@ class DetectionService:
             watcher=(
                 self._watcher.report() if self._watcher is not None else None
             ),
+            reshard=self._reshard_report(),
         )
 
     def shutdown(self, drain: bool = False) -> None:
@@ -489,9 +652,10 @@ class DetectionService:
         instruments = self._instruments
         instruments.set_ingested(self._ingested)
         instruments.sync_engine(self._engine)
-        detectors = getattr(self._engine, "_detectors", None)
-        if detectors is not None:  # in-process: rich per-shard stats
-            instruments.sync_detectors(detectors)
+        groups = getattr(self._engine, "detector_groups", None)
+        if groups is not None:  # in-process: rich per-shard stats
+            instruments.sync_detector_groups(groups())
+        instruments.sync_reshard(self._reshard_report())
         if self.dead_letter is not None:
             instruments.sync_dead_letters(self.dead_letter.total)
         if self._watcher is not None:
@@ -526,6 +690,7 @@ class DetectionService:
                 "kind": "eardet-service",
                 "packets": self._ingested,
                 "shards": self.shards,
+                "slots": self.slots,
                 "seed": self.seed,
                 "engine": self.engine_kind,
                 "checkpoint_every": self.checkpoint_every,

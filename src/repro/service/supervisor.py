@@ -142,9 +142,13 @@ class Supervisor:
         overload: Optional[OverloadPolicy] = None,
         checkpoint_backoff: Optional[BackoffPolicy] = None,
         watcher: Optional[WatcherPolicy] = None,
+        slots: Optional[int] = None,
+        coordinator=None,
     ):
         self.config = config
         self.shards = shards
+        self.slots = slots
+        self.coordinator = coordinator
         self.engine_kind = engine
         self.seed = seed
         self.checkpoint_path = checkpoint_path
@@ -198,6 +202,8 @@ class Supervisor:
             overload=self.overload,
             checkpoint_backoff=self.checkpoint_backoff,
             watcher=self.watcher,
+            slots=self.slots,
+            coordinator=self.coordinator,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -221,6 +227,7 @@ class Supervisor:
                     overload=self.overload,
                     checkpoint_backoff=self.checkpoint_backoff,
                     watcher=self.watcher,
+                    coordinator=self.coordinator,
                 )
                 self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}"

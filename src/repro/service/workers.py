@@ -2,20 +2,23 @@
 
 Python's GIL means the in-process engine cannot exceed one core no matter
 how many shards it has; this module provides the throughput deployment.
-The parent routes packets and each shard runs a full EARDet in its own
-process, consuming chunks from a **bounded** ``multiprocessing.Queue`` —
-when a shard falls behind, ``Queue.put`` blocks the parent, which
-therefore stops pulling from the source: backpressure end to end, memory
-bounded by ``shards * queue_capacity * chunk_size`` packets plus the
-parent's per-shard staging buffers.
+The parent routes packets and each shard worker hosts the EARDet
+detectors of the **slots** currently assigned to it (one slot per shard
+in the default layout), consuming chunks from a **bounded**
+``multiprocessing.Queue`` — when a shard falls behind, ``Queue.put``
+blocks the parent, which therefore stops pulling from the source:
+backpressure end to end, memory bounded by ``shards * queue_capacity *
+chunk_size`` packets plus the parent's per-shard staging buffers.
 
 Scaling lives or dies on the *parent's* per-packet cost (it is the one
-serial stage), so the routing loop is aggressively cheap: shard lookup
+serial stage), so the routing loop is aggressively cheap: slot lookup
 goes through the memoized :class:`~repro.service.engine.FlowRouter`
-rather than re-hashing every packet, and chunks travel as plain
-``(time, size, fid)`` tuples — several times cheaper to pickle than
-``Packet`` instances — with each worker rebuilding ``Packet`` objects on
-its own core, where the cost parallelizes.
+rather than re-hashing every packet (the slot→shard step is a list
+index), and chunks travel as plain ``(time, size, fid)`` tuples —
+several times cheaper to pickle than ``Packet`` instances — with each
+worker rebuilding ``Packet`` objects on its own core, where the cost
+parallelizes.  A worker hosting exactly one slot (the default layout)
+skips per-packet slot dispatch entirely.
 
 Exact snapshots use **in-band barrier markers**: after flushing its
 staging buffers the parent enqueues a snapshot request on every shard
@@ -25,10 +28,20 @@ marker and none after — so the assembled snapshot corresponds to an exact
 stream prefix, just like :meth:`InProcessEngine.snapshot`, and uses the
 same schema (the two engines' checkpoints are interchangeable).
 
-Determinism: shards are independent and each processes its sub-stream in
-arrival order, so detections, timestamps and per-shard state are
-identical to the in-process engine's — only wall-clock interleaving
-differs.  ``tests/test_service.py`` asserts this equivalence.
+Live migration rides the same in-band mechanism: an ``extract`` marker
+asks a worker to snapshot-and-detach the named slots *after* everything
+already queued to it (the freeze barrier — no drain of unrelated shards
+is needed), and an ``install`` message hands a target worker
+decode-verified slot states to host from then on.  The parent swaps its
+slot→shard assignment only after every install is acknowledged (see
+:func:`repro.service.reshard.execute_migration`); workers never route,
+so the cutover is a parent-local atomic swap.
+
+Determinism: slots are independent and each processes its hash
+sub-stream in arrival order no matter which worker hosts it, so
+detections, timestamps and per-slot state are identical to the
+in-process engine's — only wall-clock interleaving differs.
+``tests/test_service.py`` asserts this equivalence.
 
 Fault tolerance (see :mod:`repro.service.supervisor`):
 
@@ -42,7 +55,10 @@ Fault tolerance (see :mod:`repro.service.supervisor`):
   instead of a 2-minute timeout;
 - a :class:`~repro.service.faults.FaultPlan` can arm worker-side faults
   (kill / stall at an exact shard-local packet index) and parent-side
-  injected drops, for deterministic chaos testing.
+  injected drops, for deterministic chaos testing;
+- a worker that cannot install migrated slot state exits with
+  :data:`MIGRATION_ABORT_EXIT_CODE` after shipping the failure in-band,
+  so the supervisor classifies the death correctly.
 """
 
 from __future__ import annotations
@@ -52,7 +68,7 @@ import os
 import queue as queue_module
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..core.blacklist import ReportSink
 from ..core.config import EARDetConfig
@@ -60,9 +76,10 @@ from ..core.eardet import EARDet
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
-from .errors import OverloadError, ShardCrashError
+from .errors import MigrationError, OverloadError, ShardCrashError
 from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
 from .overload import OverloadPolicy, ShardOverload
+from .reshard import MigrationPlan, ShardLayout
 
 #: Packets per chunk shipped to a worker (amortizes queue/pickle costs).
 DEFAULT_CHUNK_SIZE = 2048
@@ -72,6 +89,10 @@ DEFAULT_QUEUE_CAPACITY = 8
 
 #: Seconds to wait for a worker reply before declaring it dead.
 REPLY_TIMEOUT_S = 120.0
+
+#: Seconds :meth:`MultiprocessEngine.terminate` gives a worker to die
+#: on SIGTERM before escalating to SIGKILL.
+TERMINATE_GRACE_S = 5.0
 
 #: Poll granularity for blocking queue operations — the latency bound on
 #: noticing a dead worker while blocked.
@@ -102,6 +123,18 @@ INVARIANT_EXIT_CODE = 86
 #: drained worker (final state collected, nothing lost) from a clean
 #: end-of-stream exit (0) without parsing logs.
 DRAIN_EXIT_CODE = 75
+
+#: Exit code a worker uses when it cannot install migrated slot state
+#: (decode-verified state that still fails to restore means the worker's
+#: process is not trustworthy).  The failure ships in-band first, so the
+#: parent rolls the migration back / the supervisor restores from the
+#: last checkpoint — which is exact regardless of layout.
+MIGRATION_ABORT_EXIT_CODE = 78
+
+#: Heartbeat slots allocated at fleet start.  The shared array cannot
+#: grow once workers hold references to it, so this is the ceiling on
+#: how many shards a fleet can grow to via resharding.
+MAX_WORKER_SHARDS = 64
 
 
 class WorkerError(ShardCrashError):
@@ -163,11 +196,17 @@ def _heartbeat_ticker(heartbeat, index, interval_s):
 
 
 def _shard_worker(
-    index, config, initial_state, in_queue, out_queue, heartbeat, faults,
-    invariant_every=None,
+    index, config, slots, seed, slot_ids, initial_states, in_queue,
+    out_queue, heartbeat, faults, invariant_every=None,
 ):
     """Worker loop: consume chunks until a stop message, answering
-    snapshot barriers in stream order.
+    snapshot / extract / install barriers in stream order.
+
+    The worker hosts one EARDet per assigned slot (``slot_ids``), with
+    its own flow→slot router (same ``seed``/``slots`` as the parent's,
+    so dispatch agrees).  ``initial_states`` maps slot → restored state.
+    Hosting exactly one slot — the default layout — keeps the original
+    single-detector hot loop: no per-packet dispatch.
 
     ``faults`` is ``None`` or ``(kill_at, stall_at, stall_s)`` in
     shard-local packet indices — the deterministic chaos hooks.  An
@@ -176,13 +215,25 @@ def _shard_worker(
     segfault or an OOM kill.
 
     ``invariant_every`` arms an
-    :class:`~repro.guard.invariants.InvariantChecker` on this shard's
+    :class:`~repro.guard.invariants.InvariantChecker` on every hosted
     detector.  A violation ships its forensics as an in-band
     ``("invariant", index, payload)`` reply (flushed before death) and
     exits with :data:`INVARIANT_EXIT_CODE`, so the parent raises a
     *permanent* :class:`~repro.guard.invariants.InvariantViolation`
     instead of a recoverable crash.
     """
+    # The parent (e.g. the CLI) may have routed SIGTERM/SIGINT to a
+    # graceful-drain flag nobody in this process reads; inheriting that
+    # handler would make the worker unkillable by Process.terminate().
+    # Worker drain is driven by the in-band ("stop", "drain") message,
+    # never by signals, so restore the defaults.
+    import signal
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     threading.Thread(
         target=_exit_when_orphaned, args=(os.getppid(),), daemon=True
     ).start()
@@ -196,11 +247,29 @@ def _shard_worker(
         from ..guard import InvariantChecker, InvariantViolation
         from .faults import KILL_EXIT_CODE
 
-        detector = EARDet(config)
-        if invariant_every is not None:
-            detector.attach_checker(InvariantChecker(invariant_every))
-        if initial_state is not None:
-            detector.restore(initial_state)
+        def build(state=None):
+            detector = EARDet(config)
+            if invariant_every is not None:
+                detector.attach_checker(InvariantChecker(invariant_every))
+            if state is not None:
+                detector.restore(state)
+            return detector
+
+        initial_states = initial_states or {}
+        detectors: Dict[int, EARDet] = {
+            slot: build(initial_states.get(slot)) for slot in slot_ids
+        }
+        router = FlowRouter(StageHash(seed=seed, buckets=slots))
+        # Shard-local packet position for fault triggers: packets this
+        # worker's detectors have processed (resumes across restore).
+        processed = sum(d.stats.packets for d in detectors.values())
+
+        def single():
+            if len(detectors) == 1:
+                return next(iter(detectors.values()))
+            return None
+
+        solo = single()
         kill_at = stall_at = None
         stall_s = 0.0
         if faults is not None:
@@ -211,24 +280,79 @@ def _shard_worker(
                 heartbeat[index] = time.monotonic()
             kind = message[0]
             if kind == "packets":
-                observe = detector.observe
-                if kill_at is None and stall_at is None:
+                if solo is not None and kill_at is None and stall_at is None:
+                    observe = solo.observe
                     for time_ns, size, fid in message[1]:
                         observe(Packet(time_ns, size, fid))
+                    processed += len(message[1])
                 else:
-                    stats = detector.stats
                     for time_ns, size, fid in message[1]:
-                        position = stats.packets + 1
+                        position = processed + 1
                         if stall_at is not None and position >= stall_at:
                             stall_at = None
                             time.sleep(stall_s)
                         if kill_at is not None and position >= kill_at:
                             os._exit(KILL_EXIT_CODE)
-                        observe(Packet(time_ns, size, fid))
+                        detectors[router(fid)].observe(
+                            Packet(time_ns, size, fid)
+                        )
+                        processed += 1
             elif kind == "snapshot":
-                out_queue.put(("snapshot", index, message[1], detector.snapshot()))
+                out_queue.put((
+                    "snapshot",
+                    index,
+                    message[1],
+                    {
+                        slot: detector.snapshot()
+                        for slot, detector in detectors.items()
+                    },
+                ))
+            elif kind == "extract":
+                # In-band freeze barrier: everything queued before this
+                # marker is already processed, so the extracted states
+                # sit at an exact sub-stream boundary.  Unknown slots
+                # are skipped (a rollback extract-and-discard probes
+                # targets that may hold nothing).
+                taken = {}
+                for slot in message[1]:
+                    detector = detectors.pop(slot, None)
+                    if detector is not None:
+                        taken[slot] = detector.snapshot()
+                solo = single()
+                processed = sum(
+                    d.stats.packets for d in detectors.values()
+                )
+                out_queue.put(("extracted", index, message[2], taken))
+            elif kind == "install":
+                try:
+                    for slot, state in message[1].items():
+                        detectors[slot] = build(state)
+                except Exception:
+                    # Decode-verified state that still fails to restore:
+                    # ship the failure, then die with the migration-
+                    # abort code so the parent/supervisor classify it.
+                    import traceback
+
+                    out_queue.put(("error", index, traceback.format_exc()))
+                    out_queue.close()
+                    out_queue.join_thread()
+                    os._exit(MIGRATION_ABORT_EXIT_CODE)
+                solo = single()
+                processed = sum(
+                    d.stats.packets for d in detectors.values()
+                )
+                out_queue.put((
+                    "installed", index, message[2], sorted(detectors)
+                ))
             elif kind == "stop":
-                out_queue.put(("done", index, detector.snapshot()))
+                out_queue.put((
+                    "done",
+                    index,
+                    {
+                        slot: detector.snapshot()
+                        for slot, detector in detectors.items()
+                    },
+                ))
                 if len(message) > 1 and message[1] == "drain":
                     # Graceful drain: flush the reply onto the pipe, then
                     # exit with the drain code so the parent (and any
@@ -256,7 +380,9 @@ def _shard_worker(
 
 class MultiprocessEngine:
     """Sharded EARDet across OS processes, same interface and snapshot
-    schema as :class:`~repro.service.engine.InProcessEngine`.
+    schema as :class:`~repro.service.engine.InProcessEngine` — including
+    the live-migration primitives (slots move between worker processes
+    through in-band extract/install barriers).
 
     Workers start lazily on first ingestion; :meth:`restore` must
     therefore be called (if at all) before any packet is ingested.
@@ -278,9 +404,17 @@ class MultiprocessEngine:
         overload: Optional[OverloadPolicy] = None,
         put_timeout_s: Optional[float] = None,
         watcher=None,
+        slots: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
+        if slots is None:
+            slots = shards
+        if slots < shards:
+            raise ValueError(
+                f"need at least as many slots as shards, got {slots} slots "
+                f"for {shards} shards"
+            )
         if chunk_size < 1:
             raise ValueError(f"chunk size must be positive, got {chunk_size}")
         if queue_capacity < 1:
@@ -297,14 +431,16 @@ class MultiprocessEngine:
         self.chunk_size = chunk_size
         self.queue_capacity = queue_capacity
         self._shards = shards
-        self._hash = StageHash(seed=seed, buckets=shards)
+        self._layout = ShardLayout.default(slots, shards)
+        self._assignment: List[int] = list(self._layout.assignment)
+        self._hash = StageHash(seed=seed, buckets=slots)
         self._route = FlowRouter(self._hash)
         # Staging buffers hold wire tuples, not Packet objects — see the
         # module docstring on the producer's per-packet budget.
         self._buffers: List[list] = [[] for _ in range(shards)]
         self._accepted = 0
-        self._snapshot_token = 0
-        self._initial_states: Optional[List[Dict[str, object]]] = None
+        self._barrier_token = 0
+        self._slot_states: Optional[List] = None
         self._final_snapshot: Optional[Dict[str, object]] = None
         self._plan = fault_plan
         self._dead_letter = dead_letter
@@ -330,14 +466,15 @@ class MultiprocessEngine:
                 ShardOverload(overload, lambda t, s, f: (t, s, f))
                 for _ in range(shards)
             ]
-        # The watcher stage lives parent-side, on the routing path: it
-        # needs no worker protocol, checkpoints synchronously with the
-        # parent's loss accounting, and keeps observing while a shard
-        # queue is full or a worker is being restarted.
-        if watcher is not None and watcher.shard_count != shards:
+        # The watcher stage lives parent-side, on the routing path
+        # (slot-granular): it needs no worker protocol, checkpoints
+        # synchronously with the parent's loss accounting, keeps
+        # observing while a shard queue is full or a worker is being
+        # restarted — and never physically moves during a migration.
+        if watcher is not None and watcher.shard_count != slots:
             raise ValueError(
-                f"watcher stage has {watcher.shard_count} shards, engine "
-                f"has {shards}"
+                f"watcher stage has {watcher.shard_count} watchers, engine "
+                f"has {slots} slots (the stage is slot-granular)"
             )
         self.watcher = watcher
         self._context = multiprocessing.get_context()
@@ -350,7 +487,16 @@ class MultiprocessEngine:
 
     @property
     def shard_count(self) -> int:
-        return self._shards
+        return self._layout.shards
+
+    @property
+    def slot_count(self) -> int:
+        return self._layout.slots
+
+    @property
+    def layout(self) -> ShardLayout:
+        """The current (versioned) slot→shard assignment."""
+        return self._layout
 
     @property
     def seed(self) -> int:
@@ -367,11 +513,21 @@ class MultiprocessEngine:
         return sum(self._dropped)
 
     @property
+    def routed(self) -> List[int]:
+        """Per-shard arrival counts (the coordinator's load signal)."""
+        return list(self._routed)
+
+    @property
     def running(self) -> bool:
         return self._processes is not None
 
-    def shard_of(self, fid: FlowId) -> int:
+    def slot_of(self, fid: FlowId) -> int:
+        """Which slot a flow hashes to (layout-independent)."""
         return self._route(fid)
+
+    def shard_of(self, fid: FlowId) -> int:
+        """Which shard currently hosts a flow's slot."""
+        return self._assignment[self._route(fid)]
 
     def queue_depths(self) -> List[int]:
         """Staged packets plus in-flight chunks per shard (parent-side
@@ -463,7 +619,10 @@ class MultiprocessEngine:
         if self._heartbeats is None:
             return [0.0] * self._shards
         now = time.monotonic()
-        return [max(0.0, now - beat) for beat in self._heartbeats]
+        return [
+            max(0.0, now - self._heartbeats[index])
+            for index in range(self._shards)
+        ]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -477,39 +636,57 @@ class MultiprocessEngine:
             ctx.Queue(maxsize=self.queue_capacity) for _ in range(self._shards)
         ]
         self._results = ctx.Queue()
-        self._heartbeats = ctx.Array("d", self._shards, lock=False)
+        # Fixed-capacity heartbeat array: workers hold references, so it
+        # cannot grow when a reshard spawns shards later.
+        self._heartbeats = ctx.Array(
+            "d", max(self._shards, MAX_WORKER_SHARDS), lock=False
+        )
         now = time.monotonic()
-        for index in range(self._shards):
+        for index in range(len(self._heartbeats)):
             self._heartbeats[index] = now
-        initial = self._initial_states or [None] * self._shards
         self._processes = []
         for index in range(self._shards):
-            faults = None
-            if self._plan is not None:
-                kill_at = self._plan.kill_at(index)
-                stall = self._plan.stall_for(index)
-                if kill_at is not None or stall is not None:
-                    faults = (
-                        kill_at,
-                        stall.at if stall is not None else None,
-                        stall.duration_s if stall is not None else 0.0,
-                    )
-            process = ctx.Process(
-                target=_shard_worker,
-                args=(
-                    index,
-                    self.config,
-                    initial[index],
-                    self._queues[index],
-                    self._results,
-                    self._heartbeats,
-                    faults,
-                    self.invariant_every,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+            self._spawn_worker(index)
+
+    def _spawn_worker(self, index: int) -> None:
+        """Start the worker process hosting shard ``index``'s slots."""
+        slot_ids = self._layout.slots_of(index)
+        initial = None
+        if self._slot_states is not None:
+            initial = {
+                slot: self._slot_states[slot]
+                for slot in slot_ids
+                if self._slot_states[slot] is not None
+            }
+        faults = None
+        if self._plan is not None:
+            kill_at = self._plan.kill_at(index)
+            stall = self._plan.stall_for(index)
+            if kill_at is not None or stall is not None:
+                faults = (
+                    kill_at,
+                    stall.at if stall is not None else None,
+                    stall.duration_s if stall is not None else 0.0,
+                )
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                index,
+                self.config,
+                self._layout.slots,
+                self._hash.seed,
+                slot_ids,
+                initial,
+                self._queues[index],
+                self._results,
+                self._heartbeats,
+                faults,
+                self.invariant_every,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._processes.append(process)
 
     def _put(self, index: int, message) -> None:
         """Bounded put that notices a dead consumer — and, when
@@ -557,6 +734,7 @@ class MultiprocessEngine:
             return
         buffers = self._buffers
         route = self._route
+        assignment = self._assignment
         routed = self._routed
         last_ts = self._last_packet_ts
         chunk_size = self.chunk_size
@@ -564,11 +742,12 @@ class MultiprocessEngine:
         watcher = self.watcher
         for packet in batch:
             fid = packet.fid
-            index = route(fid)
+            slot = route(fid)
+            index = assignment[slot]
             routed[index] += 1
             last_ts[index] = packet.time
             if watcher is not None:
-                watcher.observe(packet, index)
+                watcher.observe(packet, slot)
             if plan is not None and plan.should_drop(index, routed[index]):
                 self._record_loss(index, packet, "injected-drop")
                 continue
@@ -595,6 +774,7 @@ class MultiprocessEngine:
         states = self._overload
         assert states is not None
         route = self._route
+        assignment = self._assignment
         routed = self._routed
         last_ts = self._last_packet_ts
         plan = self._plan
@@ -605,11 +785,12 @@ class MultiprocessEngine:
                 self._stage(index, item)
         for packet in batch:
             fid = packet.fid
-            index = route(fid)
+            slot = route(fid)
+            index = assignment[slot]
             routed[index] += 1
             last_ts[index] = packet.time
             if watcher is not None:
-                watcher.observe(packet, index)
+                watcher.observe(packet, slot)
             if plan is not None and plan.should_drop(index, routed[index]):
                 self._record_loss(index, packet, "injected-drop")
                 continue
@@ -716,14 +897,20 @@ class MultiprocessEngine:
     def terminate(self) -> None:
         """Hard-kill workers (crash recovery / emergency shutdown);
         discards in-flight state.  Safe to call when some — or all —
-        workers have already died, and idempotent."""
+        workers have already died, and idempotent.  Escalates to
+        SIGKILL after a short grace: a worker that ignores SIGTERM
+        (e.g. a masked or inherited handler) must not stall crash
+        recovery for ``REPLY_TIMEOUT_S`` per process."""
         if self._processes is None:
             return
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
         for process in self._processes:
-            process.join(timeout=REPLY_TIMEOUT_S)
+            process.join(timeout=TERMINATE_GRACE_S)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=REPLY_TIMEOUT_S)
         for queue in self._queues:
             queue.close()
         if self._results is not None:
@@ -733,6 +920,146 @@ class MultiprocessEngine:
         self._results = None
         self._heartbeats = None
 
+    # -- live migration ----------------------------------------------------
+
+    def prepare_migration(self, plan: MigrationPlan) -> None:
+        """Freeze phase: release ladder rung buffers and staged chunks
+        onto the worker queues (preserving per-flow order across the
+        cut), and spawn workers for any new target shards.
+
+        No full drain is needed: the subsequent ``extract`` message is
+        an *in-band* barrier — each source worker answers it only after
+        everything queued ahead of it, which is exactly the freeze
+        point."""
+        plan.validate(self._layout)
+        self._start()
+        self.check_workers()
+        self.flush()
+        self._ensure_shards(plan.target_shards)
+
+    def extract_slots(self, slot_ids: List[int]) -> Dict[int, Dict[str, object]]:
+        """Extract phase: in-band snapshot-and-detach of the named slots
+        from the shards currently hosting them."""
+        by_shard: Dict[int, List[int]] = {}
+        for slot in slot_ids:
+            by_shard.setdefault(self._assignment[slot], []).append(slot)
+        return self._extract_from(by_shard)
+
+    def _extract_from(
+        self, by_shard: Dict[int, List[int]]
+    ) -> Dict[int, Dict[str, object]]:
+        """Send extract barriers to an explicit shard→slots map (the
+        rollback path probes migration *targets*, which may hold only
+        some — or none — of the slots; workers return what they have)."""
+        if not by_shard:
+            return {}
+        self._barrier_token += 1
+        token = self._barrier_token
+        for index, slots in by_shard.items():
+            self._put(index, ("extract", list(slots), token))
+        replies = self._collect(
+            "extracted", token, indices=list(by_shard)
+        )
+        extracted: Dict[int, Dict[str, object]] = {}
+        for taken in replies.values():
+            extracted.update(taken)
+        return extracted
+
+    def install_slots(
+        self,
+        slot_states: Dict[int, Dict[str, object]],
+        assignment: Dict[int, int],
+    ) -> None:
+        """Install phase: hand each target worker the decode-verified
+        states of the slots it will host, and wait for acknowledgements
+        (a worker that cannot restore the state ships the error and
+        exits with :data:`MIGRATION_ABORT_EXIT_CODE`)."""
+        by_shard: Dict[int, Dict[int, Dict[str, object]]] = {}
+        for slot, state in slot_states.items():
+            shard = assignment[int(slot)]
+            if shard >= self._shards:
+                raise ValueError(
+                    f"slot {slot} targets shard {shard}, which was never "
+                    f"provisioned (prepare_migration not run?)"
+                )
+            by_shard.setdefault(shard, {})[int(slot)] = state
+        if not by_shard:
+            return
+        self._barrier_token += 1
+        token = self._barrier_token
+        for index, states in by_shard.items():
+            self._put(index, ("install", states, token))
+        self._collect("installed", token, indices=list(by_shard))
+
+    def commit_layout(self, layout: ShardLayout) -> None:
+        """Cutover phase: atomically swap the parent's slot→shard
+        assignment.  Workers never route, so this is parent-local."""
+        if layout.slots != self._layout.slots:
+            raise ValueError(
+                f"layout has {layout.slots} slots, engine has "
+                f"{self._layout.slots}"
+            )
+        if layout.shards > self._shards:
+            raise ValueError(
+                f"layout spans {layout.shards} shards but only "
+                f"{self._shards} are provisioned"
+            )
+        self._layout = layout
+        self._assignment = list(layout.assignment)
+
+    def abort_migration(
+        self,
+        plan: MigrationPlan,
+        extracted: Dict[int, Dict[str, object]],
+    ) -> None:
+        """Rollback: extract-and-discard any partially installed copies
+        from the targets (workers answer with only the slots they hold),
+        then reinstall the extracted states on their sources.  The
+        assignment was never swapped, so routing is already correct."""
+        targets: Dict[int, List[int]] = {}
+        for move in plan.moves:
+            if move.target < self._shards:
+                targets.setdefault(move.target, []).append(move.slot)
+        self._extract_from(targets)  # discard partial installs
+        if extracted:
+            self.install_slots(extracted, plan.assignment_before())
+
+    def _ensure_shards(self, shards: int) -> None:
+        """Provision runtime resources (queue, worker process, arrays)
+        for shards up to index ``shards - 1``.  Never shrinks — a
+        merged-away shard stays up as an idle hot spare."""
+        if shards <= self._shards:
+            return
+        if self._heartbeats is not None and shards > len(self._heartbeats):
+            raise MigrationError(
+                f"cannot grow to {shards} shards: the heartbeat array was "
+                f"sized for {len(self._heartbeats)} at fleet start "
+                f"(MAX_WORKER_SHARDS)",
+                phase="freeze",
+                rolled_back=True,
+            )
+        grow = shards - self._shards
+        self._buffers.extend([] for _ in range(grow))
+        self._routed.extend([0] * grow)
+        self._dropped.extend([0] * grow)
+        self._first_loss.extend([None] * grow)
+        self._loss_reason.extend([""] * grow)
+        self._queue_high_water.extend([0] * grow)
+        self._last_packet_ts.extend([None] * grow)
+        if self._overload is not None:
+            self._overload.extend(
+                ShardOverload(self.overload_policy, lambda t, s, f: (t, s, f))
+                for _ in range(grow)
+            )
+        first_new = self._shards
+        self._shards = shards
+        if self._processes is not None:
+            for index in range(first_new, shards):
+                self._queues.append(
+                    self._context.Queue(maxsize=self.queue_capacity)
+                )
+                self._spawn_worker(index)
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -741,15 +1068,19 @@ class MultiprocessEngine:
             return self._final_snapshot
         self._start()
         self.flush()
-        self._snapshot_token += 1
-        token = self._snapshot_token
+        self._barrier_token += 1
+        token = self._barrier_token
         for index in range(self._shards):
             self._put(index, ("snapshot", token))
         states = self._collect("snapshot", token)
         return self._assemble(states)
 
     def restore(self, state: Dict[str, object]) -> None:
-        """Stage a snapshot for the (not yet started) workers."""
+        """Stage a snapshot for the (not yet started) workers.
+
+        Adopts the snapshot's layout — shard count, slot assignment,
+        epoch — exactly like :meth:`InProcessEngine.restore`; seed and
+        slot count stay strict."""
         if self._processes is not None or self._final_snapshot is not None:
             raise RuntimeError("restore() must precede any ingestion")
         fmt = state.get("format")
@@ -758,35 +1089,58 @@ class MultiprocessEngine:
         if state["seed"] != self._hash.seed:
             raise ValueError(
                 f"snapshot hash seed {state['seed']} != engine seed "
-                f"{self._hash.seed}; flows would route to different shards"
+                f"{self._hash.seed}; flows would route to different slots"
             )
-        if state["shard_count"] != self._shards:
+        slot_states = list(state["shards"])
+        slots = int(state.get("slots") or len(slot_states))
+        if slots != self._layout.slots:
             raise ValueError(
-                f"snapshot has {state['shard_count']} shards, engine has "
-                f"{self._shards}"
+                f"snapshot has {slots} slots, engine has "
+                f"{self._layout.slots}; flows would route to different "
+                "sub-streams"
             )
-        self._initial_states = list(state["shards"])
+        if len(slot_states) != slots:
+            raise ValueError(
+                f"snapshot carries {len(slot_states)} slot states for "
+                f"{slots} slots"
+            )
+        layout_state = state.get("layout")
+        if layout_state is not None:
+            layout = ShardLayout.from_dict(layout_state)
+        else:
+            layout = ShardLayout.default(slots, int(state["shard_count"]))
+        self._layout = layout
+        self._assignment = list(layout.assignment)
+        shards = layout.shards
+        self._shards = shards
+        self._buffers = [[] for _ in range(shards)]
+        if self._overload is not None and len(self._overload) < shards:
+            self._overload.extend(
+                ShardOverload(self.overload_policy, lambda t, s, f: (t, s, f))
+                for _ in range(shards - len(self._overload))
+            )
+        self._slot_states = slot_states
         self._accepted = state["accepted"]
-        self._dropped = list(state.get("dropped") or [0] * self._shards)
-        self._first_loss = list(
-            state.get("first_loss") or [None] * self._shards
-        )
-        self._loss_reason = list(state.get("loss_reason") or [""] * self._shards)
-        self._queue_high_water = list(
-            state.get("queue_high_water") or [0] * self._shards
-        )
-        self._last_packet_ts = list(
-            state.get("last_packet_ts") or [None] * self._shards
-        )
+
+        def _per_shard(key, default):
+            values = state.get(key)
+            if not values:
+                return [default] * shards
+            values = list(values)
+            return values + [default] * (shards - len(values))
+
+        self._dropped = _per_shard("dropped", 0)
+        self._first_loss = _per_shard("first_loss", None)
+        self._loss_reason = _per_shard("loss_reason", "")
+        self._queue_high_water = _per_shard("queue_high_water", 0)
+        self._last_packet_ts = _per_shard("last_packet_ts", None)
         routed = state.get("routed")
         if routed is not None:
-            self._routed = list(routed)
+            self._routed = list(routed) + [0] * (shards - len(routed))
         else:
             self._routed = [
-                shard_state["stats"]["packets"] + dropped
-                for shard_state, dropped in zip(
-                    self._initial_states, self._dropped
-                )
+                slot_state["stats"]["packets"] + dropped
+                for slot_state, dropped in zip(slot_states, self._dropped)
             ]
         overload_state = state.get("overload")
         if overload_state is not None and self._overload is not None:
@@ -798,17 +1152,24 @@ class MultiprocessEngine:
         if watcher_state is not None and self.watcher is not None:
             self.watcher.restore(watcher_state)
 
-    def _collect(self, kind: str, token: Optional[int] = None) -> List:
-        """Gather one ``kind`` reply per shard from the shared result
-        queue, surfacing worker crashes as structured errors.
+    def _collect(
+        self,
+        kind: str,
+        token: Optional[int] = None,
+        indices: Optional[Iterable[int]] = None,
+    ) -> Dict[int, object]:
+        """Gather one ``kind`` reply per addressed shard from the shared
+        result queue, surfacing worker crashes as structured errors.
 
         Polls with a short timeout so a worker that dies while we wait is
         noticed in ``LIVENESS_POLL_S + DEAD_REPLY_GRACE_S`` (the grace
         window lets a reply the dying worker's feeder thread already
         flushed still arrive) instead of after ``REPLY_TIMEOUT_S``.
         """
-        states = [None] * self._shards
-        pending = self._shards
+        if indices is None:
+            indices = range(self._shards)
+        pending = set(indices)
+        states: Dict[int, object] = {}
         deadline = time.monotonic() + REPLY_TIMEOUT_S
         dead_grace: Dict[int, float] = {}
         while pending:
@@ -818,10 +1179,10 @@ class MultiprocessEngine:
                 now = time.monotonic()
                 if now > deadline:
                     raise WorkerError(
-                        f"timed out waiting for {pending} worker replies"
+                        f"timed out waiting for {len(pending)} worker replies"
                     )
-                for index, process in enumerate(self._processes):
-                    if states[index] is not None or process.is_alive():
+                for index in list(pending):
+                    if self._processes[index].is_alive():
                         continue
                     expires = dead_grace.setdefault(
                         index, now + DEAD_REPLY_GRACE_S
@@ -840,15 +1201,33 @@ class MultiprocessEngine:
                 # A stale reply from an earlier barrier; ignore.
                 continue
             index = message[1]
-            states[index] = message[3] if kind == "snapshot" else message[2]
-            pending -= 1
+            if index not in pending:
+                continue
+            states[index] = (
+                message[2] if kind == "done" else message[3]
+            )
+            pending.discard(index)
         return states
 
-    def _assemble(self, states: List) -> Dict[str, object]:
+    def _assemble(self, states: Dict[int, Dict]) -> Dict[str, object]:
+        """Merge per-worker ``{slot: state}`` replies into the shared
+        slot-indexed snapshot schema."""
+        layout = self._layout
+        slot_states: List = [None] * layout.slots
+        for mapping in states.values():
+            for slot, slot_state in mapping.items():
+                slot_states[int(slot)] = slot_state
+        missing = [
+            slot for slot, value in enumerate(slot_states) if value is None
+        ]
+        if missing:
+            raise WorkerError(
+                f"snapshot barrier returned no state for slots {missing}"
+            )
         return {
             "format": ENGINE_SNAPSHOT_FORMAT,
             "seed": self._hash.seed,
-            "shard_count": self._shards,
+            "shard_count": layout.shards,
             "accepted": self._accepted,
             "dropped": list(self._dropped),
             "first_loss": list(self._first_loss),
@@ -864,7 +1243,10 @@ class MultiprocessEngine:
             "watcher": (
                 self.watcher.snapshot() if self.watcher is not None else None
             ),
-            "shards": states,
+            "slots": layout.slots,
+            "layout": layout.as_dict(),
+            "layout_epoch": layout.epoch,
+            "shards": slot_states,
         }
 
     # -- results -----------------------------------------------------------
@@ -872,21 +1254,27 @@ class MultiprocessEngine:
     def detections(self) -> Dict[FlowId, int]:
         """Merged first-detection reports (snapshot barrier if running)."""
         sink = ReportSink()
-        for shard_state in self.snapshot()["shards"]:
-            shard_sink = ReportSink()
-            shard_sink.restore(shard_state["sink"])
-            sink.merge(shard_sink)
+        for slot_state in self.snapshot()["shards"]:
+            slot_sink = ReportSink()
+            slot_sink.restore(slot_state["sink"])
+            sink.merge(slot_sink)
         return sink.as_dict()
 
     def health(self) -> List[ShardHealth]:
-        """Per-shard health from the latest snapshot barrier.
+        """Per-shard health from the latest snapshot barrier (slot state
+        aggregated onto the hosting shard).
 
         ``queue_depth`` counts in-flight *chunks* (plus the staging
         buffer's packets), the meaningful backpressure signal here.
         """
         snapshot = self.snapshot()
+        slot_states = snapshot["shards"]
+        layout = self._layout
+        watcher = self.watcher
         samples = []
-        for index, shard_state in enumerate(snapshot["shards"]):
+        for index in range(layout.shards):
+            slots = layout.slots_of(index)
+            states = [slot_states[slot] for slot in slots]
             depth = len(self._buffers[index]) if self._buffers else 0
             if self._queues is not None:
                 try:
@@ -896,11 +1284,11 @@ class MultiprocessEngine:
             samples.append(
                 ShardHealth(
                     shard=index,
-                    packets=shard_state["stats"]["packets"],
+                    packets=sum(s["stats"]["packets"] for s in states),
                     queue_depth=depth,
                     queue_capacity=self.queue_capacity,
-                    detections=len(shard_state["sink"]),
-                    blacklist_size=len(shard_state["blacklist"]),
+                    detections=sum(len(s["sink"]) for s in states),
+                    blacklist_size=sum(len(s["blacklist"]) for s in states),
                     dropped=self._dropped[index],
                     queue_high_water=self._queue_high_water[index],
                     last_packet_ts_ns=self._last_packet_ts[index],
@@ -910,15 +1298,19 @@ class MultiprocessEngine:
                         else "exact"
                     ),
                     watcher_occupancy=(
-                        self.watcher.occupancy(index)
-                        if self.watcher is not None
+                        sum(watcher.occupancy(slot) for slot in slots)
+                        if watcher is not None
                         else 0
                     ),
                     watcher_verdicts=(
-                        len(self.watcher.watcher(index).detected)
-                        if self.watcher is not None
+                        sum(
+                            len(watcher.watcher(slot).detected)
+                            for slot in slots
+                        )
+                        if watcher is not None
                         else 0
                     ),
+                    slot_count=len(slots),
                 )
             )
         return samples
@@ -949,5 +1341,6 @@ class MultiprocessEngine:
     def __repr__(self) -> str:
         return (
             f"MultiprocessEngine(shards={self._shards}, "
+            f"slots={self._layout.slots}, epoch={self._layout.epoch}, "
             f"accepted={self._accepted}, running={self.running})"
         )

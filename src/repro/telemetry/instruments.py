@@ -312,6 +312,31 @@ class ServiceInstruments:
             labels=("event",),
         )
 
+        # -- resharding ---------------------------------------------------
+        self.migrations_total = reg.counter(
+            "eardet_migrations_total",
+            "Committed live shard migrations.",
+        )
+        self.migration_rollbacks_total = reg.counter(
+            "eardet_migration_rollbacks_total",
+            "Migrations that failed and were rolled back to the "
+            "pre-migration layout.",
+        )
+        self.migration_pause_ns = reg.gauge(
+            "eardet_migration_pause_ns",
+            "Duration of the last migration's freeze-to-cutover pause, "
+            "nanoseconds.",
+        )
+        self.layout_epoch = reg.gauge(
+            "eardet_layout_epoch",
+            "Version of the live slot-to-shard layout (0 = the initial "
+            "layout; incremented by every committed migration).",
+        )
+        self.layout_shards = reg.gauge(
+            "eardet_layout_shards",
+            "Shards spanned by the live slot-to-shard layout.",
+        )
+
         # -- service lifecycle --------------------------------------------
         self.checkpoints_total = reg.counter(
             "eardet_checkpoints_written_total",
@@ -461,6 +486,59 @@ class ServiceInstruments:
             if checker is not None:
                 channel.invariant_checks.set_total(checker.checks_run)
                 channel.invariant_check_ns.set_total(checker.check_time_ns)
+
+    def sync_detector_groups(self, groups: Sequence[Sequence[object]]) -> None:
+        """Copy per-shard detector stats when a shard hosts *several*
+        slot detectors (the resharding layout): gauges and totals are
+        summed over the slots a shard currently hosts, so the per-shard
+        series stay continuous across a migration."""
+        for channel, detectors in zip(self._channels, groups):
+            detections = blacklist = counters = 0
+            virtual_bytes = blacklisted = evictions = 0
+            checks = check_ns = 0
+            has_evictions = has_checker = False
+            for detector in detectors:
+                stats = detector.stats  # type: ignore[attr-defined]
+                detections += len(detector.sink)  # type: ignore[attr-defined]
+                virtual_bytes += stats.virtual_bytes
+                blacklisted += stats.blacklisted_packets
+                blacklist += len(detector.blacklist)  # type: ignore[attr-defined]
+                counters += detector.counters_in_use  # type: ignore[attr-defined]
+                slot_evictions = getattr(detector, "store_evictions", None)
+                if slot_evictions is not None:
+                    has_evictions = True
+                    evictions += slot_evictions
+                checker = getattr(detector, "checker", None)
+                if checker is not None:
+                    has_checker = True
+                    checks += checker.checks_run
+                    check_ns += checker.check_time_ns
+            channel.detections.set_total(detections)
+            channel.virtual_bytes.set_total(virtual_bytes)
+            channel.blacklisted_packets.set_total(blacklisted)
+            channel.blacklist_size.set(blacklist)
+            channel.counters_in_use.set(counters)
+            if has_evictions:
+                channel.evictions.set_total(evictions)
+            if has_checker:
+                channel.invariant_checks.set_total(checks)
+                channel.invariant_check_ns.set_total(check_ns)
+
+    def sync_reshard(self, reshard: Optional[dict]) -> None:
+        """Copy the service's resharding summary (see
+        :meth:`~repro.service.runtime.DetectionService.report`)."""
+        if reshard is None:
+            return
+        self.migrations_total.set_total(reshard.get("migrations", 0))
+        self.migration_rollbacks_total.set_total(
+            reshard.get("rollbacks", 0)
+        )
+        pause = reshard.get("last_pause_ns")
+        if pause is not None:
+            self.migration_pause_ns.set(pause)
+        layout = reshard.get("layout") or {}
+        self.layout_epoch.set(layout.get("epoch", 0))
+        self.layout_shards.set(layout.get("shards", 0))
 
     def sync_health(self, samples: Sequence[object]) -> None:
         """Copy a list of :class:`~repro.service.health.ShardHealth`

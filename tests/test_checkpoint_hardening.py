@@ -1,0 +1,200 @@
+"""Checkpoint writes must survive mid-write termination.
+
+The contract (``docs/FAULT_TOLERANCE.md``): a reader — including crash
+recovery — only ever sees a complete previous or a complete new
+checkpoint, never a torn one.  ``write_checkpoint`` earns this with a
+pid-embedded temp file, fsync-before-rename, ``os.replace``, and
+cleanup-on-failure.  These tests kill the writer for real (SIGTERM at a
+random point of a checkpoint storm) and fail it deterministically at
+every internal seam (fsync, rename, an interrupt unwinding through the
+write) — after each, the previous checkpoint must load intact and no
+torn state may clobber it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service import (
+    BackoffPolicy,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+def _payload(generation: int) -> dict:
+    """A checkpoint-shaped payload, padded so a mid-write kill has a
+    real window to tear it."""
+    return {
+        "meta": {"generation": generation, "fmt": 1},
+        "engine": {"blob": "x" * 65536, "generation": generation},
+    }
+
+
+def _storm(path: str, flag_path: str) -> None:
+    """Child body: write checkpoints back to back until killed.  Touches
+    ``flag_path`` after the first committed write so the parent knows
+    the file exists before aiming SIGTERM at us."""
+    generation = 0
+    while True:
+        generation += 1
+        write_checkpoint(path, _payload(generation))
+        if generation == 1:
+            with open(flag_path, "w") as handle:
+                handle.write("armed")
+
+
+class TestSigtermStorm:
+    def test_sigterm_mid_storm_leaves_a_loadable_checkpoint(self, tmp_path):
+        """The satellite's regression: SIGTERM during write_checkpoint
+        leaves the previous checkpoint intact and loadable.  Several
+        rounds, each killing the writer at a different random point of
+        its write loop."""
+        ctx = multiprocessing.get_context("fork")
+        path = tmp_path / "svc.ckpt"
+        for round_ in range(5):
+            flag = tmp_path / f"armed-{round_}"
+            child = ctx.Process(target=_storm, args=(str(path), str(flag)))
+            child.start()
+            deadline = time.monotonic() + 10.0
+            while not flag.exists():
+                assert time.monotonic() < deadline, "writer never committed"
+                assert child.is_alive(), "writer died on its own"
+                time.sleep(0.001)
+            # Kill somewhere inside the ongoing storm of writes.
+            time.sleep(0.001 + 0.007 * (round_ / 5))
+            os.kill(child.pid, signal.SIGTERM)
+            child.join(timeout=10.0)
+            assert child.exitcode is not None
+
+            payload = read_checkpoint(path)  # must not raise
+            generation = payload["meta"]["generation"]
+            assert payload["engine"]["generation"] == generation
+            assert len(payload["engine"]["blob"]) == 65536
+
+    def test_stray_tmp_files_never_shadow_the_checkpoint(self, tmp_path):
+        """A SIGKILL-style death can leave a ``.tmp`` behind; it must be
+        inert — a different name that readers never open."""
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+        torn = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        torn.write_bytes(b"torn garbage from a killed writer")
+        assert read_checkpoint(path)["meta"]["generation"] == 1
+        # And the next write commits right over the stray temp file.
+        write_checkpoint(path, _payload(2))
+        assert read_checkpoint(path)["meta"]["generation"] == 2
+        assert not torn.exists() or torn.read_bytes() != b""
+
+
+class TestDeterministicSeams:
+    def _tmp_files(self, tmp_path):
+        return [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+
+    def test_fsync_failure_preserves_previous_and_cleans_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+        real_fsync = os.fsync
+
+        def failing_fsync(fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            write_checkpoint(path, _payload(2))
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        assert self._tmp_files(tmp_path) == []
+        assert read_checkpoint(path)["meta"]["generation"] == 1
+
+    def test_rename_failure_preserves_previous_and_cleans_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            raise OSError("rename refused")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            write_checkpoint(path, _payload(2))
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert self._tmp_files(tmp_path) == []
+        assert read_checkpoint(path)["meta"]["generation"] == 1
+
+    def test_transient_failure_retries_into_a_commit(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def flaky_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("momentarily full")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        write_checkpoint(
+            path,
+            _payload(2),
+            retry=BackoffPolicy(initial_s=0.0),
+            sleep=lambda _s: None,
+        )
+        assert read_checkpoint(path)["meta"]["generation"] == 2
+        assert self._tmp_files(tmp_path) == []
+
+    def test_interrupt_unwinding_through_the_write_cleans_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        """SIGTERM usually lands as an exception unwinding through the
+        write (KeyboardInterrupt-style); the BaseException cleanup must
+        drop the torn temp file and leave the real checkpoint alone."""
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+
+        def interrupted_fsync(fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "fsync", interrupted_fsync)
+        with pytest.raises(KeyboardInterrupt):
+            write_checkpoint(path, _payload(2))
+        monkeypatch.undo()
+        assert self._tmp_files(tmp_path) == []
+        assert read_checkpoint(path)["meta"]["generation"] == 1
+
+    def test_temp_name_embeds_the_writer_pid(self, tmp_path, monkeypatch):
+        """Two writers sharing a checkpoint directory (supervisor and the
+        service it restarted) must never clobber each other's
+        in-progress file."""
+        path = tmp_path / "svc.ckpt"
+        seen = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        write_checkpoint(path, _payload(1))
+        assert seen and f".{os.getpid()}.tmp" in seen[0]
+
+    def test_truncated_file_is_rejected_not_misread(self, tmp_path):
+        """Belt and braces: if a torn file ever did land at the real
+        path (e.g. a pre-hardening writer), the CRC layer refuses it."""
+        path = tmp_path / "svc.ckpt"
+        write_checkpoint(path, _payload(1))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)

@@ -88,7 +88,7 @@ def test_every_experiment_is_registered():
         "figure1", "table2", "table3", "tables456", "figure5", "figure6",
         "figure7", "figure8", "appendix-a", "scalability", "ablations",
         "dynamics", "window-models", "mitigation", "robustness",
-        "ambiguity",
+        "ambiguity", "elasticity",
     }
 
 
