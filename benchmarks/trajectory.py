@@ -53,6 +53,7 @@ RESULTS_PATH = REPO_ROOT / "BENCH_telemetry.json"
 OVERLOAD_RESULTS_PATH = REPO_ROOT / "BENCH_overload.json"
 PIPELINE_RESULTS_PATH = REPO_ROOT / "BENCH_pipeline.json"
 RESHARD_RESULTS_PATH = REPO_ROOT / "BENCH_reshard.json"
+NET_RESULTS_PATH = REPO_ROOT / "BENCH_net.json"
 
 #: Same configuration family the tier-1 service tests use: small enough
 #: to evict, large enough to detect.
@@ -88,10 +89,11 @@ def _time_direct(packets: list) -> float:
 
 
 def _time_service(
-    packets: list, telemetry, overload=None, watcher=None, slots=None
+    packets: list, telemetry, overload=None, watcher=None, slots=None,
+    shards=2,
 ) -> "tuple[float, tuple]":
     service = DetectionService(
-        CONFIG, shards=2, telemetry=telemetry, overload=overload,
+        CONFIG, shards=shards, telemetry=telemetry, overload=overload,
         watcher=watcher, slots=slots,
     )
     try:
@@ -151,7 +153,19 @@ def append_point(
     ),
 ) -> None:
     """Append to a trajectory file (a JSON object with a ``points``
-    list), creating it when absent."""
+    list), creating it when absent.
+
+    Refuses a point with a ``None`` value: a null in a trajectory file
+    poisons every consumer that plots or gates on the series, so a
+    measurement that could not be taken must either raise or record an
+    explicit sentinel the reader understands — never null.
+    """
+    nulls = [key for key, value in point.items() if value is None]
+    if nulls:
+        raise ValueError(
+            f"refusing to append a point with null values for {nulls}; "
+            "trajectory series must be numeric end to end"
+        )
     if path.exists():
         payload = json.loads(path.read_text())
     else:
@@ -265,10 +279,15 @@ def measure_reshard(packets: list, repeats: int) -> dict:
 
     - **steady-state overhead** — a service with ``slots`` above its
       shard count (here 8 slots over 2 shards) pays only an extra
-      assignment lookup per packet versus the plain identity layout;
-      measured best-of-``repeats``, interleaved.  Detections are *not*
-      compared across slot counts: they partition flows differently by
-      design.
+      assignment lookup per packet versus the plain identity layout *at
+      the same slot count* (8 shards, 8 slots); measured
+      best-of-``repeats``, interleaved, after an untimed warm-up of both
+      modes.  The slot count must match on both sides: detection work is
+      per-slot (fewer flows per detector means fewer evictions), so a
+      2-slot baseline measures a different workload entirely — that
+      mismatch, plus a cold first run, once produced a nonsensical
+      −124% here.  Equal slot spaces also mean equal detections, which
+      are asserted bit-identical.
     - **migration pause** — serve half the stream, split the hottest
       shard live, serve the rest.  The freeze-to-cutover pause must fit
       inside one batch interval (the time the ingest loop spends on one
@@ -278,10 +297,22 @@ def measure_reshard(packets: list, repeats: int) -> dict:
     from repro.service import MigrationPlan
 
     slots = 8
+    # Warm both modes untimed before any clock starts: the first service
+    # run of the process pays one-time costs (imports, allocator growth,
+    # branch caches) that later runs do not.  A quarter-stream pass per
+    # mode is enough to absorb them.
+    warm = packets[: max(1, len(packets) // 4)]
+    _time_service(warm, telemetry=None, shards=slots)
+    _time_service(warm, telemetry=None, slots=slots)
     best = {"service-plain": None, "service-slots": None}
-    detections_static = None
+    detections_plain = detections_static = None
     for _ in range(repeats):
-        elapsed, _ = _time_service(packets, telemetry=None)
+        # The identity layout at the same slot count (slots == shards):
+        # the only difference from the slot-granular run is the
+        # slot→shard assignment lookup being measured.
+        elapsed, detections_plain = _time_service(
+            packets, telemetry=None, shards=slots
+        )
         if best["service-plain"] is None or elapsed < best["service-plain"]:
             best["service-plain"] = elapsed
 
@@ -290,6 +321,13 @@ def measure_reshard(packets: list, repeats: int) -> dict:
         )
         if best["service-slots"] is None or elapsed < best["service-slots"]:
             best["service-slots"] = elapsed
+
+    if detections_static != detections_plain:
+        raise AssertionError(
+            "the slot-granular layout perturbed detection: "
+            f"{len(detections_plain or ())} flows identity vs "
+            f"{len(detections_static or ())} slot-granular"
+        )
 
     pauses_ns = []
     detections_migrated = None
@@ -336,6 +374,140 @@ def measure_reshard(packets: list, repeats: int) -> dict:
     }
 
 
+def _percentile(sorted_values: list, fraction: float) -> int:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    rank = max(1, round(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def measure_net(packets: list, repeats: int) -> dict:
+    """The remote engine's tax over loopback TCP, and the reconnect
+    pause distribution.
+
+    Two numbers back the multi-host contract (docs/SERVICE.md §6):
+
+    - **remote overhead** — the same stream through an in-process
+      engine and through a :class:`RemoteEngine` driving loopback
+      :class:`ShardServer` threads (frame encoding + TCP + exactly-once
+      acks); best-of-``repeats``, interleaved, warmed, detections
+      asserted bit-identical before any number is reported.
+    - **reconnect pauses** — a separate pass with an injected masked
+      partition; every connection setup (initial and post-partition)
+      contributes one pause sample, reported as p50/p95/max.
+    """
+    from repro.service import (
+        BackoffPolicy,
+        FaultPlan,
+        InProcessEngine,
+        RemoteEngine,
+        ShardServer,
+    )
+
+    slots = 4
+    chunk = 2048
+
+    def time_local(stream):
+        engine = InProcessEngine(CONFIG, shards=2, slots=slots)
+        try:
+            started = time.perf_counter()
+            for start in range(0, len(stream), chunk):
+                engine.ingest(stream[start:start + chunk])
+            engine.flush()
+            elapsed = time.perf_counter() - started
+            detections = tuple(sorted(engine.detections().items()))
+        finally:
+            engine.close()
+        return elapsed, detections
+
+    def time_remote(stream, fault_plan=None, mask_deadline_s=5.0):
+        servers = [ShardServer().start() for _ in range(2)]
+        try:
+            engine = RemoteEngine(
+                CONFIG,
+                [(server.host, server.port) for server in servers],
+                slots=slots,
+                chunk_size=chunk,
+                fault_plan=fault_plan,
+                backoff=BackoffPolicy(initial_s=0.0),
+                mask_deadline_s=mask_deadline_s,
+            )
+            started = time.perf_counter()
+            for start in range(0, len(stream), chunk):
+                engine.ingest(stream[start:start + chunk])
+            engine.flush()
+            # A scrape barrier: the clock stops only once every frame is
+            # applied server-side, so in-flight frames are not free.
+            engine.scrape_workers()
+            elapsed = time.perf_counter() - started
+            detections = tuple(sorted(engine.detections().items()))
+            pauses = [
+                pause
+                for report in engine.transport_report()
+                for pause in report["reconnect_pauses_ns"]
+            ]
+            engine.close()
+        finally:
+            for server in servers:
+                server.stop()
+        return elapsed, detections, pauses
+
+    # Untimed warm-up of both modes (see measure_reshard).
+    warm = packets[: max(1, len(packets) // 4)]
+    time_local(warm)
+    time_remote(warm)
+
+    best = {"service-local": None, "service-remote": None}
+    detections_local = detections_remote = None
+    for _ in range(repeats):
+        elapsed, detections_local = time_local(packets)
+        if best["service-local"] is None or elapsed < best["service-local"]:
+            best["service-local"] = elapsed
+        elapsed, detections_remote, _ = time_remote(packets)
+        if best["service-remote"] is None or elapsed < best["service-remote"]:
+            best["service-remote"] = elapsed
+
+    if detections_remote != detections_local:
+        raise AssertionError(
+            "the remote engine perturbed detection: "
+            f"{len(detections_local or ())} flows local vs "
+            f"{len(detections_remote or ())} remote"
+        )
+
+    # Reconnect pauses, sampled under a masked partition (exactness
+    # asserted: a masked outage must be invisible to detection).
+    plan = FaultPlan.parse("net:kind=partition,shard=0,at=6,secs=0.05")
+    _, detections_chaos, pauses_ns = time_remote(
+        packets, fault_plan=plan, mask_deadline_s=30.0
+    )
+    if detections_chaos != detections_local:
+        raise AssertionError(
+            "a masked partition perturbed detection: "
+            f"{len(detections_local or ())} flows local vs "
+            f"{len(detections_chaos or ())} under partition"
+        )
+    pauses_ns.sort()
+
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead_pct = 100.0 * (1.0 - pps["service-remote"] / pps["service-local"])
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "slots": slots,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": round(overhead_pct, 3),
+        "reconnect_pause_ns": {
+            "p50": _percentile(pauses_ns, 0.50),
+            "p95": _percentile(pauses_ns, 0.95),
+            "max": pauses_ns[-1],
+            "samples": len(pauses_ns),
+        },
+        "detected_flows": len(detections_local or ()),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -378,6 +550,20 @@ def main(argv=None) -> int:
         "bit-identical to a static run at the same slot count)",
     )
     parser.add_argument(
+        "--net", action="store_true",
+        help="measure the remote engine over loopback TCP instead of "
+        "telemetry and append to BENCH_net.json (remote-vs-local "
+        "throughput and reconnect-pause percentiles; detections asserted "
+        "bit-identical, including under a masked partition)",
+    )
+    parser.add_argument(
+        "--max-net-overhead-pct", type=float, default=90.0,
+        help="fail (exit 1) when the remote engine costs more than this "
+        "versus the in-process engine (default 90 — frame encoding plus "
+        "loopback TCP is real per-packet work; the gate catches "
+        "regressions, not the existence of the cost)",
+    )
+    parser.add_argument(
         "--max-reshard-overhead-pct", type=float, default=8.0,
         help="fail (exit 1) when the slot-granular layout costs more than "
         "this versus the identity layout (default 8 — within run noise)",
@@ -404,6 +590,8 @@ def main(argv=None) -> int:
         point = measure_pipeline(packets, repeats)
     elif args.reshard:
         point = measure_reshard(packets, repeats)
+    elif args.net:
+        point = measure_net(packets, repeats)
     else:
         point = measure(packets, repeats)
     point["preset"] = "smoke" if args.smoke else "full"
@@ -441,6 +629,17 @@ def main(argv=None) -> int:
                     "benchmarks/bench_reshard.py (migration storm + chaos)"
                 ),
             )
+        elif args.net:
+            append_point(
+                point,
+                path=NET_RESULTS_PATH,
+                description=(
+                    "multi-host trajectory; one point per run of "
+                    "benchmarks/trajectory.py --net (remote-vs-local "
+                    "throughput over loopback TCP + reconnect-pause "
+                    "percentiles)"
+                ),
+            )
         else:
             append_point(point)
 
@@ -465,6 +664,18 @@ def main(argv=None) -> int:
             f"overhead {point['overhead_pct']:+.2f}% | "
             f"{point['detected_flows']} flows (bit-identical)"
         )
+    elif args.net:
+        pps = point["pps"]
+        pauses = point["reconnect_pause_ns"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"local {pps['service-local']:,.0f} pps | "
+            f"remote {pps['service-remote']:,.0f} pps "
+            f"({point['overhead_pct']:+.2f}%) | reconnect pause "
+            f"p50 {pauses['p50'] / 1e6:.2f} ms / p95 "
+            f"{pauses['p95'] / 1e6:.2f} ms ({pauses['samples']} samples) | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
     elif args.reshard:
         pps = point["pps"]
         print(
@@ -487,6 +698,15 @@ def main(argv=None) -> int:
             f"{point['detected_flows']} flows (bit-identical)"
         )
 
+    if args.net:
+        if point["overhead_pct"] > args.max_net_overhead_pct:
+            print(
+                f"FAIL: remote-engine overhead {point['overhead_pct']:.2f}% "
+                f"exceeds budget {args.max_net_overhead_pct:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.reshard:
         status = 0
         if point["overhead_pct"] > args.max_reshard_overhead_pct:

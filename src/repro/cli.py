@@ -125,16 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "list", "all", "detect", "detectors", "analyze", "simulate",
-            "serve", "checkpoint", "metrics", *EXPERIMENTS,
+            "serve", "worker", "checkpoint", "metrics", *EXPERIMENTS,
         ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
             "'detect'/'analyze' to process a trace file, 'detectors' to "
             "list every detection scheme with its exactness class, "
             "'simulate' for the closed-loop mitigation pipeline, 'serve' "
-            "for the streaming service, 'checkpoint' for checkpoint "
-            "tooling, 'metrics' to fetch a running service's metrics "
-            "endpoint)"
+            "for the streaming service, 'worker' for a remote shard "
+            "server (--listen), 'checkpoint' for checkpoint tooling, "
+            "'metrics' to fetch a running service's metrics endpoint)"
         ),
     )
     parser.add_argument(
@@ -207,10 +207,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker shards for the streaming service (serve)",
     )
     serve.add_argument(
-        "--engine", choices=["inprocess", "multiprocess"], default=None,
-        help="service engine: deterministic in-process or one process "
-        "per shard (serve; default inprocess, or the checkpoint's on "
-        "--resume)",
+        "--engine", choices=["inprocess", "multiprocess", "remote"],
+        default=None,
+        help="service engine: deterministic in-process, one process per "
+        "shard, or one TCP shard server per shard (serve; default "
+        "inprocess, or the checkpoint's on --resume; remote requires "
+        "--workers)",
+    )
+    serve.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated shard-server endpoints for --engine remote "
+        "(one per shard, in shard order; extras idle as split spares) "
+        "(serve)",
+    )
+    serve.add_argument(
+        "--terminate-grace", type=float, default=None, metavar="SECONDS",
+        help="grace the multiprocess engine gives each worker to exit "
+        "before escalating SIGTERM -> SIGKILL on abort (serve; default "
+        "5s)",
+    )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="endpoint a remote shard server binds (worker; port 0 picks "
+        "an ephemeral port, printed on stdout)",
     )
     serve.add_argument(
         "--checkpoint",
@@ -990,6 +1009,7 @@ def run_serve(args: argparse.Namespace) -> int:
             f"--slots must be >= --shards, got {args.slots} slots for "
             f"{args.shards} shards"
         )
+    engine_options = _engine_options(args)
 
     if args.supervise:
         if args.resume:
@@ -1019,6 +1039,7 @@ def run_serve(args: argparse.Namespace) -> int:
             watcher=watcher,
             slots=args.slots,
             coordinator=coordinator,
+            engine_options=engine_options,
         )
         if not args.json:
             print(config.describe())
@@ -1059,6 +1080,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 overload=overload,
                 watcher=watcher,
                 coordinator=coordinator,
+                engine_options=engine_options,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -1085,6 +1107,7 @@ def run_serve(args: argparse.Namespace) -> int:
             watcher=watcher,
             slots=args.slots,
             coordinator=coordinator,
+            engine_options=engine_options,
         )
     if not args.json:
         print(service.config.describe())
@@ -1103,6 +1126,59 @@ def run_serve(args: argparse.Namespace) -> int:
         service.shutdown(drain=service.drain_requested)
         _finish_telemetry(args, telemetry, metrics_server)
     return _emit_report(args, report)
+
+
+def _engine_options(args: argparse.Namespace):
+    """Collect engine-specific ``serve`` flags into the ``engine_options``
+    dict :class:`~repro.service.DetectionService` forwards to its engine,
+    validating flag/engine pairings up front."""
+    options = {}
+    if args.workers is not None:
+        if args.engine != "remote":
+            raise SystemExit("--workers requires --engine remote")
+        from .service import parse_endpoints
+
+        try:
+            endpoints = parse_endpoints(args.workers)
+        except ValueError as error:
+            raise SystemExit(f"bad --workers: {error}")
+        if len(endpoints) < args.shards:
+            raise SystemExit(
+                f"--workers lists {len(endpoints)} endpoints for "
+                f"{args.shards} shards"
+            )
+        options["workers"] = endpoints
+    elif args.engine == "remote":
+        raise SystemExit("--engine remote requires --workers HOST:PORT,...")
+    if args.terminate_grace is not None:
+        if (args.engine or "inprocess") != "multiprocess":
+            raise SystemExit(
+                "--terminate-grace only applies to --engine multiprocess"
+            )
+        if args.terminate_grace <= 0:
+            raise SystemExit("--terminate-grace must be positive")
+        options["terminate_grace_s"] = args.terminate_grace
+    return options or None
+
+
+def run_worker_cmd(args: argparse.Namespace) -> int:
+    """The ``worker`` command: one blocking remote shard server.
+
+    Exit codes mirror the multiprocess worker's: 0 (clean stop),
+    75 (graceful drain), 76 (permanent transport/configuration
+    disagreement), 86 (invariant violation) — see
+    ``docs/FAULT_TOLERANCE.md``.
+    """
+    if args.listen is None:
+        raise SystemExit("worker requires --listen HOST:PORT")
+    from .service import run_worker
+
+    try:
+        return run_worker(args.listen)
+    except ValueError as error:
+        raise SystemExit(f"bad --listen: {error}")
+    except KeyboardInterrupt:
+        return 0
 
 
 def _serve_telemetry(args: argparse.Namespace):
@@ -1310,6 +1386,8 @@ def main(argv=None) -> int:
         return run_simulate(args)
     if args.experiment == "serve":
         return run_serve(args)
+    if args.experiment == "worker":
+        return run_worker_cmd(args)
     if args.experiment == "checkpoint":
         return run_checkpoint(args)
     if args.experiment == "metrics":

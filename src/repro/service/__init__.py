@@ -24,7 +24,14 @@ space, a versioned :class:`ShardLayout` maps slots onto shards, and
 :func:`execute_migration` moves whole slots between shards live — a
 two-phase freeze/extract → install/cutover protocol with rollback — so
 detections are bit-identical under any migration history; the
-:class:`Coordinator` proposes such plans under sustained skew.  See
+:class:`Coordinator` proposes such plans under sustained skew.  The
+multi-host layer (:mod:`repro.service.net`, :mod:`repro.service.remote`)
+carries the same wire tuples over TCP with exactly-once batch delivery —
+CRC-protected frames, monotonic sequences, cumulative acks, an
+unacked-frame replay ring — so a :class:`RemoteEngine` coordinator can
+drive ``eardet worker --listen`` shard servers on other hosts with
+bit-identical detections; outages are masked exactly within a bounded
+window and accounted in the envelope beyond it.  See
 ``docs/SERVICE.md``, ``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md``,
 ``docs/OVERLOAD.md`` and ``docs/DETECTORS.md``.
 """
@@ -39,6 +46,8 @@ from .checkpoint import (
 )
 from .engine import InProcessEngine
 from .errors import (
+    FrameCorruptError,
+    HandshakeError,
     InvariantViolation,
     MigrationError,
     OverloadError,
@@ -50,15 +59,27 @@ from .errors import (
     ShardCrashError,
     SourceError,
     TransientSourceError,
+    TransportError,
 )
 from .faults import (
     CheckpointFault,
     FaultPlan,
     FaultySource,
     MigrationFault,
+    NetFault,
     ShardFault,
     SourceFault,
 )
+from .net import (
+    NET_PROTOCOL_VERSION,
+    TRANSPORT_ABORT_EXIT_CODE,
+    ShardConnection,
+    ShardServer,
+    parse_endpoint,
+    parse_endpoints,
+    run_worker,
+)
+from .remote import RemoteEngine
 from .health import (
     DeadLetter,
     DeadLetterSink,
@@ -119,7 +140,9 @@ __all__ = [
     "ExactnessEnvelope",
     "FaultPlan",
     "FaultySource",
+    "FrameCorruptError",
     "GuardedSource",
+    "HandshakeError",
     "InProcessEngine",
     "InvariantViolation",
     "MIGRATION_ABORT_EXIT_CODE",
@@ -128,30 +151,37 @@ __all__ = [
     "MigrationPlan",
     "MigrationReport",
     "MultiprocessEngine",
+    "NET_PROTOCOL_VERSION",
+    "NetFault",
     "OverloadError",
     "OverloadPolicy",
     "PacketSource",
     "PermanentSourceError",
     "QueueStallError",
     "RecoverableServiceError",
+    "RemoteEngine",
     "RestartBudgetExceededError",
     "RestartPolicy",
     "RetryingSource",
     "ServiceError",
     "ServiceReport",
+    "ShardConnection",
     "ShardCrashError",
     "ShardFault",
     "ShardHealth",
     "ShardLayout",
     "ShardOverload",
+    "ShardServer",
     "SlotMove",
     "SourceError",
     "SourceFault",
     "StreamSource",
     "Supervisor",
     "SyntheticSource",
+    "TRANSPORT_ABORT_EXIT_CODE",
     "TraceFileSource",
     "TransientSourceError",
+    "TransportError",
     "WATCHER_KINDS",
     "WatcherPolicy",
     "WatcherStage",
@@ -159,6 +189,9 @@ __all__ = [
     "as_source",
     "describe_checkpoint",
     "execute_migration",
+    "parse_endpoint",
+    "parse_endpoints",
     "read_checkpoint",
+    "run_worker",
     "write_checkpoint",
 ]

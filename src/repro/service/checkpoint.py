@@ -29,6 +29,13 @@ instant leaves either the complete previous checkpoint or the complete
 new one, never a torn file; a failed attempt's temp file is removed.
 ``tests/test_checkpoint_hardening.py`` kills a writer mid-write at many
 byte offsets and asserts the previous checkpoint stays loadable.
+
+The value codec (:func:`dumps` / :func:`loads`) is also the payload
+encoding of the multi-host frame protocol (:mod:`repro.service.net`):
+batch and control frames carry one codec value each, under the frame
+layer's own magic, sequence numbers and CRC.  Determinism matters there
+too — equal payloads produce equal frames, so a retransmitted frame is
+byte-identical to the original.
 """
 
 from __future__ import annotations

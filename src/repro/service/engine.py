@@ -44,7 +44,11 @@ What the engine adds over ``ParallelEARDet`` is the *runtime* layer:
 
 This engine runs everything on the calling thread, which makes it fully
 deterministic — the reference implementation the multiprocessing engine
-(:mod:`repro.service.workers`) is tested against.
+(:mod:`repro.service.workers`) and the multi-host TCP engine
+(:mod:`repro.service.remote`) are both tested against: all three share
+this interface and snapshot schema, and the differential chaos gates
+assert their detections are bit-identical wherever the exactness
+envelope says EXACT.
 """
 
 from __future__ import annotations

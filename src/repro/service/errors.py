@@ -17,10 +17,13 @@ Hierarchy::
     │   ├── QueueStallError            (heartbeat went stale)
     │   ├── OverloadError              (shard queue full past the put timeout)
     │   ├── MigrationError             (a reshard migration failed; rolled back)
+    │   ├── TransportError             (a remote shard connection failed)
+    │   │   └── FrameCorruptError      (a frame failed CRC/length/magic checks)
     │   └── TransientSourceError       (retryable source failure)
     ├── SourceError
     │   ├── TransientSourceError       (also recoverable, see above)
     │   └── PermanentSourceError       (source is gone for good)
+    ├── HandshakeError                 (protocol/config mismatch; permanent)
     └── RestartBudgetExceededError     (supervision gave up)
 
 Two classes from other layers are re-exported here so callers can import
@@ -46,6 +49,8 @@ from .checkpoint import CheckpointCorruptError, CheckpointError
 __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
+    "FrameCorruptError",
+    "HandshakeError",
     "InvariantViolation",
     "MigrationError",
     "OverloadError",
@@ -57,6 +62,7 @@ __all__ = [
     "ShardCrashError",
     "SourceError",
     "TransientSourceError",
+    "TransportError",
 ]
 
 
@@ -154,6 +160,69 @@ class MigrationError(RecoverableServiceError):
         self.plan = plan
         self.rolled_back = rolled_back
         self.attempts = attempts
+
+
+class TransportError(RecoverableServiceError):
+    """A remote shard connection failed (socket error, ack timeout,
+    heartbeat loss, or a partition outlasting its mask window).
+
+    ``shard`` is the remote shard index, ``endpoint`` its ``host:port``,
+    ``frame_seq`` the sequence number of the first frame that could not
+    be delivered (when known).  Recoverable: the remote engine reconnects
+    under its :class:`~repro.service.backoff.BackoffPolicy` and replays
+    the unacked-frame ring; the supervisor may also restart the whole
+    service from the last checkpoint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        endpoint: Optional[str] = None,
+        frame_seq: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.endpoint = endpoint
+        self.frame_seq = frame_seq
+
+
+class FrameCorruptError(TransportError):
+    """A transport frame failed its integrity checks (bad magic, bad
+    CRC, impossible length, or an undecodable payload).
+
+    ``offset`` is the byte offset of the failing field within the frame
+    when known — forensics in the spirit of
+    :class:`~repro.service.checkpoint.CheckpointCorruptError`.  The
+    connection that produced it is torn down and re-established; the
+    exactly-once sequence discipline makes the teardown lossless.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        endpoint: Optional[str] = None,
+        frame_seq: Optional[int] = None,
+        offset: Optional[int] = None,
+    ):
+        super().__init__(message, shard=shard, endpoint=endpoint,
+                         frame_seq=frame_seq)
+        self.offset = offset
+
+
+class HandshakeError(ServiceError):
+    """The two ends of a shard connection disagree about something a
+    reconnect cannot fix: protocol version, detector seed, slot count,
+    or configuration.  Permanent — retrying the same handshake would
+    fail the same way, so the remote engine surfaces it instead of
+    burning the backoff budget."""
+
+    def __init__(self, message: str, shard: Optional[int] = None,
+                 endpoint: Optional[str] = None):
+        super().__init__(message)
+        self.shard = shard
+        self.endpoint = endpoint
 
 
 class SourceError(ServiceError):

@@ -16,6 +16,14 @@ from the compact spec string the CLI accepts via ``--fault-plan``::
     mig:phase=install,mode=fail,at=1  # 1st migration fails at install
     mig:phase=extract,mode=stall,at=2,secs=0.2  # ... 2nd sleeps 0.2s
     mig:phase=cutover,mode=kill,at=1  # worker dies at the cutover point
+    net:kind=drop,shard=0,at=5        # shard 0's 5th sent frame vanishes
+    net:kind=dup,shard=0,at=3         # ... 3rd frame arrives twice
+    net:kind=reorder,shard=0,at=6     # ... 6th frame swaps with the 7th
+    net:kind=delay,shard=0,at=4,secs=0.05   # ... 4th frame is held 50ms
+    net:kind=partition,shard=1,at=12,secs=0.2  # connection severed at
+                                      # frame 12; reconnects refused 0.2s
+    net:kind=halfopen,shard=1,at=9    # writes silently vanish from
+                                      # frame 9 until liveness notices
     seed:42                           # RNG seed for corruption bytes
 
     --fault-plan "kill:shard=1,at=5000;source:kind=transient,at=3000"
@@ -41,6 +49,11 @@ Semantics that make recovery testable:
   retry), ``mode=stall`` sleeps ``secs`` there (exercising the
   migration timeout), ``mode=kill`` raises a worker death (exercising
   supervised restart-from-checkpoint mid-migration).
+- **Net faults** fire at an exact *frame send index* on one remote
+  shard connection (1-based, counting every frame the transport
+  attempts to put on the wire, replays included) and fire once —
+  replayed frames advance the same counter, so a positional fault
+  would otherwise re-trip forever and the run could never converge.
 """
 
 from __future__ import annotations
@@ -66,6 +79,7 @@ SOURCE_FAULT_KINDS = ("transient", "permanent")
 CHECKPOINT_FAULT_MODES = ("flip", "truncate", "zero")
 MIGRATION_FAULT_MODES = ("fail", "stall", "kill")
 MIGRATION_FAULT_PHASES = ("freeze", "extract", "install", "cutover")
+NET_FAULT_KINDS = ("drop", "dup", "reorder", "delay", "partition", "halfopen")
 
 
 @dataclass
@@ -154,7 +168,43 @@ class MigrationFault:
             raise ValueError(f"migration index must be >= 1, got {self.at}")
 
 
-Fault = Union[ShardFault, SourceFault, CheckpointFault, MigrationFault]
+@dataclass
+class NetFault:
+    """A fault fired at an exact frame index on one shard connection.
+
+    ``at`` is the 1-based index in the connection's *send attempt*
+    stream (replays advance it too).  ``duration_s`` is the delay for
+    ``delay`` faults and the reconnect-refusal window for ``partition``
+    faults; ``count`` widens ``drop`` windows.
+    """
+
+    kind: str  # drop | dup | reorder | delay | partition | halfopen
+    shard: int
+    at: int  # 1-based frame send index on that connection
+    count: int = 1  # drop window length
+    duration_s: float = 0.0  # delay sleep / partition reconnect refusal
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.kind not in NET_FAULT_KINDS:
+            raise ValueError(
+                f"net fault kind must be one of {NET_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.at < 1:
+            raise ValueError(f"fault position must be >= 1, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"drop count must be >= 1, got {self.count}")
+        if self.duration_s < 0:
+            raise ValueError(
+                f"duration must be >= 0, got {self.duration_s}"
+            )
+
+
+Fault = Union[ShardFault, SourceFault, CheckpointFault, MigrationFault,
+              NetFault]
 
 
 class FaultPlan:
@@ -174,6 +224,7 @@ class FaultPlan:
         self.source_faults: List[SourceFault] = []
         self.checkpoint_faults: List[CheckpointFault] = []
         self.migration_faults: List[MigrationFault] = []
+        self.net_faults: List[NetFault] = []
         for fault in faults:
             self.add(fault)
 
@@ -186,6 +237,8 @@ class FaultPlan:
             self.checkpoint_faults.append(fault)
         elif isinstance(fault, MigrationFault):
             self.migration_faults.append(fault)
+        elif isinstance(fault, NetFault):
+            self.net_faults.append(fault)
         else:
             raise TypeError(f"not a fault: {fault!r}")
         return self
@@ -196,6 +249,7 @@ class FaultPlan:
             or self.source_faults
             or self.checkpoint_faults
             or self.migration_faults
+            or self.net_faults
         )
 
     # -- parsing -----------------------------------------------------------
@@ -267,6 +321,14 @@ class FaultPlan:
                 at=int(fields.get("at", 1)),
                 duration_s=float(fields.get("secs", 0.1)),
             )
+        if kind == "net":
+            return NetFault(
+                kind=fields["kind"],
+                shard=int(fields["shard"]),
+                at=int(fields["at"]),
+                count=int(fields.get("count", 1)),
+                duration_s=float(fields.get("secs", 0.05)),
+            )
         raise ValueError(f"unknown fault kind {kind!r}")
 
     def describe(self) -> str:
@@ -297,6 +359,16 @@ class FaultPlan:
             )
             parts.append(
                 f"mig:phase={fault.phase},mode={fault.mode},at={fault.at}"
+                f"{extra}" + (" (fired)" if fault.fired else "")
+            )
+        for fault in self.net_faults:
+            extra = ""
+            if fault.kind == "drop" and fault.count > 1:
+                extra = f",count={fault.count}"
+            elif fault.kind in ("delay", "partition"):
+                extra = f",secs={fault.duration_s:g}"
+            parts.append(
+                f"net:kind={fault.kind},shard={fault.shard},at={fault.at}"
                 f"{extra}" + (" (fired)" if fault.fired else "")
             )
         return "; ".join(parts) if parts else "(empty plan)"
@@ -379,6 +451,29 @@ class FaultPlan:
                 and fault.at == migration_index
                 and not fault.fired
             ):
+                fault.fired = True
+                return fault
+        return None
+
+    # -- net-fault queries (the TCP transport calls this) ------------------
+
+    def take_net(self, shard: int, frame_index: int) -> Optional[NetFault]:
+        """The fault (if any) armed for this send attempt on ``shard``'s
+        connection.  ``frame_index`` is 1-based and counts every frame
+        the transport tries to send, replays included.  Fire-once: a
+        replayed frame re-enters the counter stream, so a positional
+        fault would re-trip on its own replay forever; firing once lets
+        the exactly-once machinery converge.  ``drop`` windows wider
+        than one frame stay armed until the whole window has passed."""
+        for fault in self.net_faults:
+            if fault.shard != shard or fault.fired:
+                continue
+            if fault.kind == "drop":
+                if fault.at <= frame_index < fault.at + fault.count:
+                    if frame_index == fault.at + fault.count - 1:
+                        fault.fired = True
+                    return fault
+            elif fault.at == frame_index:
                 fault.fired = True
                 return fault
         return None

@@ -1,0 +1,915 @@
+"""Multi-host sharded engine: one TCP shard server per shard.
+
+:class:`RemoteEngine` is the third engine behind the common interface
+(:class:`~repro.service.engine.InProcessEngine` is the reference,
+:class:`~repro.service.workers.MultiprocessEngine` the one-host
+throughput deployment): the parent routes packets exactly as the
+multiprocess parent does — memoized flow→slot hashing, slot→shard
+assignment, wire-tuple staging buffers, parent-side watcher and loss
+accounting — but ships chunks as exactly-once ``BATCH`` frames over
+:mod:`repro.service.net` to shard servers that may live on other hosts
+(``eardet worker --listen``).
+
+Determinism is inherited: slots are independent and each processes its
+hash sub-stream in arrival order no matter which host serves it, so
+detections are bit-identical to the in-process engine's — the network
+may duplicate, reorder, or replay frames, but the sequence discipline
+reduces all of that to exactly-once in-order application.
+
+**The partition policy** is where networks genuinely differ from
+``multiprocessing`` queues, and it mirrors the per-shard exactness
+envelope the service has had since PR 2:
+
+- While a shard's endpoint is unreachable, the outage is **masked
+  exactly**: frames accumulate in the connection's unacked ring (bounded
+  by ``mask_frame_limit``) while reconnects run under the shared
+  :class:`~repro.service.backoff.BackoffPolicy`, up to
+  ``mask_deadline_s`` from the first failed send.  A reconnect inside
+  that budget replays the ring and nothing was ever lost.
+- Beyond either bound the shard's exactness envelope is **voided from
+  the first unsendable packet**: that packet and every routed successor
+  during the outage is dead-lettered with reason ``"partition"`` and
+  counted (integer identity: every routed packet is either applied
+  exactly once by its server or accounted here).  Frames already in the
+  ring are *not* loss — they replay on reconnect.
+
+Everything else — snapshots via control barriers at exact stream
+prefixes, the two-phase migration primitives, graceful drain — works
+like the multiprocess engine, so live resharding across hosts and the
+interchangeable checkpoint schema come for free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.blacklist import ReportSink
+from ..core.config import EARDetConfig
+from ..detectors.hashing import StageHash
+from ..model.packet import FlowId, Packet
+from .backoff import BackoffPolicy
+from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
+from .errors import MigrationError, TransportError
+from .health import DeadLetterSink, ExactnessEnvelope, ShardHealth
+from .net import (
+    FT_BATCH,
+    FT_CONTROL,
+    ShardConnection,
+    next_session_id,
+    parse_endpoint,
+)
+from .reshard import MigrationPlan, ShardLayout
+from .workers import (
+    DEFAULT_CHUNK_SIZE,
+    WorkerError,
+    _invariant_from_payload,
+)
+
+#: Default bound on how long an endpoint outage is masked exactly before
+#: the shard's envelope is voided (seconds from the first failed send).
+DEFAULT_MASK_DEADLINE_S = 5.0
+
+#: Default bound on unacked frames buffered per connection while an
+#: outage is masked (also the connected-side backpressure watermark).
+DEFAULT_MASK_FRAME_LIMIT = 256
+
+#: Default deadline for one control barrier (snapshot / extract /
+#: install / stop), reconnects and replays included.
+DEFAULT_BARRIER_TIMEOUT_S = 60.0
+
+Endpoint = Union[str, Tuple[str, int]]
+
+
+def _as_endpoint(value: Endpoint) -> Tuple[str, int]:
+    if isinstance(value, str):
+        return parse_endpoint(value)
+    host, port = value
+    return str(host), int(port)
+
+
+class RemoteEngine:
+    """Sharded EARDet across TCP shard servers, same interface and
+    snapshot schema as the in-tree engines — including the live
+    migration primitives (slots move between hosts through exactly-once
+    extract/install control barriers).
+
+    ``endpoints`` lists one ``host:port`` (or ``(host, port)``) per
+    shard, in shard order; connections are established lazily on first
+    ingestion (so :meth:`restore` can precede them, exactly like the
+    multiprocess engine).  A layout restored from a checkpoint may use
+    fewer shards than there are endpoints — the spares idle until a
+    migration grows onto them; it may never need more.
+    """
+
+    def __init__(
+        self,
+        config: EARDetConfig,
+        endpoints: Sequence[Endpoint],
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        fault_plan=None,
+        dead_letter: Optional[DeadLetterSink] = None,
+        invariant_every: Optional[int] = None,
+        overload=None,
+        watcher=None,
+        slots: Optional[int] = None,
+        shards: Optional[int] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        mask_deadline_s: float = DEFAULT_MASK_DEADLINE_S,
+        mask_frame_limit: int = DEFAULT_MASK_FRAME_LIMIT,
+        connect_timeout_s: float = 5.0,
+        barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+    ):
+        self._endpoints = [_as_endpoint(value) for value in endpoints]
+        if not self._endpoints:
+            raise ValueError("need at least one worker endpoint")
+        if shards is None:
+            shards = len(self._endpoints)
+        if not 1 <= shards <= len(self._endpoints):
+            raise ValueError(
+                f"shards must be between 1 and the {len(self._endpoints)} "
+                f"worker endpoints provided, got {shards}"
+            )
+        if overload is not None:
+            raise ValueError(
+                "the remote engine does not support the overload ladder; "
+                "the partition policy (mask_deadline_s / mask_frame_limit) "
+                "is its accounted degradation path"
+            )
+        if slots is None:
+            slots = shards
+        if slots < shards:
+            raise ValueError(
+                f"need at least as many slots as shards, got {slots} slots "
+                f"for {shards} shards"
+            )
+        if chunk_size < 1:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        if mask_deadline_s < 0:
+            raise ValueError(
+                f"mask_deadline_s must be >= 0, got {mask_deadline_s}"
+            )
+        if mask_frame_limit < 1:
+            raise ValueError(
+                f"mask_frame_limit must be >= 1, got {mask_frame_limit}"
+            )
+        self.config = config
+        self.chunk_size = chunk_size
+        self.mask_deadline_s = mask_deadline_s
+        self.mask_frame_limit = mask_frame_limit
+        self.connect_timeout_s = connect_timeout_s
+        self.barrier_timeout_s = barrier_timeout_s
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.invariant_every = invariant_every
+        self._plan = fault_plan
+        self._dead_letter = dead_letter
+        self._shards = shards
+        self._layout = ShardLayout.default(slots, shards)
+        self._assignment: List[int] = list(self._layout.assignment)
+        self._hash = StageHash(seed=seed, buckets=slots)
+        self._route = FlowRouter(self._hash)
+        self._buffers: List[list] = [[] for _ in range(shards)]
+        self._accepted = 0
+        self._slot_states: Optional[List] = None
+        self._final_snapshot: Optional[Dict[str, object]] = None
+        self._routed = [0] * shards
+        self._dropped = [0] * shards
+        self._first_loss: List[Optional[int]] = [None] * shards
+        self._loss_reason = [""] * shards
+        self._queue_high_water = [0] * shards
+        self._last_packet_ts: List[Optional[int]] = [None] * shards
+        # Partition-policy state: when the current outage began (None
+        # while reachable) and how many outages each shard has seen.
+        self._outage_since: List[Optional[float]] = [None] * shards
+        self._outages = [0] * shards
+        self._connections: Optional[List[ShardConnection]] = None
+        self._closed_reports: Optional[List[Dict[str, object]]] = None
+        self._session: Optional[int] = None
+        if watcher is not None and watcher.shard_count != slots:
+            raise ValueError(
+                f"watcher stage has {watcher.shard_count} watchers, engine "
+                f"has {slots} slots (the stage is slot-granular)"
+            )
+        self.watcher = watcher
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self._layout.shards
+
+    @property
+    def slot_count(self) -> int:
+        return self._layout.slots
+
+    @property
+    def layout(self) -> ShardLayout:
+        return self._layout
+
+    @property
+    def seed(self) -> int:
+        return self._hash.seed
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    @property
+    def dropped(self) -> int:
+        """Packets accounted as lost parent-side (injected drops plus
+        partition-policy loss)."""
+        return sum(self._dropped)
+
+    @property
+    def routed(self) -> List[int]:
+        return list(self._routed)
+
+    @property
+    def running(self) -> bool:
+        return self._connections is not None
+
+    @property
+    def endpoints(self) -> List[Tuple[str, int]]:
+        return list(self._endpoints)
+
+    def slot_of(self, fid: FlowId) -> int:
+        return self._route(fid)
+
+    def shard_of(self, fid: FlowId) -> int:
+        return self._assignment[self._route(fid)]
+
+    def queue_depths(self) -> List[int]:
+        """Staged packets plus unacked in-flight frames per shard."""
+        depths = []
+        for index in range(self._shards):
+            depth = len(self._buffers[index])
+            if self._connections is not None:
+                depth += self._connections[index].ring_depth
+            depths.append(depth)
+        return depths
+
+    @property
+    def queue_high_water(self) -> List[int]:
+        return list(self._queue_high_water)
+
+    @property
+    def last_packet_ts(self) -> List[Optional[int]]:
+        return list(self._last_packet_ts)
+
+    # -- liveness ----------------------------------------------------------
+
+    def dead_shards(self) -> List[int]:
+        """Shards whose endpoint is currently unreachable *and* whose
+        mask budget is exhausted (i.e. actively accounting loss)."""
+        if self._connections is None:
+            return []
+        return [
+            index
+            for index in range(self._shards)
+            if not self._connections[index].connected
+            and not self._mask_allows(index)
+        ]
+
+    def check_workers(self) -> None:
+        """Surface a fatal in-band reply (an invariant violation shipped
+        by a dying server) as the permanent error it is.  Mere
+        unreachability is *not* raised here — the partition policy
+        masks or accounts it instead."""
+        if self._connections is None:
+            return
+        for conn in self._connections:
+            self._check_fatal(conn)
+
+    def heartbeat_ages(self) -> List[float]:
+        """Seconds each shard has been silent while something is
+        outstanding: 0 for a reachable shard with an empty ring (idle is
+        not dead), the outage duration for an unreachable one."""
+        if self._connections is None:
+            return [0.0] * self._shards
+        now = time.monotonic()
+        ages = []
+        for index, conn in enumerate(self._connections):
+            since = self._outage_since[index]
+            if since is not None:
+                ages.append(max(0.0, now - since))
+            elif conn.ring_depth > 0:
+                ages.append(conn.seconds_since_recv())
+            else:
+                ages.append(0.0)
+        return ages
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._connections is not None:
+            return
+        if self._final_snapshot is not None:
+            raise RuntimeError("engine already closed")
+        self._session = next_session_id()
+        self._connections = [
+            ShardConnection(
+                shard=index,
+                host=host,
+                port=port,
+                backoff=self.backoff,
+                fault_plan=self._plan,
+                connect_timeout_s=self.connect_timeout_s,
+            )
+            for index, (host, port) in enumerate(self._endpoints)
+        ]
+        for index in range(self._layout.shards):
+            self._assign_shard(index)
+        self._slot_states = None
+
+    def _assign_shard(self, index: int) -> None:
+        """Connect shard ``index`` and deliver its configuration + any
+        restored slot states (blocking, with reconnect-under-backoff up
+        to the barrier deadline — a fleet that cannot even start is an
+        error, not an outage to mask)."""
+        slot_ids = self._layout.slots_of(index)
+        states = {}
+        if self._slot_states is not None:
+            states = {
+                slot: self._slot_states[slot]
+                for slot in slot_ids
+                if self._slot_states[slot] is not None
+            }
+        config = self.config
+        reply = self._control(index, {
+            "op": "assign",
+            "config": {
+                "rho": config.rho,
+                "n": config.n,
+                "beta_th": config.beta_th,
+                "alpha": config.alpha,
+                "beta_l": config.beta_l,
+                "gamma_l": config.gamma_l,
+                "virtual_unit": config.virtual_unit,
+            },
+            "seed": self._hash.seed,
+            "slots": self._layout.slots,
+            "slot_ids": list(slot_ids),
+            "states": states,
+            "invariant_every": self.invariant_every,
+        })
+        if reply.get("op") != "assigned":
+            raise TransportError(
+                f"shard {index} rejected its assignment: {reply!r}",
+                shard=index,
+            )
+
+    def close(self, drain: bool = False) -> Dict[str, object]:
+        """Graceful stop: flush, stop every shard server (collecting
+        final exact states), return the final engine snapshot.  With
+        ``drain=True`` CLI-run servers exit with the drain code."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        self._start()
+        self.flush()
+        states: Dict[int, Dict] = {}
+        for index in range(self._layout.shards):
+            reply = self._control(index, {"op": "stop", "drain": drain})
+            if reply.get("op") != "done":
+                raise TransportError(
+                    f"shard {index} stop returned {reply!r}", shard=index
+                )
+            states[index] = {
+                int(slot): state
+                for slot, state in reply["states"].items()
+            }
+        self._final_snapshot = self._assemble(states)
+        self._teardown()
+        return self._final_snapshot
+
+    def terminate(self) -> None:
+        """Drop every connection without stopping the servers (crash
+        teardown; in-flight state on the servers is abandoned — a
+        restarted coordinator session replaces it)."""
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self._connections is not None:
+            self._closed_reports = [
+                conn.report() for conn in self._connections
+            ]
+            for conn in self._connections:
+                conn.close_socket()
+        self._connections = None
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, batch: List[Packet]) -> None:
+        """Route packets into per-shard staging buffers, shipping each
+        buffer as an exactly-once frame once it fills."""
+        self._start()
+        self.check_workers()
+        buffers = self._buffers
+        route = self._route
+        assignment = self._assignment
+        routed = self._routed
+        last_ts = self._last_packet_ts
+        chunk_size = self.chunk_size
+        plan = self._plan
+        watcher = self.watcher
+        for packet in batch:
+            fid = packet.fid
+            slot = route(fid)
+            index = assignment[slot]
+            routed[index] += 1
+            last_ts[index] = packet.time
+            if watcher is not None:
+                watcher.observe(packet, slot)
+            if plan is not None and plan.should_drop(index, routed[index]):
+                self._record_loss(index, packet, "injected-drop")
+                continue
+            buffer = buffers[index]
+            buffer.append((packet.time, packet.size, fid))
+            if len(buffer) >= chunk_size:
+                self._ship(index)
+        self._accepted += len(batch)
+
+    def flush(self) -> None:
+        """Ship all staged partial chunks (and any reorder-stashed
+        frame).  Does not wait for acks — barriers prove the prefix."""
+        if self._connections is None:
+            return
+        for index in range(self._shards):
+            if self._buffers[index]:
+                self._ship(index)
+            conn = self._connections[index]
+            if conn.connected:
+                conn.flush_stash()
+                conn.poll()
+
+    def _ship(self, index: int) -> None:
+        """Send shard ``index``'s staged buffer as one BATCH frame,
+        applying the partition policy when the endpoint is unreachable."""
+        tuples = self._buffers[index]
+        self._buffers[index] = []
+        if not tuples:
+            return
+        conn = self._connections[index]
+        self._check_fatal(conn)
+        if not conn.connected:
+            self._try_reconnect(index)
+        if not conn.connected and not self._mask_allows(index):
+            # The mask budget is gone: the envelope is void from this —
+            # the first unsendable — packet onward, and the loss is
+            # accounted to the integer identity.
+            for time_ns, size, fid in tuples:
+                self._record_loss(
+                    index, Packet(time_ns, size, fid), "partition"
+                )
+            return
+        try:
+            conn.send(FT_BATCH, tuples)
+            conn.poll()
+            self._outage_since[index] = None
+        except TransportError:
+            # The frame is in the unacked ring either way — the outage
+            # is masked from here until reconnect or budget exhaustion.
+            self._note_outage(index)
+        self._note_high_water(index)
+        if conn.connected and conn.ring_depth > self.mask_frame_limit:
+            # Connected but the server is far behind: apply backpressure
+            # the way the bounded multiprocess queues do, by blocking
+            # until the ring drains below the watermark.
+            try:
+                conn.wait_acks(self.mask_frame_limit, self.barrier_timeout_s)
+            except TransportError:
+                self._note_outage(index)
+
+    def _note_outage(self, index: int) -> None:
+        if self._outage_since[index] is None:
+            self._outage_since[index] = time.monotonic()
+            self._outages[index] += 1
+
+    def _mask_allows(self, index: int) -> bool:
+        """Whether shard ``index``'s current outage is still inside the
+        exact-masking budget (deadline from first failure + ring bound)."""
+        since = self._outage_since[index]
+        if since is not None:
+            if time.monotonic() - since > self.mask_deadline_s:
+                return False
+        conn = self._connections[index]
+        return conn.ring_depth < self.mask_frame_limit
+
+    def _try_reconnect(self, index: int) -> None:
+        """One non-blocking-ish reconnect attempt, paced by the shared
+        backoff policy (measured against the outage clock)."""
+        conn = self._connections[index]
+        since = self._outage_since[index]
+        if since is not None:
+            # Pace attempts: skip until the backoff delay for the next
+            # attempt has elapsed since the outage began.
+            elapsed = time.monotonic() - since
+            if elapsed < conn.reconnect_delay_s():
+                return
+        try:
+            conn.connect(hello_extra={"session": self._session})
+            self._outage_since[index] = None
+        except TransportError:
+            self._note_outage(index)
+
+    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+        self._dropped[index] += 1
+        if self._first_loss[index] is None:
+            self._first_loss[index] = packet.time
+            self._loss_reason[index] = reason
+        if self._dead_letter is not None:
+            self._dead_letter.record(packet, index, reason)
+
+    def _note_high_water(self, index: int) -> None:
+        depth = self._connections[index].ring_depth
+        if depth > self._queue_high_water[index]:
+            self._queue_high_water[index] = depth
+
+    def _check_fatal(self, conn: ShardConnection) -> None:
+        if conn.fatal is not None:
+            raise _invariant_from_payload(conn.fatal.get("payload") or {})
+
+    # -- control barriers --------------------------------------------------
+
+    def _control(self, index: int, payload: Dict) -> Dict:
+        """Send one control frame and block for its reply, reconnecting
+        and replaying as needed up to the barrier deadline.  The reply
+        acks the whole prefix (the server applies in order), so a
+        returned barrier proves every earlier batch was applied."""
+        conn = self._connections[index]
+        deadline = time.monotonic() + self.barrier_timeout_s
+        seq: Optional[int] = None
+        while True:
+            self._check_fatal(conn)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"barrier {payload.get('op')!r} on shard {index} missed "
+                    f"its {self.barrier_timeout_s}s deadline",
+                    shard=index,
+                    endpoint=conn.endpoint,
+                )
+            if not conn.connected:
+                try:
+                    conn.connect(hello_extra={"session": self._session})
+                    self._outage_since[index] = None
+                except TransportError:
+                    self._note_outage(index)
+                    time.sleep(
+                        min(conn.reconnect_delay_s(), max(remaining, 0.0),
+                            0.5)
+                    )
+                    continue
+            try:
+                if seq is None:
+                    seq = conn.send(FT_CONTROL, payload)
+                reply = conn.wait_reply(seq, remaining)
+                break
+            except TransportError:
+                self._check_fatal(conn)
+                continue
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"malformed barrier reply from shard {index}: {reply!r}",
+                shard=index,
+            )
+        if reply.get("op") == "invariant":
+            raise _invariant_from_payload(reply.get("payload") or {})
+        if reply.get("op") == "error":
+            raise WorkerError(
+                f"shard {index} failed {payload.get('op')!r}:\n"
+                f"{reply.get('traceback') or reply.get('message')}",
+                shard=index,
+            )
+        return reply
+
+    # -- live migration ----------------------------------------------------
+
+    def prepare_migration(self, plan: MigrationPlan) -> None:
+        plan.validate(self._layout)
+        self._start()
+        self.check_workers()
+        self.flush()
+        self._ensure_shards(plan.target_shards)
+
+    def extract_slots(
+        self, slot_ids: List[int]
+    ) -> Dict[int, Dict[str, object]]:
+        by_shard: Dict[int, List[int]] = {}
+        for slot in slot_ids:
+            by_shard.setdefault(self._assignment[slot], []).append(slot)
+        return self._extract_from(by_shard)
+
+    def _extract_from(
+        self, by_shard: Dict[int, List[int]]
+    ) -> Dict[int, Dict[str, object]]:
+        extracted: Dict[int, Dict[str, object]] = {}
+        for index, slots in by_shard.items():
+            reply = self._control(
+                index, {"op": "extract", "slots": list(slots)}
+            )
+            for slot, state in reply.get("states", {}).items():
+                extracted[int(slot)] = state
+        return extracted
+
+    def install_slots(
+        self,
+        slot_states: Dict[int, Dict[str, object]],
+        assignment: Dict[int, int],
+    ) -> None:
+        by_shard: Dict[int, Dict[int, Dict[str, object]]] = {}
+        for slot, state in slot_states.items():
+            shard = assignment[int(slot)]
+            if shard >= self._shards:
+                raise ValueError(
+                    f"slot {slot} targets shard {shard}, which was never "
+                    f"provisioned (prepare_migration not run?)"
+                )
+            by_shard.setdefault(shard, {})[int(slot)] = state
+        for index, states in by_shard.items():
+            self._control(index, {"op": "install", "states": states})
+
+    def commit_layout(self, layout: ShardLayout) -> None:
+        if layout.slots != self._layout.slots:
+            raise ValueError(
+                f"layout has {layout.slots} slots, engine has "
+                f"{self._layout.slots}"
+            )
+        if layout.shards > self._shards:
+            raise ValueError(
+                f"layout spans {layout.shards} shards but only "
+                f"{self._shards} are provisioned"
+            )
+        self._layout = layout
+        self._assignment = list(layout.assignment)
+
+    def abort_migration(
+        self,
+        plan: MigrationPlan,
+        extracted: Dict[int, Dict[str, object]],
+    ) -> None:
+        targets: Dict[int, List[int]] = {}
+        for move in plan.moves:
+            if move.target < self._shards:
+                targets.setdefault(move.target, []).append(move.slot)
+        self._extract_from(targets)  # discard partial installs
+        if extracted:
+            self.install_slots(extracted, plan.assignment_before())
+
+    def _ensure_shards(self, shards: int) -> None:
+        """Activate spare endpoints for shards up to ``shards - 1``.
+        Unlike the multiprocess engine, a remote fleet cannot mint new
+        hosts — growth is bounded by the endpoint list."""
+        if shards <= self._shards:
+            return
+        if shards > len(self._endpoints):
+            raise MigrationError(
+                f"cannot grow to {shards} shards: only "
+                f"{len(self._endpoints)} worker endpoints were provided",
+                phase="freeze",
+                rolled_back=True,
+            )
+        grow = shards - self._shards
+        self._buffers.extend([] for _ in range(grow))
+        self._routed.extend([0] * grow)
+        self._dropped.extend([0] * grow)
+        self._first_loss.extend([None] * grow)
+        self._loss_reason.extend([""] * grow)
+        self._queue_high_water.extend([0] * grow)
+        self._last_packet_ts.extend([None] * grow)
+        self._outage_since.extend([None] * grow)
+        self._outages.extend([0] * grow)
+        first_new = self._shards
+        self._shards = shards
+        if self._connections is not None:
+            for index in range(first_new, shards):
+                self._assign_shard(index)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exact engine state via a control barrier on every shard."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        self._start()
+        self.flush()
+        states: Dict[int, Dict] = {}
+        for index in range(self._layout.shards):
+            reply = self._control(index, {"op": "snapshot"})
+            states[index] = {
+                int(slot): state
+                for slot, state in reply["states"].items()
+            }
+        return self._assemble(states)
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Stage a snapshot for the (not yet connected) servers; adopts
+        the snapshot's layout exactly like the other engines."""
+        if self._connections is not None or self._final_snapshot is not None:
+            raise RuntimeError("restore() must precede any ingestion")
+        fmt = state.get("format")
+        if fmt != ENGINE_SNAPSHOT_FORMAT:
+            raise ValueError(f"unsupported engine snapshot format {fmt!r}")
+        if state["seed"] != self._hash.seed:
+            raise ValueError(
+                f"snapshot hash seed {state['seed']} != engine seed "
+                f"{self._hash.seed}; flows would route to different slots"
+            )
+        slot_states = list(state["shards"])
+        slots = int(state.get("slots") or len(slot_states))
+        if slots != self._layout.slots:
+            raise ValueError(
+                f"snapshot has {slots} slots, engine has "
+                f"{self._layout.slots}; flows would route to different "
+                "sub-streams"
+            )
+        if len(slot_states) != slots:
+            raise ValueError(
+                f"snapshot carries {len(slot_states)} slot states for "
+                f"{slots} slots"
+            )
+        layout_state = state.get("layout")
+        if layout_state is not None:
+            layout = ShardLayout.from_dict(layout_state)
+        else:
+            layout = ShardLayout.default(slots, int(state["shard_count"]))
+        if layout.shards > len(self._endpoints):
+            raise ValueError(
+                f"snapshot layout spans {layout.shards} shards but only "
+                f"{len(self._endpoints)} worker endpoints were provided"
+            )
+        self._layout = layout
+        self._assignment = list(layout.assignment)
+        shards = layout.shards
+        self._shards = shards
+        self._buffers = [[] for _ in range(shards)]
+        self._slot_states = slot_states
+        self._accepted = state["accepted"]
+
+        def _per_shard(key, default):
+            values = state.get(key)
+            if not values:
+                return [default] * shards
+            values = list(values)
+            return values + [default] * (shards - len(values))
+
+        self._dropped = _per_shard("dropped", 0)
+        self._first_loss = _per_shard("first_loss", None)
+        self._loss_reason = _per_shard("loss_reason", "")
+        self._queue_high_water = _per_shard("queue_high_water", 0)
+        self._last_packet_ts = _per_shard("last_packet_ts", None)
+        self._outage_since = [None] * shards
+        self._outages = [0] * shards
+        routed = state.get("routed")
+        if routed is not None:
+            self._routed = list(routed) + [0] * (shards - len(routed))
+        else:
+            self._routed = [
+                slot_state["stats"]["packets"] + dropped
+                for slot_state, dropped in zip(slot_states, self._dropped)
+            ]
+        watcher_state = state.get("watcher")
+        if watcher_state is not None and self.watcher is not None:
+            self.watcher.restore(watcher_state)
+
+    def _assemble(self, states: Dict[int, Dict]) -> Dict[str, object]:
+        layout = self._layout
+        slot_states: List = [None] * layout.slots
+        for mapping in states.values():
+            for slot, slot_state in mapping.items():
+                slot_states[int(slot)] = slot_state
+        missing = [
+            slot for slot, value in enumerate(slot_states) if value is None
+        ]
+        if missing:
+            raise WorkerError(
+                f"snapshot barrier returned no state for slots {missing}"
+            )
+        return {
+            "format": ENGINE_SNAPSHOT_FORMAT,
+            "seed": self._hash.seed,
+            "shard_count": layout.shards,
+            "accepted": self._accepted,
+            "dropped": list(self._dropped),
+            "first_loss": list(self._first_loss),
+            "loss_reason": list(self._loss_reason),
+            "queue_high_water": list(self._queue_high_water),
+            "last_packet_ts": list(self._last_packet_ts),
+            "routed": list(self._routed),
+            "overload": None,
+            "watcher": (
+                self.watcher.snapshot() if self.watcher is not None else None
+            ),
+            "slots": layout.slots,
+            "layout": layout.as_dict(),
+            "layout_epoch": layout.epoch,
+            "shards": slot_states,
+        }
+
+    # -- results -----------------------------------------------------------
+
+    def detections(self) -> Dict[FlowId, int]:
+        sink = ReportSink()
+        for slot_state in self.snapshot()["shards"]:
+            slot_sink = ReportSink()
+            slot_sink.restore(slot_state["sink"])
+            sink.merge(slot_sink)
+        return sink.as_dict()
+
+    def health(self) -> List[ShardHealth]:
+        snapshot = self.snapshot()
+        slot_states = snapshot["shards"]
+        layout = self._layout
+        watcher = self.watcher
+        samples = []
+        for index in range(layout.shards):
+            slots = layout.slots_of(index)
+            states = [slot_states[slot] for slot in slots]
+            depth = len(self._buffers[index]) if self._buffers else 0
+            if self._connections is not None:
+                depth += self._connections[index].ring_depth
+            samples.append(
+                ShardHealth(
+                    shard=index,
+                    packets=sum(s["stats"]["packets"] for s in states),
+                    queue_depth=depth,
+                    queue_capacity=self.mask_frame_limit,
+                    detections=sum(len(s["sink"]) for s in states),
+                    blacklist_size=sum(len(s["blacklist"]) for s in states),
+                    dropped=self._dropped[index],
+                    queue_high_water=self._queue_high_water[index],
+                    last_packet_ts_ns=self._last_packet_ts[index],
+                    degradation_level="exact",
+                    watcher_occupancy=(
+                        sum(watcher.occupancy(slot) for slot in slots)
+                        if watcher is not None
+                        else 0
+                    ),
+                    watcher_verdicts=(
+                        sum(
+                            len(watcher.watcher(slot).detected)
+                            for slot in slots
+                        )
+                        if watcher is not None
+                        else 0
+                    ),
+                    slot_count=len(slots),
+                )
+            )
+        return samples
+
+    def overload_report(self) -> Optional[Dict[str, object]]:
+        return None
+
+    def envelope(self) -> List[ExactnessEnvelope]:
+        return [
+            ExactnessEnvelope(
+                shard=index,
+                exact=self._dropped[index] == 0,
+                lost_packets=self._dropped[index],
+                first_loss_time_ns=self._first_loss[index],
+                reason=self._loss_reason[index],
+            )
+            for index in range(self._shards)
+        ]
+
+    # -- transport introspection ------------------------------------------
+
+    def transport_report(self) -> List[Dict[str, object]]:
+        """Per-shard exact transport counters (frames, retransmits,
+        reconnects, ring depth, reconnect pauses) plus the partition
+        accounting — the source for ``eardet_net_*`` metrics and the
+        ``--net`` benchmark's reconnect-pause percentiles."""
+        reports = []
+        for index in range(self._shards):
+            if self._connections is not None:
+                report = self._connections[index].report()
+            elif self._closed_reports and index < len(self._closed_reports):
+                report = dict(self._closed_reports[index])
+                report["connected"] = False
+            else:
+                host, port = self._endpoints[index]
+                report = {"endpoint": f"{host}:{port}", "connected": False}
+            report["shard"] = index
+            report["outages"] = self._outages[index]
+            report["masking"] = self._outage_since[index] is not None
+            report["lost_packets"] = self._dropped[index]
+            reports.append(report)
+        return reports
+
+    def scrape_workers(self) -> List[Dict[str, int]]:
+        """Server-side counters via a ``scrape`` control barrier on
+        every active shard (the remote telemetry scrape)."""
+        self._start()
+        metrics = []
+        for index in range(self._layout.shards):
+            reply = self._control(index, {"op": "scrape"})
+            metrics.append(dict(reply.get("metrics") or {}))
+        return metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteEngine(shards={self._shards}, "
+            f"slots={self._layout.slots}, epoch={self._layout.epoch}, "
+            f"accepted={self._accepted}, running={self.running})"
+        )

@@ -51,7 +51,7 @@ from .workers import MultiprocessEngine
 #: Checkpoint meta schema version.
 CHECKPOINT_META_FORMAT = 1
 
-ENGINE_KINDS = ("inprocess", "multiprocess")
+ENGINE_KINDS = ("inprocess", "multiprocess", "remote")
 
 
 def _build_engine(
@@ -67,8 +67,43 @@ def _build_engine(
     overload: Optional[OverloadPolicy] = None,
     watcher: Optional[WatcherStage] = None,
     slots: Optional[int] = None,
+    engine_options: Optional[Dict[str, object]] = None,
 ):
+    options = dict(engine_options or {})
+    if kind == "remote":
+        from .remote import RemoteEngine
+
+        workers = options.pop("workers", None)
+        if not workers:
+            raise ValueError(
+                "the remote engine needs worker endpoints: pass "
+                "engine_options={'workers': ['host:port', ...]} "
+                "(the --workers flag)"
+            )
+        if overflow != "block":
+            raise ValueError(
+                "the remote engine only supports overflow='block' "
+                "(its unacked-frame rings backpressure the producer)"
+            )
+        return RemoteEngine(
+            config,
+            workers,
+            seed=seed,
+            fault_plan=fault_plan,
+            dead_letter=dead_letter,
+            invariant_every=invariant_every,
+            overload=overload,
+            watcher=watcher,
+            slots=slots,
+            shards=shards,
+            **options,
+        )
     if kind == "inprocess":
+        if options:
+            raise ValueError(
+                f"the in-process engine takes no engine options, got "
+                f"{sorted(options)}"
+            )
         return InProcessEngine(
             config,
             shards=shards,
@@ -98,6 +133,7 @@ def _build_engine(
             overload=overload,
             watcher=watcher,
             slots=slots,
+            **options,
         )
     raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
 
@@ -112,8 +148,10 @@ class DetectionService:
     shards:
         Worker shard count.
     engine:
-        ``"inprocess"`` (deterministic, single-threaded) or
-        ``"multiprocess"`` (one process per shard, for throughput).
+        ``"inprocess"`` (deterministic, single-threaded),
+        ``"multiprocess"`` (one process per shard, for throughput) or
+        ``"remote"`` (one TCP shard server per shard, possibly on other
+        hosts; see :mod:`repro.service.remote`).
     seed:
         Flow-to-shard hash seed.
     checkpoint_path:
@@ -170,6 +208,14 @@ class DetectionService:
         detections.  Defaults to ``shards`` (one slot per shard — the
         historical layout, with no resharding headroom).  Like the seed,
         it must never change across a resume.
+    engine_options:
+        Engine-specific constructor options.  The multiprocess engine
+        accepts ``terminate_grace_s`` (the ``--terminate-grace`` flag);
+        the remote engine **requires** ``workers`` (a list of
+        ``host:port`` endpoints, the ``--workers`` flag) and accepts its
+        partition-policy knobs (``mask_deadline_s``,
+        ``mask_frame_limit``, ``backoff``, ...).  Deployment-specific —
+        never recorded in checkpoints, so pass it again on resume.
     coordinator:
         Optional :class:`~repro.service.reshard.CoordinatorPolicy`
         arming the elastic coordinator: per-shard load is observed once
@@ -200,6 +246,7 @@ class DetectionService:
         watcher: Optional[WatcherPolicy] = None,
         slots: Optional[int] = None,
         coordinator: Optional[CoordinatorPolicy] = None,
+        engine_options: Optional[Dict[str, object]] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -230,11 +277,13 @@ class DetectionService:
             if watcher is not None
             else None
         )
+        self.engine_options = engine_options
         self._engine = _build_engine(
             engine, config, shards, seed, queue_capacity, overflow,
             fault_plan=fault_plan, dead_letter=dead_letter,
             invariant_every=invariant_every, overload=overload,
             watcher=self._watcher, slots=slots,
+            engine_options=engine_options,
         )
         self.coordinator_policy = coordinator
         self._coordinator = (
@@ -277,6 +326,7 @@ class DetectionService:
         checkpoint_backoff: Optional[BackoffPolicy] = None,
         watcher: Optional[WatcherPolicy] = None,
         coordinator: Optional[CoordinatorPolicy] = None,
+        engine_options: Optional[Dict[str, object]] = None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -322,6 +372,7 @@ class DetectionService:
             watcher=watcher,
             slots=meta.get("slots"),
             coordinator=coordinator,
+            engine_options=engine_options,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -660,6 +711,9 @@ class DetectionService:
             instruments.sync_dead_letters(self.dead_letter.total)
         if self._watcher is not None:
             instruments.sync_watcher(self._watcher)
+        transport_report = getattr(self._engine, "transport_report", None)
+        if transport_report is not None:  # remote engine only
+            instruments.sync_transport(transport_report())
         if validation is not None:
             instruments.sync_validation(validation)
         if self.overload is not None:

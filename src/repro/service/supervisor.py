@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.config import EARDetConfig
 from ..model.packet import Packet
@@ -144,8 +144,10 @@ class Supervisor:
         watcher: Optional[WatcherPolicy] = None,
         slots: Optional[int] = None,
         coordinator=None,
+        engine_options: Optional[Dict[str, object]] = None,
     ):
         self.config = config
+        self.engine_options = engine_options
         self.shards = shards
         self.slots = slots
         self.coordinator = coordinator
@@ -204,6 +206,7 @@ class Supervisor:
             watcher=self.watcher,
             slots=self.slots,
             coordinator=self.coordinator,
+            engine_options=self.engine_options,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -228,6 +231,7 @@ class Supervisor:
                     checkpoint_backoff=self.checkpoint_backoff,
                     watcher=self.watcher,
                     coordinator=self.coordinator,
+                    engine_options=self.engine_options,
                 )
                 self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}"

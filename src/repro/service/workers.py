@@ -405,9 +405,14 @@ class MultiprocessEngine:
         put_timeout_s: Optional[float] = None,
         watcher=None,
         slots: Optional[int] = None,
+        terminate_grace_s: float = TERMINATE_GRACE_S,
     ):
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
+        if terminate_grace_s <= 0:
+            raise ValueError(
+                f"terminate_grace_s must be > 0, got {terminate_grace_s}"
+            )
         if slots is None:
             slots = shards
         if slots < shards:
@@ -430,6 +435,7 @@ class MultiprocessEngine:
         self.config = config
         self.chunk_size = chunk_size
         self.queue_capacity = queue_capacity
+        self.terminate_grace_s = terminate_grace_s
         self._shards = shards
         self._layout = ShardLayout.default(slots, shards)
         self._assignment: List[int] = list(self._layout.assignment)
@@ -898,16 +904,19 @@ class MultiprocessEngine:
         """Hard-kill workers (crash recovery / emergency shutdown);
         discards in-flight state.  Safe to call when some — or all —
         workers have already died, and idempotent.  Escalates to
-        SIGKILL after a short grace: a worker that ignores SIGTERM
-        (e.g. a masked or inherited handler) must not stall crash
-        recovery for ``REPLY_TIMEOUT_S`` per process."""
+        SIGKILL after a grace of ``terminate_grace_s`` seconds
+        (default :data:`TERMINATE_GRACE_S`): a worker that ignores
+        SIGTERM (e.g. a masked or inherited handler) must not stall
+        crash recovery for ``REPLY_TIMEOUT_S`` per process.  Chaos
+        tests and fast CI teardown shrink the grace via the
+        constructor / ``--terminate-grace``."""
         if self._processes is None:
             return
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
         for process in self._processes:
-            process.join(timeout=TERMINATE_GRACE_S)
+            process.join(timeout=self.terminate_grace_s)
             if process.is_alive():
                 process.kill()
                 process.join(timeout=REPLY_TIMEOUT_S)

@@ -337,6 +337,49 @@ class ServiceInstruments:
             "Shards spanned by the live slot-to-shard layout.",
         )
 
+        # -- remote transport (the remote engine's TCP fleet) --------------
+        self._net_frames_sent = reg.counter(
+            "eardet_net_frames_sent_total",
+            "Frames put on the wire per shard connection (includes "
+            "retransmits and injected duplicates).",
+            labels=shard,
+        )
+        self._net_retransmits = reg.counter(
+            "eardet_net_retransmits_total",
+            "Unacked frames replayed per shard connection (reconnect "
+            "replays and gap-triggered resends; always safe — duplicates "
+            "are discarded by sequence).",
+            labels=shard,
+        )
+        self._net_reconnects = reg.counter(
+            "eardet_net_reconnects_total",
+            "Successful (re)connects per shard connection (1 is the "
+            "initial connect).",
+            labels=shard,
+        )
+        self._net_outages = reg.counter(
+            "eardet_net_outages_total",
+            "Distinct outages per shard endpoint (masked or voided).",
+            labels=shard,
+        )
+        self._net_ring_depth = reg.gauge(
+            "eardet_net_ring_depth",
+            "Unacked frames currently held per shard connection.",
+            labels=shard,
+        )
+        self._net_connected = reg.gauge(
+            "eardet_net_connected",
+            "1 while the shard connection is established, else 0.",
+            labels=shard,
+        )
+        self._net_lost_packets = reg.counter(
+            "eardet_net_lost_packets_total",
+            "Packets the partition policy voided per shard (outages past "
+            "the mask budget; every one is dead-lettered and voids that "
+            "shard's envelope).",
+            labels=shard,
+        )
+
         # -- service lifecycle --------------------------------------------
         self.checkpoints_total = reg.counter(
             "eardet_checkpoints_written_total",
@@ -606,6 +649,34 @@ class ServiceInstruments:
         )
         for event, count in stage.churn().items():  # type: ignore[attr-defined]
             self._watcher_churn.labels(event).set_total(count)
+
+    def sync_transport(self, reports: Sequence[Dict[str, object]]) -> None:
+        """Copy a remote engine ``transport_report()`` — per-shard exact
+        TCP transport counters — into the registry (no-op for the
+        in-tree engines, which have no transport)."""
+        for report in reports:
+            label = str(report.get("shard", ""))
+            self._net_frames_sent.labels(label).set_total(
+                report.get("frames_sent", 0)  # type: ignore[arg-type]
+            )
+            self._net_retransmits.labels(label).set_total(
+                report.get("retransmits", 0)  # type: ignore[arg-type]
+            )
+            self._net_reconnects.labels(label).set_total(
+                report.get("reconnects", 0)  # type: ignore[arg-type]
+            )
+            self._net_outages.labels(label).set_total(
+                report.get("outages", 0)  # type: ignore[arg-type]
+            )
+            self._net_ring_depth.labels(label).set(
+                report.get("ring_depth", 0)  # type: ignore[arg-type]
+            )
+            self._net_connected.labels(label).set(
+                1 if report.get("connected") else 0
+            )
+            self._net_lost_packets.labels(label).set_total(
+                report.get("lost_packets", 0)  # type: ignore[arg-type]
+            )
 
     def sync_overload(self, report: Optional[Dict[str, object]]) -> None:
         """Copy an engine ``overload_report()`` dict into the registry

@@ -1,0 +1,88 @@
+"""BackoffPolicy determinism, including across snapshot/restore.
+
+The policy is a frozen dataclass and ``delay_s(attempt)`` is a pure
+function of ``(policy, attempt)`` — no hidden RNG state.  That purity is
+load-bearing: the remote engine's reconnect loop and the supervisor's
+restart loop both resume *mid-schedule* after a checkpoint restore (the
+policy is rebuilt from its plain fields; the attempt counter comes from
+the restored state), and chaos replays are only deterministic if the
+resumed jitter stream continues exactly where the interrupted one left
+off.  These tests pin that property.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.backoff import DEFAULT_BACKOFF, BackoffPolicy
+
+policies = st.builds(
+    BackoffPolicy,
+    initial_s=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    max_s=st.floats(min_value=1.0, max_value=60.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**64 - 1),
+)
+
+
+class TestDeterminism:
+    def test_delay_is_pure(self):
+        policy = BackoffPolicy(jitter=0.5, seed=1234)
+        first = [policy.delay_s(i) for i in range(20)]
+        second = [policy.delay_s(i) for i in range(20)]
+        assert first == second
+
+    @given(policy=policies, cut=st.integers(min_value=0, max_value=19))
+    @settings(max_examples=60, deadline=None)
+    def test_resumed_schedule_continues_exactly(self, policy, cut):
+        """A retry loop restored mid-schedule — the policy rebuilt from
+        its plain dataclass fields, the attempt counter from the
+        checkpoint — continues the identical jitter stream."""
+        full = list(policy.delays(20))
+        restored = BackoffPolicy(**dataclasses.asdict(policy))
+        assert restored == policy
+        resumed = [restored.delay_s(i) for i in range(cut, 20)]
+        assert resumed == full[cut:]
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_jitter_only_shortens_within_bounds(self, policy):
+        """Jitter implements "decorrelated early": every delay stays in
+        ``[base * (1 - jitter), base]``, so the un-jittered schedule
+        remains the worst-case bound timeout budgets rely on."""
+        for attempt in range(12):
+            base = min(
+                policy.initial_s * policy.factor**attempt, policy.max_s
+            )
+            delay = policy.delay_s(attempt)
+            assert delay <= base + 1e-12
+            assert delay >= base * (1.0 - policy.jitter) - 1e-12
+
+    def test_seeds_decorrelate_jitter(self):
+        a = BackoffPolicy(jitter=0.9, seed=1)
+        b = BackoffPolicy(jitter=0.9, seed=2)
+        assert list(a.delays(10)) != list(b.delays(10))
+
+    def test_zero_jitter_is_plain_geometric(self):
+        policy = BackoffPolicy(initial_s=0.1, factor=2.0, max_s=1.0)
+        assert list(policy.delays(6)) == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+        )
+
+    def test_default_policy_unchanged(self):
+        assert DEFAULT_BACKOFF == BackoffPolicy()
+        assert DEFAULT_BACKOFF.jitter == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial_s=2.0, max_s=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay_s(-1)

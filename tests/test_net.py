@@ -1,0 +1,741 @@
+"""Multi-host transport: frame codec forensics, exactly-once delivery,
+the ``net:`` fault DSL, and the differential network-chaos gate — the
+remote engine's detections are bit-identical to the in-process engine's
+wherever the exactness envelope says EXACT, and beyond the masking
+budget the loss is integer-accounted from the first unsendable packet.
+
+Everything runs over loopback :class:`ShardServer` threads, so the
+whole suite is a real TCP deployment in miniature.  The fuzz seed
+honors ``EARDET_NET_SEED`` so the CI net-chaos job can sweep several
+packet streams; every ``net:`` fault fires at an exact (shard, frame
+index) coordinate, so any failure reproduces bit for bit by re-running
+with the same seed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EARDetConfig
+from repro.model.packet import Packet
+from repro.service import (
+    BackoffPolicy,
+    DRAIN_EXIT_CODE,
+    DeadLetterSink,
+    FaultPlan,
+    FrameCorruptError,
+    HandshakeError,
+    InProcessEngine,
+    MigrationPlan,
+    NET_PROTOCOL_VERSION,
+    NetFault,
+    RemoteEngine,
+    ShardConnection,
+    ShardServer,
+    TRANSPORT_ABORT_EXIT_CODE,
+    TransportError,
+    execute_migration,
+    parse_endpoint,
+    parse_endpoints,
+)
+from repro.service.net import (
+    FT_ACK,
+    FT_BATCH,
+    FT_CONTROL,
+    FT_HELLO,
+    MAX_PAYLOAD,
+    decode_frame,
+    encode_frame,
+)
+
+CONFIG = EARDetConfig(
+    rho=1_000_000, n=8, beta_th=3000, alpha=1518, beta_l=1000, gamma_l=50_000
+)
+
+#: The CI net-chaos job sweeps this (see .github/workflows/ci.yml).
+NET_SEED = int(os.environ.get("EARDET_NET_SEED", "7"))
+
+#: Zero-delay reconnect retries: transport tests never really sleep.
+FAST = BackoffPolicy(initial_s=0.0)
+
+
+def make_packets(count=4000, heavy_share=0.1, seed=NET_SEED, flows=50):
+    """Same mixed stream as the other chaos suites: many small flows
+    plus one heavy flow, seeded for reproducible chaos."""
+    rng = random.Random(seed)
+    packets = []
+    now = 0
+    for _ in range(count):
+        now += rng.randint(100, 40_000)
+        if rng.random() < heavy_share:
+            fid = "heavy"
+        else:
+            fid = f"flow-{rng.randint(0, flows - 1)}"
+        packets.append(Packet(time=now, size=rng.randint(40, 1518), fid=fid))
+    return packets
+
+
+@contextlib.contextmanager
+def fleet(count):
+    """``count`` loopback shard servers on daemon threads."""
+    servers = [ShardServer().start() for _ in range(count)]
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def endpoints_of(servers):
+    return [(server.host, server.port) for server in servers]
+
+
+def ingest_all(engine, packets, batch=512):
+    for start in range(0, len(packets), batch):
+        engine.ingest(packets[start:start + batch])
+    engine.flush()
+
+
+def reference_detections(packets, slots, seed=0, shards=2):
+    """The in-process run every differential test compares against
+    (same slot space and hash seed — that is all detections depend on)."""
+    engine = InProcessEngine(CONFIG, shards=shards, seed=seed, slots=slots)
+    try:
+        ingest_all(engine, packets)
+        return dict(engine.detections())
+    finally:
+        engine.close()
+
+
+def remote_engine(servers, **kwargs):
+    kwargs.setdefault("backoff", FAST)
+    return RemoteEngine(CONFIG, endpoints_of(servers), **kwargs)
+
+
+# ---------------------------------------------------------------- codec
+
+
+class TestFrameCodec:
+    def test_round_trip_every_type(self):
+        payloads = {
+            FT_HELLO: {"proto": NET_PROTOCOL_VERSION, "shard": 3},
+            FT_BATCH: [(1, 64, "flow-1"), (2, 1518, b"raw-id")],
+            FT_CONTROL: {"op": "ping"},
+            FT_ACK: None,
+        }
+        for ftype, payload in payloads.items():
+            ftype_out, seq, decoded = decode_frame(
+                encode_frame(ftype, 17, payload)
+            )
+            assert ftype_out == ftype
+            assert seq == 17
+            if isinstance(payload, list):
+                assert [tuple(item) for item in decoded] == payload
+            else:
+                assert decoded == payload
+
+    def test_encode_rejects_bad_type_and_seq(self):
+        with pytest.raises(ValueError):
+            encode_frame(99, 1, None)
+        with pytest.raises(ValueError):
+            encode_frame(FT_BATCH, -1, None)
+
+    def test_bad_magic_offset_zero(self):
+        frame = bytearray(encode_frame(FT_BATCH, 1, [(1, 64, "f")]))
+        frame[0] = ord("X")
+        with pytest.raises(FrameCorruptError) as info:
+            decode_frame(bytes(frame))
+        assert info.value.offset == 0
+
+    def test_unknown_type_offset_four(self):
+        frame = bytearray(encode_frame(FT_BATCH, 1, None))
+        frame[4] = 99
+        with pytest.raises(FrameCorruptError) as info:
+            decode_frame(bytes(frame))
+        assert info.value.offset == 4
+
+    def test_flipped_payload_bit_fails_crc(self):
+        frame = bytearray(encode_frame(FT_BATCH, 1, [(1, 64, "flow")]))
+        frame[-6] ^= 0x01  # inside the payload, before the CRC
+        with pytest.raises(FrameCorruptError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_frame_reports_length(self):
+        frame = encode_frame(FT_BATCH, 1, [(1, 64, "flow")])
+        with pytest.raises(FrameCorruptError, match="truncated"):
+            decode_frame(frame[:5])
+        with pytest.raises(FrameCorruptError, match="length mismatch"):
+            decode_frame(frame[:-1])
+
+    def test_impossible_length_rejected_before_read(self):
+        frame = bytearray(encode_frame(FT_ACK, 1, None))
+        frame[13:17] = (MAX_PAYLOAD + 1).to_bytes(4, "little")
+        with pytest.raises(FrameCorruptError, match="impossible"):
+            decode_frame(bytes(frame))
+
+    def test_retransmitted_frame_is_byte_identical(self):
+        """The codec is the checkpoint codec: deterministic, so a replay
+        puts the identical bytes on the wire and CRCs stay valid."""
+        payload = [(1, 64, "flow"), (2, 128, b"raw")]
+        assert encode_frame(FT_BATCH, 5, payload) == encode_frame(
+            FT_BATCH, 5, payload
+        )
+
+    def test_parse_endpoints(self):
+        assert parse_endpoint("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_endpoint("9000") == ("127.0.0.1", 9000)
+        assert parse_endpoints("a:1, b:2") == [("a", 1), ("b", 2)]
+        with pytest.raises(ValueError):
+            parse_endpoint("host:notaport")
+        with pytest.raises(ValueError):
+            parse_endpoint("host:70000")
+        with pytest.raises(ValueError):
+            parse_endpoints(" , ")
+
+
+# ---------------------------------------------------------- exactly-once
+
+
+class TestExactlyOnce:
+    def assign(self, conn):
+        seq = conn.send(FT_CONTROL, {
+            "op": "assign",
+            "config": {
+                "rho": CONFIG.rho, "n": CONFIG.n,
+                "beta_th": CONFIG.beta_th, "alpha": CONFIG.alpha,
+                "beta_l": CONFIG.beta_l, "gamma_l": CONFIG.gamma_l,
+                "virtual_unit": CONFIG.virtual_unit,
+            },
+            "seed": 0, "slots": 1, "slot_ids": [0], "states": {},
+        })
+        assert conn.wait_reply(seq, 10.0)["op"] == "assigned"
+
+    def test_duplicate_batch_discarded_not_reapplied(self):
+        with fleet(1) as (server,):
+            conn = ShardConnection(0, server.host, server.port, backoff=FAST)
+            conn.connect(hello_extra={"session": 1})
+            self.assign(conn)
+            batch = [(1, 64, "flow-a"), (2, 64, "flow-a")]
+            seq = conn.send(FT_BATCH, batch)
+            conn.wait_acks(0, 10.0)
+            # Re-send the identical frame: the server must discard it by
+            # sequence, not double-count the packets.
+            conn._transmit(encode_frame(FT_BATCH, seq, batch))
+            ping = conn.send(FT_CONTROL, {"op": "ping"})
+            reply = conn.wait_reply(ping, 10.0)
+            assert reply["processed"] == 2
+            assert server.duplicates_discarded == 1
+            assert server.packets_processed == 2
+            conn.close_socket()
+
+    def test_gap_marked_ack_triggers_replay(self):
+        plan = FaultPlan.parse("net:kind=drop,shard=0,at=2")
+        with fleet(1) as (server,):
+            conn = ShardConnection(
+                0, server.host, server.port, backoff=FAST, fault_plan=plan
+            )
+            conn.connect(hello_extra={"session": 1})
+            self.assign(conn)  # frame 1
+            conn.send(FT_BATCH, [(1, 64, "a")])  # frame 2: dropped
+            conn.send(FT_BATCH, [(2, 64, "b")])  # frame 3: arrives as a gap
+            conn.wait_acks(0, 10.0)  # gap ack -> replay tail -> drained
+            assert server.gaps_discarded >= 1
+            assert server.packets_processed == 2
+            assert conn.retransmits >= 1
+            assert conn.ring_depth == 0
+            conn.close_socket()
+
+    def test_duplicate_control_returns_cached_reply(self):
+        with fleet(1) as (server,):
+            conn = ShardConnection(0, server.host, server.port, backoff=FAST)
+            conn.connect(hello_extra={"session": 1})
+            self.assign(conn)
+            seq = conn.send(FT_CONTROL, {"op": "ping"})
+            first = conn.wait_reply(seq, 10.0)
+            conn._transmit(
+                encode_frame(FT_CONTROL, seq, {"op": "ping"})
+            )
+            again = conn.wait_reply(seq, 10.0)
+            assert again == first
+            assert server.duplicates_discarded == 1
+            conn.close_socket()
+
+    def test_sequence_state_survives_reconnect(self):
+        with fleet(1) as (server,):
+            conn = ShardConnection(0, server.host, server.port, backoff=FAST)
+            conn.connect(hello_extra={"session": 1})
+            self.assign(conn)
+            conn.send(FT_BATCH, [(1, 64, "a")])
+            conn.wait_acks(0, 10.0)
+            conn.close_socket()
+            welcome = conn.connect(hello_extra={"session": 1})
+            # The server's cumulative ack spans connections within a
+            # session: nothing replays, nothing is lost.
+            assert welcome["acked"] == conn.acked_seq
+            ping = conn.send(FT_CONTROL, {"op": "ping"})
+            assert conn.wait_reply(ping, 10.0)["processed"] == 1
+            conn.close_socket()
+
+    def test_new_session_resets_sequence_state(self):
+        with fleet(1) as (server,):
+            conn = ShardConnection(0, server.host, server.port, backoff=FAST)
+            conn.connect(hello_extra={"session": 1})
+            self.assign(conn)
+            conn.close_socket()
+            fresh = ShardConnection(0, server.host, server.port, backoff=FAST)
+            welcome = fresh.connect(hello_extra={"session": 2})
+            assert welcome["acked"] == 0
+            fresh.close_socket()
+
+
+# ------------------------------------------------------------- handshake
+
+
+class TestHandshake:
+    def test_version_mismatch_is_permanent(self):
+        with fleet(1) as (server,):
+            conn = ShardConnection(0, server.host, server.port, backoff=FAST)
+            with pytest.raises(HandshakeError):
+                conn.connect(hello_extra={"proto": 99, "session": 1})
+            deadline = time.monotonic() + 5.0
+            while server.exit_code is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.exit_code == TRANSPORT_ABORT_EXIT_CODE
+
+    def test_non_hello_first_frame_rejected(self):
+        with fleet(1) as (server,):
+            sock = socket.create_connection(
+                (server.host, server.port), timeout=5.0
+            )
+            try:
+                sock.sendall(encode_frame(FT_BATCH, 1, [(1, 64, "f")]))
+                # The server drops the connection without a WELCOME.
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""
+            finally:
+                sock.close()
+
+
+# ----------------------------------------------------------- fault DSL
+
+
+class TestNetFaultDSL:
+    def test_parse_and_describe_round_trip(self):
+        spec = (
+            "net:kind=drop,shard=0,at=5;net:kind=delay,shard=1,at=4,"
+            "secs=0.05;net:kind=partition,shard=1,at=12,secs=0.2"
+        )
+        plan = FaultPlan.parse(spec)
+        assert [f.kind for f in plan.net_faults] == [
+            "drop", "delay", "partition"
+        ]
+        assert plan.net_faults[1].duration_s == pytest.approx(0.05)
+        described = plan.describe()
+        for fragment in ("kind=drop", "kind=delay", "kind=partition"):
+            assert fragment in described
+
+    def test_take_net_fires_once_at_exact_coordinate(self):
+        plan = FaultPlan.parse("net:kind=dup,shard=1,at=3")
+        assert plan.take_net(1, 2) is None
+        assert plan.take_net(0, 3) is None  # other shard untouched
+        fault = plan.take_net(1, 3)
+        assert fault is not None and fault.kind == "dup"
+        assert plan.take_net(1, 3) is None  # fire-once
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetFault(kind="gamma-ray", shard=0, at=1)
+        with pytest.raises(ValueError):
+            NetFault(kind="drop", shard=0, at=0)
+        with pytest.raises(ValueError):
+            NetFault(kind="delay", shard=0, at=1, duration_s=-1.0)
+
+
+# ----------------------------------------------- differential chaos gate
+
+
+class TestRemoteDifferential:
+    """detections(remote, net faults) == detections(in-process) wherever
+    the envelope says EXACT — the PR's central property."""
+
+    def test_clean_run_bit_identical(self):
+        packets = make_packets()
+        expected = reference_detections(packets, slots=4)
+        with fleet(2) as servers:
+            engine = remote_engine(servers, slots=4, chunk_size=256)
+            ingest_all(engine, packets)
+            assert dict(engine.detections()) == expected
+            assert all(env.exact for env in engine.envelope())
+            engine.close()
+
+    def test_chaos_drop_dup_reorder_delay_halfopen_bit_identical(self):
+        packets = make_packets()
+        expected = reference_detections(packets, slots=4)
+        plan = FaultPlan.parse(
+            "net:kind=drop,shard=0,at=3;net:kind=dup,shard=0,at=6;"
+            "net:kind=reorder,shard=1,at=4;net:kind=delay,shard=1,at=7,"
+            "secs=0.01;net:kind=halfopen,shard=0,at=9"
+        )
+        with fleet(2) as servers:
+            engine = remote_engine(
+                servers, slots=4, chunk_size=128, fault_plan=plan
+            )
+            ingest_all(engine, packets)
+            report = engine.transport_report()
+            assert sum(r["faults_injected"] for r in report) == 5
+            assert sum(r["retransmits"] for r in report) >= 1
+            assert dict(engine.detections()) == expected
+            assert all(env.exact for env in engine.envelope())
+            engine.close()
+
+    def test_masked_partition_stays_exact(self):
+        """An outage shorter than the mask budget is invisible: the ring
+        replays on reconnect and detections are bit-identical."""
+        packets = make_packets()
+        expected = reference_detections(packets, slots=4)
+        plan = FaultPlan.parse("net:kind=partition,shard=0,at=5,secs=0.2")
+        with fleet(2) as servers:
+            engine = remote_engine(
+                servers, slots=4, chunk_size=128, fault_plan=plan,
+                mask_deadline_s=10.0,
+            )
+            ingest_all(engine, packets)
+            assert dict(engine.detections()) == expected
+            # The snapshot barrier forced the reconnect + ring replay.
+            report = engine.transport_report()
+            assert report[0]["reconnects"] >= 2  # initial + post-partition
+            assert report[0]["outages"] >= 1
+            assert all(env.exact for env in engine.envelope())
+            assert engine.dead_shards() == []
+            engine.close()
+
+    def test_voided_partition_accounts_from_first_unsendable_packet(self):
+        """Past the mask budget the shard's envelope is voided: every
+        lost packet is dead-lettered and integer-accounted, the healthy
+        shard stays bit-identical."""
+        packets = make_packets()
+        sink = DeadLetterSink()
+        plan = FaultPlan.parse("net:kind=partition,shard=0,at=5,secs=0.5")
+        with fleet(2) as servers:
+            engine = remote_engine(
+                servers, slots=4, chunk_size=128, fault_plan=plan,
+                mask_deadline_s=0.01, mask_frame_limit=2, dead_letter=sink,
+            )
+            ingest_all(engine, packets)
+            envelopes = engine.envelope()
+            assert not envelopes[0].exact
+            assert envelopes[0].reason == "partition"
+            assert envelopes[0].lost_packets > 0
+            assert envelopes[0].first_loss_time_ns is not None
+            assert envelopes[1].exact
+            # Integer identity: every routed packet either applied
+            # exactly once or accounted here.
+            assert sink.total == envelopes[0].lost_packets
+            losses = [
+                entry for entry in sink.entries
+                if entry.reason == "partition"
+            ]
+            assert losses[0].time_ns == envelopes[0].first_loss_time_ns
+            # The healthy shard's sub-stream is still EXACT: compare
+            # against the reference restricted to shard-1 flows.
+            expected = reference_detections(packets, slots=4)
+            remote = dict(engine.detections())
+            for fid, when in expected.items():
+                if engine.shard_of(fid) == 1:
+                    assert remote.get(fid) == when
+            engine.close()
+
+    def test_dead_shard_listed_while_mask_exhausted(self):
+        packets = make_packets(count=1500)
+        plan = FaultPlan.parse("net:kind=partition,shard=0,at=3,secs=30")
+        with fleet(2) as servers:
+            engine = remote_engine(
+                servers, slots=2, chunk_size=128, fault_plan=plan,
+                mask_deadline_s=0.01, mask_frame_limit=2,
+            )
+            ingest_all(engine, packets)
+            assert engine.dead_shards() == [0]
+            assert engine.heartbeat_ages()[0] > 0.0
+            engine.terminate()
+
+    def test_fuzzed_fault_plans_bit_identical(self):
+        """The fuzz gate: random (kind, shard, frame-index) coordinates
+        from the sweep seed; every non-lossy schedule must leave the
+        remote engine bit-identical and every envelope EXACT."""
+        rng = random.Random(NET_SEED * 7919)
+        packets = make_packets(count=3000)
+        expected = reference_detections(packets, slots=4)
+        for round_index in range(3):
+            faults = []
+            for _ in range(rng.randint(2, 5)):
+                kind = rng.choice(("drop", "dup", "reorder", "halfopen"))
+                faults.append(NetFault(
+                    kind=kind, shard=rng.randrange(2),
+                    at=rng.randint(2, 10),
+                ))
+            plan = FaultPlan(faults)
+            with fleet(2) as servers:
+                engine = remote_engine(
+                    servers, slots=4, chunk_size=128, fault_plan=plan
+                )
+                ingest_all(engine, packets)
+                detections = dict(engine.detections())
+                envelopes = engine.envelope()
+                engine.close()
+            assert detections == expected, (
+                f"round {round_index} (seed {NET_SEED}): remote diverged "
+                f"under {plan.describe()}"
+            )
+            assert all(env.exact for env in envelopes)
+
+
+# ------------------------------------------------- lifecycle + migration
+
+
+class TestRemoteLifecycle:
+    def test_rejects_overload_and_bad_geometry(self):
+        with pytest.raises(ValueError, match="overload"):
+            RemoteEngine(CONFIG, ["127.0.0.1:1"], overload=object())
+        with pytest.raises(ValueError, match="shards"):
+            RemoteEngine(CONFIG, ["127.0.0.1:1"], shards=2)
+        with pytest.raises(ValueError, match="slots"):
+            RemoteEngine(
+                CONFIG, ["127.0.0.1:1", "127.0.0.1:2"], slots=1
+            )
+        with pytest.raises(ValueError, match="endpoint"):
+            RemoteEngine(CONFIG, [])
+
+    def test_snapshot_restore_into_new_fleet(self):
+        """Cross-host failover: snapshot one fleet, restore into a brand
+        new one (new session), continue the stream — bit-identical."""
+        packets = make_packets()
+        half = len(packets) // 2
+        expected = reference_detections(packets, slots=4)
+        with fleet(2) as servers:
+            first = remote_engine(servers, slots=4, chunk_size=256)
+            ingest_all(first, packets[:half])
+            snap = first.snapshot()
+            first.terminate()
+        with fleet(2) as servers:
+            second = remote_engine(servers, slots=4, chunk_size=256)
+            second.restore(snap)
+            ingest_all(second, packets[half:])
+            assert dict(second.detections()) == expected
+            second.close()
+
+    def test_restore_rejects_mismatched_geometry(self):
+        with fleet(2) as servers:
+            engine = remote_engine(servers, slots=4)
+            snap = engine.snapshot()
+            engine.terminate()
+        with fleet(2) as servers:
+            other = remote_engine(servers, slots=8)
+            with pytest.raises(ValueError, match="slots"):
+                other.restore(snap)
+            wrong_seed = remote_engine(servers, slots=4, seed=99)
+            with pytest.raises(ValueError, match="seed"):
+                wrong_seed.restore(snap)
+
+    def test_close_drain_collects_final_state(self):
+        packets = make_packets(count=1500)
+        expected = reference_detections(packets, slots=2)
+        with fleet(2) as servers:
+            engine = remote_engine(servers, slots=2)
+            ingest_all(engine, packets)
+            final = engine.close(drain=True)
+            assert final["format"] >= 1
+            assert dict(engine.detections()) == expected
+            assert not engine.running
+            # Transport counters survive teardown for the final scrape.
+            report = engine.transport_report()
+            assert all(r["frames_sent"] > 0 for r in report)
+            assert all(not r["connected"] for r in report)
+
+    def test_health_and_scrape_shapes(self):
+        packets = make_packets(count=1500)
+        with fleet(2) as servers:
+            engine = remote_engine(servers, slots=4)
+            ingest_all(engine, packets)
+            health = engine.health()
+            assert [h.shard for h in health] == [0, 1]
+            assert sum(h.packets for h in health) == len(packets)
+            assert all(h.degradation_level == "exact" for h in health)
+            assert all(h.slot_count == 2 for h in health)
+            metrics = engine.scrape_workers()
+            assert sum(m["packets_processed"] for m in metrics) == len(
+                packets
+            )
+            assert all(m["duplicates_discarded"] == 0 for m in metrics)
+            engine.close()
+
+
+class TestRemoteResharding:
+    def test_live_split_across_hosts_bit_identical(self):
+        """Cross-host live resharding: grow from 2 to 3 shards onto a
+        spare endpoint mid-stream; detections match the static run."""
+        packets = make_packets()
+        half = len(packets) // 2
+        expected = reference_detections(packets, slots=6)
+        with fleet(3) as servers:
+            engine = remote_engine(
+                servers, slots=6, shards=2, chunk_size=256
+            )
+            ingest_all(engine, packets[:half])
+            report = execute_migration(
+                engine,
+                MigrationPlan.split(engine.layout, shard=0, reason="test"),
+                backoff=FAST,
+            )
+            assert engine.layout.shards == 3
+            assert engine.layout.epoch == 1
+            assert report.pause_ns > 0
+            ingest_all(engine, packets[half:])
+            assert dict(engine.detections()) == expected
+            assert all(env.exact for env in engine.envelope())
+            engine.close()
+
+    def test_split_under_frame_chaos_bit_identical(self):
+        """The migration's control barriers ride the same exactly-once
+        stream as the batches, so frame faults cannot corrupt a move."""
+        packets = make_packets()
+        half = len(packets) // 2
+        expected = reference_detections(packets, slots=6)
+        plan = FaultPlan.parse(
+            "net:kind=drop,shard=0,at=4;net:kind=dup,shard=1,at=5;"
+            "net:kind=reorder,shard=0,at=8"
+        )
+        with fleet(3) as servers:
+            engine = remote_engine(
+                servers, slots=6, shards=2, chunk_size=128, fault_plan=plan
+            )
+            ingest_all(engine, packets[:half])
+            execute_migration(
+                engine,
+                MigrationPlan.split(engine.layout, shard=0, reason="chaos"),
+                backoff=FAST,
+            )
+            ingest_all(engine, packets[half:])
+            assert dict(engine.detections()) == expected
+            assert all(env.exact for env in engine.envelope())
+            engine.close()
+
+    def test_growth_past_endpoints_rolls_back(self):
+        packets = make_packets(count=1000)
+        with fleet(2) as servers:
+            engine = remote_engine(servers, slots=4, chunk_size=256)
+            ingest_all(engine, packets)
+            from repro.service import MigrationError
+
+            with pytest.raises(MigrationError):
+                execute_migration(
+                    engine,
+                    MigrationPlan.split(
+                        engine.layout, shard=0, reason="no-spare"
+                    ),
+                    attempts=1,
+                    backoff=FAST,
+                )
+            assert engine.layout.shards == 2  # rolled back
+            engine.close()
+
+
+# ------------------------------------------------------------------ CLI
+
+
+class TestWorkerCLI:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        """A syntactically-valid trace path: serve's engine-option
+        validation fires before the file is ever opened."""
+        return str(tmp_path / "stream.csv")
+
+    def test_serve_remote_requires_workers(self, trace):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--trace", trace, "--engine", "remote"])
+
+    def test_workers_requires_remote_engine(self, trace):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="remote"):
+            main(["serve", "--trace", trace, "--workers", "127.0.0.1:1"])
+
+    def test_workers_must_cover_shards(self, trace):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="shards"):
+            main([
+                "serve", "--trace", trace, "--engine", "remote",
+                "--workers", "127.0.0.1:1", "--shards", "2",
+            ])
+
+    def test_terminate_grace_validation(self, trace):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="multiprocess"):
+            main(["serve", "--trace", trace, "--terminate-grace", "3"])
+        with pytest.raises(SystemExit, match="positive"):
+            main([
+                "serve", "--trace", trace, "--engine", "multiprocess",
+                "--terminate-grace", "0",
+            ])
+
+    def test_worker_requires_listen(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--listen"):
+            main(["worker"])
+
+    def test_worker_process_drains_with_exit_code(self):
+        """End to end through the console entry point: spawn ``eardet
+        worker --listen``, drive it over TCP, stop with drain, and check
+        the exit-code contract from docs/FAULT_TOLERANCE.md."""
+        repo = Path(__file__).resolve().parent.parent
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.cli import main; "
+                f"sys.exit(main(['worker', '--listen', '127.0.0.1:{port}']))",
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            conn = ShardConnection(0, "127.0.0.1", port, backoff=FAST)
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    conn.connect(hello_extra={"session": 1})
+                    break
+                except TransportError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            seq = conn.send(FT_CONTROL, {"op": "stop", "drain": True})
+            reply = conn.wait_reply(seq, 10.0)
+            assert reply["op"] == "done"
+            conn.close_socket()
+            assert process.wait(timeout=10.0) == DRAIN_EXIT_CODE
+            output = process.stdout.read()
+            assert "listening" in output
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
