@@ -54,6 +54,7 @@ OVERLOAD_RESULTS_PATH = REPO_ROOT / "BENCH_overload.json"
 PIPELINE_RESULTS_PATH = REPO_ROOT / "BENCH_pipeline.json"
 RESHARD_RESULTS_PATH = REPO_ROOT / "BENCH_reshard.json"
 NET_RESULTS_PATH = REPO_ROOT / "BENCH_net.json"
+FORENSICS_RESULTS_PATH = REPO_ROOT / "BENCH_forensics.json"
 
 #: Same configuration family the tier-1 service tests use: small enough
 #: to evict, large enough to detect.
@@ -508,6 +509,131 @@ def measure_net(packets: list, repeats: int) -> dict:
     }
 
 
+def make_sparse_packets(count: int, seed: int = 7) -> list:
+    """An incident-*sparse* stream for the forensics benchmark: many
+    light flows, three heavy hitters, time steps long enough that the
+    light flows stay under the large-flow thresholds.  Capture cost
+    scales with incident count, so the overhead budget is measured on a
+    stream with a deployment-shaped incident rate (a handful of large
+    flows), not on :func:`make_packets` where *every* flow trips the
+    detector and the number degenerates into bundle-write throughput."""
+    rng = random.Random(seed)
+    packets = []
+    t = 0
+    for i in range(count):
+        t += rng.randint(5000, 20000)
+        if rng.random() < 0.06:
+            fid = f"h{i % 3}"
+        else:
+            fid = f"f{rng.randrange(1000)}"
+        packets.append(
+            Packet(time=t, size=rng.choice((64, 576, 1518)), fid=fid)
+        )
+    return packets
+
+
+def measure_forensics(packets: list, repeats: int) -> dict:
+    """Capture-layer overhead of an armed forensics lab.
+
+    The forensics contract (docs/FORENSICS.md) is that explainability is
+    cheap: the hot path pays one ring append per batch and a cursor diff
+    per scan, with bundle serialization only when an incident fires.
+    Both runs checkpoint identically at a bounded interval (checkpoints
+    are what re-baseline the capture window, so the interval caps the
+    trace slice a bundle serializes); detections are asserted
+    bit-identical before any number is reported.  The stream is the
+    incident-sparse one (:func:`make_sparse_packets`) — ``packets`` only
+    sets the length.
+    """
+    import tempfile
+
+    from repro.forensics import ForensicsLab
+
+    packets = make_sparse_packets(len(packets))
+    # The true capture cost is a few ms per run, well inside this
+    # container's run-to-run noise at 2 repeats — raise the floor so
+    # best-of converges for both arms before the delta is trusted.
+    repeats = max(repeats, 5)
+
+    def run(forensic: bool):
+        with tempfile.TemporaryDirectory() as tmp:
+            lab = (
+                ForensicsLab(Path(tmp) / "forensics") if forensic else None
+            )
+            service = DetectionService(
+                CONFIG, shards=2,
+                checkpoint_path=str(Path(tmp) / "svc.ckpt"),
+                checkpoint_every=2_000,
+                forensics=lab,
+            )
+            try:
+                started = time.perf_counter()
+                report = service.serve(StreamSource(packets))
+                elapsed = time.perf_counter() - started
+            finally:
+                service.shutdown()
+                if lab is not None:
+                    lab.close()
+            detections = tuple(sorted(report.detections.items()))
+            stats = (
+                (
+                    lab.store.total,
+                    lab.capture.bundles_written,
+                    lab.capture.capture_ns,
+                )
+                if lab is not None
+                else (0, 0, 0)
+            )
+            return elapsed, detections, stats
+
+    best = {"service-off": None, "service-forensics": None}
+    detections_off = detections_on = None
+    incidents = bundles = 0
+    capture_ns = 0
+    for _ in range(repeats):
+        elapsed, detections_off, _stats = run(forensic=False)
+        if best["service-off"] is None or elapsed < best["service-off"]:
+            best["service-off"] = elapsed
+
+        elapsed, detections_on, (incidents, bundles, run_capture_ns) = run(
+            forensic=True
+        )
+        if (
+            best["service-forensics"] is None
+            or elapsed < best["service-forensics"]
+        ):
+            best["service-forensics"] = elapsed
+            capture_ns = run_capture_ns
+
+    if detections_on != detections_off:
+        raise AssertionError(
+            "the forensics lab perturbed detection: "
+            f"{len(detections_off or ())} flows without vs "
+            f"{len(detections_on or ())} with forensics"
+        )
+    count = len(packets)
+    pps = {mode: count / elapsed for mode, elapsed in best.items()}
+    overhead_pct = 100.0 * (
+        1.0 - pps["service-forensics"] / pps["service-off"]
+    )
+    # Direct measure: wall time inside write_bundle over the best armed
+    # run — what the 3% budget is actually about, immune to the end-to-
+    # end pps jitter (which can even go negative on a noisy host).
+    capture_overhead_pct = 100.0 * (
+        (capture_ns / 1e9) / best["service-forensics"]
+    )
+    return {
+        "packets": count,
+        "repeats": repeats,
+        "pps": {mode: round(value, 1) for mode, value in pps.items()},
+        "overhead_pct": round(overhead_pct, 3),
+        "capture_overhead_pct": round(capture_overhead_pct, 3),
+        "detected_flows": len(detections_off or ()),
+        "incidents": incidents,
+        "bundles": bundles,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -557,6 +683,17 @@ def main(argv=None) -> int:
         "bit-identical, including under a masked partition)",
     )
     parser.add_argument(
+        "--forensics", action="store_true",
+        help="measure the armed forensics lab instead of telemetry and "
+        "append to BENCH_forensics.json (incident capture + ring cost; "
+        "detections asserted bit-identical to the unarmed service)",
+    )
+    parser.add_argument(
+        "--max-forensics-overhead-pct", type=float, default=3.0,
+        help="fail (exit 1) when forensics capture overhead exceeds this "
+        "(default 3 — explainability must stay cheap)",
+    )
+    parser.add_argument(
         "--max-net-overhead-pct", type=float, default=90.0,
         help="fail (exit 1) when the remote engine costs more than this "
         "versus the in-process engine (default 90 — frame encoding plus "
@@ -592,6 +729,8 @@ def main(argv=None) -> int:
         point = measure_reshard(packets, repeats)
     elif args.net:
         point = measure_net(packets, repeats)
+    elif args.forensics:
+        point = measure_forensics(packets, repeats)
     else:
         point = measure(packets, repeats)
     point["preset"] = "smoke" if args.smoke else "full"
@@ -640,6 +779,17 @@ def main(argv=None) -> int:
                     "percentiles)"
                 ),
             )
+        elif args.forensics:
+            append_point(
+                point,
+                path=FORENSICS_RESULTS_PATH,
+                description=(
+                    "forensics trajectory; one point per run of "
+                    "benchmarks/trajectory.py --forensics (incident "
+                    "capture + trace-ring overhead of an armed "
+                    "ForensicsLab)"
+                ),
+            )
         else:
             append_point(point)
 
@@ -674,6 +824,17 @@ def main(argv=None) -> int:
             f"({point['overhead_pct']:+.2f}%) | reconnect pause "
             f"p50 {pauses['p50'] / 1e6:.2f} ms / p95 "
             f"{pauses['p95'] / 1e6:.2f} ms ({pauses['samples']} samples) | "
+            f"{point['detected_flows']} flows (bit-identical)"
+        )
+    elif args.forensics:
+        pps = point["pps"]
+        print(
+            f"trajectory: {count} packets x{repeats} | "
+            f"service off {pps['service-off']:,.0f} pps | "
+            f"forensics {pps['service-forensics']:,.0f} pps | "
+            f"overhead {point['overhead_pct']:+.2f}% "
+            f"(capture {point['capture_overhead_pct']:.2f}%) | "
+            f"{point['incidents']} incidents, {point['bundles']} bundles | "
             f"{point['detected_flows']} flows (bit-identical)"
         )
     elif args.reshard:
@@ -738,6 +899,28 @@ def main(argv=None) -> int:
                     f"budget {args.max_pipeline_overhead_pct:.1f}%",
                     file=sys.stderr,
                 )
+            return 1
+        return 0
+    if args.forensics:
+        # The budget gates the *direct* capture measurement (wall time
+        # inside write_bundle); the end-to-end pps delta is too jittery
+        # on shared CI hosts to gate at 3%, so it only backstops gross
+        # hot-path regressions (ring appends, scans) at 5x the budget.
+        if point["capture_overhead_pct"] > args.max_forensics_overhead_pct:
+            print(
+                f"FAIL: forensics capture overhead "
+                f"{point['capture_overhead_pct']:.2f}% exceeds budget "
+                f"{args.max_forensics_overhead_pct:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+        if point["overhead_pct"] > 5 * args.max_forensics_overhead_pct:
+            print(
+                f"FAIL: end-to-end forensics overhead "
+                f"{point['overhead_pct']:.2f}% exceeds the noise backstop "
+                f"{5 * args.max_forensics_overhead_pct:.1f}%",
+                file=sys.stderr,
+            )
             return 1
         return 0
     if point["overhead_pct"] > args.max_overhead_pct:

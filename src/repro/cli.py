@@ -125,7 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "list", "all", "detect", "detectors", "analyze", "simulate",
-            "serve", "worker", "checkpoint", "metrics", *EXPERIMENTS,
+            "serve", "worker", "checkpoint", "metrics", "replay",
+            "incidents", *EXPERIMENTS,
         ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
@@ -134,7 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'simulate' for the closed-loop mitigation pipeline, 'serve' "
             "for the streaming service, 'worker' for a remote shard "
             "server (--listen), 'checkpoint' for checkpoint tooling, "
-            "'metrics' to fetch a running service's metrics endpoint)"
+            "'metrics' to fetch a running service's metrics endpoint, "
+            "'replay' to re-execute an incident bundle deterministically, "
+            "'incidents' to list/show/export the forensic incident log)"
         ),
     )
     parser.add_argument(
@@ -506,6 +509,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariant-every", type=int, default=None, metavar="N",
         help="assert the detector's algorithm-state invariants every N "
         "packets; violations abort with forensics (detect, serve)",
+    )
+
+    forensics = parser.add_argument_group(
+        "forensics options",
+        description=(
+            "Incident forensics and deterministic replay "
+            "(see docs/FORENSICS.md).  --forensics-dir arms the lab on "
+            "'serve': every detection, watcher verdict, overload "
+            "transition, migration, recovery and violation is appended "
+            "to an append-only CRC'd incident log, and the replayable "
+            "classes get a minimal replay bundle.  'replay "
+            "<bundle-or-id>' re-executes one bundle bit-identically; "
+            "'incidents list|show|export' reads the log back."
+        ),
+    )
+    forensics.add_argument(
+        "--forensics-dir", default=None, metavar="DIR",
+        help="arm the forensics lab: incident log at DIR/incidents.jsonl, "
+        "replay bundles under DIR/bundles (serve, replay, incidents)",
+    )
+    forensics.add_argument(
+        "--forensics-ring-capacity", type=int, default=None, metavar="N",
+        help="trace packets the capture ring retains between checkpoint "
+        "baselines; incidents whose window outgrows it are marked "
+        "truncated and refuse replay (default 65536)",
+    )
+    forensics.add_argument(
+        "--step", action="store_true",
+        help="replay: additionally dump per-packet counter/bucket deltas "
+        "(diagnostic; implies a packet-at-a-time re-execution)",
+    )
+    forensics.add_argument(
+        "--id", type=int, default=None, metavar="ID", dest="incident_id",
+        help="incident id ('incidents show'; also resolves 'replay <id>' "
+        "when given instead of a positional id)",
+    )
+    forensics.add_argument(
+        "--html", action="store_true",
+        help="incidents export: render the zero-dependency HTML timeline "
+        "viewer instead of JSON",
+    )
+    forensics.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="incidents export: output file (default stdout for JSON, "
+        "incidents.html next to the log for --html)",
     )
 
     sim = parser.add_argument_group("simulate options")
@@ -1010,6 +1058,9 @@ def run_serve(args: argparse.Namespace) -> int:
             f"{args.shards} shards"
         )
     engine_options = _engine_options(args)
+    forensics = _forensics_lab(args)
+    if forensics is not None and not args.json:
+        print(f"forensics: incident log at {forensics.store.path}")
 
     if args.supervise:
         if args.resume:
@@ -1040,6 +1091,7 @@ def run_serve(args: argparse.Namespace) -> int:
             slots=args.slots,
             coordinator=coordinator,
             engine_options=engine_options,
+            forensics=forensics,
         )
         if not args.json:
             print(config.describe())
@@ -1059,6 +1111,8 @@ def run_serve(args: argparse.Namespace) -> int:
             _restore_drain_handlers(handlers)
             supervisor.shutdown(drain=supervisor.drain_requested)
             _finish_telemetry(args, telemetry, metrics_server)
+            if forensics is not None:
+                forensics.close()
         return _emit_report(args, report)
 
     if args.resume:
@@ -1081,6 +1135,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 watcher=watcher,
                 coordinator=coordinator,
                 engine_options=engine_options,
+                forensics=forensics,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -1108,6 +1163,7 @@ def run_serve(args: argparse.Namespace) -> int:
             slots=args.slots,
             coordinator=coordinator,
             engine_options=engine_options,
+            forensics=forensics,
         )
     if not args.json:
         print(service.config.describe())
@@ -1125,6 +1181,8 @@ def run_serve(args: argparse.Namespace) -> int:
         _restore_drain_handlers(handlers)
         service.shutdown(drain=service.drain_requested)
         _finish_telemetry(args, telemetry, metrics_server)
+        if forensics is not None:
+            forensics.close()
     return _emit_report(args, report)
 
 
@@ -1296,6 +1354,204 @@ def run_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _forensics_lab(args: argparse.Namespace):
+    """Build the ``serve`` forensics lab from ``--forensics-dir``, or
+    None when forensics is not armed."""
+    if args.forensics_dir is None:
+        if args.forensics_ring_capacity is not None:
+            raise SystemExit(
+                "--forensics-ring-capacity requires --forensics-dir"
+            )
+        return None
+    from .forensics import DEFAULT_RING_CAPACITY, ForensicsLab
+
+    return ForensicsLab(
+        args.forensics_dir,
+        ring_capacity=args.forensics_ring_capacity or DEFAULT_RING_CAPACITY,
+    )
+
+
+def _load_incident_log(args: argparse.Namespace):
+    """Read and CRC-verify the incident log named by --forensics-dir."""
+    from .forensics import IncidentLogCorruptError, IncidentStore
+
+    if args.forensics_dir is None:
+        raise SystemExit(
+            f"{args.experiment} requires --forensics-dir (the directory "
+            "a 'serve --forensics-dir' run wrote)"
+        )
+    path = Path(args.forensics_dir) / "incidents.jsonl"
+    if not path.exists():
+        raise SystemExit(f"no incident log at {path}")
+    try:
+        return path, IncidentStore.load(path)
+    except IncidentLogCorruptError as error:
+        raise SystemExit(f"incident log damaged: {error}")
+
+
+def run_replay(args: argparse.Namespace) -> int:
+    """The ``replay`` command: deterministically re-execute one incident
+    bundle and verify the detection re-derives bit-identically.
+
+    The positional argument is either a bundle file path or a numeric
+    incident id (resolved against ``--forensics-dir``).  Exit code 0
+    means the replay was exact; 1 means it diverged; a truncated or
+    incomplete bundle refuses loudly with a typed error.
+    """
+    from .forensics import replay_bundle
+    from .service import CheckpointError, ReplayIncompleteError
+
+    target = args.subaction
+    if target is None and args.incident_id is not None:
+        target = str(args.incident_id)
+    if target is None:
+        raise SystemExit("replay requires a bundle path or incident id")
+    if target.isdigit() and not Path(target).exists():
+        incident_id = int(target)
+        if args.forensics_dir is None:
+            raise SystemExit(
+                "replay by incident id requires --forensics-dir"
+            )
+        bundle = (
+            Path(args.forensics_dir)
+            / "bundles"
+            / f"incident-{incident_id:06d}.bundle"
+        )
+        if not bundle.exists():
+            raise SystemExit(f"no bundle for incident {incident_id} "
+                             f"({bundle} does not exist)")
+        target = str(bundle)
+    try:
+        result = replay_bundle(target, step=args.step)
+    except ReplayIncompleteError as error:
+        raise SystemExit(f"replay refused: {error}")
+    except (CheckpointError, FileNotFoundError) as error:
+        raise SystemExit(f"cannot replay {target}: {error}")
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+        return 0 if result.exact else 1
+    verdict = "EXACT" if result.exact else "DIVERGED"
+    print(f"replay: {result.incident_class} bundle {result.bundle_path}")
+    print(
+        f"  {verdict}: expected {result.expected}, observed "
+        f"{result.observed}"
+    )
+    print(
+        f"  replayed {result.packets_replayed} packets, re-injected "
+        f"{result.skips_injected} positional losses"
+    )
+    if result.steps is not None:
+        for step in result.steps:
+            deltas = ", ".join(
+                f"{fid}: {before} -> {after}"
+                for fid, (before, after) in sorted(
+                    step.counter_deltas.items()
+                )
+            )
+            line = (
+                f"  [{step.index:6d}] t={step.packet[0]} "
+                f"size={step.packet[1]} fid={step.packet[2]} "
+                f"slot={step.slot} shard={step.shard}"
+            )
+            if deltas:
+                line += f" | {deltas}"
+            for fid, time_ns in step.detections.items():
+                line += f" | DETECTED {fid} at {time_ns} ns"
+            print(line)
+    return 0 if result.exact else 1
+
+
+def run_incidents(args: argparse.Namespace) -> int:
+    """The ``incidents`` command: ``list`` (default) tabulates the log,
+    ``show --id N`` dumps one record, ``export`` writes JSON (or the
+    static HTML timeline with ``--html``)."""
+    subaction = args.subaction or "list"
+    if subaction not in ("list", "show", "export"):
+        raise SystemExit(
+            f"unknown incidents sub-action {subaction!r}; expected "
+            "'list', 'show' or 'export'"
+        )
+    path, records = _load_incident_log(args)
+
+    if subaction == "show":
+        if args.incident_id is None:
+            raise SystemExit("incidents show requires --id")
+        for record in records:
+            if record.id == args.incident_id:
+                import json
+
+                print(json.dumps(record.as_dict(), indent=2, default=str))
+                return 0
+        raise SystemExit(
+            f"no incident {args.incident_id} in {path} "
+            f"({len(records)} records)"
+        )
+
+    if subaction == "export":
+        if args.html:
+            from .forensics import render_html
+
+            body = render_html(records)
+            out = args.out or str(Path(path).parent / "incidents.html")
+        else:
+            import json
+
+            body = (
+                json.dumps(
+                    [record.as_dict() for record in records], indent=2,
+                    default=str,
+                )
+                + "\n"
+            )
+            out = args.out
+        if out is None:
+            print(body, end="")
+            return 0
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        print(f"wrote {len(records)} incidents to {out}")
+        return 0
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                [record.as_dict() for record in records], indent=2,
+                default=str,
+            )
+        )
+        return 0
+    table = Table(
+        title=f"Incident log: {path} ({len(records)} records)",
+        headers=["id", "class", "severity", "packet", "shard", "message"],
+    )
+    for record in records:
+        table.add_row(
+            record.id,
+            record.incident_class,
+            record.severity,
+            "" if record.packet_index is None else record.packet_index,
+            "" if record.shard is None else record.shard,
+            record.message,
+        )
+    bundles = sum(1 for record in records if record.bundle)
+    table.add_note(
+        f"{bundles} incident(s) carry replay bundles; "
+        "re-execute one with: eardet replay <id> --forensics-dir "
+        f"{Path(path).parent}"
+    )
+    try:
+        print(table.render())
+    except BrokenPipeError:
+        # `eardet incidents list | head` closing the pipe early is not
+        # an error worth a traceback.
+        pass
+    return 0
+
+
 def run_simulate(args: argparse.Namespace) -> int:
     """The ``simulate`` command: the Shrew-vs-TCP mitigation pipeline with
     CLI-tunable parameters (see repro.simulation)."""
@@ -1392,6 +1648,10 @@ def main(argv=None) -> int:
         return run_checkpoint(args)
     if args.experiment == "metrics":
         return run_metrics(args)
+    if args.experiment == "replay":
+        return run_replay(args)
+    if args.experiment == "incidents":
+        return run_incidents(args)
     params = resolve_params(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

@@ -1,0 +1,59 @@
+"""Incident forensics and deterministic replay.
+
+Every detection the service makes is *explainable*: the
+:class:`ForensicsLab` writes each forensic event through one append-only
+CRC-protected JSONL :class:`IncidentStore`, snapshots a minimal replay
+bundle (:class:`CaptureLayer`) for the replayable classes, and
+:func:`replay_bundle` re-executes a bundle deterministically to
+re-derive the detection bit-identically — or refuses with a typed
+:class:`~repro.service.errors.ReplayIncompleteError` when the capture
+window was truncated.  ``eardet incidents export --html`` renders the
+log with :func:`render_html`.  See ``docs/FORENSICS.md``.
+"""
+
+from .capture import (
+    BUNDLE_FORMAT,
+    BUNDLE_KIND,
+    DEFAULT_RING_CAPACITY,
+    REPLAYABLE_LOSS_REASONS,
+    CaptureLayer,
+)
+from .incidents import (
+    DEFAULT_RETAIN,
+    INCIDENT_CLASSES,
+    INCIDENT_FORMAT,
+    SEVERITIES,
+    Incident,
+    IncidentLogCorruptError,
+    IncidentStore,
+    decode_line,
+    encode_line,
+)
+from .lab import BUNDLED_CLASSES, ForensicsLab
+from .replay import ReplayResult, StepRecord, load_bundle, replay_bundle
+from .viewer import CLASS_COLORS, render_html
+
+__all__ = [
+    "BUNDLE_FORMAT",
+    "BUNDLE_KIND",
+    "BUNDLED_CLASSES",
+    "CLASS_COLORS",
+    "CaptureLayer",
+    "DEFAULT_RETAIN",
+    "DEFAULT_RING_CAPACITY",
+    "ForensicsLab",
+    "INCIDENT_CLASSES",
+    "INCIDENT_FORMAT",
+    "Incident",
+    "IncidentLogCorruptError",
+    "IncidentStore",
+    "REPLAYABLE_LOSS_REASONS",
+    "ReplayResult",
+    "SEVERITIES",
+    "StepRecord",
+    "decode_line",
+    "encode_line",
+    "load_bundle",
+    "render_html",
+    "replay_bundle",
+]

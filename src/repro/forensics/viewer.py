@@ -1,0 +1,168 @@
+"""Zero-dependency static HTML timeline for an incident log.
+
+``eardet incidents export --html`` renders the whole CRC-verified log
+into one self-contained file: the records ride as embedded JSON and a
+small vanilla-JS block draws the timeline, colors incidents by class,
+and filters by severity/class.  No external assets, no network fetches,
+no build step — the file opens from disk anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from .incidents import INCIDENT_CLASSES, SEVERITIES, Incident
+
+#: Stable class → color assignments (unknown classes fall back to grey).
+CLASS_COLORS = {
+    "detection": "#d62728",
+    "watcher-verdict": "#ff7f0e",
+    "watcher-promotion": "#ffbb78",
+    "invariant-violation": "#8c1515",
+    "guard-rejection": "#9467bd",
+    "exactness-void": "#e377c2",
+    "overload-transition": "#bcbd22",
+    "migration": "#2ca02c",
+    "migration-rollback": "#98df8a",
+    "net-outage": "#17becf",
+    "recovery": "#1f77b4",
+    "restart": "#aec7e8",
+    "source-failure": "#7f7f7f",
+}
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem;
+         background: #fafafa; color: #222; }
+  h1 { font-size: 1.3rem; }
+  .controls { margin: .75rem 0; display: flex; gap: .5rem;
+              flex-wrap: wrap; align-items: center; }
+  .controls label { margin-right: .25rem; }
+  .legend span { display: inline-block; padding: .1rem .5rem;
+                 border-radius: .75rem; color: #fff; margin: 0 .2rem .2rem 0;
+                 font-size: .8rem; cursor: pointer; opacity: .9; }
+  .legend span.off { opacity: .25; }
+  table { border-collapse: collapse; width: 100%; background: #fff; }
+  th, td { border: 1px solid #ddd; padding: .35rem .6rem;
+           text-align: left; vertical-align: top; }
+  th { background: #f0f0f0; position: sticky; top: 0; }
+  td.id { text-align: right; font-variant-numeric: tabular-nums; }
+  .class-pill { display: inline-block; padding: .05rem .45rem;
+                border-radius: .7rem; color: #fff; font-size: .8rem; }
+  .sev-critical { font-weight: 700; color: #8c1515; }
+  .sev-error { font-weight: 600; color: #b3261e; }
+  .sev-warning { color: #8a6d00; }
+  .sev-info { color: #555; }
+  details pre { background: #f6f6f6; padding: .4rem; overflow-x: auto; }
+  .bundle { font-size: .8rem; color: #1f77b4; word-break: break-all; }
+  .count { color: #666; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<div class="controls">
+  <label for="sev">Min severity:</label>
+  <select id="sev">__SEVERITY_OPTIONS__</select>
+  <span class="count" id="count"></span>
+</div>
+<div class="legend" id="legend"></div>
+<table>
+  <thead><tr>
+    <th>id</th><th>class</th><th>severity</th><th>wall time</th>
+    <th>stream time (ns)</th><th>shard</th><th>slot</th>
+    <th>message</th><th>detail</th>
+  </tr></thead>
+  <tbody id="rows"></tbody>
+</table>
+<script>
+const INCIDENTS = __DATA__;
+const COLORS = __COLORS__;
+const SEVERITIES = __SEVERITIES__;
+const hidden = new Set();
+const legend = document.getElementById('legend');
+const classes = [...new Set(INCIDENTS.map(r => r['class']))];
+for (const cls of classes) {
+  const pill = document.createElement('span');
+  pill.textContent = cls;
+  pill.style.background = COLORS[cls] || '#7f7f7f';
+  pill.onclick = () => {
+    hidden.has(cls) ? hidden.delete(cls) : hidden.add(cls);
+    pill.classList.toggle('off');
+    render();
+  };
+  legend.appendChild(pill);
+}
+function wall(ns) {
+  if (!ns) return '';
+  return new Date(ns / 1e6).toISOString();
+}
+function render() {
+  const min = SEVERITIES.indexOf(document.getElementById('sev').value);
+  const body = document.getElementById('rows');
+  body.innerHTML = '';
+  let shown = 0;
+  for (const r of INCIDENTS) {
+    if (SEVERITIES.indexOf(r.severity) < min) continue;
+    if (hidden.has(r['class'])) continue;
+    shown += 1;
+    const tr = document.createElement('tr');
+    const detail = {payload: r.payload};
+    if (r.bundle) detail.bundle = r.bundle;
+    tr.innerHTML =
+      '<td class="id">' + r.id + '</td>' +
+      '<td><span class="class-pill" style="background:' +
+        (COLORS[r['class']] || '#7f7f7f') + '">' + r['class'] +
+        '</span></td>' +
+      '<td class="sev-' + r.severity + '">' + r.severity + '</td>' +
+      '<td>' + wall(r.wall_time_ns) + '</td>' +
+      '<td class="id">' +
+        (r.stream_time_ns === null ? '' : r.stream_time_ns) + '</td>' +
+      '<td class="id">' + (r.shard === null ? '' : r.shard) + '</td>' +
+      '<td class="id">' + (r.slot === null ? '' : r.slot) + '</td>' +
+      '<td></td>' +
+      '<td><details><summary>payload</summary><pre></pre></details>' +
+      (r.bundle ? '<div class="bundle"></div>' : '') + '</td>';
+    tr.children[7].textContent = r.message;
+    tr.querySelector('pre').textContent = JSON.stringify(detail, null, 2);
+    if (r.bundle) tr.querySelector('.bundle').textContent = r.bundle;
+    body.appendChild(tr);
+  }
+  document.getElementById('count').textContent =
+    shown + ' / ' + INCIDENTS.length + ' incidents';
+}
+document.getElementById('sev').onchange = render;
+render();
+</script>
+</body>
+</html>
+"""
+
+
+def render_html(
+    records: Iterable[Incident], title: str = "EARDet incident timeline"
+) -> str:
+    """One self-contained HTML page for these incident records."""
+    data: List[dict] = [record.as_dict() for record in records]
+    # </script> inside a message would terminate the embedded block;
+    # escaping the slash keeps the JSON inert inside <script>.
+    blob = json.dumps(data).replace("</", "<\\/")
+    options = "".join(
+        f'<option value="{sev}"{" selected" if sev == "info" else ""}>'
+        f"{sev}</option>"
+        for sev in SEVERITIES
+    )
+    page = _TEMPLATE
+    page = page.replace("__TITLE__", title)
+    page = page.replace("__SEVERITY_OPTIONS__", options)
+    page = page.replace("__DATA__", blob)
+    page = page.replace("__COLORS__", json.dumps(CLASS_COLORS))
+    page = page.replace("__SEVERITIES__", json.dumps(list(SEVERITIES)))
+    return page
+
+
+__all__ = ["CLASS_COLORS", "render_html", "INCIDENT_CLASSES"]

@@ -31,9 +31,13 @@ CRC-protected frames, monotonic sequences, cumulative acks, an
 unacked-frame replay ring — so a :class:`RemoteEngine` coordinator can
 drive ``eardet worker --listen`` shard servers on other hosts with
 bit-identical detections; outages are masked exactly within a bounded
-window and accounted in the envelope beyond it.  See
-``docs/SERVICE.md``, ``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md``,
-``docs/OVERLOAD.md`` and ``docs/DETECTORS.md``.
+window and accounted in the envelope beyond it.  Incident forensics —
+the append-only CRC'd incident log, replay-bundle capture, and
+deterministic bit-identical re-execution of any detection — lives in
+:mod:`repro.forensics` (``--forensics-dir``, ``eardet replay``,
+``eardet incidents``).  See ``docs/SERVICE.md``,
+``docs/FAULT_TOLERANCE.md``, ``docs/GUARDRAILS.md``,
+``docs/OVERLOAD.md``, ``docs/DETECTORS.md`` and ``docs/FORENSICS.md``.
 """
 
 from .backoff import DEFAULT_BACKOFF, BackoffPolicy
@@ -54,6 +58,7 @@ from .errors import (
     PermanentSourceError,
     QueueStallError,
     RecoverableServiceError,
+    ReplayIncompleteError,
     RestartBudgetExceededError,
     ServiceError,
     ShardCrashError,
@@ -160,6 +165,7 @@ __all__ = [
     "QueueStallError",
     "RecoverableServiceError",
     "RemoteEngine",
+    "ReplayIncompleteError",
     "RestartBudgetExceededError",
     "RestartPolicy",
     "RetryingSource",

@@ -107,14 +107,24 @@ class CheckpointCorruptError(CheckpointError):
 # -- varints ---------------------------------------------------------------
 
 
+#: Single-byte varint encodings (values 0..127): the overwhelmingly
+#: common case in snapshots, written with one allocation-free lookup.
+_VARINT1 = tuple(bytes((v,)) for v in range(0x80))
+
+
 def _write_uvarint(out: io.BytesIO, value: int) -> None:
+    if value < 0x80:
+        out.write(_VARINT1[value])
+        return
+    buf = bytearray()
     while True:
         byte = value & 0x7F
         value >>= 7
         if value:
-            out.write(bytes((byte | 0x80,)))
+            buf.append(byte | 0x80)
         else:
-            out.write(bytes((byte,)))
+            buf.append(byte)
+            out.write(buf)
             return
 
 
@@ -147,44 +157,66 @@ def _uint_to_int(value: int) -> int:
 # -- value encoding --------------------------------------------------------
 
 
+# Pre-built one-byte tags (and tag+varint pairs for small ints): the
+# encoder is on the checkpoint hot path and, via replay bundles, on the
+# forensic capture path; per-call ``bytes((tag,))`` allocations were its
+# dominant cost.  The wire format is unchanged.
+_B_NONE = bytes((_T_NONE,))
+_B_TRUE = bytes((_T_TRUE,))
+_B_FALSE = bytes((_T_FALSE,))
+_B_INT = bytes((_T_INT,))
+_B_FLOAT = bytes((_T_FLOAT,))
+_B_STR = bytes((_T_STR,))
+_B_BYTES = bytes((_T_BYTES,))
+_B_FIVETUPLE = bytes((_T_FIVETUPLE,))
+_B_TUPLE = bytes((_T_TUPLE,))
+_B_LIST = bytes((_T_LIST,))
+_B_DICT = bytes((_T_DICT,))
+_B_INT_SMALL = tuple(bytes((_T_INT, v)) for v in range(0x80))
+
+
 def _encode(out: io.BytesIO, value: Any) -> None:
     if value is None:
-        out.write(bytes((_T_NONE,)))
+        out.write(_B_NONE)
     elif value is True:
-        out.write(bytes((_T_TRUE,)))
+        out.write(_B_TRUE)
     elif value is False:
-        out.write(bytes((_T_FALSE,)))
+        out.write(_B_FALSE)
     elif isinstance(value, int):
-        out.write(bytes((_T_INT,)))
-        _write_uvarint(out, _int_to_uint(value))
+        folded = value << 1 if value >= 0 else ((-value) << 1) | 1
+        if folded < 0x80:
+            out.write(_B_INT_SMALL[folded])
+        else:
+            out.write(_B_INT)
+            _write_uvarint(out, folded)
     elif isinstance(value, float):
-        out.write(bytes((_T_FLOAT,)))
+        out.write(_B_FLOAT)
         out.write(struct.pack("<d", value))
     elif isinstance(value, str):
         encoded = value.encode("utf-8")
-        out.write(bytes((_T_STR,)))
+        out.write(_B_STR)
         _write_uvarint(out, len(encoded))
         out.write(encoded)
     elif isinstance(value, bytes):
-        out.write(bytes((_T_BYTES,)))
+        out.write(_B_BYTES)
         _write_uvarint(out, len(value))
         out.write(value)
     elif isinstance(value, FiveTuple):
-        out.write(bytes((_T_FIVETUPLE,)))
+        out.write(_B_FIVETUPLE)
         for field in (value.src, value.dst, value.sport, value.dport, value.proto):
             _write_uvarint(out, _int_to_uint(field))
     elif isinstance(value, tuple):
-        out.write(bytes((_T_TUPLE,)))
+        out.write(_B_TUPLE)
         _write_uvarint(out, len(value))
         for item in value:
             _encode(out, item)
     elif isinstance(value, list):
-        out.write(bytes((_T_LIST,)))
+        out.write(_B_LIST)
         _write_uvarint(out, len(value))
         for item in value:
             _encode(out, item)
     elif isinstance(value, dict):
-        out.write(bytes((_T_DICT,)))
+        out.write(_B_DICT)
         _write_uvarint(out, len(value))
         for key, item in value.items():
             _encode(out, key)
@@ -321,6 +353,7 @@ def write_checkpoint(
     retry=None,
     attempts: int = 3,
     sleep=None,
+    durable: bool = True,
 ) -> int:
     """Atomically write a checkpoint dict; returns bytes written.
 
@@ -334,6 +367,14 @@ def write_checkpoint(
     error propagates.  With ``retry=None`` (the default) a failure
     propagates immediately — the historical behaviour.  ``sleep`` is
     injectable for tests.
+
+    ``durable=False`` skips the file and directory fsyncs while keeping
+    the atomic rename: the old-or-new invariant against *process* death
+    still holds, but the new file can be lost to a power failure.
+    Replay-bundle capture uses this — a torn or missing bundle fails
+    loudly on read (the container CRC), so durability there is a latency
+    trade, not a correctness one; recovery checkpoints must keep the
+    default.
     """
     path = Path(path)
     data = dumps(payload)
@@ -351,8 +392,9 @@ def write_checkpoint(
             try:
                 with open(tmp, "wb") as handle:
                     handle.write(data)
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                    if durable:
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 # Never leave a torn temp file behind — neither on an
@@ -365,7 +407,8 @@ def write_checkpoint(
                 except OSError:
                     pass
                 raise
-            _fsync_directory(path.parent)
+            if durable:
+                _fsync_directory(path.parent)
             return len(data)
         except OSError:
             if retry is None or attempt >= attempts - 1:

@@ -354,7 +354,7 @@ class InProcessEngine:
             if plan is not None:
                 local = routed[index]
                 if plan.should_drop(index, local):
-                    self._record_loss(index, packet, "injected-drop")
+                    self._record_loss(index, packet, "injected-drop", slot=slot)
                     continue
                 stall = plan.take_stall(index, local)
                 if stall is not None:
@@ -371,7 +371,7 @@ class InProcessEngine:
                 if block:
                     self._drain_shard(index)
                 else:
-                    self._record_loss(index, packet, "queue-overflow")
+                    self._record_loss(index, packet, "queue-overflow", slot=slot)
                     continue
             queue.append(packet)
             self._accepted += 1
@@ -419,7 +419,7 @@ class InProcessEngine:
             if plan is not None:
                 local = routed[index]
                 if plan.should_drop(index, local):
-                    self._record_loss(index, packet, "injected-drop")
+                    self._record_loss(index, packet, "injected-drop", slot=slot)
                     continue
                 stall = plan.take_stall(index, local)
                 if stall is not None:
@@ -449,7 +449,7 @@ class InProcessEngine:
                 continue
             emitted = state.admit(packet.time, packet.size, packet.fid, packet)
             if emitted is None:
-                self._record_loss(index, packet, "overload-shed")
+                self._record_loss(index, packet, "overload-shed", slot=slot)
                 continue
             for item in emitted:
                 self._enqueue(index, item)
@@ -486,13 +486,23 @@ class InProcessEngine:
                     remaining -= 1
         return processed
 
-    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+    def _record_loss(
+        self,
+        index: int,
+        packet: Packet,
+        reason: str,
+        slot: Optional[int] = None,
+    ) -> None:
         self._dropped[index] += 1
         if self._first_loss[index] is None:
             self._first_loss[index] = packet.time
             self._loss_reason[index] = reason
         if self._dead_letter is not None:
-            self._dead_letter.record(packet, index, reason)
+            # The consistent dead-letter tuple: shard, slot, 1-based
+            # shard-local arrival index (== routed count at loss time).
+            self._dead_letter.record(
+                packet, index, reason, slot=slot, index=self._routed[index]
+            )
 
     def flush(self) -> None:
         """Process every pending packet (the graceful-drain step).

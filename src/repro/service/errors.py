@@ -24,6 +24,7 @@ Hierarchy::
     │   ├── TransientSourceError       (also recoverable, see above)
     │   └── PermanentSourceError       (source is gone for good)
     ├── HandshakeError                 (protocol/config mismatch; permanent)
+    ├── ReplayIncompleteError          (a replay bundle cannot be exact)
     └── RestartBudgetExceededError     (supervision gave up)
 
 Two classes from other layers are re-exported here so callers can import
@@ -57,6 +58,7 @@ __all__ = [
     "PermanentSourceError",
     "QueueStallError",
     "RecoverableServiceError",
+    "ReplayIncompleteError",
     "RestartBudgetExceededError",
     "ServiceError",
     "ShardCrashError",
@@ -244,6 +246,32 @@ class PermanentSourceError(SourceError):
     """The source is gone for good; pulling again cannot help.  The
     supervisor drains what it has and returns a degraded report instead
     of restarting."""
+
+
+class ReplayIncompleteError(ServiceError):
+    """A replay bundle cannot reproduce its incident exactly.
+
+    Raised by :func:`repro.forensics.replay.replay_bundle` when the
+    capture window was truncated (the trace ring evicted batches the
+    incident's window still needed) or when positional losses inside the
+    window lack recorded positions (``skips_complete=False``).  Replaying
+    anyway would silently diverge from the original run, which is worse
+    than a typed refusal.  ``truncated``/``skips_complete`` carry which
+    condition tripped; ``bundle`` is the offending bundle's path when
+    known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        bundle: Optional[str] = None,
+        truncated: bool = False,
+        skips_complete: bool = True,
+    ):
+        super().__init__(message)
+        self.bundle = bundle
+        self.truncated = truncated
+        self.skips_complete = skips_complete
 
 
 class RestartBudgetExceededError(ServiceError):

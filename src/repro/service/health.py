@@ -138,13 +138,23 @@ class ExactnessEnvelope:
 
 @dataclass
 class DeadLetter:
-    """One dropped/unprocessed packet: what, where, why."""
+    """One dropped/unprocessed packet: what, where, why.
+
+    Every producer records the same consistent tuple — shard, slot,
+    shard-local arrival index (1-based position among the packets routed
+    to that shard), and reason — so the forensics capture layer can turn
+    *positional* losses (injected drops, voided partitions) back into a
+    replayable skip list.  ``slot``/``index`` are None only for entries
+    written before the consistent tuple existed.
+    """
 
     time_ns: int
     size: int
     fid: FlowId
     shard: int
     reason: str
+    slot: Optional[int] = None
+    index: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -152,6 +162,8 @@ class DeadLetter:
             "size": self.size,
             "fid": str(self.fid),
             "shard": self.shard,
+            "slot": self.slot,
+            "index": self.index,
             "reason": self.reason,
         }
 
@@ -178,11 +190,21 @@ class DeadLetterSink:
         self.events: List[Dict[str, object]] = []
         self.event_total = 0
 
-    def record(self, packet: Packet, shard: int, reason: str) -> None:
+    def record(
+        self,
+        packet: Packet,
+        shard: int,
+        reason: str,
+        slot: Optional[int] = None,
+        index: Optional[int] = None,
+    ) -> None:
         self.total += 1
         if len(self.entries) < self.capacity:
             self.entries.append(
-                DeadLetter(packet.time, packet.size, packet.fid, shard, reason)
+                DeadLetter(
+                    packet.time, packet.size, packet.fid, shard, reason,
+                    slot=slot, index=index,
+                )
             )
 
     def record_event(self, kind: str, detail: Dict[str, object]) -> None:
@@ -242,7 +264,12 @@ class ServiceReport:
     resumed_from: int = 0
     envelope: List[ExactnessEnvelope] = field(default_factory=list)
     restarts: int = 0
-    incidents: List[str] = field(default_factory=list)
+    #: Forensic incidents the run produced.  Structured
+    #: :class:`~repro.forensics.incidents.Incident` records when the
+    #: supervisor/forensics lab is armed; plain strings are tolerated for
+    #: machine-written reports.  Either way ``str(incident)`` is the
+    #: stable rendered line.
+    incidents: List[object] = field(default_factory=list)
     dead_letters: int = 0
     source_retries: int = 0
     #: Ingest-validation accounting when the source was guarded (the
@@ -311,7 +338,12 @@ class ServiceReport:
             "exact": self.exact,
             "envelope": [entry.as_dict() for entry in self.envelope],
             "restarts": self.restarts,
-            "incidents": list(self.incidents),
+            "incidents": [
+                incident.as_dict()
+                if hasattr(incident, "as_dict")
+                else str(incident)
+                for incident in self.incidents
+            ],
             "dead_letters": self.dead_letters,
             "source_retries": self.source_retries,
             "validation": self.validation,

@@ -170,6 +170,10 @@ class RemoteEngine:
         self._hash = StageHash(seed=seed, buckets=slots)
         self._route = FlowRouter(self._hash)
         self._buffers: List[list] = [[] for _ in range(shards)]
+        # Shard-local arrival index of each staged tuple (parallel to
+        # _buffers), so a voided partition can dead-letter the exact
+        # positional tuple the forensics replay needs.
+        self._buffer_indices: List[list] = [[] for _ in range(shards)]
         self._accepted = 0
         self._slot_states: Optional[List] = None
         self._final_snapshot: Optional[Dict[str, object]] = None
@@ -421,10 +425,14 @@ class RemoteEngine:
             if watcher is not None:
                 watcher.observe(packet, slot)
             if plan is not None and plan.should_drop(index, routed[index]):
-                self._record_loss(index, packet, "injected-drop")
+                self._record_loss(
+                    index, packet, "injected-drop", slot=slot,
+                    arrival=routed[index],
+                )
                 continue
             buffer = buffers[index]
             buffer.append((packet.time, packet.size, fid))
+            self._buffer_indices[index].append(routed[index])
             if len(buffer) >= chunk_size:
                 self._ship(index)
         self._accepted += len(batch)
@@ -446,7 +454,9 @@ class RemoteEngine:
         """Send shard ``index``'s staged buffer as one BATCH frame,
         applying the partition policy when the endpoint is unreachable."""
         tuples = self._buffers[index]
+        arrivals = self._buffer_indices[index]
         self._buffers[index] = []
+        self._buffer_indices[index] = []
         if not tuples:
             return
         conn = self._connections[index]
@@ -457,9 +467,10 @@ class RemoteEngine:
             # The mask budget is gone: the envelope is void from this —
             # the first unsendable — packet onward, and the loss is
             # accounted to the integer identity.
-            for time_ns, size, fid in tuples:
+            for (time_ns, size, fid), arrival in zip(tuples, arrivals):
                 self._record_loss(
-                    index, Packet(time_ns, size, fid), "partition"
+                    index, Packet(time_ns, size, fid), "partition",
+                    slot=self._route(fid), arrival=arrival,
                 )
             return
         try:
@@ -512,13 +523,26 @@ class RemoteEngine:
         except TransportError:
             self._note_outage(index)
 
-    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+    def _record_loss(
+        self,
+        index: int,
+        packet: Packet,
+        reason: str,
+        slot: Optional[int] = None,
+        arrival: Optional[int] = None,
+    ) -> None:
         self._dropped[index] += 1
         if self._first_loss[index] is None:
             self._first_loss[index] = packet.time
             self._loss_reason[index] = reason
         if self._dead_letter is not None:
-            self._dead_letter.record(packet, index, reason)
+            # The consistent dead-letter tuple: shard, slot, 1-based
+            # shard-local arrival index.  Partition losses surface at
+            # ship time, so the arrival index travels with the staged
+            # tuple instead of being read off the live routed counter.
+            self._dead_letter.record(
+                packet, index, reason, slot=slot, index=arrival
+            )
 
     def _note_high_water(self, index: int) -> None:
         depth = self._connections[index].ring_depth
@@ -671,6 +695,7 @@ class RemoteEngine:
             )
         grow = shards - self._shards
         self._buffers.extend([] for _ in range(grow))
+        self._buffer_indices.extend([] for _ in range(grow))
         self._routed.extend([0] * grow)
         self._dropped.extend([0] * grow)
         self._first_loss.extend([None] * grow)
@@ -743,6 +768,7 @@ class RemoteEngine:
         shards = layout.shards
         self._shards = shards
         self._buffers = [[] for _ in range(shards)]
+        self._buffer_indices = [[] for _ in range(shards)]
         self._slot_states = slot_states
         self._accepted = state["accepted"]
 

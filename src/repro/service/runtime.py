@@ -223,6 +223,16 @@ class DetectionService:
         a split/merge plan is executed through :meth:`apply_migration`
         at the batch boundary.  A rolled-back migration is an incident,
         not a crash — the serve loop keeps going on the old layout.
+    forensics:
+        Optional :class:`~repro.forensics.ForensicsLab` (the
+        ``--forensics-dir`` flag).  Once per batch the serve loop feeds
+        the lab's capture ring and scans the engine's forensic surfaces
+        for new events; every checkpoint re-baselines the capture window
+        at zero extra snapshot cost.  When armed without an explicit
+        ``dead_letter`` sink, one is created automatically — positional
+        losses must be recorded for replay bundles to re-inject them.
+        Forensics never alters detection behaviour: runs with and
+        without it are bit-identical.
     """
 
     def __init__(
@@ -247,6 +257,7 @@ class DetectionService:
         slots: Optional[int] = None,
         coordinator: Optional[CoordinatorPolicy] = None,
         engine_options: Optional[Dict[str, object]] = None,
+        forensics=None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -263,6 +274,12 @@ class DetectionService:
         self.checkpoint_every = checkpoint_every
         self.batch_size = batch_size
         self.fault_plan = fault_plan
+        self.forensics = forensics
+        if forensics is not None and dead_letter is None:
+            # Replay bundles re-inject positional losses from the
+            # dead-letter detail; forensics without a sink would capture
+            # provably-incomplete bundles whenever anything is dropped.
+            dead_letter = DeadLetterSink()
         self.dead_letter = dead_letter
         self.invariant_every = invariant_every
         self.overload = overload
@@ -306,6 +323,8 @@ class DetectionService:
 
             self._instruments = ServiceInstruments(telemetry)
             self._instruments.bind_shards(shards, queue_capacity)
+        if forensics is not None and self._instruments is not None:
+            forensics.bind_instruments(self._instruments)
 
     # -- recovery ----------------------------------------------------------
 
@@ -327,6 +346,7 @@ class DetectionService:
         watcher: Optional[WatcherPolicy] = None,
         coordinator: Optional[CoordinatorPolicy] = None,
         engine_options: Optional[Dict[str, object]] = None,
+        forensics=None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -373,6 +393,7 @@ class DetectionService:
             slots=meta.get("slots"),
             coordinator=coordinator,
             engine_options=engine_options,
+            forensics=forensics,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
@@ -554,6 +575,9 @@ class DetectionService:
         """
         source = as_source(source)
         self._last_source = source
+        forensics = self.forensics
+        if forensics is not None:
+            forensics.on_serve_start(self)
         instruments = self._instruments
         validation = None
         if instruments is not None:
@@ -583,6 +607,8 @@ class DetectionService:
                 batch = batch[: max_packets - served]
                 if not batch:
                     break
+            if forensics is not None:
+                forensics.observe_batch(batch, self._ingested)
             if instruments is None:
                 self._engine.ingest(batch)
             else:
@@ -601,6 +627,11 @@ class DetectionService:
                 on_progress(self)
             if self._coordinator is not None:
                 self._coordinate()
+            if forensics is not None:
+                # Scan before any checkpoint rebaseline below: new
+                # incidents must capture their bundles against the
+                # baseline that covers them, not the fresh one.
+                forensics.scan(self)
             if next_boundary is not None and self._ingested >= next_boundary:
                 self._write_checkpoint(source)
                 next_boundary = self._next_boundary()
@@ -618,6 +649,8 @@ class DetectionService:
         (the graceful-drain step), write the terminal checkpoint, and do
         a final telemetry sync."""
         self._engine.flush()
+        if self.forensics is not None:
+            self.forensics.scan(self)
         if final_checkpoint and self.checkpoint_path is not None:
             self._write_checkpoint(source)
         if instruments is not None:
@@ -716,6 +749,10 @@ class DetectionService:
             instruments.sync_transport(transport_report())
         if validation is not None:
             instruments.sync_validation(validation)
+        if self.forensics is not None:
+            # Exact set_total sync from the store's per-class totals —
+            # the counter and the incident log can never disagree.
+            instruments.sync_incidents(self.forensics.store.totals_by_class)
         if self.overload is not None:
             overload_report = getattr(self._engine, "overload_report", None)
             if overload_report is not None:
@@ -772,6 +809,11 @@ class DetectionService:
             self.checkpoint_path, payload, retry=self.checkpoint_backoff
         )
         self._checkpoints_written += 1
+        if self.forensics is not None:
+            # Reuse the checkpoint's engine snapshot as the new capture
+            # baseline (zero extra snapshot cost; the ring restarts
+            # here, so future bundles stay small).
+            self.forensics.rebaseline(self, engine_snapshot=payload["engine"])
         if self.fault_plan is not None:
             # Injected checkpoint corruption (chaos testing the recovery
             # path): damage the file right after a successful write.

@@ -118,6 +118,15 @@ class Supervisor:
         into every service this supervisor builds (fresh and recovered
         alike, so one registry spans restarts) and fed the supervisor's
         own restart/backoff/incident counters.
+    forensics:
+        Optional :class:`~repro.forensics.ForensicsLab`, threaded into
+        every service this supervisor builds (one lab spans restarts, so
+        a recovered service does not re-announce incidents it already
+        explained).  The supervisor's own incidents — recoveries,
+        restarts, source failures, invariant violations — are appended
+        to the lab's store; without a lab they land in a memory-only
+        :class:`~repro.forensics.IncidentStore` so ``report.incidents``
+        is structured either way.
     """
 
     def __init__(
@@ -145,6 +154,7 @@ class Supervisor:
         slots: Optional[int] = None,
         coordinator=None,
         engine_options: Optional[Dict[str, object]] = None,
+        forensics=None,
     ):
         self.config = config
         self.engine_options = engine_options
@@ -170,7 +180,19 @@ class Supervisor:
         self._sleep = sleep
         self._clock = clock
         self.restarts = 0
-        self.incidents: List[str] = []
+        self.forensics = forensics
+        # Deferred import: repro.forensics depends on service submodules
+        # (checkpoint), so a module-level import here would cycle.
+        from ..forensics.incidents import Incident, IncidentStore
+
+        #: Structured incident records (:class:`~repro.forensics.
+        #: Incident`).  ``str()`` of each record is the historical
+        #: rendered line, and substring ``in`` checks search it, so code
+        #: written against the plain-string log keeps working.
+        self.incidents: List[Incident] = []
+        self._store = (
+            forensics.store if forensics is not None else IncidentStore()
+        )
         self._service: Optional[DetectionService] = None
         self.telemetry = telemetry
         self._instruments = None
@@ -179,10 +201,26 @@ class Supervisor:
 
             self._instruments = ServiceInstruments(telemetry)
 
-    def _note_incident(self, message: str) -> None:
-        self.incidents.append(message)
+    def _note_incident(
+        self,
+        message: str,
+        incident_class: str = "restart",
+        severity: str = "warning",
+        packet_index: Optional[int] = None,
+        payload: Optional[Dict[str, object]] = None,
+        bundle: Optional[str] = None,
+    ) -> None:
+        record = self._store.append(
+            incident_class,
+            message,
+            severity=severity,
+            packet_index=packet_index,
+            payload=payload,
+            bundle=bundle,
+        )
+        self.incidents.append(record)
         if self._instruments is not None:
-            self._instruments.on_incident()
+            self._instruments.on_incident(incident_class)
 
     # -- construction helpers ----------------------------------------------
 
@@ -207,6 +245,7 @@ class Supervisor:
             slots=self.slots,
             coordinator=self.coordinator,
             engine_options=self.engine_options,
+            forensics=self.forensics,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -232,18 +271,27 @@ class Supervisor:
                     watcher=self.watcher,
                     coordinator=self.coordinator,
                     engine_options=self.engine_options,
+                    forensics=self.forensics,
                 )
                 self._note_incident(
-                    f"recovered from checkpoint at packet {service.ingested}"
+                    f"recovered from checkpoint at packet {service.ingested}",
+                    incident_class="recovery",
+                    severity="info",
+                    packet_index=service.ingested,
                 )
                 return service
             except CheckpointError as error:
                 self._note_incident(
-                    f"checkpoint unusable ({error}); replaying from scratch"
+                    f"checkpoint unusable ({error}); replaying from scratch",
+                    incident_class="recovery",
+                    severity="warning",
+                    payload={"error": str(error)},
                 )
         else:
             self._note_incident(
-                "no checkpoint available; replaying from scratch"
+                "no checkpoint available; replaying from scratch",
+                incident_class="recovery",
+                severity="warning",
             )
         return self._fresh_service()
 
@@ -306,7 +354,13 @@ class Supervisor:
                 # The stream itself is gone: degrade, don't spin.  Drain
                 # what was ingested and state exactly what is still
                 # guaranteed.
-                self._note_incident(f"permanent source failure: {error}")
+                self._note_incident(
+                    f"permanent source failure: {error}",
+                    incident_class="source-failure",
+                    severity="error",
+                    packet_index=service.ingested,
+                    payload={"position": getattr(error, "position", None)},
+                )
                 service.engine.flush()
                 report = service.report(
                     duration_s=self._clock() - started
@@ -325,16 +379,37 @@ class Supervisor:
                 # logic, or a checkpoint taken by it) cannot fix this.
                 # Record the forensics and abort — never restart-loop on
                 # a permanent error.
+                bundle = None
+                bundle_incomplete = False
+                if self.forensics is not None:
+                    # Snapshot the replay bundle before aborting: the
+                    # capture ring still holds the batches that tripped
+                    # the invariant.
+                    bundle, bundle_incomplete = (
+                        self.forensics.capture_violation(service, error)
+                    )
                 self._note_incident(
                     f"InvariantViolation ({error.check}): {error} "
-                    f"(at ~packet {service.ingested}; permanent, aborting)"
+                    f"(at ~packet {service.ingested}; permanent, aborting)",
+                    incident_class="invariant-violation",
+                    severity="critical",
+                    packet_index=service.ingested,
+                    payload={
+                        "check": error.check,
+                        "incomplete": bundle_incomplete,
+                    },
+                    bundle=bundle,
                 )
                 service.abort()
                 raise
             except RecoverableServiceError as error:
                 self._note_incident(
                     f"{type(error).__name__}: {error} "
-                    f"(at ~packet {service.ingested})"
+                    f"(at ~packet {service.ingested})",
+                    incident_class="restart",
+                    severity="warning",
+                    packet_index=service.ingested,
+                    payload={"error_type": type(error).__name__},
                 )
                 service.abort()
                 if self.restarts >= self.policy.max_restarts:

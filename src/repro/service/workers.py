@@ -755,7 +755,7 @@ class MultiprocessEngine:
             if watcher is not None:
                 watcher.observe(packet, slot)
             if plan is not None and plan.should_drop(index, routed[index]):
-                self._record_loss(index, packet, "injected-drop")
+                self._record_loss(index, packet, "injected-drop", slot=slot)
                 continue
             buffer = buffers[index]
             buffer.append((packet.time, packet.size, fid))
@@ -798,13 +798,13 @@ class MultiprocessEngine:
             if watcher is not None:
                 watcher.observe(packet, slot)
             if plan is not None and plan.should_drop(index, routed[index]):
-                self._record_loss(index, packet, "injected-drop")
+                self._record_loss(index, packet, "injected-drop", slot=slot)
                 continue
             emitted = states[index].admit(
                 packet.time, packet.size, fid, (packet.time, packet.size, fid)
             )
             if emitted is None:
-                self._record_loss(index, packet, "overload-shed")
+                self._record_loss(index, packet, "overload-shed", slot=slot)
                 continue
             for item in emitted:
                 self._stage(index, item)
@@ -845,13 +845,23 @@ class MultiprocessEngine:
         if depth > self._queue_high_water[index]:
             self._queue_high_water[index] = depth
 
-    def _record_loss(self, index: int, packet: Packet, reason: str) -> None:
+    def _record_loss(
+        self,
+        index: int,
+        packet: Packet,
+        reason: str,
+        slot: Optional[int] = None,
+    ) -> None:
         self._dropped[index] += 1
         if self._first_loss[index] is None:
             self._first_loss[index] = packet.time
             self._loss_reason[index] = reason
         if self._dead_letter is not None:
-            self._dead_letter.record(packet, index, reason)
+            # The consistent dead-letter tuple: shard, slot, 1-based
+            # shard-local arrival index (== routed count at loss time).
+            self._dead_letter.record(
+                packet, index, reason, slot=slot, index=self._routed[index]
+            )
 
     def flush(self) -> None:
         """Ship all staged partial chunks to the workers.

@@ -405,7 +405,14 @@ class ServiceInstruments:
         )
         self.incidents_total = reg.counter(
             "eardet_incidents_total",
-            "Incidents appended to the supervisor's log.",
+            "Forensic incidents appended to the incident store, by class.",
+            labels=("class",),
+        )
+        self.forensics_capture_ns = reg.histogram(
+            "eardet_forensics_capture_ns",
+            "Wall time to capture one replay bundle (serialize baseline + "
+            "trace slice + write the CRC'd container), nanoseconds.",
+            buckets=DEFAULT_LATENCY_BUCKETS_NS,
         )
         self.source_retries_total = reg.counter(
             "eardet_source_retries_total",
@@ -722,8 +729,18 @@ class ServiceInstruments:
     def on_backoff(self, delay_s: float) -> None:
         self.backoff_ns_total.inc(max(0, round(delay_s * 1_000_000_000)))
 
-    def on_incident(self) -> None:
-        self.incidents_total.inc()
+    def on_incident(self, incident_class: str = "restart") -> None:
+        self.incidents_total.labels(incident_class).inc()
+
+    def sync_incidents(self, totals_by_class: Dict[str, int]) -> None:
+        """Make the labeled incident counter agree exactly with the
+        incident store's per-class totals (the store is the source of
+        truth, so counter and log can never disagree)."""
+        for incident_class, total in totals_by_class.items():
+            self.incidents_total.labels(incident_class).set_total(total)
+
+    def on_capture(self, duration_ns: int) -> None:
+        self.forensics_capture_ns.observe(duration_ns)
 
     def sync_source_retries(self, total: int) -> None:
         self.source_retries_total.set_total(total)
