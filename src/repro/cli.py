@@ -126,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "list", "all", "detect", "detectors", "analyze", "simulate",
             "serve", "worker", "checkpoint", "metrics", "replay",
-            "incidents", *EXPERIMENTS,
+            "incidents", "tune", *EXPERIMENTS,
         ],
         help=(
             "experiment to run ('list' to enumerate, 'all' for everything, "
@@ -137,7 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
             "server (--listen), 'checkpoint' for checkpoint tooling, "
             "'metrics' to fetch a running service's metrics endpoint, "
             "'replay' to re-execute an incident bundle deterministically, "
-            "'incidents' to list/show/export the forensic incident log)"
+            "'incidents' to list/show/export the forensic incident log, "
+            "'tune' to propose/apply a guarded retune or --watch a live "
+            "service's SLO burn rate)"
         ),
     )
     parser.add_argument(
@@ -338,6 +340,88 @@ def build_parser() -> argparse.ArgumentParser:
     reshard.add_argument(
         "--max-shards", type=int, default=8, metavar="N",
         help="ceiling on coordinator-provisioned shards (default 8)",
+    )
+
+    control = parser.add_argument_group(
+        "adaptive control options",
+        description=(
+            "Telemetry-driven retuning with guarded, exact hot "
+            "reconfiguration (see docs/CONTROL.md).  --control arms the "
+            "closed-loop controller on 'serve' (requires telemetry, "
+            "e.g. --metrics-port, plus --gamma-h): it scrapes the "
+            "metric registry each window, re-runs the Appendix-A "
+            "solver under sustained pressure or slack, and applies the "
+            "result through the verify-then-commit retune protocol — "
+            "config changes land only at batch boundaries as explicit "
+            "config epochs, rolled back on any failure.  'tune' is the "
+            "manual verb: propose a retune from a checkpoint, --apply "
+            "it through the same guarded path (rewriting the "
+            "checkpoint at the new epoch), or --watch a live metrics "
+            "endpoint's SLO burn rate."
+        ),
+    )
+    control.add_argument(
+        "--control", action="store_true",
+        help="arm the adaptive controller (serve; needs --gamma-h and a "
+        "telemetry flag such as --metrics-port)",
+    )
+    control.add_argument(
+        "--control-every", type=int, default=8, metavar="BATCHES",
+        help="controller sampling cadence in ingested batches (default 8)",
+    )
+    control.add_argument(
+        "--control-min-window", type=int, default=4096, metavar="PACKETS",
+        help="smallest packet window the controller will judge; shorter "
+        "windows accumulate (default 4096)",
+    )
+    control.add_argument(
+        "--control-persistence", type=int, default=3, metavar="WINDOWS",
+        help="consecutive windows pressure/slack must persist before a "
+        "retune is proposed (default 3)",
+    )
+    control.add_argument(
+        "--control-cooldown", type=int, default=8, metavar="WINDOWS",
+        help="windows after any retune attempt (committed, rolled back "
+        "or infeasible) before the next proposal (default 8)",
+    )
+    control.add_argument(
+        "--control-widen", type=float, default=2.0, metavar="FACTOR",
+        help="multiplicative gamma_l step per coarsen/refine retune "
+        "(default 2.0)",
+    )
+    control.add_argument(
+        "--control-max-counters", type=int, default=None, metavar="N",
+        help="operator memory cap on the solved counter count n "
+        "(serve --control, tune)",
+    )
+    control.add_argument(
+        "--slo-drop-budget", type=float, default=None, metavar="FRAC",
+        help="SLO error budget: tolerated dropped-packet fraction "
+        "feeding the burn-rate rules (default 0.001)",
+    )
+    control.add_argument(
+        "--tune-gamma-l", type=int, default=None, metavar="RATE",
+        help="target protected rate for 'tune' propose/--apply "
+        "(default: re-derive at the checkpoint's current gamma_l)",
+    )
+    control.add_argument(
+        "--apply", action="store_true",
+        help="tune: execute the proposed retune against the checkpoint "
+        "through the guarded five-phase protocol and rewrite it at the "
+        "new config epoch (a rolled-back failure leaves it untouched)",
+    )
+    control.add_argument(
+        "--watch", action="store_true",
+        help="tune: poll a live /metrics.json endpoint (--metrics-port) "
+        "and print control samples plus SLO alerts each round",
+    )
+    control.add_argument(
+        "--watch-interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between --watch polls (default 2)",
+    )
+    control.add_argument(
+        "--watch-rounds", type=int, default=None, metavar="N",
+        help="stop --watch after N polls (default: until interrupted)",
     )
 
     watcher = parser.add_argument_group(
@@ -727,6 +811,47 @@ def _coordinator_policy(args: argparse.Namespace):
         raise SystemExit(f"bad resharding options: {error}")
 
 
+def _control_policy(args: argparse.Namespace):
+    """Build the adaptive controller from the control options, or None
+    when ``--control`` was not given.
+
+    Returns a :class:`~repro.control.ControlPolicy` (the service
+    promotes it to a controller), or a pre-built
+    :class:`~repro.control.Controller` when an SLO override needs a
+    custom evaluator."""
+    if not args.control:
+        return None
+    if args.gamma_h is None:
+        raise SystemExit(
+            "--control requires --gamma-h (the Appendix-A solver's "
+            "detection-rate input, which the running config does not "
+            "record)"
+        )
+    from .control import ControlPolicy
+
+    try:
+        policy = ControlPolicy(
+            gamma_h=args.gamma_h,
+            t_upincb_seconds=args.t_upincb,
+            every_batches=args.control_every,
+            min_window_packets=args.control_min_window,
+            persistence=args.control_persistence,
+            cooldown=args.control_cooldown,
+            widen_factor=args.control_widen,
+            max_counters=args.control_max_counters,
+        )
+        if args.slo_drop_budget is None:
+            return policy
+        from .control import Controller, SLOEvaluator, SLOPolicy
+
+        return Controller(
+            policy,
+            slo=SLOEvaluator(SLOPolicy(drop_budget=args.slo_drop_budget)),
+        )
+    except ValueError as error:
+        raise SystemExit(f"bad control options: {error}")
+
+
 def _install_drain_handlers(request_drain) -> "dict | None":
     """Route SIGTERM/SIGINT to a graceful drain request.
 
@@ -1052,6 +1177,12 @@ def run_serve(args: argparse.Namespace) -> int:
     overload = _overload_policy(args)
     watcher = _watcher_policy(args)
     coordinator = _coordinator_policy(args)
+    controller = _control_policy(args)
+    if controller is not None and telemetry is None:
+        raise SystemExit(
+            "--control needs telemetry to scrape; add --metrics-port "
+            "or --metrics-out"
+        )
     if args.slots is not None and args.slots < args.shards:
         raise SystemExit(
             f"--slots must be >= --shards, got {args.slots} slots for "
@@ -1092,6 +1223,7 @@ def run_serve(args: argparse.Namespace) -> int:
             coordinator=coordinator,
             engine_options=engine_options,
             forensics=forensics,
+            controller=controller,
         )
         if not args.json:
             print(config.describe())
@@ -1136,6 +1268,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 coordinator=coordinator,
                 engine_options=engine_options,
                 forensics=forensics,
+                controller=controller,
             )
         except (CheckpointError, FileNotFoundError) as error:
             raise SystemExit(f"cannot resume from {args.checkpoint}: {error}")
@@ -1164,6 +1297,7 @@ def run_serve(args: argparse.Namespace) -> int:
             coordinator=coordinator,
             engine_options=engine_options,
             forensics=forensics,
+            controller=controller,
         )
     if not args.json:
         print(service.config.describe())
@@ -1352,6 +1486,291 @@ def run_checkpoint(args: argparse.Namespace) -> int:
     else:
         print(describe_checkpoint(payload))
     return 0
+
+
+def _tune_watch(args: argparse.Namespace) -> int:
+    """``tune --watch``: poll a live ``/metrics.json`` endpoint, print
+    control samples and SLO alerts.  Advisory only — applying a retune
+    needs the in-process controller (``serve --control``) or the
+    checkpoint path (``tune --apply``)."""
+    import json as json_module
+    import time as time_module
+    import urllib.error
+    import urllib.request
+
+    from .control import SLOEvaluator, SLOPolicy, sample_from_exposition
+
+    if args.metrics_port is None:
+        raise SystemExit("tune --watch requires --metrics-port")
+    url = f"http://{args.metrics_host}:{args.metrics_port}/metrics.json"
+    policy = (
+        SLOPolicy(drop_budget=args.slo_drop_budget)
+        if args.slo_drop_budget is not None
+        else SLOPolicy()
+    )
+    evaluator = SLOEvaluator(policy)
+    rounds = 0
+    try:
+        while args.watch_rounds is None or rounds < args.watch_rounds:
+            if rounds:
+                time_module.sleep(args.watch_interval)
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as response:
+                    payload = json_module.loads(
+                        response.read().decode("utf-8")
+                    )
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                raise SystemExit(f"cannot fetch {url}: {error}")
+            sample = sample_from_exposition(payload)
+            alerts = evaluator.evaluate(sample)
+            rounds += 1
+            if args.json:
+                print(
+                    json_module.dumps(
+                        {
+                            "round": rounds,
+                            "sample": sample.as_dict(),
+                            "alerts": [alert.as_dict() for alert in alerts],
+                        }
+                    )
+                )
+            else:
+                print(
+                    f"[{rounds}] packets={sample.packets} "
+                    f"dropped={sample.dropped} "
+                    f"evictions={sample.evictions} "
+                    f"occupancy={sample.max_occupancy} "
+                    f"rung={sample.worst_rung} "
+                    f"exact={'yes' if sample.exact else 'NO'}"
+                )
+                for alert in alerts:
+                    print(
+                        f"    SLO {alert.severity}: {alert.rule} — "
+                        f"{alert.detail}"
+                    )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def run_tune(args: argparse.Namespace) -> int:
+    """The ``tune`` command: the manual face of the adaptive control
+    plane (see docs/CONTROL.md).
+
+    Default (propose): read ``--checkpoint``, re-run the Appendix-A
+    solver at ``--tune-gamma-l`` (default: the current ``gamma_l``)
+    clamped so the new counter bank holds the checkpoint's live
+    occupancy, and print the resulting plan — or the typed
+    infeasibility with its binding constraint (exit code 1).
+
+    ``--apply`` executes the plan against the checkpoint through the
+    same guarded five-phase protocol the closed loop uses
+    (:meth:`~repro.service.runtime.DetectionService.apply_retune`) and
+    rewrites the checkpoint at the new config epoch; a rolled-back
+    failure leaves the file untouched.  ``--watch`` instead polls a
+    live metrics endpoint (see :func:`_tune_watch`).
+    """
+    import json as json_module
+
+    if args.watch:
+        return _tune_watch(args)
+    from .control import RetunePlan, derive_config
+    from .core.config import EARDetConfig, InfeasibleConfigError
+    from .service import CheckpointError, read_checkpoint
+    from .service.checkpoint import summarize_checkpoint
+
+    if args.checkpoint is None:
+        raise SystemExit(
+            "tune requires --checkpoint (or --watch with --metrics-port)"
+        )
+    try:
+        payload = read_checkpoint(args.checkpoint)
+    except (CheckpointError, FileNotFoundError) as error:
+        raise SystemExit(f"cannot read {args.checkpoint}: {error}")
+    meta = payload["meta"]
+    if meta.get("kind") != "eardet-service":
+        raise SystemExit(
+            f"{args.checkpoint} is not a service checkpoint "
+            f"(kind {meta.get('kind')!r})"
+        )
+    config = EARDetConfig(**meta["config"])
+    control_meta = meta.get("control") or {}
+    inputs = control_meta.get("inputs") or {}
+    epoch = int(control_meta.get("epoch", 0))
+    # An explicit --gamma-h takes the whole input vector from the flags;
+    # otherwise both missing solver inputs come from the checkpoint's
+    # recorded control metadata (written by a controller-armed serve).
+    if args.gamma_h is not None:
+        gamma_h, t_upincb = args.gamma_h, args.t_upincb
+    elif inputs.get("gamma_h") is not None:
+        gamma_h = int(inputs["gamma_h"])
+        t_upincb = float(inputs.get("t_upincb_seconds", args.t_upincb))
+    else:
+        raise SystemExit(
+            "tune requires --gamma-h: the checkpoint records no solver "
+            "inputs (it was written without a controller)"
+        )
+    occupancy = max(
+        (
+            row["counters_in_use"]
+            for row in summarize_checkpoint(payload)["shards"]
+        ),
+        default=0,
+    )
+    target = (
+        args.tune_gamma_l if args.tune_gamma_l is not None else config.gamma_l
+    )
+    if not target:
+        raise SystemExit(
+            "tune requires --tune-gamma-l (the checkpoint's config has "
+            "no protected rate to re-derive from)"
+        )
+    try:
+        new_config = derive_config(
+            rho=config.rho,
+            gamma_l=target,
+            beta_l=config.beta_l,
+            gamma_h=gamma_h,
+            t_upincb_seconds=t_upincb,
+            alpha=config.alpha,
+            min_counters=max(2, occupancy),
+            max_counters=args.control_max_counters,
+        )
+    except InfeasibleConfigError as error:
+        if args.json:
+            print(
+                json_module.dumps(
+                    {"feasible": False, **error.as_dict()}, indent=2
+                )
+            )
+        else:
+            print(f"infeasible: {error}")
+            print(f"  binding constraint: {error.constraint}")
+        return 1
+    if new_config == config:
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "feasible": True,
+                        "changed": False,
+                        "epoch": epoch,
+                        "config": meta["config"],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"no retune needed: the solver re-derives the current "
+                f"config at gamma_l={target} (epoch {epoch}, "
+                f"n={config.n}, beta_th={config.beta_th})"
+            )
+        return 0
+    plan = RetunePlan(
+        old_config=config,
+        new_config=new_config,
+        reason=f"manual tune: gamma_l {config.gamma_l}->{target}",
+        inputs={
+            "gamma_l": target,
+            "beta_l": config.beta_l,
+            "gamma_h": gamma_h,
+            "t_upincb_seconds": t_upincb,
+            "alpha": config.alpha,
+        },
+    )
+    if not args.apply:
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "feasible": True,
+                        "changed": True,
+                        "epoch": epoch,
+                        "proposed_epoch": epoch + 1,
+                        "occupancy": occupancy,
+                        "old_config": meta["config"],
+                        "new_config": _tune_config_dict(new_config),
+                        "reason": plan.reason,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"proposal (config epoch {epoch} -> {epoch + 1}):")
+            print(f"  {plan.describe()}")
+            print(
+                f"  occupancy clamp: n >= {max(2, occupancy)} "
+                f"(checkpoint holds {occupancy} live counters)"
+            )
+            print("  re-run with --apply to execute the guarded retune")
+        return 0
+
+    from .service import DetectionService, FaultPlan, RetuneError
+
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"bad --fault-plan: {error}")
+    service = DetectionService.resume(
+        args.checkpoint,
+        engine=args.engine,
+        fault_plan=fault_plan,
+        invariant_every=args.invariant_every,
+    )
+    try:
+        report = service.apply_retune(plan)
+    except RetuneError as error:
+        service.shutdown()
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "committed": False,
+                        "rolled_back": error.rolled_back,
+                        "phase": error.phase,
+                        "epoch": epoch,
+                        "error": str(error),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"retune rolled back at phase {error.phase!r}: {error} "
+                f"(checkpoint untouched, still epoch {epoch})"
+            )
+        return 1
+    service.checkpoint_now()
+    service.shutdown()
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "committed": True,
+                    "from_epoch": report.from_epoch,
+                    "to_epoch": report.to_epoch,
+                    "pause_ns": report.pause_ns,
+                    "config": _tune_config_dict(new_config),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"retune committed: config epoch {report.from_epoch} -> "
+            f"{report.to_epoch} (pause {report.pause_ns / NS_PER_S * 1e3:.2f}ms); "
+            f"checkpoint rewritten at {args.checkpoint}"
+        )
+    return 0
+
+
+def _tune_config_dict(config) -> dict:
+    from .control import config_as_dict
+
+    return config_as_dict(config)
 
 
 def _forensics_lab(args: argparse.Namespace):
@@ -1652,6 +2071,8 @@ def main(argv=None) -> int:
         return run_replay(args)
     if args.experiment == "incidents":
         return run_incidents(args)
+    if args.experiment == "tune":
+        return run_tune(args)
     params = resolve_params(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

@@ -1,0 +1,67 @@
+"""Adaptive control plane: telemetry-driven retuning with guarded,
+exact hot reconfiguration.
+
+The service's data plane is engineered once, offline, by the Appendix-A
+solver (:func:`repro.core.config.engineer`).  This package closes the
+loop at runtime without giving up exactness:
+
+- :mod:`repro.control.scrape` reads the live telemetry registry into a
+  :class:`~repro.control.scrape.ControlSample` — rates, counter
+  occupancy, eviction pressure, degradation rungs — without touching
+  the per-packet hot path.
+- :mod:`repro.control.slo` evaluates burn-rate SLO rules over
+  consecutive samples and raises typed alerts *before* the overload
+  ladder reaches its SHEDDING rung.
+- :mod:`repro.control.controller` turns sustained pressure (or
+  sustained idleness) into a :class:`~repro.control.retune.RetunePlan`
+  by re-running the Appendix-A solver on adjusted inputs, clamped so
+  the new counter bank can always hold the live occupancy.
+- :mod:`repro.control.retune` executes a plan through the guarded
+  five-phase protocol (propose → freeze → apply → verify → commit):
+  config changes land only at batch boundaries through the
+  snapshot/restore path, §3 invariants are re-checked on the restored
+  state before commit, and any failure or timeout rolls back to the old
+  configuration — a rolled-back retune leaves detections bit-identical
+  to never having attempted it.
+
+Epoch semantics, the rollback contract and the ``tune:`` fault DSL are
+documented in ``docs/CONTROL.md``.
+"""
+
+from .controller import (
+    ControlPolicy,
+    Controller,
+    MAX_ALERTS,
+    MAX_DECISIONS,
+    derive_config,
+)
+from .retune import (
+    RETUNE_PHASES,
+    RetunePlan,
+    RetuneReport,
+    config_as_dict,
+    execute_retune,
+    verify_plan,
+)
+from .scrape import ControlSample, sample_from_exposition, scrape_registry
+from .slo import SLOAlert, SLOEvaluator, SLOPolicy
+
+__all__ = [
+    "ControlPolicy",
+    "ControlSample",
+    "Controller",
+    "MAX_ALERTS",
+    "MAX_DECISIONS",
+    "RETUNE_PHASES",
+    "RetunePlan",
+    "RetuneReport",
+    "SLOAlert",
+    "SLOEvaluator",
+    "SLOPolicy",
+    "config_as_dict",
+    "derive_config",
+    "execute_retune",
+    "sample_from_exposition",
+    "scrape_registry",
+    "verify_plan",
+]

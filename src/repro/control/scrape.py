@@ -1,0 +1,141 @@
+"""Reading the telemetry registry into control-plane samples.
+
+The controller never instruments the hot path itself: the service
+already syncs its exact integer accounting into the metric registry
+once per batch (:class:`~repro.telemetry.instruments.ServiceInstruments`),
+so the control plane's entire view of the data plane is a handful of
+dictionary lookups against that registry.  A scrape therefore costs the
+same whether the service is idle or saturated, which is what keeps the
+idle controller overhead inside the ≤1% budget that
+``benchmarks/trajectory.py --control`` gates.
+
+Samples are plain integers end to end — the registry stores exact
+integers (see :mod:`repro.telemetry.registry`) and this module only
+copies them — so two scrapes can be differenced without float drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ControlSample", "sample_from_exposition", "scrape_registry"]
+
+
+@dataclass(frozen=True)
+class ControlSample:
+    """One point-in-time control-plane view of the running service.
+
+    ``counters_in_use`` and ``degradation`` are per *shard* (the
+    registry's label axis); a shard's counter gauge sums over the slots
+    it currently hosts, so using its maximum as an occupancy clamp is
+    conservative with respect to any single slot detector.
+    """
+
+    packets: int
+    dropped: int
+    evictions: int
+    detections: int
+    counters_in_use: Tuple[int, ...]
+    degradation: Tuple[int, ...]
+    exact: bool
+
+    @property
+    def max_occupancy(self) -> int:
+        """Highest per-shard counter occupancy (0 with no shards)."""
+        return max(self.counters_in_use, default=0)
+
+    @property
+    def worst_rung(self) -> int:
+        """Highest degradation-ladder rung across shards (0 = exact)."""
+        return max(self.degradation, default=0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "packets": self.packets,
+            "dropped": self.dropped,
+            "evictions": self.evictions,
+            "detections": self.detections,
+            "counters_in_use": list(self.counters_in_use),
+            "degradation": list(self.degradation),
+            "exact": self.exact,
+        }
+
+
+def _counter_sum(registry: object, name: str) -> int:
+    """Sum of a counter family's children (0 when absent)."""
+    family = registry.get(name)  # type: ignore[attr-defined]
+    if family is None:
+        return 0
+    return sum(
+        metric.value or 0 for _, metric in family.collect()
+    )
+
+
+def _gauge_values(registry: object, name: str) -> Tuple[int, ...]:
+    """A labeled gauge family's child values in label order (unset
+    children read as 0)."""
+    family = registry.get(name)  # type: ignore[attr-defined]
+    if family is None:
+        return ()
+    return tuple(metric.value or 0 for _, metric in family.collect())
+
+
+def scrape_registry(registry: object) -> ControlSample:
+    """Read the metric families the controller consumes.
+
+    Works against any :class:`~repro.telemetry.registry.MetricRegistry`;
+    against a :class:`~repro.telemetry.registry.NullRegistry` every
+    field reads as zero/empty (the controller is inert without
+    telemetry, by design — it must never grow its own accounting on the
+    hot path).
+    """
+    exact_values = _gauge_values(registry, "eardet_shard_exact")
+    return ControlSample(
+        packets=_counter_sum(registry, "eardet_ingested_packets_total"),
+        dropped=_counter_sum(registry, "eardet_shard_dropped_packets_total"),
+        evictions=_counter_sum(
+            registry, "eardet_shard_store_evictions_total"
+        ),
+        detections=_counter_sum(registry, "eardet_shard_detections_total"),
+        counters_in_use=_gauge_values(
+            registry, "eardet_shard_counters_in_use"
+        ),
+        degradation=_gauge_values(
+            registry, "eardet_shard_degradation_level"
+        ),
+        exact=all(value == 1 for value in exact_values),
+    )
+
+
+def sample_from_exposition(payload: Dict[str, object]) -> ControlSample:
+    """Build a sample from a ``/metrics.json`` payload.
+
+    The ``eardet tune --watch`` advisor polls a *remote* service's
+    metrics endpoint, so it sees the rendered JSON exposition
+    (:func:`~repro.telemetry.exposition.render_json`) rather than the
+    in-process registry; this is the exposition-side twin of
+    :func:`scrape_registry` and reads the same seven metric families.
+    """
+    families: Dict[str, list] = {}
+    for family in payload.get("metrics") or ():  # type: ignore[union-attr]
+        families[str(family.get("name"))] = list(family.get("samples") or ())
+
+    def total(name: str) -> int:
+        return sum(int(s.get("value") or 0) for s in families.get(name, ()))
+
+    def values(name: str) -> Tuple[int, ...]:
+        return tuple(
+            int(s.get("value") or 0) for s in families.get(name, ())
+        )
+
+    exact_values = values("eardet_shard_exact")
+    return ControlSample(
+        packets=total("eardet_ingested_packets_total"),
+        dropped=total("eardet_shard_dropped_packets_total"),
+        evictions=total("eardet_shard_store_evictions_total"),
+        detections=total("eardet_shard_detections_total"),
+        counters_in_use=values("eardet_shard_counters_in_use"),
+        degradation=values("eardet_shard_degradation_level"),
+        exact=all(value == 1 for value in exact_values),
+    )

@@ -1,0 +1,206 @@
+"""Burn-rate SLO rules over control-plane samples.
+
+The overload ladder (:mod:`repro.service.overload`) degrades in rungs —
+EXACT → DEFERRED → AGGREGATED → SHEDDING — and only the last rung
+actually discards traffic.  The point of these rules is to *page before
+that happens*: a sustained climb onto the AGGREGATED rung, or a drop
+burn rate that would exhaust the error budget within the alerting
+window, fires while the service is still accountable, giving the
+controller (or an operator) room to retune or reshard before exactness
+is voided.
+
+The evaluator is windowed: it differences consecutive
+:class:`~repro.control.scrape.ControlSample`\\ s and refuses to judge
+windows smaller than ``min_window_packets`` (they accumulate instead),
+the same hysteresis discipline the reshard coordinator uses.  Burn rate
+follows the classic multi-window definition: ``burn = (errors /
+window) / budget`` — burn 1.0 consumes the budget exactly at the
+allowed pace, ``burn_rate_page`` (default 14, the conventional 1-hour
+page threshold for a 30-day budget) consumes it fourteen times too
+fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .scrape import ControlSample
+
+__all__ = ["SLOAlert", "SLOEvaluator", "SLOPolicy"]
+
+#: Ladder rung indices (mirrors ``repro.service.overload``; kept as
+#: integers so this module never imports the service package).
+_RUNG_EXACT, _RUNG_DEFERRED, _RUNG_AGGREGATED, _RUNG_SHEDDING = 0, 1, 2, 3
+
+_RUNG_NAMES = ("exact", "deferred", "aggregated", "shedding")
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One fired rule: what tripped, how badly, and at what severity."""
+
+    rule: str
+    severity: str  # "warn" | "page"
+    detail: str
+    observed: float
+    bound: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "detail": self.detail,
+            "observed": self.observed,
+            "bound": self.bound,
+        }
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Budgets and thresholds for the rule set.
+
+    ``drop_budget`` is the tolerated dropped fraction of ingested
+    packets (the error budget).  ``pre_shed_rung`` is the ladder rung
+    that pages on its own — AGGREGATED by default, i.e. the last rung
+    before anything is discarded.
+    """
+
+    drop_budget: float = 0.001
+    burn_rate_warn: float = 2.0
+    burn_rate_page: float = 14.0
+    pre_shed_rung: int = _RUNG_AGGREGATED
+    min_window_packets: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.drop_budget <= 0:
+            raise ValueError(
+                f"drop_budget must be > 0, got {self.drop_budget}"
+            )
+        if not 0 < self.burn_rate_warn <= self.burn_rate_page:
+            raise ValueError(
+                f"need 0 < burn_rate_warn <= burn_rate_page, got "
+                f"{self.burn_rate_warn}/{self.burn_rate_page}"
+            )
+        if not _RUNG_DEFERRED <= self.pre_shed_rung <= _RUNG_SHEDDING:
+            raise ValueError(
+                f"pre_shed_rung must be in [{_RUNG_DEFERRED}, "
+                f"{_RUNG_SHEDDING}], got {self.pre_shed_rung}"
+            )
+        if self.min_window_packets < 1:
+            raise ValueError(
+                f"min_window_packets must be >= 1, got "
+                f"{self.min_window_packets}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "drop_budget": self.drop_budget,
+            "burn_rate_warn": self.burn_rate_warn,
+            "burn_rate_page": self.burn_rate_page,
+            "pre_shed_rung": self.pre_shed_rung,
+            "min_window_packets": self.min_window_packets,
+        }
+
+
+class SLOEvaluator:
+    """Stateful windowed evaluation of the rule set.
+
+    Call :meth:`evaluate` with successive samples; it returns the alerts
+    that fired for the window just closed (empty while the window is
+    still accumulating).  Point-in-time rules (ladder rung, exactness)
+    are judged on the *current* sample so a page is never delayed by
+    window accumulation.
+    """
+
+    def __init__(self, policy: Optional[SLOPolicy] = None):
+        self.policy = policy or SLOPolicy()
+        self._last: Optional[ControlSample] = None
+        self.windows = 0
+        self.fired = 0
+
+    def evaluate(self, sample: ControlSample) -> List[SLOAlert]:
+        policy = self.policy
+        alerts: List[SLOAlert] = []
+
+        # Point-in-time rules: judged every call, no window needed.
+        rung = sample.worst_rung
+        if rung >= _RUNG_SHEDDING:
+            alerts.append(
+                SLOAlert(
+                    rule="shedding",
+                    severity="page",
+                    detail="the overload ladder is discarding packets; "
+                    "exactness is voided from the first shed onward",
+                    observed=float(rung),
+                    bound=float(_RUNG_SHEDDING),
+                )
+            )
+        elif rung >= policy.pre_shed_rung:
+            alerts.append(
+                SLOAlert(
+                    rule="pre-shedding",
+                    severity="page",
+                    detail=f"a shard reached the {_RUNG_NAMES[rung]} rung "
+                    "— the last accountable stop before SHEDDING",
+                    observed=float(rung),
+                    bound=float(policy.pre_shed_rung),
+                )
+            )
+        if not sample.exact:
+            alerts.append(
+                SLOAlert(
+                    rule="exactness-lost",
+                    severity="warn",
+                    detail="at least one shard has recorded a first loss; "
+                    "its no-FN/no-FP envelope no longer holds",
+                    observed=0.0,
+                    bound=1.0,
+                )
+            )
+
+        # Windowed burn-rate rule over the drop budget.
+        last = self._last
+        if last is None:
+            self._last = sample
+        else:
+            window = sample.packets - last.packets
+            if window >= policy.min_window_packets:
+                dropped = sample.dropped - last.dropped
+                burn = (dropped / window) / policy.drop_budget
+                if burn >= policy.burn_rate_page:
+                    alerts.append(
+                        SLOAlert(
+                            rule="drop-burn",
+                            severity="page",
+                            detail=f"dropping {dropped}/{window} packets "
+                            f"burns the {policy.drop_budget:g} budget at "
+                            f"{burn:.1f}x",
+                            observed=burn,
+                            bound=policy.burn_rate_page,
+                        )
+                    )
+                elif burn >= policy.burn_rate_warn:
+                    alerts.append(
+                        SLOAlert(
+                            rule="drop-burn",
+                            severity="warn",
+                            detail=f"dropping {dropped}/{window} packets "
+                            f"burns the {policy.drop_budget:g} budget at "
+                            f"{burn:.1f}x",
+                            observed=burn,
+                            bound=policy.burn_rate_warn,
+                        )
+                    )
+                self._last = sample
+                self.windows += 1
+
+        self.fired += len(alerts)
+        return alerts
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy.as_dict(),
+            "windows": self.windows,
+            "fired": self.fired,
+        }

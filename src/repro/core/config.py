@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import Dict, Optional
 
 from ..model.packet import MAX_PACKET_SIZE
 from ..model.thresholds import ThresholdFunction
@@ -34,7 +34,51 @@ from . import theory
 
 
 class InfeasibleConfigError(ValueError):
-    """Raised when no (n, beta_delta) pair satisfies the requirements."""
+    """Raised when no (n, beta_delta) pair satisfies the requirements.
+
+    Beyond the human-readable message, the error carries the *binding
+    constraint* in structured form so machine callers (the adaptive
+    control plane feeding :func:`engineer` from live telemetry scrapes)
+    can report which inequality failed and by how much instead of
+    pattern-matching message text:
+
+    - :attr:`constraint` — stable slug naming the failed inequality
+      (``"gamma-ordering"``, ``"budget-positive"``, ``"eq12-incubation"``,
+      ``"eq10-margin"``, ``"eq7-headroom"``, ``"eq9-empty"``).
+    - :attr:`observed` — the offending value as supplied/derived.
+    - :attr:`bound` — the limit the constraint required.
+    - :attr:`shortfall` — how far ``observed`` is on the wrong side of
+      ``bound`` (always >= 0; the "by how much").
+    """
+
+    def __init__(
+        self,
+        message: str,
+        constraint: str = "unspecified",
+        observed: Optional[float] = None,
+        bound: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.constraint = constraint
+        self.observed = observed
+        self.bound = bound
+
+    @property
+    def shortfall(self) -> Optional[float]:
+        """Distance from the bound, when both sides are known."""
+        if self.observed is None or self.bound is None:
+            return None
+        return abs(self.observed - self.bound)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-consumable form (incident payloads, ``--json``)."""
+        return {
+            "message": str(self),
+            "constraint": self.constraint,
+            "observed": self.observed,
+            "bound": self.bound,
+            "shortfall": self.shortfall,
+        }
 
 
 @dataclass(frozen=True)
@@ -173,11 +217,17 @@ def engineer(
     """
     if gamma_h <= gamma_l:
         raise InfeasibleConfigError(
-            f"gamma_h={gamma_h} must exceed gamma_l={gamma_l} (Section 4.3)"
+            f"gamma_h={gamma_h} must exceed gamma_l={gamma_l} (Section 4.3)",
+            constraint="gamma-ordering",
+            observed=float(gamma_h),
+            bound=float(gamma_l),
         )
     if t_upincb_seconds <= 0:
         raise InfeasibleConfigError(
-            f"t_upincb must be positive, got {t_upincb_seconds}"
+            f"t_upincb must be positive, got {t_upincb_seconds}",
+            constraint="budget-positive",
+            observed=float(t_upincb_seconds),
+            bound=0.0,
         )
     m = gamma_h + gamma_l - 2 * (alpha + beta_l) / t_upincb_seconds
     discriminant = m * m - 4 * gamma_h * gamma_l
@@ -186,7 +236,10 @@ def engineer(
         raise InfeasibleConfigError(
             f"no (n, beta_delta) satisfies t_upincb={t_upincb_seconds}s; "
             f"Eq. (12) requires t_upincb >= {minimum:.4f}s for these "
-            "thresholds"
+            "thresholds",
+            constraint="eq12-incubation",
+            observed=float(t_upincb_seconds),
+            bound=float(minimum),
         )
     root = math.sqrt(discriminant)
     n_min = math.ceil(rho / ((m + root) / 2)) - 1
@@ -199,7 +252,10 @@ def engineer(
     if margin <= 0:
         raise InfeasibleConfigError(
             f"n={n} counters put R_NFN={float(Fraction(rho, n + 1)):.1f}B/s "
-            f"at or below gamma_l={gamma_l}B/s; the no-FPs bound is empty"
+            f"at or below gamma_l={gamma_l}B/s; the no-FPs bound is empty",
+            constraint="eq10-margin",
+            observed=float(Fraction(rho, n + 1)),
+            bound=float(gamma_l),
         )
     beta_delta = math.floor(Fraction(gamma_l * (alpha + beta_l)) / margin) + 1
 
@@ -209,7 +265,10 @@ def engineer(
         raise InfeasibleConfigError(
             f"beta_delta={beta_delta} exceeds the incubation-period budget's "
             f"allowance {upper:.1f} at n={n} (Eq. 7); "
-            f"n_max={n_max}, try a larger t_upincb or gamma_h"
+            f"n_max={n_max}, try a larger t_upincb or gamma_h",
+            constraint="eq7-headroom",
+            observed=float(beta_delta),
+            bound=float(upper),
         )
     return EARDetConfig(
         rho=rho,
@@ -235,7 +294,12 @@ def feasible_counter_range(
     m = gamma_h + gamma_l - 2 * (alpha + beta_l) / t_upincb_seconds
     discriminant = m * m - 4 * gamma_h * gamma_l
     if m < 0 or discriminant < 0:
-        raise InfeasibleConfigError("Eq. (9) has no solution; see engineer()")
+        raise InfeasibleConfigError(
+            "Eq. (9) has no solution; see engineer()",
+            constraint="eq9-empty",
+            observed=float(min(m, discriminant)),
+            bound=0.0,
+        )
     root = math.sqrt(discriminant)
     n_min = math.ceil(rho / ((m + root) / 2)) - 1
     n_max = math.floor(rho / ((m - root) / 2)) - 1
@@ -257,7 +321,10 @@ def beta_delta_bounds(
     margin = rho / (n + 1) - gamma_l
     if margin <= 0:
         raise InfeasibleConfigError(
-            f"n={n} puts R_NFN at or below gamma_l; no beta_delta works"
+            f"n={n} puts R_NFN at or below gamma_l; no beta_delta works",
+            constraint="eq10-margin",
+            observed=rho / (n + 1),
+            bound=float(gamma_l),
         )
     lower = gamma_l * (alpha + beta_l) / margin
     upper = (t_upincb_seconds * (gamma_h - rho / (n + 1)) - 2 * (alpha + beta_l)) / 2

@@ -39,6 +39,76 @@ from .counters import CounterStore, HeapCounterStore
 from .virtual import Carryover, apply_virtual_traffic, apply_virtual_traffic_reference
 
 
+class ReconfigurationError(ValueError):
+    """A snapshot cannot be adapted to a new configuration.
+
+    The config-dependent fields inside an EARDet snapshot are the counter
+    store's embedded capacity and the counter-value envelope
+    ``[1, beta_TH + alpha]``; adapting fails exactly when the snapshot
+    holds more live counters than the new configuration's ``n`` can carry
+    (shrinking below occupancy would have to *drop* counter state, which
+    is never exact)."""
+
+
+def reconfigure_state(
+    state: Dict[str, object], config: EARDetConfig
+) -> Dict[str, object]:
+    """Adapt a :meth:`EARDet.snapshot` taken under one configuration for
+    restore into a detector built with ``config``.
+
+    Almost everything in a snapshot is config-independent — counters are
+    ``(fid, bytes)`` pairs, the carryover is an exact byte-nanosecond
+    numerator, the blacklist is a fid set.  Two fields depend on the
+    configuration and get rewritten here (the hot-reconfiguration path:
+    retune at a batch boundary, adapt the frozen snapshot, restore into a
+    detector built with the new config):
+
+    - the store's embedded ``capacity``, which
+      :meth:`~repro.core.counters.CounterStore.restore` checks strictly,
+      becomes ``config.n``;
+    - counter *values* live in ``[1, beta_TH + alpha]`` under the config
+      that produced them.  When the retune shrinks ``beta_TH``, a
+      carried value may exceed the new envelope; such values are clamped
+      down to the new ceiling ``config.beta_th + config.alpha``.  The
+      clamp is minimal on purpose: values already inside the new
+      envelope are carried bit-for-bit (so a rollback's same-config
+      round trip perturbs nothing — counter values feed the
+      Misra-Gries ``min_value`` decrement, where any gratuitous rewrite
+      would shift later detection times), and a clamped value stays
+      above the new ``beta_th``, so the flow is still detected on its
+      next counted packet.  The clamp is deterministic, so replay of
+      the epoch transition stays bit-identical.
+
+    Returns a new state dict; the input is not mutated.  Raises
+    :class:`ReconfigurationError` when the snapshot's live occupancy
+    exceeds ``config.n``.
+    """
+    store_state = state.get("store")
+    if not isinstance(store_state, dict):
+        raise ReconfigurationError(
+            f"snapshot has no store section to adapt: {type(store_state).__name__}"
+        )
+    entries = store_state.get("entries", [])
+    occupancy = len(entries)  # type: ignore[arg-type]
+    if occupancy > config.n:
+        raise ReconfigurationError(
+            f"snapshot holds {occupancy} live counters but the new "
+            f"configuration provides only n={config.n}; shrinking below "
+            "occupancy would drop exact state (retry after decay or with "
+            "a larger n)"
+        )
+    adapted = dict(state)
+    ceiling = config.beta_th + config.alpha
+    adapted["store"] = {
+        **store_state,
+        "capacity": config.n,
+        "entries": [
+            (fid, min(value, ceiling)) for fid, value in entries
+        ],
+    }
+    return adapted
+
+
 @dataclass
 class EARDetStats:
     """Operational counters for diagnostics and ablation benchmarks."""

@@ -189,12 +189,19 @@ class CaptureLayer:
         )
         skips, skips_complete = self._extract_skips(service, baseline)
         engine = service.engine
-        meta = {
-            "format": BUNDLE_FORMAT,
-            "kind": BUNDLE_KIND,
-            "incident": incident_id,
-            "incident_class": incident_class,
-            "config": {
+        # The bundle's config must be the one in force AT THE BASELINE —
+        # a retune committed inside the window changed the live config,
+        # and replaying the whole window under the new config would
+        # diverge.  The transition list carries every epoch change since
+        # the baseline; replay re-applies each at its recorded position.
+        config_at = getattr(service, "config_dict_at", None)
+        if config_at is not None:
+            baseline_config = config_at(self._baseline_index)
+            transitions = service.config_transitions_after(
+                self._baseline_index
+            )
+        else:  # pragma: no cover - every in-tree service has the method
+            baseline_config = {
                 "rho": service.config.rho,
                 "n": service.config.n,
                 "beta_th": service.config.beta_th,
@@ -202,7 +209,15 @@ class CaptureLayer:
                 "beta_l": service.config.beta_l,
                 "gamma_l": service.config.gamma_l,
                 "virtual_unit": service.config.virtual_unit,
-            },
+            }
+            transitions = []
+        meta = {
+            "format": BUNDLE_FORMAT,
+            "kind": BUNDLE_KIND,
+            "incident": incident_id,
+            "incident_class": incident_class,
+            "config": baseline_config,
+            "transitions": transitions,
             "seed": service.seed,
             "shards": service.shards,
             "slots": service.slots,

@@ -58,6 +58,9 @@ INCIDENT_CLASSES = (
     "recovery",
     "restart",
     "source-failure",
+    "retune",
+    "retune-rollback",
+    "retune-infeasible",
 )
 
 #: Default cap on incident records retained in memory (the JSONL file,

@@ -37,8 +37,12 @@ from .incidents import DEFAULT_RETAIN, Incident, IncidentStore, _normalize_fid
 
 #: Classes the capture layer snapshots a replay bundle for.  The other
 #: classes are announcements (rung transitions, promotions, recoveries)
-#: with nothing to re-execute.
-BUNDLED_CLASSES = ("detection", "watcher-verdict", "invariant-violation")
+#: with nothing to re-execute.  A ``retune`` bundle carries the epoch
+#: transition (baseline-epoch config + the transition list), so replay
+#: re-derives the hot reconfiguration bit-identically.
+BUNDLED_CLASSES = (
+    "detection", "watcher-verdict", "invariant-violation", "retune",
+)
 
 
 class ForensicsLab:
@@ -78,6 +82,9 @@ class ForensicsLab:
         self._voided: Set[int] = set()
         self._migrations = 0
         self._rollbacks = 0
+        self._retunes = 0
+        self._retune_rollbacks = 0
+        self._retune_infeasibles = 0
         self._violations = 0
         # Identity of the service the migration/rollback cursors are
         # anchored to: those counters are per-service-instance (a
@@ -144,6 +151,13 @@ class ForensicsLab:
             self._bound_service = weakref.ref(service)
             self._migrations = service._migrations
             self._rollbacks = service._rollbacks
+            self._retunes = getattr(service, "_retunes", 0)
+            self._retune_rollbacks = getattr(
+                service, "_retune_rollbacks", 0
+            )
+            self._retune_infeasibles = getattr(
+                service, "_retune_infeasibles", 0
+            )
         # The guard cursor anchors to the source this serve is about to
         # judge (serve() sets _last_source before calling this hook): a
         # fresh source starts at zero, a re-served one carries totals the
@@ -365,6 +379,80 @@ class ForensicsLab:
                     },
                 )
             )
+
+        retunes = getattr(service, "_retunes", 0)
+        if retunes > self._retunes:
+            delta = retunes - self._retunes
+            self._retunes = retunes
+            detail = self._last_event(service, "retune")
+            from_packets = detail.get("from_packets", index)
+            emitted.append(
+                self._emit_bundled(
+                    service,
+                    "retune",
+                    f"retune committed: config epoch "
+                    f"{detail.get('from_epoch', '?')} -> "
+                    f"{detail.get('to_epoch', service.config_epoch)} at "
+                    f"packet {from_packets} "
+                    f"({detail.get('reason') or 'manual'})",
+                    severity="info",
+                    shard=None,
+                    slot=None,
+                    stream_time_ns=None,
+                    packet_index=index,
+                    expected={
+                        "kind": "retune",
+                        "from_epoch": detail.get("from_epoch"),
+                        "to_epoch": detail.get(
+                            "to_epoch", service.config_epoch
+                        ),
+                        "from_packets": from_packets,
+                        "config": service.config_dict_at(from_packets),
+                    },
+                    payload={"retunes": retunes, "delta": delta, **detail},
+                )
+            )
+        retune_rollbacks = getattr(service, "_retune_rollbacks", 0)
+        if retune_rollbacks > self._retune_rollbacks:
+            delta = retune_rollbacks - self._retune_rollbacks
+            self._retune_rollbacks = retune_rollbacks
+            detail = self._last_event(service, "retune-rollback")
+            emitted.append(
+                self.store.append(
+                    "retune-rollback",
+                    f"retune rolled back in phase "
+                    f"{detail.get('phase', '?')}: "
+                    f"{detail.get('error', 'unknown error')}",
+                    severity="error",
+                    packet_index=index,
+                    payload={
+                        "rollbacks": retune_rollbacks,
+                        "delta": delta,
+                        **detail,
+                    },
+                )
+            )
+        retune_infeasibles = getattr(service, "_retune_infeasibles", 0)
+        if retune_infeasibles > self._retune_infeasibles:
+            delta = retune_infeasibles - self._retune_infeasibles
+            self._retune_infeasibles = retune_infeasibles
+            detail = self._last_event(service, "retune-infeasible")
+            emitted.append(
+                self.store.append(
+                    "retune-infeasible",
+                    f"retune proposal infeasible: "
+                    f"{detail.get('constraint', '?')} binds "
+                    f"(wanted gamma_l={detail.get('gamma_l_target', '?')}, "
+                    f"direction {detail.get('direction', '?')})",
+                    severity="warning",
+                    packet_index=index,
+                    payload={
+                        "infeasibles": retune_infeasibles,
+                        "delta": delta,
+                        **detail,
+                    },
+                )
+            )
         return emitted
 
     def capture_violation(self, service, error) -> Tuple[str, bool]:
@@ -423,11 +511,17 @@ class ForensicsLab:
 
     @staticmethod
     def _last_rollback_event(service) -> Dict[str, object]:
+        return ForensicsLab._last_event(service, "migration-rollback")
+
+    @staticmethod
+    def _last_event(service, kind: str) -> Dict[str, object]:
+        """The most recent dead-letter forensic event of this kind
+        (the detail the service recorded when it counted the outcome)."""
         dead = service.dead_letter
         if dead is None:
             return {}
         for event in reversed(dead.events):
-            if event.get("kind") == "migration-rollback":
+            if event.get("kind") == kind:
                 return {k: v for k, v in event.items() if k != "kind"}
         return {}
 

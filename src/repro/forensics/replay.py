@@ -89,6 +89,9 @@ class ReplayResult:
     skips_injected: int = 0
     detections: Dict[str, int] = field(default_factory=dict)
     verdicts: Dict[str, int] = field(default_factory=dict)
+    #: Config-epoch transitions re-applied at their recorded positions
+    #: (0 for a bundle whose window saw no retune).
+    transitions_applied: int = 0
     steps: Optional[List[StepRecord]] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -102,6 +105,7 @@ class ReplayResult:
             "skips_injected": self.skips_injected,
             "detections": self.detections,
             "verdicts": self.verdicts,
+            "transitions_applied": self.transitions_applied,
             "steps": (
                 [step.as_dict() for step in self.steps]
                 if self.steps is not None
@@ -228,8 +232,38 @@ def replay_bundle(
     violation: Optional[InvariantViolation] = None
     replayed = 0
     steps: Optional[List[StepRecord]] = [] if step else None
+
+    # Config-epoch transitions inside the window, re-applied at their
+    # recorded stream positions — the original run retuned only at batch
+    # boundaries, so each transition lands exactly between two batches.
+    pending = sorted(
+        (dict(t) for t in meta.get("transitions") or []),
+        key=lambda t: int(t.get("from_packets", 0)),
+    )
+    start = int(trace.get("start") or 0)
+    applied = 0
+    transition_error: Optional[str] = None
+
+    def _apply_due(position: int) -> None:
+        nonlocal applied, transition_error
+        while pending and int(pending[0]["from_packets"]) <= position:
+            entry = pending.pop(0)
+            if transition_error is not None:
+                continue
+            try:
+                engine.flush()
+                engine.apply_config(EARDetConfig(**entry["config"]))
+                applied += 1
+            except Exception as error:  # noqa: BLE001 - divergence verdict
+                transition_error = (
+                    f"epoch {entry.get('epoch', '?')} transition at packet "
+                    f"{entry.get('from_packets')} failed to re-apply: "
+                    f"{error}"
+                )
+
     try:
         for batch_data in trace.get("batches") or []:
+            _apply_due(start + replayed)
             batch = [
                 Packet(int(t), int(s), _normalize_fid(f))
                 for t, s, f in _decode_batch(batch_data)
@@ -242,6 +276,9 @@ def replay_bundle(
                 _ingest_stepped(engine, batch, pump, replayed, steps)
             replayed += len(batch)
         engine.flush()
+        # A transition at the window's end boundary (the retune incident
+        # itself commits at the position its bundle is captured at).
+        _apply_due(start + replayed)
     except InvariantViolation as error:
         violation = error
 
@@ -271,12 +308,39 @@ def replay_bundle(
     elif kind == "watcher-verdict":
         observed = verdicts.get(str(_normalize_fid(expected.get("fid"))))
         exact = observed is not None and observed == expected.get("time_ns")
+    elif kind == "retune":
+        # The transition re-derived iff every epoch change re-applied
+        # cleanly on the replayed state and the engine ended up under
+        # exactly the recorded new-epoch config.
+        final_config = {
+            "rho": engine.config.rho,
+            "n": engine.config.n,
+            "beta_th": engine.config.beta_th,
+            "alpha": engine.config.alpha,
+            "beta_l": engine.config.beta_l,
+            "gamma_l": engine.config.gamma_l,
+            "virtual_unit": engine.config.virtual_unit,
+        }
+        observed = (
+            {"error": transition_error}
+            if transition_error is not None
+            else final_config
+        )
+        exact = (
+            transition_error is None
+            and violation is None
+            and final_config == expected.get("config")
+        )
     else:  # detection
         observed = detections.get(str(_normalize_fid(expected.get("fid"))))
         exact = observed is not None and observed == expected.get("time_ns")
         if violation is not None:
             exact = False
             observed = {"check": violation.check, "message": str(violation)}
+    if transition_error is not None and kind != "retune":
+        # The window's config history could not be reproduced, so the
+        # replayed stream ran under the wrong config from that point on.
+        exact = False
 
     engine.close()
     return ReplayResult(
@@ -289,6 +353,7 @@ def replay_bundle(
         skips_injected=len(skips),
         detections=detections,
         verdicts=verdicts,
+        transitions_applied=applied,
         steps=steps,
     )
 

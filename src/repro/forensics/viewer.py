@@ -29,6 +29,9 @@ CLASS_COLORS = {
     "recovery": "#1f77b4",
     "restart": "#aec7e8",
     "source-failure": "#7f7f7f",
+    "retune": "#8c564b",
+    "retune-rollback": "#c49c94",
+    "retune-infeasible": "#f7b6d2",
 }
 
 _TEMPLATE = """<!DOCTYPE html>

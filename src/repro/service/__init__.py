@@ -60,6 +60,7 @@ from .errors import (
     RecoverableServiceError,
     ReplayIncompleteError,
     RestartBudgetExceededError,
+    RetuneError,
     ServiceError,
     ShardCrashError,
     SourceError,
@@ -74,6 +75,7 @@ from .faults import (
     NetFault,
     ShardFault,
     SourceFault,
+    TuneFault,
 )
 from .net import (
     NET_PROTOCOL_VERSION,
@@ -169,6 +171,7 @@ __all__ = [
     "RestartBudgetExceededError",
     "RestartPolicy",
     "RetryingSource",
+    "RetuneError",
     "ServiceError",
     "ServiceReport",
     "ShardConnection",
@@ -188,6 +191,7 @@ __all__ = [
     "TraceFileSource",
     "TransientSourceError",
     "TransportError",
+    "TuneFault",
     "WATCHER_KINDS",
     "WatcherPolicy",
     "WatcherStage",

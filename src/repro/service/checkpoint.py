@@ -546,12 +546,38 @@ def describe_checkpoint(payload: Dict[str, Any]) -> str:
     meta = payload.get("meta", {})
     lines = [f"checkpoint (format {FORMAT_VERSION})"]
     for key in sorted(meta):
+        if key == "control":
+            continue  # rendered structurally below
         value = meta[key]
         if isinstance(value, dict):
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
             lines.append(f"  {key}: {rendered}")
         else:
             lines.append(f"  {key}: {value}")
+    control = meta.get("control")
+    if control is None:
+        if "config" in meta:
+            lines.append("  config epoch: 0 (static; no retune recorded)")
+    else:
+        lines.append(f"  config epoch: {control.get('epoch', 0)}")
+        inputs = control.get("inputs")
+        if inputs:
+            lines.append(
+                "  solver inputs: "
+                f"gamma_l={inputs.get('gamma_l')}, "
+                f"beta_l={inputs.get('beta_l')}, "
+                f"gamma_h={inputs.get('gamma_h')}, "
+                f"t_upincb={inputs.get('t_upincb_seconds')}s, "
+                f"alpha={inputs.get('alpha')}"
+            )
+        for entry in control.get("history") or []:
+            cfg = entry.get("config") or {}
+            lines.append(
+                f"    epoch {entry.get('epoch')}: from packet "
+                f"{entry.get('from_packets')} — n={cfg.get('n')}, "
+                f"gamma_l={cfg.get('gamma_l')}, "
+                f"beta_th={cfg.get('beta_th')}"
+            )
     summary = summarize_checkpoint(payload)
     layout = summary["layout"]
     shard_rows = summary["shards"]

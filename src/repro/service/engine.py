@@ -60,7 +60,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from ..core.blacklist import ReportSink
 from ..core.config import EARDetConfig
 from ..core.counters import CounterStore, HeapCounterStore
-from ..core.eardet import EARDet
+from ..core.eardet import EARDet, reconfigure_state
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .errors import ShardCrashError
@@ -538,6 +538,33 @@ class InProcessEngine:
         whatever is still queued)."""
         for queue in self._queues:
             queue.clear()
+
+    # -- hot reconfiguration -----------------------------------------------
+
+    def apply_config(self, config: EARDetConfig) -> None:
+        """Swap every slot detector onto ``config`` at the current packet
+        boundary (the control plane's apply step).
+
+        Queues are flushed first, so the swap lands at an exact stream
+        boundary; each slot's state is snapshotted, adapted via
+        :func:`repro.core.eardet.reconfigure_state`, and restored into a
+        detector built with the new configuration.  Build-all-then-swap:
+        nothing is replaced until every slot has adapted successfully,
+        so a typed failure (e.g. live occupancy above the new ``n``)
+        leaves the engine exactly as it was.  Rollback is simply
+        ``apply_config(old_config)``.
+        """
+        self.flush()
+        rebuilt: List[EARDet] = []
+        for detector in self._slot_detectors:
+            state = reconfigure_state(detector.snapshot(), config)
+            replacement = EARDet(config, store_factory=self._store_factory)
+            replacement.restore(state)
+            if self.invariant_every is not None:
+                self._attach_checker(replacement)
+            rebuilt.append(replacement)
+        self._slot_detectors = rebuilt
+        self.config = config
 
     # -- live migration ----------------------------------------------------
 

@@ -17,6 +17,7 @@ Hierarchy::
     │   ├── QueueStallError            (heartbeat went stale)
     │   ├── OverloadError              (shard queue full past the put timeout)
     │   ├── MigrationError             (a reshard migration failed; rolled back)
+    │   ├── RetuneError                (a hot reconfiguration failed; rolled back)
     │   ├── TransportError             (a remote shard connection failed)
     │   │   └── FrameCorruptError      (a frame failed CRC/length/magic checks)
     │   └── TransientSourceError       (retryable source failure)
@@ -59,6 +60,7 @@ __all__ = [
     "QueueStallError",
     "RecoverableServiceError",
     "ReplayIncompleteError",
+    "RetuneError",
     "RestartBudgetExceededError",
     "ServiceError",
     "ShardCrashError",
@@ -147,6 +149,36 @@ class MigrationError(RecoverableServiceError):
     supervisor treats this like any recoverable error and restores from
     the last checkpoint, which is exact regardless of layout (detections
     are invariant under the slot assignment).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        phase: Optional[str] = None,
+        plan: Optional[str] = None,
+        rolled_back: bool = True,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.phase = phase
+        self.plan = plan
+        self.rolled_back = rolled_back
+        self.attempts = attempts
+
+
+class RetuneError(RecoverableServiceError):
+    """A guarded hot reconfiguration (retune) failed.
+
+    ``phase`` names the five-phase-protocol step that failed
+    (``propose``, ``freeze``, ``apply``, ``verify`` or ``commit``);
+    ``plan`` is the human-readable plan description; ``rolled_back``
+    states whether the engine was returned to the pre-retune
+    configuration (the normal outcome — a rolled-back retune leaves
+    detections bit-identical to never having attempted it).
+    ``rolled_back=False`` means the rollback itself failed, so the
+    engine's configuration is suspect: the supervisor treats this like
+    any recoverable error and restores from the last checkpoint, whose
+    recorded config epoch is authoritative.
     """
 
     def __init__(

@@ -16,6 +16,9 @@ from the compact spec string the CLI accepts via ``--fault-plan``::
     mig:phase=install,mode=fail,at=1  # 1st migration fails at install
     mig:phase=extract,mode=stall,at=2,secs=0.2  # ... 2nd sleeps 0.2s
     mig:phase=cutover,mode=kill,at=1  # worker dies at the cutover point
+    tune:phase=apply,mode=fail,at=1   # 1st retune fails at its apply step
+    tune:phase=verify,mode=stall,at=2,secs=0.2  # ... 2nd sleeps 0.2s
+    tune:phase=commit,mode=kill,at=1  # worker dies at the commit point
     net:kind=drop,shard=0,at=5        # shard 0's 5th sent frame vanishes
     net:kind=dup,shard=0,at=3         # ... 3rd frame arrives twice
     net:kind=reorder,shard=0,at=6     # ... 6th frame swaps with the 7th
@@ -49,6 +52,12 @@ Semantics that make recovery testable:
   retry), ``mode=stall`` sleeps ``secs`` there (exercising the
   migration timeout), ``mode=kill`` raises a worker death (exercising
   supervised restart-from-checkpoint mid-migration).
+- **Tune faults** mirror migration faults for the retune protocol: they
+  fire at a phase boundary (``propose``/``freeze``/``apply``/``verify``/
+  ``commit``) of the ``at``-th retune attempted in the run (1-based,
+  fire-once) — ``mode=fail`` exercises automatic rollback, ``mode=stall``
+  the retune deadline, ``mode=kill`` supervised restart-from-checkpoint
+  mid-reconfiguration.
 - **Net faults** fire at an exact *frame send index* on one remote
   shard connection (1-based, counting every frame the transport
   attempts to put on the wire, replays included) and fire once —
@@ -79,6 +88,8 @@ SOURCE_FAULT_KINDS = ("transient", "permanent")
 CHECKPOINT_FAULT_MODES = ("flip", "truncate", "zero")
 MIGRATION_FAULT_MODES = ("fail", "stall", "kill")
 MIGRATION_FAULT_PHASES = ("freeze", "extract", "install", "cutover")
+TUNE_FAULT_MODES = ("fail", "stall", "kill")
+TUNE_FAULT_PHASES = ("propose", "freeze", "apply", "verify", "commit")
 NET_FAULT_KINDS = ("drop", "dup", "reorder", "delay", "partition", "halfopen")
 
 
@@ -169,6 +180,31 @@ class MigrationFault:
 
 
 @dataclass
+class TuneFault:
+    """A fault fired at a phase boundary of the ``at``-th retune."""
+
+    phase: str  # propose | freeze | apply | verify | commit
+    mode: str = "fail"  # fail | stall | kill
+    at: int = 1  # 1-based retune index in the run
+    duration_s: float = 0.1  # stall sleep
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.phase not in TUNE_FAULT_PHASES:
+            raise ValueError(
+                f"tune fault phase must be one of "
+                f"{TUNE_FAULT_PHASES}, got {self.phase!r}"
+            )
+        if self.mode not in TUNE_FAULT_MODES:
+            raise ValueError(
+                f"tune fault mode must be one of "
+                f"{TUNE_FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.at < 1:
+            raise ValueError(f"retune index must be >= 1, got {self.at}")
+
+
+@dataclass
 class NetFault:
     """A fault fired at an exact frame index on one shard connection.
 
@@ -204,7 +240,7 @@ class NetFault:
 
 
 Fault = Union[ShardFault, SourceFault, CheckpointFault, MigrationFault,
-              NetFault]
+              TuneFault, NetFault]
 
 
 class FaultPlan:
@@ -224,6 +260,7 @@ class FaultPlan:
         self.source_faults: List[SourceFault] = []
         self.checkpoint_faults: List[CheckpointFault] = []
         self.migration_faults: List[MigrationFault] = []
+        self.tune_faults: List[TuneFault] = []
         self.net_faults: List[NetFault] = []
         for fault in faults:
             self.add(fault)
@@ -237,6 +274,8 @@ class FaultPlan:
             self.checkpoint_faults.append(fault)
         elif isinstance(fault, MigrationFault):
             self.migration_faults.append(fault)
+        elif isinstance(fault, TuneFault):
+            self.tune_faults.append(fault)
         elif isinstance(fault, NetFault):
             self.net_faults.append(fault)
         else:
@@ -249,6 +288,7 @@ class FaultPlan:
             or self.source_faults
             or self.checkpoint_faults
             or self.migration_faults
+            or self.tune_faults
             or self.net_faults
         )
 
@@ -321,6 +361,13 @@ class FaultPlan:
                 at=int(fields.get("at", 1)),
                 duration_s=float(fields.get("secs", 0.1)),
             )
+        if kind == "tune":
+            return TuneFault(
+                phase=fields["phase"],
+                mode=fields.get("mode", "fail"),
+                at=int(fields.get("at", 1)),
+                duration_s=float(fields.get("secs", 0.1)),
+            )
         if kind == "net":
             return NetFault(
                 kind=fields["kind"],
@@ -359,6 +406,14 @@ class FaultPlan:
             )
             parts.append(
                 f"mig:phase={fault.phase},mode={fault.mode},at={fault.at}"
+                f"{extra}" + (" (fired)" if fault.fired else "")
+            )
+        for fault in self.tune_faults:
+            extra = (
+                f",secs={fault.duration_s:g}" if fault.mode == "stall" else ""
+            )
+            parts.append(
+                f"tune:phase={fault.phase},mode={fault.mode},at={fault.at}"
                 f"{extra}" + (" (fired)" if fault.fired else "")
             )
         for fault in self.net_faults:
@@ -449,6 +504,23 @@ class FaultPlan:
             if (
                 fault.phase == phase
                 and fault.at == migration_index
+                and not fault.fired
+            ):
+                fault.fired = True
+                return fault
+        return None
+
+    # -- tune-fault queries (the retune executor calls this) ---------------
+
+    def take_tune(self, phase: str, retune_index: int) -> Optional[TuneFault]:
+        """The fault (if any) armed for this phase boundary of the
+        ``retune_index``-th retune.  Fire-once, like migration faults: a
+        rolled-back retune's retry attempts do not re-trip the same
+        fault, so control-plane chaos runs converge."""
+        for fault in self.tune_faults:
+            if (
+                fault.phase == phase
+                and fault.at == retune_index
                 and not fault.fired
             ):
                 fault.fired = True

@@ -294,6 +294,13 @@ class ServiceReport:
     #: the last measured migration pause, and the coordinator's decision
     #: log.  None for a static-layout run — the common case stays quiet.
     reshard: Optional[Dict[str, object]] = None
+    #: Adaptive-control summary when the run armed a controller or ever
+    #: retuned: current config epoch and config, retunes committed /
+    #: rolled back / found infeasible, the last measured retune pause,
+    #: the full epoch history (each entry stamps the stream position its
+    #: config took effect at — the exactness boundary between epochs),
+    #: and the controller's decision log.  None for a static-config run.
+    control: Optional[Dict[str, object]] = None
 
     @property
     def packets_per_second(self) -> float:
@@ -351,6 +358,7 @@ class ServiceReport:
             "drained": self.drained,
             "watcher": self.watcher,
             "reshard": self.reshard,
+            "control": self.control,
         }
 
     def render(self) -> str:
@@ -430,6 +438,32 @@ class ServiceReport:
                     "  coordinator: "
                     f"{coordinator.get('windows', 0)} windows observed, "
                     f"{coordinator.get('proposals', 0)} plans proposed"
+                )
+        if self.control is not None:
+            config = self.control.get("config") or {}
+            pause = self.control.get("last_pause_ns") or 0
+            pause_label = (
+                f", last pause {pause / NS_PER_S * 1e3:.2f}ms" if pause else ""
+            )
+            lines.append(
+                "  control: config epoch "
+                f"{self.control.get('epoch', 0)} "
+                f"(n={config.get('n', '?')}, "
+                f"gamma_l={config.get('gamma_l', '?')}, "
+                f"beta_th={config.get('beta_th', '?')}); "
+                f"{self.control.get('retunes', 0)} retunes committed, "
+                f"{self.control.get('rollbacks', 0)} rolled back, "
+                f"{self.control.get('infeasibles', 0)} infeasible"
+                f"{pause_label}"
+            )
+            controller = self.control.get("controller")
+            if controller:
+                lines.append(
+                    "  controller: "
+                    f"{controller.get('windows', 0)} windows observed, "
+                    f"{controller.get('proposals', 0)} plans proposed, "
+                    f"{(controller.get('slo') or {}).get('fired', 0)} "
+                    "SLO alerts fired"
                 )
         if self.watcher is not None:
             churn = self.watcher.get("churn") or {}

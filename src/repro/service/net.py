@@ -68,7 +68,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.blacklist import ReportSink
 from ..core.config import EARDetConfig
-from ..core.eardet import EARDet
+from ..core.eardet import EARDet, reconfigure_state
 from ..detectors.hashing import StageHash
 from ..model.packet import Packet
 from .backoff import BackoffPolicy
@@ -987,6 +987,41 @@ class ShardServer:
                     "op": "installed",
                     "slots": sorted(self._detectors),
                 }, None
+            if op == "reconfig":
+                # Hot reconfiguration: rebuild every hosted slot under
+                # the new config at this exact sequence point (the frame
+                # discipline is the batch barrier).  Build-all-then-swap;
+                # a refusal leaves the old detectors serving and reports
+                # the failure in-band — the server stays up.
+                new_config = _decode_config(payload["config"])
+                old_config = self._config
+                self._config = new_config
+                try:
+                    rebuilt = {
+                        slot: self._build(
+                            reconfigure_state(det.snapshot(), new_config)
+                        )
+                        for slot, det in self._detectors.items()
+                    }
+                except Exception as error:
+                    self._config = old_config
+                    if _is_invariant(error):
+                        raise _InvariantSignal(error) from error
+                    import traceback
+
+                    return {
+                        "op": "reconfigured",
+                        "ok": False,
+                        "error": traceback.format_exc(),
+                        "message": str(error),
+                    }, None
+                self._detectors = rebuilt
+                self._refresh_solo()
+                return {
+                    "op": "reconfigured",
+                    "ok": True,
+                    "slots": sorted(rebuilt),
+                }, None
             if op == "stop":
                 reply = {
                     "op": "done",
@@ -1013,23 +1048,20 @@ class ShardServer:
         raise FrameCorruptError(f"unknown control op {op!r}")
 
     def _op_assign(self, payload) -> Dict[str, Any]:
-        config = EARDetConfig(
-            rho=int(payload["config"]["rho"]),
-            n=int(payload["config"]["n"]),
-            beta_th=int(payload["config"]["beta_th"]),
-            alpha=int(payload["config"]["alpha"]),
-            beta_l=int(payload["config"]["beta_l"]),
-            gamma_l=int(payload["config"]["gamma_l"]),
-            virtual_unit=payload["config"].get("virtual_unit"),
-        )
+        config = _decode_config(payload["config"])
         seed = int(payload["seed"])
         slots = int(payload["slots"])
-        if self._config is not None and (config, seed, slots) != (
-            self._config, self._seed, self._slots
+        if self._config is not None and (seed, slots) != (
+            self._seed, self._slots
         ):
-            # A coordinator whose deployment disagrees with what this
-            # server was built for is a permanent condition: restarting
-            # either side reproduces it.  Abort with the transport code.
+            # A coordinator whose hash deployment (seed / slot space)
+            # disagrees with what this server was built for is a
+            # permanent condition: restarting either side reproduces it.
+            # Abort with the transport code.  The *detector config* is
+            # deliberately not part of this check — a supervised restart
+            # after a rolled-back retune legitimately reassigns with the
+            # checkpoint's previous-epoch config, and the assign replaces
+            # the hosted detectors wholesale either way.
             raise _ServerExit(TRANSPORT_ABORT_EXIT_CODE)
         # (Re)build wholesale: within a session the sequence discipline
         # guarantees this runs once; across sessions the coordinator's
@@ -1092,6 +1124,20 @@ class ShardServer:
             slot_sink.restore(detector.snapshot()["sink"])
             sink.merge(slot_sink)
         return sink.as_dict()
+
+
+def _decode_config(data: Dict[str, Any]) -> EARDetConfig:
+    """Rebuild an :class:`EARDetConfig` from its wire dict (assign and
+    reconfig control frames share this shape)."""
+    return EARDetConfig(
+        rho=int(data["rho"]),
+        n=int(data["n"]),
+        beta_th=int(data["beta_th"]),
+        alpha=int(data["alpha"]),
+        beta_l=int(data["beta_l"]),
+        gamma_l=int(data["gamma_l"]),
+        virtual_unit=data.get("virtual_unit"),
+    )
 
 
 class _ServerExit(Exception):

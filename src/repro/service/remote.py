@@ -607,6 +607,67 @@ class RemoteEngine:
             )
         return reply
 
+    # -- hot reconfiguration -----------------------------------------------
+
+    def apply_config(self, config: EARDetConfig) -> None:
+        """Swap every hosted slot detector onto ``config`` through an
+        exactly-once ``reconfig`` control barrier per shard server (see
+        :meth:`~repro.service.engine.InProcessEngine.apply_config`).
+
+        Each server is individually atomic; a partial fleet failure
+        raises :class:`~repro.core.eardet.ReconfigurationError` and the
+        retune executor's rollback (``apply_config(old_config)``)
+        restores consistency.
+        """
+        if self._final_snapshot is not None:
+            raise RuntimeError("engine already closed")
+        if self._connections is None:
+            from ..core.eardet import reconfigure_state
+
+            if self._slot_states is not None:
+                self._slot_states = [
+                    reconfigure_state(state, config)
+                    if state is not None
+                    else None
+                    for state in self._slot_states
+                ]
+            self.config = config
+            return
+        self.check_workers()
+        self.flush()
+        payload = {
+            "op": "reconfig",
+            "config": {
+                "rho": config.rho,
+                "n": config.n,
+                "beta_th": config.beta_th,
+                "alpha": config.alpha,
+                "beta_l": config.beta_l,
+                "gamma_l": config.gamma_l,
+                "virtual_unit": config.virtual_unit,
+            },
+        }
+        failures: Dict[int, str] = {}
+        for index in range(self._layout.shards):
+            reply = self._control(index, dict(payload))
+            if reply.get("op") != "reconfigured" or not reply.get("ok"):
+                failures[index] = str(
+                    reply.get("message") or reply.get("error") or reply
+                ).strip().splitlines()[-1]
+        if failures:
+            from ..core.eardet import ReconfigurationError
+
+            detail = "; ".join(
+                f"shard {index}: {error}"
+                for index, error in sorted(failures.items())
+            )
+            raise ReconfigurationError(
+                f"{len(failures)}/{self._layout.shards} shard servers "
+                f"refused the new configuration ({detail}); fleet may be "
+                "mixed — roll back by re-applying the previous config"
+            )
+        self.config = config
+
     # -- live migration ----------------------------------------------------
 
     def prepare_migration(self, plan: MigrationPlan) -> None:

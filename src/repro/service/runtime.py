@@ -34,7 +34,7 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .engine import DEFAULT_QUEUE_CAPACITY, InProcessEngine
-from .errors import MigrationError
+from .errors import MigrationError, RetuneError
 from .health import DeadLetterSink, ServiceReport, ShardHealth
 from .overload import OverloadPolicy
 from .pipeline import WatcherPolicy, WatcherStage
@@ -52,6 +52,28 @@ from .workers import MultiprocessEngine
 CHECKPOINT_META_FORMAT = 1
 
 ENGINE_KINDS = ("inprocess", "multiprocess", "remote")
+
+
+def _config_dict(config: EARDetConfig) -> Dict[str, object]:
+    """The seven-field checkpoint/wire form (``EARDetConfig(**d)``
+    round-trips)."""
+    return {
+        "rho": config.rho,
+        "n": config.n,
+        "beta_th": config.beta_th,
+        "alpha": config.alpha,
+        "beta_l": config.beta_l,
+        "gamma_l": config.gamma_l,
+        "virtual_unit": config.virtual_unit,
+    }
+
+
+class _NamedSource:
+    """Stand-in source for out-of-loop checkpoint writes — only the
+    recorded source name matters at that point."""
+
+    def __init__(self, name: str):
+        self.name = name
 
 
 def _build_engine(
@@ -223,6 +245,18 @@ class DetectionService:
         a split/merge plan is executed through :meth:`apply_migration`
         at the batch boundary.  A rolled-back migration is an incident,
         not a crash — the serve loop keeps going on the old layout.
+    controller:
+        Optional :class:`~repro.control.ControlPolicy` (or a
+        pre-built :class:`~repro.control.Controller`) arming the
+        adaptive control plane: once per ``every_batches`` batches the
+        controller scrapes the telemetry registry, evaluates the SLO
+        burn-rate rules, and — under sustained pressure or slack —
+        proposes a new configuration via the Appendix-A solver, which
+        the serve loop executes through :meth:`apply_retune` at the
+        batch boundary.  Each committed retune advances the **config
+        epoch**; a rolled-back retune is an incident, not a crash.
+        Requires enabled ``telemetry`` (the controller reads only the
+        registry, never the hot path).
     forensics:
         Optional :class:`~repro.forensics.ForensicsLab` (the
         ``--forensics-dir`` flag).  Once per batch the serve loop feeds
@@ -258,6 +292,7 @@ class DetectionService:
         coordinator: Optional[CoordinatorPolicy] = None,
         engine_options: Optional[Dict[str, object]] = None,
         forensics=None,
+        controller=None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -306,6 +341,38 @@ class DetectionService:
         self._coordinator = (
             Coordinator(coordinator) if coordinator is not None else None
         )
+        self._controller = None
+        if controller is not None:
+            # Lazy import: repro.control imports service submodules, so a
+            # top-level import here would cycle through the package init.
+            from ..control.controller import ControlPolicy, Controller
+
+            if isinstance(controller, ControlPolicy):
+                controller = Controller(controller)
+            if not isinstance(controller, Controller):
+                raise ValueError(
+                    "controller must be a ControlPolicy or Controller, "
+                    f"got {type(controller).__name__}"
+                )
+            if telemetry is None or not telemetry.enabled:
+                raise ValueError(
+                    "the adaptive controller requires enabled telemetry "
+                    "(it retunes from registry scrapes, never the hot path)"
+                )
+            self._controller = controller
+        self._config_epoch = 0
+        self._retunes = 0
+        self._retune_rollbacks = 0
+        self._retune_infeasibles = 0
+        self._retune_index = 0
+        self._last_retune_pause_ns: Optional[int] = None
+        #: Solver inputs of the last committed plan — the checkpoint's
+        #: ``inputs`` fallback for controller-less manual retunes
+        #: (``eardet tune --apply``).
+        self._last_retune_inputs: Optional[Dict[str, object]] = None
+        self._epoch_history: List[Dict[str, object]] = [
+            {"epoch": 0, "from_packets": 0, "config": _config_dict(config)}
+        ]
         self._migrations = 0
         self._rollbacks = 0
         self._last_pause_ns: Optional[int] = None
@@ -347,6 +414,7 @@ class DetectionService:
         coordinator: Optional[CoordinatorPolicy] = None,
         engine_options: Optional[Dict[str, object]] = None,
         forensics=None,
+        controller=None,
     ) -> "DetectionService":
         """Rebuild a service from its last checkpoint.
 
@@ -394,10 +462,24 @@ class DetectionService:
             coordinator=coordinator,
             engine_options=engine_options,
             forensics=forensics,
+            controller=controller,
         )
         service._engine.restore(payload["engine"])
         service._ingested = meta["packets"]
         service._resumed_from = meta["packets"]
+        control_meta = meta.get("control")
+        if control_meta is not None:
+            # The checkpoint's config IS the newest epoch's config (the
+            # service above was built under it); restoring the epoch
+            # number and history keeps report stamps and future capture
+            # bundles consistent across the resume.
+            service._config_epoch = control_meta.get("epoch", 0)
+            history = control_meta.get("history")
+            if history:
+                service._epoch_history = [dict(entry) for entry in history]
+            inputs = control_meta.get("inputs")
+            if inputs is not None:
+                service._last_retune_inputs = dict(inputs)
         return service
 
     # -- properties --------------------------------------------------------
@@ -537,6 +619,189 @@ class DetectionService:
             # stays exact; the forensic record is in the dead-letter
             # sink and the coordinator's cooldown is re-armed.
 
+    # -- adaptive control (hot reconfiguration) ----------------------------
+
+    @property
+    def controller(self):
+        """The armed adaptive controller, or None."""
+        return self._controller
+
+    @property
+    def config_epoch(self) -> int:
+        """The current configuration epoch (0 until the first committed
+        retune; each commit increments it)."""
+        return self._config_epoch
+
+    def apply_retune(
+        self,
+        plan,
+        attempts: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+    ):
+        """Execute a retune plan at the current batch boundary.
+
+        Runs the five-phase propose → freeze → apply → verify → commit
+        protocol (see :func:`repro.control.retune.execute_retune`) with
+        this service's fault plan armed.  On commit the config epoch
+        advances and the transition is recorded in the epoch history
+        (which checkpoints, and which forensic capture bundles carry so
+        replay re-derives the transition); on a rolled-back failure a
+        forensic event lands in the dead-letter sink before the
+        :class:`~repro.service.errors.RetuneError` is re-raised.
+        """
+        from ..control.retune import execute_retune
+
+        policy = (
+            self._controller.policy if self._controller is not None else None
+        )
+        if attempts is None:
+            attempts = policy.attempts if policy is not None else 3
+        if timeout_s is None:
+            timeout_s = policy.timeout_s if policy is not None else 30.0
+        self._retune_index += 1
+        try:
+            report = execute_retune(
+                self._engine,
+                plan,
+                attempts=attempts,
+                backoff=backoff,
+                timeout_s=timeout_s,
+                fault_plan=self.fault_plan,
+                retune_index=self._retune_index,
+                from_epoch=self._config_epoch,
+            )
+        except RetuneError as error:
+            self._retune_rollbacks += 1
+            if self._controller is not None:
+                self._controller.note_result(committed=False, plan=plan)
+            if self.dead_letter is not None:
+                self.dead_letter.record_event(
+                    "retune-rollback",
+                    {
+                        "phase": error.phase,
+                        "attempts": error.attempts,
+                        "rolled_back": error.rolled_back,
+                        "plan": plan.describe(),
+                        "error": str(error),
+                    },
+                )
+            raise
+        self._retunes += 1
+        self._config_epoch = report.to_epoch
+        self.config = plan.new_config
+        self._last_retune_pause_ns = report.pause_ns
+        self._last_retune_inputs = dict(plan.inputs)
+        self._epoch_history.append(
+            {
+                "epoch": report.to_epoch,
+                "from_packets": self._ingested,
+                "config": _config_dict(plan.new_config),
+            }
+        )
+        if self.dead_letter is not None:
+            self.dead_letter.record_event(
+                "retune",
+                {
+                    "from_epoch": report.from_epoch,
+                    "to_epoch": report.to_epoch,
+                    "from_packets": self._ingested,
+                    "plan": plan.describe(),
+                    "reason": plan.reason,
+                    "pause_ns": report.pause_ns,
+                },
+            )
+        if self._controller is not None:
+            self._controller.note_result(committed=True, plan=plan)
+        if self._instruments is not None:
+            self._instruments.sync_control(self._control_summary())
+        return report
+
+    def _control_tick(self) -> None:
+        """Per-batch controller tick: scrape telemetry on cadence,
+        execute a proposed retune, absorb a rolled-back failure as an
+        incident (mirrors :meth:`_coordinate`)."""
+        controller = self._controller
+        plan = controller.tick(self.telemetry.registry, self.config)
+        infeasible = controller.take_infeasible()
+        if infeasible is not None:
+            self._retune_infeasibles += 1
+            if self.dead_letter is not None:
+                self.dead_letter.record_event("retune-infeasible", infeasible)
+        if plan is None:
+            return
+        try:
+            self.apply_retune(plan)
+        except RetuneError as error:
+            if not error.rolled_back:
+                # The rollback itself failed — the configuration is
+                # suspect, so this is not absorbable; let the supervisor
+                # restore from the last checkpoint.
+                raise
+            # Rolled back cleanly: detections are bit-identical to never
+            # having attempted the retune; the forensic record is in the
+            # dead-letter sink and the controller's cooldown is re-armed.
+
+    def config_dict_at(self, packets: int) -> Dict[str, object]:
+        """The seven-field config in force at stream position
+        ``packets`` (the newest epoch whose ``from_packets`` is ≤ it) —
+        what a replay starting from that position must begin under."""
+        current = self._epoch_history[0]["config"]
+        for entry in self._epoch_history:
+            if entry["from_packets"] <= packets:
+                current = entry["config"]
+            else:
+                break
+        return dict(current)
+
+    def config_transitions_after(self, packets: int) -> List[Dict[str, object]]:
+        """Epoch transitions strictly after stream position ``packets``
+        (for capture bundles: the transitions a replay of the window
+        ``(packets, ingested]`` must re-apply, in order)."""
+        return [
+            dict(entry)
+            for entry in self._epoch_history
+            if entry["from_packets"] > packets
+        ]
+
+    def _control_summary(self) -> Dict[str, object]:
+        """Cheap per-batch scalars for the telemetry instruments (no
+        history copies — this runs on the hot path's sync)."""
+        return {
+            "epoch": self._config_epoch,
+            "retunes": self._retunes,
+            "rollbacks": self._retune_rollbacks,
+            "infeasibles": self._retune_infeasibles,
+            "last_pause_ns": self._last_retune_pause_ns,
+        }
+
+    def _control_report(self) -> Optional[Dict[str, object]]:
+        """The report's control section, or None while trivial (epoch 0,
+        no controller, no retune ever attempted)."""
+        trivial = (
+            self._config_epoch == 0
+            and self._controller is None
+            and self._retunes == 0
+            and self._retune_rollbacks == 0
+            and self._retune_infeasibles == 0
+        )
+        if trivial:
+            return None
+        return {
+            "epoch": self._config_epoch,
+            "config": _config_dict(self.config),
+            "retunes": self._retunes,
+            "rollbacks": self._retune_rollbacks,
+            "infeasibles": self._retune_infeasibles,
+            "last_pause_ns": self._last_retune_pause_ns,
+            "history": [dict(entry) for entry in self._epoch_history],
+            "controller": (
+                self._controller.report()
+                if self._controller is not None
+                else None
+            ),
+        }
+
     # -- graceful drain ----------------------------------------------------
 
     @property
@@ -589,10 +854,14 @@ class DetectionService:
         next_boundary = self._next_boundary()
         # Under an armed overload policy the in-process engine does not
         # drain synchronously; the serve loop pumps each shard within the
-        # policy's drain budget once per batch (the capacity model).
+        # policy's drain budget once per batch (the capacity model).  An
+        # armed controller also needs a per-batch pump: its telemetry
+        # scrape reads per-detector gauges (occupancy, evictions), which
+        # only move when the shard queues actually drain — without the
+        # pump the control loop would steer on stale zeros.
         pump = (
             getattr(self._engine, "pump", None)
-            if self.overload is not None
+            if self.overload is not None or self._controller is not None
             else None
         )
         if self._drain_requested:
@@ -627,6 +896,11 @@ class DetectionService:
                 on_progress(self)
             if self._coordinator is not None:
                 self._coordinate()
+            if self._controller is not None:
+                # After the coordinator: a retune this batch lands at the
+                # same boundary, and its forensic events are scanned by
+                # the lab pass just below (same batch, same baseline).
+                self._control_tick()
             if forensics is not None:
                 # Scan before any checkpoint rebaseline below: new
                 # incidents must capture their bundles against the
@@ -706,6 +980,7 @@ class DetectionService:
                 self._watcher.report() if self._watcher is not None else None
             ),
             reshard=self._reshard_report(),
+            control=self._control_report(),
         )
 
     def shutdown(self, drain: bool = False) -> None:
@@ -740,6 +1015,7 @@ class DetectionService:
         if groups is not None:  # in-process: rich per-shard stats
             instruments.sync_detector_groups(groups())
         instruments.sync_reshard(self._reshard_report())
+        instruments.sync_control(self._control_summary())
         if self.dead_letter is not None:
             instruments.sync_dead_letters(self.dead_letter.total)
         if self._watcher is not None:
@@ -758,6 +1034,26 @@ class DetectionService:
             if overload_report is not None:
                 instruments.sync_overload(overload_report())
 
+    def _checkpoint_control_meta(self) -> Optional[Dict[str, object]]:
+        """The checkpoint's control block, or None while no retune ever
+        happened (keeps old checkpoints byte-stable in the common case).
+
+        ``eardet checkpoint inspect`` renders the epoch and the solver
+        inputs; resume() restores the epoch and history so a resumed
+        service keeps stamping reports with the right epoch.
+        """
+        if self._config_epoch == 0 and self._controller is None:
+            return None
+        if self._controller is not None:
+            inputs = self._controller.solver_inputs(self.config)
+        else:
+            inputs = self._last_retune_inputs
+        return {
+            "epoch": self._config_epoch,
+            "history": [dict(entry) for entry in self._epoch_history],
+            "inputs": inputs,
+        }
+
     def _next_boundary(self) -> Optional[int]:
         if self.checkpoint_every is None:
             return None
@@ -773,6 +1069,14 @@ class DetectionService:
             self._write_checkpoint_now(source)
         if span.duration_ns is not None:
             instruments.on_checkpoint(span.duration_ns)
+
+    def checkpoint_now(self, source_name: str = "tune") -> None:
+        """Write a checkpoint at the current boundary, outside the serve
+        loop (the ``eardet tune --apply`` path: persist a committed
+        config epoch durably without serving any traffic)."""
+        if self.checkpoint_path is None:
+            raise ValueError("checkpoint_now requires a checkpoint path")
+        self._write_checkpoint_now(_NamedSource(source_name))
 
     def _write_checkpoint_now(self, source: PacketSource) -> None:
         payload = {
@@ -791,15 +1095,10 @@ class DetectionService:
                     if self.watcher_policy is not None
                     else None
                 ),
-                "config": {
-                    "rho": self.config.rho,
-                    "n": self.config.n,
-                    "beta_th": self.config.beta_th,
-                    "alpha": self.config.alpha,
-                    "beta_l": self.config.beta_l,
-                    "gamma_l": self.config.gamma_l,
-                    "virtual_unit": self.config.virtual_unit,
-                },
+                # The CURRENT (newest-epoch) config: resume() rebuilds
+                # the service under it directly.
+                "config": _config_dict(self.config),
+                "control": self._checkpoint_control_meta(),
             },
             # snapshot() drains the engine first, so the state matches the
             # ingested count exactly — the checkpoint boundary.

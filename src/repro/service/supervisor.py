@@ -155,12 +155,17 @@ class Supervisor:
         coordinator=None,
         engine_options: Optional[Dict[str, object]] = None,
         forensics=None,
+        controller=None,
     ):
         self.config = config
         self.engine_options = engine_options
         self.shards = shards
         self.slots = slots
         self.coordinator = coordinator
+        #: A :class:`~repro.control.ControlPolicy` (each restarted
+        #: service builds a fresh controller from it — hysteresis state
+        #: does not survive a crash, by design) or a live controller.
+        self.controller = controller
         self.engine_kind = engine
         self.seed = seed
         self.checkpoint_path = checkpoint_path
@@ -246,6 +251,7 @@ class Supervisor:
             coordinator=self.coordinator,
             engine_options=self.engine_options,
             forensics=self.forensics,
+            controller=self.controller,
         )
 
     def _recovered_service(self) -> DetectionService:
@@ -272,6 +278,7 @@ class Supervisor:
                     coordinator=self.coordinator,
                     engine_options=self.engine_options,
                     forensics=self.forensics,
+                    controller=self.controller,
                 )
                 self._note_incident(
                     f"recovered from checkpoint at packet {service.ingested}",

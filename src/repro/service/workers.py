@@ -72,7 +72,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..core.blacklist import ReportSink
 from ..core.config import EARDetConfig
-from ..core.eardet import EARDet
+from ..core.eardet import EARDet, reconfigure_state
 from ..detectors.hashing import StageHash
 from ..model.packet import FlowId, Packet
 from .engine import ENGINE_SNAPSHOT_FORMAT, FlowRouter
@@ -344,6 +344,39 @@ def _shard_worker(
                 out_queue.put((
                     "installed", index, message[2], sorted(detectors)
                 ))
+            elif kind == "reconfig":
+                # In-band apply barrier (the hot-reconfiguration path):
+                # everything queued before this marker is processed, so
+                # each hosted slot's state sits at an exact sub-stream
+                # boundary.  Build-all-then-swap: on any failure the old
+                # detectors keep serving and the failure ships in-band —
+                # the worker stays alive (unlike an install failure, the
+                # process state is untouched and still trustworthy).
+                old_config = config
+                try:
+                    config = message[1]
+                    rebuilt = {
+                        slot: build(
+                            reconfigure_state(detector.snapshot(), config)
+                        )
+                        for slot, detector in detectors.items()
+                    }
+                except Exception:
+                    import traceback
+
+                    config = old_config
+                    out_queue.put((
+                        "reconfigured",
+                        index,
+                        message[2],
+                        {"ok": False, "error": traceback.format_exc()},
+                    ))
+                else:
+                    detectors = rebuilt
+                    solo = single()
+                    out_queue.put((
+                        "reconfigured", index, message[2], {"ok": True}
+                    ))
             elif kind == "stop":
                 out_queue.put((
                     "done",
@@ -938,6 +971,62 @@ class MultiprocessEngine:
         self._queues = None
         self._results = None
         self._heartbeats = None
+
+    # -- hot reconfiguration -----------------------------------------------
+
+    def apply_config(self, config: EARDetConfig) -> None:
+        """Swap every hosted slot detector onto ``config`` through an
+        in-band ``reconfig`` barrier on every shard queue (see
+        :meth:`InProcessEngine.apply_config` for the contract).
+
+        Each worker is individually atomic (build-all-then-swap; a
+        failure leaves its old detectors serving and ships the error
+        in-band without killing the process).  On a *partial* fleet
+        failure this raises :class:`~repro.core.eardet.
+        ReconfigurationError` and leaves a mixed fleet — the retune
+        executor's rollback (``apply_config(old_config)``) restores
+        consistency, and always succeeds because adapting back never
+        shrinks below occupancy.
+        """
+        if self._final_snapshot is not None:
+            raise RuntimeError("engine already closed")
+        if self._processes is None:
+            # Workers not yet started: adapt any staged (restored) slot
+            # states so they build under the new config at spawn.
+            if self._slot_states is not None:
+                self._slot_states = [
+                    reconfigure_state(state, config)
+                    if state is not None
+                    else None
+                    for state in self._slot_states
+                ]
+            self.config = config
+            return
+        self.check_workers()
+        self.flush()
+        self._barrier_token += 1
+        token = self._barrier_token
+        for index in range(self._shards):
+            self._put(index, ("reconfig", config, token))
+        replies = self._collect("reconfigured", token)
+        failures = {
+            index: reply["error"]
+            for index, reply in replies.items()
+            if not reply["ok"]
+        }
+        if failures:
+            from ..core.eardet import ReconfigurationError
+
+            detail = "; ".join(
+                f"shard {index}: {error.strip().splitlines()[-1]}"
+                for index, error in sorted(failures.items())
+            )
+            raise ReconfigurationError(
+                f"{len(failures)}/{self._shards} shard workers refused the "
+                f"new configuration ({detail}); fleet may be mixed — "
+                "roll back by re-applying the previous config"
+            )
+        self.config = config
 
     # -- live migration ----------------------------------------------------
 

@@ -337,6 +337,32 @@ class ServiceInstruments:
             "Shards spanned by the live slot-to-shard layout.",
         )
 
+        # -- adaptive control (guarded hot reconfiguration) ----------------
+        self.config_epoch = reg.gauge(
+            "eardet_config_epoch",
+            "Version of the live detector configuration (0 = the launch "
+            "config; incremented by every committed retune).",
+        )
+        self.retunes_total = reg.counter(
+            "eardet_retunes_total",
+            "Committed hot reconfigurations (config-epoch advances).",
+        )
+        self.retune_rollbacks_total = reg.counter(
+            "eardet_retune_rollbacks_total",
+            "Retunes that failed and were rolled back to the pre-retune "
+            "configuration.",
+        )
+        self.retune_infeasibles_total = reg.counter(
+            "eardet_retune_infeasibles_total",
+            "Controller proposals the Appendix-A solver rejected as "
+            "infeasible (recorded as incidents, never applied).",
+        )
+        self.retune_pause_ns = reg.gauge(
+            "eardet_retune_pause_ns",
+            "Duration of the last retune's freeze-to-commit pause, "
+            "nanoseconds.",
+        )
+
         # -- remote transport (the remote engine's TCP fleet) --------------
         self._net_frames_sent = reg.counter(
             "eardet_net_frames_sent_total",
@@ -589,6 +615,21 @@ class ServiceInstruments:
         layout = reshard.get("layout") or {}
         self.layout_epoch.set(layout.get("epoch", 0))
         self.layout_shards.set(layout.get("shards", 0))
+
+    def sync_control(self, control: Optional[dict]) -> None:
+        """Copy the service's adaptive-control summary (cheap scalars
+        only — this runs once per ingested batch)."""
+        if control is None:
+            return
+        self.config_epoch.set(control.get("epoch", 0))
+        self.retunes_total.set_total(control.get("retunes", 0))
+        self.retune_rollbacks_total.set_total(control.get("rollbacks", 0))
+        self.retune_infeasibles_total.set_total(
+            control.get("infeasibles", 0)
+        )
+        pause = control.get("last_pause_ns")
+        if pause is not None:
+            self.retune_pause_ns.set(pause)
 
     def sync_health(self, samples: Sequence[object]) -> None:
         """Copy a list of :class:`~repro.service.health.ShardHealth`

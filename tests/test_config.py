@@ -5,9 +5,18 @@ The decisive tests: the solver must reproduce the paper's worked example
 n=100/beta_TH=6925) *exactly*.
 """
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.control import (
+    ControlPolicy,
+    ControlSample,
+    Controller,
+    derive_config,
+    verify_plan,
+)
 from repro.core.config import (
     EARDetConfig,
     InfeasibleConfigError,
@@ -156,6 +165,125 @@ class TestEngineerValidity:
         assert config.rnfn < gamma_h
         assert config.rnfp > gamma_l
         assert float(config.incubation_bound_seconds(gamma_h)) <= budget_ms / 1000 + 1e-9
+
+
+class TestControlDerivedConfigs:
+    """The adaptive control plane may only ever re-engineer the
+    deployment into configs whose guarantees re-verify against
+    :mod:`repro.core.theory` — no matter what the telemetry scrape said.
+
+    Both properties sweep synthetic occupancy/rate grids: the first
+    drives the full controller decision loop from fabricated
+    :class:`~repro.control.ControlSample` pairs, the second hits the
+    clamped solver wrapper directly.
+    """
+
+    GAMMA_H = 1_000_000
+    BUDGET_S = 1.0
+    BASE = engineer(
+        rho=100_000_000,
+        gamma_l=100_000,
+        beta_l=6072,
+        gamma_h=GAMMA_H,
+        t_upincb_seconds=BUDGET_S,
+    )
+
+    def _reverify(self, config, gamma_l_target, min_counters):
+        """Every inequality the retune protocol promises, checked
+        against the theory module rather than the config's own
+        properties."""
+        assert config.n >= min_counters
+        assert gamma_l_target < theory.rnfp(
+            config.rho, config.n, config.alpha, config.beta_l,
+            config.beta_delta,
+        )
+        assert math.ceil(theory.rnfn(config.rho, config.n)) <= self.GAMMA_H
+        assert config.beta_h == theory.beta_h_guarantee(
+            config.alpha, config.beta_th
+        )
+        bound = theory.incubation_bound_seconds(
+            config.rho, config.n, config.alpha, config.beta_th, self.GAMMA_H
+        )
+        assert float(bound) <= self.BUDGET_S + 1e-9
+
+    @given(
+        occupancy=st.integers(min_value=0, max_value=300),
+        rung=st.integers(min_value=0, max_value=3),
+        eviction_pct=st.integers(min_value=0, max_value=100),
+        widen_halves=st.integers(min_value=3, max_value=8),
+    )
+    def test_synthetic_scrapes_only_yield_reverified_plans(
+        self, occupancy, rung, eviction_pct, widen_halves
+    ):
+        policy = ControlPolicy(
+            gamma_h=self.GAMMA_H,
+            t_upincb_seconds=self.BUDGET_S,
+            min_window_packets=1,
+            persistence=1,
+            cooldown=0,
+            widen_factor=widen_halves / 2,
+        )
+        controller = Controller(policy)
+        window = 10_000
+        first = ControlSample(
+            packets=0, dropped=0, evictions=0, detections=0,
+            counters_in_use=(0,), degradation=(0,), exact=True,
+        )
+        second = ControlSample(
+            packets=window,
+            dropped=0,
+            evictions=window * eviction_pct // 100,
+            detections=0,
+            counters_in_use=(occupancy,),
+            degradation=(rung,),
+            exact=True,
+        )
+        assert controller.observe(first, self.BASE) is None
+        plan = controller.observe(second, self.BASE)
+        if plan is None:
+            # Quiet window, knob end-stop, or a structured infeasibility
+            # — never a silently-weakened config.
+            record = controller.take_infeasible()
+            if record is not None:
+                assert record["constraint"]
+                assert {"observed", "bound", "gamma_l_target"} <= set(record)
+            return
+        verify_plan(plan, self.BASE)  # must not raise
+        self._reverify(
+            plan.new_config,
+            int(plan.inputs["gamma_l"]),
+            max(2, occupancy),
+        )
+
+    @given(
+        gamma_l=st.integers(min_value=10_000, max_value=900_000),
+        occupancy=st.integers(min_value=0, max_value=400),
+        max_counters=st.one_of(
+            st.none(), st.integers(min_value=2, max_value=600)
+        ),
+    )
+    def test_clamped_solver_grid_reverifies_or_raises_typed(
+        self, gamma_l, occupancy, max_counters
+    ):
+        try:
+            config = derive_config(
+                rho=100_000_000,
+                gamma_l=gamma_l,
+                beta_l=6072,
+                gamma_h=self.GAMMA_H,
+                t_upincb_seconds=self.BUDGET_S,
+                alpha=1518,
+                min_counters=max(2, occupancy),
+                max_counters=max_counters,
+            )
+        except InfeasibleConfigError as error:
+            assert error.constraint
+            as_dict = error.as_dict()
+            assert {"constraint", "observed", "bound"} <= set(as_dict)
+            return
+        if max_counters is not None:
+            assert config.n <= max_counters
+        self._reverify(config, gamma_l, max(2, occupancy))
 
 
 class TestSolutionSpace:
